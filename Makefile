@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench figures figures-quick cover fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# Reduced versions of every paper experiment as Go benchmarks.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Full regeneration of every table and figure (several minutes, one core).
+figures:
+	go run ./cmd/figures -svg figures -json figures/results.json | tee figures/figures.txt
+
+figures-quick:
+	go run ./cmd/figures -quick
+
+cover:
+	go test -cover ./...
+
+fuzz:
+	go test -run FuzzReader -fuzz FuzzReader -fuzztime 30s ./internal/trace/
+
+clean:
+	go clean ./...

@@ -1,0 +1,248 @@
+package nanocache
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablation benches for the design decisions
+// called out in DESIGN.md §6. Each benchmark regenerates its experiment on
+// a reduced configuration (a benchmark subset and short runs) so the whole
+// harness completes in minutes; cmd/figures runs the full-size versions.
+//
+// Reported metrics: ns/op is the cost of regenerating the experiment;
+// custom metrics carry the experiment's headline result so `go test
+// -bench=.` doubles as a results table.
+
+import (
+	"testing"
+
+	"nanocache/internal/circuit"
+	"nanocache/internal/experiments"
+	"nanocache/internal/tech"
+)
+
+// benchLab builds a reduced lab shared within one benchmark invocation.
+func benchLab(b *testing.B, benchmarks ...string) *experiments.Lab {
+	b.Helper()
+	opts := experiments.QuickOptions()
+	opts.Instructions = 30_000
+	if len(benchmarks) > 0 {
+		opts.Benchmarks = benchmarks
+	} else {
+		opts.Benchmarks = []string{"art", "health", "gcc", "wupwise"}
+	}
+	lab, err := experiments.NewLab(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lab
+}
+
+// BenchmarkFigure2 regenerates the isolation-transient curves (circuit only).
+func BenchmarkFigure2(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure2()
+		peak = r.PeakPower[tech.N180]
+	}
+	b.ReportMetric(peak, "peak180nm")
+}
+
+// BenchmarkTable3 regenerates the decode/pull-up delay table.
+func BenchmarkTable3(b *testing.B) {
+	var pullup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pullup = r.Rows[0].Model.WorstCasePullUp
+	}
+	b.ReportMetric(pullup, "pullup_ns")
+}
+
+// BenchmarkFigure3 regenerates the oracle-potential figure.
+func BenchmarkFigure3(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(b)
+		r, err := lab.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = 1 - r.DAvg
+	}
+	b.ReportMetric(reduction*100, "oracleD_%")
+}
+
+// BenchmarkOnDemand regenerates the Sec. 5 slowdown numbers.
+func BenchmarkOnDemand(b *testing.B) {
+	var slow float64
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(b)
+		r, err := lab.OnDemand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow = r.DAvg
+	}
+	b.ReportMetric(slow*100, "slowdownD_%")
+}
+
+// BenchmarkFigure5And6 regenerates the subarray locality figures.
+func BenchmarkFigure5And6(b *testing.B) {
+	var hot float64
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(b)
+		r, err := lab.Locality(experiments.DataCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hot = r.AvgHotFraction()[2]
+	}
+	b.ReportMetric(hot*100, "hotAt100_%")
+}
+
+// BenchmarkFigure8 regenerates the gated-precharging headline figure.
+func BenchmarkFigure8(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(b)
+		r, err := lab.Figure8(experiments.DataCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = 1 - r.AvgRelDischarge
+	}
+	b.ReportMetric(reduction*100, "gatedD_%")
+}
+
+// BenchmarkFigure9 regenerates the gated-vs-resizable node sweep.
+func BenchmarkFigure9(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(b, "health", "wupwise")
+		r, err := lab.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = r.Resizable[experiments.DataCache][tech.N70] -
+			r.Gated[experiments.DataCache][tech.N70]
+	}
+	b.ReportMetric(gap, "gatedWinAt70nm")
+}
+
+// BenchmarkFigure10 regenerates the subarray-size sweep.
+func BenchmarkFigure10(b *testing.B) {
+	var pulled float64
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(b, "health", "gcc")
+		r, err := lab.Figure10([]int{4096, 1024, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pulled = r.Pulled[experiments.DataCache][1024]
+	}
+	b.ReportMetric(pulled*100, "pulled1KB_%")
+}
+
+// BenchmarkPredecode regenerates the Sec. 6.3 accuracy numbers.
+func BenchmarkPredecode(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(b, "vortex", "mcf")
+		r, err := lab.Predecode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.Avg1KB
+	}
+	b.ReportMetric(acc*100, "acc1KB_%")
+}
+
+// BenchmarkSimulatorThroughput measures raw architectural simulation speed
+// (instructions per second) on the conventional configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const instr = 50_000
+	b.SetBytes(0)
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Run(experiments.RunConfig{
+			Benchmark:    "gcc",
+			Seed:         1,
+			Instructions: instr,
+			DPolicy:      experiments.Static(),
+			IPolicy:      experiments.Static(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(instr)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkAblationReplay contrasts the two load-hit recovery schemes
+// (Sec. 6.3): Pentium-4-style dependent-only replay versus R10000-style
+// squash-all, under gated precharging where mispredictions are common.
+func BenchmarkAblationReplay(b *testing.B) {
+	run := func(b *testing.B, mode ReplayMode) {
+		var replayed uint64
+		for i := 0; i < b.N; i++ {
+			out, err := experiments.Run(experiments.RunConfig{
+				Benchmark:    "mcf",
+				Seed:         1,
+				Instructions: 30_000,
+				DPolicy:      experiments.GatedPolicy(32, true),
+				IPolicy:      experiments.Static(),
+				Replay:       mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			replayed = out.CPU.ReplayedUops
+		}
+		b.ReportMetric(float64(replayed), "replayedUops")
+	}
+	b.Run("dependent-only", func(b *testing.B) { run(b, DependentOnly) })
+	b.Run("squash-all", func(b *testing.B) { run(b, SquashAll) })
+}
+
+// BenchmarkAblationEnergyIntegral contrasts the closed-form transient energy
+// integral against numeric integration (DESIGN.md §6).
+func BenchmarkAblationEnergyIntegral(b *testing.B) {
+	it := circuit.TransientFor(tech.N130)
+	b.Run("closed-form", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += it.Energy(float64(i%1000) + 0.5)
+		}
+		_ = sink
+	})
+	b.Run("numeric", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += it.EnergyNumeric(float64(i%1000)+0.5, 200)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAblationPredecode contrasts gated data caches with and without
+// predecoding hints at a fixed threshold.
+func BenchmarkAblationPredecode(b *testing.B) {
+	run := func(b *testing.B, hints bool) {
+		var stallRate float64
+		for i := 0; i < b.N; i++ {
+			out, err := experiments.Run(experiments.RunConfig{
+				Benchmark:    "vortex",
+				Seed:         1,
+				Instructions: 30_000,
+				DPolicy:      experiments.GatedPolicy(64, hints),
+				IPolicy:      experiments.Static(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stallRate = out.D.Policy.StallRate()
+		}
+		b.ReportMetric(stallRate*100, "stall_%")
+	}
+	b.Run("with-hints", func(b *testing.B) { run(b, true) })
+	b.Run("without-hints", func(b *testing.B) { run(b, false) })
+}

@@ -1,0 +1,81 @@
+// Command cactiquery evaluates the cache timing/energy model (our
+// modified-CACTI stand-in) for a cache organization across the CMOS
+// generations: decoder stage delays, worst-case bitline pull-up, access
+// latency, per-access energy, and the isolation-transient parameters.
+//
+// Usage:
+//
+//	cactiquery                       # the paper's base 32KB/2-way/1KB-subarray L1
+//	cactiquery -subarray 256 -ways 2 -kind data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"nanocache/internal/cacti"
+	"nanocache/internal/circuit"
+	"nanocache/internal/tech"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cactiquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cacheKB  = flag.Int("cache", 32, "cache size in KB")
+		lineB    = flag.Int("line", 32, "line size in bytes")
+		subarray = flag.Int("subarray", 1024, "subarray size in bytes")
+		ways     = flag.Int("ways", 2, "associativity")
+		ports    = flag.Int("ports", 2, "SRAM cell ports")
+		kindName = flag.String("kind", "data", "data|instruction")
+		device   = flag.Float64("device", 10, "precharge device size vs cell transistors")
+	)
+	flag.Parse()
+
+	kind := cacti.Data
+	if *kindName == "instruction" {
+		kind = cacti.Instruction
+	}
+	cfg := cacti.Config{
+		Geometry: circuit.Geometry{
+			CacheBytes:            *cacheKB << 10,
+			LineBytes:             *lineB,
+			SubarrayBytes:         *subarray,
+			PrechargeDeviceFactor: *device,
+		},
+		Cell: circuit.Cell{Ports: *ports},
+		Ways: *ways,
+		Kind: kind,
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%dKB %d-way %s cache, %dB lines, %dB subarrays (%d subarrays x %d rows), %d-ported cells\n",
+		*cacheKB, *ways, kind, *lineB, *subarray,
+		cfg.Geometry.NumSubarrays(), cfg.Geometry.RowsPerSubarray(), *ports)
+	fmt.Fprintf(tw, "bitline leakage share\t%.1f%% of cell leakage\n",
+		cfg.Cell.BitlineLeakageFraction()*100)
+	fmt.Fprintln(tw, "node\tdecode(ns)\tpull-up(ns)\taccess(ns)\tcycles\tstall\tE/access\tspike\ttauLeak(ns)\tarea(mm²)\teff")
+	for _, n := range tech.Nodes {
+		cfg.Node = n
+		m, err := cacti.New(cfg)
+		if err != nil {
+			return err
+		}
+		d := m.DecodeDelays()
+		it := m.Transient()
+		a := m.Area()
+		fmt.Fprintf(tw, "%v\t%.3f\t%.3f\t%.3f\t%d\t%d\t%.2f\t%.4f\t%.2f\t%.3f\t%.2f\n",
+			n, d.Total(), d.WorstCasePullUp, m.AccessTimeNS(), m.AccessCycles(),
+			m.PrechargeMissPenaltyCycles(), m.DynamicEnergyPerAccess(),
+			it.Spike, it.TauLeak, a.Total(), a.Efficiency())
+	}
+	fmt.Fprintln(tw, "\n(E/access in static-ns units: the static bitline discharge of one subarray for 1ns = 1.0)")
+	return tw.Flush()
+}

@@ -1,0 +1,376 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation and prints them as text tables, with the paper's reported
+// values alongside for comparison.
+//
+// Usage:
+//
+//	figures [-instructions N] [-benchmarks a,b,c] [-fig LIST] [-quick] [-v]
+//
+// By default all experiments run at full options (~minutes on one core);
+// -quick shrinks the runs for a fast smoke pass. -fig selects a subset, e.g.
+// -fig 2,3,8.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		instructions = flag.Uint64("instructions", 0, "instructions per run (0 = option default)")
+		benchmarks   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
+		figs         = flag.String("fig", "2,3,t3,5,6,od,8,9,10,pre,ov,proc,alpha,ext,proj,smt,mach,seeds,sum", "experiments to run")
+		quick        = flag.Bool("quick", false, "reduced runs for a smoke pass")
+		verbose      = flag.Bool("v", false, "log per-run progress to stderr")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		jsonPath     = flag.String("json", "", "also write all results as JSON to this file")
+		svgDir       = flag.String("svg", "", "also write the figures as SVG charts into this directory")
+	)
+	flag.Parse()
+	collected := map[string]any{}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+	}
+	writeSVG := func(name string, c plot.Chart) error {
+		if *svgDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(*svgDir, name+".svg"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return c.WriteSVG(f, 840, 480)
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *instructions > 0 {
+		opts.Instructions = *instructions
+	}
+	opts.Seed = *seed
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	lab, err := experiments.NewLab(opts)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		lab.SetProgress(func(s string) { fmt.Fprintln(os.Stderr, "  ", s) })
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	out := os.Stdout
+	section := func(name string) func() {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s\n", name)
+		return func() {
+			fmt.Fprintf(os.Stderr, "== %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintln(out)
+		}
+	}
+
+	if want["2"] {
+		done := section("figure 2")
+		f2 := experiments.Figure2()
+		collected["figure2"] = f2
+		if err := writeSVG("figure2", f2.Chart()); err != nil {
+			return err
+		}
+		if err := f2.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["t3"] {
+		done := section("table 3")
+		t3, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		collected["table3"] = t3
+		if err := t3.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["3"] {
+		done := section("figure 3")
+		f3, err := lab.Figure3()
+		if err != nil {
+			return err
+		}
+		collected["figure3"] = f3
+		if err := writeSVG("figure3", f3.Chart()); err != nil {
+			return err
+		}
+		if err := f3.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["5"] || want["6"] {
+		done := section("figures 5 and 6")
+		for _, side := range []experiments.CacheSide{experiments.DataCache, experiments.InstructionCache} {
+			loc, err := lab.Locality(side)
+			if err != nil {
+				return err
+			}
+			collected["locality_"+side.String()] = loc
+			fig5, fig6 := loc.Charts()
+			if err := writeSVG("figure5_"+side.String(), fig5); err != nil {
+				return err
+			}
+			if err := writeSVG("figure6_"+side.String(), fig6); err != nil {
+				return err
+			}
+			if err := loc.Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		done()
+	}
+	if want["od"] {
+		done := section("on-demand slowdowns")
+		od, err := lab.OnDemand()
+		if err != nil {
+			return err
+		}
+		collected["ondemand"] = od
+		if err := writeSVG("ondemand", od.Chart()); err != nil {
+			return err
+		}
+		if err := od.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["8"] {
+		done := section("figure 8")
+		for _, side := range []experiments.CacheSide{experiments.DataCache, experiments.InstructionCache} {
+			f8, err := lab.Figure8(side)
+			if err != nil {
+				return err
+			}
+			collected["figure8_"+side.String()] = f8
+			if err := writeSVG("figure8_"+side.String(), f8.Chart()); err != nil {
+				return err
+			}
+			if err := f8.Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		done()
+	}
+	if want["9"] {
+		done := section("figure 9")
+		f9, err := lab.Figure9()
+		if err != nil {
+			return err
+		}
+		collected["figure9"] = f9
+		if err := writeSVG("figure9", f9.Chart()); err != nil {
+			return err
+		}
+		if err := f9.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["10"] {
+		done := section("figure 10")
+		f10, err := lab.Figure10(nil)
+		if err != nil {
+			return err
+		}
+		collected["figure10"] = f10
+		if err := writeSVG("figure10", f10.Chart()); err != nil {
+			return err
+		}
+		if err := f10.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["pre"] {
+		done := section("predecoding")
+		pre, err := lab.Predecode()
+		if err != nil {
+			return err
+		}
+		collected["predecode"] = pre
+		if err := pre.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["ov"] {
+		done := section("hardware overhead")
+		ov := experiments.Overhead()
+		collected["overhead"] = ov
+		if err := ov.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["proc"] {
+		done := section("processor-level energy")
+		pr, err := lab.Processor()
+		if err != nil {
+			return err
+		}
+		collected["processor"] = pr
+		if err := pr.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["alpha"] {
+		done := section("alpha 21164 L2 comparison")
+		al, err := lab.Alpha21164()
+		if err != nil {
+			return err
+		}
+		collected["alpha21164"] = al
+		if err := al.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["ext"] {
+		done := section("extensions")
+		ext, err := lab.Extensions()
+		if err != nil {
+			return err
+		}
+		collected["extensions"] = ext
+		if err := ext.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["proj"] {
+		done := section("50nm projection")
+		pj, err := lab.Projection()
+		if err != nil {
+			return err
+		}
+		collected["projection"] = pj
+		if err := writeSVG("projection", pj.Chart()); err != nil {
+			return err
+		}
+		if err := pj.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["smt"] {
+		done := section("SMT interleaving")
+		sm, err := lab.SMT()
+		if err != nil {
+			return err
+		}
+		collected["smt"] = sm
+		if err := sm.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["subs"] {
+		done := section("subarray profiles")
+		for _, bench := range []string{"health", "gcc", "mcf"} {
+			sp, err := lab.SubarrayProfile(bench)
+			if err != nil {
+				return err
+			}
+			collected["profile_"+bench] = sp
+			if err := writeSVG("profile_"+bench, sp.Chart()); err != nil {
+				return err
+			}
+			if err := sp.Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		done()
+	}
+	if want["mach"] {
+		done := section("machine sensitivity")
+		ms, err := lab.MachineSensitivity()
+		if err != nil {
+			return err
+		}
+		collected["machine"] = ms
+		if err := ms.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["seeds"] {
+		done := section("seed sensitivity")
+		ss, err := lab.Sensitivity(nil)
+		if err != nil {
+			return err
+		}
+		collected["sensitivity"] = ss
+		if err := ss.Render(out); err != nil {
+			return err
+		}
+		done()
+	}
+	if want["sum"] {
+		done := section("reproduction summary")
+		sum, err := lab.Summary()
+		if err != nil {
+			return err
+		}
+		collected["summary"] = sum
+		if err := sum.Render(out); err != nil {
+			return err
+		}
+		done()
+		if n := len(sum.Failures()); n > 0 {
+			fmt.Fprintf(os.Stderr, "figures: %d summary checks outside their bands\n", n)
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote JSON results to %s\n", *jsonPath)
+	}
+	return nil
+}

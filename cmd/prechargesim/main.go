@@ -1,0 +1,176 @@
+// Command prechargesim runs one benchmark under one precharge-policy
+// configuration and prints a detailed report: performance, cache behaviour,
+// subarray pull-up statistics, and the bitline-discharge and cache-energy
+// accounts at every CMOS node.
+//
+// Usage:
+//
+//	prechargesim -benchmark mcf -dpolicy gated -threshold 100 [-predecode]
+//	prechargesim -benchmark gcc -dpolicy resizable -ipolicy static
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"nanocache/internal/core"
+	"nanocache/internal/cpu"
+	"nanocache/internal/experiments"
+	"nanocache/internal/tech"
+	"nanocache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prechargesim:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(kind string, threshold uint64, predecode bool, tolerance float64) (experiments.PolicySpec, error) {
+	switch kind {
+	case "static":
+		return experiments.Static(), nil
+	case "oracle":
+		return experiments.OraclePolicy(), nil
+	case "ondemand", "on-demand":
+		return experiments.OnDemandPolicy(), nil
+	case "gated":
+		return experiments.GatedPolicy(threshold, predecode), nil
+	case "adaptive", "gated-adaptive":
+		return experiments.AdaptiveGatedPolicy(threshold, predecode), nil
+	case "resizable":
+		return experiments.ResizablePolicy(tolerance, 4), nil
+	case "resizable-ways":
+		p := experiments.ResizablePolicy(tolerance, 4)
+		p.SelectiveWays = true
+		return p, nil
+	}
+	return experiments.PolicySpec{}, fmt.Errorf(
+		"unknown policy %q (static|oracle|ondemand|gated|adaptive|resizable|resizable-ways)", kind)
+}
+
+func run() error {
+	var (
+		benchmark    = flag.String("benchmark", "gcc", "benchmark name (see -list)")
+		list         = flag.Bool("list", false, "list benchmarks and exit")
+		instructions = flag.Uint64("instructions", 200_000, "instructions to simulate")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		subarray     = flag.Int("subarray", 1024, "subarray size in bytes")
+		dpolicy      = flag.String("dpolicy", "gated", "data-cache policy")
+		ipolicy      = flag.String("ipolicy", "gated", "instruction-cache policy")
+		threshold    = flag.Uint64("threshold", 100, "gated decay threshold (cycles)")
+		predecode    = flag.Bool("predecode", true, "enable predecoding hints (gated d-cache)")
+		tolerance    = flag.Float64("tolerance", 0.005, "resizable miss-ratio tolerance")
+		baseline     = flag.Bool("baseline", true, "also run the conventional baseline for comparison")
+		wayPredict   = flag.Bool("waypredict", false, "enable MRU way prediction on both caches")
+		drowsy       = flag.Uint64("drowsy", 0, "enable drowsy mode with this decay threshold (0 = off)")
+		pipetrace    = flag.Uint64("pipetrace", 0, "print the first N pipeline events to stderr")
+		configPath   = flag.String("config", "", "load the run configuration from this JSON file (overrides policy flags)")
+		dumpConfig   = flag.Bool("dumpconfig", false, "print the run configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Specs() {
+			fmt.Printf("%-8s %-9s %s\n", s.Name, s.Suite, s.Description)
+		}
+		return nil
+	}
+
+	dp, err := parsePolicy(*dpolicy, *threshold, *predecode, *tolerance)
+	if err != nil {
+		return err
+	}
+	ip, err := parsePolicy(*ipolicy, *threshold, false, *tolerance)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.RunConfig{
+		Benchmark:     *benchmark,
+		Seed:          *seed,
+		Instructions:  *instructions,
+		SubarrayBytes: *subarray,
+		DPolicy:       dp,
+		IPolicy:       ip,
+		WayPredictD:   *wayPredict,
+		WayPredictI:   *wayPredict,
+		DrowsyD:       *drowsy,
+		DrowsyI:       *drowsy,
+	}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return fmt.Errorf("parsing %s: %w", *configPath, err)
+		}
+	}
+	if *dumpConfig {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cfg)
+	}
+	if *pipetrace > 0 {
+		cfg.Tracer = cpu.WriteTracer(os.Stderr, *pipetrace)
+	}
+	out, err := experiments.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	var base experiments.Outcome
+	if *baseline {
+		bcfg := cfg
+		bcfg.DPolicy, bcfg.IPolicy = experiments.Static(), experiments.Static()
+		base, err = experiments.Run(bcfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\t%s (%d instructions, seed %d, %dB subarrays)\n",
+		cfg.Benchmark, cfg.Instructions, cfg.Seed, cfg.SubarrayBytes)
+	fmt.Fprintf(tw, "policies\tD=%v\tI=%v\n", cfg.DPolicy.Kind, cfg.IPolicy.Kind)
+	fmt.Fprintf(tw, "cycles\t%d\tIPC\t%.3f\n", out.CPU.Cycles, out.CPU.IPC)
+	if *baseline {
+		fmt.Fprintf(tw, "slowdown vs conventional\t%.2f%%\n", out.Slowdown(base)*100)
+	}
+	fmt.Fprintf(tw, "branches\t%d\tmispredicted\t%.2f%%\n",
+		out.CPU.Branches, 100*float64(out.CPU.Mispredicts)/float64(max(out.CPU.Branches, 1)))
+	fmt.Fprintf(tw, "load-hit replays\t%d\treplayed uops\t%d\n", out.CPU.Replays, out.CPU.ReplayedUops)
+	fmt.Fprintln(tw)
+
+	report := func(name string, c experiments.CacheOutcome) {
+		fmt.Fprintf(tw, "%s\taccesses %d\tmiss ratio %.3f\tprecharged fraction %.3f\ttoggles %d\n",
+			name, c.Accesses, c.MissRatio, c.PulledFraction, c.Toggles)
+		fmt.Fprintf(tw, "\tstalled accesses %d (%.2f%%)\thints %d\n",
+			c.Policy.Stalled, c.Policy.StallRate()*100, c.Policy.Hints)
+		fmt.Fprint(tw, "\tnode\trel. discharge\tdischarge cut")
+		fmt.Fprintln(tw)
+		for _, n := range tech.Nodes {
+			d := c.Discharge[n]
+			fmt.Fprintf(tw, "\t%v\t%.3f\t%.1f%%\n", n, d.Relative(), d.Reduction()*100)
+		}
+	}
+	report("d-cache", out.D)
+	report("i-cache", out.I)
+	fmt.Fprintln(tw)
+	if cb := core.CounterBits; cfg.DPolicy.Kind == core.KindGated {
+		fmt.Fprintf(tw, "gated hardware\t%d-bit decay counters, threshold %d cycles\n",
+			cb, cfg.DPolicy.Threshold)
+	}
+	return tw.Flush()
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

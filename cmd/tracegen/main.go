@@ -1,0 +1,160 @@
+// Command tracegen inspects the synthetic benchmark generators: it emits a
+// micro-op trace prefix in a readable text form, summarizes a stream's
+// composition (class mix, footprints, branch behaviour, displacement mix),
+// or captures a binary trace file for exact replay.
+//
+// Usage:
+//
+//	tracegen -benchmark mcf -n 30            # dump the first 30 micro-ops
+//	tracegen -benchmark mcf -summary -n 100000
+//	tracegen -benchmark mcf -n 200000 -o mcf.trace
+//	tracegen -replay mcf.trace -summary -n 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"nanocache/internal/isa"
+	"nanocache/internal/trace"
+	"nanocache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		benchmark = flag.String("benchmark", "gcc", "benchmark name")
+		n         = flag.Uint64("n", 32, "micro-ops to emit or analyze")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		summary   = flag.Bool("summary", false, "print stream statistics instead of the trace")
+		out       = flag.String("o", "", "capture a binary trace to this file")
+		replay    = flag.String("replay", "", "read micro-ops from a binary trace file")
+	)
+	flag.Parse()
+
+	var stream isa.Stream
+	var spec workload.Spec
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr := trace.NewReader(f)
+		stream = tr
+		spec = workload.Spec{Name: *replay, Suite: "trace", Description: "replayed trace file"}
+		defer func() {
+			if tr.Err() != nil {
+				fmt.Fprintln(os.Stderr, "tracegen: trace error:", tr.Err())
+			}
+		}()
+	} else {
+		var ok bool
+		spec, ok = workload.ByName(*benchmark)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", *benchmark)
+		}
+		g, err := workload.New(spec, *seed)
+		if err != nil {
+			return err
+		}
+		stream = g
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		captured, err := trace.Capture(f, stream, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("captured %d micro-ops to %s\n", captured, *out)
+		return nil
+	}
+	if *summary {
+		return summarize(stream, spec, *n)
+	}
+	return dump(stream, *n)
+}
+
+func dump(g isa.Stream, n uint64) error {
+	var op isa.MicroOp
+	for i := uint64(0); i < n && g.Next(&op); i++ {
+		switch {
+		case op.Class.IsMem():
+			fmt.Printf("%6d  %#010x  %-7s addr=%#010x base=r%d disp=%d dst=r%d\n",
+				i, op.PC, op.Class, op.Addr, op.Base, op.Disp, op.Dst)
+		case op.Class == isa.Branch:
+			dir := "not-taken"
+			if op.Taken {
+				dir = fmt.Sprintf("taken -> %#x", op.Target)
+			}
+			fmt.Printf("%6d  %#010x  %-7s %s\n", i, op.PC, op.Class, dir)
+		default:
+			fmt.Printf("%6d  %#010x  %-7s r%d, r%d -> r%d\n",
+				i, op.PC, op.Class, op.Src1, op.Src2, op.Dst)
+		}
+	}
+	return nil
+}
+
+func summarize(g isa.Stream, spec workload.Spec, n uint64) error {
+	classes := map[isa.Class]uint64{}
+	var op isa.MicroOp
+	var mem, taken, branches uint64
+	var disp0, dispSmall, dispLarge uint64
+	addrs := map[uint64]bool{}
+	pcs := map[uint64]bool{}
+	for i := uint64(0); i < n && g.Next(&op); i++ {
+		classes[op.Class]++
+		pcs[op.PC>>5] = true
+		if op.Class.IsMem() {
+			mem++
+			addrs[op.Addr>>5] = true
+			switch {
+			case op.Disp == 0:
+				disp0++
+			case op.Disp < 512:
+				dispSmall++
+			default:
+				dispLarge++
+			}
+		}
+		if op.Class == isa.Branch {
+			branches++
+			if op.Taken {
+				taken++
+			}
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\t%s (%s)\t%s\n", spec.Name, spec.Suite, spec.Description)
+	fmt.Fprintf(tw, "micro-ops\t%d\n", n)
+	for c := isa.Class(0); c <= isa.Branch; c++ {
+		if classes[c] > 0 {
+			fmt.Fprintf(tw, "  %v\t%d\t%.1f%%\n", c, classes[c], 100*float64(classes[c])/float64(n))
+		}
+	}
+	fmt.Fprintf(tw, "distinct data lines\t%d\t(~%d KB touched)\n", len(addrs), len(addrs)*32/1024)
+	fmt.Fprintf(tw, "distinct code lines\t%d\t(~%d KB touched)\n", len(pcs), len(pcs)*32/1024)
+	if branches > 0 {
+		fmt.Fprintf(tw, "branches taken\t%.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+	if mem > 0 {
+		fmt.Fprintf(tw, "displacements\tzero %.0f%%\tsmall %.0f%%\tlarge %.0f%%\n",
+			100*float64(disp0)/float64(mem), 100*float64(dispSmall)/float64(mem),
+			100*float64(dispLarge)/float64(mem))
+	}
+	return tw.Flush()
+}

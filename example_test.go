@@ -1,0 +1,82 @@
+package nanocache_test
+
+import (
+	"fmt"
+	"log"
+
+	"nanocache"
+)
+
+// ExampleRun simulates one benchmark under gated precharging and inspects
+// the bitline-discharge account.
+func ExampleRun() {
+	out, err := nanocache.Run(nanocache.RunConfig{
+		Benchmark:    "health",
+		Instructions: 30_000,
+		DPolicy:      nanocache.GatedPolicy(100, true),
+		IPolicy:      nanocache.GatedPolicy(100, false),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d70 := out.D.Discharge[nanocache.N70]
+	fmt.Println("committed all instructions:", out.CPU.Committed >= 30_000)
+	fmt.Println("cut most of the discharge:", d70.Reduction() > 0.5)
+	fmt.Println("70nm beats 180nm:", d70.Relative() < out.D.Discharge[nanocache.N180].Relative())
+	// Output:
+	// committed all instructions: true
+	// cut most of the discharge: true
+	// 70nm beats 180nm: true
+}
+
+// ExampleTransientFor evaluates the circuit-level isolation transient
+// without any processor simulation.
+func ExampleTransientFor() {
+	it180 := nanocache.TransientFor(nanocache.N180)
+	it70 := nanocache.TransientFor(nanocache.N70)
+	fmt.Printf("180nm turn-off peak: %.2fx static\n", it180.Power(0))
+	fmt.Printf("70nm turn-off peak: %.2fx static\n", it70.Power(0))
+	fmt.Println("isolation pays off sooner at 70nm:", it70.BreakEvenNS() < it180.BreakEvenNS())
+	// Output:
+	// 180nm turn-off peak: 1.95x static
+	// 70nm turn-off peak: 1.00x static
+	// isolation pays off sooner at 70nm: true
+}
+
+// ExampleNewLab regenerates one of the paper's figures on a reduced
+// configuration.
+func ExampleNewLab() {
+	opts := nanocache.QuickOptions()
+	opts.Benchmarks = []string{"treeadd"}
+	lab, err := nanocache.NewLab(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig3, err := lab.Figure3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("oracle eliminates most discharge:", 1-fig3.DAvg > 0.8)
+	// Output:
+	// oracle eliminates most discharge: true
+}
+
+// ExampleRunConfig_customWorkload evaluates gated precharging on a
+// user-defined workload instead of a built-in benchmark.
+func ExampleRunConfig_customWorkload() {
+	spec, _ := nanocache.BenchmarkSpec("mcf")
+	spec.Name = "mcf-variant"
+	spec.HotFrac = 0.7 // warmer working set than stock mcf
+	out, err := nanocache.Run(nanocache.RunConfig{
+		Workload:     &spec,
+		Instructions: 20_000,
+		DPolicy:      nanocache.GatedPolicy(64, true),
+		IPolicy:      nanocache.StaticPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ran the custom workload:", out.CPU.Committed >= 20_000)
+	// Output:
+	// ran the custom workload: true
+}

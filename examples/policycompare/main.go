@@ -1,0 +1,70 @@
+// Policycompare: run the full spectrum of precharge policies on one
+// benchmark — the conventional baseline, the oracle bound, on-demand
+// precharging, gated precharging at several thresholds, and a resizable
+// cache — and print the energy/performance trade-off each one lands on.
+// This reproduces, for a single benchmark, the argument of the paper's
+// Secs. 4-6: on-demand is accurate but late, resizable is safe but coarse,
+// and gated precharging captures nearly the whole oracle potential at ~1%
+// slowdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"nanocache"
+)
+
+func main() {
+	const benchmark = "equake"
+	const instructions = 200_000
+
+	type row struct {
+		name    string
+		dPolicy nanocache.PolicySpec
+		iPolicy nanocache.PolicySpec
+	}
+	rows := []row{
+		{"conventional", nanocache.StaticPolicy(), nanocache.StaticPolicy()},
+		{"oracle", nanocache.OraclePolicy(), nanocache.OraclePolicy()},
+		{"on-demand", nanocache.OnDemandPolicy(), nanocache.OnDemandPolicy()},
+		{"gated t=32", nanocache.GatedPolicy(32, true), nanocache.GatedPolicy(32, false)},
+		{"gated t=100", nanocache.GatedPolicy(100, true), nanocache.GatedPolicy(100, false)},
+		{"gated t=512", nanocache.GatedPolicy(512, true), nanocache.GatedPolicy(512, false)},
+		{"resizable", nanocache.ResizablePolicy(0.005, 4), nanocache.ResizablePolicy(0.005, 4)},
+	}
+
+	var baseline nanocache.Outcome
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s, %d instructions, 70nm pricing\n\n", benchmark, instructions)
+	fmt.Fprintln(tw, "policy\tIPC\tslowdown\tD discharge\tI discharge\tD stalls\treplays")
+	for i, r := range rows {
+		out, err := nanocache.Run(nanocache.RunConfig{
+			Benchmark:    benchmark,
+			Instructions: instructions,
+			DPolicy:      r.dPolicy,
+			IPolicy:      r.iPolicy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = out
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%+.2f%%\t%.3f\t%.3f\t%.2f%%\t%d\n",
+			r.name, out.CPU.IPC, out.Slowdown(baseline)*100,
+			out.D.Discharge[nanocache.N70].Relative(),
+			out.I.Discharge[nanocache.N70].Relative(),
+			out.D.Policy.StallRate()*100, out.CPU.Replays)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading the table: the oracle bounds what bitline isolation can save;")
+	fmt.Println("on-demand matches its discharge but pays latency on every access; gated")
+	fmt.Println("precharging tunes a decay threshold to sit next to the oracle at a")
+	fmt.Println("fraction of the slowdown, and the resizable cache saves far less because")
+	fmt.Println("it can only gate coarse groups of subarrays at million-instruction grain.")
+}

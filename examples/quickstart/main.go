@@ -1,0 +1,56 @@
+// Quickstart: simulate one benchmark under gated precharging and print the
+// headline numbers — how many subarrays stay precharged, how much bitline
+// discharge is eliminated at each CMOS node, and what it costs in
+// performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nanocache"
+)
+
+func main() {
+	// Gated precharging with a 100-cycle decay threshold on both L1 caches;
+	// the data cache also gets predecoding hints (the paper's Sec. 6.3).
+	gated, err := nanocache.Run(nanocache.RunConfig{
+		Benchmark:    "mcf",
+		Instructions: 200_000,
+		DPolicy:      nanocache.GatedPolicy(100, true),
+		IPolicy:      nanocache.GatedPolicy(100, false),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The conventional cache (every bitline statically pulled up) is the
+	// baseline both for energy and for the slowdown.
+	conventional, err := nanocache.Run(nanocache.RunConfig{
+		Benchmark:    "mcf",
+		Instructions: 200_000,
+		DPolicy:      nanocache.StaticPolicy(),
+		IPolicy:      nanocache.StaticPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mcf, 200k instructions, gated precharging (threshold 100)\n\n")
+	fmt.Printf("IPC               %.3f (conventional %.3f)\n", gated.CPU.IPC, conventional.CPU.IPC)
+	fmt.Printf("slowdown          %.2f%%\n", gated.Slowdown(conventional)*100)
+	fmt.Printf("d-cache           %.1f%% of subarray-time precharged (conventional: 100%%)\n",
+		gated.D.PulledFraction*100)
+	fmt.Printf("i-cache           %.1f%% of subarray-time precharged\n\n", gated.I.PulledFraction*100)
+
+	fmt.Println("bitline discharge relative to the conventional cache:")
+	fmt.Println("node    d-cache  i-cache")
+	for _, n := range nanocache.Nodes() {
+		fmt.Printf("%-7v %6.1f%%  %6.1f%%\n", n,
+			gated.D.Discharge[n].Relative()*100,
+			gated.I.Discharge[n].Relative()*100)
+	}
+	fmt.Println("\nNote how the technology trend does the work: at 180nm the precharge-")
+	fmt.Println("device switching overhead eats much of the benefit; by 70nm isolation")
+	fmt.Println("is nearly free and gated precharging approaches the oracle.")
+}

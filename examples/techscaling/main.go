@@ -1,0 +1,50 @@
+// Techscaling: walk the circuit-level story of the paper across CMOS
+// generations without any processor simulation — the isolation transient
+// curves (Fig. 2), the break-even isolation interval, the decoder/pull-up
+// timing race (Table 3), and how the switching-vs-leakage collapse makes
+// aggressive bitline isolation free by 70nm.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nanocache"
+)
+
+func main() {
+	fmt.Println("The scaling story of bitline isolation, one node at a time.")
+	fmt.Println()
+	for _, n := range nanocache.Nodes() {
+		p := nanocache.TechParams(n)
+		it := nanocache.TransientFor(n)
+		fmt.Printf("%v: Vdd %.1fV, clock %.1fGHz (8 FO4), switching x%.3f, leakage x%.1f vs 180nm\n",
+			n, p.SupplyVoltage, p.ClockGHz, p.SwitchingScale, p.LeakageScale)
+		fmt.Printf("  turn-off spike %.4fx static, decays with tau %.1fns, floor %.0f%%\n",
+			it.Spike, it.TauLeak, it.Floor*100)
+		be := it.BreakEvenNS()
+		fmt.Printf("  isolating pays off beyond %.1fns idle (%.0f cycles at this clock)\n",
+			be, be/p.CycleTime)
+		// The energy cost of toggling once with a 1000-cycle idle interval,
+		// in cycles' worth of static discharge.
+		idleNS := 1000 * p.CycleTime
+		overhead := it.ToggleOverhead(idleNS) / p.CycleTime
+		saved := (idleNS - it.Energy(idleNS)) / p.CycleTime
+		fmt.Printf("  a 1000-cycle isolation: overhead %.1f cycle-equivalents, discharge avoided %.0f\n",
+			overhead, saved)
+		fmt.Println()
+	}
+
+	fmt.Println("And the timing race that kills on-demand precharging (Table 3):")
+	t3, err := nanocache.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t3.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe worst-case pull-up always outlasts the decode margin, so identifying")
+	fmt.Println("the subarray on demand costs a cycle — timeliness, not accuracy, is the")
+	fmt.Println("binding constraint, which is exactly what gated precharging fixes.")
+}

@@ -1,0 +1,3 @@
+module nanocache
+
+go 1.22

@@ -1,0 +1,40 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"nanocache/internal/cacti"
+	"nanocache/internal/core"
+	"nanocache/internal/tech"
+)
+
+// BenchmarkL1Access measures the hot access path under the two main
+// policies.
+func BenchmarkL1Access(b *testing.B) {
+	addrs := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range addrs {
+		addrs[i] = 0x1000_0000 + uint64(rng.Intn(32<<10))&^7
+	}
+	run := func(b *testing.B, mk func() core.Controller) {
+		m, err := cacti.New(cacti.DefaultDataConfig(tech.N70))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := NewL1(m, mk(), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(addrs[i%len(addrs)], uint64(i), false)
+		}
+	}
+	b.Run("static", func(b *testing.B) {
+		run(b, func() core.Controller { return core.NewStaticPullUp(32, nil) })
+	})
+	b.Run("gated", func(b *testing.B) {
+		run(b, func() core.Controller { return core.NewGated(32, 100, 1, nil) })
+	})
+}

@@ -1,0 +1,514 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nanocache/internal/cacti"
+	"nanocache/internal/core"
+	"nanocache/internal/sram"
+	"nanocache/internal/tech"
+)
+
+func newStaticL1(t *testing.T, withL2 bool) *L1 {
+	t.Helper()
+	m, err := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := core.NewStaticPullUp(m.Config().Geometry.NumSubarrays(), nil)
+	var l2 *L2
+	if withL2 {
+		l2 = DefaultL2()
+	}
+	c, err := NewL1(m, ctrl, sram.NewLocality(m.Config().Geometry.NumSubarrays(), nil), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestL1HitAfterFill(t *testing.T) {
+	c := newStaticL1(t, false)
+	addr := uint64(0x1000_0000)
+	r1 := c.Access(addr, 0, false)
+	if r1.Hit {
+		t.Fatal("first access must miss (cold)")
+	}
+	if r1.Latency <= c.BaseLatency() {
+		t.Fatal("miss must cost more than a hit")
+	}
+	r2 := c.Access(addr, 10, false)
+	if !r2.Hit {
+		t.Fatal("second access must hit")
+	}
+	if r2.Latency != c.BaseLatency() {
+		t.Errorf("hit latency = %d, want %d", r2.Latency, c.BaseLatency())
+	}
+	// Same line, different word: still a hit.
+	if r := c.Access(addr+8, 20, true); !r.Hit {
+		t.Error("same-line access must hit")
+	}
+	acc, miss, _ := c.Stats()
+	if acc != 3 || miss != 1 {
+		t.Errorf("stats = %d/%d, want 3/1", acc, miss)
+	}
+}
+
+func TestL1BaseLatencyMatchesTable2(t *testing.T) {
+	c := newStaticL1(t, false)
+	if c.BaseLatency() != 3 {
+		t.Errorf("d-cache latency = %d, want 3", c.BaseLatency())
+	}
+	m, _ := cacti.New(cacti.DefaultInstructionConfig(tech.N70))
+	ctrl := core.NewStaticPullUp(32, nil)
+	ci, err := NewL1(m, ctrl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.BaseLatency() != 2 {
+		t.Errorf("i-cache latency = %d, want 2", ci.BaseLatency())
+	}
+}
+
+func TestL1LRUWithinSet(t *testing.T) {
+	c := newStaticL1(t, false)
+	// Two-way sets: three conflicting lines evict the least recent.
+	setSpan := uint64(512 * 32) // sets * lineBytes
+	a, b, d := uint64(0x1000_0000), uint64(0x1000_0000)+setSpan, uint64(0x1000_0000)+2*setSpan
+	c.Access(a, 0, false)
+	c.Access(b, 1, false)
+	c.Access(a, 2, false) // a is MRU
+	c.Access(d, 3, false) // evicts b
+	if r := c.Access(a, 4, false); !r.Hit {
+		t.Error("a should still be resident")
+	}
+	if r := c.Access(b, 5, false); r.Hit {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestL1MissLatencyL2VsMemory(t *testing.T) {
+	c := newStaticL1(t, true)
+	addr := uint64(0x2000_0000)
+	r1 := c.Access(addr, 0, false)
+	if r1.Hit || r1.L2Hit {
+		t.Fatal("cold access must miss both levels")
+	}
+	lat := DefaultLatencies()
+	wantMem := c.BaseLatency() + lat.MissLatency(false, 32)
+	if r1.Latency != wantMem {
+		t.Errorf("memory miss latency = %d, want %d", r1.Latency, wantMem)
+	}
+	// Evict from L1 but keep in L2: a conflicting sweep in the same set.
+	setSpan := uint64(512 * 32)
+	c.Access(addr+setSpan, 1, false)
+	c.Access(addr+2*setSpan, 2, false)
+	r2 := c.Access(addr, 3, false)
+	if r2.Hit || !r2.L2Hit {
+		t.Fatalf("expected L1 miss, L2 hit: %+v", r2)
+	}
+	wantL2 := c.BaseLatency() + lat.MissLatency(true, 32)
+	if r2.Latency != wantL2 {
+		t.Errorf("L2 hit latency = %d, want %d", r2.Latency, wantL2)
+	}
+}
+
+func TestMissLatencyValues(t *testing.T) {
+	lat := DefaultLatencies()
+	if lat.MissLatency(true, 32) != 12 {
+		t.Errorf("L2 latency = %d, want 12", lat.MissLatency(true, 32))
+	}
+	// Table 2: 100 cycles + 4 per 8 bytes → 32B line = 100+16, plus L2.
+	if lat.MissLatency(false, 32) != 12+100+16 {
+		t.Errorf("memory latency = %d, want 128", lat.MissLatency(false, 32))
+	}
+}
+
+func TestSubarrayMappingConsistent(t *testing.T) {
+	c := newStaticL1(t, false)
+	for addr := uint64(0x1000_0000); addr < 0x1000_0000+64*1024; addr += 1024 {
+		s := c.SubarrayFor(addr)
+		if s < 0 || s >= c.Subarrays() {
+			t.Fatalf("subarray %d out of range", s)
+		}
+		if s != c.Model().SubarrayForAddress(addr) {
+			t.Fatalf("mapping disagrees with cacti model at %#x", addr)
+		}
+	}
+}
+
+func TestGatedStallPropagatesToLatency(t *testing.T) {
+	m, _ := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	g := core.NewGated(32, 100, m.PrechargeMissPenaltyCycles(), nil)
+	c, err := NewL1(m, g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cold-cache miss pays no precharge stall: the pull-up overlaps the
+	// line fill.
+	r := c.Access(0x1000_0000, 50, false)
+	if r.Hit || r.PrechargeStall != 0 {
+		t.Fatalf("miss should hide the pull-up: %+v", r)
+	}
+	// A hit on a decayed (isolated) subarray stalls one cycle.
+	r2 := c.Access(0x1000_0000, 500, false)
+	if !r2.Hit || r2.PrechargeStall != 1 {
+		t.Fatalf("decayed hit stall = %d, want 1 (%+v)", r2.PrechargeStall, r2)
+	}
+	if r2.Latency != c.BaseLatency()+1 {
+		t.Errorf("stalled hit latency = %d, want %d", r2.Latency, c.BaseLatency()+1)
+	}
+	// A hot hit is free.
+	r3 := c.Access(0x1000_0000, 510, false)
+	if r3.PrechargeStall != 0 || r3.Latency != c.BaseLatency() {
+		t.Errorf("hot hit should be free: %+v", r3)
+	}
+	// Hint path: precharge a cold subarray ahead of use; the later hit
+	// (after a warming miss) must not stall.
+	farAddr := uint64(0x1000_0000 + 16*1024)
+	c.Access(farAddr, 520, false) // warming miss
+	c.Hint(farAddr, 900)
+	r4 := c.Access(farAddr, 903, false)
+	if !r4.Hit || r4.PrechargeStall != 0 {
+		t.Errorf("hinted access should hit without stall: %+v", r4)
+	}
+}
+
+func TestWayPrediction(t *testing.T) {
+	c := newStaticL1(t, false)
+	c.EnableWayPrediction()
+	a := uint64(0x1000_0000)
+	setSpan := uint64(512 * 32)
+	b := a + setSpan // same set, other way
+	c.Access(a, 0, false)
+	c.Access(b, 1, false)
+	// b is MRU (way 0): next access to b predicts right, to a predicts
+	// wrong and pays the re-probe.
+	rb := c.Access(b, 2, false)
+	if !rb.Hit || !rb.SingleWayRead || rb.Latency != c.BaseLatency() {
+		t.Fatalf("MRU way should single-read: %+v", rb)
+	}
+	ra := c.Access(a, 3, false)
+	if !ra.Hit || ra.SingleWayRead || ra.Latency != c.BaseLatency()+1 {
+		t.Fatalf("non-MRU way should re-probe: %+v", ra)
+	}
+	lookups, correct := c.WayPredictionStats()
+	if lookups != 2 || correct != 1 {
+		t.Errorf("way stats = %d/%d, want 2/1", correct, lookups)
+	}
+	// Enabling after use must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late enable should panic")
+		}
+	}()
+	c.EnableWayPrediction()
+}
+
+func TestDrowsyMode(t *testing.T) {
+	c := newStaticL1(t, false)
+	c.EnableDrowsy(100, 1)
+	addr := uint64(0x1000_0000)
+	// Miss: the wake overlaps the fill, no stall surfaces.
+	r0 := c.Access(addr, 10, false)
+	if r0.Hit || r0.PrechargeStall != 0 {
+		t.Fatalf("drowsy wake must hide under the miss: %+v", r0)
+	}
+	// Decayed hit: pays the wake.
+	r1 := c.Access(addr, 300, false)
+	if !r1.Hit || r1.PrechargeStall != 1 || r1.Latency != c.BaseLatency()+1 {
+		t.Fatalf("decayed hit should pay a wake cycle: %+v", r1)
+	}
+	// Warm hit: free.
+	r2 := c.Access(addr, 310, false)
+	if r2.PrechargeStall != 0 {
+		t.Fatalf("awake hit stalled: %+v", r2)
+	}
+	c.Finish(1000)
+	if c.Drowsy() == nil || c.Drowsy().AwakeFraction(1000) <= 0 {
+		t.Error("drowsy accounting missing")
+	}
+	// Late enablement panics.
+	c2 := newStaticL1(t, false)
+	c2.Access(addr, 0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late drowsy enable should panic")
+		}
+	}()
+	c2.EnableDrowsy(100, 1)
+}
+
+func TestOnDemandLatencyPropagates(t *testing.T) {
+	m, _ := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	od := core.NewOnDemand(32, m.AccessCycles(), m.OnDemandExtraCycles(), nil)
+	c, err := NewL1(m, od, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PolicyLatency() != 1 {
+		t.Fatalf("policy latency = %d, want 1", c.PolicyLatency())
+	}
+	c.Access(0x1000_0000, 0, false)
+	r := c.Access(0x1000_0000, 10, false)
+	if !r.Hit || r.Latency != c.BaseLatency()+1 {
+		t.Errorf("on-demand hit latency = %d, want %d", r.Latency, c.BaseLatency()+1)
+	}
+}
+
+func TestResizableMasksSetsAndFlushes(t *testing.T) {
+	m, _ := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	rz := core.NewResizable(core.ResizableConfig{Subarrays: 32, MaxSteps: 3, Tolerance: 0.01}, nil)
+	c, err := NewL1(m, rz, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x1234_5678)
+	fullSub := c.SubarrayFor(addr)
+	// Feed low-miss intervals until it downsizes.
+	resized := false
+	now := uint64(0)
+	for i := 0; i < 6 && !resized; i++ {
+		c.Access(addr, now, false)
+		c.Access(addr, now+1, false) // guarantee hits → low miss ratio
+		now += 10000
+		resized = c.ResizeTick(now)
+	}
+	if !resized {
+		t.Fatal("resizable cache never downsized")
+	}
+	_, _, flushes := c.Stats()
+	if flushes == 0 {
+		t.Error("resize must flush (remap)")
+	}
+	if rz.ActiveSubarrays() >= 32 {
+		t.Error("active size did not shrink")
+	}
+	smallSub := c.SubarrayFor(addr)
+	if smallSub >= rz.ActiveSubarrays() {
+		t.Errorf("address maps to subarray %d outside active %d", smallSub, rz.ActiveSubarrays())
+	}
+	_ = fullSub
+	// After the flush the next access must miss (remap cost).
+	if r := c.Access(addr, now+1, false); r.Hit {
+		t.Error("post-flush access should miss")
+	}
+}
+
+func TestResizeTickWithoutResizerIsNoop(t *testing.T) {
+	c := newStaticL1(t, false)
+	if c.ResizeTick(100) {
+		t.Error("static cache cannot resize")
+	}
+}
+
+func TestLocalityRecordsAccesses(t *testing.T) {
+	c := newStaticL1(t, false)
+	c.Access(0x1000_0000, 5, false)
+	c.Access(0x1000_0000, 9, false)
+	c.Finish(100)
+	if c.Locality().TotalAccesses() != 2 {
+		t.Error("locality tracker missed accesses")
+	}
+	if c.MissRatio() != 0.5 {
+		t.Errorf("miss ratio = %v, want 0.5", c.MissRatio())
+	}
+}
+
+func TestFinishClosesController(t *testing.T) {
+	c := newStaticL1(t, false)
+	c.Finish(1000)
+	if c.Controller().Ledger().PulledCycles() != 32*1000 {
+		t.Error("controller not finished")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Finish should panic")
+		}
+	}()
+	c.Finish(2000)
+}
+
+func TestNewL1Validation(t *testing.T) {
+	m, _ := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	if _, err := NewL1(nil, core.NewStaticPullUp(32, nil), nil, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := NewL1(m, nil, nil, nil); err == nil {
+		t.Error("nil controller should fail")
+	}
+	if _, err := NewL1(m, core.NewStaticPullUp(16, nil), nil, nil); err == nil {
+		t.Error("mis-sized controller should fail")
+	}
+	rz := core.NewResizable(core.ResizableConfig{Subarrays: 16, MaxSteps: 2, Tolerance: 0.01}, nil)
+	if _, err := NewL1(m, rz, nil, nil); err == nil {
+		t.Error("mis-sized resizer should fail")
+	}
+}
+
+func TestL2Basic(t *testing.T) {
+	l2 := DefaultL2()
+	if hit, extra := l2.Access(0x1000, 0); hit || extra != 0 {
+		t.Fatal("cold L2 access must miss with no policy latency")
+	}
+	if hit, _ := l2.Access(0x1000, 1); !hit {
+		t.Fatal("second access must hit")
+	}
+	acc, miss := l2.Stats()
+	if acc != 2 || miss != 1 {
+		t.Errorf("L2 stats = %d/%d", acc, miss)
+	}
+}
+
+func TestL2LRU(t *testing.T) {
+	l2, err := NewL2(1024, 2, 32) // 16 sets, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := uint64(16 * 32)
+	l2.Access(0, 0)
+	l2.Access(span, 1)
+	l2.Access(0, 2)      // 0 MRU
+	l2.Access(2*span, 3) // evicts span
+	if hit, _ := l2.Access(0, 4); !hit {
+		t.Error("0 should be resident")
+	}
+	if hit, _ := l2.Access(span, 5); hit {
+		t.Error("span should have been evicted")
+	}
+}
+
+func TestNewL2Validation(t *testing.T) {
+	if _, err := NewL2(0, 4, 32); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewL2(3000, 4, 32); err == nil {
+		t.Error("non-power-of-two sets should fail")
+	}
+}
+
+func TestRandomizedMissRatioSanity(t *testing.T) {
+	// A working set far beyond 32KB must show a high miss ratio; one well
+	// within must be near zero after warmup.
+	c := newStaticL1(t, true)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		c.Access(0x1000_0000+uint64(rng.Intn(4<<20))&^7, uint64(i), false)
+	}
+	if c.MissRatio() < 0.5 {
+		t.Errorf("thrashing miss ratio = %v, want high", c.MissRatio())
+	}
+	small := newStaticL1(t, true)
+	for i := 0; i < 20000; i++ {
+		small.Access(0x1000_0000+uint64(rng.Intn(8<<10))&^7, uint64(i), false)
+	}
+	if small.MissRatio() > 0.05 {
+		t.Errorf("resident miss ratio = %v, want near zero", small.MissRatio())
+	}
+}
+
+func TestGatedCacheConservationQuick(t *testing.T) {
+	// Property: for any access sequence, the gated controller's pulled +
+	// idle subarray-time equals subarrays * runLength.
+	f := func(raw []uint16, thrRaw uint16) bool {
+		thr := uint64(thrRaw%1000) + 1
+		m, err := cacti.New(cacti.DefaultDataConfig(tech.N70))
+		if err != nil {
+			return false
+		}
+		g := core.NewGated(32, thr, 1, nil)
+		c, err := NewL1(m, g, nil, nil)
+		if err != nil {
+			return false
+		}
+		var now uint64
+		for _, r := range raw {
+			now += uint64(r%512) + 1
+			c.Access(0x1000_0000+uint64(r)*32, now, r%5 == 0)
+		}
+		end := now + uint64(thr) + 7
+		c.Finish(end)
+		led := g.Ledger()
+		return led.PulledCycles()+led.IdleCycles() == 32*end
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2WithPolicy(t *testing.T) {
+	n := L2Subarrays(512<<10, 4, 32, 4<<10)
+	if n != 128 {
+		t.Fatalf("L2 subarrays = %d, want 128", n)
+	}
+	ctrl := core.NewGated(n, 256, 1, nil)
+	l2, err := NewL2WithPolicy(512<<10, 4, 32, 4<<10, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Controller() != ctrl {
+		t.Error("controller accessor wrong")
+	}
+	// Cold miss on an isolated subarray: the policy penalty surfaces as
+	// extra latency, and the fill makes the next access a hit.
+	hit, extra := l2.Access(0x100, 10)
+	if hit || extra != 1 {
+		t.Errorf("cold access = hit %v extra %d, want miss/+1", hit, extra)
+	}
+	hit, extra = l2.Access(0x100, 20)
+	if !hit || extra != 0 {
+		t.Errorf("warm access = hit %v extra %d, want hit/free", hit, extra)
+	}
+	if l2.ExtraCycles() != 1 {
+		t.Errorf("extra cycles = %d", l2.ExtraCycles())
+	}
+	l2.Finish(1000)
+	led := ctrl.Ledger()
+	if led.PulledCycles()+led.IdleCycles() != uint64(n)*1000 {
+		t.Error("L2 ledger conservation violated")
+	}
+	// Double finish panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double L2 Finish should panic")
+		}
+	}()
+	l2.Finish(2000)
+}
+
+func TestNewL2WithPolicyValidation(t *testing.T) {
+	ctrl := core.NewGated(16, 100, 1, nil) // wrong size
+	if _, err := NewL2WithPolicy(512<<10, 4, 32, 4<<10, ctrl); err == nil {
+		t.Error("mis-sized L2 controller should fail")
+	}
+	if _, err := NewL2WithPolicy(-1, 4, 32, 0, nil); err == nil {
+		t.Error("bad shape should fail")
+	}
+	// Conventional L2 Finish is a no-op and never panics.
+	l2 := DefaultL2()
+	l2.Finish(10)
+	l2.Finish(20)
+	if l2.Controller() != nil {
+		t.Error("conventional L2 has no controller")
+	}
+}
+
+func TestMissRatioEmpty(t *testing.T) {
+	c := newStaticL1(t, false)
+	if c.MissRatio() != 0 {
+		t.Error("empty cache miss ratio must be 0")
+	}
+}
+
+func TestL2SubarraysTinyShape(t *testing.T) {
+	// Subarray smaller than one set's worth of lines clamps to 1 set per
+	// subarray.
+	if n := L2Subarrays(1024, 4, 32, 32); n != 8 {
+		t.Errorf("tiny-shape subarrays = %d, want 8", n)
+	}
+	if n := L2Subarrays(512<<10, 4, 32, 0); n != 128 {
+		t.Errorf("default subarray size = %d, want 128", n)
+	}
+}

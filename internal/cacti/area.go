@@ -1,0 +1,74 @@
+package cacti
+
+import (
+	"math"
+
+	"nanocache/internal/tech"
+)
+
+// AreaEstimate is the area side of the CACTI model triple (timing, power,
+// area). The paper leans on it qualitatively in Sec. 5: "a larger number of
+// subarrays increase the cache area and routing delay" — which is the
+// counter-pressure that stops subarrays from shrinking indefinitely
+// (Fig. 10's saturation).
+type AreaEstimate struct {
+	Node tech.Node
+	// CellArea is the pure SRAM cell matrix in mm².
+	CellArea float64
+	// PeripheryArea covers decoders, sense amplifiers and precharge
+	// devices, which replicate per subarray.
+	PeripheryArea float64
+	// RoutingArea covers the inter-subarray address/data distribution,
+	// which grows with the subarray count.
+	RoutingArea float64
+}
+
+// Total returns the estimated cache area in mm².
+func (a AreaEstimate) Total() float64 { return a.CellArea + a.PeripheryArea + a.RoutingArea }
+
+// Efficiency returns cell area over total area — the classic array
+// efficiency metric that decays as subarrays shrink.
+func (a AreaEstimate) Efficiency() float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return a.CellArea / t
+}
+
+// Area model constants: a 6-T cell is ~120 F² plus ~56 F² per extra port's
+// bitline pair and access transistors; the per-subarray periphery
+// (decoder, sense amps, precharge devices) costs the equivalent of ~8
+// cell-rows of area; routing grows with the square root of the subarray
+// count times the array area (H-tree distribution).
+const (
+	cellAreaF2     = 120.0
+	portAreaF2     = 56.0
+	peripheryRows  = 8.0
+	routingPerSqrt = 0.04
+)
+
+// Area estimates the cache area for the model's configuration.
+func (m *Model) Area() AreaEstimate {
+	g := m.cfg.Geometry
+	f := float64(m.cfg.Node) * 1e-9 * 1e3 // feature size in mm
+	f2 := f * f                           // one F² in mm²
+
+	bits := float64(g.CacheBytes) * 8
+	perCell := cellAreaF2 + portAreaF2*float64(m.cfg.Cell.Ports-1)
+	cell := bits * perCell * f2
+
+	sub := float64(g.NumSubarrays())
+	rowBits := float64(g.LineBytes) * 8
+	periphery := sub * peripheryRows * rowBits * perCell * f2
+
+	// Routing: H-tree style distribution across subarrays.
+	routing := routingPerSqrt * math.Sqrt(sub) * cell
+
+	return AreaEstimate{
+		Node:          m.cfg.Node,
+		CellArea:      cell,
+		PeripheryArea: periphery,
+		RoutingArea:   routing,
+	}
+}

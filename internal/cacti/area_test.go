@@ -1,0 +1,76 @@
+package cacti
+
+import (
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+func areaFor(t *testing.T, node tech.Node, subarray int) AreaEstimate {
+	t.Helper()
+	cfg := DefaultDataConfig(node)
+	cfg.Geometry.SubarrayBytes = subarray
+	return mustModel(t, cfg).Area()
+}
+
+func TestAreaShrinksWithScaling(t *testing.T) {
+	prev := 1e18
+	for _, n := range tech.Nodes {
+		a := areaFor(t, n, 1024).Total()
+		if a >= prev {
+			t.Errorf("%v: area %.4f mm² did not shrink", n, a)
+		}
+		prev = a
+	}
+	// A 32KB dual-ported cache at 180nm is on the order of a few mm².
+	a180 := areaFor(t, tech.N180, 1024).Total()
+	if a180 < 0.5 || a180 > 20 {
+		t.Errorf("180nm area = %.3f mm², outside the plausible band", a180)
+	}
+}
+
+func TestSmallerSubarraysCostArea(t *testing.T) {
+	// Sec. 5: more subarrays mean more periphery and routing; array
+	// efficiency decays monotonically as subarrays shrink.
+	prevEff := 0.0
+	for _, sub := range []int{64, 256, 1024, 4096} {
+		a := areaFor(t, tech.N70, sub)
+		if eff := a.Efficiency(); eff <= prevEff {
+			t.Errorf("%dB subarrays: efficiency %.3f did not grow with size", sub, eff)
+		} else {
+			prevEff = eff
+		}
+	}
+	big := areaFor(t, tech.N70, 4096).Total()
+	small := areaFor(t, tech.N70, 64).Total()
+	if small <= big {
+		t.Errorf("64B-subarray cache (%.4f) must be larger than 4KB-subarray one (%.4f)", small, big)
+	}
+}
+
+func TestAreaComponentsPositive(t *testing.T) {
+	a := areaFor(t, tech.N70, 1024)
+	if a.CellArea <= 0 || a.PeripheryArea <= 0 || a.RoutingArea <= 0 {
+		t.Fatalf("components must be positive: %+v", a)
+	}
+	if a.Efficiency() <= 0 || a.Efficiency() >= 1 {
+		t.Errorf("efficiency = %.3f out of (0,1)", a.Efficiency())
+	}
+	if (AreaEstimate{}).Efficiency() != 0 {
+		t.Error("empty estimate efficiency must be 0")
+	}
+	// The cell matrix dominates a sane organization.
+	if a.Efficiency() < 0.5 {
+		t.Errorf("efficiency = %.3f, implausibly low for 1KB subarrays", a.Efficiency())
+	}
+}
+
+func TestMorePortsMoreArea(t *testing.T) {
+	cfg := DefaultDataConfig(tech.N70)
+	two := mustModel(t, cfg).Area().Total()
+	cfg.Cell.Ports = 4
+	four := mustModel(t, cfg).Area().Total()
+	if four <= two {
+		t.Error("more ports must cost area")
+	}
+}

@@ -1,0 +1,313 @@
+// Package cacti is our stand-in for the modified CACTI 3.2 tool the paper
+// uses (Sec. 3): an integrated cache timing and energy model built on the
+// circuit-level components in internal/circuit. Given a cache organization
+// and a technology node it reports
+//
+//   - the address-decode and bitline pull-up delays (Table 3),
+//   - the cache access time in nanoseconds and cycles (Table 2 latencies),
+//   - the per-access dynamic energy and the leakage budget, and
+//   - the breakdown of total cache energy into bitline discharge, residual
+//     cell leakage and dynamic energy — the denominators behind the paper's
+//     "46% / 41% of the cache energy saving opportunity" statements.
+//
+// Energies use the circuit package's normalized units: the static bitline
+// discharge power of one subarray is 1.0, so energies are in
+// static-nanoseconds and are comparable across policies at a fixed node.
+package cacti
+
+import (
+	"fmt"
+	"math"
+
+	"nanocache/internal/circuit"
+	"nanocache/internal/tech"
+)
+
+// Kind distinguishes the two L1 cache roles; the instruction cache's
+// streaming, way-predictable access pattern gives it a shorter pipeline
+// (2 cycles vs 3 in Table 2 of the paper).
+type Kind int
+
+const (
+	// Data marks an L1 data cache (3-cycle access in the paper).
+	Data Kind = iota
+	// Instruction marks an L1 instruction cache (2-cycle access).
+	Instruction
+)
+
+// String names the cache kind.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Instruction:
+		return "instruction"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config describes one L1 cache array to model.
+type Config struct {
+	// Geometry is the physical data-array organization.
+	Geometry circuit.Geometry
+	// Cell is the SRAM cell (the paper's L1s are dual-ported).
+	Cell circuit.Cell
+	// Node is the technology generation.
+	Node tech.Node
+	// Ways is the set associativity (2 for the paper's L1s).
+	Ways int
+	// Kind selects data- or instruction-cache timing.
+	Kind Kind
+}
+
+// DefaultDataConfig returns the paper's base L1 data cache: 32KB, 2-way,
+// 32B lines, 1KB subarrays, dual-ported, at the given node.
+func DefaultDataConfig(n tech.Node) Config {
+	return Config{
+		Geometry: circuit.DefaultGeometry(),
+		Cell:     circuit.Cell{Ports: 2},
+		Node:     n,
+		Ways:     2,
+		Kind:     Data,
+	}
+}
+
+// DefaultInstructionConfig returns the paper's base L1 instruction cache.
+func DefaultInstructionConfig(n tech.Node) Config {
+	c := DefaultDataConfig(n)
+	c.Kind = Instruction
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cell.Validate(); err != nil {
+		return err
+	}
+	if !c.Node.Valid() {
+		return fmt.Errorf("cacti: invalid technology node %d", int(c.Node))
+	}
+	if c.Ways < 1 || c.Ways > 16 {
+		return fmt.Errorf("cacti: implausible associativity %d", c.Ways)
+	}
+	sets := c.Geometry.CacheBytes / (c.Ways * c.Geometry.LineBytes)
+	if sets < 1 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cacti: set count %d is not a positive power of two", sets)
+	}
+	return nil
+}
+
+// Model is the evaluated timing and energy model for one cache array at one
+// technology node.
+type Model struct {
+	cfg       Config
+	delays    circuit.DecodeDelays
+	transient circuit.IsolationTransient
+	leak      circuit.SubarrayLeakage
+	params    tech.Params
+}
+
+// New evaluates the model for a configuration.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := circuit.DelaysFor(cfg.Geometry, cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	l, err := circuit.LeakageFor(cfg.Cell, cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg:       cfg,
+		delays:    d,
+		transient: circuit.TransientFor(cfg.Node),
+		leak:      l,
+		params:    tech.ParamsFor(cfg.Node),
+	}, nil
+}
+
+// Config returns the configuration the model was built from.
+func (m *Model) Config() Config { return m.cfg }
+
+// DecodeDelays returns the Table 3 style decode and pull-up delays.
+func (m *Model) DecodeDelays() circuit.DecodeDelays { return m.delays }
+
+// Transient returns the bitline isolation transient at this node.
+func (m *Model) Transient() circuit.IsolationTransient { return m.transient }
+
+// Sense-path constants in FO4 units: bitline differential development on an
+// active read, sense amplification, way select and output drive.
+const (
+	bitlineDevelopVsPullUp = 0.6 // active reads need only a 0.1-0.2V swing
+	senseAmpFO4            = 2.0
+	outputDriveFO4         = 2.0
+	// The instruction cache streams sequential lines without load/store
+	// port arbitration or way multiplexing on the critical path.
+	icacheTimingFactor = 0.70
+)
+
+// AccessTimeNS returns the modeled cache access latency in nanoseconds:
+// full address decode, active-read bitline development, sensing and output
+// drive.
+func (m *Model) AccessTimeNS() float64 {
+	fo4 := m.params.FO4Delay
+	t := m.delays.Total() +
+		bitlineDevelopVsPullUp*m.delays.WorstCasePullUp*
+			circuit.ReadSlowdownFactor(m.cfg.Geometry.PrechargeDeviceFactor) +
+		(senseAmpFO4+outputDriveFO4)*fo4
+	if m.cfg.Kind == Instruction {
+		t *= icacheTimingFactor
+	}
+	return t
+}
+
+// AccessCycles returns the pipelined access latency in cycles at this node.
+// Because every component scales near the FO4 delay and the clock is fixed
+// at 8 FO4, this is constant across the studied nodes: 3 cycles for the data
+// cache and 2 for the instruction cache, matching Table 2 of the paper.
+func (m *Model) AccessCycles() int { return m.params.CyclesFromNS(m.AccessTimeNS()) }
+
+// PrechargeMissPenaltyCycles returns the extra cycles an access pays when it
+// finds its subarray isolated and must wait for the bitlines to be pulled
+// up. Table 3's conclusion: one cycle for the spectrum of CMOS generations
+// and clock frequencies.
+func (m *Model) PrechargeMissPenaltyCycles() int {
+	c := m.params.CyclesFromNS(m.delays.WorstCasePullUp)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// OnDemandExtraCycles returns the access-latency increase of on-demand
+// precharging: the worst-case pull-up cannot hide in the post-partial-decode
+// margin (Sec. 5), so the access is delayed by the cycles needed to cover
+// the shortfall — one cycle in every studied configuration.
+func (m *Model) OnDemandExtraCycles() int {
+	short := m.delays.WorstCasePullUp - m.delays.PullUpMargin(m.cfg.Geometry.NumSubarrays())
+	if short <= 0 {
+		return 0
+	}
+	c := m.params.CyclesFromNS(short)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// instructionEnergyFactor scales fetch accesses relative to data accesses:
+// the i-cache delivers a full fetch group (the whole 256-bit line of both
+// ways) per read, against the data cache's word-granular reads.
+const instructionEnergyFactor = 2.2
+
+// DynamicEnergyPerAccess returns the dynamic energy of one access in
+// static-ns units, including reading all ways of the set in parallel (the
+// conventional overlapped tag/data organization the paper describes in
+// Sec. 7).
+func (m *Model) DynamicEnergyPerAccess() float64 {
+	// Reading W ways costs less than W independent accesses: the decode is
+	// shared, only the data-array read scales with associativity.
+	e := circuit.DynamicAccessEnergy(m.cfg.Node) * waysFactor(float64(m.cfg.Ways))
+	if m.cfg.Kind == Instruction {
+		e *= instructionEnergyFactor
+	}
+	return e
+}
+
+// waysFactor scales access energy with associativity, normalized to the
+// paper's 2-way organization.
+func waysFactor(ways float64) float64 { return (0.6 + 0.4*ways) / (0.6 + 0.4*2) }
+
+// DynamicEnergyOneWay returns the dynamic energy of an access that reads a
+// single predicted way (way prediction, Sec. 7 of the paper).
+func (m *Model) DynamicEnergyOneWay() float64 {
+	e := circuit.DynamicAccessEnergy(m.cfg.Node) * waysFactor(1)
+	if m.cfg.Kind == Instruction {
+		e *= instructionEnergyFactor
+	}
+	return e
+}
+
+// StaticBitlinePower returns the total static-pull-up bitline discharge
+// power of the whole array in static units (one unit per subarray by
+// normalization).
+func (m *Model) StaticBitlinePower() float64 {
+	return float64(m.cfg.Geometry.NumSubarrays())
+}
+
+// EnergyBreakdown is the per-cycle energy of the cache under conventional
+// (statically pulled-up) operation, in static-ns units.
+type EnergyBreakdown struct {
+	// BitlineDischarge is the leakage discharged through the bitlines of
+	// all subarrays in one cycle — the component bitline isolation attacks.
+	BitlineDischarge float64
+	// CellCore is the residual cell leakage not flowing through bitlines.
+	CellCore float64
+	// Dynamic is the switching energy of the accesses issued that cycle.
+	Dynamic float64
+}
+
+// Total returns the summed per-cycle energy.
+func (b EnergyBreakdown) Total() float64 { return b.BitlineDischarge + b.CellCore + b.Dynamic }
+
+// DischargeFraction returns bitline discharge as a fraction of total cache
+// energy — the paper's "cache energy saving opportunity" denominator.
+func (b EnergyBreakdown) DischargeFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.BitlineDischarge / t
+}
+
+// Breakdown returns the conventional cache's per-cycle energy at the given
+// average access rate (accesses per cycle).
+func (m *Model) Breakdown(accessesPerCycle float64) EnergyBreakdown {
+	if accessesPerCycle < 0 {
+		accessesPerCycle = 0
+	}
+	cyc := m.params.CycleTime
+	discharge := m.StaticBitlinePower() * cyc
+	return EnergyBreakdown{
+		BitlineDischarge: discharge,
+		CellCore:         discharge * m.leak.CellCore,
+		Dynamic:          accessesPerCycle * m.DynamicEnergyPerAccess(),
+	}
+}
+
+// CounterOverheadPerCycle returns the per-cycle energy of the gated
+// precharging hardware (10-bit decay counter + comparator per subarray) in
+// static-ns units, for comparison against the paper's <0.02%-of-one-access
+// bound.
+func (m *Model) CounterOverheadPerCycle(counterBits int) float64 {
+	perSubarray := circuit.CounterOverheadFraction(m.cfg.Node, counterBits) *
+		m.DynamicEnergyPerAccess()
+	return perSubarray * float64(m.cfg.Geometry.NumSubarrays())
+}
+
+// SetCount returns the number of sets in the cache.
+func (m *Model) SetCount() int {
+	return m.cfg.Geometry.CacheBytes / (m.cfg.Ways * m.cfg.Geometry.LineBytes)
+}
+
+// SubarrayForAddress maps a byte address to the subarray it occupies, using
+// the low-order set-index bits above the line offset. Subarrays hold
+// consecutive sets, so spatially adjacent lines fall in the same subarray —
+// the property both subarray reference locality (Sec. 6.1) and predecoding
+// (Sec. 6.3) rely on.
+func (m *Model) SubarrayForAddress(addr uint64) int {
+	g := m.cfg.Geometry
+	lineShift := uint(math.Ilogb(float64(g.LineBytes)))
+	setsPerSubarray := g.SubarrayBytes / (g.LineBytes * m.cfg.Ways)
+	if setsPerSubarray < 1 {
+		setsPerSubarray = 1
+	}
+	set := (addr >> lineShift) % uint64(m.SetCount())
+	return int(set / uint64(setsPerSubarray))
+}

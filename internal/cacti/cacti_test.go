@@ -1,0 +1,264 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nanocache/internal/circuit"
+	"nanocache/internal/tech"
+)
+
+func mustModel(t *testing.T, cfg Config) *Model {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultDataConfig(tech.N70).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultDataConfig(tech.N70)
+	bad.Ways = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("ways=0 should fail")
+	}
+	bad = DefaultDataConfig(tech.N70)
+	bad.Node = 90
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid node should fail")
+	}
+	bad = DefaultDataConfig(tech.N70)
+	bad.Ways = 3 // 32768/(3*32) is not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two set count should fail")
+	}
+	bad = DefaultDataConfig(tech.N70)
+	bad.Cell.Ports = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid cell should fail")
+	}
+	bad = DefaultDataConfig(tech.N70)
+	bad.Geometry.SubarrayBytes = 999
+	if _, err := New(bad); err == nil {
+		t.Error("New must reject invalid geometry")
+	}
+}
+
+func TestAccessCyclesMatchTable2(t *testing.T) {
+	// Table 2: L1 d-cache 3 cycles, L1 i-cache 2 cycles — and constant
+	// across all four nodes thanks to the 8-FO4 clock.
+	for _, n := range tech.Nodes {
+		d := mustModel(t, DefaultDataConfig(n))
+		if got := d.AccessCycles(); got != 3 {
+			t.Errorf("%v: d-cache access = %d cycles, want 3 (%.3fns)", n, got, d.AccessTimeNS())
+		}
+		i := mustModel(t, DefaultInstructionConfig(n))
+		if got := i.AccessCycles(); got != 2 {
+			t.Errorf("%v: i-cache access = %d cycles, want 2 (%.3fns)", n, got, i.AccessTimeNS())
+		}
+	}
+}
+
+func TestPrechargePenaltyOneCycle(t *testing.T) {
+	// Sec. 6.3: bitline precharging takes one cycle for the spectrum of
+	// CMOS generations and clock frequencies.
+	for _, n := range tech.Nodes {
+		for _, sub := range []int{4096, 1024, 256, 64} {
+			cfg := DefaultDataConfig(n)
+			cfg.Geometry.SubarrayBytes = sub
+			m := mustModel(t, cfg)
+			if got := m.PrechargeMissPenaltyCycles(); got != 1 {
+				t.Errorf("%v %dB: precharge penalty = %d cycles, want 1", n, sub, got)
+			}
+		}
+	}
+}
+
+func TestOnDemandCostsOneCycle(t *testing.T) {
+	for _, n := range tech.Nodes {
+		for _, sub := range []int{4096, 1024} {
+			cfg := DefaultDataConfig(n)
+			cfg.Geometry.SubarrayBytes = sub
+			m := mustModel(t, cfg)
+			if got := m.OnDemandExtraCycles(); got != 1 {
+				t.Errorf("%v %dB: on-demand extra cycles = %d, want 1", n, sub, got)
+			}
+		}
+	}
+}
+
+func TestDischargeFractionAt70nm(t *testing.T) {
+	// At 70nm with the simulated ~0.35 data accesses/cycle, bitline
+	// discharge must be roughly half of the cache energy, so that an
+	// 89-90% discharge cut corresponds to the paper's 41-46% of the saving
+	// opportunity (Fig. 3).
+	m := mustModel(t, DefaultDataConfig(tech.N70))
+	f := m.Breakdown(0.35).DischargeFraction()
+	if f < 0.40 || f > 0.56 {
+		t.Errorf("70nm discharge fraction at 0.35 acc/cyc = %.3f, want ~0.46", f)
+	}
+	// The instruction cache's line-wide fetch reads cost more per access.
+	mi := mustModel(t, DefaultInstructionConfig(tech.N70))
+	if mi.DynamicEnergyPerAccess() <= m.DynamicEnergyPerAccess() {
+		t.Error("fetch reads must cost more than word reads")
+	}
+}
+
+func TestDischargeFractionTinyAt180nm(t *testing.T) {
+	// At 180nm dynamic energy dwarfs leakage; bitline discharge is a small
+	// share of cache energy, which is why blind precharging was viable in
+	// the past (Sec. 2).
+	m := mustModel(t, DefaultDataConfig(tech.N180))
+	f := m.Breakdown(1.0).DischargeFraction()
+	if f > 0.05 {
+		t.Errorf("180nm discharge fraction = %.4f, want < 0.05", f)
+	}
+}
+
+func TestDischargeFractionGrowsWithScaling(t *testing.T) {
+	prev := -1.0
+	for _, n := range tech.Nodes {
+		f := mustModel(t, DefaultDataConfig(n)).Breakdown(1.0).DischargeFraction()
+		if f <= prev {
+			t.Errorf("%v: discharge fraction %.4f did not grow (prev %.4f)", n, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	m := mustModel(t, DefaultDataConfig(tech.N70))
+	b := m.Breakdown(0.5)
+	if b.BitlineDischarge <= 0 || b.CellCore <= 0 || b.Dynamic <= 0 {
+		t.Fatalf("all components must be positive: %+v", b)
+	}
+	// Bitline vs core split must match the dual-ported 76/24 measurement.
+	leakTotal := b.BitlineDischarge + b.CellCore
+	if got := b.BitlineDischarge / leakTotal; math.Abs(got-0.76) > 0.005 {
+		t.Errorf("bitline share of leakage = %.4f, want 0.76", got)
+	}
+	// Zero access rate: dynamic vanishes, leakage remains.
+	b0 := m.Breakdown(0)
+	if b0.Dynamic != 0 || b0.BitlineDischarge != b.BitlineDischarge {
+		t.Error("zero-rate breakdown wrong")
+	}
+	if m.Breakdown(-1).Dynamic != 0 {
+		t.Error("negative rate must clamp to zero")
+	}
+	if (EnergyBreakdown{}).DischargeFraction() != 0 {
+		t.Error("empty breakdown fraction must be 0")
+	}
+}
+
+func TestDynamicEnergyScalesWithWays(t *testing.T) {
+	cfg := DefaultDataConfig(tech.N70)
+	m2 := mustModel(t, cfg)
+	cfg.Ways = 4
+	m4 := mustModel(t, cfg)
+	if m4.DynamicEnergyPerAccess() <= m2.DynamicEnergyPerAccess() {
+		t.Error("4-way access must cost more than 2-way")
+	}
+	if m4.DynamicEnergyPerAccess() >= 2*m2.DynamicEnergyPerAccess() {
+		t.Error("decode sharing must keep 4-way below 2x 2-way")
+	}
+}
+
+func TestCounterOverheadBelowBound(t *testing.T) {
+	// Paper, Sec. 6.2: the extra hardware dissipates less than 0.02% of the
+	// energy of one base cache access. Our per-cycle all-subarray figure,
+	// normalized per access, must respect the same order of magnitude.
+	m := mustModel(t, DefaultDataConfig(tech.N70))
+	perCycle := m.CounterOverheadPerCycle(10)
+	perAccess := m.DynamicEnergyPerAccess()
+	if ratio := perCycle / float64(m.Config().Geometry.NumSubarrays()) / perAccess; ratio > 0.0002 {
+		t.Errorf("counter overhead ratio = %v, want <= 0.0002", ratio)
+	}
+}
+
+func TestSubarrayForAddress(t *testing.T) {
+	m := mustModel(t, DefaultDataConfig(tech.N70))
+	g := m.Config().Geometry
+	n := g.NumSubarrays()
+	// Consecutive lines within a subarray's set span map to the same
+	// subarray; the span is setsPerSubarray * lineBytes.
+	setsPerSub := g.SubarrayBytes / (g.LineBytes * m.Config().Ways)
+	span := uint64(setsPerSub * g.LineBytes)
+	if a, b := m.SubarrayForAddress(0), m.SubarrayForAddress(span-1); a != b {
+		t.Errorf("addresses 0 and %d should share subarray: %d vs %d", span-1, a, b)
+	}
+	if a, b := m.SubarrayForAddress(0), m.SubarrayForAddress(span); a == b {
+		t.Errorf("addresses 0 and %d should differ in subarray", span)
+	}
+	// All subarrays reachable, and the map wraps at the cache size.
+	seen := make(map[int]bool)
+	for addr := uint64(0); addr < uint64(g.CacheBytes); addr += uint64(g.LineBytes) {
+		s := m.SubarrayForAddress(addr)
+		if s < 0 || s >= n {
+			t.Fatalf("subarray %d out of range [0,%d)", s, n)
+		}
+		seen[s] = true
+	}
+	if len(seen) != n {
+		t.Errorf("only %d of %d subarrays reachable", len(seen), n)
+	}
+}
+
+func TestSubarrayForAddressQuick(t *testing.T) {
+	m := mustModel(t, DefaultDataConfig(tech.N70))
+	n := m.Config().Geometry.NumSubarrays()
+	f := func(addr uint64) bool {
+		s := m.SubarrayForAddress(addr)
+		// In range, and invariant under adding whole cache strides.
+		return s >= 0 && s < n &&
+			m.SubarrayForAddress(addr+uint64(m.Config().Geometry.CacheBytes)*uint64(m.Config().Ways)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "data" || Instruction.String() != "instruction" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestAccessTimeShrinksWithNode(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range tech.Nodes {
+		ns := mustModel(t, DefaultDataConfig(n)).AccessTimeNS()
+		if ns >= prev {
+			t.Errorf("%v: access time %.3f did not shrink", n, ns)
+		}
+		prev = ns
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	m := mustModel(t, DefaultDataConfig(tech.N70))
+	if m.DecodeDelays().Total() <= 0 {
+		t.Error("decode delays must be positive")
+	}
+	if m.Transient().Node != tech.N70 {
+		t.Error("transient node mismatch")
+	}
+	if m.StaticBitlinePower() != 32 {
+		t.Errorf("static power = %v, want 32 subarrays", m.StaticBitlinePower())
+	}
+	if m.SetCount() != 512 {
+		t.Errorf("sets = %d, want 512", m.SetCount())
+	}
+	if m.Config().Kind != Data {
+		t.Error("config accessor mismatch")
+	}
+}
+
+var _ = circuit.DefaultGeometry // keep import for doc reference

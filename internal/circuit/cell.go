@@ -1,0 +1,135 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"nanocache/internal/tech"
+)
+
+// Cell models the 6-T SRAM cell of Fig. 1 with one or more ports. Each port
+// contributes a bitline pair; the paper's L1 data cache uses dual-ported
+// cells, for which it measures the bitline discharge to be 76% of the cell's
+// overall leakage (Sec. 2).
+type Cell struct {
+	// Ports is the number of read/write ports; each adds a bitline pair.
+	Ports int
+}
+
+// Relative subthreshold widths: each bitline path versus the cell-internal
+// (cross-coupled inverter) paths. Calibrated so that a dual-ported cell
+// (4 bitlines) leaks 76% of its total through the bitlines, the paper's
+// measurement.
+const (
+	bitlinePathWeight = 1.0
+	cellCoreWeight    = 1.2632 // 4*w/(4*w+core) = 0.76 → core = 4*(1-0.76)/0.76
+)
+
+// BitlineLeakageFraction returns the fraction of the cell's total leakage
+// that flows through the bitline paths — the part bitline isolation can cut
+// off. For the paper's dual-ported cells this is 0.76.
+func (c Cell) BitlineLeakageFraction() float64 {
+	if c.Ports <= 0 {
+		return 0
+	}
+	bl := float64(2*c.Ports) * bitlinePathWeight
+	return bl / (bl + cellCoreWeight)
+}
+
+// ReadDifferential returns the voltage differential (in volts) an active
+// cell read develops on the precharged bitlines at the given node. The paper
+// notes active reads create only a 0.1–0.2V drop (Sec. 5), which is why an
+// active-access precharge overlaps with decode while a fully discharged
+// bitline cannot.
+func (c Cell) ReadDifferential(n tech.Node) float64 {
+	// ~11% of the supply, within the paper's 0.1–0.2V band for all nodes.
+	return 0.11 * tech.ParamsFor(n).SupplyVoltage
+}
+
+// Validate reports whether the cell configuration is usable.
+func (c Cell) Validate() error {
+	if c.Ports <= 0 {
+		return fmt.Errorf("circuit: cell must have at least one port, got %d", c.Ports)
+	}
+	if c.Ports > 16 {
+		return fmt.Errorf("circuit: unreasonable port count %d", c.Ports)
+	}
+	return nil
+}
+
+// SubarrayLeakage describes the leakage budget of one subarray at a node, in
+// the same normalized units as the transients: the static bitline discharge
+// power of the whole subarray is 1.0 by definition, and other components are
+// expressed relative to it.
+type SubarrayLeakage struct {
+	Node tech.Node
+	// BitlineDischarge is 1.0 by normalization: the statically pulled-up
+	// bitline discharge of this subarray.
+	BitlineDischarge float64
+	// CellCore is the residual, non-bitline cell leakage of the subarray,
+	// relative to the bitline discharge; it is untouched by bitline
+	// isolation (drowsy/gated-Vdd techniques target it instead, Sec. 7).
+	CellCore float64
+}
+
+// LeakageFor returns the subarray leakage budget for a cell type. The split
+// follows directly from the cell's BitlineLeakageFraction: with fraction f
+// through bitlines, core leakage is (1−f)/f of the bitline discharge.
+func LeakageFor(c Cell, n tech.Node) (SubarrayLeakage, error) {
+	if err := c.Validate(); err != nil {
+		return SubarrayLeakage{}, err
+	}
+	f := c.BitlineLeakageFraction()
+	return SubarrayLeakage{
+		Node:             n,
+		BitlineDischarge: 1,
+		CellCore:         (1 - f) / f,
+	}, nil
+}
+
+// DynamicAccessEnergy returns the dynamic (switching) energy of one read or
+// write access to a subarray, in static-nanosecond units at the given node:
+// sense amps, wordline, output drive and the active bitline swing. Because
+// dynamic energy halves per generation while leakage grows 3.5x, this ratio
+// collapses 7x per generation — at 180nm an access costs far more than a
+// nanosecond of bitline discharge, at 70nm far less. Calibrated (see
+// DESIGN.md §4(4) and the cacti package) so that bitline discharge is ~50%
+// of total cache energy at 70nm, matching the paper's Fig. 3 statement that
+// eliminating 89–90% of the discharge equals 41–46% of cache energy.
+func DynamicAccessEnergy(n tech.Node) float64 {
+	// At 180nm one access costs ~5000 static-ns: leakage is a trivial share
+	// of cache energy there. Collapsing 7x per generation leaves ~14.6
+	// static-ns at 70nm, which puts the bitline discharge near 46% of
+	// total cache energy at the simulated ~0.35 data-cache accesses per
+	// cycle — the paper's Fig. 3 regime where an 89% discharge cut equals
+	// 46% of the cache energy saving opportunity.
+	const accessEnergy180 = 5000.0 // static-ns per access at 180nm
+	return accessEnergy180 * tech.ParamsFor(n).SwitchToLeakRatio()
+}
+
+// CounterOverheadFraction estimates the energy of the gated-precharging
+// hardware (a 10-bit decay counter plus threshold compare per subarray,
+// Fig. 7) relative to one base cache access at the given node. The paper
+// reports this is below 0.02% of a cache access (Sec. 6.2).
+func CounterOverheadFraction(n tech.Node, counterBits int) float64 {
+	if counterBits <= 0 {
+		return 0
+	}
+	// A ripple counter increment toggles ~2 gate capacitances per bit on
+	// average (the LSB every cycle, higher bits geometrically less), and the
+	// comparator ~1 per bit; one cache access switches on the order of 10^5
+	// gate capacitances (decoders, wordline, 256 bitline pairs, sense amps).
+	perCycleGates := 3.0 * float64(counterBits)
+	const accessGates = 1.8e5
+	_ = n // the ratio of gate energies is node-independent
+	return perCycleGates / accessGates
+}
+
+// WorstCaseStoredValues reports the bitline-discharge multiplier for the
+// worst-case combination of stored values relative to the average case. The
+// paper assumes the worst case throughout "without affecting the trend"; we
+// expose the ratio so sensitivity studies can scale it.
+func WorstCaseStoredValues() float64 { return 1.0 }
+
+// clamp01 bounds v to [0, 1].
+func clamp01(v float64) float64 { return math.Max(0, math.Min(1, v)) }

@@ -1,0 +1,105 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+func TestDualPortedBitlineLeakageIs76Percent(t *testing.T) {
+	// Paper, Sec. 2: bitline discharge is 76% of the overall leakage in
+	// dual-ported SRAM cells.
+	f := Cell{Ports: 2}.BitlineLeakageFraction()
+	if math.Abs(f-0.76) > 0.005 {
+		t.Errorf("dual-ported bitline leakage fraction = %.4f, want 0.76", f)
+	}
+}
+
+func TestBitlineFractionGrowsWithPorts(t *testing.T) {
+	prev := 0.0
+	for ports := 1; ports <= 8; ports++ {
+		f := Cell{Ports: ports}.BitlineLeakageFraction()
+		if f <= prev || f >= 1 {
+			t.Errorf("ports=%d: fraction %v not strictly growing in (0,1)", ports, f)
+		}
+		prev = f
+	}
+	if got := (Cell{Ports: 0}).BitlineLeakageFraction(); got != 0 {
+		t.Errorf("portless cell fraction = %v", got)
+	}
+}
+
+func TestReadDifferentialInPaperBand(t *testing.T) {
+	// Paper, Sec. 5: active cell reads create only a 0.1 to 0.2V drop.
+	c := Cell{Ports: 2}
+	for _, n := range tech.Nodes {
+		d := c.ReadDifferential(n)
+		if d < 0.1 || d > 0.2 {
+			t.Errorf("%v: read differential %.3fV outside 0.1-0.2V", n, d)
+		}
+	}
+}
+
+func TestCellValidate(t *testing.T) {
+	if err := (Cell{Ports: 2}).Validate(); err != nil {
+		t.Errorf("2-port cell should validate: %v", err)
+	}
+	for _, p := range []int{0, -1, 17} {
+		if err := (Cell{Ports: p}).Validate(); err == nil {
+			t.Errorf("ports=%d should fail validation", p)
+		}
+	}
+}
+
+func TestLeakageFor(t *testing.T) {
+	l, err := LeakageFor(Cell{Ports: 2}, tech.N70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.BitlineDischarge != 1 {
+		t.Error("bitline discharge must be the normalization unit")
+	}
+	// 76% bitline → core is 24/76 of bitline.
+	if math.Abs(l.CellCore-0.24/0.76) > 0.01 {
+		t.Errorf("cell core leakage = %v, want %v", l.CellCore, 0.24/0.76)
+	}
+	if _, err := LeakageFor(Cell{Ports: 0}, tech.N70); err == nil {
+		t.Error("expected error for invalid cell")
+	}
+}
+
+func TestDynamicAccessEnergyCollapses(t *testing.T) {
+	// Dynamic-vs-leakage collapses 7x per generation.
+	prev := DynamicAccessEnergy(tech.N180)
+	if prev <= 0 {
+		t.Fatal("access energy must be positive")
+	}
+	for _, n := range tech.Nodes[1:] {
+		e := DynamicAccessEnergy(n)
+		if math.Abs(e*7-prev)/prev > 1e-9 {
+			t.Errorf("%v: access energy %v, want %v", n, e, prev/7)
+		}
+		prev = e
+	}
+}
+
+func TestCounterOverheadBelowPaperBound(t *testing.T) {
+	// Paper, Sec. 6.2: the decay counter + comparison logic dissipates less
+	// than 0.02% of one base cache access.
+	for _, n := range tech.Nodes {
+		f := CounterOverheadFraction(n, 10)
+		if f <= 0 || f > 0.0002 {
+			t.Errorf("%v: counter overhead fraction = %v, want (0, 0.0002]", n, f)
+		}
+	}
+	if CounterOverheadFraction(tech.N70, 0) != 0 {
+		t.Error("zero-bit counter must be free")
+	}
+}
+
+func TestWorstCaseStoredValues(t *testing.T) {
+	if WorstCaseStoredValues() != 1 {
+		t.Error("worst-case multiplier is the normalization baseline")
+	}
+}

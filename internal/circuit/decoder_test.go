@@ -1,0 +1,205 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+func geomWithSubarray(bytes int) Geometry {
+	g := DefaultGeometry()
+	g.SubarrayBytes = bytes
+	return g
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	bad := []Geometry{
+		{CacheBytes: 0, LineBytes: 32, SubarrayBytes: 1024, PrechargeDeviceFactor: 10},
+		{CacheBytes: 32768, LineBytes: 32, SubarrayBytes: 65536, PrechargeDeviceFactor: 10},
+		{CacheBytes: 32768, LineBytes: 32, SubarrayBytes: 16, PrechargeDeviceFactor: 10},
+		{CacheBytes: 32768, LineBytes: 32, SubarrayBytes: 1000, PrechargeDeviceFactor: 10},
+		{CacheBytes: 32768, LineBytes: 24, SubarrayBytes: 1024, PrechargeDeviceFactor: 10},
+		{CacheBytes: 32768, LineBytes: 32, SubarrayBytes: 1024, PrechargeDeviceFactor: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, g)
+		}
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := DefaultGeometry()
+	if g.NumSubarrays() != 32 {
+		t.Errorf("subarrays = %d, want 32", g.NumSubarrays())
+	}
+	if g.RowsPerSubarray() != 32 {
+		t.Errorf("rows = %d, want 32", g.RowsPerSubarray())
+	}
+	g4 := geomWithSubarray(4096)
+	if g4.NumSubarrays() != 8 || g4.RowsPerSubarray() != 128 {
+		t.Errorf("4KB geometry: %d subarrays, %d rows", g4.NumSubarrays(), g4.RowsPerSubarray())
+	}
+}
+
+func TestDelaysMatchPaperTable3(t *testing.T) {
+	// The model must reproduce every cell of the paper's Table 3 within a
+	// modeling tolerance (25% worst case; most cells are within 10%).
+	const tol = 0.25
+	for size, byNode := range PaperTable3 {
+		g := geomWithSubarray(size)
+		for node, want := range byNode {
+			got, err := DelaysFor(g, node)
+			if err != nil {
+				t.Fatalf("DelaysFor(%d, %v): %v", size, node, err)
+			}
+			check := func(name string, gotV, wantV float64) {
+				rel := math.Abs(gotV-wantV) / wantV
+				if rel > tol {
+					t.Errorf("%dB %v %s: model %.3f vs paper %.3f (%.0f%% off)",
+						size, node, name, gotV, wantV, rel*100)
+				}
+			}
+			check("decoder-drive", got.DecoderDrive, want.DecoderDrive)
+			check("predecode", got.Predecode, want.Predecode)
+			check("final-decode", got.FinalDecode, want.FinalDecode)
+			check("pull-up", got.WorstCasePullUp, want.WorstCasePullUp)
+		}
+	}
+}
+
+func TestOnDemandNeverViable(t *testing.T) {
+	// The paper's central Sec. 5 result: for both subarray sizes and every
+	// node, worst-case pull-up exceeds the decode margin, so on-demand
+	// precharging always delays the access.
+	for _, size := range []int{1024, 4096} {
+		g := geomWithSubarray(size)
+		for _, node := range tech.Nodes {
+			d, err := DelaysFor(g, node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.OnDemandViable(g.NumSubarrays()) {
+				t.Errorf("%dB %v: on-demand should not be viable (pull-up %.3f, margin %.3f)",
+					size, node, d.WorstCasePullUp, d.PullUpMargin(g.NumSubarrays()))
+			}
+		}
+	}
+	// The same invariant holds in the paper's own Table 3 numbers.
+	for size, byNode := range PaperTable3 {
+		n := 32 * 1024 / size
+		for node, d := range byNode {
+			if d.OnDemandViable(n) {
+				t.Errorf("paper table: %dB %v should not be viable", size, node)
+			}
+		}
+	}
+}
+
+func TestPartialDecodeMargins(t *testing.T) {
+	g := DefaultGeometry()
+	d, err := DelaysFor(g, tech.N70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With <=8 subarrays partial decode ends after stage 2, so the margin
+	// is the full final-decode stage.
+	m8 := d.Total() - d.PartialDecode(8)
+	if math.Abs(m8-d.FinalDecode) > 1e-12 {
+		t.Errorf("margin with 8 subarrays = %v, want final decode %v", m8, d.FinalDecode)
+	}
+	// With more subarrays the margin shrinks.
+	m32 := d.PullUpMargin(32)
+	if m32 >= m8 {
+		t.Errorf("margin with 32 subarrays (%v) must be below 8-subarray margin (%v)", m32, m8)
+	}
+	if m32 <= 0 {
+		t.Errorf("margin must stay positive, got %v", m32)
+	}
+}
+
+func TestDelaysShrinkWithScaling(t *testing.T) {
+	g := DefaultGeometry()
+	var prev DecodeDelays
+	for i, node := range tech.Nodes {
+		d, err := DelaysFor(g, node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if d.Total() >= prev.Total() || d.WorstCasePullUp >= prev.WorstCasePullUp {
+				t.Errorf("%v: delays did not shrink from previous node", node)
+			}
+		}
+		prev = d
+	}
+}
+
+func TestLargerPrechargeDevicesPullUpFaster(t *testing.T) {
+	g := DefaultGeometry()
+	d10, _ := DelaysFor(g, tech.N70)
+	g.PrechargeDeviceFactor = 20
+	d20, _ := DelaysFor(g, tech.N70)
+	if d20.WorstCasePullUp >= d10.WorstCasePullUp {
+		t.Error("doubling precharge devices must speed pull-up")
+	}
+	// But they slow down reads under static pull-up (Sec. 5 trade-off).
+	if ReadSlowdownFactor(20) <= ReadSlowdownFactor(10) {
+		t.Error("larger devices must slow active reads")
+	}
+	if ReadSlowdownFactor(10) != 1 {
+		t.Errorf("baseline read slowdown = %v, want 1", ReadSlowdownFactor(10))
+	}
+	if !math.IsInf(ReadSlowdownFactor(0), 1) {
+		t.Error("zero-size devices should be rejected with +Inf")
+	}
+}
+
+func TestSmallerSubarraysPullUpFaster(t *testing.T) {
+	// Shorter bitlines precharge faster (Sec. 5).
+	d1k, err := DelaysFor(geomWithSubarray(1024), tech.N70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d256, err := DelaysFor(geomWithSubarray(256), tech.N70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d256.WorstCasePullUp >= d1k.WorstCasePullUp {
+		t.Error("smaller subarray should pull up faster")
+	}
+	// But partial decode gets harder with more subarrays: margin shrinks.
+	if d256.PullUpMargin(128) >= d1k.PullUpMargin(32) {
+		t.Error("margin should shrink with more subarrays")
+	}
+}
+
+func TestDelaysForRejectsInvalidGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	g.SubarrayBytes = 1000
+	if _, err := DelaysFor(g, tech.N70); err == nil {
+		t.Error("expected error for invalid geometry")
+	}
+}
+
+func TestPullUpExceedsOneThirdCycleEverywhere(t *testing.T) {
+	// The paper concludes pull-up costs one extra cycle; sanity-check that
+	// the modeled pull-up is a significant fraction of the 8-FO4 cycle.
+	for _, size := range []int{1024, 4096} {
+		for _, node := range tech.Nodes {
+			d, err := DelaysFor(geomWithSubarray(size), node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycle := tech.ParamsFor(node).CycleTime
+			if d.WorstCasePullUp < cycle/3 || d.WorstCasePullUp > 2*cycle {
+				t.Errorf("%dB %v: pull-up %.3fns vs cycle %.3fns out of plausible band",
+					size, node, d.WorstCasePullUp, cycle)
+			}
+		}
+	}
+}

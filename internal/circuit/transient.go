@@ -1,0 +1,257 @@
+// Package circuit is the circuit-level substrate of the reproduction: an
+// analytic replacement for the SPICE and modified-CACTI simulations the paper
+// uses (Sec. 3). It models
+//
+//   - the transient power dissipated through the bitlines of a subarray after
+//     its precharge devices are switched off (Fig. 2 of the paper),
+//   - the energy cost of toggling precharge devices and of re-charging
+//     partially discharged bitlines,
+//   - the three-stage cache address decoder and the worst-case bitline
+//     pull-up delay (Fig. 4 and Table 3), and
+//   - the 6-T SRAM cell leakage budget, including the fraction of cell
+//     leakage that flows through the bitlines (76% for dual-ported cells,
+//     Sec. 2).
+//
+// All powers are normalized to the static-pull-up bitline discharge power of
+// the same subarray at the same technology node ("static units"); energies are
+// therefore in static-nanosecond units. This matches the paper's Fig. 2
+// normalization and lets architectural interval distributions be re-priced
+// per node without rerunning any simulation.
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"nanocache/internal/tech"
+)
+
+// IsolationTransient describes the normalized power dissipated through the
+// bitlines of one subarray as a function of time after its precharge devices
+// are turned off at t = 0:
+//
+//	P(t)/P_static = Spike·e^(−t/TauSwitch) + Floor + (1−Floor)·e^(−t/TauLeak)
+//
+// The first term is the switching-current spike induced by toggling the
+// large precharge devices (they are ~10x the size of cell transistors, so the
+// spike can exceed the static discharge itself in older nodes). The remaining
+// terms are the subthreshold leakage discharge decaying from the static level
+// (1.0) to a steady-state Floor as the bitline voltage falls.
+type IsolationTransient struct {
+	Node tech.Node
+
+	// Spike is the normalized peak of the switching transient added on top
+	// of the decaying leakage at t = 0. At 180nm the total t=0 power is
+	// 1+Spike ≈ 1.95x static (the paper's "up to 195%").
+	Spike float64
+
+	// TauSwitch is the time constant of the switching spike in ns.
+	TauSwitch float64
+
+	// TauLeak is the time constant of the leakage decay in ns. It shrinks
+	// dramatically with scaling because leakage current grows 3.5x per
+	// generation while the bitline charge C·V shrinks.
+	TauLeak float64
+
+	// Floor is the normalized steady-state discharge of an isolated bitline
+	// (the residual subthreshold paths through the access transistors once
+	// the bitline settles). The paper's worst-case stored-value assumption
+	// corresponds to the largest such floor.
+	Floor float64
+}
+
+// Calibration anchors, documented in DESIGN.md §4(1):
+//
+//   - 180nm: t=0 peak ≈ 195% of static (paper, Sec. 4) and steady state
+//     reached beyond 500ns (paper, Sec. 4) — spike180 = 0.95 and
+//     tauLeak180 = 150ns (settling ≈ 3.5τ ≈ 525ns).
+//   - The spike magnitude is a switching-vs-leakage quantity, so it scales
+//     with tech.Params.SwitchToLeakRatio (collapses 7x per generation).
+//   - TauLeak ∝ C·V/I_leak: C scales with feature size, V with Vdd, I_leak
+//     with the leakage scale.
+//   - TauSwitch is an RC of the precharge device and bitline; both R and C
+//     shrink with feature size, so it scales with the square of the feature
+//     size ratio.
+//   - Floor is node-independent to first order: the residual paths scale the
+//     same way as the static discharge they are normalized by.
+const (
+	spike180   = 0.95
+	tauLeak180 = 150.0 // ns
+	tauSw180   = 30.0  // ns
+	floorAll   = 0.06
+)
+
+// ReferenceTemp is the junction temperature (°C) the calibration anchors
+// assume — a hot-spot figure typical for high-performance parts.
+const ReferenceTemp = 85.0
+
+// TemperatureFactor returns the subthreshold-leakage multiplier at junction
+// temperature celsius relative to the ReferenceTemp anchor: leakage roughly
+// doubles every 12°C in this regime.
+func TemperatureFactor(celsius float64) float64 {
+	return math.Pow(2, (celsius-ReferenceTemp)/12)
+}
+
+// TransientFor derives the isolation transient parameters for a node at the
+// reference temperature.
+func TransientFor(n tech.Node) IsolationTransient {
+	return TransientForTemp(n, ReferenceTemp)
+}
+
+// TransientForTemp derives the transient at a junction temperature. Because
+// everything is normalized to the static bitline discharge (which is itself
+// leakage), heat leaves the floor untouched but shrinks the *relative*
+// switching spike and speeds the leakage decay — a hotter chip makes
+// bitline isolation strictly more attractive.
+func TransientForTemp(n tech.Node, celsius float64) IsolationTransient {
+	p := tech.ParamsFor(n)
+	p180 := tech.ParamsFor(tech.N180)
+	featureRatio := float64(n) / float64(tech.N180)
+	vddRatio := p.SupplyVoltage / p180.SupplyVoltage
+	tf := TemperatureFactor(celsius)
+	return IsolationTransient{
+		Node:      n,
+		Spike:     spike180 * p.SwitchToLeakRatio() / tf,
+		TauSwitch: tauSw180 * featureRatio * featureRatio,
+		TauLeak:   tauLeak180 * featureRatio * vddRatio / p.LeakageScale / tf,
+		Floor:     floorAll,
+	}
+}
+
+// Power returns the normalized bitline power at time t (ns) after isolation.
+// For t < 0 (still statically pulled up) it returns 1.
+func (it IsolationTransient) Power(t float64) float64 {
+	if t < 0 {
+		return 1
+	}
+	return it.Spike*math.Exp(-t/it.TauSwitch) +
+		it.Floor + (1-it.Floor)*math.Exp(-t/it.TauLeak)
+}
+
+// Energy returns the closed-form integral of Power over [0, T] in
+// static-nanosecond units: the total bitline discharge of one subarray that
+// stays isolated for T ns, excluding the later cost of re-precharging
+// (see PullUpEnergy).
+func (it IsolationTransient) Energy(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	return it.Spike*it.TauSwitch*(1-math.Exp(-T/it.TauSwitch)) +
+		it.Floor*T +
+		(1-it.Floor)*it.TauLeak*(1-math.Exp(-T/it.TauLeak))
+}
+
+// EnergyNumeric integrates Power over [0, T] with composite Simpson's rule.
+// It exists to validate the closed form (tests assert agreement to 0.1%) and
+// to support ablation benchmarks; production code paths use Energy.
+func (it IsolationTransient) EnergyNumeric(T float64, steps int) float64 {
+	if T <= 0 {
+		return 0
+	}
+	if steps < 2 {
+		steps = 2
+	}
+	if steps%2 == 1 {
+		steps++
+	}
+	h := T / float64(steps)
+	sum := it.Power(0) + it.Power(T)
+	for i := 1; i < steps; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4.0
+		}
+		sum += w * it.Power(float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+// DischargedFraction returns the fraction of the bitline swing that has been
+// lost T ns after isolation: 0 right after isolation, approaching 1 as the
+// bitline reaches its steady state. This determines both the re-precharge
+// energy and whether a pull-up can hide under the decode (a freshly isolated
+// bitline is nearly full; the worst case of Table 3 is a fully discharged
+// one).
+func (it IsolationTransient) DischargedFraction(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-T/it.TauLeak)
+}
+
+// PullUpEnergy returns the normalized energy needed to re-precharge a
+// subarray that has been isolated for T ns: the gate switching of the
+// precharge devices plus recharging the lost bitline charge. Like the spike,
+// both components are switching energy, so they collapse with
+// SwitchToLeakRatio.
+func (it IsolationTransient) PullUpEnergy(T float64) float64 {
+	// Turning the devices back on costs the same gate energy as turning
+	// them off (half the spike integral), plus C·ΔV recharge proportional
+	// to the discharged fraction. The full-recharge energy is calibrated as
+	// equal to the full spike integral: toggling at 180nm costs ~2x the
+	// spike energy round trip, which is what makes frequent switching there
+	// self-defeating (Sec. 4).
+	spikeEnergy := it.Spike * it.TauSwitch
+	return 0.5*spikeEnergy + spikeEnergy*it.DischargedFraction(T)
+}
+
+// ToggleOverhead returns the total normalized energy overhead of one full
+// isolate-then-precharge round trip with an isolation interval of T ns: the
+// switching spike actually dissipated during the interval plus the pull-up
+// cost. This is the "energy overhead of bitline isolation" of Sec. 4.
+func (it IsolationTransient) ToggleOverhead(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	spikePart := it.Spike * it.TauSwitch * (1 - math.Exp(-T/it.TauSwitch))
+	return spikePart + it.PullUpEnergy(T)
+}
+
+// BreakEvenNS returns the isolation interval beyond which isolating saves
+// energy versus staying statically pulled up: the smallest T where
+// Energy(T)+PullUpEnergy(T) < T (static discharge over the same interval).
+// Returns +Inf if no break-even exists below the horizon (1ms).
+func (it IsolationTransient) BreakEvenNS() float64 {
+	const horizon = 1e6 // ns
+	lo, hi := 0.0, horizon
+	cost := func(T float64) float64 { return it.Energy(T) + it.PullUpEnergy(T) - T }
+	if cost(hi) > 0 {
+		return math.Inf(1)
+	}
+	// cost(0)=PullUpEnergy(0)>0, cost(hi)<0: bisect.
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cost(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// SettleNS returns the time after which the transient is within eps of its
+// steady-state floor.
+func (it IsolationTransient) SettleNS(eps float64) float64 {
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	t := 0.0
+	step := it.TauLeak / 10
+	if s := it.TauSwitch / 10; s > step {
+		step = s
+	}
+	for it.Power(t)-it.Floor > eps {
+		t += step
+		if t > 1e7 {
+			break
+		}
+	}
+	return t
+}
+
+// String summarizes the transient parameters.
+func (it IsolationTransient) String() string {
+	return fmt.Sprintf("transient(%v spike=%.4f tauSw=%.2fns tauLeak=%.2fns floor=%.3f)",
+		it.Node, it.Spike, it.TauSwitch, it.TauLeak, it.Floor)
+}

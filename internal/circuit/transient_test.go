@@ -1,0 +1,225 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nanocache/internal/tech"
+)
+
+func TestTransientPeak180nm(t *testing.T) {
+	// Paper, Sec. 4: at 180nm the isolation overhead peaks around 195% of
+	// the static bitline power.
+	it := TransientFor(tech.N180)
+	peak := it.Power(0)
+	if peak < 1.85 || peak > 2.05 {
+		t.Errorf("180nm t=0 power = %.3f static units, want ~1.95", peak)
+	}
+}
+
+func TestTransientSettles180nmBeyond500ns(t *testing.T) {
+	// Paper: isolated 180nm bitlines reach steady state over 500ns after
+	// isolation.
+	it := TransientFor(tech.N180)
+	s := it.SettleNS(0.01)
+	if s < 400 || s > 1500 {
+		t.Errorf("180nm settle time = %.0fns, want ~500ns+", s)
+	}
+}
+
+func TestTransient70nmInsignificant(t *testing.T) {
+	// Paper: at 70nm only a very small spike is induced and it melts away
+	// quickly.
+	it := TransientFor(tech.N70)
+	if it.Spike > 0.01 {
+		t.Errorf("70nm spike = %.4f, want < 0.01 static units", it.Spike)
+	}
+	if s := it.SettleNS(0.01); s > 20 {
+		t.Errorf("70nm settle time = %.1fns, want fast", s)
+	}
+}
+
+func TestSpikeCollapsesAcrossNodes(t *testing.T) {
+	// The spike is switching-vs-leakage, so it must fall 7x per generation.
+	prev := TransientFor(tech.N180).Spike
+	for _, n := range tech.Nodes[1:] {
+		s := TransientFor(n).Spike
+		if math.Abs(s*7-prev) > 1e-9 {
+			t.Errorf("%v: spike %v, want %v", n, s, prev/7)
+		}
+		prev = s
+	}
+}
+
+func TestPowerMonotoneDecreasing(t *testing.T) {
+	for _, n := range tech.Nodes {
+		it := TransientFor(n)
+		prev := math.Inf(1)
+		for ts := 0.0; ts < 1000; ts += 0.5 {
+			p := it.Power(ts)
+			if p > prev+1e-12 {
+				t.Fatalf("%v: power not monotone at t=%v", n, ts)
+			}
+			if p < it.Floor-1e-12 {
+				t.Fatalf("%v: power %v below floor %v", n, p, it.Floor)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPowerBeforeIsolationIsStatic(t *testing.T) {
+	it := TransientFor(tech.N130)
+	if got := it.Power(-5); got != 1 {
+		t.Errorf("power before isolation = %v, want 1", got)
+	}
+}
+
+func TestEnergyMatchesNumericIntegration(t *testing.T) {
+	for _, n := range tech.Nodes {
+		it := TransientFor(n)
+		for _, T := range []float64{0.1, 1, 10, 100, 700} {
+			closed := it.Energy(T)
+			numeric := it.EnergyNumeric(T, 20000)
+			if rel := math.Abs(closed-numeric) / numeric; rel > 1e-3 {
+				t.Errorf("%v T=%v: closed %v vs numeric %v (rel %v)", n, T, closed, numeric, rel)
+			}
+		}
+	}
+}
+
+func TestEnergyZeroAndNegative(t *testing.T) {
+	it := TransientFor(tech.N70)
+	if it.Energy(0) != 0 || it.Energy(-3) != 0 {
+		t.Error("energy of non-positive interval must be 0")
+	}
+	if it.EnergyNumeric(0, 100) != 0 {
+		t.Error("numeric energy of zero interval must be 0")
+	}
+}
+
+func TestEnergyPropertiesQuick(t *testing.T) {
+	// Properties: energy is non-negative, monotone in T, always below
+	// static T + spike budget, and at least Floor*T.
+	f := func(rawT uint16, nodeIdx uint8) bool {
+		it := TransientFor(tech.Nodes[int(nodeIdx)%len(tech.Nodes)])
+		T := float64(rawT) / 10.0
+		e := it.Energy(T)
+		if e < 0 || e < it.Floor*T-1e-9 {
+			return false
+		}
+		if e > T+it.Spike*it.TauSwitch+1e-9 {
+			return false
+		}
+		return it.Energy(T+1) >= e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsolationAlwaysBeatsStaticOverLongIdle(t *testing.T) {
+	// Over a long enough idle interval isolation must save energy at every
+	// node (Energy(T) + PullUpEnergy(T) < T). At 70nm the break-even must be
+	// tiny; at 180nm it is hundreds of ns.
+	for _, n := range tech.Nodes {
+		it := TransientFor(n)
+		T := 100000.0
+		if cost := it.Energy(T) + it.PullUpEnergy(T); cost >= T {
+			t.Errorf("%v: isolation never pays off (cost %v over %v)", n, cost, T)
+		}
+	}
+	be180 := TransientFor(tech.N180).BreakEvenNS()
+	be70 := TransientFor(tech.N70).BreakEvenNS()
+	if be180 < 30 {
+		t.Errorf("180nm break-even %vns implausibly small", be180)
+	}
+	if be70 > 5 {
+		t.Errorf("70nm break-even %vns too large; paper says overhead insignificant", be70)
+	}
+	if be70 >= be180 {
+		t.Errorf("break-even must shrink with scaling: 180nm %v vs 70nm %v", be180, be70)
+	}
+}
+
+func TestDischargedFraction(t *testing.T) {
+	it := TransientFor(tech.N100)
+	if it.DischargedFraction(0) != 0 {
+		t.Error("fresh isolation must be undischarged")
+	}
+	if f := it.DischargedFraction(1e6); f < 0.999 {
+		t.Errorf("long isolation discharged fraction = %v, want ~1", f)
+	}
+	if it.DischargedFraction(1) >= it.DischargedFraction(10) {
+		t.Error("discharged fraction must grow with time")
+	}
+}
+
+func TestToggleOverheadScalesDown(t *testing.T) {
+	// The full toggle overhead (in static-ns) must fall steeply across
+	// generations; this is the paper's Fig. 2 takeaway.
+	T := 1000.0
+	prev := math.Inf(1)
+	for _, n := range tech.Nodes {
+		o := TransientFor(n).ToggleOverhead(T)
+		if o >= prev {
+			t.Errorf("%v: toggle overhead %v did not shrink (prev %v)", n, o, prev)
+		}
+		prev = o
+	}
+	if z := TransientFor(tech.N70).ToggleOverhead(0); z != 0 {
+		t.Errorf("zero-length toggle overhead = %v", z)
+	}
+}
+
+func TestTransientString(t *testing.T) {
+	s := TransientFor(tech.N70).String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestTemperatureFactor(t *testing.T) {
+	if TemperatureFactor(ReferenceTemp) != 1 {
+		t.Error("reference temperature must be the unit point")
+	}
+	if f := TemperatureFactor(ReferenceTemp + 12); math.Abs(f-2) > 1e-12 {
+		t.Errorf("+12C factor = %v, want 2", f)
+	}
+	if f := TemperatureFactor(ReferenceTemp - 24); math.Abs(f-0.25) > 1e-12 {
+		t.Errorf("-24C factor = %v, want 0.25", f)
+	}
+}
+
+func TestHotterChipsIsolateBetter(t *testing.T) {
+	cold := TransientForTemp(tech.N130, 55)
+	ref := TransientFor(tech.N130)
+	hot := TransientForTemp(tech.N130, 110)
+	if !(hot.Spike < ref.Spike && ref.Spike < cold.Spike) {
+		t.Errorf("relative spike must shrink with heat: %v %v %v", cold.Spike, ref.Spike, hot.Spike)
+	}
+	if !(hot.TauLeak < ref.TauLeak && ref.TauLeak < cold.TauLeak) {
+		t.Errorf("leakage decay must speed up with heat")
+	}
+	if hot.Floor != ref.Floor {
+		t.Error("normalized floor is temperature-invariant")
+	}
+	if hot.BreakEvenNS() >= cold.BreakEvenNS() {
+		t.Error("hotter chips must break even sooner")
+	}
+}
+
+func TestProjected50nmContinuesTrend(t *testing.T) {
+	it70 := TransientFor(tech.N70)
+	it50 := TransientFor(tech.N50)
+	if it50.Spike >= it70.Spike {
+		t.Error("the 50nm projection must continue the spike collapse")
+	}
+	if it50.TauLeak >= it70.TauLeak {
+		t.Error("the 50nm projection must decay faster")
+	}
+	if !tech.N50.Projected() || tech.N70.Projected() {
+		t.Error("projection flag wrong")
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"nanocache/internal/sram"
+)
+
+// AdaptiveGated extends gated precharging with the online threshold
+// selection the paper leaves as future work ("threshold values can be
+// determined in various ways, but studying threshold selection algorithms
+// is beyond the scope of this paper", Sec. 6.2).
+//
+// The controller observes the stall rate — the fraction of accesses that
+// found their subarray isolated — over fixed access-count epochs and walks
+// the threshold by powers of two to keep the stall rate inside a target
+// band: too many stalls means the cache is gated too aggressively for the
+// current phase (raise the threshold); a stall rate well under the band
+// means energy is being left on the table (lower it). Because the stall
+// rate is the direct cause of the performance loss (each stall is one
+// pull-up cycle plus possible replay), regulating it approximates the
+// paper's per-benchmark offline optimum without profiling.
+type AdaptiveGated struct {
+	inner *Gated // current-threshold worker; accounting is cumulative
+
+	n       int
+	penalty int
+	obs     sram.IdleObserver
+
+	epoch        uint64 // accesses per adjustment
+	epochCount   uint64
+	epochStalled uint64
+
+	loBand, hiBand float64
+	minThr, maxThr uint64
+
+	adjustments uint64
+	done        bool
+}
+
+// AdaptiveConfig parameterizes the controller.
+type AdaptiveConfig struct {
+	// Subarrays is the subarray count.
+	Subarrays int
+	// Penalty is the stall paid on a cold-subarray hit.
+	Penalty int
+	// InitialThreshold seeds the search (the paper's constant 100 is a
+	// good default).
+	InitialThreshold uint64
+	// EpochAccesses is the adjustment interval in cache accesses.
+	EpochAccesses uint64
+	// StallBand is the target stall-rate band [Lo, Hi]; the controller
+	// doubles the threshold above Hi and halves it below Lo.
+	StallLo, StallHi float64
+	// MinThreshold and MaxThreshold clamp the walk (defaults 8 and
+	// MaxThreshold).
+	MinThreshold, MaxThreshold uint64
+}
+
+// DefaultAdaptiveConfig returns a configuration that keeps the stall rate
+// near the level that costs ~1% performance on the paper's machine.
+func DefaultAdaptiveConfig(subarrays, penalty int) AdaptiveConfig {
+	return AdaptiveConfig{
+		Subarrays:        subarrays,
+		Penalty:          penalty,
+		InitialThreshold: 100,
+		EpochAccesses:    2048,
+		StallLo:          0.04,
+		StallHi:          0.12,
+		MinThreshold:     8,
+		MaxThreshold:     MaxThreshold,
+	}
+}
+
+// NewAdaptiveGated builds the controller.
+func NewAdaptiveGated(cfg AdaptiveConfig, obs sram.IdleObserver) *AdaptiveGated {
+	if cfg.Subarrays <= 0 {
+		panic("core: adaptive gated needs subarrays")
+	}
+	if cfg.EpochAccesses == 0 {
+		cfg.EpochAccesses = 2048
+	}
+	if cfg.MinThreshold == 0 {
+		cfg.MinThreshold = 8
+	}
+	if cfg.MaxThreshold == 0 || cfg.MaxThreshold > MaxThreshold {
+		cfg.MaxThreshold = MaxThreshold
+	}
+	if cfg.InitialThreshold < cfg.MinThreshold || cfg.InitialThreshold > cfg.MaxThreshold {
+		panic(fmt.Sprintf("core: initial threshold %d outside [%d, %d]",
+			cfg.InitialThreshold, cfg.MinThreshold, cfg.MaxThreshold))
+	}
+	if cfg.StallLo < 0 || cfg.StallHi <= cfg.StallLo {
+		panic("core: invalid stall band")
+	}
+	a := &AdaptiveGated{
+		n:       cfg.Subarrays,
+		penalty: cfg.Penalty,
+		obs:     obs,
+		epoch:   cfg.EpochAccesses,
+		loBand:  cfg.StallLo,
+		hiBand:  cfg.StallHi,
+		minThr:  cfg.MinThreshold,
+		maxThr:  cfg.MaxThreshold,
+	}
+	a.inner = NewGated(cfg.Subarrays, cfg.InitialThreshold, cfg.Penalty, obs)
+	return a
+}
+
+// Name implements Controller.
+func (a *AdaptiveGated) Name() string {
+	return fmt.Sprintf("gated-adaptive(t=%d)", a.inner.Threshold())
+}
+
+// Threshold returns the current decay threshold.
+func (a *AdaptiveGated) Threshold() uint64 { return a.inner.Threshold() }
+
+// Adjustments returns how many times the threshold moved.
+func (a *AdaptiveGated) Adjustments() uint64 { return a.adjustments }
+
+// AccessPenalty implements Controller.
+func (a *AdaptiveGated) AccessPenalty(sub int, now uint64) int {
+	pen := a.inner.AccessPenalty(sub, now)
+	a.epochCount++
+	if pen > 0 {
+		a.epochStalled++
+	}
+	if a.epochCount >= a.epoch {
+		a.adjust(now)
+	}
+	return pen
+}
+
+// adjust walks the threshold at an epoch boundary. The decay state carries
+// over: changing the threshold reinterprets existing counters, exactly as
+// reprogramming the comparator constant of Fig. 7 would in hardware.
+func (a *AdaptiveGated) adjust(now uint64) {
+	rate := float64(a.epochStalled) / float64(a.epochCount)
+	a.epochCount, a.epochStalled = 0, 0
+	cur := a.inner.Threshold()
+	next := cur
+	switch {
+	case rate > a.hiBand && cur < a.maxThr:
+		next = cur * 2
+		if next > a.maxThr {
+			next = a.maxThr
+		}
+	case rate < a.loBand && cur > a.minThr:
+		next = cur / 2
+		if next < a.minThr {
+			next = a.minThr
+		}
+	}
+	if next == cur {
+		return
+	}
+	a.adjustments++
+	a.inner.setThreshold(next, now)
+}
+
+// Hint implements Controller.
+func (a *AdaptiveGated) Hint(sub int, now uint64) { a.inner.Hint(sub, now) }
+
+// ExtraAccessLatency implements Controller.
+func (a *AdaptiveGated) ExtraAccessLatency() int { return 0 }
+
+// Finish implements Controller.
+func (a *AdaptiveGated) Finish(end uint64) {
+	if a.done {
+		panic("core: Finish called twice")
+	}
+	a.done = true
+	a.inner.Finish(end)
+}
+
+// Ledger implements Controller.
+func (a *AdaptiveGated) Ledger() *sram.Ledger { return a.inner.ledger }
+
+// Stats returns cumulative access statistics.
+func (a *AdaptiveGated) Stats() AccessStats { return a.inner.Stats() }
+
+// setThreshold retunes a Gated controller's threshold at cycle now,
+// materializing any isolation events the old threshold had already implied
+// so the ledger stays exact.
+func (p *Gated) setThreshold(thr uint64, now uint64) {
+	if thr < 1 || thr > MaxThreshold {
+		panic(fmt.Sprintf("core: threshold %d outside [1, %d]", thr, MaxThreshold))
+	}
+	if thr == p.threshold {
+		return
+	}
+	// Subarrays whose isolation instant under the OLD threshold has passed
+	// must be accounted as isolated at that instant before the rule
+	// changes; otherwise shrinking the threshold would retroactively cut
+	// short pulled windows that already happened.
+	for s := 0; s < p.n; s++ {
+		if !p.touched[s] {
+			continue
+		}
+		oldIso := p.lastUse[s] + p.threshold
+		if now < oldIso {
+			// Still hot: the new threshold reinterprets the live counter,
+			// exactly as the hardware comparator would. A smaller threshold
+			// may isolate it immediately (isolation instant lastUse+thr,
+			// possibly already past), a larger one extends its hotness.
+			continue
+		}
+		// Already isolated under the old rule: pin the isolation instant at
+		// oldIso by backdating lastUse so the rule change cannot rewrite
+		// the pulled window that already ended.
+		if oldIso >= thr {
+			p.lastUse[s] = oldIso - thr
+		} else {
+			p.lastUse[s] = 0
+		}
+	}
+	p.threshold = thr
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func defaultAdaptive() *AdaptiveGated {
+	return NewAdaptiveGated(DefaultAdaptiveConfig(32, 1), nil)
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	cases := []AdaptiveConfig{
+		{Subarrays: 0, InitialThreshold: 100, StallLo: 0.01, StallHi: 0.02},
+		{Subarrays: 4, InitialThreshold: 4, MinThreshold: 8, StallLo: 0.01, StallHi: 0.02},
+		{Subarrays: 4, InitialThreshold: 100, StallLo: 0.02, StallHi: 0.01},
+		{Subarrays: 4, InitialThreshold: 100, StallLo: -1, StallHi: 0.01},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d should panic: %+v", i, cfg)
+				}
+			}()
+			NewAdaptiveGated(cfg, nil)
+		}()
+	}
+	if defaultAdaptive() == nil {
+		t.Fatal("default config must construct")
+	}
+}
+
+func TestAdaptiveRaisesThresholdUnderStalls(t *testing.T) {
+	a := defaultAdaptive()
+	start := a.Threshold()
+	// Round-robin over all subarrays with gaps just beyond the threshold:
+	// every access stalls, so the controller must back off.
+	now := uint64(0)
+	for i := 0; i < 3*2048; i++ {
+		sub := i % 32
+		now += 40 // each subarray re-touched every 1280 cycles > any walk here
+		a.AccessPenalty(sub, now)
+	}
+	if a.Threshold() <= start {
+		t.Errorf("threshold %d did not rise from %d under 100%% stalls", a.Threshold(), start)
+	}
+	if a.Adjustments() == 0 {
+		t.Error("no adjustments recorded")
+	}
+}
+
+func TestAdaptiveLowersThresholdWhenQuiet(t *testing.T) {
+	a := defaultAdaptive()
+	start := a.Threshold()
+	// Hammer one subarray with tiny gaps: zero stalls after the first.
+	now := uint64(0)
+	for i := 0; i < 3*2048; i++ {
+		now += 2
+		a.AccessPenalty(0, now)
+	}
+	if a.Threshold() >= start {
+		t.Errorf("threshold %d did not fall from %d with no stalls", a.Threshold(), start)
+	}
+	if a.Threshold() < 8 {
+		t.Errorf("threshold %d fell below the floor", a.Threshold())
+	}
+}
+
+func TestAdaptiveRespectsBounds(t *testing.T) {
+	cfg := DefaultAdaptiveConfig(8, 1)
+	cfg.MinThreshold = 16
+	cfg.MaxThreshold = 128
+	cfg.InitialThreshold = 64
+	cfg.EpochAccesses = 256
+	a := NewAdaptiveGated(cfg, nil)
+	now := uint64(0)
+	// All-stall phase: must saturate at 128.
+	for i := 0; i < 4*256; i++ {
+		now += 200
+		a.AccessPenalty(i%8, now)
+	}
+	if a.Threshold() != 128 {
+		t.Errorf("threshold = %d, want max 128", a.Threshold())
+	}
+	// No-stall phase: must saturate at 16.
+	for i := 0; i < 8*256; i++ {
+		now += 2
+		a.AccessPenalty(0, now)
+	}
+	if a.Threshold() != 16 {
+		t.Errorf("threshold = %d, want min 16", a.Threshold())
+	}
+}
+
+func TestAdaptiveConservation(t *testing.T) {
+	// pulled + idle must equal subarrays*end even across threshold changes.
+	a := defaultAdaptive()
+	rng := rand.New(rand.NewSource(12))
+	now := uint64(0)
+	for i := 0; i < 20000; i++ {
+		now += uint64(1 + rng.Intn(120))
+		a.AccessPenalty(rng.Intn(32), now)
+	}
+	end := now + 5000
+	a.Finish(end)
+	led := a.Ledger()
+	if got := led.PulledCycles() + led.IdleCycles(); got != 32*end {
+		t.Errorf("pulled+idle = %d, want %d (adjustments %d)", got, 32*end, a.Adjustments())
+	}
+	if a.Stats().Accesses != 20000 {
+		t.Error("access count wrong")
+	}
+}
+
+func TestAdaptiveNameAndLatency(t *testing.T) {
+	a := defaultAdaptive()
+	if a.Name() == "" || a.ExtraAccessLatency() != 0 {
+		t.Error("identity wrong")
+	}
+	a.Hint(3, 10)
+	if a.Stats().Hints != 1 {
+		t.Error("hint not forwarded")
+	}
+}
+
+func TestAdaptiveDoubleFinishPanics(t *testing.T) {
+	a := defaultAdaptive()
+	a.Finish(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Finish should panic")
+		}
+	}()
+	a.Finish(200)
+}
+
+func TestSetThresholdExactAccounting(t *testing.T) {
+	// Shrinking the threshold after a subarray is already isolated must not
+	// rewrite the pulled window that ended under the old rule.
+	p := NewGated(1, 100, 1, nil)
+	p.AccessPenalty(0, 10) // pulled [10, 110)
+	// At cycle 500 the subarray has been isolated since 110.
+	p.setThreshold(20, 500)
+	p.AccessPenalty(0, 600) // closes idle [110, 600)
+	p.Finish(1000)
+	led := p.Ledger()
+	// Pulled: [10,110) + [600, 620) = 120.
+	if led.PulledCycles() != 120 {
+		t.Errorf("pulled = %d, want 120", led.PulledCycles())
+	}
+	if led.PulledCycles()+led.IdleCycles() != 1000 {
+		t.Error("conservation violated across threshold change")
+	}
+}
+
+func TestSetThresholdWhileHot(t *testing.T) {
+	// Growing the threshold while hot extends the window; shrinking it
+	// isolates at lastUse+new.
+	p := NewGated(1, 100, 1, nil)
+	p.AccessPenalty(0, 10)
+	p.setThreshold(300, 50) // still hot; isolation moves to 310
+	p.Finish(1000)
+	if p.Ledger().PulledCycles() != 300 {
+		t.Errorf("pulled = %d, want 300", p.Ledger().PulledCycles())
+	}
+
+	q := NewGated(1, 100, 1, nil)
+	q.AccessPenalty(0, 10)
+	q.setThreshold(20, 50) // hot under old rule, isolation becomes 30 (past)
+	if pen := q.AccessPenalty(0, 60); pen != 1 {
+		t.Errorf("access after implied isolation should stall, got %d", pen)
+	}
+	q.Finish(100)
+	if q.Ledger().PulledCycles()+q.Ledger().IdleCycles() != 100 {
+		t.Error("conservation violated")
+	}
+}
+
+func TestSetThresholdNoopAndValidation(t *testing.T) {
+	p := NewGated(1, 100, 1, nil)
+	p.setThreshold(100, 10) // no-op
+	if p.Threshold() != 100 {
+		t.Error("no-op changed threshold")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid threshold should panic")
+		}
+	}()
+	p.setThreshold(0, 10)
+}

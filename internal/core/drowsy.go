@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"nanocache/internal/sram"
+)
+
+// Drowsy models the drowsy-cache technique of Kim et al. (the paper's
+// Sec. 7 related work): subarrays that decay cold drop into a low-voltage
+// drowsy state that cuts the cell-core (non-bitline) leakage, and an access
+// to a drowsy subarray pays a one-cycle wake-up. It is orthogonal to
+// bitline precharge control — drowsiness attacks the 24% of cell leakage
+// that does not flow through the bitlines, precharge gating the 76% that
+// does — so a cache can run both, which the comparison experiment exploits.
+//
+// The decay machinery is the same counters as gated precharging, so Drowsy
+// wraps a Gated ledger: "pulled" time is awake time, "idle" time is drowsy
+// time.
+type Drowsy struct {
+	g *Gated
+}
+
+// DrowsyLeakageFactor is the residual cell-core leakage of a drowsy
+// subarray relative to full voltage (Kim et al. report roughly an order of
+// magnitude reduction; we use a conservative 15%).
+const DrowsyLeakageFactor = 0.15
+
+// NewDrowsy returns a drowsy-mode tracker for n subarrays with the given
+// decay threshold and wake penalty.
+func NewDrowsy(n int, threshold uint64, wakePenalty int) *Drowsy {
+	return &Drowsy{g: NewGated(n, threshold, wakePenalty, nil)}
+}
+
+// Name identifies the tracker.
+func (d *Drowsy) Name() string { return fmt.Sprintf("drowsy(t=%d)", d.g.Threshold()) }
+
+// Threshold returns the decay threshold.
+func (d *Drowsy) Threshold() uint64 { return d.g.Threshold() }
+
+// Access notes an access at cycle now and returns the wake-up stall (0 when
+// the subarray was awake).
+func (d *Drowsy) Access(sub int, now uint64) int { return d.g.AccessPenalty(sub, now) }
+
+// Finish closes accounting at the end cycle.
+func (d *Drowsy) Finish(end uint64) { d.g.Finish(end) }
+
+// AwakeFraction returns awake subarray-time over total subarray-time.
+func (d *Drowsy) AwakeFraction(runCycles uint64) float64 {
+	return d.g.Ledger().PulledFraction(runCycles)
+}
+
+// Stats returns access statistics (Stalled counts wake-ups).
+func (d *Drowsy) Stats() AccessStats { return d.g.Stats() }
+
+// Ledger exposes the awake/drowsy time accounting.
+func (d *Drowsy) Ledger() *sram.Ledger { return d.g.Ledger() }

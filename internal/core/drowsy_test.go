@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+func TestDrowsyWakePenalty(t *testing.T) {
+	d := NewDrowsy(4, 100, 1)
+	if pen := d.Access(0, 10); pen != 1 {
+		t.Fatalf("cold access wake = %d, want 1", pen)
+	}
+	if pen := d.Access(0, 50); pen != 0 {
+		t.Fatalf("awake access wake = %d, want 0", pen)
+	}
+	if pen := d.Access(0, 50+101); pen != 1 {
+		t.Fatalf("decayed access wake = %d, want 1", pen)
+	}
+	st := d.Stats()
+	if st.Accesses != 3 || st.Stalled != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if d.Threshold() != 100 {
+		t.Error("threshold accessor wrong")
+	}
+	if d.Name() != "drowsy(t=100)" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestDrowsyAwakeFraction(t *testing.T) {
+	d := NewDrowsy(2, 10, 1)
+	d.Access(0, 100) // awake [100, 110) on subarray 0
+	d.Finish(1000)
+	// 10 awake cycles of 2000 subarray-cycles.
+	if got := d.AwakeFraction(1000); got != 10.0/2000 {
+		t.Errorf("awake fraction = %v, want %v", got, 10.0/2000)
+	}
+	if d.Ledger().Subarrays() != 2 {
+		t.Error("ledger wiring wrong")
+	}
+}
+
+func TestDrowsyLeakageFactorBand(t *testing.T) {
+	// Kim et al. report roughly an order of magnitude; our conservative
+	// residual must sit well below awake leakage.
+	if DrowsyLeakageFactor <= 0 || DrowsyLeakageFactor >= 0.5 {
+		t.Errorf("drowsy residual = %v, want a strong reduction", DrowsyLeakageFactor)
+	}
+}

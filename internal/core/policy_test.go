@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"nanocache/internal/sram"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindStatic: "static-pullup", KindOracle: "oracle",
+		KindOnDemand: "on-demand", KindGated: "gated", KindResizable: "resizable",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestStaticPullUp(t *testing.T) {
+	p := NewStaticPullUp(4, nil)
+	if p.Name() != "static-pullup" {
+		t.Error("name wrong")
+	}
+	for i := uint64(0); i < 10; i++ {
+		if pen := p.AccessPenalty(int(i%4), i*3); pen != 0 {
+			t.Fatal("static pull-up must never stall")
+		}
+	}
+	p.Hint(0, 5) // no-op
+	if p.ExtraAccessLatency() != 0 {
+		t.Error("static has no extra latency")
+	}
+	p.Finish(1000)
+	led := p.Ledger()
+	if led.PulledCycles() != 4*1000 {
+		t.Errorf("pulled = %d, want 4000 (everything pulled the whole run)", led.PulledCycles())
+	}
+	if led.Toggles() != 0 || led.IdleCycles() != 0 {
+		t.Error("static pull-up must never isolate")
+	}
+	if p.Stats().Accesses != 10 {
+		t.Error("access count wrong")
+	}
+}
+
+func TestStaticDoubleFinishPanics(t *testing.T) {
+	p := NewStaticPullUp(1, nil)
+	p.Finish(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Finish should panic")
+		}
+	}()
+	p.Finish(20)
+}
+
+func TestOracleSingleAccess(t *testing.T) {
+	// One access at cycle 100, occupancy 3 cycles, run ends at 1000, on a
+	// 2-subarray cache.
+	p := NewOracle(2, 3, nil)
+	if pen := p.AccessPenalty(0, 100); pen != 0 {
+		t.Fatal("oracle must never stall")
+	}
+	p.Finish(1000)
+	led := p.Ledger()
+	if led.PulledCycles() != 3 {
+		t.Errorf("pulled = %d, want 3 (one access occupancy)", led.PulledCycles())
+	}
+	// Subarray 0: idle [0,100) reprecharged + idle [103,1000) end-of-run;
+	// subarray 1: idle [0,1000) end-of-run.
+	if led.Toggles() != 1 {
+		t.Errorf("toggles = %d, want 1", led.Toggles())
+	}
+	wantIdle := uint64(100 + (1000 - 103) + 1000)
+	if led.IdleCycles() != wantIdle {
+		t.Errorf("idle = %d, want %d", led.IdleCycles(), wantIdle)
+	}
+}
+
+func TestOracleOverlappingAccessesExtendWindow(t *testing.T) {
+	p := NewOracle(1, 3, nil)
+	p.AccessPenalty(0, 10) // pulled [10,13)
+	p.AccessPenalty(0, 11) // extends to [10,14)
+	p.AccessPenalty(0, 12) // extends to [10,15)
+	p.Finish(100)
+	led := p.Ledger()
+	if led.PulledCycles() != 5 {
+		t.Errorf("pulled = %d, want 5", led.PulledCycles())
+	}
+	if led.Toggles() != 1 {
+		t.Errorf("toggles = %d, want 1 (only the initial pull-up)", led.Toggles())
+	}
+}
+
+func TestOracleBackToBackWindows(t *testing.T) {
+	p := NewOracle(1, 2, nil)
+	p.AccessPenalty(0, 0)  // [0,2)
+	p.AccessPenalty(0, 10) // idle [2,10), new window [10,12)
+	p.Finish(20)
+	led := p.Ledger()
+	if led.PulledCycles() != 4 {
+		t.Errorf("pulled = %d, want 4", led.PulledCycles())
+	}
+	if led.Toggles() != 2 {
+		t.Errorf("toggles = %d, want 2", led.Toggles())
+	}
+	if led.IdleCycles() != 8+8 { // [2,10) and [12,20)
+		t.Errorf("idle = %d, want 16", led.IdleCycles())
+	}
+}
+
+func TestOracleConservation(t *testing.T) {
+	// pulled + idle must equal subarrays * runLength for any access pattern.
+	p := NewOracle(4, 3, nil)
+	seq := []struct {
+		sub int
+		at  uint64
+	}{{0, 5}, {1, 6}, {0, 7}, {2, 50}, {0, 51}, {3, 52}, {3, 53}, {1, 300}}
+	for _, a := range seq {
+		p.AccessPenalty(a.sub, a.at)
+	}
+	end := uint64(500)
+	p.Finish(end)
+	led := p.Ledger()
+	if got := led.PulledCycles() + led.IdleCycles(); got != 4*end {
+		t.Errorf("pulled+idle = %d, want %d", got, 4*end)
+	}
+}
+
+func TestOnDemandMatchesOracleSchedule(t *testing.T) {
+	// On-demand has the oracle's exact pull-up schedule, plus uniform extra
+	// latency.
+	or := NewOracle(3, 2, nil)
+	od := NewOnDemand(3, 2, 1, nil)
+	seq := []struct {
+		sub int
+		at  uint64
+	}{{0, 1}, {1, 4}, {0, 9}, {2, 9}, {1, 30}}
+	for _, a := range seq {
+		or.AccessPenalty(a.sub, a.at)
+		if pen := od.AccessPenalty(a.sub, a.at); pen != 0 {
+			t.Fatal("on-demand models its cost as latency, not stalls")
+		}
+	}
+	or.Finish(100)
+	od.Finish(100)
+	if or.Ledger().PulledCycles() != od.Ledger().PulledCycles() ||
+		or.Ledger().Toggles() != od.Ledger().Toggles() ||
+		or.Ledger().IdleCycles() != od.Ledger().IdleCycles() {
+		t.Error("on-demand pull-up schedule must match the oracle's")
+	}
+	if od.ExtraAccessLatency() != 1 {
+		t.Error("on-demand must add one cycle")
+	}
+	if or.ExtraAccessLatency() != 0 {
+		t.Error("oracle adds no latency")
+	}
+	if od.Name() != "on-demand" || or.Name() != "oracle" {
+		t.Error("names wrong")
+	}
+}
+
+func TestOnDemandRejectsNegativeLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative latency should panic")
+		}
+	}()
+	NewOnDemand(1, 1, -1, nil)
+}
+
+func TestOccupancyRejectsZeroDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero occupancy should panic")
+		}
+	}()
+	NewOracle(1, 0, nil)
+}
+
+func TestAccessStatsStallRate(t *testing.T) {
+	s := AccessStats{Accesses: 10, Stalled: 3}
+	if s.StallRate() != 0.3 {
+		t.Errorf("stall rate = %v", s.StallRate())
+	}
+	if (AccessStats{}).StallRate() != 0 {
+		t.Error("empty stats must report 0")
+	}
+}
+
+func TestObserverReceivesIdleIntervals(t *testing.T) {
+	var total uint64
+	obs := func(sub int, idle uint64, repre bool) { total += idle }
+	p := NewOracle(2, 1, obs)
+	p.AccessPenalty(0, 10)
+	p.Finish(20)
+	if total != 2*20-1 {
+		t.Errorf("observed idle = %d, want %d", total, 2*20-1)
+	}
+	if p.Ledger().Subarrays() != 2 {
+		t.Error("ledger wiring wrong")
+	}
+	_ = sram.DefaultThresholds // doc reference
+}

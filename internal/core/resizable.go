@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+
+	"nanocache/internal/sram"
+)
+
+// Resizable reproduces the resizable-cache prior art the paper compares
+// against (Sec. 2 and Fig. 9, citing Yang et al. [22]): the cache monitors
+// its miss ratio over long intervals and resizes at interval boundaries by
+// powers of two (selective sets); the subarrays backing the active portion
+// use conventional static pull-up and the rest are isolated. Precharge
+// devices therefore switch only at resize points, amortizing the isolation
+// overhead — but the coarse grain leaves most of the potential unexploited
+// and downsizing maps hot sets onto each other, adding misses.
+//
+// The cache model consults ActiveFraction to mask its set index and calls
+// EndInterval with the interval's miss ratio; resize decisions keep the
+// estimated performance impact within the configured miss-ratio tolerance,
+// mirroring the paper's "as aggressively as possible while maintaining a 1%
+// performance penalty".
+type Resizable struct {
+	n      int
+	ledger *sram.Ledger
+
+	// ladder holds the size levels from full (index 0) to smallest; step
+	// indexes it.
+	ladder []SizeLevel
+	ways   int // total associativity
+
+	step      int
+	isoSince  []uint64
+	pullStart []uint64 // when each active subarray's pulled window began
+	active    []bool
+
+	// Miss-ratio control.
+	tolerance float64 // allowed miss-ratio increase over the full-size baseline
+	baseline  float64 // best (full-size) miss ratio observed
+	hasBase   bool
+	lastMiss  float64
+	holdUntil int  // intervals to hold after backing off
+	skipNext  bool // discard the measurement interval right after a resize (remap warm-up)
+	intervals int
+	resizes   uint64
+
+	stats AccessStats
+	done  bool
+}
+
+// SizeLevel is one rung of the resizing ladder: the set index is shifted
+// down by SetShift (selective sets) and only Ways ways stay powered
+// (selective ways). The paper's resizable baseline varies both.
+type SizeLevel struct {
+	SetShift int
+	Ways     int
+}
+
+// ResizableConfig parameterizes the controller.
+type ResizableConfig struct {
+	// Subarrays is the total subarray count.
+	Subarrays int
+	// MaxSteps bounds downsizing: the ladder has at most MaxSteps levels
+	// below full size.
+	MaxSteps int
+	// Tolerance is the acceptable absolute miss-ratio increase versus the
+	// full-size baseline (the knob that holds slowdown near 1%).
+	Tolerance float64
+	// Ways is the cache's associativity; with SelectiveWays it must be a
+	// power of two > 1.
+	Ways int
+	// SelectiveWays makes the ladder cut ways before sets (the paper's
+	// "vary both the number of cache sets and set associative ways");
+	// otherwise only sets are cut.
+	SelectiveWays bool
+}
+
+// NewResizable returns a resizable-cache controller starting at full size.
+func NewResizable(cfg ResizableConfig, obs sram.IdleObserver) *Resizable {
+	if cfg.Subarrays <= 0 {
+		panic("core: resizable needs subarrays")
+	}
+	if cfg.MaxSteps < 0 {
+		panic("core: negative MaxSteps")
+	}
+	if cfg.Tolerance < 0 {
+		panic("core: negative tolerance")
+	}
+	ways := cfg.Ways
+	if ways < 1 {
+		ways = 1
+	}
+	if cfg.SelectiveWays && (ways < 2 || ways&(ways-1) != 0) {
+		panic(fmt.Sprintf("core: selective ways needs a power-of-two associativity > 1, got %d", ways))
+	}
+	ladder := buildLadder(cfg.Subarrays, ways, cfg.SelectiveWays, cfg.MaxSteps)
+	if len(ladder)-1 < cfg.MaxSteps {
+		panic(fmt.Sprintf("core: resizable MaxSteps %d too deep for %d subarrays",
+			cfg.MaxSteps, cfg.Subarrays))
+	}
+	r := &Resizable{
+		n:         cfg.Subarrays,
+		ledger:    sram.NewLedger(cfg.Subarrays, obs),
+		ladder:    ladder,
+		ways:      ways,
+		isoSince:  make([]uint64, cfg.Subarrays),
+		pullStart: make([]uint64, cfg.Subarrays),
+		active:    make([]bool, cfg.Subarrays),
+		tolerance: cfg.Tolerance,
+	}
+	for s := range r.active {
+		r.active[s] = true
+	}
+	return r
+}
+
+// buildLadder enumerates size levels from full downward: with selective
+// ways, associativity is halved first (cheap misses-wise), then sets; with
+// sets only, sets halve each level. Levels whose active-subarray count
+// would drop below one are excluded.
+func buildLadder(subarrays, ways int, selectiveWays bool, maxSteps int) []SizeLevel {
+	ladder := []SizeLevel{{0, ways}}
+	shift, w := 0, ways
+	for len(ladder)-1 < maxSteps {
+		if selectiveWays && w > 1 {
+			w /= 2
+		} else {
+			shift++
+		}
+		// Active subarrays at this level.
+		k := (subarrays >> shift) * w / ways
+		if k < 1 {
+			break
+		}
+		ladder = append(ladder, SizeLevel{shift, w})
+	}
+	return ladder
+}
+
+// Name implements Controller.
+func (r *Resizable) Name() string { return KindResizable.String() }
+
+// Level returns the current size level.
+func (r *Resizable) Level() SizeLevel { return r.ladder[r.step] }
+
+// ActiveWays returns the powered associativity at the current level.
+func (r *Resizable) ActiveWays() int { return r.ladder[r.step].Ways }
+
+// ActiveSetFraction returns the fraction of sets that remain indexable,
+// which the cache model uses to mask its set index.
+func (r *Resizable) ActiveSetFraction() float64 {
+	return 1 / float64(int(1)<<r.ladder[r.step].SetShift)
+}
+
+// ActiveSubarrays returns the current active subarray count.
+func (r *Resizable) ActiveSubarrays() int {
+	l := r.ladder[r.step]
+	k := (r.n >> l.SetShift) * l.Ways / r.ways
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ActiveFraction returns the active portion of the cache (1, 1/2, 1/4, ...).
+func (r *Resizable) ActiveFraction() float64 {
+	return float64(r.ActiveSubarrays()) / float64(r.n)
+}
+
+// Resizes returns the number of size changes taken.
+func (r *Resizable) Resizes() uint64 { return r.resizes }
+
+// AccessPenalty implements Controller: active subarrays are statically
+// pulled up, so accesses never stall (the cache masks accesses into the
+// active portion).
+func (r *Resizable) AccessPenalty(sub int, now uint64) int {
+	r.stats.Accesses++
+	return 0
+}
+
+// Hint implements Controller: unused.
+func (r *Resizable) Hint(sub int, now uint64) {}
+
+// ExtraAccessLatency implements Controller.
+func (r *Resizable) ExtraAccessLatency() int { return 0 }
+
+// EndInterval reports the miss ratio of the interval that just ended at
+// cycle now and lets the controller resize. It returns true if the size
+// changed (the cache must then remap, modelled as a flush).
+func (r *Resizable) EndInterval(now uint64, missRatio float64) bool {
+	r.intervals++
+	r.lastMiss = missRatio
+	if r.skipNext {
+		// The interval right after a resize is dominated by remap refills;
+		// measuring it would punish every downsize. (The paper's ~1M
+		// instruction intervals amortize this; our scaled intervals skip
+		// the warm-up measurement instead.)
+		r.skipNext = false
+		return false
+	}
+	if r.step == 0 {
+		// Track the full-size baseline (best observed, mildly aged so phase
+		// changes can re-establish it).
+		if !r.hasBase || missRatio < r.baseline {
+			r.baseline = missRatio
+			r.hasBase = true
+		} else {
+			r.baseline = 0.9*r.baseline + 0.1*missRatio
+		}
+	}
+	if r.holdUntil > 0 {
+		r.holdUntil--
+		return false
+	}
+	switch {
+	case r.hasBase && missRatio > r.baseline+r.tolerance && r.step > 0:
+		// Too many extra misses: grow back and hold a while.
+		r.setStep(r.step-1, now)
+		r.holdUntil = 4
+		return true
+	case r.step < len(r.ladder)-1 && missRatio <= r.baseline+r.tolerance/2:
+		// Cheap enough: try the next smaller size.
+		r.setStep(r.step+1, now)
+		return true
+	}
+	return false
+}
+
+// setStep changes the active size, updating ledger state for subarrays that
+// cross the active boundary at cycle now.
+func (r *Resizable) setStep(step int, now uint64) {
+	if step == r.step {
+		return
+	}
+	r.resizes++
+	r.step = step
+	r.skipNext = true
+	k := r.ActiveSubarrays()
+	for s := 0; s < r.n; s++ {
+		wasActive := r.active[s]
+		isActive := s < k
+		if wasActive == isActive {
+			continue
+		}
+		r.active[s] = isActive
+		if isActive {
+			// Re-precharge: close the isolation interval.
+			r.ledger.EndIdle(s, now-r.isoSince[s], true)
+			r.isoSince[s] = 0
+			r.pullStart[s] = now
+		} else {
+			// Isolate: close the pulled window.
+			r.ledger.AddPulled(s, now-r.pullStart[s])
+			r.isoSince[s] = now
+		}
+	}
+}
+
+// Finish implements Controller.
+func (r *Resizable) Finish(end uint64) {
+	if r.done {
+		panic("core: Finish called twice")
+	}
+	r.done = true
+	for s := 0; s < r.n; s++ {
+		if r.active[s] {
+			r.ledger.AddPulled(s, end-r.pullStart[s])
+		} else {
+			r.ledger.EndIdle(s, end-r.isoSince[s], false)
+		}
+	}
+}
+
+// Ledger implements Controller.
+func (r *Resizable) Ledger() *sram.Ledger { return r.ledger }
+
+// Stats returns access statistics.
+func (r *Resizable) Stats() AccessStats { return r.stats }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+)
+
+func newResizable(t *testing.T, tol float64) *Resizable {
+	t.Helper()
+	return NewResizable(ResizableConfig{Subarrays: 32, MaxSteps: 4, Tolerance: tol}, nil)
+}
+
+func TestResizableStartsFull(t *testing.T) {
+	r := newResizable(t, 0.002)
+	if r.ActiveSubarrays() != 32 || r.ActiveFraction() != 1 {
+		t.Errorf("start size = %d (%.2f), want full", r.ActiveSubarrays(), r.ActiveFraction())
+	}
+	if r.Name() != "resizable" || r.ExtraAccessLatency() != 0 {
+		t.Error("identity wrong")
+	}
+	if pen := r.AccessPenalty(0, 10); pen != 0 {
+		t.Error("active accesses never stall")
+	}
+	r.Hint(0, 10) // no-op
+}
+
+func TestResizableDownsizesWhenCheap(t *testing.T) {
+	r := newResizable(t, 0.002)
+	now := uint64(0)
+	// Constant low miss ratio: the controller should walk down to minimum.
+	for i := 0; i < 20; i++ {
+		now += 10000
+		r.EndInterval(now, 0.01)
+	}
+	if r.ActiveSubarrays() != 32>>4 {
+		t.Errorf("active = %d, want %d after sustained low misses", r.ActiveSubarrays(), 32>>4)
+	}
+	if r.Resizes() == 0 {
+		t.Error("no resizes recorded")
+	}
+}
+
+func TestResizableGrowsBackUnderMissPressure(t *testing.T) {
+	r := newResizable(t, 0.002)
+	now := uint64(10000)
+	// Establish the baseline and downsize (the first post-resize interval
+	// is a discarded remap warm-up).
+	if changed := r.EndInterval(now, 0.01); !changed {
+		t.Fatal("expected a downsize attempt")
+	}
+	small := r.ActiveSubarrays()
+	if small >= 32 {
+		t.Fatal("did not shrink")
+	}
+	now += 10000
+	if r.EndInterval(now, 0.5) {
+		t.Fatal("warm-up interval must be discarded")
+	}
+	// Misses explode at the smaller size: must grow back.
+	now += 10000
+	if changed := r.EndInterval(now, 0.2); !changed {
+		t.Fatal("expected an upsize under miss pressure")
+	}
+	if r.ActiveSubarrays() != small*2 {
+		t.Errorf("active = %d, want %d", r.ActiveSubarrays(), small*2)
+	}
+	// And hold for a few intervals even if misses stay moderate.
+	held := r.ActiveSubarrays()
+	for i := 0; i < 3; i++ {
+		now += 10000
+		r.EndInterval(now, 0.01)
+	}
+	if r.ActiveSubarrays() < held {
+		t.Error("controller must hold after backing off")
+	}
+}
+
+func TestResizableLedgerConservation(t *testing.T) {
+	r := newResizable(t, 0.01)
+	now := uint64(0)
+	ratios := []float64{0.01, 0.01, 0.01, 0.2, 0.01, 0.01, 0.01, 0.01, 0.3, 0.01}
+	for _, m := range ratios {
+		now += 5000
+		r.EndInterval(now, m)
+	}
+	end := now + 1234
+	r.Finish(end)
+	led := r.Ledger()
+	if got := led.PulledCycles() + led.IdleCycles(); got != 32*end {
+		t.Errorf("pulled+idle = %d, want %d", got, 32*end)
+	}
+	// Resizable toggles rarely: bounded by subarrays crossing boundaries.
+	if led.Toggles() > 64 {
+		t.Errorf("toggles = %d, implausibly many for interval-grained resizing", led.Toggles())
+	}
+}
+
+func TestResizableConfigValidation(t *testing.T) {
+	cases := []ResizableConfig{
+		{Subarrays: 0, MaxSteps: 1, Tolerance: 0.01},
+		{Subarrays: 4, MaxSteps: 3, Tolerance: 0.01}, // 4>>3 = 0
+		{Subarrays: 4, MaxSteps: -1, Tolerance: 0.01},
+		{Subarrays: 4, MaxSteps: 1, Tolerance: -1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d should panic: %+v", i, cfg)
+				}
+			}()
+			NewResizable(cfg, nil)
+		}()
+	}
+}
+
+func TestResizableDoubleFinishPanics(t *testing.T) {
+	r := newResizable(t, 0.01)
+	r.Finish(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Finish should panic")
+		}
+	}()
+	r.Finish(20)
+}
+
+func TestResizableStatsCount(t *testing.T) {
+	r := newResizable(t, 0.01)
+	for i := 0; i < 7; i++ {
+		r.AccessPenalty(i%32, uint64(i))
+	}
+	if r.Stats().Accesses != 7 {
+		t.Error("access count wrong")
+	}
+}

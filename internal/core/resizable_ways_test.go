@@ -1,0 +1,85 @@
+package core
+
+import "testing"
+
+func TestBuildLadderSetsOnly(t *testing.T) {
+	l := buildLadder(32, 2, false, 3)
+	want := []SizeLevel{{0, 2}, {1, 2}, {2, 2}, {3, 2}}
+	if len(l) != len(want) {
+		t.Fatalf("ladder = %v", l)
+	}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Errorf("ladder[%d] = %v, want %v", i, l[i], want[i])
+		}
+	}
+}
+
+func TestBuildLadderSelectiveWays(t *testing.T) {
+	l := buildLadder(32, 2, true, 4)
+	want := []SizeLevel{{0, 2}, {0, 1}, {1, 1}, {2, 1}, {3, 1}}
+	if len(l) != len(want) {
+		t.Fatalf("ladder = %v", l)
+	}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Errorf("ladder[%d] = %v, want %v", i, l[i], want[i])
+		}
+	}
+}
+
+func TestBuildLadderStopsAtOneSubarray(t *testing.T) {
+	l := buildLadder(4, 1, false, 10)
+	// 4 -> 2 -> 1, then stop.
+	if len(l) != 3 {
+		t.Fatalf("ladder = %v, want 3 levels", l)
+	}
+}
+
+func TestSelectiveWaysActiveCounts(t *testing.T) {
+	r := NewResizable(ResizableConfig{
+		Subarrays: 32, MaxSteps: 4, Tolerance: 0.01, Ways: 2, SelectiveWays: true,
+	}, nil)
+	if r.ActiveSubarrays() != 32 || r.ActiveWays() != 2 || r.ActiveSetFraction() != 1 {
+		t.Fatalf("full size wrong: %d subarrays, %d ways", r.ActiveSubarrays(), r.ActiveWays())
+	}
+	// Walk down one level: ways cut first, sets untouched.
+	r.setStep(1, 100)
+	if r.ActiveWays() != 1 {
+		t.Errorf("ways = %d, want 1 after first cut", r.ActiveWays())
+	}
+	if r.ActiveSetFraction() != 1 {
+		t.Error("set fraction must stay 1 on the ways cut")
+	}
+	if r.ActiveSubarrays() != 16 {
+		t.Errorf("active subarrays = %d, want 16", r.ActiveSubarrays())
+	}
+	// Next level cuts sets.
+	r.setStep(2, 200)
+	if r.ActiveSetFraction() != 0.5 || r.ActiveSubarrays() != 8 {
+		t.Errorf("level 2: frac %.2f subarrays %d", r.ActiveSetFraction(), r.ActiveSubarrays())
+	}
+	r.Finish(1000)
+	led := r.Ledger()
+	if led.PulledCycles()+led.IdleCycles() != 32*1000 {
+		t.Error("conservation violated across ways/sets resizes")
+	}
+}
+
+func TestSelectiveWaysValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("selective ways with associativity 3 should panic")
+		}
+	}()
+	NewResizable(ResizableConfig{
+		Subarrays: 32, MaxSteps: 1, Tolerance: 0.01, Ways: 3, SelectiveWays: true,
+	}, nil)
+}
+
+func TestLevelAccessor(t *testing.T) {
+	r := NewResizable(ResizableConfig{Subarrays: 8, MaxSteps: 2, Tolerance: 0.01}, nil)
+	if r.Level() != (SizeLevel{0, 1}) {
+		t.Errorf("level = %v", r.Level())
+	}
+}

@@ -1,0 +1,14 @@
+package cpu
+
+import (
+	"testing"
+)
+
+// BenchmarkPredictor measures branch predictor throughput.
+func BenchmarkPredictor(b *testing.B) {
+	p := NewPredictor(12)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x400000 + (i%512)*4)
+		p.PredictAndUpdate(pc, i&3 != 0)
+	}
+}

@@ -1,0 +1,47 @@
+package cpu
+
+import (
+	"testing"
+
+	"nanocache/internal/isa"
+	"nanocache/internal/workload"
+)
+
+// TestBenchmarkCharacterization logs the per-benchmark behaviour the
+// workload substitution is calibrated to (DESIGN.md §4(3)) and pins the
+// coarse properties the paper's results rely on: the thrashing class
+// (ammp/art/mcf/health) has high D-miss ratios, the resident class low ones,
+// and gcc/vortex pressure the i-cache.
+func TestBenchmarkCharacterization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	const n = 60000
+	thrashing := map[string]bool{"ammp": true, "art": true, "mcf": true, "health": true}
+	bigCode := map[string]bool{"gcc": true, "vortex": true}
+	for _, name := range workload.Names() {
+		spec, _ := workload.ByName(name)
+		res, l1i, l1d := runStream(t, DefaultConfig(),
+			&isa.Limit{S: workload.MustNew(spec, 1), N: n}, pStatic)
+		dacc, _, _ := l1d.Stats()
+		iacc, imiss, _ := l1i.Stats()
+		dAPC := float64(dacc) / float64(res.Cycles)
+		iMR := float64(imiss) / float64(iacc)
+		t.Logf("%-8s IPC=%.2f dMiss=%.3f iMiss=%.3f dAcc/cyc=%.2f replays=%d mispred=%.3f",
+			name, res.IPC, l1d.MissRatio(), iMR, dAPC,
+			res.Replays, float64(res.Mispredicts)/float64(res.Branches))
+		if thrashing[name] {
+			if l1d.MissRatio() < 0.08 {
+				t.Errorf("%s: miss ratio %.3f too low for a thrashing benchmark", name, l1d.MissRatio())
+			}
+		} else if l1d.MissRatio() > 0.10 {
+			t.Errorf("%s: miss ratio %.3f too high for a mostly resident benchmark", name, l1d.MissRatio())
+		}
+		if bigCode[name] && iMR < 0.01 {
+			t.Errorf("%s: i-miss ratio %.4f too low for a large-code benchmark", name, iMR)
+		}
+		if !bigCode[name] && iMR > 0.08 {
+			t.Errorf("%s: i-miss ratio %.4f too high", name, iMR)
+		}
+	}
+}

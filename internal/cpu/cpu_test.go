@@ -1,0 +1,469 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"nanocache/internal/cache"
+	"nanocache/internal/cacti"
+	"nanocache/internal/core"
+	"nanocache/internal/isa"
+	"nanocache/internal/sram"
+	"nanocache/internal/tech"
+	"nanocache/internal/workload"
+)
+
+type policyChoice int
+
+const (
+	pStatic policyChoice = iota
+	pGated
+	pOnDemand
+)
+
+func buildL1(t testing.TB, kind cacti.Kind, p policyChoice, threshold uint64) *cache.L1 {
+	t.Helper()
+	var cfg cacti.Config
+	if kind == cacti.Data {
+		cfg = cacti.DefaultDataConfig(tech.N70)
+	} else {
+		cfg = cacti.DefaultInstructionConfig(tech.N70)
+	}
+	m, err := cacti.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Geometry.NumSubarrays()
+	var ctrl core.Controller
+	switch p {
+	case pStatic:
+		ctrl = core.NewStaticPullUp(n, nil)
+	case pGated:
+		ctrl = core.NewGated(n, threshold, m.PrechargeMissPenaltyCycles(), nil)
+	case pOnDemand:
+		ctrl = core.NewOnDemand(n, m.AccessCycles(), m.OnDemandExtraCycles(), nil)
+	}
+	c, err := cache.NewL1(m, ctrl, sram.NewLocality(n, nil), cache.DefaultL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func runStream(t testing.TB, cfg Config, s isa.Stream, p policyChoice) (Result, *cache.L1, *cache.L1) {
+	t.Helper()
+	l1i := buildL1(t, cacti.Instruction, p, 100)
+	l1d := buildL1(t, cacti.Data, p, 100)
+	m, err := NewMachine(cfg, l1i, l1d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, l1i, l1d
+}
+
+// loopPC keeps synthetic streams inside a couple of i-cache lines, the way
+// real loop bodies are; without it every 32B line cold-misses.
+func loopPC(i int) uint64 { return 0x400000 + uint64(i%16)*4 }
+
+func aluChain(n int) []isa.MicroOp {
+	ops := make([]isa.MicroOp, n)
+	for i := range ops {
+		ops[i] = isa.MicroOp{
+			PC:    loopPC(i),
+			Class: isa.IntALU,
+			Src1:  isa.Reg(1 + (i % 20)),
+			Dst:   isa.Reg(1 + ((i + 1) % 20)),
+		}
+	}
+	return ops
+}
+
+func independentALU(n int) []isa.MicroOp {
+	ops := make([]isa.MicroOp, n)
+	for i := range ops {
+		ops[i] = isa.MicroOp{
+			PC:    loopPC(i),
+			Class: isa.IntALU,
+			Dst:   isa.Reg(1 + (i % 20)),
+		}
+	}
+	return ops
+}
+
+func TestCommitCountMatchesStream(t *testing.T) {
+	res, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: independentALU(1000)}, pStatic)
+	if res.Committed != 1000 {
+		t.Fatalf("committed %d, want 1000", res.Committed)
+	}
+	if res.Cycles == 0 || res.IPC <= 0 {
+		t.Fatal("no time elapsed?")
+	}
+}
+
+func TestIndependentOpsFasterThanChain(t *testing.T) {
+	indep, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: independentALU(4000)}, pStatic)
+	chain, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: aluChain(4000)}, pStatic)
+	if indep.IPC <= chain.IPC {
+		t.Errorf("independent IPC %.2f should beat chained %.2f", indep.IPC, chain.IPC)
+	}
+	// A serial chain commits ~1 op/cycle; 8-wide independent should be much
+	// faster.
+	if chain.IPC > 1.4 {
+		t.Errorf("chained IPC %.2f implausibly high", chain.IPC)
+	}
+	if indep.IPC < 2 {
+		t.Errorf("independent IPC %.2f implausibly low for 8-wide", indep.IPC)
+	}
+}
+
+func TestSerialChainIPCNearOne(t *testing.T) {
+	res, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: aluChain(8000)}, pStatic)
+	if res.IPC < 0.8 || res.IPC > 1.1 {
+		t.Errorf("serial chain IPC = %.3f, want ~1", res.IPC)
+	}
+}
+
+func TestLoadLatencyOnCriticalPath(t *testing.T) {
+	// load -> dependent ALU chain: each load-use pair costs the d-cache
+	// latency. Compare against pure ALU chain to see the cache latency.
+	mk := func() []isa.MicroOp {
+		var ops []isa.MicroOp
+		for i := 0; i < 1000; i++ {
+			// The ALU result feeds the next load's base register: a true
+			// serial load-use chain.
+			ops = append(ops, isa.MicroOp{
+				PC: loopPC(len(ops)), Class: isa.Load,
+				Addr: 0x10000000 + uint64(i%4)*8, Base: 24, Dst: 1,
+			})
+			ops = append(ops, isa.MicroOp{
+				PC: loopPC(len(ops)), Class: isa.IntALU,
+				Src1: 1, Dst: 24,
+			})
+		}
+		return ops
+	}
+	res, _, l1d := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: mk()}, pStatic)
+	if mr := l1d.MissRatio(); mr > 0.01 {
+		t.Fatalf("expected warm loads, miss ratio %.3f", mr)
+	}
+	// Serial load(1+3)+ALU(1) chain: ~5 cycles per pair → IPC ≈ 0.4.
+	if res.IPC < 0.25 || res.IPC > 0.6 {
+		t.Errorf("load-use chain IPC = %.3f, want ~0.4", res.IPC)
+	}
+}
+
+func TestBranchMispredictsSlowExecution(t *testing.T) {
+	// Branches with alternating outcomes on a cold predictor hurt; fully
+	// biased branches train perfectly.
+	mk := func(alternating bool) []isa.MicroOp {
+		var ops []isa.MicroOp
+		for i := 0; i < 4000; i++ {
+			ops = append(ops, isa.MicroOp{
+				PC: 0x400000 + uint64(i%64)*8, Class: isa.IntALU, Dst: 1,
+			})
+			taken := false
+			if alternating {
+				// A pseudo-random pattern defeats both components.
+				taken = (i*2654435761)&4 != 0
+			}
+			op := isa.MicroOp{
+				PC: 0x400004 + uint64(i%64)*8, Class: isa.Branch,
+				Taken: taken,
+			}
+			if taken {
+				op.Target = op.PC + 4
+			}
+			ops = append(ops, op)
+		}
+		return ops
+	}
+	hard, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: mk(true)}, pStatic)
+	easy, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: mk(false)}, pStatic)
+	if hard.Mispredicts <= easy.Mispredicts {
+		t.Fatalf("alternating branches should mispredict more: %d vs %d",
+			hard.Mispredicts, easy.Mispredicts)
+	}
+	if hard.IPC >= easy.IPC {
+		t.Errorf("mispredict-heavy IPC %.2f should trail predictable %.2f", hard.IPC, easy.IPC)
+	}
+}
+
+func TestGatedCausesReplaysStaticDoesNot(t *testing.T) {
+	spec, _ := workload.ByName("equake")
+	mkStream := func() isa.Stream {
+		return &isa.Limit{S: workload.MustNew(spec, 42), N: 60000}
+	}
+	static, _, _ := runStream(t, DefaultConfig(), mkStream(), pStatic)
+	cfgG := DefaultConfig()
+	gated, _, l1d := runStream(t, cfgG, mkStream(), pGated)
+	// Static pull-up still replays on cache misses (the paper's "major
+	// sources of cache access latency variation", Sec. 6.3); gated adds
+	// precharge-miss replays on top.
+	if gated.Replays <= static.Replays {
+		t.Errorf("gated replays %d should exceed static's miss-only %d",
+			gated.Replays, static.Replays)
+	}
+	if gated.PrechargeStallCycles == 0 {
+		t.Error("gated should stall some accesses")
+	}
+	g := l1d.Controller().(*core.Gated)
+	if g.Stats().Stalled == 0 {
+		t.Error("controller saw no stalls")
+	}
+	// Performance must be close to static (that is the paper's point at a
+	// reasonable threshold).
+	slowdown := static.IPC/gated.IPC - 1
+	if slowdown < 0 {
+		slowdown = 0
+	}
+	if slowdown > 0.08 {
+		t.Errorf("gated slowdown %.3f implausibly high at threshold 100", slowdown)
+	}
+}
+
+func TestOnDemandSlowerThanStatic(t *testing.T) {
+	spec, _ := workload.ByName("wupwise")
+	mk := func() isa.Stream { return &isa.Limit{S: workload.MustNew(spec, 7), N: 60000} }
+	static, _, _ := runStream(t, DefaultConfig(), mk(), pStatic)
+	od, _, _ := runStream(t, DefaultConfig(), mk(), pOnDemand)
+	if od.IPC >= static.IPC {
+		t.Errorf("on-demand IPC %.3f should trail static %.3f", od.IPC, static.IPC)
+	}
+	slowdown := static.IPC/od.IPC - 1
+	if slowdown < 0.01 || slowdown > 0.25 {
+		t.Errorf("on-demand slowdown = %.3f, want a visible single-digit percentage", slowdown)
+	}
+	// On-demand's +1 cycle is a fixed, scheduled latency: it must not add
+	// replays beyond the ordinary miss-driven ones.
+	if od.Replays > static.Replays*3/2+10 {
+		t.Errorf("on-demand replays %d far exceed static's %d", od.Replays, static.Replays)
+	}
+}
+
+func TestSquashAllReplaysMoreThanDependentOnly(t *testing.T) {
+	spec, _ := workload.ByName("mcf")
+	mk := func() isa.Stream { return &isa.Limit{S: workload.MustNew(spec, 3), N: 50000} }
+	cfgD := DefaultConfig()
+	cfgD.Replay = DependentOnly
+	dep, _, _ := runStream(t, cfgD, mk(), pGated)
+	cfgS := DefaultConfig()
+	cfgS.Replay = SquashAll
+	all, _, _ := runStream(t, cfgS, mk(), pGated)
+	if all.ReplayedUops <= dep.ReplayedUops {
+		t.Errorf("squash-all replayed %d uops, dependent-only %d; expected more",
+			all.ReplayedUops, dep.ReplayedUops)
+	}
+	// Squash-all wastes issue bandwidth; allow a little timing noise in the
+	// memory-bound regime but it must not be meaningfully faster.
+	if all.IPC > dep.IPC*1.02 {
+		t.Errorf("squash-all IPC %.3f should not beat dependent-only %.3f", all.IPC, dep.IPC)
+	}
+}
+
+func TestLoadHitSpecImprovesIPC(t *testing.T) {
+	spec, _ := workload.ByName("mesa")
+	mk := func() isa.Stream { return &isa.Limit{S: workload.MustNew(spec, 5), N: 60000} }
+	on := DefaultConfig()
+	off := DefaultConfig()
+	off.LoadHitSpec = false
+	specOn, _, _ := runStream(t, on, mk(), pStatic)
+	specOff, _, _ := runStream(t, off, mk(), pStatic)
+	if specOn.IPC <= specOff.IPC {
+		t.Errorf("load-hit speculation should help: %.3f vs %.3f", specOn.IPC, specOff.IPC)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	mk := func() isa.Stream { return &isa.Limit{S: workload.MustNew(spec, 11), N: 30000} }
+	a, _, _ := runStream(t, DefaultConfig(), mk(), pGated)
+	b, _, _ := runStream(t, DefaultConfig(), mk(), pGated)
+	if a != b {
+		t.Errorf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMaxInstructionsBounds(t *testing.T) {
+	spec, _ := workload.ByName("bh")
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 5000
+	res, _, _ := runStream(t, cfg, workload.MustNew(spec, 1), pStatic)
+	if res.Committed < 5000 || res.Committed > 5000+uint64(cfg.Width) {
+		t.Errorf("committed %d, want ~5000", res.Committed)
+	}
+}
+
+func TestMSHRMergeSameLine(t *testing.T) {
+	// Many parallel loads to one cold line: one miss, the rest merge.
+	var ops []isa.MicroOp
+	for i := 0; i < 8; i++ {
+		ops = append(ops, isa.MicroOp{
+			PC: 0x400000 + uint64(i*4), Class: isa.Load,
+			Addr: 0x10000000 + uint64(i%4), Base: 24, Dst: isa.Reg(1 + i),
+		})
+	}
+	_, _, l1d := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: ops}, pStatic)
+	acc, miss, _ := l1d.Stats()
+	if acc != 8 || miss != 1 {
+		t.Errorf("accesses/misses = %d/%d, want 8/1", acc, miss)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.ROBSize = 4 },
+		func(c *Config) { c.IQSize = 0 },
+		func(c *Config) { c.IQSize = c.ROBSize * 2 },
+		func(c *Config) { c.LSQSize = 0 },
+		func(c *Config) { c.MSHRs = 0 },
+		func(c *Config) { c.FrontEndDepth = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	l1i := buildL1(t, cacti.Instruction, pStatic, 0)
+	l1d := buildL1(t, cacti.Data, pStatic, 0)
+	if _, err := NewMachine(DefaultConfig(), nil, l1d, &isa.SliceStream{}); err == nil {
+		t.Error("nil i-cache should fail")
+	}
+	if _, err := NewMachine(DefaultConfig(), l1i, l1d, nil); err == nil {
+		t.Error("nil stream should fail")
+	}
+	bad := DefaultConfig()
+	bad.Width = -1
+	if _, err := NewMachine(bad, l1i, l1d, &isa.SliceStream{}); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	res, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{}, pStatic)
+	if res.Committed != 0 {
+		t.Errorf("committed %d from empty stream", res.Committed)
+	}
+}
+
+func TestReplayModeString(t *testing.T) {
+	if DependentOnly.String() != "dependent-only" || SquashAll.String() != "squash-all" {
+		t.Error("replay mode names wrong")
+	}
+	if ReplayMode(7).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}
+
+func TestPredictorBasics(t *testing.T) {
+	p := NewPredictor(10)
+	// A fully biased branch becomes perfectly predicted.
+	for i := 0; i < 100; i++ {
+		p.PredictAndUpdate(0x4000, true)
+	}
+	correctLate := 0
+	for i := 0; i < 100; i++ {
+		if p.PredictAndUpdate(0x4000, true) {
+			correctLate++
+		}
+	}
+	if correctLate != 100 {
+		t.Errorf("biased branch predicted %d/100 late", correctLate)
+	}
+	if p.Accuracy() <= 0.9 {
+		t.Errorf("accuracy = %v", p.Accuracy())
+	}
+	if p.Lookups() != 200 {
+		t.Errorf("lookups = %d", p.Lookups())
+	}
+	if NewPredictor(0) == nil || NewPredictor(30) == nil {
+		t.Error("predictor must clamp bad sizes")
+	}
+	empty := NewPredictor(4)
+	if empty.Accuracy() != 0 {
+		t.Error("empty predictor accuracy must be 0")
+	}
+}
+
+func TestPredictorLearnsAlternation(t *testing.T) {
+	// gshare with history should learn a strict alternation.
+	p := NewPredictor(12)
+	for i := 0; i < 2000; i++ {
+		p.PredictAndUpdate(0x4000, i%2 == 0)
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		if p.PredictAndUpdate(0x4000, i%2 == 0) {
+			correct++
+		}
+	}
+	if correct < 190 {
+		t.Errorf("alternation predicted %d/200", correct)
+	}
+}
+
+func TestWorkloadIntegrationSmoke(t *testing.T) {
+	// Every benchmark must run end to end with plausible IPC.
+	for _, name := range workload.Names() {
+		spec, _ := workload.ByName(name)
+		res, _, l1d := runStream(t, DefaultConfig(),
+			&isa.Limit{S: workload.MustNew(spec, 1), N: 20000}, pStatic)
+		if res.Committed != 20000 {
+			t.Errorf("%s: committed %d", name, res.Committed)
+		}
+		if res.IPC < 0.05 || res.IPC > 8 {
+			t.Errorf("%s: IPC %.3f implausible", name, res.IPC)
+		}
+		if l1d.MissRatio() < 0 || l1d.MissRatio() > 1 {
+			t.Errorf("%s: miss ratio %v", name, l1d.MissRatio())
+		}
+	}
+}
+
+func TestTracerEmitsEvents(t *testing.T) {
+	l1i := buildL1(t, cacti.Instruction, pStatic, 0)
+	l1d := buildL1(t, cacti.Data, pStatic, 0)
+	m, err := NewMachine(DefaultConfig(), l1i, l1d, &isa.SliceStream{Ops: independentALU(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventKind]int{}
+	m.SetTracer(func(ev Event) { counts[ev.Kind]++ })
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counts[EvDispatch] != 100 || counts[EvIssue] != 100 || counts[EvCommit] != 100 {
+		t.Errorf("event counts = %v, want 100 each of dispatch/issue/commit", counts)
+	}
+	for _, k := range []EventKind{EvDispatch, EvIssue, EvCommit, EvSquash, EvMispredict} {
+		if k.String() == "" {
+			t.Error("kind must render")
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestWriteTracerBoundsOutput(t *testing.T) {
+	var sb strings.Builder
+	tr := WriteTracer(&sb, 2)
+	for i := 0; i < 5; i++ {
+		tr(Event{Cycle: uint64(i), Kind: EvCommit, Seq: uint64(i), Class: isa.IntALU})
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 2 {
+		t.Errorf("tracer wrote %d lines, want 2", n)
+	}
+}

@@ -1,0 +1,300 @@
+// Package cpu is the cycle-level out-of-order processor model standing in
+// for the paper's modified Wattch 1.0 simulator (Sec. 3, Table 2): an 8-wide,
+// 16-stage superscalar with a 128-entry reorder buffer, 64-entry issue
+// queue, 64-entry load/store queue, a combination branch predictor, 8 MSHRs,
+// and — central to the paper's Sec. 6.3 analysis — load-hit speculation with
+// either Pentium-4-style dependent-only replay or R10000-style squash-all.
+//
+// The model is trace-driven: it consumes the committed-path micro-op stream
+// from internal/workload and models wrong-path work as fetch-redirect
+// penalties. Cache behaviour (including precharge-policy stalls and latency)
+// comes from internal/cache, whose L1s the machine drives with fetch- and
+// execute-stage timestamps.
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"nanocache/internal/cache"
+	"nanocache/internal/isa"
+)
+
+// ReplayMode selects the load-hit misspeculation recovery scheme (Sec. 6.3).
+type ReplayMode int
+
+const (
+	// DependentOnly squashes and reissues only the instructions dependent
+	// on the misspeculated load, as the Pentium 4 does. The paper adopts
+	// this mode for its 16-stage pipeline.
+	DependentOnly ReplayMode = iota
+	// SquashAll squashes every instruction issued after the misspeculated
+	// load, as the MIPS R10000 and Alpha 21264 do.
+	SquashAll
+)
+
+// String names the replay mode.
+func (m ReplayMode) String() string {
+	switch m {
+	case DependentOnly:
+		return "dependent-only"
+	case SquashAll:
+		return "squash-all"
+	}
+	return fmt.Sprintf("ReplayMode(%d)", int(m))
+}
+
+// Config is the machine configuration; DefaultConfig matches Table 2.
+type Config struct {
+	// Width is the issue/decode/commit width.
+	Width int
+	// ROBSize is the reorder-buffer capacity.
+	ROBSize int
+	// IQSize bounds how many unissued entries the scheduler considers.
+	IQSize int
+	// LSQSize bounds in-flight memory operations.
+	LSQSize int
+	// MSHRs bounds outstanding L1D misses.
+	MSHRs int
+	// FrontEndDepth is fetch-to-issueable latency in cycles.
+	FrontEndDepth int
+	// IssueToExec is the issue-to-execute delay; with the 16-stage pipeline
+	// the paper quotes 6 cycles of load-issue-to-resolution.
+	IssueToExec int
+	// LoadHitSpec enables load-hit speculation.
+	LoadHitSpec bool
+	// Replay selects the recovery scheme when LoadHitSpec is on.
+	Replay ReplayMode
+	// Predecode enables the paper's predecoding hints to the data cache
+	// (Sec. 6.3): at dispatch, the subarray predicted from a memory op's
+	// base register value is precharged ahead of the access.
+	Predecode bool
+	// ResizeInterval, if nonzero, ends a resizable-cache interval every
+	// that many committed instructions.
+	ResizeInterval uint64
+	// MaxInstructions bounds the run (0 = until the stream ends).
+	MaxInstructions uint64
+}
+
+// DefaultConfig returns the paper's base system configuration.
+func DefaultConfig() Config {
+	return Config{
+		Width:         8,
+		ROBSize:       128,
+		IQSize:        64,
+		LSQSize:       64,
+		MSHRs:         8,
+		FrontEndDepth: 8,
+		IssueToExec:   6,
+		LoadHitSpec:   true,
+		Replay:        DependentOnly,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 1 || c.Width > 32:
+		return fmt.Errorf("cpu: width %d out of range", c.Width)
+	case c.ROBSize < c.Width || c.ROBSize > 1<<16:
+		return fmt.Errorf("cpu: ROB size %d out of range", c.ROBSize)
+	case c.IQSize < 1 || c.IQSize > c.ROBSize:
+		return fmt.Errorf("cpu: IQ size %d out of range", c.IQSize)
+	case c.LSQSize < 1:
+		return fmt.Errorf("cpu: LSQ size %d out of range", c.LSQSize)
+	case c.MSHRs < 1:
+		return fmt.Errorf("cpu: MSHRs %d out of range", c.MSHRs)
+	case c.FrontEndDepth < 1 || c.IssueToExec < 0:
+		return fmt.Errorf("cpu: pipeline depths invalid")
+	}
+	return nil
+}
+
+// Result carries the processor-side counters of one run; cache-side results
+// are read from the L1s after Run returns.
+type Result struct {
+	// Cycles is the total execution time.
+	Cycles uint64
+	// Committed is the number of committed instructions.
+	Committed uint64
+	// IPC is Committed/Cycles.
+	IPC float64
+	// Branches and Mispredicts count conditional-branch outcomes.
+	Branches, Mispredicts uint64
+	// Replays counts load-hit misspeculation events; ReplayedUops counts
+	// the instructions squashed and reissued because of them.
+	Replays, ReplayedUops uint64
+	// Loads and Stores count committed memory operations (reissues are
+	// visible in IssuedUops, not here).
+	Loads, Stores uint64
+	// IssuedUops counts every issue event including reissues; the excess
+	// over Committed is wasted issue bandwidth (and energy).
+	IssuedUops uint64
+	// PrechargeStallCycles accumulates data-side precharge stalls observed.
+	PrechargeStallCycles uint64
+}
+
+const invalidSrc = ^uint64(0)
+
+type robEntry struct {
+	op          isa.MicroOp
+	src         [3]uint64 // producer sequence numbers (invalidSrc = none)
+	seq         uint64
+	issueableAt uint64
+	issued      bool
+	issueAt     uint64
+	// announcedReady is when dependents may issue (back-to-back relation).
+	announcedReady uint64
+	// completeAt is when the op finishes execution (commit eligibility,
+	// branch resolution).
+	completeAt uint64
+	mispredict bool
+}
+
+type replayEvent struct {
+	seq      uint64 // misspeculated load
+	issueAt  uint64 // its issueAt when scheduled (stale-check)
+	detectAt uint64
+	actual   uint64 // corrected announcedReady
+}
+
+type mshrEntry struct {
+	line    uint64
+	readyAt uint64
+}
+
+// Machine wires a configuration, the two L1s and a micro-op stream.
+type Machine struct {
+	cfg Config
+	l1i *cache.L1
+	l1d *cache.L1
+	bp  *Predictor
+	s   isa.Stream
+
+	tracer Tracer
+
+	rob       []robEntry
+	headSeq   uint64 // oldest in-flight sequence
+	tailSeq   uint64 // next sequence to dispatch
+	regProd   [isa.NumRegs]uint64
+	replays   []replayEvent
+	mshrs     []mshrEntry
+	memQueued int // in-flight memory ops (LSQ occupancy)
+
+	// Fetch state.
+	pending      isa.MicroOp
+	havePending  bool
+	streamDone   bool
+	fetchBlockBy uint64 // sequence of unresolved mispredicted branch
+	fetchBlocked bool
+	lineReadyAt  uint64
+	curLine      uint64
+	haveCurLine  bool
+	lastFetchAt  uint64 // last cycle with an i-cache read, stored +1 (reads recur per fetch cycle)
+
+	res Result
+}
+
+// NewMachine builds a machine over the given caches and stream.
+func NewMachine(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if l1i == nil || l1d == nil || stream == nil {
+		return nil, fmt.Errorf("cpu: caches and stream are required")
+	}
+	m := &Machine{
+		cfg:   cfg,
+		l1i:   l1i,
+		l1d:   l1d,
+		bp:    NewPredictor(12),
+		s:     stream,
+		rob:   make([]robEntry, cfg.ROBSize),
+		mshrs: make([]mshrEntry, 0, cfg.MSHRs),
+	}
+	for i := range m.regProd {
+		m.regProd[i] = invalidSrc
+	}
+	return m, nil
+}
+
+func (m *Machine) entry(seq uint64) *robEntry {
+	return &m.rob[seq%uint64(len(m.rob))]
+}
+
+// srcReady reports whether producer sequence s has its result available for
+// a consumer issuing at cycle now.
+func (m *Machine) srcReady(s uint64, now uint64) bool {
+	if s == invalidSrc || s < m.headSeq {
+		return true // committed (or no) producer
+	}
+	e := m.entry(s)
+	return e.issued && now >= e.announcedReady
+}
+
+// srcNextReady returns the earliest cycle producer s could satisfy a
+// consumer, for event-skipping. Returns 0 when already ready, or ^0 when
+// unknown (producer unissued).
+func (m *Machine) srcNextReady(s uint64) uint64 {
+	if s == invalidSrc || s < m.headSeq {
+		return 0
+	}
+	e := m.entry(s)
+	if !e.issued {
+		return invalidSrc
+	}
+	return e.announcedReady
+}
+
+// dCacheAccess performs the data-cache access of a memory op whose execute
+// stage begins at accTime, applying MSHR constraints, and returns the actual
+// data latency from accTime.
+func (m *Machine) dCacheAccess(op *isa.MicroOp, accTime uint64) (lat int, stall int) {
+	res := m.l1d.Access(op.Addr, accTime, op.Class == isa.Store)
+	m.res.PrechargeStallCycles += uint64(res.PrechargeStall)
+	line := op.Addr >> 5
+	if res.Hit {
+		// A hit on a line whose fill is still in flight (hit-under-miss,
+		// or a replayed load re-touching its own miss) waits for the fill.
+		for _, e := range m.mshrs {
+			if e.line == line && e.readyAt > accTime {
+				return int(e.readyAt-accTime) + m.l1d.BaseLatency(), res.PrechargeStall
+			}
+		}
+		return res.Latency, res.PrechargeStall
+	}
+	// Miss path: retire completed MSHRs, then merge with an outstanding
+	// fetch of the same line or allocate a new MSHR; when all are busy the
+	// miss waits for the oldest to retire.
+	live := m.mshrs[:0]
+	for _, e := range m.mshrs {
+		if e.readyAt > accTime {
+			live = append(live, e)
+		}
+	}
+	m.mshrs = live
+	for _, e := range m.mshrs {
+		if e.line == line {
+			// Merge: data arrives with the outstanding fetch.
+			return int(e.readyAt-accTime) + m.l1d.BaseLatency(), res.PrechargeStall
+		}
+	}
+	start := accTime
+	if len(m.mshrs) >= m.cfg.MSHRs {
+		// All MSHRs busy: requests queue FIFO, so this miss starts when
+		// enough earlier fills retire to free a slot — the k-th smallest
+		// completion among the outstanding ones, k = outstanding − cap.
+		k := len(m.mshrs) - m.cfg.MSHRs
+		times := make([]uint64, len(m.mshrs))
+		for i, e := range m.mshrs {
+			times[i] = e.readyAt
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if t := times[k]; t > start {
+			start = t
+		}
+	}
+	ready := start + uint64(res.Latency)
+	m.mshrs = append(m.mshrs, mshrEntry{line: line, readyAt: ready})
+	return int(ready - accTime), res.PrechargeStall
+}

@@ -1,0 +1,255 @@
+package cpu
+
+import (
+	"testing"
+
+	"nanocache/internal/cache"
+	"nanocache/internal/cacti"
+	"nanocache/internal/core"
+	"nanocache/internal/isa"
+	"nanocache/internal/sram"
+	"nanocache/internal/tech"
+	"nanocache/internal/workload"
+)
+
+// mkOps builds n ALU ops with a given dependence wiring function.
+func mkOps(n int, wire func(i int, op *isa.MicroOp)) []isa.MicroOp {
+	ops := make([]isa.MicroOp, n)
+	for i := range ops {
+		ops[i] = isa.MicroOp{PC: loopPC(i), Class: isa.IntALU, Dst: isa.Reg(1 + i%20)}
+		if wire != nil {
+			wire(i, &ops[i])
+		}
+	}
+	return ops
+}
+
+func TestROBFullStallsDispatchButCompletes(t *testing.T) {
+	// A long-latency load at the head keeps the ROB full; everything must
+	// still retire in the end.
+	var ops []isa.MicroOp
+	ops = append(ops, isa.MicroOp{
+		PC: loopPC(0), Class: isa.Load, Addr: 0x2000_0000, Base: 24, Dst: 1,
+	})
+	ops = append(ops, mkOps(400, nil)...)
+	res, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: ops}, pStatic)
+	if res.Committed != 401 {
+		t.Fatalf("committed %d, want 401", res.Committed)
+	}
+	// The miss (~128 cycles) dominates; a full ROB cannot hide all of it
+	// with only 128 entries of independent work behind a stalled head.
+	if res.Cycles < 100 {
+		t.Errorf("cycles = %d, implausibly fast for a memory miss at the head", res.Cycles)
+	}
+}
+
+func TestIQWindowLimitsLookahead(t *testing.T) {
+	// One stalled chain head plus many independent ops: a tiny issue queue
+	// must be slower than a big one because it cannot look past the stall.
+	mk := func() []isa.MicroOp {
+		var ops []isa.MicroOp
+		for i := 0; i < 3000; i++ {
+			if i%40 == 0 {
+				ops = append(ops, isa.MicroOp{
+					PC: loopPC(i), Class: isa.Load,
+					Addr: 0x2000_0000 + uint64(i)*64, Base: 24, Dst: 21,
+				})
+				ops = append(ops, isa.MicroOp{
+					PC: loopPC(i), Class: isa.IntALU, Src1: 21, Dst: 22,
+				})
+			} else {
+				ops = append(ops, isa.MicroOp{PC: loopPC(i), Class: isa.IntALU, Dst: isa.Reg(1 + i%16)})
+			}
+		}
+		return ops
+	}
+	small := DefaultConfig()
+	small.IQSize = 4
+	big := DefaultConfig()
+	big.IQSize = 64
+	rs, _, _ := runStream(t, small, &isa.SliceStream{Ops: mk()}, pStatic)
+	rb, _, _ := runStream(t, big, &isa.SliceStream{Ops: mk()}, pStatic)
+	if rb.IPC <= rs.IPC {
+		t.Errorf("64-entry IQ (%.3f IPC) should beat 4-entry (%.3f IPC)", rb.IPC, rs.IPC)
+	}
+}
+
+func TestMSHRSaturationSerializesMisses(t *testing.T) {
+	// 32 independent miss loads: with 1 MSHR they serialize; with 8 they
+	// overlap.
+	mk := func() []isa.MicroOp {
+		var ops []isa.MicroOp
+		for i := 0; i < 32; i++ {
+			ops = append(ops, isa.MicroOp{
+				PC: loopPC(i), Class: isa.Load,
+				Addr: 0x3000_0000 + uint64(i)*4096, Base: 24, Dst: isa.Reg(1 + i%20),
+			})
+		}
+		return ops
+	}
+	one := DefaultConfig()
+	one.MSHRs = 1
+	eight := DefaultConfig()
+	eight.MSHRs = 8
+	r1, _, _ := runStream(t, one, &isa.SliceStream{Ops: mk()}, pStatic)
+	r8, _, _ := runStream(t, eight, &isa.SliceStream{Ops: mk()}, pStatic)
+	if r8.Cycles >= r1.Cycles {
+		t.Errorf("8 MSHRs (%d cycles) must beat 1 (%d cycles)", r8.Cycles, r1.Cycles)
+	}
+	// With one MSHR the whole run approaches 32 serialized memory trips.
+	if r1.Cycles < 32*100 {
+		t.Errorf("1-MSHR run = %d cycles, want near-serialized misses", r1.Cycles)
+	}
+}
+
+func TestMemPortCapLimitsThroughput(t *testing.T) {
+	// A stream of independent warm loads: at most 4 memory uops issue per
+	// cycle, so IPC cannot exceed the port cap.
+	var ops []isa.MicroOp
+	for i := 0; i < 4000; i++ {
+		ops = append(ops, isa.MicroOp{
+			PC: loopPC(i), Class: isa.Load,
+			Addr: 0x1000_0000 + uint64(i%8)*8, Base: 24, Dst: isa.Reg(1 + i%20),
+		})
+	}
+	res, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: ops}, pStatic)
+	if res.IPC > 4.05 {
+		t.Errorf("pure-load IPC = %.2f exceeds the 4-port cap", res.IPC)
+	}
+	if res.IPC < 2.5 {
+		t.Errorf("pure-load IPC = %.2f, want near the port cap", res.IPC)
+	}
+}
+
+func TestStoreHeavyRespectsStorePorts(t *testing.T) {
+	var ops []isa.MicroOp
+	for i := 0; i < 4000; i++ {
+		ops = append(ops, isa.MicroOp{
+			PC: loopPC(i), Class: isa.Store,
+			Addr: 0x1000_0000 + uint64(i%8)*8, Base: 24, Src1: 1,
+		})
+	}
+	res, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: ops}, pStatic)
+	if res.IPC > 2.05 {
+		t.Errorf("pure-store IPC = %.2f exceeds the 2-store-port cap", res.IPC)
+	}
+}
+
+func TestPredecodeHintsReachGatedController(t *testing.T) {
+	spec, _ := workload.ByName("vortex")
+	l1i := buildL1(t, cacti.Instruction, pStatic, 0)
+	l1d := buildL1(t, cacti.Data, pGated, 100)
+	cfg := DefaultConfig()
+	cfg.Predecode = true
+	cfg.MaxInstructions = 20000
+	m, err := NewMachine(cfg, l1i, l1d, workload.MustNew(spec, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := l1d.Controller().(*core.Gated)
+	if g.Stats().Hints == 0 {
+		t.Fatal("no predecoding hints delivered")
+	}
+	// Hints must roughly track the load count.
+	if g.Stats().Hints < g.Stats().Accesses/10 {
+		t.Errorf("hints = %d vs accesses %d, implausibly few", g.Stats().Hints, g.Stats().Accesses)
+	}
+}
+
+func TestNoPredecodeNoHints(t *testing.T) {
+	spec, _ := workload.ByName("vortex")
+	l1i := buildL1(t, cacti.Instruction, pStatic, 0)
+	l1d := buildL1(t, cacti.Data, pGated, 100)
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 10000
+	m, err := NewMachine(cfg, l1i, l1d, workload.MustNew(spec, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l1d.Controller().(*core.Gated).Stats().Hints != 0 {
+		t.Error("hints delivered without predecode")
+	}
+}
+
+func TestLongIdleGapsEventSkip(t *testing.T) {
+	// A serial chain of far-apart misses exercises the event-skipping path;
+	// the run must complete correctly (not time out) and take roughly
+	// misses x memory latency cycles.
+	var ops []isa.MicroOp
+	prev := isa.Reg(24)
+	for i := 0; i < 64; i++ {
+		op := isa.MicroOp{
+			PC: loopPC(i), Class: isa.Load,
+			Addr: 0x4000_0000 + uint64(i)*8192, Base: prev, Dst: isa.Reg(1 + i%20),
+		}
+		ops = append(ops, op)
+		prev = op.Dst
+	}
+	res, _, _ := runStream(t, DefaultConfig(), &isa.SliceStream{Ops: ops}, pStatic)
+	if res.Committed != 64 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	// Each link serializes on the previous load's data; squashed
+	// speculative issues legitimately start the fills early (trace-driven
+	// addresses are exact), so the per-link cost sits between the L1 hit
+	// and the full memory trip.
+	if res.Cycles < 64*30 {
+		t.Errorf("cycles = %d, want a serialized chain", res.Cycles)
+	}
+}
+
+func TestResizeTickFiresOnInterval(t *testing.T) {
+	spec, _ := workload.ByName("bzip2")
+	m, err := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz := core.NewResizable(core.ResizableConfig{Subarrays: 32, MaxSteps: 3, Tolerance: 0.05}, nil)
+	l1d, err := cache.NewL1(m, rz, sram.NewLocality(32, nil), cache.DefaultL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1i := buildL1(t, cacti.Instruction, pStatic, 0)
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 60000
+	cfg.ResizeInterval = 5000
+	mach, err := NewMachine(cfg, l1i, l1d, workload.MustNew(spec, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rz.ActiveSubarrays() >= 32 {
+		t.Errorf("resizable never downsized under a generous tolerance (active %d)",
+			rz.ActiveSubarrays())
+	}
+	if rz.Resizes() == 0 {
+		t.Error("no resizes fired")
+	}
+}
+
+func TestSquashAllConservation(t *testing.T) {
+	// Under heavy replay pressure every instruction still commits exactly
+	// once (squash/reissue must not lose or duplicate work).
+	spec, _ := workload.ByName("health")
+	cfg := DefaultConfig()
+	cfg.Replay = SquashAll
+	cfg.MaxInstructions = 30000
+	res, _, _ := runStream(t, cfg, workload.MustNew(spec, 9), pGated)
+	if res.Committed < 30000 || res.Committed > 30000+uint64(cfg.Width) {
+		t.Fatalf("committed %d, want 30000..%d", res.Committed, 30000+cfg.Width)
+	}
+	if res.ReplayedUops == 0 {
+		t.Error("expected replays under gated + squash-all")
+	}
+	if res.IssuedUops < res.Committed {
+		t.Error("issued must be at least committed")
+	}
+}

@@ -1,0 +1,440 @@
+package cpu
+
+import (
+	"fmt"
+
+	"nanocache/internal/isa"
+)
+
+// Run executes the stream to completion (or cfg.MaxInstructions) and returns
+// the processor-side results. It finishes both caches' accounting at the
+// final cycle, so callers can price energy immediately afterwards.
+func (m *Machine) Run() (Result, error) {
+	var now uint64
+	lastProgress := now
+	for {
+		progressed := false
+		next := now + 1
+		noteEvent := func(t uint64) {
+			if t > now && t < next {
+				next = t
+			}
+			if t <= now {
+				// An event at or before now means this cycle is active.
+				next = now + 1
+			}
+		}
+
+		m.processReplays(now, &progressed)
+		committed := m.commit(now, noteEvent)
+		issued := m.issue(now, noteEvent)
+		dispatched := m.dispatch(now, noteEvent)
+		progressed = progressed || committed || issued || dispatched
+
+		if m.streamDone && !m.havePending && m.headSeq == m.tailSeq {
+			break
+		}
+		if m.cfg.MaxInstructions > 0 && m.res.Committed >= m.cfg.MaxInstructions {
+			break
+		}
+
+		if progressed {
+			lastProgress = now
+			now++
+			continue
+		}
+		// Event skip: jump to the next cycle anything can happen.
+		for _, ev := range m.replays {
+			noteEvent(ev.detectAt)
+		}
+		if next <= now {
+			next = now + 1
+		}
+		if next-lastProgress > 5_000_000 {
+			return m.res, fmt.Errorf("cpu: no progress for 5M cycles at cycle %d (head=%d tail=%d)",
+				now, m.headSeq, m.tailSeq)
+		}
+		now = next
+	}
+
+	m.res.Cycles = now
+	if now > 0 {
+		m.res.IPC = float64(m.res.Committed) / float64(now)
+	}
+	m.l1i.Finish(now)
+	m.l1d.Finish(now)
+	return m.res, nil
+}
+
+// processReplays fires load-hit misspeculation events due at cycle now.
+func (m *Machine) processReplays(now uint64, progressed *bool) {
+	if len(m.replays) == 0 {
+		return
+	}
+	live := m.replays[:0]
+	for _, ev := range m.replays {
+		if ev.seq < m.headSeq {
+			continue // load committed before detection mattered
+		}
+		e := m.entry(ev.seq)
+		if !e.issued || e.issueAt != ev.issueAt {
+			continue // the load itself was squashed and will re-run
+		}
+		if ev.detectAt > now {
+			live = append(live, ev)
+			continue
+		}
+		*progressed = true
+		m.res.Replays++
+		// Correct the load's announced readiness; dependents must wait.
+		e.announcedReady = ev.actual
+		m.squashShadow(ev.seq, now)
+	}
+	m.replays = live
+}
+
+// squashShadow un-issues the instructions caught in a misspeculated load's
+// speculative shadow, per the configured replay mode.
+func (m *Machine) squashShadow(loadSeq uint64, now uint64) {
+	load := m.entry(loadSeq)
+	if m.cfg.Replay == SquashAll {
+		for s := loadSeq + 1; s < m.tailSeq; s++ {
+			e := m.entry(s)
+			if e.issued && e.issueAt >= load.issueAt {
+				m.unissue(e)
+			}
+		}
+		return
+	}
+	// DependentOnly: transitively squash issued consumers of the load.
+	squashed := map[uint64]bool{loadSeq: true}
+	for s := loadSeq + 1; s < m.tailSeq; s++ {
+		e := m.entry(s)
+		depends := false
+		for _, src := range e.src {
+			if src != invalidSrc && squashed[src] {
+				depends = true
+				break
+			}
+		}
+		if !depends {
+			continue
+		}
+		if e.issued {
+			m.unissue(e)
+			squashed[s] = true
+		} else {
+			// Not yet issued: it will simply wait for the corrected time,
+			// but its own consumers that already issued against its old
+			// announced time cannot exist (it never announced), so stop
+			// propagating through it.
+			continue
+		}
+	}
+}
+
+// unissue returns an entry to the scheduler and counts the wasted work.
+func (m *Machine) unissue(e *robEntry) {
+	m.trace(e.issueAt, EvSquash, e)
+	e.issued = false
+	e.announcedReady = 0
+	e.completeAt = 0
+	m.res.ReplayedUops++
+}
+
+// commit retires up to Width completed instructions from the ROB head.
+// It reports whether anything committed and notes the head's completion
+// time for event skipping.
+func (m *Machine) commit(now uint64, noteEvent func(uint64)) bool {
+	n := 0
+	for n < m.cfg.Width && m.headSeq < m.tailSeq {
+		e := m.entry(m.headSeq)
+		if !e.issued {
+			return n > 0
+		}
+		if now < e.completeAt {
+			noteEvent(e.completeAt)
+			return n > 0
+		}
+		switch e.op.Class {
+		case isa.Load:
+			m.memQueued--
+			m.res.Loads++
+		case isa.Store:
+			m.memQueued--
+			m.res.Stores++
+		}
+		m.trace(now, EvCommit, e)
+		m.res.Committed++
+		m.headSeq++
+		n++
+		if m.cfg.ResizeInterval > 0 && m.res.Committed%m.cfg.ResizeInterval == 0 {
+			m.l1d.ResizeTick(now)
+			m.l1i.ResizeTick(now)
+		}
+	}
+	return n > 0
+}
+
+// portBudget tracks per-cycle functional-unit and cache-port limits.
+type portBudget struct {
+	total, mem, stores, intMul, fpMul, fpALU int
+}
+
+func newPortBudget(width int) portBudget {
+	return portBudget{total: width, mem: 4, stores: 2, intMul: 2, fpMul: 2, fpALU: 4}
+}
+
+func (b *portBudget) take(c isa.Class) bool {
+	if b.total == 0 {
+		return false
+	}
+	switch c {
+	case isa.Load:
+		if b.mem == 0 {
+			return false
+		}
+		b.mem--
+	case isa.Store:
+		if b.mem == 0 || b.stores == 0 {
+			return false
+		}
+		b.mem--
+		b.stores--
+	case isa.IntMul:
+		if b.intMul == 0 {
+			return false
+		}
+		b.intMul--
+	case isa.FPMul:
+		if b.fpMul == 0 {
+			return false
+		}
+		b.fpMul--
+	case isa.FPALU:
+		if b.fpALU == 0 {
+			return false
+		}
+		b.fpALU--
+	}
+	b.total--
+	return true
+}
+
+// issue selects up to Width ready instructions from the oldest IQSize
+// unissued entries and executes them.
+func (m *Machine) issue(now uint64, noteEvent func(uint64)) bool {
+	budget := newPortBudget(m.cfg.Width)
+	issued := 0
+	considered := 0
+	for s := m.headSeq; s < m.tailSeq && considered < m.cfg.IQSize && budget.total > 0; s++ {
+		e := m.entry(s)
+		if e.issued {
+			continue
+		}
+		considered++
+		if now < e.issueableAt {
+			noteEvent(e.issueableAt)
+			continue
+		}
+		ready := true
+		var waitUntil uint64
+		for _, src := range e.src {
+			if !m.srcReady(src, now) {
+				ready = false
+				if t := m.srcNextReady(src); t != invalidSrc {
+					waitUntil = maxU64(waitUntil, t)
+				} else {
+					waitUntil = invalidSrc
+				}
+				break
+			}
+		}
+		if !ready {
+			if waitUntil != invalidSrc && waitUntil > now {
+				noteEvent(waitUntil)
+			}
+			continue
+		}
+		if !budget.take(e.op.Class) {
+			continue
+		}
+		m.execute(e, now)
+		m.trace(now, EvIssue, e)
+		issued++
+	}
+	m.res.IssuedUops += uint64(issued)
+	return issued > 0
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// execute models the execution of entry e issued at cycle now.
+func (m *Machine) execute(e *robEntry, now uint64) {
+	e.issued = true
+	e.issueAt = now
+	lat := e.op.Class.ExecLatency()
+	switch e.op.Class {
+	case isa.Load:
+		// Address generation (1 cycle into execute), then the cache.
+		accTime := now + uint64(m.cfg.IssueToExec) + 1
+		actualLat, _ := m.dCacheAccess(&e.op, accTime)
+		assumed := m.l1d.BaseLatency() + m.l1d.PolicyLatency()
+		actualReady := now + 1 + uint64(actualLat)
+		e.completeAt = accTime + uint64(actualLat)
+		if m.cfg.LoadHitSpec {
+			e.announcedReady = now + 1 + uint64(assumed)
+			if actualLat > assumed {
+				// Misspeculation: detected when the cache response is due.
+				m.replays = append(m.replays, replayEvent{
+					seq:      e.seq,
+					issueAt:  now,
+					detectAt: e.announcedReady + uint64(m.cfg.IssueToExec),
+					actual:   actualReady,
+				})
+			}
+		} else {
+			// Without load-hit speculation dependents cannot issue until
+			// the load resolves at the execute stage — the full
+			// issue-to-execute delay is exposed on every load-use chain.
+			e.announcedReady = e.completeAt
+			_ = actualReady
+		}
+	case isa.Store:
+		// Stores retire through the store buffer; the cache write's miss
+		// latency is off the critical path, but a precharge stall holds
+		// the port.
+		accTime := now + uint64(m.cfg.IssueToExec) + 1
+		_, stall := m.dCacheAccess(&e.op, accTime)
+		e.completeAt = accTime + uint64(stall)
+		e.announcedReady = e.completeAt
+	default:
+		e.announcedReady = now + uint64(lat)
+		e.completeAt = now + uint64(m.cfg.IssueToExec) + uint64(lat)
+	}
+}
+
+// dispatch fetches up to Width micro-ops through the instruction cache into
+// the ROB.
+func (m *Machine) dispatch(now uint64, noteEvent func(uint64)) bool {
+	if m.fetchBlocked {
+		// Waiting on a mispredicted branch to resolve.
+		if m.fetchBlockBy >= m.headSeq {
+			e := m.entry(m.fetchBlockBy)
+			if !e.issued || now < e.completeAt {
+				if e.issued {
+					noteEvent(e.completeAt)
+				}
+				return false
+			}
+		}
+		m.fetchBlocked = false
+	}
+	if now < m.lineReadyAt {
+		noteEvent(m.lineReadyAt)
+		return false
+	}
+	dispatched := 0
+	for dispatched < m.cfg.Width {
+		if m.tailSeq-m.headSeq >= uint64(len(m.rob)) {
+			break // ROB full
+		}
+		if !m.havePending {
+			if m.streamDone || !m.s.Next(&m.pending) {
+				m.streamDone = true
+				break
+			}
+			m.havePending = true
+		}
+		op := &m.pending
+		if op.Class.IsMem() && m.memQueued >= m.cfg.LSQSize {
+			break // LSQ full
+		}
+		// Instruction fetch: the i-cache is read on every fetching cycle
+		// (the fetch group's line), plus once more per line crossing
+		// within the cycle. The pipelined hit latency (and any uniform
+		// policy latency, e.g. on-demand's +1) deepens the front end; only
+		// miss service and precharge pull-up stalls actually block fetch.
+		line := op.PC >> 5
+		if !m.haveCurLine || line != m.curLine || m.lastFetchAt != now+1 {
+			ir := m.l1i.Access(op.PC, now, false)
+			m.curLine = line
+			m.haveCurLine = true
+			m.lastFetchAt = now + 1 // stored +1 so cycle 0 still reads
+			stall := ir.Latency - m.l1i.BaseLatency() - m.l1i.PolicyLatency()
+			if stall > 0 {
+				// Miss or precharge stall: the line arrives later. The
+				// retry re-accesses a now-resident line and proceeds.
+				m.lineReadyAt = now + uint64(stall)
+				noteEvent(m.lineReadyAt)
+				break
+			}
+		}
+
+		// Allocate the ROB entry.
+		seq := m.tailSeq
+		m.tailSeq++
+		e := m.entry(seq)
+		*e = robEntry{op: *op, seq: seq,
+			issueableAt: now + uint64(m.cfg.FrontEndDepth) + uint64(m.l1i.PolicyLatency())}
+		e.src = [3]uint64{invalidSrc, invalidSrc, invalidSrc}
+		if op.Src1 != isa.None {
+			e.src[0] = m.regProd[op.Src1]
+		}
+		if op.Src2 != isa.None {
+			e.src[1] = m.regProd[op.Src2]
+		}
+		if op.Class.IsMem() {
+			if op.Base != isa.None {
+				e.src[2] = m.regProd[op.Base]
+			}
+			m.memQueued++
+			if m.cfg.Predecode && op.Class == isa.Load {
+				// Predecode the base-register value into a subarray hint
+				// as soon as the register is read (Sec. 6.3).
+				m.l1d.Hint(op.BaseAddr(), now+2)
+			}
+		}
+		if op.Dst != isa.None {
+			m.regProd[op.Dst] = seq
+		}
+		m.trace(now, EvDispatch, e)
+		m.havePending = false
+		dispatched++
+
+		if op.Class == isa.Branch {
+			m.res.Branches++
+			correct := m.bp.PredictAndUpdate(op.PC, op.Taken)
+			if !correct {
+				m.trace(now, EvMispredict, e)
+				m.res.Mispredicts++
+				e.mispredict = true
+				m.fetchBlocked = true
+				m.fetchBlockBy = seq
+				m.haveCurLine = false
+				break
+			}
+			if op.Taken {
+				// Taken branches end the fetch group. The sequential fetch
+				// pipeline hides the base i-cache latency, but any extra
+				// policy latency (on-demand's +1) is exposed on every
+				// redirect as a fetch bubble — the paper's "slowed fetch
+				// queue fill-up".
+				m.haveCurLine = false
+				if pl := m.l1i.PolicyLatency(); pl > 0 {
+					m.lineReadyAt = now + 1 + uint64(pl)
+				}
+				break
+			}
+		}
+	}
+	return dispatched > 0
+}
+
+// Predictor exposes the branch predictor for reporting.
+func (m *Machine) Predictor() *Predictor { return m.bp }

@@ -1,0 +1,74 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"nanocache/internal/isa"
+)
+
+// EventKind classifies pipeline trace events.
+type EventKind uint8
+
+// Pipeline event kinds.
+const (
+	EvDispatch EventKind = iota
+	EvIssue
+	EvCommit
+	EvSquash
+	EvMispredict
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvDispatch:
+		return "dispatch"
+	case EvIssue:
+		return "issue"
+	case EvCommit:
+		return "commit"
+	case EvSquash:
+		return "squash"
+	case EvMispredict:
+		return "mispredict"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one pipeline event, for debugging and visualization.
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	Seq   uint64
+	Class isa.Class
+	PC    uint64
+}
+
+// Tracer receives pipeline events in simulation order.
+type Tracer func(Event)
+
+// SetTracer installs a pipeline event tracer (nil disables tracing). The
+// hot paths pay a single branch when disabled.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) trace(cycle uint64, kind EventKind, e *robEntry) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer(Event{Cycle: cycle, Kind: kind, Seq: e.seq, Class: e.op.Class, PC: e.op.PC})
+}
+
+// WriteTracer returns a Tracer that prints one line per event to w, stopping
+// after maxEvents (0 = unlimited).
+func WriteTracer(w io.Writer, maxEvents uint64) Tracer {
+	var n uint64
+	return func(ev Event) {
+		if maxEvents > 0 && n >= maxEvents {
+			return
+		}
+		n++
+		fmt.Fprintf(w, "%8d  %-10s seq=%-6d %-7s pc=%#x\n",
+			ev.Cycle, ev.Kind, ev.Seq, ev.Class, ev.PC)
+	}
+}

@@ -1,0 +1,195 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"nanocache/internal/cacti"
+	"nanocache/internal/circuit"
+	"nanocache/internal/core"
+	"nanocache/internal/sram"
+	"nanocache/internal/tech"
+)
+
+func TestStaticPolicyHasRelativeOne(t *testing.T) {
+	// A static-pull-up run must price to exactly the conventional energy.
+	p := NewPricer()
+	ctrl := core.NewStaticPullUp(32, p.Observer())
+	ctrl.Finish(100000)
+	for _, n := range tech.Nodes {
+		d, err := p.DischargeAt(n, ctrl.Ledger(), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Relative()-1) > 1e-12 {
+			t.Errorf("%v: static relative discharge = %v, want 1", n, d.Relative())
+		}
+		if d.Reduction() != 0 {
+			t.Errorf("%v: static reduction = %v", n, d.Reduction())
+		}
+	}
+}
+
+func TestOracleSavesMoreAtNewerNodes(t *testing.T) {
+	// One synthetic access pattern priced at all nodes: the relative
+	// discharge must fall monotonically with scaling (isolation gets
+	// cheaper), and be large at 70nm.
+	p := NewPricer()
+	ctrl := core.NewOracle(32, 3, p.Observer())
+	// A sparse access pattern: one subarray touched every 200 cycles.
+	for c := uint64(0); c < 100000; c += 200 {
+		ctrl.AccessPenalty(int(c/200)%32, c)
+	}
+	ctrl.Finish(100000)
+	prev := math.Inf(1)
+	for _, n := range tech.Nodes {
+		d, err := p.DischargeAt(n, ctrl.Ledger(), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Relative() >= prev {
+			t.Errorf("%v: relative discharge %v did not fall (prev %v)", n, d.Relative(), prev)
+		}
+		prev = d.Relative()
+	}
+	d70, _ := p.DischargeAt(tech.N70, ctrl.Ledger(), 100000)
+	if d70.Reduction() < 0.7 {
+		t.Errorf("70nm oracle reduction = %v, want large", d70.Reduction())
+	}
+}
+
+func TestFrequentTogglingCostlyAt180nm(t *testing.T) {
+	// Toggling every few cycles at 180nm must cost more than static pull-up
+	// (the paper's Sec. 4 overhead argument); the same pattern at 70nm must
+	// still save energy.
+	p := NewPricer()
+	ctrl := core.NewOracle(4, 1, p.Observer())
+	for c := uint64(0); c < 50000; c += 8 {
+		ctrl.AccessPenalty(int(c/8)%4, c)
+	}
+	ctrl.Finish(50000)
+	d180, _ := p.DischargeAt(tech.N180, ctrl.Ledger(), 50000)
+	if d180.Relative() <= 1 {
+		t.Errorf("180nm rapid toggling relative = %v, want > 1 (overhead dominates)", d180.Relative())
+	}
+	d70, _ := p.DischargeAt(tech.N70, ctrl.Ledger(), 50000)
+	if d70.Relative() >= 1 {
+		t.Errorf("70nm rapid toggling relative = %v, want < 1", d70.Relative())
+	}
+}
+
+func TestDischargeAtUnknownNode(t *testing.T) {
+	p := NewPricer(tech.N70)
+	led := sram.NewLedger(4, nil)
+	if _, err := p.DischargeAt(tech.N180, led, 100); err == nil {
+		t.Error("pricing an unpriced node should fail")
+	}
+	if len(p.Nodes()) != 1 || p.Nodes()[0] != tech.N70 {
+		t.Error("nodes accessor wrong")
+	}
+}
+
+func TestObserverCountsIntervals(t *testing.T) {
+	p := NewPricer(tech.N70)
+	obs := p.Observer()
+	obs(0, 100, true)
+	obs(1, 50, false)
+	if p.Intervals() != 2 {
+		t.Errorf("intervals = %d", p.Intervals())
+	}
+}
+
+func TestEndOfRunIdleCheaperThanReprecharged(t *testing.T) {
+	// The same idle interval must cost less when not re-precharged (no
+	// pull-up energy is due at the end of the run).
+	a, b := NewPricer(tech.N180), NewPricer(tech.N180)
+	a.Observer()(0, 1000, true)
+	b.Observer()(0, 1000, false)
+	led := sram.NewLedger(1, nil)
+	da, _ := a.DischargeAt(tech.N180, led, 100000)
+	db, _ := b.DischargeAt(tech.N180, led, 100000)
+	if da.IdleEnergy <= db.IdleEnergy {
+		t.Errorf("reprecharged idle %v should cost more than end-of-run idle %v",
+			da.IdleEnergy, db.IdleEnergy)
+	}
+}
+
+func TestCacheEnergyComposition(t *testing.T) {
+	m, err := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := uint64(100000)
+	staticD := Discharge{
+		Node:         tech.N70,
+		PulledEnergy: float64(32) * float64(run) * tech.ParamsFor(tech.N70).CycleTime,
+		StaticEnergy: float64(32) * float64(run) * tech.ParamsFor(tech.N70).CycleTime,
+	}
+	conv := CacheEnergyAt(m, staticD, run, 35000, 0)
+	if conv.ControlOverhead != 0 {
+		t.Error("conventional cache has no counters")
+	}
+	// The bitline share at ~0.35 accesses/cycle must be near the paper's
+	// ~50% opportunity at 70nm.
+	share := DischargeShare(conv)
+	if share < 0.40 || share > 0.72 {
+		t.Errorf("70nm discharge share = %.3f, want ~0.5", share)
+	}
+	// A gated run that cuts discharge by 85% with minor extras.
+	gatedD := staticD
+	gatedD.PulledEnergy = 0.10 * staticD.StaticEnergy
+	gatedD.IdleEnergy = 0.05 * staticD.StaticEnergy
+	gated := CacheEnergyAt(m, gatedD, run, 36000, core.CounterBits)
+	if gated.ControlOverhead <= 0 {
+		t.Error("gated cache must pay counter overhead")
+	}
+	s := Savings(gated, conv)
+	if s < 0.25 || s > 0.60 {
+		t.Errorf("overall savings = %.3f, want in the paper's ballpark (0.36-0.42)", s)
+	}
+	if Savings(gated, CacheEnergy{}) != 0 {
+		t.Error("empty baseline must yield 0")
+	}
+	if DischargeShare(CacheEnergy{}) != 0 {
+		t.Error("empty share must be 0")
+	}
+}
+
+func TestDrowsyFactorMatchesCore(t *testing.T) {
+	// The residual constant mirrors core.DrowsyLeakageFactor (energy sits
+	// below core in the dependency order).
+	if drowsyResidualFactor != core.DrowsyLeakageFactor {
+		t.Errorf("drowsy residual %v != core's %v", drowsyResidualFactor, core.DrowsyLeakageFactor)
+	}
+}
+
+func TestAccountDrowsyReducesCellCore(t *testing.T) {
+	m, err := cacti.New(cacti.DefaultDataConfig(tech.N70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Discharge{Node: tech.N70, PulledEnergy: 1000, StaticEnergy: 1000}
+	awake := Account(m, d, AccountInputs{RunCycles: 1000, Accesses: 100, DrowsyAwakeFraction: 1})
+	half := Account(m, d, AccountInputs{RunCycles: 1000, Accesses: 100, DrowsyAwakeFraction: 0.5})
+	if half.CellCore >= awake.CellCore {
+		t.Error("drowsy time must cut cell-core leakage")
+	}
+	// Zero/invalid fraction falls back to fully awake.
+	bad := Account(m, d, AccountInputs{RunCycles: 1000, Accesses: 100})
+	if bad.CellCore != awake.CellCore {
+		t.Error("unset drowsy fraction must mean fully awake")
+	}
+	// Single-way reads clamp at the access count.
+	clamped := Account(m, d, AccountInputs{RunCycles: 1000, Accesses: 10, SingleWayReads: 50, DrowsyAwakeFraction: 1})
+	if clamped.Dynamic > awake.Dynamic {
+		t.Error("clamped single-way reads must not inflate dynamic energy")
+	}
+}
+
+func TestPricerDefaultsToAllNodes(t *testing.T) {
+	p := NewPricer()
+	if len(p.Nodes()) != len(tech.Nodes) {
+		t.Errorf("default pricer covers %d nodes", len(p.Nodes()))
+	}
+	_ = circuit.TransientFor(tech.N70) // doc reference
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nanocache/internal/stats"
+	"nanocache/internal/tech"
+)
+
+// AlphaResult reproduces the paper's Sec. 2 historical observation: the
+// first application of bitline isolation was the Alpha 21164's L2 cache,
+// which predecodes the address and precharges only the relevant subarrays
+// on demand. There the scheme works — the extra cycle is amortized over the
+// L2's long access latency and its infrequent accesses — whereas the same
+// policy in the L1 costs several percent (Sec. 5). This experiment runs
+// on-demand precharging at both levels and contrasts the outcomes.
+type AlphaResult struct {
+	Benchmarks []string
+	// L2Slowdown and L1Slowdown are the average slowdowns of on-demand
+	// precharging applied to the L2 versus to the L1 data cache.
+	L2Slowdown, L1Slowdown float64
+	// L2Discharge is the average relative L2 bitline discharge at 70nm
+	// under on-demand control (the conventional L2 is 1.0).
+	L2Discharge float64
+	// L2PulledFraction is the average fraction of L2 subarray-time pulled
+	// up.
+	L2PulledFraction float64
+	// L2ExtraPerKiloInstr is the average policy-latency cycles per 1000
+	// instructions — the quantity the L2's long latency amortizes.
+	L2ExtraPerKiloInstr float64
+}
+
+// Alpha21164 measures on-demand precharging at the two cache levels.
+func (l *Lab) Alpha21164() (AlphaResult, error) {
+	r := AlphaResult{Benchmarks: l.opts.benchmarks()}
+	var l2Slow, l1Slow, l2Rel, l2Pull, l2Extra []float64
+	for _, bench := range r.Benchmarks {
+		base, err := l.Baseline(bench)
+		if err != nil {
+			return AlphaResult{}, err
+		}
+		l2Cfg := l.runConfig(bench, Static(), Static())
+		l2Cfg.L2Policy = OnDemandPolicy()
+		l2Run, err := Run(l2Cfg)
+		if err != nil {
+			return AlphaResult{}, err
+		}
+		if l2Run.L2 == nil {
+			return AlphaResult{}, fmt.Errorf("experiments: L2 outcome missing for %s", bench)
+		}
+		l1Run, err := Run(l.runConfig(bench, OnDemandPolicy(), Static()))
+		if err != nil {
+			return AlphaResult{}, err
+		}
+		l2Slow = append(l2Slow, l2Run.Slowdown(base))
+		l1Slow = append(l1Slow, l1Run.Slowdown(base))
+		l2Rel = append(l2Rel, l2Run.L2.Discharge[tech.N70].Relative())
+		l2Pull = append(l2Pull, l2Run.L2.PulledFraction)
+		l2Extra = append(l2Extra, 1000*float64(l2Run.L2.ExtraCycles)/float64(l2Run.CPU.Committed))
+		l.note("alpha %s: L2 slowdown %.4f vs L1 %.4f", bench,
+			l2Slow[len(l2Slow)-1], l1Slow[len(l1Slow)-1])
+	}
+	r.L2Slowdown = stats.Mean(l2Slow)
+	r.L1Slowdown = stats.Mean(l1Slow)
+	r.L2Discharge = stats.Mean(l2Rel)
+	r.L2PulledFraction = stats.Mean(l2Pull)
+	r.L2ExtraPerKiloInstr = stats.Mean(l2Extra)
+	return r, nil
+}
+
+// Render writes the comparison.
+func (r AlphaResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Section 2: on-demand precharging by cache level (the Alpha 21164 story)")
+	fmt.Fprintf(tw, "on-demand in the L2\tslowdown %.2f%%\tdischarge %.3f\tprecharged %.3f\n",
+		r.L2Slowdown*100, r.L2Discharge, r.L2PulledFraction)
+	fmt.Fprintf(tw, "on-demand in the L1 d-cache\tslowdown %.2f%%\t(Sec. 5: not viable)\n",
+		r.L1Slowdown*100)
+	fmt.Fprintf(tw, "L2 policy latency amortized\t%.2f cycles per 1000 instructions\n",
+		r.L2ExtraPerKiloInstr)
+	fmt.Fprintln(tw, "(the +1 cycle vanishes into the L2's 12-cycle latency and rare accesses,")
+	fmt.Fprintln(tw, " which is why the 21164 could isolate its L2 bitlines a decade early)")
+	return tw.Flush()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+func TestAlpha21164(t *testing.T) {
+	lab := quickLab(t, "health", "bzip2", "wupwise")
+	r, err := lab.Alpha21164()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Sec. 2 point: on-demand is essentially free at L2 but
+	// visibly expensive at L1.
+	if r.L2Slowdown > 0.008 {
+		t.Errorf("L2 on-demand slowdown = %.4f, want under 1%% (amortized)", r.L2Slowdown)
+	}
+	if r.L1Slowdown < 3*r.L2Slowdown || r.L1Slowdown < 0.01 {
+		t.Errorf("L1 on-demand slowdown %.4f should dwarf the L2's %.4f",
+			r.L1Slowdown, r.L2Slowdown)
+	}
+	// And the L2's bitline discharge nearly vanishes (it is accessed only
+	// on L1 misses, so it sits isolated almost all the time).
+	if r.L2Discharge > 0.2 {
+		t.Errorf("L2 relative discharge = %.3f, want small", r.L2Discharge)
+	}
+	if r.L2PulledFraction > 0.1 {
+		t.Errorf("L2 pulled fraction = %.3f, want small", r.L2PulledFraction)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "21164") {
+		t.Error("render failed")
+	}
+}
+
+func TestL2PolicyRun(t *testing.T) {
+	cfg := RunConfig{
+		Benchmark:    "mcf",
+		Instructions: 30_000,
+		DPolicy:      Static(),
+		IPolicy:      Static(),
+		L2Policy:     GatedPolicy(256, false),
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.L2 == nil {
+		t.Fatal("L2 outcome missing")
+	}
+	if out.L2.Accesses == 0 {
+		t.Fatal("mcf must reach the L2")
+	}
+	if out.L2.Discharge[tech.N70].Relative() >= 1 {
+		t.Error("gated L2 must save discharge")
+	}
+	// Conventional runs carry no L2 outcome.
+	cfg.L2Policy = PolicySpec{}
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.L2 != nil {
+		t.Error("conventional L2 should have no policy outcome")
+	}
+}

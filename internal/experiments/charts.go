@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nanocache/internal/plot"
+	"nanocache/internal/tech"
+)
+
+// Chart renders Fig. 2 as a line chart: normalized bitline power versus time
+// after isolation, one series per node.
+func (r Fig2Result) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 2: bitline power after isolation",
+		XLabel: "time (ns)",
+		YLabel: "power / static pull-up",
+		Kind:   plot.Line,
+		YMax:   2.0,
+	}
+	for _, ts := range r.TimesNS {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%.0f", ts))
+	}
+	for _, n := range tech.Nodes {
+		c.Series = append(c.Series, plot.Series{Name: n.String(), Y: r.Power[n]})
+	}
+	return c
+}
+
+// Chart renders Fig. 3 as a grouped bar chart of relative discharge per
+// benchmark.
+func (r Fig3Result) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:   "Figure 3: oracle relative bitline discharge (70nm)",
+		YLabel:  "relative discharge",
+		Kind:    plot.Bar,
+		YMax:    1.0,
+		XLabels: r.Benchmarks,
+	}
+	var d, i []float64
+	for _, b := range r.Benchmarks {
+		d = append(d, r.DRelative[b])
+		i = append(i, r.IRelative[b])
+	}
+	c.Series = []plot.Series{{Name: "data cache", Y: d}, {Name: "instruction cache", Y: i}}
+	return c
+}
+
+// Charts renders Figs. 5 and 6 as line charts over the frequency thresholds.
+func (r LocalityResult) Charts() (fig5, fig6 plot.Chart) {
+	var xl []string
+	for _, t := range r.Thresholds {
+		xl = append(xl, fmt.Sprintf("1/%d", t))
+	}
+	fig5 = plot.Chart{
+		Title:   fmt.Sprintf("Figure 5 (%s): accesses vs subarray access frequency", r.Side),
+		XLabel:  "access frequency (1/cycles)",
+		YLabel:  "cumulative fraction of accesses",
+		Kind:    plot.Line,
+		YMax:    1.0,
+		XLabels: xl,
+	}
+	fig6 = plot.Chart{
+		Title:   fmt.Sprintf("Figure 6 (%s): hot subarrays vs threshold", r.Side),
+		XLabel:  "access-frequency threshold (1/cycles)",
+		YLabel:  "fraction of hot subarrays",
+		Kind:    plot.Line,
+		YMax:    1.0,
+		XLabels: xl,
+	}
+	for _, b := range r.Benchmarks {
+		fig5.Series = append(fig5.Series, plot.Series{Name: b, Y: r.AccessCDF[b]})
+		fig6.Series = append(fig6.Series, plot.Series{Name: b, Y: r.HotFraction[b]})
+	}
+	return fig5, fig6
+}
+
+// Chart renders the Sec. 5 slowdowns as a grouped bar chart (percent).
+func (r OnDemandResult) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:   "Section 5: on-demand precharging slowdown",
+		YLabel:  "slowdown (%)",
+		Kind:    plot.Bar,
+		XLabels: r.Benchmarks,
+	}
+	var d, i []float64
+	for _, b := range r.Benchmarks {
+		d = append(d, r.DSlowdown[b]*100)
+		i = append(i, r.ISlowdown[b]*100)
+	}
+	c.Series = []plot.Series{{Name: "data cache", Y: d}, {Name: "instruction cache", Y: i}}
+	return c
+}
+
+// Chart renders Fig. 8 as a grouped bar chart: precharged fraction and
+// relative discharge per benchmark.
+func (r Fig8Result) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("Figure 8 (%s): gated precharging at 70nm", r.Side),
+		YLabel: "fraction relative to conventional",
+		Kind:   plot.Bar,
+		YMax:   1.0,
+	}
+	var pulled, rel []float64
+	for _, b := range r.Bench {
+		c.XLabels = append(c.XLabels, b.Benchmark)
+		pulled = append(pulled, b.PulledFraction)
+		rel = append(rel, b.RelDischarge)
+	}
+	c.Series = []plot.Series{
+		{Name: "precharged subarrays", Y: pulled},
+		{Name: "bitline discharge", Y: rel},
+	}
+	return c
+}
+
+// Chart renders Fig. 9 as a line chart over nodes.
+func (r Fig9Result) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 9: gated vs resizable across CMOS nodes",
+		XLabel: "technology node",
+		YLabel: "relative bitline discharge",
+		Kind:   plot.Line,
+		YMax:   1.0,
+	}
+	for _, n := range r.Nodes {
+		c.XLabels = append(c.XLabels, n.String())
+	}
+	add := func(name string, m map[CacheSide]map[tech.Node]float64, side CacheSide) {
+		var y []float64
+		for _, n := range r.Nodes {
+			y = append(y, m[side][n])
+		}
+		c.Series = append(c.Series, plot.Series{Name: name, Y: y})
+	}
+	add("gated d-cache", r.Gated, DataCache)
+	add("gated i-cache", r.Gated, InstructionCache)
+	add("resizable d-cache", r.Resizable, DataCache)
+	add("resizable i-cache", r.Resizable, InstructionCache)
+	return c
+}
+
+// Chart renders Fig. 10 as a line chart over subarray sizes, with the
+// paper's values as reference series.
+func (r Fig10Result) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 10: precharged subarrays vs subarray size (70nm)",
+		XLabel: "subarray size",
+		YLabel: "relative number of precharged subarrays",
+		Kind:   plot.Line,
+		YMax:   0.5,
+	}
+	for _, s := range r.Sizes {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%dB", s))
+	}
+	add := func(name string, m map[int]float64) {
+		var y []float64
+		for _, s := range r.Sizes {
+			y = append(y, m[s])
+		}
+		c.Series = append(c.Series, plot.Series{Name: name, Y: y})
+	}
+	add("d-cache", r.Pulled[DataCache])
+	add("i-cache", r.Pulled[InstructionCache])
+	add("d-cache (paper)", PaperFig10[DataCache])
+	add("i-cache (paper)", PaperFig10[InstructionCache])
+	return c
+}
+
+// Chart renders the 50nm projection as a line chart.
+func (r ProjectionResult) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:  "Projection: discharge beyond the paper's nodes (d-cache)",
+		XLabel: "technology node",
+		YLabel: "relative bitline discharge",
+		Kind:   plot.Line,
+		YMax:   1.0,
+	}
+	for _, n := range r.Nodes {
+		lbl := n.String()
+		if n.Projected() {
+			lbl += "*"
+		}
+		c.XLabels = append(c.XLabels, lbl)
+	}
+	var g, o []float64
+	for _, n := range r.Nodes {
+		g = append(g, r.GatedRel[n])
+		o = append(o, r.OracleRel[n])
+	}
+	c.Series = []plot.Series{{Name: "gated (1% budget)", Y: g}, {Name: "oracle", Y: o}}
+	return c
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChartsRender(t *testing.T) {
+	lab := quickLab(t, "health", "gcc")
+	f2 := Figure2()
+	f3, err := lab.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := lab.Locality(DataCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := lab.OnDemand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := lab.Figure8(DataCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, err := lab.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := lab.Figure10([]int{1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := lab.Projection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, fig6 := loc.Charts()
+	charts := []interface {
+		Validate() error
+	}{
+		f2.Chart(), f3.Chart(), fig5, fig6, od.Chart(), f8.Chart(), f9.Chart(), pj.Chart(),
+	}
+	for i, c := range charts {
+		if err := c.Validate(); err != nil {
+			t.Errorf("chart %d invalid: %v", i, err)
+		}
+	}
+	// Figure 10's chart references PaperFig10 values for sizes that may not
+	// be in the sweep; it must still validate and render.
+	c10 := f10.Chart()
+	if err := c10.Validate(); err != nil {
+		t.Fatalf("figure 10 chart: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c10.WriteSVG(&buf, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty SVG")
+	}
+}

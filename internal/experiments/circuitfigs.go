@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nanocache/internal/circuit"
+	"nanocache/internal/tech"
+)
+
+// Fig2Result is the paper's Figure 2: normalized power dissipation through
+// the bitlines of a 1KB subarray versus time after the precharge devices
+// turn off, for each CMOS generation.
+type Fig2Result struct {
+	// TimesNS is the sampled time axis.
+	TimesNS []float64
+	// Power maps each node to its normalized power samples.
+	Power map[tech.Node][]float64
+	// PeakPower and SettleNS summarize each curve.
+	PeakPower map[tech.Node]float64
+	SettleNS  map[tech.Node]float64
+	// BreakEvenNS is the isolation interval beyond which isolating beats
+	// static pull-up.
+	BreakEvenNS map[tech.Node]float64
+}
+
+// Figure2 evaluates the isolation transients on a 0-600ns axis (the paper's
+// plot range).
+func Figure2() Fig2Result {
+	r := Fig2Result{
+		Power:       make(map[tech.Node][]float64),
+		PeakPower:   make(map[tech.Node]float64),
+		SettleNS:    make(map[tech.Node]float64),
+		BreakEvenNS: make(map[tech.Node]float64),
+	}
+	for ts := 0.0; ts <= 600; ts += 5 {
+		r.TimesNS = append(r.TimesNS, ts)
+	}
+	for _, n := range tech.Nodes {
+		it := circuit.TransientFor(n)
+		samples := make([]float64, len(r.TimesNS))
+		for i, ts := range r.TimesNS {
+			samples[i] = it.Power(ts)
+		}
+		r.Power[n] = samples
+		r.PeakPower[n] = it.Power(0)
+		r.SettleNS[n] = it.SettleNS(0.01)
+		r.BreakEvenNS[n] = it.BreakEvenNS()
+	}
+	return r
+}
+
+// Render writes the figure as a text table.
+func (r Fig2Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 2: normalized bitline power after isolation at t=0")
+	fmt.Fprint(tw, "time(ns)")
+	for _, n := range tech.Nodes {
+		fmt.Fprintf(tw, "\t%v", n)
+	}
+	fmt.Fprintln(tw)
+	for i, ts := range r.TimesNS {
+		if i%8 != 0 { // print every 40ns
+			continue
+		}
+		fmt.Fprintf(tw, "%.0f", ts)
+		for _, n := range tech.Nodes {
+			fmt.Fprintf(tw, "\t%.3f", r.Power[n][i])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintln(tw, "summary\tpeak(x static)\tsettle(ns)\tbreak-even(ns)")
+	for _, n := range tech.Nodes {
+		fmt.Fprintf(tw, "%v\t%.3f\t%.0f\t%.1f\n", n, r.PeakPower[n], r.SettleNS[n], r.BreakEvenNS[n])
+	}
+	return tw.Flush()
+}
+
+// Table3Row is one row of the paper's Table 3: model and paper values side
+// by side.
+type Table3Row struct {
+	SubarrayBytes int
+	Node          tech.Node
+	Model, Paper  circuit.DecodeDelays
+	// MarginNS is the decode margin available to hide a pull-up; the
+	// paper's conclusion requires pull-up > margin everywhere.
+	MarginNS float64
+	// OnDemandViable must be false in every row.
+	OnDemandViable bool
+}
+
+// Table3Result reproduces Table 3.
+type Table3Result struct{ Rows []Table3Row }
+
+// Table3 evaluates the decoder/pull-up model against the paper's published
+// values for both subarray sizes and all four nodes.
+func Table3() (Table3Result, error) {
+	var r Table3Result
+	for _, size := range []int{1024, 4096} {
+		g := circuit.DefaultGeometry()
+		g.SubarrayBytes = size
+		for _, n := range tech.Nodes {
+			d, err := circuit.DelaysFor(g, n)
+			if err != nil {
+				return Table3Result{}, err
+			}
+			r.Rows = append(r.Rows, Table3Row{
+				SubarrayBytes:  size,
+				Node:           n,
+				Model:          d,
+				Paper:          circuit.PaperTable3[size][n],
+				MarginNS:       d.PullUpMargin(g.NumSubarrays()),
+				OnDemandViable: d.OnDemandViable(g.NumSubarrays()),
+			})
+		}
+	}
+	return r, nil
+}
+
+// Render writes the table, paper values in parentheses.
+func (r Table3Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 3: decode and precharge delays, ns (paper values in parentheses)")
+	fmt.Fprintln(tw, "subarray\tnode\tdrive\tpredecode\tfinal\tpull-up\tmargin\ton-demand hides?")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%dB\t%v\t%.3f (%.3g)\t%.3f (%.3g)\t%.3f (%.3g)\t%.3f (%.3g)\t%.3f\t%v\n",
+			row.SubarrayBytes, row.Node,
+			row.Model.DecoderDrive, row.Paper.DecoderDrive,
+			row.Model.Predecode, row.Paper.Predecode,
+			row.Model.FinalDecode, row.Paper.FinalDecode,
+			row.Model.WorstCasePullUp, row.Paper.WorstCasePullUp,
+			row.MarginNS, row.OnDemandViable)
+	}
+	return tw.Flush()
+}
+
+// OverheadResult is the Sec. 6.2 hardware-cost check: the decay counter and
+// comparator energy relative to one cache access, per node.
+type OverheadResult struct {
+	PerNode map[tech.Node]float64
+	// PaperBound is the paper's stated bound (0.02% of one access).
+	PaperBound float64
+}
+
+// Overhead evaluates the gated-precharging hardware overhead.
+func Overhead() OverheadResult {
+	r := OverheadResult{PerNode: make(map[tech.Node]float64), PaperBound: 0.0002}
+	for _, n := range tech.Nodes {
+		r.PerNode[n] = circuit.CounterOverheadFraction(n, 10)
+	}
+	return r
+}
+
+// Render writes the overhead table.
+func (r OverheadResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Gated-precharging hardware overhead (10-bit counter + compare, per subarray-cycle)")
+	fmt.Fprintf(tw, "node\tfraction of one cache access\tpaper bound\n")
+	for _, n := range tech.Nodes {
+		fmt.Fprintf(tw, "%v\t%.6f%%\t< %.4f%%\n", n, r.PerNode[n]*100, r.PaperBound*100)
+	}
+	return tw.Flush()
+}

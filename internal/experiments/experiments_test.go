@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nanocache/internal/cpu"
+	"nanocache/internal/energy"
+	"nanocache/internal/tech"
+)
+
+// quickLab returns a lab over a representative benchmark subset: two
+// thrashing applications, one pointer kernel, and three regular ones.
+func quickLab(t *testing.T, benchmarks ...string) *Lab {
+	t.Helper()
+	opts := QuickOptions()
+	if len(benchmarks) > 0 {
+		opts.Benchmarks = benchmarks
+	} else {
+		opts.Benchmarks = []string{"art", "health", "treeadd", "bzip2", "gcc", "wupwise"}
+	}
+	lab, err := NewLab(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.Instructions = 10 },
+		func(o *Options) { o.Thresholds = nil },
+		func(o *Options) { o.Thresholds = []uint64{0} },
+		func(o *Options) { o.Thresholds = []uint64{5000} },
+		func(o *Options) { o.ConstantThreshold = 0 },
+		func(o *Options) { o.PerfBudget = 0 },
+	}
+	for i, mut := range bad {
+		o := DefaultOptions()
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+		if _, err := NewLab(o); err == nil {
+			t.Errorf("NewLab must reject mutation %d", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{Benchmark: "nonesuch", Instructions: 5000}); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if _, err := Run(RunConfig{Benchmark: "gcc"}); err == nil {
+		t.Error("zero instructions should fail")
+	}
+	if _, err := Run(RunConfig{
+		Benchmark: "gcc", Instructions: 5000,
+		DPolicy: PolicySpec{Kind: 99},
+	}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestBaselineMemoized(t *testing.T) {
+	lab := quickLab(t, "tsp")
+	a, err := lab.Baseline("tsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.Baseline("tsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU != b.CPU {
+		t.Error("memoized baseline differs")
+	}
+	if a.CPU.Committed < lab.Options().Instructions {
+		t.Errorf("baseline committed %d < %d", a.CPU.Committed, lab.Options().Instructions)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := Figure2()
+	if r.PeakPower[tech.N180] < 1.85 || r.PeakPower[tech.N180] > 2.05 {
+		t.Errorf("180nm peak = %.3f, want ~1.95", r.PeakPower[tech.N180])
+	}
+	if r.PeakPower[tech.N70] > 1.02 {
+		t.Errorf("70nm peak = %.3f, want ~1 (insignificant spike)", r.PeakPower[tech.N70])
+	}
+	if r.SettleNS[tech.N180] < 400 {
+		t.Errorf("180nm settle = %.0fns, want > 400", r.SettleNS[tech.N180])
+	}
+	if r.SettleNS[tech.N70] > 20 {
+		t.Errorf("70nm settle = %.0fns, want fast", r.SettleNS[tech.N70])
+	}
+	// Curves are monotone non-increasing (after t=0) and end near the floor.
+	for _, n := range tech.Nodes {
+		samples := r.Power[n]
+		for i := 1; i < len(samples); i++ {
+			if samples[i] > samples[i-1]+1e-9 {
+				t.Fatalf("%v: power curve not monotone at %d", n, i)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Figure 2") {
+		t.Error("render failed")
+	}
+}
+
+func TestTable3MatchesConclusion(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.OnDemandViable {
+			t.Errorf("%dB %v: on-demand must not hide", row.SubarrayBytes, row.Node)
+		}
+		if row.Model.WorstCasePullUp <= row.MarginNS {
+			t.Errorf("%dB %v: pull-up must exceed margin", row.SubarrayBytes, row.Node)
+		}
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Table 3") {
+		t.Error("render failed")
+	}
+}
+
+func TestFigure3OraclePotential(t *testing.T) {
+	lab := quickLab(t)
+	r, err := lab.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 89% (D) and 90% (I) average discharge reductions at 70nm.
+	if red := 1 - r.DAvg; red < 0.80 || red > 0.97 {
+		t.Errorf("oracle D reduction = %.3f, want ~0.89", red)
+	}
+	if red := 1 - r.IAvg; red < 0.82 || red > 0.98 {
+		t.Errorf("oracle I reduction = %.3f, want ~0.90", red)
+	}
+	// Paper: 46% (D) and 41% (I) of the cache energy saving opportunity.
+	if r.DEnergyShare < 0.30 || r.DEnergyShare > 0.60 {
+		t.Errorf("oracle D energy share = %.3f, want ~0.46", r.DEnergyShare)
+	}
+	if r.IEnergyShare < 0.28 || r.IEnergyShare > 0.60 {
+		t.Errorf("oracle I energy share = %.3f, want ~0.41", r.IEnergyShare)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Figure 3") {
+		t.Error("render failed")
+	}
+}
+
+func TestOnDemandNotViable(t *testing.T) {
+	lab := quickLab(t)
+	r, err := lab.OnDemand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 9%/7%; our substrate lands lower but the
+	// architectural conclusion must hold: far beyond the 1% budget.
+	if r.DAvg < 0.015 || r.DAvg > 0.15 {
+		t.Errorf("on-demand D slowdown = %.3f, want a visible percentage", r.DAvg)
+	}
+	if r.IAvg < 0.015 || r.IAvg > 0.15 {
+		t.Errorf("on-demand I slowdown = %.3f, want a visible percentage", r.IAvg)
+	}
+	if r.DAvg <= lab.Options().PerfBudget || r.IAvg <= lab.Options().PerfBudget {
+		t.Error("on-demand must exceed the 1% budget (the paper's conclusion)")
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "on-demand") {
+		t.Error("render failed")
+	}
+}
+
+func TestLocalityFigures(t *testing.T) {
+	lab := quickLab(t)
+	d, err := lab.Locality(DataCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := lab.Locality(InstructionCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 5: instruction streams are highly local — ~95% of accesses hit
+	// subarrays re-used within 100 cycles.
+	iCDF := i.AvgAccessCDF()
+	if iCDF[2] < 0.85 {
+		t.Errorf("I-cache CDF@100 = %.3f, want > 0.85", iCDF[2])
+	}
+	dCDF := d.AvgAccessCDF()
+	if dCDF[2] < 0.60 || dCDF[2] > 0.98 {
+		t.Errorf("D-cache CDF@100 = %.3f, want high but below I", dCDF[2])
+	}
+	if dCDF[2] > iCDF[2] {
+		t.Error("instruction locality must exceed data locality")
+	}
+	// Fig. 6: ~22% of data subarrays hot at the 100-cycle threshold.
+	dHot := d.AvgHotFraction()
+	if dHot[2] < 0.08 || dHot[2] > 0.40 {
+		t.Errorf("D-cache hot fraction@100 = %.3f, want ~0.22", dHot[2])
+	}
+	iHot := i.AvgHotFraction()
+	if iHot[2] >= dHot[2] {
+		t.Error("hot i-subarrays must be fewer than data ones")
+	}
+	var sb strings.Builder
+	if err := d.Render(&sb); err != nil || !strings.Contains(sb.String(), "Figure 5") {
+		t.Error("render failed")
+	}
+}
+
+func TestFigure8GatedNearOptimal(t *testing.T) {
+	lab := quickLab(t)
+	d, err := lab.Figure8(DataCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := lab.Figure8(InstructionCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: D 83% / I 87% discharge reductions with ~1% slowdown; our
+	// bands allow the quick subset's spread.
+	if red := 1 - d.AvgRelDischarge; red < 0.60 {
+		t.Errorf("gated D discharge reduction = %.3f, want > 0.60", red)
+	}
+	if red := 1 - i.AvgRelDischarge; red < 0.80 {
+		t.Errorf("gated I discharge reduction = %.3f, want > 0.80", red)
+	}
+	if d.AvgSlowdown > 1.5*lab.Options().PerfBudget {
+		t.Errorf("gated D slowdown = %.4f, must respect the budget", d.AvgSlowdown)
+	}
+	if i.AvgSlowdown > 1.5*lab.Options().PerfBudget {
+		t.Errorf("gated I slowdown = %.4f, must respect the budget", i.AvgSlowdown)
+	}
+	// Overall cache energy savings in the paper's ballpark (42%/36%).
+	if d.AvgSavings < 0.25 || d.AvgSavings > 0.60 {
+		t.Errorf("gated D energy savings = %.3f, want ~0.42", d.AvgSavings)
+	}
+	if i.AvgSavings < 0.25 || i.AvgSavings > 0.60 {
+		t.Errorf("gated I energy savings = %.3f, want ~0.36", i.AvgSavings)
+	}
+	// The instruction cache gates harder than the data cache (paper: 6% vs
+	// 10% precharged).
+	if i.AvgPulled >= d.AvgPulled {
+		t.Error("i-cache should keep fewer subarrays precharged")
+	}
+	// Constant threshold must be worse than per-benchmark optima.
+	if d.ConstAvgRelDischarge < d.AvgRelDischarge-1e-9 {
+		t.Error("constant threshold cannot beat per-benchmark optima")
+	}
+	var sb strings.Builder
+	if err := d.Render(&sb); err != nil || !strings.Contains(sb.String(), "Figure 8") {
+		t.Error("render failed")
+	}
+}
+
+func TestFigure8GatedBeatsBudgetVsOnDemand(t *testing.T) {
+	// The headline comparison: gated achieves near-oracle savings at ~1%
+	// slowdown where on-demand costs several percent.
+	lab := quickLab(t, "gcc", "wupwise")
+	d, err := lab.Figure8(DataCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := lab.OnDemand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AvgSlowdown >= od.DAvg {
+		t.Errorf("gated slowdown %.4f should be far below on-demand %.4f",
+			d.AvgSlowdown, od.DAvg)
+	}
+}
+
+func TestFigure9GatedVsResizable(t *testing.T) {
+	lab := quickLab(t, "health", "bzip2", "wupwise")
+	r, err := lab.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []CacheSide{DataCache, InstructionCache} {
+		g, rz := r.Gated[side], r.Resizable[side]
+		// Gated improves steeply with scaling.
+		if g[tech.N70] >= g[tech.N180] {
+			t.Errorf("%s: gated must improve with scaling: 180nm %.3f vs 70nm %.3f",
+				side, g[tech.N180], g[tech.N70])
+		}
+		// Resizable is nearly flat across nodes.
+		lo, hi := rz[tech.N70], rz[tech.N70]
+		for _, n := range r.Nodes {
+			if rz[n] < lo {
+				lo = rz[n]
+			}
+			if rz[n] > hi {
+				hi = rz[n]
+			}
+		}
+		if lo <= 0 {
+			t.Fatalf("%s: resizable discharge non-positive", side)
+		}
+		if hi/lo > 1.8 {
+			t.Errorf("%s: resizable should be nearly flat, got %.3f..%.3f", side, lo, hi)
+		}
+		// At 70nm gated wins decisively.
+		if g[tech.N70] >= rz[tech.N70] {
+			t.Errorf("%s: gated (%.3f) must beat resizable (%.3f) at 70nm",
+				side, g[tech.N70], rz[tech.N70])
+		}
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Figure 9") {
+		t.Error("render failed")
+	}
+}
+
+func TestFigure10SmallerSubarraysGateBetter(t *testing.T) {
+	lab := quickLab(t, "health", "gcc", "wupwise")
+	r, err := lab.Figure10([]int{4096, 1024, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []CacheSide{DataCache, InstructionCache} {
+		p := r.Pulled[side]
+		if p[1024] >= p[4096] {
+			t.Errorf("%s: 1KB subarrays (%.3f) should gate better than 4KB (%.3f)",
+				side, p[1024], p[4096])
+		}
+		if p[256] > p[1024]+0.02 {
+			t.Errorf("%s: 256B (%.3f) should not be worse than 1KB (%.3f)",
+				side, p[256], p[1024])
+		}
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Figure 10") {
+		t.Error("render failed")
+	}
+}
+
+func TestPredecodeAccuracy(t *testing.T) {
+	lab := quickLab(t)
+	r, err := lab.Predecode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 80% at 1KB subarrays, 61% at line-sized ones.
+	if r.Avg1KB < 0.72 || r.Avg1KB > 0.90 {
+		t.Errorf("1KB predecode accuracy = %.3f, want ~0.80", r.Avg1KB)
+	}
+	if r.AvgLine < 0.50 || r.AvgLine > 0.72 {
+		t.Errorf("line predecode accuracy = %.3f, want ~0.61", r.AvgLine)
+	}
+	if r.Avg1KB <= r.AvgLine {
+		t.Error("coarser subarrays must be easier to predict")
+	}
+	// Predecoding must not hurt the discharge.
+	if r.DischargeGain < -0.01 {
+		t.Errorf("predecode discharge gain = %.4f, must not be negative", r.DischargeGain)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "predecoding") {
+		t.Error("render failed")
+	}
+}
+
+func TestOverheadWithinPaperBound(t *testing.T) {
+	r := Overhead()
+	for n, f := range r.PerNode {
+		if f <= 0 || f > r.PaperBound {
+			t.Errorf("%v: overhead %.6f outside (0, %.4f]", n, f, r.PaperBound)
+		}
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "overhead") {
+		t.Error("render failed")
+	}
+}
+
+func TestBestFeasible(t *testing.T) {
+	if got := BestFeasible(nil, DataCache, tech.N70, 0.01); got.Threshold != 0 {
+		t.Error("empty sweep should return zero point")
+	}
+	mk := func(thr uint64, rel, slow float64) SweepPoint {
+		var o Outcome
+		o.D.Discharge = map[tech.Node]energy.Discharge{
+			tech.N70: {Node: tech.N70, PulledEnergy: rel, StaticEnergy: 1},
+		}
+		return SweepPoint{Threshold: thr, Outcome: o, Slowdown: slow}
+	}
+	pts := []SweepPoint{
+		mk(8, 0.05, 0.05),   // aggressive but too slow
+		mk(32, 0.10, 0.008), // feasible, best discharge
+		mk(100, 0.20, 0.004),
+		mk(1000, 0.50, 0.001),
+	}
+	best := BestFeasible(pts, DataCache, tech.N70, 0.01)
+	if best.Threshold != 32 {
+		t.Errorf("best threshold = %d, want 32", best.Threshold)
+	}
+	// Nothing feasible: gentlest threshold wins.
+	none := BestFeasible(pts, DataCache, tech.N70, 0.0001)
+	if none.Threshold != 1000 {
+		t.Errorf("fallback threshold = %d, want 1000", none.Threshold)
+	}
+}
+
+func TestCacheSideString(t *testing.T) {
+	if DataCache.String() != "d-cache" || InstructionCache.String() != "i-cache" {
+		t.Error("side names wrong")
+	}
+}
+
+func TestLabDeterminism(t *testing.T) {
+	// Two labs over identical options must produce identical results.
+	mk := func() Fig3Result {
+		lab := quickLab(t, "tsp", "gcc")
+		r, err := lab.Figure3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	if a.DAvg != b.DAvg || a.IAvg != b.IAvg {
+		t.Errorf("labs diverged: %v/%v vs %v/%v", a.DAvg, a.IAvg, b.DAvg, b.IAvg)
+	}
+	for _, bench := range a.Benchmarks {
+		if a.DRelative[bench] != b.DRelative[bench] {
+			t.Errorf("%s: %v vs %v", bench, a.DRelative[bench], b.DRelative[bench])
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentResults(t *testing.T) {
+	opts := QuickOptions()
+	opts.Benchmarks = []string{"vpr"}
+	lab1, _ := NewLab(opts)
+	opts.Seed = 99
+	lab2, _ := NewLab(opts)
+	a, err := lab1.Baseline("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab2.Baseline("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU.Cycles == b.CPU.Cycles && a.D.Misses == b.D.Misses {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestOutcomeProjectedNodePriced(t *testing.T) {
+	lab := quickLab(t, "tsp")
+	base, err := lab.Baseline("tsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d50, ok := base.D.Discharge[tech.N50]
+	if !ok {
+		t.Fatal("outcomes must be priced at the 50nm projection")
+	}
+	if d50.Relative() != 1 {
+		t.Errorf("static relative discharge at 50nm = %v, want 1", d50.Relative())
+	}
+}
+
+func TestRunConfigJSONRoundTrip(t *testing.T) {
+	cfg := RunConfig{
+		Benchmark:     "mcf",
+		Seed:          7,
+		Instructions:  12345,
+		SubarrayBytes: 256,
+		DPolicy:       GatedPolicy(128, true),
+		IPolicy:       OnDemandPolicy(),
+		WayPredictD:   true,
+		DrowsyI:       64,
+		L2Policy:      OraclePolicy(),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got RunConfig
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != cfg.Benchmark || got.Seed != cfg.Seed ||
+		got.Instructions != cfg.Instructions || got.SubarrayBytes != cfg.SubarrayBytes ||
+		got.DPolicy != cfg.DPolicy || got.IPolicy != cfg.IPolicy ||
+		got.WayPredictD != cfg.WayPredictD || got.DrowsyI != cfg.DrowsyI ||
+		got.L2Policy != cfg.L2Policy {
+		t.Errorf("round trip changed config:\n got %+v\nwant %+v", got, cfg)
+	}
+	// A tracer must not leak into (or break) the JSON form.
+	cfg.Tracer = func(cpu.Event) {}
+	if _, err := json.Marshal(cfg); err != nil {
+		t.Fatalf("config with tracer must still marshal: %v", err)
+	}
+}

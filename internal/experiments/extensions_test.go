@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+func TestExtensions(t *testing.T) {
+	lab := quickLab(t, "health", "gcc", "wupwise")
+	r, err := lab.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The online controller must land between the constant threshold and a
+	// generously relaxed bound around the offline optimum, within a relaxed
+	// performance budget (it spends part of each run exploring).
+	if r.AdaptiveRelDischarge <= 0 || r.AdaptiveRelDischarge > 0.7 {
+		t.Errorf("adaptive rel discharge = %.3f implausible", r.AdaptiveRelDischarge)
+	}
+	if r.AdaptiveSlowdown > 3*lab.Options().PerfBudget {
+		t.Errorf("adaptive slowdown = %.4f too high", r.AdaptiveSlowdown)
+	}
+	if r.OfflineRelDischarge > r.ConstantRelDischarge+1e-9 {
+		t.Error("offline optimum cannot be worse than the constant threshold")
+	}
+	// Way prediction: high accuracy, positive savings, and composition.
+	if r.WayPredAccuracy < 0.7 {
+		t.Errorf("way prediction accuracy = %.3f, want high (MRU on 2 ways)", r.WayPredAccuracy)
+	}
+	if r.WaySavings <= 0 {
+		t.Errorf("way prediction savings = %.3f, want positive", r.WaySavings)
+	}
+	if r.GatedSavings <= 0 {
+		t.Errorf("gated savings = %.3f, want positive", r.GatedSavings)
+	}
+	if r.CombinedSavings <= r.GatedSavings || r.CombinedSavings <= r.WaySavings {
+		t.Errorf("combined savings %.3f must exceed gated %.3f and way-pred %.3f alone",
+			r.CombinedSavings, r.GatedSavings, r.WaySavings)
+	}
+	// Drowsy mode attacks the 24% non-bitline leakage, so gating must
+	// dominate it at 70nm, and the pair must beat either alone.
+	if r.DrowsySavings <= 0 {
+		t.Errorf("drowsy savings = %.3f, want positive", r.DrowsySavings)
+	}
+	if r.DrowsySavings >= r.GatedSavings {
+		t.Errorf("drowsy %.3f should not beat gated %.3f (bitlines carry 76%% of leakage)",
+			r.DrowsySavings, r.GatedSavings)
+	}
+	if r.GatedDrowsySavings <= r.GatedSavings {
+		t.Errorf("gated+drowsy %.3f must beat gated alone %.3f",
+			r.GatedDrowsySavings, r.GatedSavings)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Extensions") {
+		t.Error("render failed")
+	}
+}
+
+func TestWayPredictionRun(t *testing.T) {
+	cfg := RunConfig{
+		Benchmark:    "mesa",
+		Instructions: 30_000,
+		DPolicy:      Static(),
+		IPolicy:      Static(),
+		WayPredictD:  true,
+		WayPredictI:  true,
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.D.WayPredLookups == 0 || out.I.WayPredLookups == 0 {
+		t.Fatal("way predictor saw no lookups")
+	}
+	if out.D.WayPredCorrect > out.D.WayPredLookups {
+		t.Fatal("correct exceeds lookups")
+	}
+	// Dynamic energy must be below the no-prediction run's.
+	cfg.WayPredictD, cfg.WayPredictI = false, false
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.D.Energy[tech.N70].Dynamic >= base.D.Energy[tech.N70].Dynamic {
+		t.Error("way prediction must cut dynamic energy")
+	}
+	// And cost at most a little performance (re-probe penalties).
+	if slow := out.Slowdown(base); slow > 0.05 {
+		t.Errorf("way prediction slowdown = %.3f implausibly high", slow)
+	}
+}
+
+func TestAdaptivePolicyRun(t *testing.T) {
+	out, err := Run(RunConfig{
+		Benchmark:    "treeadd",
+		Instructions: 30_000,
+		DPolicy:      AdaptiveGatedPolicy(64, true),
+		IPolicy:      AdaptiveGatedPolicy(64, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.D.Discharge[tech.N70].Reduction() < 0.3 {
+		t.Errorf("adaptive D reduction = %.3f too small", out.D.Discharge[tech.N70].Reduction())
+	}
+	if out.D.Policy.Accesses == 0 {
+		t.Error("no policy stats recorded")
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"nanocache/internal/core"
+	"nanocache/internal/tech"
+	"nanocache/internal/workload"
+)
+
+// Options parameterizes the whole evaluation. The defaults regenerate the
+// paper's figures in a few minutes on one core; tests shrink Instructions
+// and the benchmark list.
+type Options struct {
+	// Instructions per architectural run.
+	Instructions uint64
+	// Seed drives every workload generator.
+	Seed int64
+	// SubarrayBytes is the base subarray size (1KB in the paper).
+	SubarrayBytes int
+	// Thresholds is the ladder searched for per-benchmark optimum gated
+	// thresholds (the paper finds optima between 10 and 1000, mostly near
+	// 100).
+	Thresholds []uint64
+	// ConstantThreshold is the across-the-board reference (100 in the
+	// paper).
+	ConstantThreshold uint64
+	// PerfBudget is the allowed slowdown (1% in the paper).
+	PerfBudget float64
+	// Benchmarks to evaluate (all sixteen by default).
+	Benchmarks []string
+	// ResizeInterval is the resizable epoch in instructions. The paper
+	// uses ~1M instructions on full-length runs; it is scaled to the run
+	// length here (documented in DESIGN.md §4).
+	ResizeInterval uint64
+	// ResizeTolerances is the ladder searched for the resizable cache's
+	// miss-ratio tolerance under the same performance budget.
+	ResizeTolerances []float64
+}
+
+// DefaultOptions returns the full-evaluation options.
+func DefaultOptions() Options {
+	return Options{
+		Instructions:      150_000,
+		Seed:              1,
+		SubarrayBytes:     1024,
+		Thresholds:        []uint64{8, 16, 32, 64, 100, 128, 256, 512, 1000},
+		ConstantThreshold: 100,
+		PerfBudget:        0.01,
+		ResizeInterval:    15_000,
+		ResizeTolerances:  []float64{0.002, 0.005, 0.01, 0.02},
+	}
+}
+
+// QuickOptions returns a reduced configuration for tests and smoke runs.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Instructions = 40_000
+	o.Thresholds = []uint64{8, 32, 100, 256}
+	o.ResizeTolerances = []float64{0.005, 0.02}
+	o.ResizeInterval = 8_000
+	return o
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return allBenchmarks()
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	switch {
+	case o.Instructions < 1000:
+		return fmt.Errorf("experiments: need at least 1000 instructions, got %d", o.Instructions)
+	case len(o.Thresholds) == 0:
+		return fmt.Errorf("experiments: empty threshold ladder")
+	case o.ConstantThreshold < 1 || o.ConstantThreshold > core.MaxThreshold:
+		return fmt.Errorf("experiments: constant threshold %d out of range", o.ConstantThreshold)
+	case o.PerfBudget <= 0:
+		return fmt.Errorf("experiments: performance budget must be positive")
+	}
+	for _, t := range o.Thresholds {
+		if t < 1 || t > core.MaxThreshold {
+			return fmt.Errorf("experiments: threshold %d out of range", t)
+		}
+	}
+	return nil
+}
+
+// CacheSide selects the data or instruction cache in sweep queries.
+type CacheSide int
+
+// Cache sides.
+const (
+	DataCache CacheSide = iota
+	InstructionCache
+)
+
+// String names the side.
+func (s CacheSide) String() string {
+	if s == DataCache {
+		return "d-cache"
+	}
+	return "i-cache"
+}
+
+// Lab memoizes the expensive architectural runs (baselines and gated
+// threshold sweeps) shared by several figures.
+type Lab struct {
+	opts      Options
+	baselines map[string]Outcome
+	sweeps    map[sweepKey][]SweepPoint
+	progress  func(string)
+}
+
+type sweepKey struct {
+	bench    string
+	side     CacheSide
+	subarray int
+}
+
+// SweepPoint is one gated run in a threshold sweep.
+type SweepPoint struct {
+	Threshold uint64
+	Outcome   Outcome
+	Slowdown  float64
+}
+
+// NewLab builds a lab over validated options.
+func NewLab(opts Options) (*Lab, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Lab{
+		opts:      opts,
+		baselines: make(map[string]Outcome),
+		sweeps:    make(map[sweepKey][]SweepPoint),
+	}, nil
+}
+
+// Options returns the lab's options.
+func (l *Lab) Options() Options { return l.opts }
+
+// SetProgress installs a progress callback (one line per completed run).
+func (l *Lab) SetProgress(fn func(string)) { l.progress = fn }
+
+func (l *Lab) note(format string, args ...any) {
+	if l.progress != nil {
+		l.progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// runConfig assembles the common run parameters.
+func (l *Lab) runConfig(bench string, d, i PolicySpec) RunConfig {
+	return RunConfig{
+		Benchmark:      bench,
+		Seed:           l.opts.Seed,
+		Instructions:   l.opts.Instructions,
+		SubarrayBytes:  l.opts.SubarrayBytes,
+		DPolicy:        d,
+		IPolicy:        i,
+		ResizeInterval: l.opts.ResizeInterval,
+	}
+}
+
+// Baseline returns (memoized) the conventional static-pull-up run.
+func (l *Lab) Baseline(bench string) (Outcome, error) {
+	if o, ok := l.baselines[bench]; ok {
+		return o, nil
+	}
+	o, err := Run(l.runConfig(bench, Static(), Static()))
+	if err != nil {
+		return Outcome{}, err
+	}
+	l.note("baseline %s: IPC %.2f dMiss %.3f", bench, o.CPU.IPC, o.D.MissRatio)
+	l.baselines[bench] = o
+	return o, nil
+}
+
+// GatedSweep returns (memoized) the gated threshold sweep for one cache
+// side of one benchmark at the given subarray size (0 = the base size).
+// The swept cache is gated (with predecoding on the data side, per the
+// paper); the other cache stays conventional.
+func (l *Lab) GatedSweep(bench string, side CacheSide, subarrayBytes int) ([]SweepPoint, error) {
+	if subarrayBytes == 0 {
+		subarrayBytes = l.opts.SubarrayBytes
+	}
+	key := sweepKey{bench, side, subarrayBytes}
+	if pts, ok := l.sweeps[key]; ok {
+		return pts, nil
+	}
+	base, err := l.baselineAt(bench, subarrayBytes)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]SweepPoint, 0, len(l.opts.Thresholds))
+	for _, thr := range sortedThresholds(l.opts.Thresholds) {
+		d, i := Static(), Static()
+		if side == DataCache {
+			d = GatedPolicy(thr, true)
+		} else {
+			i = GatedPolicy(thr, false)
+		}
+		cfg := l.runConfig(bench, d, i)
+		cfg.SubarrayBytes = subarrayBytes
+		o, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, SweepPoint{Threshold: thr, Outcome: o, Slowdown: o.Slowdown(base)})
+		l.note("sweep %s %s sub=%dB thr=%d: slowdown %.4f", bench, side, subarrayBytes,
+			thr, o.Slowdown(base))
+	}
+	l.sweeps[key] = pts
+	return pts, nil
+}
+
+// baselineAt returns a baseline run at an arbitrary subarray size,
+// memoizing the base-size case.
+func (l *Lab) baselineAt(bench string, subarrayBytes int) (Outcome, error) {
+	if subarrayBytes == l.opts.SubarrayBytes {
+		return l.Baseline(bench)
+	}
+	cfg := l.runConfig(bench, Static(), Static())
+	cfg.SubarrayBytes = subarrayBytes
+	return Run(cfg)
+}
+
+// side returns the swept cache's outcome from a sweep point.
+func (p SweepPoint) side(s CacheSide) CacheOutcome {
+	if s == DataCache {
+		return p.Outcome.D
+	}
+	return p.Outcome.I
+}
+
+// BestFeasible picks, from a sweep, the point minimizing the relative
+// discharge at the given node among points within the performance budget —
+// the paper's "statically-found per-benchmark optimum threshold with a 1%
+// performance degradation". If nothing is feasible it returns the point
+// with the smallest slowdown (the least aggressive threshold).
+func BestFeasible(pts []SweepPoint, side CacheSide, node tech.Node, budget float64) SweepPoint {
+	if len(pts) == 0 {
+		return SweepPoint{}
+	}
+	best := -1
+	for i, p := range pts {
+		if p.Slowdown > budget {
+			continue
+		}
+		if best < 0 || p.side(side).Discharge[node].Relative() <
+			pts[best].side(side).Discharge[node].Relative() {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return pts[best]
+	}
+	// Nothing feasible: fall back to the gentlest (largest) threshold.
+	fallback := 0
+	for i := range pts {
+		if pts[i].Threshold > pts[fallback].Threshold {
+			fallback = i
+		}
+	}
+	return pts[fallback]
+}
+
+func sortedThresholds(ts []uint64) []uint64 {
+	out := append([]uint64(nil), ts...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func allBenchmarks() []string { return workload.Names() }

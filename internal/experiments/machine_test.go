@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nanocache/internal/cpu"
+)
+
+func TestMachineSensitivity(t *testing.T) {
+	lab := quickLab(t, "health", "wupwise")
+	r, err := lab.MachineSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Configs) != 4 {
+		t.Fatalf("configs = %v", r.Configs)
+	}
+	for i, name := range r.Configs {
+		if r.OnDemandD[i] <= 0.005 {
+			t.Errorf("%s: on-demand slowdown %.4f suspiciously low", name, r.OnDemandD[i])
+		}
+		if r.BaseIPC[i] <= 0 {
+			t.Errorf("%s: IPC %.3f", name, r.BaseIPC[i])
+		}
+	}
+	// Without load-hit speculation the machine is slower overall.
+	if r.BaseIPC[3] >= r.BaseIPC[0] {
+		t.Errorf("no-speculation IPC %.3f should trail the baseline %.3f",
+			r.BaseIPC[3], r.BaseIPC[0])
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Machine sensitivity") {
+		t.Error("render failed")
+	}
+}
+
+func TestRunWithCPUOverride(t *testing.T) {
+	narrow := cpu.DefaultConfig()
+	narrow.Width = 2
+	narrow.IQSize = 16
+	cfg := RunConfig{
+		Benchmark:    "mesa",
+		Instructions: 20_000,
+		DPolicy:      Static(),
+		IPolicy:      Static(),
+		CPU:          &narrow,
+	}
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CPU = nil
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.CPU.IPC >= fast.CPU.IPC {
+		t.Errorf("2-wide IPC %.3f should trail 8-wide %.3f", slow.CPU.IPC, fast.CPU.IPC)
+	}
+	// Invalid overrides are rejected.
+	bad := cpu.DefaultConfig()
+	bad.Width = 0
+	cfg.CPU = &bad
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid CPU override should fail")
+	}
+}

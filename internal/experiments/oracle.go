@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nanocache/internal/energy"
+	"nanocache/internal/stats"
+	"nanocache/internal/tech"
+)
+
+// Fig3Result is the paper's Figure 3: the relative bitline discharge of the
+// oracle policy at 70nm per benchmark, for both caches, plus the averages
+// and the cache-energy opportunity fractions quoted in the text (89%/90%
+// discharge reductions, 46%/41% of cache energy).
+type Fig3Result struct {
+	Benchmarks []string
+	// DRelative and IRelative are the oracle's discharge relative to the
+	// conventional cache at 70nm.
+	DRelative, IRelative map[string]float64
+	// DAvg and IAvg are the benchmark averages.
+	DAvg, IAvg float64
+	// DEnergyShare and IEnergyShare are the benchmark-average shares of
+	// total cache energy that the saved discharge represents.
+	DEnergyShare, IEnergyShare float64
+}
+
+// Figure3 runs the oracle policy on both caches for every benchmark. The
+// oracle never delays an access, so one run per benchmark covers both
+// caches and matches the baseline timing exactly.
+func (l *Lab) Figure3() (Fig3Result, error) {
+	r := Fig3Result{
+		Benchmarks: l.opts.benchmarks(),
+		DRelative:  make(map[string]float64),
+		IRelative:  make(map[string]float64),
+	}
+	var dRel, iRel, dShare, iShare []float64
+	for _, bench := range r.Benchmarks {
+		o, err := Run(l.runConfig(bench, OraclePolicy(), OraclePolicy()))
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		l.note("fig3 %s: oracle D %.3f I %.3f", bench,
+			o.D.Discharge[tech.N70].Relative(), o.I.Discharge[tech.N70].Relative())
+		base, err := l.Baseline(bench)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		d := o.D.Discharge[tech.N70].Relative()
+		i := o.I.Discharge[tech.N70].Relative()
+		r.DRelative[bench] = d
+		r.IRelative[bench] = i
+		dRel = append(dRel, d)
+		iRel = append(iRel, i)
+		// The saved discharge as a share of the conventional cache's total
+		// energy: reduction x discharge share.
+		dShare = append(dShare, (1-d)*energy.DischargeShare(base.D.Energy[tech.N70]))
+		iShare = append(iShare, (1-i)*energy.DischargeShare(base.I.Energy[tech.N70]))
+	}
+	r.DAvg = stats.Mean(dRel)
+	r.IAvg = stats.Mean(iRel)
+	r.DEnergyShare = stats.Mean(dShare)
+	r.IEnergyShare = stats.Mean(iShare)
+	return r, nil
+}
+
+// Render writes the figure as a text table.
+func (r Fig3Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 3: relative bitline discharge under the oracle at 70nm (lower is better)")
+	fmt.Fprintln(tw, "benchmark\tdata cache\tinstruction cache")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", b, r.DRelative[b], r.IRelative[b])
+	}
+	fmt.Fprintf(tw, "AVG\t%.3f\t%.3f\n", r.DAvg, r.IAvg)
+	fmt.Fprintf(tw, "discharge reduction\t%.1f%% (paper 89%%)\t%.1f%% (paper 90%%)\n",
+		(1-r.DAvg)*100, (1-r.IAvg)*100)
+	fmt.Fprintf(tw, "share of cache energy\t%.1f%% (paper 46%%)\t%.1f%% (paper 41%%)\n",
+		r.DEnergyShare*100, r.IEnergyShare*100)
+	return tw.Flush()
+}
+
+// OnDemandResult is the Sec. 5 evaluation: the slowdown of on-demand
+// precharging applied to each cache separately.
+type OnDemandResult struct {
+	Benchmarks []string
+	// DSlowdown and ISlowdown are per-benchmark execution-time increases.
+	DSlowdown, ISlowdown map[string]float64
+	// DAvg and IAvg are the averages (the paper reports 9% and 7%).
+	DAvg, IAvg float64
+}
+
+// OnDemand measures the on-demand precharging slowdowns.
+func (l *Lab) OnDemand() (OnDemandResult, error) {
+	r := OnDemandResult{
+		Benchmarks: l.opts.benchmarks(),
+		DSlowdown:  make(map[string]float64),
+		ISlowdown:  make(map[string]float64),
+	}
+	var ds, is []float64
+	for _, bench := range r.Benchmarks {
+		base, err := l.Baseline(bench)
+		if err != nil {
+			return OnDemandResult{}, err
+		}
+		dRun, err := Run(l.runConfig(bench, OnDemandPolicy(), Static()))
+		if err != nil {
+			return OnDemandResult{}, err
+		}
+		iRun, err := Run(l.runConfig(bench, Static(), OnDemandPolicy()))
+		if err != nil {
+			return OnDemandResult{}, err
+		}
+		r.DSlowdown[bench] = dRun.Slowdown(base)
+		r.ISlowdown[bench] = iRun.Slowdown(base)
+		l.note("on-demand %s: D %.3f I %.3f", bench, r.DSlowdown[bench], r.ISlowdown[bench])
+		ds = append(ds, r.DSlowdown[bench])
+		is = append(is, r.ISlowdown[bench])
+	}
+	r.DAvg = stats.Mean(ds)
+	r.IAvg = stats.Mean(is)
+	return r, nil
+}
+
+// Render writes the slowdown table.
+func (r OnDemandResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Section 5: on-demand precharging slowdown (+1 cycle L1 latency)")
+	fmt.Fprintln(tw, "benchmark\tdata cache\tinstruction cache")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\n", b, r.DSlowdown[b]*100, r.ISlowdown[b]*100)
+	}
+	fmt.Fprintf(tw, "AVG\t%.1f%% (paper 9%%)\t%.1f%% (paper 7%%)\n", r.DAvg*100, r.IAvg*100)
+	return tw.Flush()
+}

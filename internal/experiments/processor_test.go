@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+func TestProcessorLevel(t *testing.T) {
+	lab := quickLab(t, "health", "gcc", "wupwise")
+	r, err := lab.Processor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's motivation: the caches' share is significant at 70nm and
+	// grows across generations.
+	prev := -1.0
+	for _, n := range tech.Nodes {
+		if r.CacheShare[n] <= prev {
+			t.Errorf("%v: cache share %.3f did not grow (prev %.3f)", n, r.CacheShare[n], prev)
+		}
+		prev = r.CacheShare[n]
+	}
+	if prev < 0.15 || prev > 0.6 {
+		t.Errorf("70nm cache share = %.3f, want significant", prev)
+	}
+	// The paper's Sec. 6.4: replay overhead on the rest of the processor is
+	// below ~1%.
+	if r.ReplayOverhead < -0.005 || r.ReplayOverhead > 0.02 {
+		t.Errorf("replay overhead = %.4f, want ~<1%%", r.ReplayOverhead)
+	}
+	// Net processor-level savings positive.
+	if r.NetSavings <= 0 {
+		t.Errorf("net savings = %.4f, want positive", r.NetSavings)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Processor-level") {
+		t.Error("render failed")
+	}
+}

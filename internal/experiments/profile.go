@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nanocache/internal/plot"
+)
+
+// SubarrayProfileResult is the per-subarray access distribution of one
+// benchmark under the conventional cache — the raw material behind the
+// paper's hot-subarray observations (Sec. 6.1): a handful of subarrays
+// soak up most accesses.
+type SubarrayProfileResult struct {
+	Benchmark string
+	// DShare and IShare are each subarray's share of the cache's accesses.
+	DShare, IShare []float64
+	// DTop4 and ITop4 are the access shares of the four busiest subarrays.
+	DTop4, ITop4 float64
+}
+
+// SubarrayProfile extracts the profile from the benchmark's baseline run.
+func (l *Lab) SubarrayProfile(bench string) (SubarrayProfileResult, error) {
+	base, err := l.Baseline(bench)
+	if err != nil {
+		return SubarrayProfileResult{}, err
+	}
+	r := SubarrayProfileResult{Benchmark: bench}
+	share := func(co CacheOutcome) []float64 {
+		loc := co.Locality
+		total := float64(loc.TotalAccesses())
+		out := make([]float64, loc.Subarrays())
+		if total == 0 {
+			return out
+		}
+		for s := range out {
+			out[s] = float64(loc.AccessesTo(s)) / total
+		}
+		return out
+	}
+	r.DShare = share(base.D)
+	r.IShare = share(base.I)
+	r.DTop4 = topK(r.DShare, 4)
+	r.ITop4 = topK(r.IShare, 4)
+	return r, nil
+}
+
+// topK sums the k largest values.
+func topK(vs []float64, k int) float64 {
+	cp := append([]float64(nil), vs...)
+	// Small n: selection by repeated max keeps it dependency-free.
+	sum := 0.0
+	for i := 0; i < k && i < len(cp); i++ {
+		maxIdx := 0
+		for j := range cp {
+			if cp[j] > cp[maxIdx] {
+				maxIdx = j
+			}
+		}
+		sum += cp[maxIdx]
+		cp[maxIdx] = -1
+	}
+	return sum
+}
+
+// Render writes the distribution as a text table.
+func (r SubarrayProfileResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Subarray access profile: %s (conventional cache)\n", r.Benchmark)
+	fmt.Fprintf(tw, "top-4 subarrays hold\t%.1f%% of d-cache accesses\t%.1f%% of i-cache accesses\n",
+		r.DTop4*100, r.ITop4*100)
+	fmt.Fprint(tw, "subarray")
+	for s := range r.DShare {
+		if s%4 == 0 {
+			fmt.Fprintf(tw, "\t%d", s)
+		}
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "d-share %")
+	for s, v := range r.DShare {
+		if s%4 == 0 {
+			fmt.Fprintf(tw, "\t%.1f", v*100)
+		}
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "i-share %")
+	for s, v := range r.IShare {
+		if s%4 == 0 {
+			fmt.Fprintf(tw, "\t%.1f", v*100)
+		}
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// Chart renders the profile as a grouped bar chart.
+func (r SubarrayProfileResult) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("Subarray access profile: %s", r.Benchmark),
+		XLabel: "subarray",
+		YLabel: "share of accesses",
+		Kind:   plot.Bar,
+	}
+	for s := range r.DShare {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%d", s))
+	}
+	c.Series = []plot.Series{
+		{Name: "d-cache", Y: r.DShare},
+		{Name: "i-cache", Y: r.IShare},
+	}
+	return c
+}

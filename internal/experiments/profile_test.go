@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSubarrayProfile(t *testing.T) {
+	lab := quickLab(t, "health")
+	r, err := lab.SubarrayProfile("health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DShare) != 32 || len(r.IShare) != 32 {
+		t.Fatalf("share lengths = %d/%d", len(r.DShare), len(r.IShare))
+	}
+	sum := 0.0
+	for _, v := range r.DShare {
+		if v < 0 {
+			t.Fatal("negative share")
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("d shares sum to %v", sum)
+	}
+	// The paper's Sec. 6.1: accesses concentrate in a few hot subarrays —
+	// health's tiny hot list heads make its top-4 dominate.
+	if r.DTop4 < 0.3 {
+		t.Errorf("health top-4 d-share = %.3f, want concentrated", r.DTop4)
+	}
+	if r.ITop4 < 0.5 {
+		t.Errorf("health top-4 i-share = %.3f, want concentrated", r.ITop4)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "profile") {
+		t.Error("render failed")
+	}
+	c := r.Chart()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf, 840, 400); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	vs := []float64{0.1, 0.5, 0.2, 0.05}
+	if got := topK(vs, 2); got != 0.7 {
+		t.Errorf("topK = %v, want 0.7", got)
+	}
+	if got := topK(vs, 10); got < 0.849 || got > 0.851 {
+		t.Errorf("topK over length = %v", got)
+	}
+	if topK(nil, 3) != 0 {
+		t.Error("empty topK must be 0")
+	}
+}

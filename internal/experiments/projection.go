@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nanocache/internal/stats"
+	"nanocache/internal/tech"
+)
+
+// ProjectionResult extends the Fig. 9 trend one generation beyond the
+// paper's Table 1, to a projected 50nm node (Vdd 0.9V, 6.7GHz at 8 FO4, one
+// more application of the Borkar scaling rules). The paper argues bitline
+// isolation "can be applied more aggressively in the future" and evaluates
+// "70nm and beyond"; the projection quantifies the "beyond": the remaining
+// discharge keeps collapsing toward the isolated-bitline decay floor, with
+// gated precharging tracking the oracle bound within a small factor.
+type ProjectionResult struct {
+	Nodes []tech.Node
+	// GatedRel and OracleRel are benchmark-average relative discharges of
+	// the data cache per node (both picked at the 1% budget for gated).
+	GatedRel, OracleRel map[tech.Node]float64
+}
+
+// Projection evaluates gated and oracle discharge across the projected node
+// axis, reusing the lab's memoized sweeps.
+func (l *Lab) Projection() (ProjectionResult, error) {
+	r := ProjectionResult{
+		Nodes:     tech.ProjectedNodes(),
+		GatedRel:  make(map[tech.Node]float64),
+		OracleRel: make(map[tech.Node]float64),
+	}
+	gated := map[tech.Node][]float64{}
+	oracle := map[tech.Node][]float64{}
+	for _, bench := range l.opts.benchmarks() {
+		pts, err := l.GatedSweep(bench, DataCache, 0)
+		if err != nil {
+			return ProjectionResult{}, err
+		}
+		orc, err := Run(l.runConfig(bench, OraclePolicy(), OraclePolicy()))
+		if err != nil {
+			return ProjectionResult{}, err
+		}
+		for _, node := range r.Nodes {
+			best := BestFeasible(pts, DataCache, node, l.opts.PerfBudget)
+			gated[node] = append(gated[node], best.Outcome.D.Discharge[node].Relative())
+			oracle[node] = append(oracle[node], orc.D.Discharge[node].Relative())
+		}
+	}
+	for _, node := range r.Nodes {
+		r.GatedRel[node] = stats.Mean(gated[node])
+		r.OracleRel[node] = stats.Mean(oracle[node])
+	}
+	return r, nil
+}
+
+// Render writes the projected trend.
+func (r ProjectionResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Projection: data-cache relative discharge, one node beyond the paper")
+	fmt.Fprint(tw, "policy")
+	for _, n := range r.Nodes {
+		mark := ""
+		if n.Projected() {
+			mark = "*"
+		}
+		fmt.Fprintf(tw, "\t%v%s", n, mark)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "gated (1% budget)")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(tw, "\t%.3f", r.GatedRel[n])
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "oracle")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(tw, "\t%.3f", r.OracleRel[n])
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "(* projected node, not in the paper's Table 1; the discharge keeps")
+	fmt.Fprintln(tw, " collapsing toward the decay floor — the paper's \"more aggressively")
+	fmt.Fprintln(tw, " in the future\" claim, quantified)")
+	return tw.Flush()
+}

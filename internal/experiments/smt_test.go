@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSMTInterleavingWidensHotSet(t *testing.T) {
+	lab := quickLab(t, "health", "bzip2", "tsp", "mesa")
+	r, err := lab.SMT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pairs) != 2 {
+		t.Fatalf("pairs = %v", r.Pairs)
+	}
+	// The mixed stream must run a hotter subarray set than the singles...
+	if r.SMTHot <= r.SingleHot {
+		t.Errorf("SMT hot fraction %.3f should exceed single %.3f", r.SMTHot, r.SingleHot)
+	}
+	// ...while gated precharging still eliminates the large majority of the
+	// discharge.
+	if r.SMTGatedRel > 0.6 {
+		t.Errorf("SMT gated rel discharge = %.3f, savings collapsed", r.SMTGatedRel)
+	}
+	if r.SMTGatedRel < r.SingleGatedRel {
+		t.Errorf("SMT (%.3f) should not gate better than single-threaded (%.3f)",
+			r.SMTGatedRel, r.SingleGatedRel)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "SMT") {
+		t.Error("render failed")
+	}
+}
+
+func TestSMTRunValidation(t *testing.T) {
+	cfg := RunConfig{
+		Benchmark:       "gcc",
+		SecondBenchmark: "nonesuch",
+		Instructions:    5000,
+		DPolicy:         Static(),
+		IPolicy:         Static(),
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown second benchmark should fail")
+	}
+	cfg.SecondBenchmark = "mesa"
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPU.Committed < 5000 {
+		t.Errorf("committed %d", out.CPU.Committed)
+	}
+}

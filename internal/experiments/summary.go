@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nanocache/internal/tech"
+)
+
+// Check is one headline comparison against the paper.
+type Check struct {
+	// Name identifies the claim.
+	Name string
+	// Paper is the paper's reported value (normalized to a fraction where
+	// applicable).
+	Paper float64
+	// Measured is this reproduction's value.
+	Measured float64
+	// Lo and Hi bound the acceptance band.
+	Lo, Hi float64
+}
+
+// OK reports whether the measured value is inside the band.
+func (c Check) OK() bool { return c.Measured >= c.Lo && c.Measured <= c.Hi }
+
+// SummaryResult is the self-verifying reproduction summary: every headline
+// number of the paper, measured, with an acceptance band.
+type SummaryResult struct {
+	Checks []Check
+}
+
+// Failures returns the checks outside their bands.
+func (r SummaryResult) Failures() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary runs (or reuses, via the lab's memoization) the experiments behind
+// the paper's headline numbers and evaluates the acceptance bands. The bands
+// encode how close a synthetic-workload reproduction is expected to land;
+// they are intentionally wider than the figure-level comparisons in
+// EXPERIMENTS.md.
+func (l *Lab) Summary() (SummaryResult, error) {
+	var r SummaryResult
+	add := func(name string, paper, measured, lo, hi float64) {
+		r.Checks = append(r.Checks, Check{Name: name, Paper: paper, Measured: measured, Lo: lo, Hi: hi})
+	}
+
+	f2 := Figure2()
+	add("Fig2: 180nm isolation peak (x static)", 1.95, f2.PeakPower[tech.N180], 1.8, 2.1)
+	add("Fig2: 70nm isolation peak (x static)", 1.0, f2.PeakPower[tech.N70], 1.0, 1.05)
+	add("Fig2: 180nm settle time (ns)", 500, f2.SettleNS[tech.N180], 400, 1500)
+
+	t3, err := Table3()
+	if err != nil {
+		return r, err
+	}
+	viable := 0.0
+	for _, row := range t3.Rows {
+		if row.OnDemandViable {
+			viable++
+		}
+	}
+	add("Table3: rows where on-demand hides (must be 0)", 0, viable, 0, 0)
+
+	f3, err := l.Figure3()
+	if err != nil {
+		return r, err
+	}
+	add("Fig3: oracle D discharge reduction", 0.89, 1-f3.DAvg, 0.80, 0.97)
+	add("Fig3: oracle I discharge reduction", 0.90, 1-f3.IAvg, 0.82, 0.98)
+	add("Fig3: D saving share of cache energy", 0.46, f3.DEnergyShare, 0.30, 0.60)
+	add("Fig3: I saving share of cache energy", 0.41, f3.IEnergyShare, 0.28, 0.60)
+
+	od, err := l.OnDemand()
+	if err != nil {
+		return r, err
+	}
+	add("Sec5: on-demand D slowdown", 0.09, od.DAvg, 0.015, 0.15)
+	add("Sec5: on-demand I slowdown", 0.07, od.IAvg, 0.015, 0.15)
+
+	locD, err := l.Locality(DataCache)
+	if err != nil {
+		return r, err
+	}
+	add("Fig6: D hot subarrays at 100-cycle threshold", 0.22, locD.AvgHotFraction()[2], 0.08, 0.40)
+
+	f8d, err := l.Figure8(DataCache)
+	if err != nil {
+		return r, err
+	}
+	f8i, err := l.Figure8(InstructionCache)
+	if err != nil {
+		return r, err
+	}
+	add("Fig8: gated D discharge reduction", 0.83, 1-f8d.AvgRelDischarge, 0.60, 0.95)
+	add("Fig8: gated I discharge reduction", 0.87, 1-f8i.AvgRelDischarge, 0.80, 0.98)
+	add("Fig8: gated D slowdown", 0.01, f8d.AvgSlowdown, -0.01, 0.015)
+	add("Fig8: gated D overall energy saving", 0.42, f8d.AvgSavings, 0.25, 0.60)
+	add("Fig8: gated I overall energy saving", 0.36, f8i.AvgSavings, 0.25, 0.60)
+
+	f9, err := l.Figure9()
+	if err != nil {
+		return r, err
+	}
+	add("Fig9: gated beats resizable at 70nm (D, margin)", 0.3,
+		f9.Resizable[DataCache][tech.N70]-f9.Gated[DataCache][tech.N70], 0.05, 1)
+	rzSpread := f9.Resizable[DataCache][tech.N180] - f9.Resizable[DataCache][tech.N70]
+	add("Fig9: resizable flat across nodes (D, spread)", 0, rzSpread, -0.1, 0.1)
+
+	pre, err := l.Predecode()
+	if err != nil {
+		return r, err
+	}
+	add("Sec6.3: predecode accuracy at 1KB", 0.80, pre.Avg1KB, 0.72, 0.90)
+	add("Sec6.3: predecode accuracy at line size", 0.61, pre.AvgLine, 0.50, 0.72)
+
+	ov := Overhead()
+	add("Sec6.2: counter overhead (fraction of access)", 0.0002, ov.PerNode[tech.N70], 0, 0.0002)
+
+	return r, nil
+}
+
+// Render writes the summary with per-check verdicts.
+func (r SummaryResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Reproduction summary: measured vs paper, with acceptance bands")
+	fmt.Fprintln(tw, "check\tpaper\tmeasured\tband\tverdict")
+	pass := 0
+	for _, c := range r.Checks {
+		verdict := "PASS"
+		if !c.OK() {
+			verdict = "FAIL"
+		} else {
+			pass++
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t[%.4g, %.4g]\t%s\n",
+			c.Name, c.Paper, c.Measured, c.Lo, c.Hi, verdict)
+	}
+	fmt.Fprintf(tw, "total\t\t\t\t%d/%d pass\n", pass, len(r.Checks))
+	return tw.Flush()
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummaryAllPass(t *testing.T) {
+	lab := quickLab(t)
+	r, err := lab.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Checks) < 15 {
+		t.Fatalf("only %d checks", len(r.Checks))
+	}
+	for _, f := range r.Failures() {
+		t.Errorf("FAIL %s: paper %.4g, measured %.4g, band [%.4g, %.4g]",
+			f.Name, f.Paper, f.Measured, f.Lo, f.Hi)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil || !strings.Contains(sb.String(), "Reproduction summary") {
+		t.Error("render failed")
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	c := Check{Measured: 0.5, Lo: 0.4, Hi: 0.6}
+	if !c.OK() {
+		t.Error("in-band check should pass")
+	}
+	c.Measured = 0.7
+	if c.OK() {
+		t.Error("out-of-band check should fail")
+	}
+}

@@ -1,0 +1,90 @@
+package isa
+
+// Interleave merges two micro-op streams round-robin, approximating the
+// cache-side effect of two-way simultaneous multithreading: the paper's
+// Sec. 1/2 notes that SMT data and instruction caches are highly ported and
+// their mixed reference streams exacerbate bitline discharge by spreading
+// accesses over more subarrays.
+//
+// To keep the merged stream executable on the single-context timing model,
+// the second stream is relocated into its own architectural partition:
+// its registers map into the upper half of the register file, its data
+// addresses and PCs are offset into a disjoint region. This preserves each
+// thread's internal dependence structure while the cache sees the true
+// interleaved footprint.
+type Interleave struct {
+	A, B Stream
+
+	// turnB alternates the pick; aDone/bDone track exhaustion.
+	turnB        bool
+	aDone, bDone bool
+}
+
+// Register partition: thread B's registers fold into 33..63. The fold is
+// injective on B's integer bank (1..31) and collapses B's FP bank onto the
+// same range, which can add rare false dependences inside B — an accepted
+// approximation: the experiment consuming this stream measures cache-side
+// locality, not B's ILP.
+func remapReg(r Reg) Reg {
+	if r == None {
+		return None
+	}
+	return Reg((uint8(r) % 31) + 33)
+}
+
+// Address and PC relocation offsets for thread B.
+const (
+	bAddrOffset = uint64(0x4000_0000)
+	bPCOffset   = uint64(0x0100_0000)
+)
+
+// relocate rewrites op in place into thread B's partition.
+func relocate(op *MicroOp) {
+	op.Src1 = remapReg(op.Src1)
+	op.Src2 = remapReg(op.Src2)
+	op.Dst = remapReg(op.Dst)
+	op.Base = remapReg(op.Base)
+	op.PC += bPCOffset
+	if op.Class.IsMem() {
+		op.Addr += bAddrOffset
+	}
+	if op.Class == Branch && op.Target != 0 {
+		op.Target += bPCOffset
+	}
+}
+
+// Next implements Stream: strict round-robin while both streams live, then
+// whatever remains.
+func (s *Interleave) Next(op *MicroOp) bool {
+	for i := 0; i < 2; i++ {
+		pickB := s.turnB
+		s.turnB = !s.turnB
+		if pickB && !s.bDone {
+			if s.B.Next(op) {
+				relocate(op)
+				return true
+			}
+			s.bDone = true
+			continue
+		}
+		if !pickB && !s.aDone {
+			if s.A.Next(op) {
+				return true
+			}
+			s.aDone = true
+			continue
+		}
+	}
+	// One or both exhausted this round; drain the survivor directly.
+	switch {
+	case !s.aDone && s.A.Next(op):
+		return true
+	case !s.bDone:
+		if s.B.Next(op) {
+			relocate(op)
+			return true
+		}
+		s.bDone = true
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+// Package isa defines the micro-operation representation the trace-driven
+// processor simulator consumes. It plays the role the Alpha ISA plays for
+// the paper's modified Wattch/SimpleScalar setup: enough structure to drive
+// an out-of-order timing model — register dependences, functional-unit
+// classes, memory addresses with base+displacement decomposition (needed for
+// the paper's predecoding heuristic, Sec. 6.3) and branch outcomes.
+package isa
+
+import "fmt"
+
+// Class is the functional-unit class of a micro-op.
+type Class uint8
+
+// Micro-op classes. Loads and stores carry addresses; branches carry
+// outcomes and targets.
+const (
+	IntALU Class = iota
+	IntMul
+	FPALU
+	FPMul
+	Load
+	Store
+	Branch
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "int-alu"
+	case IntMul:
+		return "int-mul"
+	case FPALU:
+		return "fp-alu"
+	case FPMul:
+		return "fp-mul"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool { return c < numClasses }
+
+// IsMem reports whether the class accesses the data cache.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// ExecLatency returns the execution latency in cycles of the class on its
+// functional unit, excluding any cache access time (loads add the D-cache
+// latency on top of their one-cycle address generation).
+func (c Class) ExecLatency() int {
+	switch c {
+	case IntALU, Branch:
+		return 1
+	case IntMul:
+		return 3
+	case FPALU:
+		return 2
+	case FPMul:
+		return 4
+	case Load, Store:
+		return 1 // address generation; the cache adds its own latency
+	}
+	return 1
+}
+
+// Reg identifies an architectural register. Register 0 reads as "no
+// dependence" (a hard-wired zero), mirroring common RISC conventions.
+type Reg uint8
+
+// NumRegs is the architectural register-file size (the paper's machine has
+// 128 physical registers renaming a smaller architectural set).
+const NumRegs = 64
+
+// None marks the absence of a register operand.
+const None Reg = 0
+
+// MicroOp is one dynamic instruction in a trace.
+type MicroOp struct {
+	// PC is the instruction address, used for instruction-cache accesses
+	// and branch prediction indexing.
+	PC uint64
+	// Class selects the functional unit and semantics.
+	Class Class
+	// Src1, Src2 are source registers (None if absent).
+	Src1, Src2 Reg
+	// Dst is the destination register (None for stores and branches).
+	Dst Reg
+	// Addr is the effective memory address for loads and stores.
+	Addr uint64
+	// Base is the base register of a displacement-addressed memory op; the
+	// effective address is the base register's value plus Disp. The paper's
+	// predecoding heuristic (Sec. 6.3) predicts the accessed subarray from
+	// the base value alone, before address calculation.
+	Base Reg
+	// Disp is the displacement of a memory op.
+	Disp int32
+	// Taken is the branch outcome.
+	Taken bool
+	// Target is the next PC for a taken branch.
+	Target uint64
+}
+
+// BaseAddr returns the base-register value implied by Addr and Disp — what
+// predecoding observes at register read time.
+func (op MicroOp) BaseAddr() uint64 { return op.Addr - uint64(int64(op.Disp)) }
+
+// Validate reports whether the micro-op is internally consistent.
+func (op MicroOp) Validate() error {
+	if !op.Class.Valid() {
+		return fmt.Errorf("isa: invalid class %d", uint8(op.Class))
+	}
+	if op.Src1 >= NumRegs || op.Src2 >= NumRegs || op.Dst >= NumRegs || op.Base >= NumRegs {
+		return fmt.Errorf("isa: register out of range in %+v", op)
+	}
+	if op.Class.IsMem() && op.Addr == 0 {
+		return fmt.Errorf("isa: memory op with zero address: %+v", op)
+	}
+	if op.Class == Store && op.Dst != None {
+		return fmt.Errorf("isa: store with destination register: %+v", op)
+	}
+	if op.Class == Branch && op.Taken && op.Target == 0 {
+		return fmt.Errorf("isa: taken branch without target: %+v", op)
+	}
+	return nil
+}
+
+// Stream produces a dynamic micro-op sequence. Next fills *op and returns
+// true, or returns false when the trace is exhausted. Implementations are
+// deterministic for a fixed seed so experiments are reproducible.
+type Stream interface {
+	Next(op *MicroOp) bool
+}
+
+// SliceStream adapts a fixed slice of micro-ops into a Stream; it is used
+// in tests and for replaying captured traces.
+type SliceStream struct {
+	Ops []MicroOp
+	pos int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(op *MicroOp) bool {
+	if s.pos >= len(s.Ops) {
+		return false
+	}
+	*op = s.Ops[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Limit wraps a stream and truncates it after n micro-ops.
+type Limit struct {
+	S Stream
+	N uint64
+
+	seen uint64
+}
+
+// Next implements Stream.
+func (l *Limit) Next(op *MicroOp) bool {
+	if l.seen >= l.N {
+		return false
+	}
+	if !l.S.Next(op) {
+		return false
+	}
+	l.seen++
+	return true
+}

@@ -1,0 +1,223 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		IntALU: "int-alu", IntMul: "int-mul", FPALU: "fp-alu",
+		FPMul: "fp-mul", Load: "load", Store: "store", Branch: "branch",
+	}
+	for c, want := range names {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class should render")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+		if c.ExecLatency() < 1 {
+			t.Errorf("%v latency must be >= 1", c)
+		}
+	}
+	if Class(200).Valid() {
+		t.Error("class 200 should be invalid")
+	}
+	if !Load.IsMem() || !Store.IsMem() || IntALU.IsMem() || Branch.IsMem() {
+		t.Error("IsMem predicate wrong")
+	}
+	if IntMul.ExecLatency() <= IntALU.ExecLatency() {
+		t.Error("multiply must be slower than ALU")
+	}
+	if FPMul.ExecLatency() <= FPALU.ExecLatency() {
+		t.Error("FP multiply must be slower than FP add")
+	}
+}
+
+func TestBaseAddr(t *testing.T) {
+	op := MicroOp{Class: Load, Addr: 1024, Disp: 24, Base: 5}
+	if op.BaseAddr() != 1000 {
+		t.Errorf("BaseAddr = %d, want 1000", op.BaseAddr())
+	}
+	neg := MicroOp{Class: Load, Addr: 1000, Disp: -24}
+	if neg.BaseAddr() != 1024 {
+		t.Errorf("negative-disp BaseAddr = %d, want 1024", neg.BaseAddr())
+	}
+}
+
+func TestBaseAddrRoundTrip(t *testing.T) {
+	f := func(base uint32, disp int16) bool {
+		addr := uint64(base) + uint64(int64(disp))
+		op := MicroOp{Class: Load, Addr: addr, Disp: int32(disp)}
+		return op.BaseAddr() == uint64(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []MicroOp{
+		{Class: IntALU, Src1: 1, Src2: 2, Dst: 3},
+		{Class: Load, Addr: 64, Base: 4, Disp: 8, Dst: 5},
+		{Class: Store, Addr: 128, Base: 4, Src1: 5},
+		{Class: Branch, Taken: true, Target: 4096, PC: 4000},
+		{Class: Branch, Taken: false, PC: 4000},
+	}
+	for i, op := range good {
+		if err := op.Validate(); err != nil {
+			t.Errorf("good op %d rejected: %v", i, err)
+		}
+	}
+	bad := []MicroOp{
+		{Class: Class(50)},
+		{Class: IntALU, Src1: NumRegs},
+		{Class: Load, Addr: 0},
+		{Class: Store, Addr: 64, Dst: 3},
+		{Class: Branch, Taken: true, Target: 0},
+	}
+	for i, op := range bad {
+		if err := op.Validate(); err == nil {
+			t.Errorf("bad op %d accepted: %+v", i, op)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	ops := []MicroOp{
+		{Class: IntALU, Dst: 1},
+		{Class: Load, Addr: 64, Dst: 2},
+	}
+	s := &SliceStream{Ops: ops}
+	var op MicroOp
+	var got []MicroOp
+	for s.Next(&op) {
+		got = append(got, op)
+	}
+	if len(got) != 2 || got[1].Addr != 64 {
+		t.Errorf("stream replay wrong: %+v", got)
+	}
+	if s.Next(&op) {
+		t.Error("exhausted stream should stay exhausted")
+	}
+	s.Reset()
+	if !s.Next(&op) || op.Dst != 1 {
+		t.Error("reset should rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	ops := make([]MicroOp, 10)
+	for i := range ops {
+		ops[i] = MicroOp{Class: IntALU, Dst: Reg(i + 1)}
+	}
+	l := &Limit{S: &SliceStream{Ops: ops}, N: 3}
+	var op MicroOp
+	n := 0
+	for l.Next(&op) {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limited stream yielded %d ops, want 3", n)
+	}
+	// A limit larger than the stream ends with the stream.
+	l2 := &Limit{S: &SliceStream{Ops: ops[:2]}, N: 100}
+	n = 0
+	for l2.Next(&op) {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("limit beyond stream end yielded %d, want 2", n)
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := &SliceStream{Ops: []MicroOp{
+		{PC: 0x400000, Class: IntALU, Dst: 1},
+		{PC: 0x400004, Class: IntALU, Dst: 2},
+	}}
+	b := &SliceStream{Ops: []MicroOp{
+		{PC: 0x400000, Class: Load, Addr: 0x1000_0000, Base: 24, Dst: 5},
+	}}
+	s := &Interleave{A: a, B: b}
+	var got []MicroOp
+	var op MicroOp
+	for s.Next(&op) {
+		got = append(got, op)
+	}
+	if len(got) != 3 {
+		t.Fatalf("merged %d ops, want 3", len(got))
+	}
+	// Order: A, B, A (round robin, then drain).
+	if got[0].PC != 0x400000 || got[2].Dst != 2 {
+		t.Errorf("order wrong: %+v", got)
+	}
+	// B relocated: PC offset, address offset, registers in the upper bank.
+	bOp := got[1]
+	if bOp.PC != 0x400000+bPCOffset {
+		t.Errorf("B PC = %#x", bOp.PC)
+	}
+	if bOp.Addr != 0x1000_0000+bAddrOffset {
+		t.Errorf("B addr = %#x", bOp.Addr)
+	}
+	if bOp.Dst < 33 || bOp.Base < 33 {
+		t.Errorf("B registers not partitioned: %+v", bOp)
+	}
+	if err := bOp.Validate(); err != nil {
+		t.Errorf("relocated op invalid: %v", err)
+	}
+}
+
+func TestInterleavePreservesBDependences(t *testing.T) {
+	// A dependence inside B (dst feeds base) survives relocation.
+	b := &SliceStream{Ops: []MicroOp{
+		{PC: 0x400000, Class: Load, Addr: 0x1000_0000, Base: 24, Dst: 7},
+		{PC: 0x400004, Class: Load, Addr: 0x1000_0040, Base: 7, Dst: 8},
+	}}
+	s := &Interleave{A: &SliceStream{}, B: b}
+	var first, second MicroOp
+	if !s.Next(&first) || !s.Next(&second) {
+		t.Fatal("stream ended early")
+	}
+	if second.Base != first.Dst {
+		t.Errorf("dependence broken: base %d vs dst %d", second.Base, first.Dst)
+	}
+	var op MicroOp
+	if s.Next(&op) {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+func TestInterleaveNoneStaysNone(t *testing.T) {
+	if remapReg(None) != None {
+		t.Error("None must not be remapped")
+	}
+}
+
+func TestInterleaveUnevenLengths(t *testing.T) {
+	mk := func(n int, pc uint64) *SliceStream {
+		var ops []MicroOp
+		for i := 0; i < n; i++ {
+			ops = append(ops, MicroOp{PC: pc + uint64(i*4), Class: IntALU, Dst: 1})
+		}
+		return &SliceStream{Ops: ops}
+	}
+	s := &Interleave{A: mk(5, 0x400000), B: mk(2, 0x500000)}
+	count := 0
+	var op MicroOp
+	for s.Next(&op) {
+		count++
+	}
+	if count != 7 {
+		t.Errorf("merged %d, want 7", count)
+	}
+}

@@ -1,0 +1,242 @@
+// Package plot renders the experiment results as SVG charts using only the
+// standard library, so the regenerated figures can be compared against the
+// paper's visually. It supports the two shapes the paper uses: line charts
+// (Figs. 2, 5, 6, 9) and grouped bar charts (Figs. 3, 8, 10).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Kind selects the mark type.
+type Kind int
+
+const (
+	// Line draws one polyline per series over a categorical or numeric x
+	// axis.
+	Line Kind = iota
+	// Bar draws grouped vertical bars, one group per x label.
+	Bar
+)
+
+// Series is one named data vector; len(Y) must equal len(Chart.XLabels).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XLabels are the categorical x-axis positions (node names, benchmark
+	// names, time points rendered as strings).
+	XLabels []string
+	Series  []Series
+	Kind    Kind
+	// YMax fixes the y-axis top; 0 picks it from the data.
+	YMax float64
+}
+
+// palette holds distinguishable series colors, cycled as needed.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+	"#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+	"#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+}
+
+// Validate reports whether the chart is renderable.
+func (c Chart) Validate() error {
+	if len(c.XLabels) == 0 {
+		return fmt.Errorf("plot: chart %q has no x labels", c.Title)
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.XLabels) {
+			return fmt.Errorf("plot: chart %q series %q has %d points for %d labels",
+				c.Title, s.Name, len(s.Y), len(c.XLabels))
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plot: chart %q series %q has a non-finite value", c.Title, s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// yTop picks the axis top: YMax if set, else the data max padded 5%.
+func (c Chart) yTop() float64 {
+	if c.YMax > 0 {
+		return c.YMax
+	}
+	top := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if v > top {
+				top = v
+			}
+		}
+	}
+	if top <= 0 {
+		return 1
+	}
+	return top * 1.05
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteSVG renders the chart at the given pixel size.
+func (c Chart) WriteSVG(w io.Writer, width, height int) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if width < 200 || height < 150 {
+		return fmt.Errorf("plot: size %dx%d too small", width, height)
+	}
+	const (
+		marginL = 64.0
+		marginR = 16.0
+		marginT = 40.0
+		marginB = 56.0
+	)
+	W, H := float64(width), float64(height)
+	plotW := W - marginL - marginR
+	plotH := H - marginT - marginB
+	top := c.yTop()
+
+	xPos := func(i int) float64 {
+		n := len(c.XLabels)
+		if c.Kind == Bar {
+			return marginL + plotW*(float64(i)+0.5)/float64(n)
+		}
+		if n == 1 {
+			return marginL + plotW/2
+		}
+		return marginL + plotW*float64(i)/float64(n-1)
+	}
+	yPos := func(v float64) float64 {
+		f := v / top
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return marginT + plotH*(1-f)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginL, esc(c.Title))
+
+	// Axes and y grid/ticks.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for t := 0; t <= 4; t++ {
+		v := top * float64(t) / 4
+		y := yPos(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, esc(fmtTick(v)))
+	}
+
+	// X labels (thinned when dense).
+	step := 1
+	if n := len(c.XLabels); n > 16 {
+		step = n / 12
+	}
+	for i, lbl := range c.XLabels {
+		if i%step != 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			xPos(i), marginT+plotH+16, esc(lbl))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-style="italic">%s</text>`+"\n",
+			marginL+plotW/2, H-8, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" font-style="italic" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+	}
+
+	// Marks.
+	switch c.Kind {
+	case Line:
+		for si, s := range c.Series {
+			color := palette[si%len(palette)]
+			var pts []string
+			for i, v := range s.Y {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(i), yPos(v)))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.7"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+	case Bar:
+		groups := len(c.XLabels)
+		groupW := plotW / float64(groups)
+		barW := groupW * 0.8 / float64(len(c.Series))
+		for si, s := range c.Series {
+			color := palette[si%len(palette)]
+			for i, v := range s.Y {
+				x := marginL + groupW*float64(i) + groupW*0.1 + barW*float64(si)
+				y := yPos(v)
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, y, barW, marginT+plotH-y, color)
+			}
+		}
+	default:
+		return fmt.Errorf("plot: unknown kind %d", c.Kind)
+	}
+
+	// Legend (skipped for single anonymous series).
+	if len(c.Series) > 1 || c.Series[0].Name != "" {
+		lx := marginL + 8
+		ly := marginT + 6
+		for si, s := range c.Series {
+			if si >= 12 {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">…</text>`+"\n", lx, ly+6)
+				break
+			}
+			color := palette[si%len(palette)]
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-4, color)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+14, ly+5, esc(s.Name))
+			ly += 15
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtTick formats an axis tick compactly.
+func fmtTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

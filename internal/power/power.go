@@ -1,0 +1,203 @@
+// Package power is the processor-level energy accounting layer standing in
+// for Wattch (Brooks et al.), which the paper modified for its simulations
+// (Sec. 3). It distributes dynamic energy over the major out-of-order
+// structures using activity counts from the cpu model — fetch, rename,
+// issue-window wakeup/select, register file, functional units, reorder
+// buffer, load/store queue, branch predictor and the clock tree — plus
+// per-structure leakage that grows with the technology's leakage scale.
+//
+// Two of the paper's claims need this layer:
+//
+//   - L1 caches "increasingly account for a significant fraction of energy
+//     dissipation in wide-issue processors" (Sec. 1), and
+//   - the instruction replays gated precharging induces in the data cache
+//     "increase the processor's energy consumption by less than 1%"
+//     (Sec. 6.4).
+//
+// Energies are in the same static-ns units as internal/energy (the static
+// bitline discharge of one L1 subarray for 1ns = 1.0), so cache accounts
+// compose directly into the processor budget.
+package power
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"nanocache/internal/circuit"
+	"nanocache/internal/cpu"
+	"nanocache/internal/energy"
+	"nanocache/internal/tech"
+)
+
+// Per-event dynamic-energy weights of the major structures, relative to one
+// L1 data-cache access (= 1.0), following Wattch-era breakdowns for an
+// 8-wide machine with a 128-register 16R/8W register file. The absolute
+// scale comes from circuit.DynamicAccessEnergy via the energy package.
+const (
+	wFetch     = 0.6  // fetch/decode pipe per instruction
+	wRename    = 0.3  // map table + dependence check per instruction
+	wWakeup    = 0.5  // issue-window wakeup/select per issued uop
+	wRegRead   = 0.2  // per register read
+	wRegWrite  = 0.3  // per register write
+	wFU        = 0.5  // ALU op average
+	wROB       = 0.25 // allocate+commit per instruction
+	wLSQ       = 0.3  // per memory uop
+	wPredictor = 0.3  // per branch lookup/update
+	// Clock tree per cycle, relative to an L1 access; Wattch attributes
+	// ~30% of chip power to the clock at full activity.
+	wClockPerCycle = 3.0
+)
+
+// Structure leakage per cycle relative to the two L1s' combined bitline
+// leakage (which is 64 subarray-units/cycle): the register file, queues and
+// window leak too, roughly half as much SRAM again.
+const leakOtherVsL1 = 0.5
+
+// Activity is the per-run event counts the model consumes; derive it from a
+// cpu.Result with FromResult.
+type Activity struct {
+	Cycles     uint64
+	Fetched    uint64
+	Renamed    uint64
+	IssuedUops uint64
+	RegReads   uint64
+	RegWrites  uint64
+	FUOps      uint64
+	ROBEntries uint64
+	MemUops    uint64
+	Branches   uint64
+}
+
+// FromResult derives the activity counts from a run result. Replayed uops
+// re-issue, re-read registers and re-execute, so wasted work is charged —
+// the effect the paper quantifies at under 1% of processor energy.
+func FromResult(r cpu.Result) Activity {
+	issued := r.IssuedUops
+	if issued == 0 {
+		issued = r.Committed
+	}
+	return Activity{
+		Cycles:     r.Cycles,
+		Fetched:    r.Committed, // trace-driven: committed path fetched once + refills
+		Renamed:    r.Committed,
+		IssuedUops: issued,
+		RegReads:   issued + issued/2, // ~1.5 source reads per uop
+		RegWrites:  issued * 7 / 10,   // ~70% of uops write a register
+		FUOps:      issued,
+		ROBEntries: r.Committed,
+		MemUops:    r.Loads + r.Stores,
+		Branches:   r.Branches,
+	}
+}
+
+// Budget is the per-run processor energy breakdown at one node.
+type Budget struct {
+	Node tech.Node
+
+	// Core pipeline components (dynamic + their leakage).
+	Fetch, Rename, Window, RegFile, FU, ROB, LSQ, Predictor, Clock float64
+	// OtherLeakage is the non-cache SRAM leakage (regfile, queues, window).
+	OtherLeakage float64
+	// L1D, L1I are the full cache accounts (bitline + core leakage +
+	// dynamic + policy control) from the energy package.
+	L1D, L1I float64
+}
+
+// Total returns the processor energy.
+func (b Budget) Total() float64 {
+	return b.Fetch + b.Rename + b.Window + b.RegFile + b.FU + b.ROB + b.LSQ +
+		b.Predictor + b.Clock + b.OtherLeakage + b.L1D + b.L1I
+}
+
+// CacheShare returns the two L1s' share of processor energy — the paper's
+// Sec. 1 motivation metric.
+func (b Budget) CacheShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (b.L1D + b.L1I) / t
+}
+
+// Processor assembles the processor budget from activity counts and the two
+// L1 cache accounts (use energy.CacheEnergyAt / CacheEnergyWays for these).
+func Processor(node tech.Node, act Activity, l1d, l1i energy.CacheEnergy) Budget {
+	// One L1 data access is the unit the weights are expressed in.
+	unit := referenceAccessEnergy(node)
+	cyc := float64(act.Cycles)
+	leakUnit := 64.0 * leakOtherVsL1 * tech.ParamsFor(node).CycleTime // static-ns per cycle
+
+	return Budget{
+		Node:         node,
+		Fetch:        float64(act.Fetched) * wFetch * unit,
+		Rename:       float64(act.Renamed) * wRename * unit,
+		Window:       float64(act.IssuedUops) * wWakeup * unit,
+		RegFile:      (float64(act.RegReads)*wRegRead + float64(act.RegWrites)*wRegWrite) * unit,
+		FU:           float64(act.FUOps) * wFU * unit,
+		ROB:          float64(act.ROBEntries) * wROB * unit,
+		LSQ:          float64(act.MemUops) * wLSQ * unit,
+		Predictor:    float64(act.Branches) * wPredictor * unit,
+		Clock:        cyc * wClockPerCycle * unit,
+		OtherLeakage: cyc * leakUnit,
+		L1D:          l1d.Total(),
+		L1I:          l1i.Total(),
+	}
+}
+
+// referenceAccessEnergy returns the dynamic energy of one 2-way L1 data
+// access at the node, in static-ns units. The cacti model's 2-way ways
+// factor is 1 by normalization, so the circuit constant is the reference.
+func referenceAccessEnergy(node tech.Node) float64 {
+	return circuit.DynamicAccessEnergy(node)
+}
+
+// PerUopEnergy returns the core-side dynamic energy of issuing and executing
+// one micro-op (wakeup/select, register reads and writes, functional unit) —
+// the marginal cost of a replayed instruction, used for the paper's Sec. 6.4
+// replay-energy bound.
+func PerUopEnergy(node tech.Node) float64 {
+	return (wWakeup + 1.5*wRegRead + 0.7*wRegWrite + wFU) * referenceAccessEnergy(node)
+}
+
+// Delta summarizes a policy's processor-level impact versus a baseline.
+type Delta struct {
+	Node tech.Node
+	// Policy and Baseline are the budgets.
+	Policy, Baseline Budget
+}
+
+// EnergyIncrease returns (policy − baseline)/baseline of total processor
+// energy; negative values are savings.
+func (d Delta) EnergyIncrease() float64 {
+	bt := d.Baseline.Total()
+	if bt == 0 {
+		return 0
+	}
+	return d.Policy.Total()/bt - 1
+}
+
+// Render writes a budget as a table, largest components first.
+func (b Budget) Render(w io.Writer) error {
+	type row struct {
+		name string
+		v    float64
+	}
+	rows := []row{
+		{"clock", b.Clock}, {"L1 d-cache", b.L1D}, {"L1 i-cache", b.L1I},
+		{"register file", b.RegFile}, {"issue window", b.Window},
+		{"functional units", b.FU}, {"fetch/decode", b.Fetch},
+		{"rename", b.Rename}, {"ROB", b.ROB}, {"LSQ", b.LSQ},
+		{"branch predictor", b.Predictor}, {"other leakage", b.OtherLeakage},
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "processor energy budget at %v (static-ns units)\n", b.Node)
+	total := b.Total()
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3g\t%.1f%%\n", r.name, r.v, 100*r.v/total)
+	}
+	fmt.Fprintf(tw, "total\t%.3g\tcache share %.1f%%\n", total, b.CacheShare()*100)
+	return tw.Flush()
+}

@@ -1,0 +1,125 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"nanocache/internal/cpu"
+	"nanocache/internal/energy"
+	"nanocache/internal/tech"
+)
+
+func sampleActivity() Activity {
+	return FromResult(cpu.Result{
+		Cycles:     100_000,
+		Committed:  150_000,
+		IssuedUops: 160_000,
+		Loads:      40_000,
+		Stores:     15_000,
+		Branches:   20_000,
+	})
+}
+
+func sampleCache(total float64) energy.CacheEnergy {
+	return energy.CacheEnergy{Node: tech.N70, Bitline: total / 2, CellCore: total / 4, Dynamic: total / 4}
+}
+
+func TestFromResultDerivations(t *testing.T) {
+	a := sampleActivity()
+	if a.IssuedUops != 160_000 {
+		t.Errorf("issued = %d", a.IssuedUops)
+	}
+	if a.RegReads <= a.IssuedUops || a.RegWrites >= a.IssuedUops {
+		t.Error("register activity derivation implausible")
+	}
+	if a.MemUops != 55_000 {
+		t.Errorf("mem uops = %d", a.MemUops)
+	}
+	// Zero issued falls back to committed.
+	b := FromResult(cpu.Result{Committed: 100})
+	if b.IssuedUops != 100 {
+		t.Errorf("fallback issued = %d", b.IssuedUops)
+	}
+}
+
+func TestBudgetComposition(t *testing.T) {
+	a := sampleActivity()
+	l1d := sampleCache(8000)
+	l1i := sampleCache(6000)
+	b := Processor(tech.N70, a, l1d, l1i)
+	if b.Total() <= 0 {
+		t.Fatal("non-positive total")
+	}
+	sum := b.Fetch + b.Rename + b.Window + b.RegFile + b.FU + b.ROB + b.LSQ +
+		b.Predictor + b.Clock + b.OtherLeakage + b.L1D + b.L1I
+	if diff := b.Total() - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Error("total must equal the component sum")
+	}
+	if b.L1D != 8000 || b.L1I != 6000 {
+		t.Error("cache accounts must pass through")
+	}
+	share := b.CacheShare()
+	if share <= 0 || share >= 1 {
+		t.Errorf("cache share = %v", share)
+	}
+	if (Budget{}).CacheShare() != 0 {
+		t.Error("empty budget share must be 0")
+	}
+}
+
+func TestCacheShareGrowsWithScaling(t *testing.T) {
+	// The paper's Sec. 1 claim: L1 caches account for a growing, significant
+	// fraction of processor energy. With activity fixed, the cache share
+	// must grow from 180nm to 70nm (leakage takes over inside the caches
+	// while core dynamic energy shrinks with it).
+	a := sampleActivity()
+	prev := -1.0
+	for _, n := range tech.Nodes {
+		p := tech.ParamsFor(n)
+		// One cache: 32 subarrays statically discharging for the run, core
+		// leakage at the dual-ported 24/76 split, and per-access dynamic
+		// energy that collapses with the switching/leakage ratio.
+		bitline := 32 * float64(a.Cycles) * p.CycleTime
+		dyn := 55_000.0 * 5000 * p.SwitchToLeakRatio()
+		l1 := energy.CacheEnergy{Node: n, Bitline: bitline, CellCore: bitline * 0.316, Dynamic: dyn}
+		b := Processor(n, a, l1, l1)
+		if b.CacheShare() <= prev {
+			t.Errorf("%v: cache share %.3f did not grow (prev %.3f)", n, b.CacheShare(), prev)
+		}
+		prev = b.CacheShare()
+	}
+	if prev < 0.2 {
+		t.Errorf("70nm cache share = %.3f, want significant (paper's motivation)", prev)
+	}
+}
+
+func TestDeltaEnergyIncrease(t *testing.T) {
+	a := sampleActivity()
+	base := Processor(tech.N70, a, sampleCache(8000), sampleCache(6000))
+	worse := Processor(tech.N70, a, sampleCache(9000), sampleCache(6000))
+	d := Delta{Node: tech.N70, Policy: worse, Baseline: base}
+	if inc := d.EnergyIncrease(); inc <= 0 || inc > 0.2 {
+		t.Errorf("increase = %v", inc)
+	}
+	if (Delta{}).EnergyIncrease() != 0 {
+		t.Error("empty delta must be 0")
+	}
+	better := Processor(tech.N70, a, sampleCache(4000), sampleCache(3000))
+	if (Delta{Policy: better, Baseline: base}).EnergyIncrease() >= 0 {
+		t.Error("savings must be negative")
+	}
+}
+
+func TestBudgetRender(t *testing.T) {
+	b := Processor(tech.N70, sampleActivity(), sampleCache(8000), sampleCache(6000))
+	var sb strings.Builder
+	if err := b.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"clock", "register file", "cache share", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

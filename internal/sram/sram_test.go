@@ -1,0 +1,222 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalityAccessCDF(t *testing.T) {
+	l := NewLocality(4, nil)
+	// Subarray 0 accessed at cycles 0, 5, 105, 1105: gaps 5, 100, 1000.
+	for _, c := range []uint64{0, 5, 105, 1105} {
+		l.RecordAccess(0, c)
+	}
+	cdf := l.AccessCDF()
+	// thresholds 1,10,100,1000,10000 → gaps <= t: 0,1,2,3,3 of 3 gaps.
+	want := []float64{0, 1.0 / 3, 2.0 / 3, 1, 1}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-12 {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	if l.TotalAccesses() != 4 || l.AccessesTo(0) != 4 || l.AccessesTo(1) != 0 {
+		t.Error("access counting wrong")
+	}
+}
+
+func TestLocalityEmptyCDF(t *testing.T) {
+	l := NewLocality(2, nil)
+	for _, v := range l.AccessCDF() {
+		if v != 0 {
+			t.Error("empty locality must have zero CDF")
+		}
+	}
+}
+
+func TestLocalityHotFraction(t *testing.T) {
+	// One subarray of two, accessed at cycles 0 and 100, run ends at 200.
+	l := NewLocality(2, []uint64{10, 1000})
+	l.RecordAccess(0, 0)
+	l.RecordAccess(0, 100)
+	l.Finalize(200)
+	hf := l.HotFraction()
+	// Threshold 10: gap 100 contributes min(100,10)=10, tail 100 contributes
+	// 10 → 20 hot subarray-cycles of 400 total → 0.05.
+	if math.Abs(hf[0]-0.05) > 1e-12 {
+		t.Errorf("hot fraction@10 = %v, want 0.05", hf[0])
+	}
+	// Threshold 1000: gap contributes 100, tail 100 → 200/400 = 0.5.
+	if math.Abs(hf[1]-0.5) > 1e-12 {
+		t.Errorf("hot fraction@1000 = %v, want 0.5", hf[1])
+	}
+}
+
+func TestLocalityHotFractionBounds(t *testing.T) {
+	// Property: hot fractions are within [0,1] and monotone in threshold.
+	f := func(accesses []uint16, nsub uint8) bool {
+		n := int(nsub%8) + 1
+		l := NewLocality(n, nil)
+		var now uint64
+		for _, a := range accesses {
+			now += uint64(a%512) + 1
+			l.RecordAccess(int(uint64(a)%uint64(n)), now)
+		}
+		l.Finalize(now + 1)
+		hf := l.HotFraction()
+		prev := 0.0
+		for _, v := range hf {
+			if v < prev-1e-12 || v < 0 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		cdf := l.AccessCDF()
+		prev = 0
+		for _, v := range cdf {
+			if v < prev-1e-12 || v < 0 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalityPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero subarrays", func() { NewLocality(0, nil) })
+	mustPanic("unsorted thresholds", func() { NewLocality(2, []uint64{10, 10}) })
+	l := NewLocality(2, nil)
+	mustPanic("out of range", func() { l.RecordAccess(2, 0) })
+	mustPanic("hot before finalize", func() { l.HotFraction() })
+	l.Finalize(10)
+	mustPanic("double finalize", func() { l.Finalize(20) })
+}
+
+func TestLocalityThresholdsCopy(t *testing.T) {
+	l := NewLocality(1, nil)
+	ts := l.Thresholds()
+	ts[0] = 999
+	if l.Thresholds()[0] == 999 {
+		t.Error("Thresholds must return a copy")
+	}
+	if l.Subarrays() != 1 {
+		t.Error("subarray count accessor wrong")
+	}
+	if l.GapHistogram() == nil {
+		t.Error("gap histogram must exist")
+	}
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	var events []struct {
+		sub   int
+		idle  uint64
+		repre bool
+	}
+	g := NewLedger(4, func(sub int, idle uint64, repre bool) {
+		events = append(events, struct {
+			sub   int
+			idle  uint64
+			repre bool
+		}{sub, idle, repre})
+	})
+	g.AddPulled(0, 100)
+	g.AddPulled(1, 50)
+	g.EndIdle(2, 500, true)
+	g.EndIdle(3, 300, false)
+	if g.PulledCycles() != 150 || g.PulledOn(0) != 100 || g.PulledOn(2) != 0 {
+		t.Error("pulled accounting wrong")
+	}
+	if g.IdleCycles() != 800 {
+		t.Errorf("idle cycles = %d, want 800", g.IdleCycles())
+	}
+	if g.Toggles() != 1 {
+		t.Errorf("toggles = %d, want 1 (end-of-run idle is not a toggle)", g.Toggles())
+	}
+	if len(events) != 2 || events[0].idle != 500 || !events[0].repre || events[1].repre {
+		t.Errorf("observer events wrong: %+v", events)
+	}
+	if g.IdleHistogram().Count() != 2 {
+		t.Error("idle histogram must record both intervals")
+	}
+	if g.Subarrays() != 4 {
+		t.Error("subarray accessor wrong")
+	}
+}
+
+func TestLedgerPulledFraction(t *testing.T) {
+	g := NewLedger(2, nil)
+	g.AddPulled(0, 100)
+	g.AddPulled(1, 100)
+	if f := g.PulledFraction(100); math.Abs(f-1.0) > 1e-12 {
+		t.Errorf("fully pulled fraction = %v, want 1", f)
+	}
+	if f := g.PulledFraction(200); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("half pulled fraction = %v, want 0.5", f)
+	}
+	if g.PulledFraction(0) != 0 {
+		t.Error("zero-length run must report 0")
+	}
+}
+
+func TestLedgerNilObserver(t *testing.T) {
+	g := NewLedger(1, nil)
+	g.EndIdle(0, 10, true) // must not panic
+	if g.Toggles() != 1 {
+		t.Error("toggle lost")
+	}
+}
+
+func TestLedgerPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero subarrays", func() { NewLedger(0, nil) })
+	g := NewLedger(2, nil)
+	mustPanic("pulled out of range", func() { g.AddPulled(5, 1) })
+	mustPanic("idle out of range", func() { g.EndIdle(-1, 1, true) })
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	want := []uint64{1, 10, 100, 1000, 10000}
+	for i, v := range DefaultThresholds {
+		if v != want[i] {
+			t.Errorf("DefaultThresholds[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestLocalityOutOfOrderClamp(t *testing.T) {
+	// Out-of-order issue can deliver a timestamp below the previous access;
+	// the tracker treats it as simultaneous instead of underflowing.
+	l := NewLocality(1, nil)
+	l.RecordAccess(0, 100)
+	l.RecordAccess(0, 95) // late-arriving earlier access
+	l.Finalize(200)
+	if l.GapHistogram().Max() > 100 {
+		t.Errorf("gap histogram max = %d; out-of-order underflow leaked", l.GapHistogram().Max())
+	}
+	cdf := l.AccessCDF()
+	if cdf[0] != 1 { // the clamped gap is 0 <= threshold 1
+		t.Errorf("clamped gap should count as immediate reuse: %v", cdf)
+	}
+}

@@ -1,0 +1,290 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1110 {
+		t.Errorf("sum = %d, want 1110", h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	wantMean := 1110.0 / 7
+	if math.Abs(h.Mean()-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1 << 40, 40},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCountAtMostExactAtBoundaries(t *testing.T) {
+	h := NewHistogram()
+	// 10 samples of 1, 5 samples of 2, 3 samples of 100.
+	h.AddN(1, 10)
+	h.AddN(2, 5)
+	h.AddN(100, 3)
+	if got := h.CountAtMost(1); got != 10 {
+		t.Errorf("CountAtMost(1) = %d, want 10", got)
+	}
+	if got := h.CountAtMost(3); got != 15 { // bucket [2,3] fully included
+		t.Errorf("CountAtMost(3) = %d, want 15", got)
+	}
+	if got := h.CountAtMost(127); got != 18 { // bucket [64,127] fully included
+		t.Errorf("CountAtMost(127) = %d, want 18", got)
+	}
+	if got := h.CountAtMost(1 << 30); got != 18 {
+		t.Errorf("CountAtMost(big) = %d, want 18", got)
+	}
+}
+
+func TestFractionMonotone(t *testing.T) {
+	// Property: Fraction is monotonically non-decreasing in its argument.
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Add(uint64(rng.Intn(100000)))
+	}
+	prev := -1.0
+	for v := uint64(0); v < 200000; v += 997 {
+		f := h.Fraction(v)
+		if f < prev-1e-12 {
+			t.Fatalf("Fraction not monotone at %d: %v < %v", v, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("Fraction(%d) = %v out of [0,1]", v, f)
+		}
+		prev = f
+	}
+	if got := h.Fraction(1 << 40); got != 1 {
+		t.Errorf("Fraction(inf) = %v, want 1", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.AddN(5, 3)
+	a.AddN(1000, 2)
+	b.AddN(7, 4)
+	b.Add(0)
+	a.Merge(b)
+	if a.Count() != 10 {
+		t.Errorf("merged count = %d, want 10", a.Count())
+	}
+	if a.Sum() != 5*3+1000*2+7*4+0 {
+		t.Errorf("merged sum = %d", a.Sum())
+	}
+	if a.Min() != 0 || a.Max() != 1000 {
+		t.Errorf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramMergeEquivalentToCombinedAdds(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b, c := NewHistogram(), NewHistogram(), NewHistogram()
+		for _, x := range xs {
+			a.Add(uint64(x))
+			c.Add(uint64(x))
+		}
+		for _, y := range ys {
+			b.Add(uint64(y))
+			c.Add(uint64(y))
+		}
+		a.Merge(b)
+		return a.Count() == c.Count() && a.Sum() == c.Sum() &&
+			a.Min() == c.Min() && a.Max() == c.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(42, 10)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Error("reset did not clear histogram")
+	}
+	h.Add(3)
+	if h.Min() != 3 {
+		t.Errorf("min after reset+add = %d, want 3", h.Min())
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 50)
+	h.AddN(100, 50)
+	cdf := h.CDFAt([]uint64{1, 10, 127, 100000})
+	if len(cdf.Cumulative) != 4 {
+		t.Fatal("wrong CDF size")
+	}
+	if cdf.Cumulative[0] != 0.5 {
+		t.Errorf("CDF@1 = %v, want 0.5", cdf.Cumulative[0])
+	}
+	if cdf.Cumulative[3] != 1.0 {
+		t.Errorf("CDF@inf = %v, want 1", cdf.Cumulative[3])
+	}
+	for i := 1; i < 4; i++ {
+		if cdf.Cumulative[i] < cdf.Cumulative[i-1] {
+			t.Error("CDF must be monotone")
+		}
+	}
+}
+
+func TestCDFAtPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted thresholds")
+		}
+	}()
+	NewHistogram().CDFAt([]uint64{10, 1})
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(0); i < 1000; i++ {
+		h.Add(i)
+	}
+	med := h.Quantile(0.5)
+	// Bucket resolution: the median of 0..999 is ~500, bucket top 511.
+	if med < 256 || med > 1023 {
+		t.Errorf("median = %d, outside plausible bucket range", med)
+	}
+	if q := h.Quantile(-1); q != h.Quantile(0) {
+		t.Errorf("clamped quantile mismatch: %d vs %d", q, h.Quantile(0))
+	}
+	if q := h.Quantile(2); q < h.Quantile(1) {
+		t.Error("quantile above 1 should clamp to max")
+	}
+}
+
+func TestBucketsIteration(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(0, 2)
+	h.AddN(5, 3)
+	var total uint64
+	var lastHi uint64
+	h.Buckets(func(lo, hi, count uint64) {
+		if lo > hi {
+			t.Errorf("bucket lo %d > hi %d", lo, hi)
+		}
+		if lo != 0 && lo <= lastHi {
+			t.Error("buckets must be disjoint ascending")
+		}
+		lastHi = hi
+		total += count
+	})
+	if total != 5 {
+		t.Errorf("iterated count = %d, want 5", total)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewSummary()
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Errorf("sd = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		s := NewSummary()
+		var sum float64
+		for _, r := range raw {
+			v := float64(r)
+			s.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, r := range raw {
+			d := float64(r) - mean
+			ss += d * d
+		}
+		wantVar := ss / float64(len(raw))
+		return math.Abs(s.Mean()-mean) < 1e-6 && math.Abs(s.Variance()-wantVar) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{4, 9}); math.Abs(g-6) > 1e-12 {
+		t.Errorf("GeoMean(4,9) = %v, want 6", g)
+	}
+	// Non-positive values are skipped.
+	if g := GeoMean([]float64{0, -1, 8}); math.Abs(g-8) > 1e-12 {
+		t.Errorf("GeoMean skipping nonpositive = %v, want 8", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+}
+
+func TestSortedThresholds(t *testing.T) {
+	in := []uint64{100, 1, 10}
+	out := SortedThresholds(in)
+	if out[0] != 1 || out[1] != 10 || out[2] != 100 {
+		t.Errorf("sorted = %v", out)
+	}
+	if in[0] != 100 {
+		t.Error("input must not be mutated")
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary is an online accumulator of float64 samples: count, mean, variance
+// (Welford), min and max.
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Mean returns the running mean, or 0 if empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Variance returns the population variance, or 0 with fewer than two samples.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest sample, or 0 if empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders a compact summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("summary(n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g)",
+		s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// GeoMean computes the geometric mean of strictly positive values; zero or
+// negative inputs are skipped (callers use it for ratios that are positive by
+// construction). Returns 0 for an empty input.
+func GeoMean(vs []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean computes the arithmetic mean of vs, or 0 for an empty slice.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}

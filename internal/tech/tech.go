@@ -1,0 +1,175 @@
+// Package tech models the spectrum of CMOS technology generations studied in
+// the paper (Table 1): 180nm, 130nm, 100nm and 70nm feature sizes, together
+// with the scaling rules the paper relies on.
+//
+// Two scaling laws drive every energy result in the paper (Sec. 4, citing
+// Borkar): with each technology generation the switching power of a device
+// halves while its subthreshold leakage power grows by a factor of 3.5. The
+// clock frequency is set so the cycle time is always 8 fanout-of-four (FO4)
+// inverter delays (Sec. 3, citing Hrishikesh et al.), which keeps the pipeline
+// depth and all access penalties, measured in cycles, constant across
+// generations.
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node identifies a CMOS technology generation by its feature size in
+// nanometers.
+type Node int
+
+// The four generations evaluated in the paper (Table 1), plus a 50nm
+// projection: the paper argues its trends hold "in the future beyond 70nm
+// technology", and cites Ho et al. for wire scaling holding down to 50nm.
+const (
+	N180 Node = 180
+	N130 Node = 130
+	N100 Node = 100
+	N70  Node = 70
+	// N50 is a projected node (not in Table 1): Vdd 0.9V, 6.7GHz at 8 FO4,
+	// one more generation of the Borkar scaling rules.
+	N50 Node = 50
+)
+
+// Nodes lists the paper's studied generations from oldest (180nm) to newest
+// (70nm). The 50nm projection is in ProjectedNodes, not here, so paper
+// comparisons stay on the paper's axis.
+var Nodes = []Node{N180, N130, N100, N70}
+
+// ProjectedNodes extends Nodes with the 50nm projection for beyond-the-paper
+// trend studies.
+func ProjectedNodes() []Node { return []Node{N180, N130, N100, N70, N50} }
+
+// String returns the conventional name of the node, e.g. "70nm".
+func (n Node) String() string { return fmt.Sprintf("%dnm", int(n)) }
+
+// Valid reports whether n is one of the four studied generations.
+func (n Node) Valid() bool {
+	switch n {
+	case N180, N130, N100, N70, N50:
+		return true
+	}
+	return false
+}
+
+// Generation returns the number of generations n is beyond 180nm:
+// 0 for 180nm, 1 for 130nm, 2 for 100nm, 3 for 70nm.
+//
+// The scaling laws in this package are expressed per generation, so most
+// derived quantities are functions of this index.
+func (n Node) Generation() int {
+	switch n {
+	case N180:
+		return 0
+	case N130:
+		return 1
+	case N100:
+		return 2
+	case N70:
+		return 3
+	case N50:
+		return 4
+	}
+	panic(fmt.Sprintf("tech: invalid node %d", int(n)))
+}
+
+// Projected reports whether the node extrapolates beyond the paper's
+// Table 1.
+func (n Node) Projected() bool { return n == N50 }
+
+// Params carries the per-generation circuit parameters from Table 1 of the
+// paper plus the quantities derived from the scaling rules.
+type Params struct {
+	Node Node
+
+	// SupplyVoltage is Vdd in volts (Table 1).
+	SupplyVoltage float64
+
+	// ClockGHz is the clock frequency in GHz at 8 FO4 delays per cycle
+	// (Table 1).
+	ClockGHz float64
+
+	// CycleTime is the clock period in nanoseconds.
+	CycleTime float64
+
+	// FO4Delay is one fanout-of-four inverter delay in nanoseconds
+	// (CycleTime / 8).
+	FO4Delay float64
+
+	// SwitchingScale is the relative dynamic (switching) energy of a device
+	// of this generation, normalized to 180nm = 1. It halves per generation.
+	SwitchingScale float64
+
+	// LeakageScale is the relative leakage power of a device of this
+	// generation, normalized to 180nm = 1. It grows 3.5x per generation.
+	LeakageScale float64
+}
+
+// table1 reproduces Table 1 of the paper.
+var table1 = map[Node]struct {
+	vdd float64
+	ghz float64
+}{
+	N180: {1.8, 2.0},
+	N130: {1.5, 2.7},
+	N100: {1.2, 3.5},
+	N70:  {1.0, 5.0},
+	N50:  {0.9, 6.7}, // projection, not from the paper's Table 1
+}
+
+// Borkar scaling factors per generation (Sec. 4).
+const (
+	switchingPerGen = 0.5
+	leakagePerGen   = 3.5
+)
+
+// ParamsFor returns the full parameter set for a technology node.
+// It panics if the node is not one of the four studied generations; use
+// Node.Valid to check first when handling external input.
+func ParamsFor(n Node) Params {
+	t, ok := table1[n]
+	if !ok {
+		panic(fmt.Sprintf("tech: invalid node %d", int(n)))
+	}
+	g := n.Generation()
+	cycle := 1.0 / t.ghz // ns
+	return Params{
+		Node:           n,
+		SupplyVoltage:  t.vdd,
+		ClockGHz:       t.ghz,
+		CycleTime:      cycle,
+		FO4Delay:       cycle / 8,
+		SwitchingScale: math.Pow(switchingPerGen, float64(g)),
+		LeakageScale:   math.Pow(leakagePerGen, float64(g)),
+	}
+}
+
+// SwitchToLeakRatio returns the ratio of switching energy scale to leakage
+// power scale, normalized to 180nm = 1. This is the quantity that collapses
+// by 7x per generation and makes bitline isolation nearly free at 70nm
+// (Sec. 4): the energy cost of toggling a precharge device is switching
+// energy, while the energy it saves is leakage.
+func (p Params) SwitchToLeakRatio() float64 {
+	return p.SwitchingScale / p.LeakageScale
+}
+
+// CyclesFromNS converts a latency in nanoseconds to a whole number of clock
+// cycles at this node, rounding up (a structure that needs 1.1 cycles
+// occupies 2).
+func (p Params) CyclesFromNS(ns float64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return int(math.Ceil(ns/p.CycleTime - 1e-9))
+}
+
+// NSFromCycles converts a cycle count to nanoseconds at this node.
+func (p Params) NSFromCycles(c int) float64 { return float64(c) * p.CycleTime }
+
+// WireScale returns the relative length of a wire that "scales in length"
+// with the feature size, normalized to 180nm = 1. Following Ho et al. (Sec. 3)
+// delays of such wires track gate delays between 180nm and 50nm, which is
+// what keeps pipeline depth constant in the paper's setup.
+func (p Params) WireScale() float64 { return float64(p.Node) / float64(N180) }

@@ -1,0 +1,166 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTable1Values(t *testing.T) {
+	cases := []struct {
+		node Node
+		vdd  float64
+		ghz  float64
+	}{
+		{N180, 1.8, 2.0},
+		{N130, 1.5, 2.7},
+		{N100, 1.2, 3.5},
+		{N70, 1.0, 5.0},
+	}
+	for _, c := range cases {
+		p := ParamsFor(c.node)
+		if p.SupplyVoltage != c.vdd {
+			t.Errorf("%v: Vdd = %v, want %v", c.node, p.SupplyVoltage, c.vdd)
+		}
+		if p.ClockGHz != c.ghz {
+			t.Errorf("%v: clock = %v, want %v", c.node, p.ClockGHz, c.ghz)
+		}
+		if !almost(p.CycleTime, 1/c.ghz, 1e-12) {
+			t.Errorf("%v: cycle time = %v, want %v", c.node, p.CycleTime, 1/c.ghz)
+		}
+		if !almost(p.FO4Delay*8, p.CycleTime, 1e-12) {
+			t.Errorf("%v: FO4*8 = %v != cycle %v", c.node, p.FO4Delay*8, p.CycleTime)
+		}
+	}
+}
+
+func TestGenerationIndex(t *testing.T) {
+	want := map[Node]int{N180: 0, N130: 1, N100: 2, N70: 3}
+	for n, g := range want {
+		if got := n.Generation(); got != g {
+			t.Errorf("%v.Generation() = %d, want %d", n, got, g)
+		}
+	}
+}
+
+func TestScalingLaws(t *testing.T) {
+	// Switching halves, leakage x3.5 per generation.
+	prev := ParamsFor(N180)
+	if prev.SwitchingScale != 1 || prev.LeakageScale != 1 {
+		t.Fatalf("180nm must be the normalization point, got %+v", prev)
+	}
+	for _, n := range Nodes[1:] {
+		p := ParamsFor(n)
+		if !almost(p.SwitchingScale, prev.SwitchingScale*0.5, 1e-12) {
+			t.Errorf("%v: switching scale %v, want %v", n, p.SwitchingScale, prev.SwitchingScale*0.5)
+		}
+		if !almost(p.LeakageScale, prev.LeakageScale*3.5, 1e-9) {
+			t.Errorf("%v: leakage scale %v, want %v", n, p.LeakageScale, prev.LeakageScale*3.5)
+		}
+		prev = p
+	}
+}
+
+func TestSwitchToLeakRatioCollapses(t *testing.T) {
+	// The ratio falls by exactly 7x per generation; at 70nm it is 1/343 of
+	// 180nm. This is what makes aggressive isolation viable in the future.
+	r180 := ParamsFor(N180).SwitchToLeakRatio()
+	r70 := ParamsFor(N70).SwitchToLeakRatio()
+	if !almost(r180/r70, 343, 1e-6) {
+		t.Errorf("ratio collapse = %v, want 343", r180/r70)
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, n := range Nodes {
+		if !n.Valid() {
+			t.Errorf("%v should be valid", n)
+		}
+	}
+	for _, n := range []Node{0, 1, 65, 90, 250, -70} {
+		if n.Valid() {
+			t.Errorf("%v should be invalid", n)
+		}
+	}
+}
+
+func TestParamsForPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ParamsFor(90) should panic")
+		}
+	}()
+	ParamsFor(90)
+}
+
+func TestCyclesFromNS(t *testing.T) {
+	p := ParamsFor(N70) // 5 GHz -> 0.2ns cycle
+	cases := []struct {
+		ns   float64
+		want int
+	}{
+		{0, 0},
+		{-1, 0},
+		{0.1, 1},
+		{0.2, 1},
+		{0.2000001, 2},
+		{0.39, 2},
+		{1.0, 5},
+	}
+	for _, c := range cases {
+		if got := p.CyclesFromNS(c.ns); got != c.want {
+			t.Errorf("CyclesFromNS(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestCyclesNSRoundTrip(t *testing.T) {
+	// NSFromCycles(CyclesFromNS(x)) >= x for all positive x (round up).
+	f := func(raw uint16, nodeIdx uint8) bool {
+		p := ParamsFor(Nodes[int(nodeIdx)%len(Nodes)])
+		ns := float64(raw) / 1000.0
+		c := p.CyclesFromNS(ns)
+		return p.NSFromCycles(c)+1e-9 >= ns
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireScale(t *testing.T) {
+	if ParamsFor(N180).WireScale() != 1 {
+		t.Error("180nm wire scale must be 1")
+	}
+	if got := ParamsFor(N70).WireScale(); !almost(got, 70.0/180.0, 1e-12) {
+		t.Errorf("70nm wire scale = %v", got)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if N70.String() != "70nm" {
+		t.Errorf("N70.String() = %q", N70.String())
+	}
+}
+
+func TestProjectedNode50(t *testing.T) {
+	if len(ProjectedNodes()) != 5 || ProjectedNodes()[4] != N50 {
+		t.Fatalf("projected nodes = %v", ProjectedNodes())
+	}
+	for _, n := range Nodes {
+		if n == N50 {
+			t.Fatal("N50 must not be in the paper's node list")
+		}
+	}
+	p := ParamsFor(N50)
+	if p.SupplyVoltage != 0.9 || p.ClockGHz != 6.7 {
+		t.Errorf("50nm params = %+v", p)
+	}
+	if p.Node.Generation() != 4 {
+		t.Errorf("50nm generation = %d", p.Node.Generation())
+	}
+	if !almost(p.LeakageScale, math.Pow(3.5, 4), 1e-6) {
+		t.Errorf("50nm leakage scale = %v", p.LeakageScale)
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"nanocache/internal/isa"
+	"nanocache/internal/workload"
+)
+
+// BenchmarkCodec measures trace encode and decode throughput.
+func BenchmarkCodec(b *testing.B) {
+	spec, _ := workload.ByName("vortex")
+	g := workload.MustNew(spec, 1)
+	ops := make([]isa.MicroOp, 50_000)
+	for i := range ops {
+		g.Next(&ops[i])
+	}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			for j := range ops {
+				if err := w.WriteOp(&ops[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(buf.Len()))
+		}
+	})
+	var encoded bytes.Buffer
+	w := NewWriter(&encoded)
+	for j := range ops {
+		if err := w.WriteOp(&ops[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(encoded.Len()))
+		for i := 0; i < b.N; i++ {
+			r := NewReader(bytes.NewReader(encoded.Bytes()))
+			var op isa.MicroOp
+			n := 0
+			for r.Next(&op) {
+				n++
+			}
+			if r.Err() != nil || n != len(ops) {
+				b.Fatalf("decode failed: %d ops, %v", n, r.Err())
+			}
+		}
+	})
+}

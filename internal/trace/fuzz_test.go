@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"nanocache/internal/isa"
+	"nanocache/internal/workload"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic and every op it does yield must be valid. Seeded with real traces
+// and near-miss corruptions.
+func FuzzReader(f *testing.F) {
+	// Seed with a genuine trace prefix.
+	spec, _ := workload.ByName("treeadd")
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, workload.MustNew(spec, 1), 200); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:9])
+	f.Add([]byte("nctrace\x01"))
+	f.Add([]byte("garbage"))
+	corrupted := append([]byte(nil), full...)
+	for i := 10; i < len(corrupted); i += 7 {
+		corrupted[i] ^= 0x5a
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var op isa.MicroOp
+		n := 0
+		for r.Next(&op) {
+			if err := op.Validate(); err != nil {
+				t.Fatalf("decoder yielded invalid op: %v", err)
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("runaway decode")
+			}
+		}
+		// After a false return, Err is either nil (clean end) or a real
+		// error; a second Next must stay false.
+		if r.Next(&op) {
+			t.Fatal("reader resumed after end")
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package trace provides a compact binary format for micro-op streams, so
+// workloads can be captured once and replayed exactly — the role SimPoint
+// trace files play for the paper's SPEC2000 runs. The format is
+// delta/varint coded: typical ops cost a few bytes.
+//
+// Layout: an 8-byte magic+version header, then one record per micro-op:
+//
+//	byte 0:    class (3 bits) | flags (taken, hasTarget, hasMem, dstPresent)
+//	varint:    PC delta (zigzag, vs previous PC + 4)
+//	regs:      Src1, Src2, Dst packed as needed
+//	mem ops:   Base reg, zigzag displacement, zigzag address delta
+//	branches:  target delta when taken
+//
+// The Reader implements isa.Stream, so a trace file is a drop-in workload.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"nanocache/internal/isa"
+)
+
+// magic identifies trace files; the final byte is the format version.
+var magic = [8]byte{'n', 'c', 't', 'r', 'a', 'c', 'e', 1}
+
+// record flags.
+const (
+	flagTaken = 1 << (3 + iota)
+	flagHasDst
+	flagHasSrc2
+	flagIsMem
+)
+
+const classMask = 0x07
+
+// Writer encodes micro-ops to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	count   uint64
+
+	prevPC   uint64
+	prevAddr uint64
+	buf      []byte
+}
+
+// NewWriter returns a trace writer; Close (or Flush) must be called when
+// done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteOp appends one micro-op to the trace.
+func (t *Writer) WriteOp(op *isa.MicroOp) error {
+	if !t.started {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return err
+		}
+		t.started = true
+	}
+	if !op.Class.Valid() {
+		return fmt.Errorf("trace: invalid class %d", op.Class)
+	}
+	head := byte(op.Class) & classMask
+	if op.Taken {
+		head |= flagTaken
+	}
+	if op.Dst != isa.None {
+		head |= flagHasDst
+	}
+	if op.Src2 != isa.None {
+		head |= flagHasSrc2
+	}
+	if op.Class.IsMem() {
+		head |= flagIsMem
+	}
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, head)
+	t.buf = binary.AppendUvarint(t.buf, zigzag(int64(op.PC)-int64(t.prevPC+4)))
+	t.prevPC = op.PC
+	t.buf = append(t.buf, byte(op.Src1))
+	if head&flagHasSrc2 != 0 {
+		t.buf = append(t.buf, byte(op.Src2))
+	}
+	if head&flagHasDst != 0 {
+		t.buf = append(t.buf, byte(op.Dst))
+	}
+	if head&flagIsMem != 0 {
+		t.buf = append(t.buf, byte(op.Base))
+		t.buf = binary.AppendUvarint(t.buf, zigzag(int64(op.Disp)))
+		t.buf = binary.AppendUvarint(t.buf, zigzag(int64(op.Addr)-int64(t.prevAddr)))
+		t.prevAddr = op.Addr
+	}
+	if op.Class == isa.Branch {
+		// Targets are kept for not-taken branches too: trace replay must be
+		// bit-faithful to the captured stream.
+		t.buf = binary.AppendUvarint(t.buf, zigzag(int64(op.Target)-int64(op.PC+4)))
+	}
+	if _, err := t.w.Write(t.buf); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of micro-ops written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush writes buffered data through. An empty trace still gets its header.
+func (t *Writer) Flush() error {
+	if !t.started {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return err
+		}
+		t.started = true
+	}
+	return t.w.Flush()
+}
+
+// Capture drains up to n micro-ops from a stream into w and returns the
+// number captured.
+func Capture(w io.Writer, s isa.Stream, n uint64) (uint64, error) {
+	tw := NewWriter(w)
+	var op isa.MicroOp
+	var i uint64
+	for i = 0; i < n && s.Next(&op); i++ {
+		if err := tw.WriteOp(&op); err != nil {
+			return i, err
+		}
+	}
+	return i, tw.Flush()
+}
+
+// Reader decodes a trace; it implements isa.Stream.
+type Reader struct {
+	r        *bufio.Reader
+	started  bool
+	err      error
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewReader returns a trace reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Err returns the first decoding error (nil at clean EOF).
+func (t *Reader) Err() error { return t.err }
+
+// fail records a decoding error (a mid-record EOF is corruption, not a
+// clean end) and stops the stream.
+func (t *Reader) fail(err error) bool {
+	if errors.Is(err, io.EOF) {
+		err = fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	t.err = err
+	return false
+}
+
+// Next implements isa.Stream. After it returns false, check Err: nil means
+// a clean end of trace.
+func (t *Reader) Next(op *isa.MicroOp) bool {
+	if t.err != nil {
+		return false
+	}
+	if !t.started {
+		var hdr [8]byte
+		if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+			return t.fail(fmt.Errorf("trace: missing header: %w", err))
+		}
+		if hdr != magic {
+			return t.fail(fmt.Errorf("trace: bad magic %q", hdr[:]))
+		}
+		t.started = true
+	}
+	head, err := t.r.ReadByte()
+	if err == io.EOF {
+		return false // clean end
+	}
+	if err != nil {
+		return t.fail(err)
+	}
+	*op = isa.MicroOp{Class: isa.Class(head & classMask)}
+	if !op.Class.Valid() {
+		return t.fail(fmt.Errorf("trace: invalid class %d", head&classMask))
+	}
+	pcDelta, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return t.fail(fmt.Errorf("trace: truncated PC: %w", err))
+	}
+	op.PC = uint64(int64(t.prevPC+4) + unzigzag(pcDelta))
+	t.prevPC = op.PC
+
+	src1, err := t.r.ReadByte()
+	if err != nil {
+		return t.fail(fmt.Errorf("trace: truncated regs: %w", err))
+	}
+	op.Src1 = isa.Reg(src1)
+	if head&flagHasSrc2 != 0 {
+		b, err := t.r.ReadByte()
+		if err != nil {
+			return t.fail(err)
+		}
+		op.Src2 = isa.Reg(b)
+	}
+	if head&flagHasDst != 0 {
+		b, err := t.r.ReadByte()
+		if err != nil {
+			return t.fail(err)
+		}
+		op.Dst = isa.Reg(b)
+	}
+	if head&flagIsMem != 0 {
+		if !op.Class.IsMem() {
+			return t.fail(fmt.Errorf("trace: mem flag on %v", op.Class))
+		}
+		b, err := t.r.ReadByte()
+		if err != nil {
+			return t.fail(err)
+		}
+		op.Base = isa.Reg(b)
+		disp, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return t.fail(err)
+		}
+		op.Disp = int32(unzigzag(disp))
+		ad, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return t.fail(err)
+		}
+		op.Addr = uint64(int64(t.prevAddr) + unzigzag(ad))
+		t.prevAddr = op.Addr
+	} else if op.Class.IsMem() {
+		return t.fail(fmt.Errorf("trace: mem op without mem flag"))
+	}
+	op.Taken = head&flagTaken != 0
+	if op.Class == isa.Branch {
+		td, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return t.fail(err)
+		}
+		op.Target = uint64(int64(op.PC+4) + unzigzag(td))
+	}
+	if err := op.Validate(); err != nil {
+		return t.fail(fmt.Errorf("trace: decoded invalid op: %w", err))
+	}
+	return true
+}

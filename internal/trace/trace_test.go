@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nanocache/internal/isa"
+	"nanocache/internal/workload"
+)
+
+func roundTrip(t *testing.T, ops []isa.MicroOp) []isa.MicroOp {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range ops {
+		if err := w.WriteOp(&ops[i]); err != nil {
+			t.Fatalf("write op %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(ops)) {
+		t.Fatalf("count = %d, want %d", w.Count(), len(ops))
+	}
+	r := NewReader(&buf)
+	var out []isa.MicroOp
+	var op isa.MicroOp
+	for r.Next(&op) {
+		out = append(out, op)
+	}
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	return out
+}
+
+func TestRoundTripHandwritten(t *testing.T) {
+	ops := []isa.MicroOp{
+		{PC: 0x400000, Class: isa.IntALU, Src1: 1, Src2: 2, Dst: 3},
+		{PC: 0x400004, Class: isa.Load, Addr: 0x10000010, Base: 24, Disp: 16, Dst: 5},
+		{PC: 0x400008, Class: isa.Store, Addr: 0x10000000, Base: 24, Disp: -8, Src1: 5},
+		{PC: 0x40000c, Class: isa.Branch, Taken: true, Target: 0x400000, Src1: 3},
+		{PC: 0x400000, Class: isa.FPMul, Src1: 33, Src2: 34, Dst: 35},
+		{PC: 0x400004, Class: isa.Branch, Taken: false, Src1: 3},
+	}
+	got := roundTrip(t, ops)
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("op %d: got %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestRoundTripWorkloadStream(t *testing.T) {
+	spec, _ := workload.ByName("vortex")
+	g := workload.MustNew(spec, 5)
+	var ops []isa.MicroOp
+	var op isa.MicroOp
+	for i := 0; i < 50000; i++ {
+		g.Next(&op)
+		ops = append(ops, op)
+	}
+	got := roundTrip(t, ops)
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops", len(got))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d differs:\n got %+v\nwant %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	var buf bytes.Buffer
+	n, err := Capture(&buf, workload.MustNew(spec, 1), 20000)
+	if err != nil || n != 20000 {
+		t.Fatalf("capture: %d, %v", n, err)
+	}
+	perOp := float64(buf.Len()) / float64(n)
+	if perOp > 8 {
+		t.Errorf("%.1f bytes/op, want compact (<8)", perOp)
+	}
+}
+
+func TestCaptureShortStream(t *testing.T) {
+	var buf bytes.Buffer
+	s := &isa.SliceStream{Ops: []isa.MicroOp{{PC: 4, Class: isa.IntALU, Dst: 1}}}
+	n, err := Capture(&buf, s, 100)
+	if err != nil || n != 1 {
+		t.Fatalf("capture short: %d, %v", n, err)
+	}
+}
+
+func TestEmptyTraceCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var op isa.MicroOp
+	if r.Next(&op) {
+		t.Fatal("empty trace yielded an op")
+	}
+	if r.Err() != nil {
+		t.Fatalf("empty trace should end cleanly: %v", r.Err())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("notatrace!")))
+	var op isa.MicroOp
+	if r.Next(&op) {
+		t.Fatal("bad magic accepted")
+	}
+	if r.Err() == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	op := isa.MicroOp{PC: 0x400000, Class: isa.Load, Addr: 0x1000, Base: 4, Dst: 1}
+	if err := w.WriteOp(&op); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-2]))
+	var got isa.MicroOp
+	for r.Next(&got) {
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated record should error")
+	}
+}
+
+func TestWriterRejectsInvalidClass(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	op := isa.MicroOp{Class: isa.Class(7)}
+	if err := w.WriteOp(&op); err == nil {
+		t.Fatal("invalid class accepted")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	// Property: any sequence of valid synthetic ops round-trips exactly.
+	f := func(seeds []uint32) bool {
+		var ops []isa.MicroOp
+		pc := uint64(0x400000)
+		for _, s := range seeds {
+			op := isa.MicroOp{PC: pc}
+			switch s % 4 {
+			case 0:
+				op.Class = isa.IntALU
+				op.Src1 = isa.Reg(s % 63)
+				op.Dst = isa.Reg(1 + s%62)
+			case 1:
+				op.Class = isa.Load
+				op.Addr = 0x1000_0000 + uint64(s)
+				op.Base = isa.Reg(24 + s%4)
+				op.Disp = int32(s % 4096)
+				op.Dst = isa.Reg(1 + s%20)
+			case 2:
+				op.Class = isa.Store
+				op.Addr = 0x1000_0000 + uint64(s)*7
+				op.Base = isa.Reg(24)
+				op.Src1 = isa.Reg(1 + s%20)
+			case 3:
+				op.Class = isa.Branch
+				op.Taken = s%2 == 0
+				if op.Taken {
+					op.Target = pc + 4 + uint64(s%64)*4
+				}
+			}
+			ops = append(ops, op)
+			pc += 4
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := range ops {
+			if err := w.WriteOp(&ops[i]); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		var op isa.MicroOp
+		for i := range ops {
+			if !r.Next(&op) || op != ops[i] {
+				return false
+			}
+		}
+		return !r.Next(&op) && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,22 @@
+package workload
+
+import (
+	"testing"
+
+	"nanocache/internal/isa"
+)
+
+// BenchmarkGenerator measures micro-op generation throughput.
+func BenchmarkGenerator(b *testing.B) {
+	for _, name := range []string{"gcc", "mcf", "wupwise"} {
+		spec, _ := ByName(name)
+		b.Run(name, func(b *testing.B) {
+			g := MustNew(spec, 1)
+			var op isa.MicroOp
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Next(&op)
+			}
+		})
+	}
+}

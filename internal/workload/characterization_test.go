@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"nanocache/internal/isa"
+)
+
+// streamProfile measures a benchmark's raw stream properties over n ops.
+type streamProfile struct {
+	dataLines, codeLines int
+	memFrac              float64
+	chainFrac            float64 // loads whose base is a recent load result
+}
+
+func profile(t *testing.T, name string, n int) streamProfile {
+	t.Helper()
+	spec, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	g := MustNew(spec, 1)
+	var op isa.MicroOp
+	data := map[uint64]bool{}
+	code := map[uint64]bool{}
+	var mem, loads, chained int
+	loadDsts := map[isa.Reg]bool{}
+	for i := 0; i < n; i++ {
+		g.Next(&op)
+		code[op.PC>>5] = true
+		if op.Class.IsMem() {
+			mem++
+			data[op.Addr>>5] = true
+		}
+		if op.Class == isa.Load {
+			loads++
+			if loadDsts[op.Base] {
+				chained++
+			}
+			loadDsts[op.Dst] = true
+		}
+	}
+	return streamProfile{
+		dataLines: len(data),
+		codeLines: len(code),
+		memFrac:   float64(mem) / float64(n),
+		chainFrac: float64(chained) / float64(loads),
+	}
+}
+
+func TestFootprintClasses(t *testing.T) {
+	const n = 120_000
+	// Thrashing benchmarks touch far more than the 1024-line L1; resident
+	// ones stay within a few thousand lines over this horizon.
+	big := []string{"ammp", "art", "mcf", "health"}
+	small := []string{"bzip2", "mesa", "bisort"}
+	for _, name := range big {
+		p := profile(t, name, n)
+		if p.dataLines < 2500 {
+			t.Errorf("%s: %d data lines touched, want a thrashing footprint", name, p.dataLines)
+		}
+	}
+	for _, name := range small {
+		p := profile(t, name, n)
+		if p.dataLines > 4000 {
+			t.Errorf("%s: %d data lines touched, want a modest footprint", name, p.dataLines)
+		}
+	}
+}
+
+func TestCodeFootprintClasses(t *testing.T) {
+	const n = 120_000
+	gcc := profile(t, "gcc", n)
+	treeadd := profile(t, "treeadd", n)
+	// gcc's live code dwarfs an Olden kernel's.
+	if gcc.codeLines < 6*treeadd.codeLines {
+		t.Errorf("gcc code lines %d vs treeadd %d: want a big ratio",
+			gcc.codeLines, treeadd.codeLines)
+	}
+	if treeadd.codeLines*32 > 8<<10 {
+		t.Errorf("treeadd touches %dB of code, want a tiny kernel", treeadd.codeLines*32)
+	}
+}
+
+func TestMemFractionTracksSpec(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := ByName(name)
+		p := profile(t, name, 60_000)
+		want := spec.LoadFrac + spec.StoreFrac
+		if p.memFrac < want-0.06 || p.memFrac > want+0.06 {
+			t.Errorf("%s: mem fraction %.3f vs spec %.3f", name, p.memFrac, want)
+		}
+	}
+}
+
+func TestPointerAppsChainLoads(t *testing.T) {
+	// Pointer-chasing benchmarks must wire a large share of loads through
+	// recently loaded values; dense FP codes much less.
+	mcf := profile(t, "mcf", 80_000)
+	wup := profile(t, "wupwise", 80_000)
+	if mcf.chainFrac < 0.3 {
+		t.Errorf("mcf load-chain fraction = %.3f, want pointer-heavy", mcf.chainFrac)
+	}
+	if wup.chainFrac >= mcf.chainFrac {
+		t.Errorf("wupwise chain fraction %.3f should trail mcf's %.3f",
+			wup.chainFrac, mcf.chainFrac)
+	}
+}
+
+func TestSeedsProduceDistinctPhases(t *testing.T) {
+	spec, _ := ByName("equake")
+	a, b := MustNew(spec, 1), MustNew(spec, 2)
+	var opA, opB isa.MicroOp
+	diff := 0
+	for i := 0; i < 5000; i++ {
+		a.Next(&opA)
+		b.Next(&opB)
+		if opA != opB {
+			diff++
+		}
+	}
+	if diff < 1000 {
+		t.Errorf("seeds 1 and 2 differ in only %d of 5000 ops", diff)
+	}
+}

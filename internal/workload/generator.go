@@ -1,0 +1,414 @@
+package workload
+
+import (
+	"fmt"
+
+	"nanocache/internal/isa"
+)
+
+// Memory layout constants: the heap-like data segment and the text segment
+// start at fixed virtual bases; the hot region lives at the front of the
+// data segment and relocates at phase boundaries.
+const (
+	dataBase = uint64(0x1000_0000)
+	textBase = uint64(0x0040_0000)
+	instrLen = 4 // bytes per instruction
+)
+
+// Generator emits the deterministic micro-op stream for one benchmark spec.
+// It implements isa.Stream.
+type Generator struct {
+	spec Spec
+	rng  rngState
+
+	emitted uint64
+
+	// Phase state.
+	phaseLeft uint64
+	hotBase   uint64 // current hot-region base
+	phaseIdx  uint64
+
+	// Code state. Control flow moves among a per-phase working set of
+	// functions (real programs revisit the same code), so the branch
+	// predictor and the i-cache see realistic reuse.
+	funcSet    []uint64
+	funcBase   uint64 // current function's first-instruction PC
+	bodyPos    int    // instruction index within the loop body
+	bodyLen    int
+	blocksLeft int // loop bodies until the next function switch
+
+	// Data traversal state: cold accesses dwell inside one chunk (a buffer
+	// section or a pointer-chase node) for ColdRun accesses before moving
+	// on, which gives the traversal realistic spatial locality.
+	stridePos uint64 // cold-region cursor for Strided
+	chasePtr  uint64 // cold-region cursor for PointerChase
+	chunkBase uint64 // current cold chunk base address
+	chunkSize uint64
+	runLeft   int
+	newNode   bool // the chunk just changed (chase dependence boundary)
+
+	// Register dependence state: ring of recently written registers.
+	recent    [4]isa.Reg
+	recentPos int
+	nextInt   isa.Reg
+	nextFP    isa.Reg
+	// pointerRegs rotate as base registers for memory ops.
+	pointerRegs [4]isa.Reg
+	ptrPos      int
+	// lastChaseDst is the destination of the previous cold pointer-chase
+	// load; the next chase load's base depends on it, serializing the walk
+	// the way real linked-structure code does.
+	lastChaseDst isa.Reg
+	// lastLoadDst is the most recent load result, used as the base of
+	// PtrLoadFrac of subsequent loads (indexing through loaded values).
+	lastLoadDst isa.Reg
+	// lastWasChase marks that the address just produced came from the cold
+	// chase, so the op builder should wire the load-load dependence.
+	lastWasChase bool
+}
+
+// rngState is a splitmix64 generator: deterministic, fast, and stable across
+// Go versions (unlike math/rand's stream which is version-dependent for some
+// methods).
+type rngState uint64
+
+func (r *rngState) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a float64 in [0, 1).
+func (r *rngState) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uint64 in [0, n).
+func (r *rngState) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// New returns a generator for the spec with the given seed. It returns an
+// error if the spec is invalid.
+func New(spec Spec, seed int64) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		spec:    spec,
+		rng:     rngState(uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d),
+		nextInt: 1,
+		nextFP:  32,
+	}
+	for i := range g.pointerRegs {
+		g.pointerRegs[i] = isa.Reg(24 + i) // s-register convention for pointers
+	}
+	g.newPhase()
+	return g, nil
+}
+
+// MustNew is New panicking on error; for use with the built-in specs, which
+// are validated by tests.
+func MustNew(spec Spec, seed int64) *Generator {
+	g, err := New(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Spec returns the generator's benchmark spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Emitted returns the number of micro-ops generated so far.
+func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// newPhase starts a program phase: relocates the hot region within the data
+// footprint and rebuilds the working set of active functions.
+func (g *Generator) newPhase() {
+	g.phaseIdx++
+	g.phaseLeft = g.spec.PhaseInstrs
+	// The hot region slides to a line-aligned spot in the footprint.
+	span := g.spec.DataFootprint - g.spec.HotSpan
+	if span == 0 {
+		g.hotBase = dataBase
+	} else {
+		g.hotBase = dataBase + (g.rng.intn(span) &^ 63)
+	}
+	// The phase's function working set: larger code footprints imply more
+	// live functions (and therefore more i-cache pressure and colder
+	// branch sites), about one per 2KB of text.
+	setSize := int(g.spec.CodeFootprint / 2048)
+	if setSize < 4 {
+		setSize = 4
+	}
+	if setSize > 128 {
+		setSize = 128
+	}
+	// Function entry points are 256-byte aligned within the code footprint.
+	nFuncs := g.spec.CodeFootprint / 256
+	if nFuncs == 0 {
+		nFuncs = 1
+	}
+	g.funcSet = g.funcSet[:0]
+	for i := 0; i < setSize; i++ {
+		g.funcSet = append(g.funcSet, textBase+256*g.rng.intn(nFuncs))
+	}
+	g.switchFunction()
+}
+
+// switchFunction moves control to a function from the phase's working set.
+func (g *Generator) switchFunction() {
+	g.funcBase = g.funcSet[g.rng.intn(uint64(len(g.funcSet)))]
+	// Body length is a stable property of the function (same code, same
+	// branch sites, same dominant directions), ±25% around the spec value.
+	h := rngState(g.funcBase)
+	g.bodyLen = g.spec.BodyLen*3/4 + int(h.next()%uint64(g.spec.BodyLen/2+1))
+	if g.bodyLen < 4 {
+		g.bodyLen = 4
+	}
+	g.blocksLeft = 1 + int(g.rng.intn(uint64(2*g.spec.FuncSwitchBlocks)))
+	g.bodyPos = 0
+}
+
+// dataAddr produces the next memory address: hot region with probability
+// HotFrac, otherwise the cold traversal pattern.
+func (g *Generator) dataAddr() uint64 {
+	g.lastWasChase = false
+	if g.rng.float() < g.spec.HotFrac {
+		// Hot accesses favour the front of the hot region slightly, like
+		// stack frames and frequently used globals.
+		off := g.rng.intn(g.spec.HotSpan)
+		if g.rng.float() < 0.5 {
+			off /= 2
+		}
+		return g.hotBase + (off &^ 7)
+	}
+	if g.runLeft <= 0 {
+		g.advanceChunk()
+	}
+	g.runLeft--
+	if g.spec.Pattern == PointerChase {
+		g.lastWasChase = true
+	}
+	return g.chunkBase + g.rng.intn(g.chunkSize)&^7
+}
+
+// advanceChunk moves the cold traversal to its next dwell window.
+func (g *Generator) advanceChunk() {
+	s := g.spec
+	// Jitter the dwell length ±50% so chunk boundaries do not synchronize
+	// with loop iterations.
+	g.runLeft = s.ColdRun/2 + int(g.rng.intn(uint64(s.ColdRun)+1))
+	if g.runLeft < 1 {
+		g.runLeft = 1
+	}
+	g.newNode = true
+	switch s.Pattern {
+	case Strided:
+		g.stridePos = (g.stridePos + s.Stride) % s.DataFootprint
+		g.chunkBase = dataBase + g.stridePos
+		g.chunkSize = s.ColdChunk
+	case PointerChase:
+		nodes := s.DataFootprint / s.NodeBytes
+		g.chasePtr = (g.chasePtr*6364136223846793005 + 1442695040888963407) % nodes
+		g.chunkBase = dataBase + g.chasePtr*s.NodeBytes
+		g.chunkSize = s.NodeBytes
+	default: // RandomInRegion
+		g.chunkBase = dataBase + g.rng.intn(s.DataFootprint-s.ColdChunk)&^63
+		g.chunkSize = s.ColdChunk
+	}
+	if g.chunkBase+g.chunkSize > dataBase+s.DataFootprint {
+		g.chunkBase = dataBase + s.DataFootprint - g.chunkSize
+	}
+}
+
+// displacement draws from the calibrated displacement mix (DESIGN.md §4(3)):
+// base-only addressing dominates pointer code, small struct offsets are
+// common, larger array offsets rarer. This mix yields the paper's predecode
+// accuracies (~80% at 1KB subarrays, ~61% at line-sized ones).
+func (g *Generator) displacement() int32 {
+	p := g.rng.float()
+	switch {
+	case p < 0.52:
+		return 0
+	case p < 0.70:
+		return int32(4 + 4*g.rng.intn(7)) // 4..28
+	case p < 0.95:
+		return int32(32 + 8*g.rng.intn(53)) // 32..448
+	default:
+		return int32(512 + 32*g.rng.intn(111)) // 512..4032
+	}
+}
+
+// destReg allocates the next destination register from the int or FP bank
+// and records it in the recent-results ring.
+func (g *Generator) destReg(fp bool) isa.Reg {
+	var r isa.Reg
+	if fp {
+		r = g.nextFP
+		g.nextFP++
+		if g.nextFP >= isa.NumRegs {
+			g.nextFP = 32
+		}
+	} else {
+		r = g.nextInt
+		g.nextInt++
+		if g.nextInt >= 24 { // 1..23 general, 24..27 pointer, 28..31 reserved
+			g.nextInt = 1
+		}
+	}
+	g.recent[g.recentPos] = r
+	g.recentPos = (g.recentPos + 1) % len(g.recent)
+	return r
+}
+
+// srcReg picks a source: a recent result with probability DepDensity
+// (creating dependence chains), otherwise an older register that is long
+// ready. Recent picks favour the most recent result, which concentrates the
+// dependences into a dominant chain the way expression evaluation does.
+func (g *Generator) srcReg() isa.Reg {
+	if g.rng.float() < g.spec.DepDensity {
+		idx := (g.recentPos - 1 + len(g.recent)) % len(g.recent)
+		if g.rng.float() >= 0.6 {
+			idx = int(g.rng.intn(uint64(len(g.recent))))
+		}
+		if r := g.recent[idx]; r != isa.None {
+			return r
+		}
+	}
+	return isa.Reg(1 + g.rng.intn(23))
+}
+
+// Next implements isa.Stream. The stream is unbounded; wrap it in isa.Limit
+// to bound an experiment.
+func (g *Generator) Next(op *isa.MicroOp) bool {
+	if g.phaseLeft == 0 {
+		g.newPhase()
+	}
+	g.phaseLeft--
+	g.emitted++
+
+	pc := g.funcBase + uint64(g.bodyPos)*instrLen
+	*op = isa.MicroOp{PC: pc}
+
+	if g.bodyPos == g.bodyLen-1 {
+		// Loop back-edge: taken while iterations remain in this function.
+		g.bodyPos = 0
+		g.blocksLeft--
+		op.Class = isa.Branch
+		op.Src1 = g.srcReg()
+		if g.blocksLeft <= 0 {
+			g.switchFunction()
+			op.Taken = true
+			op.Target = g.funcBase
+			return true
+		}
+		op.Taken = true
+		op.Target = g.funcBase
+		return true
+	}
+	g.bodyPos++
+
+	s := g.spec
+	p := g.rng.float()
+	switch {
+	case p < s.LoadFrac:
+		disp := g.displacement()
+		addr := g.dataAddr()
+		// Keep base addresses positive and plausible.
+		if uint64(disp) > addr {
+			disp = 0
+		}
+		op.Class = isa.Load
+		op.Addr = addr
+		op.Disp = disp
+		switch {
+		case g.lastWasChase && g.lastChaseDst != isa.None:
+			// Pointer chase: the node pointer came from the previous chase
+			// load, serializing the walk across nodes.
+			op.Base = g.lastChaseDst
+		case g.lastLoadDst != isa.None && g.rng.float() < g.spec.PtrLoadFrac:
+			// Indexing through a recently loaded pointer or index.
+			op.Base = g.lastLoadDst
+		default:
+			op.Base = g.pointerRegs[g.ptrPos]
+			g.ptrPos = (g.ptrPos + 1) % len(g.pointerRegs)
+		}
+		op.Dst = g.destReg(false)
+		g.lastLoadDst = op.Dst
+		if g.lastWasChase && g.newNode {
+			// The first load of a new node produces the next node pointer.
+			g.lastChaseDst = op.Dst
+			g.newNode = false
+		}
+	case p < s.LoadFrac+s.StoreFrac:
+		disp := g.displacement()
+		addr := g.dataAddr()
+		if uint64(disp) > addr {
+			disp = 0
+		}
+		op.Class = isa.Store
+		op.Addr = addr
+		op.Disp = disp
+		op.Base = g.pointerRegs[g.ptrPos]
+		g.ptrPos = (g.ptrPos + 1) % len(g.pointerRegs)
+		op.Src1 = g.srcReg()
+	case p < s.LoadFrac+s.StoreFrac+s.BranchFrac:
+		// Interior conditional branch: each branch PC has a dominant
+		// direction (hash parity) it follows with probability
+		// InteriorTaken; real branch predictability comes from this
+		// per-site bias, which the predictor learns.
+		op.Class = isa.Branch
+		op.Src1 = g.srcReg()
+		dominant := (pc>>2)&1 == 0
+		op.Taken = dominant
+		if g.rng.float() > s.InteriorTaken {
+			op.Taken = !dominant
+		}
+		skip := 1 + g.rng.intn(3)
+		target := pc + instrLen*(1+skip)
+		if int(g.rng.intn(uint64(g.bodyLen))) < g.bodyPos {
+			// Occasionally skip forward past the body end; the back-edge
+			// still bounds the loop, so clamp inside the body.
+			target = pc + instrLen
+		}
+		op.Target = target
+		if op.Taken {
+			// Model the skip in the PC walk.
+			g.bodyPos += int(skip)
+			if g.bodyPos >= g.bodyLen {
+				g.bodyPos = g.bodyLen - 1
+			}
+		}
+	default:
+		fp := g.rng.float() < s.FPFrac
+		mul := g.rng.float() < 0.2
+		switch {
+		case fp && mul:
+			op.Class = isa.FPMul
+		case fp:
+			op.Class = isa.FPALU
+		case mul:
+			op.Class = isa.IntMul
+		default:
+			op.Class = isa.IntALU
+		}
+		op.Src1 = g.srcReg()
+		if g.rng.float() < 0.6 {
+			op.Src2 = g.srcReg()
+		}
+		op.Dst = g.destReg(fp)
+	}
+	return true
+}
+
+// String identifies the generator.
+func (g *Generator) String() string {
+	return fmt.Sprintf("workload(%s/%s seedled, %d emitted)", g.spec.Suite, g.spec.Name, g.emitted)
+}

@@ -1,0 +1,352 @@
+// Package workload provides deterministic synthetic micro-op stream
+// generators standing in for the sixteen SPEC2000 and Olden benchmarks the
+// paper evaluates (Sec. 3). We cannot run the original binaries (no Alpha
+// toolchain, no SimPoint traces), so each benchmark is replaced by a
+// generator parameterized to reproduce the published characteristics the
+// paper's experiments actually consume:
+//
+//   - data footprint and L1 miss behaviour (ammp/art/mcf thrash; health mixes
+//     a high miss ratio with a tiny hot working set; most others largely fit),
+//   - the split between a small hot region (stack/globals/list heads) and a
+//     large cold region swept by the main data structure — which is what
+//     creates the subarray reference locality of Figs. 5 and 6,
+//   - phase behaviour: the hot region and the active code region move over
+//     the dynamic instruction stream,
+//   - instruction footprints (gcc/vortex pressure the i-cache, Olden kernels
+//     are tiny loops),
+//   - branch density and predictability, register-dependence density (ILP),
+//     and base+displacement addressing with a realistic displacement mix —
+//     the input to the paper's predecoding heuristic (Sec. 6.3).
+//
+// See DESIGN.md §4(3) for the substitution argument.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"nanocache/internal/isa"
+)
+
+// Pattern selects how the cold (non-hot) part of the data footprint is
+// traversed.
+type Pattern int
+
+const (
+	// Strided sweeps the region with a fixed stride, like art's matrix
+	// streaming or wupwise's dense linear algebra.
+	Strided Pattern = iota
+	// PointerChase performs a pseudo-random walk over node-sized cells,
+	// like mcf's network simplex or the Olden tree/list kernels.
+	PointerChase
+	// RandomInRegion touches uniformly random lines, an aggregate stand-in
+	// for irregular index-driven access (ammp, vpr, gcc tables).
+	RandomInRegion
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Strided:
+		return "strided"
+	case PointerChase:
+		return "pointer-chase"
+	case RandomInRegion:
+		return "random"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Spec is the parameter set defining one synthetic benchmark.
+type Spec struct {
+	// Name is the benchmark name as the paper's figures label it.
+	Name string
+	// Suite is "SPEC2000" or "Olden".
+	Suite string
+	// Description summarizes what the generator mimics.
+	Description string
+
+	// LoadFrac, StoreFrac and BranchFrac are the per-instruction class
+	// probabilities for non-loop-control instructions; the rest are ALU
+	// ops, of which FPFrac are floating point.
+	LoadFrac, StoreFrac, BranchFrac, FPFrac float64
+
+	// DataFootprint is the total bytes the cold traversal covers.
+	DataFootprint uint64
+	// HotSpan is the size of the hot region (globals, stack frames, list
+	// heads) that HotFrac of memory accesses touch.
+	HotSpan uint64
+	// HotFrac is the fraction of memory accesses directed at the hot
+	// region.
+	HotFrac float64
+	// Pattern traverses the cold region.
+	Pattern Pattern
+	// Stride is the byte stride between chunks for Strided traversal.
+	Stride uint64
+	// NodeBytes is the cell size for PointerChase traversal (also the cold
+	// chunk size for that pattern).
+	NodeBytes uint64
+	// ColdChunk is the spatial-dwell window of the cold traversal for
+	// Strided and RandomInRegion patterns: consecutive cold accesses stay
+	// inside one chunk before moving on, giving the traversal realistic
+	// spatial locality.
+	ColdChunk uint64
+	// ColdRun is the number of consecutive cold accesses spent inside one
+	// chunk (or pointer-chase node). Small values model true pointer
+	// chasing (nearly every node visit misses); large values model buffer
+	// processing with heavy reuse.
+	ColdRun int
+
+	// CodeFootprint is the total bytes of instruction addresses the
+	// program's functions span.
+	CodeFootprint uint64
+	// BodyLen is the loop-body length in instructions.
+	BodyLen int
+	// FuncSwitchBlocks is the average number of loop bodies executed
+	// before control moves to a different function (larger = tighter
+	// instruction locality).
+	FuncSwitchBlocks int
+
+	// InteriorTaken is the *predictability* of data-dependent interior
+	// branches: the probability a branch follows its PC's dominant
+	// direction. Loop back-edges are always taken and near-perfectly
+	// predicted; interior branches mispredict at roughly the flip rate
+	// (1 − InteriorTaken) once the predictor trains.
+	InteriorTaken float64
+	// DepDensity is the probability that a source operand depends on one
+	// of the last few results, throttling ILP.
+	DepDensity float64
+	// PtrLoadFrac is the probability a load's base register is a recently
+	// loaded value (indexing through loaded pointers/indices), putting the
+	// cache hit latency on the critical path the way pointer- and
+	// table-driven code does.
+	PtrLoadFrac float64
+
+	// PhaseInstrs is the number of instructions per program phase; at
+	// phase boundaries the hot region and active functions move.
+	PhaseInstrs uint64
+}
+
+// Validate reports whether the spec is self-consistent.
+func (s Spec) Validate() error {
+	sum := s.LoadFrac + s.StoreFrac + s.BranchFrac
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: spec needs a name")
+	case s.LoadFrac < 0 || s.StoreFrac < 0 || s.BranchFrac < 0 || sum > 0.9:
+		return fmt.Errorf("workload %s: class fractions invalid (sum %.2f)", s.Name, sum)
+	case s.FPFrac < 0 || s.FPFrac > 1:
+		return fmt.Errorf("workload %s: FPFrac %v out of range", s.Name, s.FPFrac)
+	case s.DataFootprint < 4096 || s.HotSpan < 256 || s.HotSpan > s.DataFootprint:
+		return fmt.Errorf("workload %s: data regions invalid", s.Name)
+	case s.HotFrac < 0 || s.HotFrac > 1:
+		return fmt.Errorf("workload %s: HotFrac %v out of range", s.Name, s.HotFrac)
+	case s.Pattern == Strided && s.Stride == 0:
+		return fmt.Errorf("workload %s: strided pattern needs a stride", s.Name)
+	case s.Pattern == PointerChase && s.NodeBytes < 8:
+		return fmt.Errorf("workload %s: pointer chase needs node size", s.Name)
+	case s.Pattern != PointerChase && s.ColdChunk < 64:
+		return fmt.Errorf("workload %s: cold chunk %d too small", s.Name, s.ColdChunk)
+	case s.ColdRun < 1:
+		return fmt.Errorf("workload %s: cold run must be positive", s.Name)
+	case s.CodeFootprint < 1024 || s.BodyLen < 4 || s.FuncSwitchBlocks < 1:
+		return fmt.Errorf("workload %s: code shape invalid", s.Name)
+	case s.InteriorTaken < 0 || s.InteriorTaken > 1 || s.DepDensity < 0 || s.DepDensity > 1:
+		return fmt.Errorf("workload %s: probabilities out of range", s.Name)
+	case s.PtrLoadFrac < 0 || s.PtrLoadFrac > 1:
+		return fmt.Errorf("workload %s: PtrLoadFrac out of range", s.Name)
+	case s.PhaseInstrs < 1000:
+		return fmt.Errorf("workload %s: phases too short", s.Name)
+	}
+	return nil
+}
+
+// specs defines the sixteen benchmarks. Footprints and mixes follow the
+// programs' published characters; see the package comment.
+var specs = []Spec{
+	{
+		Name: "ammp", Suite: "SPEC2000",
+		Description: "molecular dynamics; large irregular FP footprint that thrashes the L1",
+		LoadFrac:    0.27, StoreFrac: 0.08, BranchFrac: 0.08, FPFrac: 0.55,
+		DataFootprint: 2 << 20, HotSpan: 4 << 10, HotFrac: 0.12,
+		Pattern: RandomInRegion, ColdChunk: 128, ColdRun: 16,
+		CodeFootprint: 64 << 10, BodyLen: 24, FuncSwitchBlocks: 24,
+		InteriorTaken: 0.96, DepDensity: 0.55, PtrLoadFrac: 0.45, PhaseInstrs: 60000,
+	},
+	{
+		Name: "art", Suite: "SPEC2000",
+		Description: "neural-net image recognition; streams large FP arrays, thrashing the L1",
+		LoadFrac:    0.30, StoreFrac: 0.07, BranchFrac: 0.07, FPFrac: 0.65,
+		DataFootprint: 4 << 20, HotSpan: 4 << 10, HotFrac: 0.10,
+		Pattern: Strided, Stride: 256, ColdChunk: 256, ColdRun: 24,
+		CodeFootprint: 16 << 10, BodyLen: 20, FuncSwitchBlocks: 64,
+		InteriorTaken: 0.97, DepDensity: 0.45, PtrLoadFrac: 0.40, PhaseInstrs: 80000,
+	},
+	{
+		Name: "bh", Suite: "Olden",
+		Description: "Barnes-Hut n-body; octree pointer walks with a warm root neighbourhood",
+		LoadFrac:    0.28, StoreFrac: 0.09, BranchFrac: 0.11, FPFrac: 0.40,
+		DataFootprint: 512 << 10, HotSpan: 4 << 10, HotFrac: 0.40,
+		Pattern: PointerChase, NodeBytes: 128, ColdRun: 32,
+		CodeFootprint: 16 << 10, BodyLen: 16, FuncSwitchBlocks: 16,
+		InteriorTaken: 0.94, DepDensity: 0.60, PtrLoadFrac: 0.50, PhaseInstrs: 50000,
+	},
+	{
+		Name: "bisort", Suite: "Olden",
+		Description: "bitonic sort over a binary tree; pointer walks, small code",
+		LoadFrac:    0.26, StoreFrac: 0.12, BranchFrac: 0.13, FPFrac: 0,
+		DataFootprint: 256 << 10, HotSpan: 4 << 10, HotFrac: 0.40,
+		Pattern: PointerChase, NodeBytes: 32, ColdRun: 8,
+		CodeFootprint: 8 << 10, BodyLen: 12, FuncSwitchBlocks: 12,
+		InteriorTaken: 0.92, DepDensity: 0.65, PtrLoadFrac: 0.55, PhaseInstrs: 40000,
+	},
+	{
+		Name: "bzip2", Suite: "SPEC2000",
+		Description: "compression; hot tables plus block-sized strided sweeps",
+		LoadFrac:    0.26, StoreFrac: 0.11, BranchFrac: 0.14, FPFrac: 0,
+		DataFootprint: 512 << 10, HotSpan: 16 << 10, HotFrac: 0.72,
+		Pattern: Strided, Stride: 256, ColdChunk: 256, ColdRun: 120,
+		CodeFootprint: 64 << 10, BodyLen: 14, FuncSwitchBlocks: 32,
+		InteriorTaken: 0.92, DepDensity: 0.55, PtrLoadFrac: 0.50, PhaseInstrs: 70000,
+	},
+	{
+		Name: "em3d", Suite: "Olden",
+		Description: "electromagnetic wave propagation over bipartite linked lists",
+		LoadFrac:    0.30, StoreFrac: 0.09, BranchFrac: 0.09, FPFrac: 0.45,
+		DataFootprint: 1 << 20, HotSpan: 4 << 10, HotFrac: 0.35,
+		Pattern: PointerChase, NodeBytes: 64, ColdRun: 12,
+		CodeFootprint: 8 << 10, BodyLen: 18, FuncSwitchBlocks: 48,
+		InteriorTaken: 0.96, DepDensity: 0.60, PtrLoadFrac: 0.50, PhaseInstrs: 60000,
+	},
+	{
+		Name: "equake", Suite: "SPEC2000",
+		Description: "seismic FEM; sparse matrix-vector products with warm vectors",
+		LoadFrac:    0.29, StoreFrac: 0.08, BranchFrac: 0.08, FPFrac: 0.60,
+		DataFootprint: 1 << 20, HotSpan: 8 << 10, HotFrac: 0.45,
+		Pattern: RandomInRegion, ColdChunk: 256, ColdRun: 100,
+		CodeFootprint: 32 << 10, BodyLen: 22, FuncSwitchBlocks: 40,
+		InteriorTaken: 0.96, DepDensity: 0.50, PtrLoadFrac: 0.45, PhaseInstrs: 60000,
+	},
+	{
+		Name: "gcc", Suite: "SPEC2000",
+		Description: "compiler; branchy, large code footprint, irregular medium data",
+		LoadFrac:    0.25, StoreFrac: 0.11, BranchFrac: 0.17, FPFrac: 0,
+		DataFootprint: 512 << 10, HotSpan: 12 << 10, HotFrac: 0.55,
+		Pattern: RandomInRegion, ColdChunk: 256, ColdRun: 80,
+		CodeFootprint: 192 << 10, BodyLen: 10, FuncSwitchBlocks: 8,
+		InteriorTaken: 0.90, DepDensity: 0.50, PtrLoadFrac: 0.50, PhaseInstrs: 40000,
+	},
+	{
+		Name: "health", Suite: "Olden",
+		Description: "hospital simulation; long miss-prone list walks but tiny hot list heads",
+		LoadFrac:    0.30, StoreFrac: 0.10, BranchFrac: 0.12, FPFrac: 0,
+		DataFootprint: 2 << 20, HotSpan: 1 << 10, HotFrac: 0.55,
+		Pattern: PointerChase, NodeBytes: 64, ColdRun: 4,
+		CodeFootprint: 8 << 10, BodyLen: 12, FuncSwitchBlocks: 24,
+		InteriorTaken: 0.94, DepDensity: 0.65, PtrLoadFrac: 0.55, PhaseInstrs: 50000,
+	},
+	{
+		Name: "mcf", Suite: "SPEC2000",
+		Description: "network simplex; pointer chasing over a huge arc array, high miss ratio",
+		LoadFrac:    0.29, StoreFrac: 0.09, BranchFrac: 0.12, FPFrac: 0,
+		DataFootprint: 4 << 20, HotSpan: 4 << 10, HotFrac: 0.45,
+		Pattern: PointerChase, NodeBytes: 64, ColdRun: 4,
+		CodeFootprint: 16 << 10, BodyLen: 14, FuncSwitchBlocks: 24,
+		InteriorTaken: 0.93, DepDensity: 0.60, PtrLoadFrac: 0.55, PhaseInstrs: 60000,
+	},
+	{
+		Name: "mesa", Suite: "SPEC2000",
+		Description: "software 3D rendering; regular FP pipelines over warm buffers",
+		LoadFrac:    0.26, StoreFrac: 0.10, BranchFrac: 0.08, FPFrac: 0.55,
+		DataFootprint: 256 << 10, HotSpan: 16 << 10, HotFrac: 0.60,
+		Pattern: Strided, Stride: 256, ColdChunk: 256, ColdRun: 100,
+		CodeFootprint: 128 << 10, BodyLen: 26, FuncSwitchBlocks: 10,
+		InteriorTaken: 0.96, DepDensity: 0.45, PtrLoadFrac: 0.40, PhaseInstrs: 70000,
+	},
+	{
+		Name: "treeadd", Suite: "Olden",
+		Description: "recursive binary-tree sum; depth-first pointer walk, tiny code",
+		LoadFrac:    0.30, StoreFrac: 0.06, BranchFrac: 0.13, FPFrac: 0,
+		DataFootprint: 1 << 20, HotSpan: 2 << 10, HotFrac: 0.35,
+		Pattern: PointerChase, NodeBytes: 32, ColdRun: 6,
+		CodeFootprint: 4 << 10, BodyLen: 10, FuncSwitchBlocks: 8,
+		InteriorTaken: 0.95, DepDensity: 0.65, PtrLoadFrac: 0.60, PhaseInstrs: 50000,
+	},
+	{
+		Name: "tsp", Suite: "Olden",
+		Description: "travelling salesman over a tree; pointer walks with warm tour state",
+		LoadFrac:    0.27, StoreFrac: 0.09, BranchFrac: 0.12, FPFrac: 0.30,
+		DataFootprint: 512 << 10, HotSpan: 4 << 10, HotFrac: 0.40,
+		Pattern: PointerChase, NodeBytes: 64, ColdRun: 16,
+		CodeFootprint: 8 << 10, BodyLen: 14, FuncSwitchBlocks: 16,
+		InteriorTaken: 0.94, DepDensity: 0.60, PtrLoadFrac: 0.50, PhaseInstrs: 50000,
+	},
+	{
+		Name: "vortex", Suite: "SPEC2000",
+		Description: "object database; large code, object graph walks with warm metadata",
+		LoadFrac:    0.27, StoreFrac: 0.13, BranchFrac: 0.14, FPFrac: 0,
+		DataFootprint: 1 << 20, HotSpan: 12 << 10, HotFrac: 0.50,
+		Pattern: PointerChase, NodeBytes: 128, ColdRun: 32,
+		CodeFootprint: 160 << 10, BodyLen: 12, FuncSwitchBlocks: 8,
+		InteriorTaken: 0.91, DepDensity: 0.50, PtrLoadFrac: 0.45, PhaseInstrs: 50000,
+	},
+	{
+		Name: "vpr", Suite: "SPEC2000",
+		Description: "FPGA place & route; irregular medium footprint with warm nets",
+		LoadFrac:    0.26, StoreFrac: 0.10, BranchFrac: 0.13, FPFrac: 0.25,
+		DataFootprint: 256 << 10, HotSpan: 8 << 10, HotFrac: 0.50,
+		Pattern: RandomInRegion, ColdChunk: 256, ColdRun: 60,
+		CodeFootprint: 96 << 10, BodyLen: 14, FuncSwitchBlocks: 12,
+		InteriorTaken: 0.91, DepDensity: 0.55, PtrLoadFrac: 0.50, PhaseInstrs: 50000,
+	},
+	{
+		Name: "wupwise", Suite: "SPEC2000",
+		Description: "lattice QCD; dense regular FP sweeps with warm gauge fields",
+		LoadFrac:    0.29, StoreFrac: 0.09, BranchFrac: 0.06, FPFrac: 0.70,
+		DataFootprint: 512 << 10, HotSpan: 8 << 10, HotFrac: 0.35,
+		Pattern: Strided, Stride: 256, ColdChunk: 256, ColdRun: 150,
+		CodeFootprint: 32 << 10, BodyLen: 28, FuncSwitchBlocks: 48,
+		InteriorTaken: 0.98, DepDensity: 0.40, PtrLoadFrac: 0.30, PhaseInstrs: 80000,
+	},
+}
+
+// Specs returns the sixteen benchmark specs in the order the paper's figures
+// list them.
+func Specs() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// Names returns the benchmark names in figure order.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// SuiteOf groups the names by suite, sorted, for reporting.
+func SuiteOf(suite string) []string {
+	var out []string
+	for _, s := range specs {
+		if s.Suite == suite {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ isa.Stream = (*Generator)(nil)

@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"nanocache/internal/isa"
+)
+
+func TestAllSpecsValid(t *testing.T) {
+	if len(Specs()) != 16 {
+		t.Fatalf("want 16 benchmarks, got %d", len(Specs()))
+	}
+	for _, s := range Specs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.Suite != "SPEC2000" && s.Suite != "Olden" {
+			t.Errorf("%s: unknown suite %q", s.Name, s.Suite)
+		}
+	}
+}
+
+func TestPaperBenchmarkSetComplete(t *testing.T) {
+	want := []string{
+		"ammp", "art", "bh", "bisort", "bzip2", "em3d", "equake", "gcc",
+		"health", "mcf", "mesa", "treeadd", "tsp", "vortex", "vpr", "wupwise",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("got %d names", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("name[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(SuiteOf("SPEC2000")) != 10 {
+		t.Errorf("SPEC2000 suite = %v, want 10 apps", SuiteOf("SPEC2000"))
+	}
+	if len(SuiteOf("Olden")) != 6 {
+		t.Errorf("Olden suite = %v, want 6 apps", SuiteOf("Olden"))
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("mcf")
+	if !ok || s.Name != "mcf" || s.Pattern != PointerChase {
+		t.Errorf("ByName(mcf) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unknown benchmark should not resolve")
+	}
+}
+
+func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	base, _ := ByName("gcc")
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.LoadFrac = 0.8; s.StoreFrac = 0.2 },
+		func(s *Spec) { s.FPFrac = 1.5 },
+		func(s *Spec) { s.DataFootprint = 100 },
+		func(s *Spec) { s.HotSpan = s.DataFootprint * 2 },
+		func(s *Spec) { s.HotFrac = -0.1 },
+		func(s *Spec) { s.Pattern = Strided; s.Stride = 0 },
+		func(s *Spec) { s.Pattern = PointerChase; s.NodeBytes = 4 },
+		func(s *Spec) { s.BodyLen = 1 },
+		func(s *Spec) { s.InteriorTaken = 2 },
+		func(s *Spec) { s.PhaseInstrs = 10 },
+	}
+	for i, mut := range mutations {
+		s := base
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate spec", i)
+		}
+		if _, err := New(s, 1); err == nil {
+			t.Errorf("New must reject mutation %d", i)
+		}
+	}
+}
+
+func collect(t *testing.T, name string, seed int64, n int) []isa.MicroOp {
+	t.Helper()
+	spec, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	g := MustNew(spec, seed)
+	ops := make([]isa.MicroOp, 0, n)
+	var op isa.MicroOp
+	for i := 0; i < n; i++ {
+		if !g.Next(&op) {
+			t.Fatal("generator is unbounded; Next must not fail")
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func TestDeterminism(t *testing.T) {
+	a := collect(t, "gcc", 7, 5000)
+	b := collect(t, "gcc", 7, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := collect(t, "gcc", 8, 5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestAllOpsValid(t *testing.T) {
+	for _, spec := range Specs() {
+		g := MustNew(spec, 3)
+		var op isa.MicroOp
+		for i := 0; i < 20000; i++ {
+			if !g.Next(&op) {
+				t.Fatalf("%s: stream ended", spec.Name)
+			}
+			if err := op.Validate(); err != nil {
+				t.Fatalf("%s op %d: %v (%+v)", spec.Name, i, err, op)
+			}
+		}
+		if g.Emitted() != 20000 {
+			t.Errorf("%s: emitted %d, want 20000", spec.Name, g.Emitted())
+		}
+	}
+}
+
+func classCounts(ops []isa.MicroOp) map[isa.Class]int {
+	m := make(map[isa.Class]int)
+	for _, op := range ops {
+		m[op.Class]++
+	}
+	return m
+}
+
+func TestClassMixNearSpec(t *testing.T) {
+	for _, name := range []string{"gcc", "art", "health", "wupwise"} {
+		spec, _ := ByName(name)
+		ops := collect(t, name, 11, 60000)
+		counts := classCounts(ops)
+		n := float64(len(ops))
+		loadFrac := float64(counts[isa.Load]) / n
+		storeFrac := float64(counts[isa.Store]) / n
+		if math.Abs(loadFrac-spec.LoadFrac) > 0.05 {
+			t.Errorf("%s: load fraction %.3f vs spec %.3f", name, loadFrac, spec.LoadFrac)
+		}
+		if math.Abs(storeFrac-spec.StoreFrac) > 0.04 {
+			t.Errorf("%s: store fraction %.3f vs spec %.3f", name, storeFrac, spec.StoreFrac)
+		}
+		// Branches include both interior and back-edges, so they exceed the
+		// interior fraction but stay bounded.
+		brFrac := float64(counts[isa.Branch]) / n
+		if brFrac < spec.BranchFrac*0.6 || brFrac > spec.BranchFrac+0.15 {
+			t.Errorf("%s: branch fraction %.3f implausible for spec %.3f", name, brFrac, spec.BranchFrac)
+		}
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, name := range []string{"mcf", "bzip2", "mesa"} {
+		spec, _ := ByName(name)
+		for _, op := range collect(t, name, 5, 30000) {
+			if !op.Class.IsMem() {
+				continue
+			}
+			if op.Addr < dataBase || op.Addr >= dataBase+spec.DataFootprint+spec.HotSpan {
+				t.Fatalf("%s: address %#x outside data segment", name, op.Addr)
+			}
+		}
+	}
+}
+
+func TestPCsWithinTextSegment(t *testing.T) {
+	spec, _ := ByName("gcc")
+	for _, op := range collect(t, "gcc", 5, 30000) {
+		if op.PC < textBase || op.PC >= textBase+spec.CodeFootprint+1024 {
+			t.Fatalf("PC %#x outside text segment", op.PC)
+		}
+	}
+}
+
+func TestHotFractionApproximate(t *testing.T) {
+	// Hot accesses must hit the hot span at roughly the configured rate.
+	spec, _ := ByName("mcf") // HotFrac 0.30, cold chase over 4MB
+	g := MustNew(spec, 9)
+	var op isa.MicroOp
+	hot, total := 0, 0
+	for i := 0; i < 120000; i++ {
+		g.Next(&op)
+		if !op.Class.IsMem() {
+			continue
+		}
+		total++
+		if op.Addr >= g.hotBase && op.Addr < g.hotBase+spec.HotSpan {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < spec.HotFrac-0.05 || frac > spec.HotFrac+0.08 {
+		t.Errorf("hot access fraction = %.3f, spec %.3f", frac, spec.HotFrac)
+	}
+}
+
+func TestDisplacementMixSupportsPredecode(t *testing.T) {
+	// The displacement mix must make base-register subarray prediction
+	// right ~80% of the time for 512B subarray spans and ~61% for 32B
+	// spans (paper Sec. 6.3; spans are per-way set ranges).
+	ops := collect(t, "vortex", 13, 120000)
+	check := func(span uint64, wantLo, wantHi float64) {
+		good, n := 0, 0
+		for _, op := range ops {
+			if !op.Class.IsMem() {
+				continue
+			}
+			n++
+			if op.Addr/span == op.BaseAddr()/span {
+				good++
+			}
+		}
+		acc := float64(good) / float64(n)
+		if acc < wantLo || acc > wantHi {
+			t.Errorf("span %dB: predecode accuracy %.3f, want [%.2f, %.2f]", span, acc, wantLo, wantHi)
+		}
+	}
+	check(512, 0.72, 0.90)
+	check(32, 0.52, 0.70)
+}
+
+func TestPhasesRelocateHotRegion(t *testing.T) {
+	spec, _ := ByName("equake")
+	g := MustNew(spec, 21)
+	seenBases := make(map[uint64]bool)
+	var op isa.MicroOp
+	for i := uint64(0); i < spec.PhaseInstrs*6; i++ {
+		g.Next(&op)
+		if i%spec.PhaseInstrs == 0 {
+			seenBases[g.hotBase] = true
+		}
+	}
+	if len(seenBases) < 3 {
+		t.Errorf("hot region relocated %d times over 6 phases, want >= 3", len(seenBases))
+	}
+}
+
+func TestBackEdgesAreTaken(t *testing.T) {
+	ops := collect(t, "treeadd", 17, 20000)
+	backTaken, back := 0, 0
+	for _, op := range ops {
+		if op.Class == isa.Branch && op.Target <= op.PC {
+			back++
+			if op.Taken {
+				backTaken++
+			}
+		}
+	}
+	if back == 0 {
+		t.Fatal("no backward branches found")
+	}
+	if frac := float64(backTaken) / float64(back); frac < 0.95 {
+		t.Errorf("backward branches taken %.3f of the time, want ~1", frac)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Strided.String() != "strided" || PointerChase.String() != "pointer-chase" ||
+		RandomInRegion.String() != "random" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(9).String() == "" {
+		t.Error("unknown pattern should render")
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	g := MustNew(specs[0], 1)
+	if g.String() == "" || g.Spec().Name != "ammp" {
+		t.Error("accessors broken")
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid spec")
+		}
+	}()
+	MustNew(Spec{}, 1)
+}

@@ -1,0 +1,236 @@
+// Package nanocache is a from-scratch reproduction of
+//
+//	Se-Hyun Yang and Babak Falsafi,
+//	"Near-Optimal Precharging in High-Performance Nanoscale CMOS Caches",
+//	MICRO-36, 2003.
+//
+// It implements gated precharging — per-subarray decay counters that keep
+// recently used cache subarrays statically pulled up and isolate the
+// bitlines of cold ones — together with every substrate the paper's
+// evaluation rests on: an analytic circuit model of bitline isolation
+// transients across 180/130/100/70nm CMOS (replacing SPICE), a CACTI-style
+// cache timing/energy model, an 8-wide out-of-order processor simulator with
+// load-hit speculation and instruction replay (replacing Wattch), synthetic
+// SPEC2000/Olden workload generators, and the competing precharge policies
+// (static pull-up, oracle, on-demand, resizable caches).
+//
+// This package is the public facade: it re-exports the configuration,
+// policy, run and experiment types a downstream user needs. The heavy
+// machinery lives in internal packages:
+//
+//	internal/tech        CMOS technology nodes and scaling laws
+//	internal/circuit     bitline transients, decoder timing, SRAM cells
+//	internal/cacti       cache timing, energy and area model
+//	internal/sram        subarray pull-up/idle accounting, locality stats
+//	internal/core        the precharge policies (the paper's contribution)
+//	internal/cache       L1/L2/memory hierarchy, way prediction, drowsy mode
+//	internal/cpu         out-of-order processor timing model
+//	internal/workload    the sixteen synthetic benchmarks
+//	internal/trace       binary micro-op trace capture and replay
+//	internal/energy      per-node energy pricing and accounts
+//	internal/power       Wattch-style processor-level budgets
+//	internal/plot        SVG rendering of the figures
+//	internal/experiments every table and figure of the evaluation
+//
+// # Quick start
+//
+//	lab, err := nanocache.NewLab(nanocache.QuickOptions())
+//	if err != nil { ... }
+//	fig8, err := lab.Figure8(nanocache.DataCache)
+//	if err != nil { ... }
+//	fig8.Render(os.Stdout)
+//
+// Or run a single configuration:
+//
+//	out, err := nanocache.Run(nanocache.RunConfig{
+//		Benchmark:    "mcf",
+//		Instructions: 200_000,
+//		DPolicy:      nanocache.GatedPolicy(100, true),
+//		IPolicy:      nanocache.GatedPolicy(100, false),
+//	})
+//	fmt.Println(out.D.Discharge[nanocache.N70].Reduction())
+package nanocache
+
+import (
+	"nanocache/internal/circuit"
+	"nanocache/internal/core"
+	"nanocache/internal/cpu"
+	"nanocache/internal/energy"
+	"nanocache/internal/experiments"
+	"nanocache/internal/tech"
+	"nanocache/internal/workload"
+)
+
+// Node identifies a CMOS technology generation by feature size.
+type Node = tech.Node
+
+// The four generations of the paper's Table 1, plus the 50nm projection.
+const (
+	N180 = tech.N180
+	N130 = tech.N130
+	N100 = tech.N100
+	N70  = tech.N70
+	N50  = tech.N50
+)
+
+// Nodes returns the paper's studied generations, oldest first.
+func Nodes() []Node { return append([]Node(nil), tech.Nodes...) }
+
+// ProjectedNodes returns Nodes extended with the 50nm projection.
+func ProjectedNodes() []Node { return tech.ProjectedNodes() }
+
+// TechParams returns the circuit parameters of a node (Table 1 plus the
+// scaling laws).
+func TechParams(n Node) tech.Params { return tech.ParamsFor(n) }
+
+// IsolationTransient is the normalized bitline power curve after isolation
+// (the paper's Fig. 2 model).
+type IsolationTransient = circuit.IsolationTransient
+
+// TransientFor returns the isolation transient of a node at the reference
+// junction temperature (85°C).
+func TransientFor(n Node) IsolationTransient { return circuit.TransientFor(n) }
+
+// TransientForTemp returns the transient at a junction temperature in °C;
+// hotter silicon leaks more, making isolation strictly more attractive.
+func TransientForTemp(n Node, celsius float64) IsolationTransient {
+	return circuit.TransientForTemp(n, celsius)
+}
+
+// PolicyKind enumerates the precharge policies.
+type PolicyKind = core.Kind
+
+// Policy kinds.
+const (
+	Static    = core.KindStatic
+	Oracle    = core.KindOracle
+	OnDemand  = core.KindOnDemand
+	Gated     = core.KindGated
+	Resizable = core.KindResizable
+)
+
+// PolicySpec selects and parameterizes a precharge policy for one cache.
+type PolicySpec = experiments.PolicySpec
+
+// StaticPolicy returns the conventional blind-precharging baseline.
+func StaticPolicy() PolicySpec { return experiments.Static() }
+
+// OraclePolicy returns the ideal zero-delay policy (Sec. 4 of the paper).
+func OraclePolicy() PolicySpec { return experiments.OraclePolicy() }
+
+// OnDemandPolicy returns partial-address-decode precharging (Sec. 5).
+func OnDemandPolicy() PolicySpec { return experiments.OnDemandPolicy() }
+
+// GatedPolicy returns gated precharging (Sec. 6) at a decay threshold;
+// predecode enables base-register subarray hints (data caches).
+func GatedPolicy(threshold uint64, predecode bool) PolicySpec {
+	return experiments.GatedPolicy(threshold, predecode)
+}
+
+// ResizablePolicy returns the interval-based resizable-cache comparison
+// policy (Fig. 9).
+func ResizablePolicy(tolerance float64, maxSteps int) PolicySpec {
+	return experiments.ResizablePolicy(tolerance, maxSteps)
+}
+
+// ResizableWaysPolicy is ResizablePolicy with a ladder that powers down
+// associative ways before sets, matching the paper's description of the
+// prior art ("vary both the number of cache sets and set associative ways").
+func ResizableWaysPolicy(tolerance float64, maxSteps int) PolicySpec {
+	p := experiments.ResizablePolicy(tolerance, maxSteps)
+	p.SelectiveWays = true
+	return p
+}
+
+// AdaptiveGatedPolicy returns gated precharging with online threshold
+// selection — this reproduction's implementation of the paper's deferred
+// future work. initialThreshold of 0 uses the default (100).
+func AdaptiveGatedPolicy(initialThreshold uint64, predecode bool) PolicySpec {
+	return experiments.AdaptiveGatedPolicy(initialThreshold, predecode)
+}
+
+// ReplayMode selects the load-hit misspeculation recovery scheme.
+type ReplayMode = cpu.ReplayMode
+
+// Replay modes (Sec. 6.3 of the paper).
+const (
+	DependentOnly = cpu.DependentOnly
+	SquashAll     = cpu.SquashAll
+)
+
+// RunConfig describes one architectural simulation.
+type RunConfig = experiments.RunConfig
+
+// Outcome is the priced result of one run.
+type Outcome = experiments.Outcome
+
+// CacheOutcome is the per-cache portion of an outcome.
+type CacheOutcome = experiments.CacheOutcome
+
+// Discharge is a bitline-discharge account at one node.
+type Discharge = energy.Discharge
+
+// CacheEnergy is a full cache-energy account at one node.
+type CacheEnergy = energy.CacheEnergy
+
+// Run executes one configuration.
+func Run(cfg RunConfig) (Outcome, error) { return experiments.Run(cfg) }
+
+// Options parameterizes a full evaluation.
+type Options = experiments.Options
+
+// DefaultOptions returns the full-evaluation options (a few minutes on one
+// core); QuickOptions a reduced smoke configuration.
+func DefaultOptions() Options { return experiments.DefaultOptions() }
+
+// QuickOptions returns reduced options for quick runs and tests.
+func QuickOptions() Options { return experiments.QuickOptions() }
+
+// Lab memoizes baselines and threshold sweeps across experiments.
+type Lab = experiments.Lab
+
+// NewLab builds a lab over validated options.
+func NewLab(opts Options) (*Lab, error) { return experiments.NewLab(opts) }
+
+// CacheSide selects the data or instruction cache in experiment queries.
+type CacheSide = experiments.CacheSide
+
+// Cache sides.
+const (
+	DataCache        = experiments.DataCache
+	InstructionCache = experiments.InstructionCache
+)
+
+// Figure2 evaluates the isolation transients (no simulation needed).
+func Figure2() experiments.Fig2Result { return experiments.Figure2() }
+
+// Table3 evaluates the decoder/pull-up timing model against the paper.
+func Table3() (experiments.Table3Result, error) { return experiments.Table3() }
+
+// Overhead evaluates the gated-precharging hardware cost bound (Sec. 6.2).
+func Overhead() experiments.OverheadResult { return experiments.Overhead() }
+
+// DrowsyLeakageFactor is the residual cell-core leakage of a drowsy
+// subarray (Kim et al. comparison).
+const DrowsyLeakageFactor = core.DrowsyLeakageFactor
+
+// Benchmarks returns the sixteen benchmark names in the paper's order.
+func Benchmarks() []string { return workload.Names() }
+
+// WorkloadSpec parameterizes a synthetic workload; set RunConfig.Workload to
+// simulate a custom one.
+type WorkloadSpec = workload.Spec
+
+// AccessPattern selects a workload's cold-region traversal.
+type AccessPattern = workload.Pattern
+
+// Access patterns.
+const (
+	Strided        = workload.Strided
+	PointerChase   = workload.PointerChase
+	RandomInRegion = workload.RandomInRegion
+)
+
+// BenchmarkSpec returns the synthetic workload spec of one benchmark; copy
+// and modify it as a starting point for custom workloads.
+func BenchmarkSpec(name string) (WorkloadSpec, bool) { return workload.ByName(name) }

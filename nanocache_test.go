@@ -1,0 +1,151 @@
+package nanocache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeNodes(t *testing.T) {
+	ns := Nodes()
+	if len(ns) != 4 || ns[0] != N180 || ns[3] != N70 {
+		t.Fatalf("nodes = %v", ns)
+	}
+	if TechParams(N70).ClockGHz != 5.0 {
+		t.Error("70nm clock should be 5 GHz")
+	}
+	it := TransientFor(N180)
+	if it.Power(0) < 1.8 {
+		t.Error("180nm transient peak too low")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	if StaticPolicy().Kind != Static || OraclePolicy().Kind != Oracle ||
+		OnDemandPolicy().Kind != OnDemand {
+		t.Error("policy constructors wrong")
+	}
+	g := GatedPolicy(128, true)
+	if g.Kind != Gated || g.Threshold != 128 || !g.Predecode {
+		t.Error("gated constructor wrong")
+	}
+	r := ResizablePolicy(0.01, 3)
+	if r.Kind != Resizable || r.ResizeTolerance != 0.01 || r.ResizeMaxSteps != 3 {
+		t.Error("resizable constructor wrong")
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	out, err := Run(RunConfig{
+		Benchmark:    "health",
+		Instructions: 20_000,
+		DPolicy:      GatedPolicy(100, true),
+		IPolicy:      GatedPolicy(100, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPU.Committed < 20_000 {
+		t.Errorf("committed %d", out.CPU.Committed)
+	}
+	d := out.D.Discharge[N70]
+	if d.Reduction() < 0.3 {
+		t.Errorf("gated discharge reduction = %.3f, implausibly low", d.Reduction())
+	}
+	if out.D.Discharge[N180].Relative() <= out.D.Discharge[N70].Relative() {
+		t.Error("70nm must benefit more than 180nm")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	f2 := Figure2()
+	if f2.PeakPower[N180] < 1.8 {
+		t.Error("figure 2 wrong")
+	}
+	t3, err := Table3()
+	if err != nil || len(t3.Rows) != 8 {
+		t.Error("table 3 wrong")
+	}
+	ov := Overhead()
+	if ov.PerNode[N70] <= 0 {
+		t.Error("overhead wrong")
+	}
+	if len(Benchmarks()) != 16 {
+		t.Error("benchmark list wrong")
+	}
+	if _, ok := BenchmarkSpec("mcf"); !ok {
+		t.Error("spec lookup failed")
+	}
+	var sb strings.Builder
+	if err := f2.Render(&sb); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeLab(t *testing.T) {
+	opts := QuickOptions()
+	opts.Benchmarks = []string{"treeadd"}
+	lab, err := NewLab(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Baseline("treeadd"); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultOptions().Instructions <= QuickOptions().Instructions {
+		t.Error("default options should be larger than quick")
+	}
+}
+
+func TestFacadeExtensionsSurface(t *testing.T) {
+	if len(ProjectedNodes()) != 5 || ProjectedNodes()[4] != N50 {
+		t.Error("projected nodes wrong")
+	}
+	hot := TransientForTemp(N70, 110)
+	ref := TransientFor(N70)
+	if hot.TauLeak >= ref.TauLeak {
+		t.Error("temperature scaling missing")
+	}
+	a := AdaptiveGatedPolicy(64, true)
+	if a.Threshold != 64 || !a.Predecode {
+		t.Error("adaptive constructor wrong")
+	}
+	rw := ResizableWaysPolicy(0.01, 3)
+	if !rw.SelectiveWays {
+		t.Error("ways policy constructor wrong")
+	}
+	if DrowsyLeakageFactor <= 0 || DrowsyLeakageFactor >= 1 {
+		t.Error("drowsy factor out of range")
+	}
+}
+
+func TestFacadeSMTAndDrowsyRun(t *testing.T) {
+	out, err := Run(RunConfig{
+		Benchmark:       "bisort",
+		SecondBenchmark: "tsp",
+		Instructions:    15_000,
+		DPolicy:         GatedPolicy(100, true),
+		IPolicy:         StaticPolicy(),
+		DrowsyD:         100,
+		WayPredictD:     true,
+		L2Policy:        OnDemandPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPU.Committed < 15_000 {
+		t.Errorf("committed %d", out.CPU.Committed)
+	}
+	if out.L2 == nil || out.L2.Accesses == 0 {
+		t.Error("L2 policy outcome missing")
+	}
+	if out.D.DrowsyAwakeFraction >= 1 {
+		t.Error("drowsy accounting missing")
+	}
+	if out.D.WayPredLookups == 0 {
+		t.Error("way prediction missing")
+	}
+	// The projected node is priced too.
+	if out.D.Discharge[N50].Relative() <= 0 {
+		t.Error("50nm pricing missing")
+	}
+}
