@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figures figures-quick cover fuzz clean
+.PHONY: all build test race bench bench-save figures figures-quick cover fuzz clean
 
 all: build test
 
@@ -8,12 +8,24 @@ build:
 	go build ./...
 	go vet ./...
 
+# Tier-1 verification: vet + the full test suite.
 test:
+	go vet ./...
 	go test ./...
+
+# The parallel experiment engine under the race detector.
+race:
+	go test -race ./...
 
 # Reduced versions of every paper experiment as Go benchmarks.
 bench:
 	go test -bench=. -benchmem ./...
+
+# One pass over every benchmark (including BenchmarkLabParallel's serial vs
+# parallel speedup metric), saved as machine-readable test2json lines so the
+# perf trajectory can be diffed across PRs.
+bench-save:
+	go test -json -run '^$$' -bench=. -benchtime=1x ./... > BENCH_parallel.json
 
 # Full regeneration of every table and figure (several minutes, one core).
 figures:

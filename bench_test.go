@@ -11,7 +11,9 @@ package nanocache
 // -bench=.` doubles as a results table.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"nanocache/internal/circuit"
 	"nanocache/internal/experiments"
@@ -155,6 +157,41 @@ func BenchmarkPredecode(b *testing.B) {
 		acc = r.Avg1KB
 	}
 	b.ReportMetric(acc*100, "acc1KB_%")
+}
+
+// BenchmarkLabParallel contrasts the serial lab (Parallelism=1) against the
+// worker-pool lab (one worker per CPU) on the Figure 8 data-cache pipeline —
+// the heaviest memoized sweep of the evaluation. ns/op is the parallel
+// cost; the custom "speedup" metric (serial time ÷ parallel time) makes the
+// perf trajectory machine-readable. On a single-core machine the speedup is
+// ~1 by construction; on N cores the sweep fan-out approaches N×.
+func BenchmarkLabParallel(b *testing.B) {
+	regen := func(parallelism int) time.Duration {
+		opts := experiments.QuickOptions()
+		opts.Instructions = 30_000
+		opts.Benchmarks = []string{"art", "health", "gcc", "wupwise"}
+		opts.Parallelism = parallelism
+		lab, err := experiments.NewLab(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := lab.Figure8(experiments.DataCache); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // charge ns/op with the parallel engine only
+		serial += regen(1)
+		b.StartTimer()
+		parallel += regen(runtime.GOMAXPROCS(0))
+	}
+	if parallel > 0 {
+		b.ReportMetric(float64(serial)/float64(parallel), "speedup")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 }
 
 // BenchmarkSimulatorThroughput measures raw architectural simulation speed

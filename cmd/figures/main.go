@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	figures [-instructions N] [-benchmarks a,b,c] [-fig LIST] [-quick] [-v]
+//	figures [-instructions N] [-benchmarks a,b,c] [-fig LIST] [-quick] [-parallel N] [-v]
 //
-// By default all experiments run at full options (~minutes on one core);
-// -quick shrinks the runs for a fast smoke pass. -fig selects a subset, e.g.
-// -fig 2,3,8.
+// By default all experiments run at full options with runs fanned across
+// every CPU (-parallel 1 recovers the serial engine; results are identical
+// at any width). -quick shrinks the runs for a fast smoke pass. -fig
+// selects a subset, e.g. -fig 2,3,8.
 package main
 
 import (
@@ -37,6 +38,7 @@ func run() error {
 		benchmarks   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
 		figs         = flag.String("fig", "2,3,t3,5,6,od,8,9,10,pre,ov,proc,alpha,ext,proj,smt,mach,seeds,sum", "experiments to run")
 		quick        = flag.Bool("quick", false, "reduced runs for a smoke pass")
+		parallel     = flag.Int("parallel", 0, "concurrent architectural runs (0 = one per CPU, 1 = serial)")
 		verbose      = flag.Bool("v", false, "log per-run progress to stderr")
 		seed         = flag.Int64("seed", 1, "workload seed")
 		jsonPath     = flag.String("json", "", "also write all results as JSON to this file")
@@ -69,6 +71,7 @@ func run() error {
 		opts.Instructions = *instructions
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *parallel
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}

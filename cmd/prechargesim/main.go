@@ -7,9 +7,14 @@
 //
 //	prechargesim -benchmark mcf -dpolicy gated -threshold 100 [-predecode]
 //	prechargesim -benchmark gcc -dpolicy resizable -ipolicy static
+//
+// With -baseline (the default) the policy run and the conventional
+// reference run execute concurrently on the worker pool (-parallel 1 forces
+// them serial; the report is identical either way).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -66,6 +71,7 @@ func run() error {
 		predecode    = flag.Bool("predecode", true, "enable predecoding hints (gated d-cache)")
 		tolerance    = flag.Float64("tolerance", 0.005, "resizable miss-ratio tolerance")
 		baseline     = flag.Bool("baseline", true, "also run the conventional baseline for comparison")
+		parallel     = flag.Int("parallel", 0, "concurrent runs (0 = one per CPU, 1 = serial)")
 		wayPredict   = flag.Bool("waypredict", false, "enable MRU way prediction on both caches")
 		drowsy       = flag.Uint64("drowsy", 0, "enable drowsy mode with this decay threshold (0 = off)")
 		pipetrace    = flag.Uint64("pipetrace", 0, "print the first N pipeline events to stderr")
@@ -118,19 +124,23 @@ func run() error {
 	if *pipetrace > 0 {
 		cfg.Tracer = cpu.WriteTracer(os.Stderr, *pipetrace)
 	}
-	out, err := experiments.Run(cfg)
-	if err != nil {
-		return err
-	}
-
-	var base experiments.Outcome
+	// The policy run and the conventional baseline are independent, so fan
+	// them across the worker pool; outcomes come back in input order.
+	cfgs := []experiments.RunConfig{cfg}
 	if *baseline {
 		bcfg := cfg
 		bcfg.DPolicy, bcfg.IPolicy = experiments.Static(), experiments.Static()
-		base, err = experiments.Run(bcfg)
-		if err != nil {
-			return err
-		}
+		bcfg.Tracer = nil // the pipeline trace belongs to the policy run only
+		cfgs = append(cfgs, bcfg)
+	}
+	outs, err := experiments.RunAll(context.Background(), *parallel, cfgs)
+	if err != nil {
+		return err
+	}
+	out := outs[0]
+	var base experiments.Outcome
+	if *baseline {
+		base = outs[1]
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

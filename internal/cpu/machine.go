@@ -181,6 +181,12 @@ type Machine struct {
 	mshrs     []mshrEntry
 	memQueued int // in-flight memory ops (LSQ occupancy)
 
+	// Scratch buffers reused across cycles so the simulation loop does not
+	// allocate per event (profiled hot spots: replay squash tracking and
+	// MSHR completion-time sorting).
+	squashScratch map[uint64]bool
+	mshrTimes     []uint64
+
 	// Fetch state.
 	pending      isa.MicroOp
 	havePending  bool
@@ -211,6 +217,9 @@ func NewMachine(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) (*Machine, er
 		s:     stream,
 		rob:   make([]robEntry, cfg.ROBSize),
 		mshrs: make([]mshrEntry, 0, cfg.MSHRs),
+
+		squashScratch: make(map[uint64]bool, cfg.ROBSize),
+		mshrTimes:     make([]uint64, 0, cfg.MSHRs+1),
 	}
 	for i := range m.regProd {
 		m.regProd[i] = invalidSrc
@@ -285,11 +294,12 @@ func (m *Machine) dCacheAccess(op *isa.MicroOp, accTime uint64) (lat int, stall 
 		// enough earlier fills retire to free a slot — the k-th smallest
 		// completion among the outstanding ones, k = outstanding − cap.
 		k := len(m.mshrs) - m.cfg.MSHRs
-		times := make([]uint64, len(m.mshrs))
-		for i, e := range m.mshrs {
-			times[i] = e.readyAt
+		times := m.mshrTimes[:0]
+		for _, e := range m.mshrs {
+			times = append(times, e.readyAt)
 		}
 		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		m.mshrTimes = times
 		if t := times[k]; t > start {
 			start = t
 		}

@@ -107,7 +107,11 @@ func (m *Machine) squashShadow(loadSeq uint64, now uint64) {
 		return
 	}
 	// DependentOnly: transitively squash issued consumers of the load.
-	squashed := map[uint64]bool{loadSeq: true}
+	// The tracking set is a scratch map reused across replay events so the
+	// hot replay path does not allocate per squash.
+	squashed := m.squashScratch
+	clear(squashed)
+	squashed[loadSeq] = true
 	for s := loadSeq + 1; s < m.tailSeq; s++ {
 		e := m.entry(s)
 		depends := false

@@ -39,18 +39,25 @@ type Fig8Result struct {
 
 // Figure8 evaluates gated precharging on one cache side with per-benchmark
 // optimum thresholds under the performance budget, plus the
-// constant-threshold reference.
+// constant-threshold reference. Benchmarks fan across the worker pool; the
+// merge walks them in input order.
 func (l *Lab) Figure8(side CacheSide) (Fig8Result, error) {
 	r := Fig8Result{Side: side, ConstThreshold: l.opts.ConstantThreshold}
-	var pulled, rel, slow, save, constRel []float64
-	for _, bench := range l.opts.benchmarks() {
+	benches := l.opts.benchmarks()
+	type cell struct {
+		bench    Fig8Bench
+		constRel []float64
+	}
+	cells := make([]cell, len(benches))
+	if err := l.forEach(len(benches), func(idx int) error {
+		bench := benches[idx]
 		pts, err := l.GatedSweep(bench, side, 0)
 		if err != nil {
-			return Fig8Result{}, err
+			return err
 		}
 		base, err := l.Baseline(bench)
 		if err != nil {
-			return Fig8Result{}, err
+			return err
 		}
 		best := BestFeasible(pts, side, tech.N70, l.opts.PerfBudget)
 		co := best.side(side)
@@ -58,24 +65,33 @@ func (l *Lab) Figure8(side CacheSide) (Fig8Result, error) {
 		if side == InstructionCache {
 			baseCo = base.I
 		}
-		b := Fig8Bench{
+		c := cell{bench: Fig8Bench{
 			Benchmark:      bench,
 			Threshold:      best.Threshold,
 			PulledFraction: co.PulledFraction,
 			RelDischarge:   co.Discharge[tech.N70].Relative(),
 			Slowdown:       best.Slowdown,
 			EnergySavings:  energy.Savings(co.Energy[tech.N70], baseCo.Energy[tech.N70]),
+		}}
+		for _, p := range pts {
+			if p.Threshold == l.opts.ConstantThreshold {
+				c.constRel = append(c.constRel, p.side(side).Discharge[tech.N70].Relative())
+			}
 		}
+		cells[idx] = c
+		return nil
+	}); err != nil {
+		return Fig8Result{}, err
+	}
+	var pulled, rel, slow, save, constRel []float64
+	for _, c := range cells {
+		b := c.bench
 		r.Bench = append(r.Bench, b)
 		pulled = append(pulled, b.PulledFraction)
 		rel = append(rel, b.RelDischarge)
 		slow = append(slow, b.Slowdown)
 		save = append(save, b.EnergySavings)
-		for _, p := range pts {
-			if p.Threshold == l.opts.ConstantThreshold {
-				constRel = append(constRel, p.side(side).Discharge[tech.N70].Relative())
-			}
-		}
+		constRel = append(constRel, c.constRel...)
 	}
 	r.AvgPulled = stats.Mean(pulled)
 	r.AvgRelDischarge = stats.Mean(rel)
@@ -126,24 +142,44 @@ func (l *Lab) Figure9() (Fig9Result, error) {
 		Gated:     map[CacheSide]map[tech.Node]float64{DataCache: {}, InstructionCache: {}},
 		Resizable: map[CacheSide]map[tech.Node]float64{DataCache: {}, InstructionCache: {}},
 	}
-	for _, side := range []CacheSide{DataCache, InstructionCache} {
+	sides := []CacheSide{DataCache, InstructionCache}
+	benches := l.opts.benchmarks()
+	type cell struct{ gated, resiz map[tech.Node]float64 }
+	cells := make([]cell, len(sides)*len(benches))
+	if err := l.forEach(len(cells), func(idx int) error {
+		side, bench := sides[idx/len(benches)], benches[idx%len(benches)]
+		c := cell{
+			gated: make(map[tech.Node]float64, len(r.Nodes)),
+			resiz: make(map[tech.Node]float64, len(r.Nodes)),
+		}
+		pts, err := l.GatedSweep(bench, side, 0)
+		if err != nil {
+			return err
+		}
+		for _, node := range r.Nodes {
+			best := BestFeasible(pts, side, node, l.opts.PerfBudget)
+			c.gated[node] = best.side(side).Discharge[node].Relative()
+		}
+		rz, err := l.bestResizable(bench, side)
+		if err != nil {
+			return err
+		}
+		for _, node := range r.Nodes {
+			c.resiz[node] = rz.side(side).Discharge[node].Relative()
+		}
+		cells[idx] = c
+		return nil
+	}); err != nil {
+		return Fig9Result{}, err
+	}
+	for si, side := range sides {
 		gatedRel := map[tech.Node][]float64{}
 		resizRel := map[tech.Node][]float64{}
-		for _, bench := range l.opts.benchmarks() {
-			pts, err := l.GatedSweep(bench, side, 0)
-			if err != nil {
-				return Fig9Result{}, err
-			}
+		for bi := range benches {
+			c := cells[si*len(benches)+bi]
 			for _, node := range r.Nodes {
-				best := BestFeasible(pts, side, node, l.opts.PerfBudget)
-				gatedRel[node] = append(gatedRel[node], best.side(side).Discharge[node].Relative())
-			}
-			rz, err := l.bestResizable(bench, side)
-			if err != nil {
-				return Fig9Result{}, err
-			}
-			for _, node := range r.Nodes {
-				resizRel[node] = append(resizRel[node], rz.side(side).Discharge[node].Relative())
+				gatedRel[node] = append(gatedRel[node], c.gated[node])
+				resizRel[node] = append(resizRel[node], c.resiz[node])
 			}
 		}
 		for _, node := range r.Nodes {
@@ -242,18 +278,28 @@ func (l *Lab) Figure10(sizes []int) (Fig10Result, error) {
 		Sizes:  sizes,
 		Pulled: map[CacheSide]map[int]float64{DataCache: {}, InstructionCache: {}},
 	}
-	for _, side := range []CacheSide{DataCache, InstructionCache} {
-		for _, size := range sizes {
-			var pulled []float64
-			for _, bench := range l.opts.benchmarks() {
-				pts, err := l.GatedSweep(bench, side, size)
-				if err != nil {
-					return Fig10Result{}, err
-				}
-				best := BestFeasible(pts, side, tech.N70, l.opts.PerfBudget)
-				pulled = append(pulled, best.side(side).PulledFraction)
-			}
-			r.Pulled[side][size] = stats.Mean(pulled)
+	sides := []CacheSide{DataCache, InstructionCache}
+	benches := l.opts.benchmarks()
+	perSide := len(sizes) * len(benches)
+	pulled := make([]float64, len(sides)*perSide)
+	if err := l.forEach(len(pulled), func(idx int) error {
+		side := sides[idx/perSide]
+		size := sizes[(idx%perSide)/len(benches)]
+		bench := benches[idx%len(benches)]
+		pts, err := l.GatedSweep(bench, side, size)
+		if err != nil {
+			return err
+		}
+		best := BestFeasible(pts, side, tech.N70, l.opts.PerfBudget)
+		pulled[idx] = best.side(side).PulledFraction
+		return nil
+	}); err != nil {
+		return Fig10Result{}, err
+	}
+	for si, side := range sides {
+		for zi, size := range sizes {
+			at := si*perSide + zi*len(benches)
+			r.Pulled[side][size] = stats.Mean(pulled[at : at+len(benches)])
 			l.note("fig10 %s %dB: avg pulled %.3f", side, size, r.Pulled[side][size])
 		}
 	}

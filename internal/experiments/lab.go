@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"nanocache/internal/core"
 	"nanocache/internal/tech"
@@ -37,6 +39,12 @@ type Options struct {
 	// ResizeTolerances is the ladder searched for the resizable cache's
 	// miss-ratio tolerance under the same performance budget.
 	ResizeTolerances []float64
+	// Parallelism bounds the number of concurrent architectural runs the
+	// lab's worker pool fans out (threshold sweeps and the per-benchmark
+	// loops of the figure generators). 0 means runtime.GOMAXPROCS(0);
+	// 1 recovers the fully serial engine. Every figure merges results in
+	// deterministic key order, so the output is identical at any setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the full-evaluation options.
@@ -70,6 +78,14 @@ func (o Options) benchmarks() []string {
 	return allBenchmarks()
 }
 
+// parallelism resolves the worker-pool width (0 = one worker per CPU).
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Validate reports whether the options are usable.
 func (o Options) Validate() error {
 	switch {
@@ -81,6 +97,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiments: constant threshold %d out of range", o.ConstantThreshold)
 	case o.PerfBudget <= 0:
 		return fmt.Errorf("experiments: performance budget must be positive")
+	case o.Parallelism < 0:
+		return fmt.Errorf("experiments: negative parallelism %d", o.Parallelism)
 	}
 	for _, t := range o.Thresholds {
 		if t < 1 || t > core.MaxThreshold {
@@ -109,17 +127,70 @@ func (s CacheSide) String() string {
 
 // Lab memoizes the expensive architectural runs (baselines and gated
 // threshold sweeps) shared by several figures.
+//
+// A Lab is safe for concurrent use: the memo tables are mutex-guarded and
+// every entry is a single-flight cell, so two figures requesting the same
+// run share one in-flight computation instead of duplicating it. The figure
+// generators fan their independent runs across an internal worker pool
+// bounded by Options.Parallelism and merge results in deterministic key
+// order (benchmark, then threshold — never completion order), so parallel
+// output is identical to serial output.
 type Lab struct {
-	opts      Options
-	baselines map[string]Outcome
-	sweeps    map[sweepKey][]SweepPoint
-	progress  func(string)
+	opts Options
+	// thresholds is the ascending ladder, sorted once at construction so
+	// the sweeps do not re-sort per call.
+	thresholds []uint64
+
+	// mu guards the memo tables (not the computations themselves).
+	mu        sync.Mutex
+	baselines map[baselineKey]*inflight[Outcome]
+	sweeps    map[sweepKey]*inflight[[]SweepPoint]
+
+	// progressMu serializes progress emission; see SetProgress.
+	progressMu sync.Mutex
+	progress   func(string)
+}
+
+type baselineKey struct {
+	bench    string
+	subarray int
 }
 
 type sweepKey struct {
 	bench    string
 	side     CacheSide
 	subarray int
+}
+
+// inflight is a single-flight memo cell: the first requester computes the
+// value, concurrent requesters block on done and share the result.
+type inflight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// single returns the memoized value for key, computing it at most once even
+// under concurrent callers. Failures are forgotten so a later request can
+// retry; successes stay memoized for the lab's lifetime.
+func single[K comparable, T any](l *Lab, m map[K]*inflight[T], key K, compute func() (T, error)) (T, error) {
+	l.mu.Lock()
+	if c, ok := m[key]; ok {
+		l.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &inflight[T]{done: make(chan struct{})}
+	m[key] = c
+	l.mu.Unlock()
+	c.val, c.err = compute()
+	if c.err != nil {
+		l.mu.Lock()
+		delete(m, key)
+		l.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, c.err
 }
 
 // SweepPoint is one gated run in a threshold sweep.
@@ -135,9 +206,10 @@ func NewLab(opts Options) (*Lab, error) {
 		return nil, err
 	}
 	return &Lab{
-		opts:      opts,
-		baselines: make(map[string]Outcome),
-		sweeps:    make(map[sweepKey][]SweepPoint),
+		opts:       opts,
+		thresholds: sortedThresholds(opts.Thresholds),
+		baselines:  make(map[baselineKey]*inflight[Outcome]),
+		sweeps:     make(map[sweepKey]*inflight[[]SweepPoint]),
 	}, nil
 }
 
@@ -145,9 +217,23 @@ func NewLab(opts Options) (*Lab, error) {
 func (l *Lab) Options() Options { return l.opts }
 
 // SetProgress installs a progress callback (one line per completed run).
-func (l *Lab) SetProgress(fn func(string)) { l.progress = fn }
+//
+// Concurrency contract: under Parallelism > 1 the lab invokes the callback
+// from worker goroutines, but never concurrently — every call is serialized
+// behind an internal mutex, so the callback itself needs no locking. Lines
+// arrive in completion order, which is not deterministic across parallel
+// runs. The callback must return promptly (it holds the emitter lock) and
+// must not call back into the Lab.
+func (l *Lab) SetProgress(fn func(string)) {
+	l.progressMu.Lock()
+	defer l.progressMu.Unlock()
+	l.progress = fn
+}
 
+// note routes one progress line through the mutex-protected emitter.
 func (l *Lab) note(format string, args ...any) {
+	l.progressMu.Lock()
+	defer l.progressMu.Unlock()
 	if l.progress != nil {
 		l.progress(fmt.Sprintf(format, args...))
 	}
@@ -168,65 +254,67 @@ func (l *Lab) runConfig(bench string, d, i PolicySpec) RunConfig {
 
 // Baseline returns (memoized) the conventional static-pull-up run.
 func (l *Lab) Baseline(bench string) (Outcome, error) {
-	if o, ok := l.baselines[bench]; ok {
-		return o, nil
-	}
-	o, err := Run(l.runConfig(bench, Static(), Static()))
-	if err != nil {
-		return Outcome{}, err
-	}
-	l.note("baseline %s: IPC %.2f dMiss %.3f", bench, o.CPU.IPC, o.D.MissRatio)
-	l.baselines[bench] = o
-	return o, nil
+	return l.baselineAt(bench, l.opts.SubarrayBytes)
 }
 
 // GatedSweep returns (memoized) the gated threshold sweep for one cache
 // side of one benchmark at the given subarray size (0 = the base size).
 // The swept cache is gated (with predecoding on the data side, per the
-// paper); the other cache stays conventional.
+// paper); the other cache stays conventional. The threshold ladder fans
+// across the worker pool; points always come back in ascending-threshold
+// order regardless of completion order.
 func (l *Lab) GatedSweep(bench string, side CacheSide, subarrayBytes int) ([]SweepPoint, error) {
 	if subarrayBytes == 0 {
 		subarrayBytes = l.opts.SubarrayBytes
 	}
 	key := sweepKey{bench, side, subarrayBytes}
-	if pts, ok := l.sweeps[key]; ok {
-		return pts, nil
-	}
-	base, err := l.baselineAt(bench, subarrayBytes)
-	if err != nil {
-		return nil, err
-	}
-	pts := make([]SweepPoint, 0, len(l.opts.Thresholds))
-	for _, thr := range sortedThresholds(l.opts.Thresholds) {
-		d, i := Static(), Static()
-		if side == DataCache {
-			d = GatedPolicy(thr, true)
-		} else {
-			i = GatedPolicy(thr, false)
-		}
-		cfg := l.runConfig(bench, d, i)
-		cfg.SubarrayBytes = subarrayBytes
-		o, err := Run(cfg)
+	return single(l, l.sweeps, key, func() ([]SweepPoint, error) {
+		base, err := l.baselineAt(bench, subarrayBytes)
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, SweepPoint{Threshold: thr, Outcome: o, Slowdown: o.Slowdown(base)})
-		l.note("sweep %s %s sub=%dB thr=%d: slowdown %.4f", bench, side, subarrayBytes,
-			thr, o.Slowdown(base))
-	}
-	l.sweeps[key] = pts
-	return pts, nil
+		pts := make([]SweepPoint, len(l.thresholds))
+		err = l.forEach(len(l.thresholds), func(j int) error {
+			thr := l.thresholds[j]
+			d, i := Static(), Static()
+			if side == DataCache {
+				d = GatedPolicy(thr, true)
+			} else {
+				i = GatedPolicy(thr, false)
+			}
+			cfg := l.runConfig(bench, d, i)
+			cfg.SubarrayBytes = subarrayBytes
+			o, err := Run(cfg)
+			if err != nil {
+				return err
+			}
+			pts[j] = SweepPoint{Threshold: thr, Outcome: o, Slowdown: o.Slowdown(base)}
+			l.note("sweep %s %s sub=%dB thr=%d: slowdown %.4f", bench, side, subarrayBytes,
+				thr, o.Slowdown(base))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return pts, nil
+	})
 }
 
-// baselineAt returns a baseline run at an arbitrary subarray size,
-// memoizing the base-size case.
+// baselineAt returns (memoized) a baseline run at an arbitrary subarray
+// size. Memoizing the non-base sizes too lets the Figure 10 size sweep share
+// one baseline between the two cache sides.
 func (l *Lab) baselineAt(bench string, subarrayBytes int) (Outcome, error) {
-	if subarrayBytes == l.opts.SubarrayBytes {
-		return l.Baseline(bench)
-	}
-	cfg := l.runConfig(bench, Static(), Static())
-	cfg.SubarrayBytes = subarrayBytes
-	return Run(cfg)
+	return single(l, l.baselines, baselineKey{bench, subarrayBytes}, func() (Outcome, error) {
+		cfg := l.runConfig(bench, Static(), Static())
+		cfg.SubarrayBytes = subarrayBytes
+		o, err := Run(cfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		l.note("baseline %s sub=%dB: IPC %.2f dMiss %.3f", bench, subarrayBytes,
+			o.CPU.IPC, o.D.MissRatio)
+		return o, nil
+	})
 }
 
 // side returns the swept cache's outcome from a sweep point.

@@ -23,13 +23,21 @@ type LocalityResult struct {
 	Benchmarks  []string
 }
 
-// Locality extracts Figs. 5 and 6 from the lab's baseline runs.
+// Locality extracts Figs. 5 and 6 from the lab's baseline runs. The
+// baselines are prefetched across the worker pool; the merge below then
+// walks the memoized results in benchmark order.
 func (l *Lab) Locality(side CacheSide) (LocalityResult, error) {
 	r := LocalityResult{
 		Side:        side,
 		AccessCDF:   make(map[string][]float64),
 		HotFraction: make(map[string][]float64),
 		Benchmarks:  l.opts.benchmarks(),
+	}
+	if err := l.forEach(len(r.Benchmarks), func(i int) error {
+		_, err := l.Baseline(r.Benchmarks[i])
+		return err
+	}); err != nil {
+		return LocalityResult{}, err
 	}
 	for _, bench := range r.Benchmarks {
 		base, err := l.Baseline(bench)

@@ -50,27 +50,41 @@ func machineVariants() []struct {
 }
 
 // MachineSensitivity measures the on-demand slowdown across machine design
-// points on the lab's benchmark subset.
+// points on the lab's benchmark subset. The (variant × benchmark) grid fans
+// across the worker pool; the merge walks variants, then benchmarks, in
+// input order.
 func (l *Lab) MachineSensitivity() (MachineSensitivityResult, error) {
 	var r MachineSensitivityResult
-	for _, v := range machineVariants() {
-		v := v
+	variants := machineVariants()
+	benches := l.opts.benchmarks()
+	type cell struct{ slow, ipc float64 }
+	cells := make([]cell, len(variants)*len(benches))
+	if err := l.forEach(len(cells), func(idx int) error {
+		v := variants[idx/len(benches)]
+		bench := benches[idx%len(benches)]
+		baseCfg := l.runConfig(bench, Static(), Static())
+		baseCfg.CPU = &v.cfg
+		base, err := Run(baseCfg)
+		if err != nil {
+			return err
+		}
+		odCfg := l.runConfig(bench, OnDemandPolicy(), Static())
+		odCfg.CPU = &v.cfg
+		od, err := Run(odCfg)
+		if err != nil {
+			return err
+		}
+		cells[idx] = cell{slow: od.Slowdown(base), ipc: base.CPU.IPC}
+		return nil
+	}); err != nil {
+		return MachineSensitivityResult{}, err
+	}
+	for vi, v := range variants {
 		var slows, ipcs []float64
-		for _, bench := range l.opts.benchmarks() {
-			baseCfg := l.runConfig(bench, Static(), Static())
-			baseCfg.CPU = &v.cfg
-			base, err := Run(baseCfg)
-			if err != nil {
-				return MachineSensitivityResult{}, err
-			}
-			odCfg := l.runConfig(bench, OnDemandPolicy(), Static())
-			odCfg.CPU = &v.cfg
-			od, err := Run(odCfg)
-			if err != nil {
-				return MachineSensitivityResult{}, err
-			}
-			slows = append(slows, od.Slowdown(base))
-			ipcs = append(ipcs, base.CPU.IPC)
+		for bi := range benches {
+			c := cells[vi*len(benches)+bi]
+			slows = append(slows, c.slow)
+			ipcs = append(ipcs, c.ipc)
 		}
 		r.Configs = append(r.Configs, v.name)
 		r.OnDemandD = append(r.OnDemandD, stats.Mean(slows))

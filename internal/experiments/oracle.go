@@ -28,35 +28,51 @@ type Fig3Result struct {
 
 // Figure3 runs the oracle policy on both caches for every benchmark. The
 // oracle never delays an access, so one run per benchmark covers both
-// caches and matches the baseline timing exactly.
+// caches and matches the baseline timing exactly. Benchmarks fan across
+// the worker pool; the merge walks them in input order.
 func (l *Lab) Figure3() (Fig3Result, error) {
+	benches := l.opts.benchmarks()
 	r := Fig3Result{
-		Benchmarks: l.opts.benchmarks(),
+		Benchmarks: benches,
 		DRelative:  make(map[string]float64),
 		IRelative:  make(map[string]float64),
 	}
-	var dRel, iRel, dShare, iShare []float64
-	for _, bench := range r.Benchmarks {
+	type cell struct{ d, i, dShare, iShare float64 }
+	cells := make([]cell, len(benches))
+	if err := l.forEach(len(benches), func(idx int) error {
+		bench := benches[idx]
 		o, err := Run(l.runConfig(bench, OraclePolicy(), OraclePolicy()))
 		if err != nil {
-			return Fig3Result{}, err
+			return err
 		}
 		l.note("fig3 %s: oracle D %.3f I %.3f", bench,
 			o.D.Discharge[tech.N70].Relative(), o.I.Discharge[tech.N70].Relative())
 		base, err := l.Baseline(bench)
 		if err != nil {
-			return Fig3Result{}, err
+			return err
 		}
 		d := o.D.Discharge[tech.N70].Relative()
 		i := o.I.Discharge[tech.N70].Relative()
-		r.DRelative[bench] = d
-		r.IRelative[bench] = i
-		dRel = append(dRel, d)
-		iRel = append(iRel, i)
 		// The saved discharge as a share of the conventional cache's total
 		// energy: reduction x discharge share.
-		dShare = append(dShare, (1-d)*energy.DischargeShare(base.D.Energy[tech.N70]))
-		iShare = append(iShare, (1-i)*energy.DischargeShare(base.I.Energy[tech.N70]))
+		cells[idx] = cell{
+			d: d, i: i,
+			dShare: (1 - d) * energy.DischargeShare(base.D.Energy[tech.N70]),
+			iShare: (1 - i) * energy.DischargeShare(base.I.Energy[tech.N70]),
+		}
+		return nil
+	}); err != nil {
+		return Fig3Result{}, err
+	}
+	var dRel, iRel, dShare, iShare []float64
+	for idx, bench := range benches {
+		c := cells[idx]
+		r.DRelative[bench] = c.d
+		r.IRelative[bench] = c.i
+		dRel = append(dRel, c.d)
+		iRel = append(iRel, c.i)
+		dShare = append(dShare, c.dShare)
+		iShare = append(iShare, c.iShare)
 	}
 	r.DAvg = stats.Mean(dRel)
 	r.IAvg = stats.Mean(iRel)
@@ -91,32 +107,43 @@ type OnDemandResult struct {
 	DAvg, IAvg float64
 }
 
-// OnDemand measures the on-demand precharging slowdowns.
+// OnDemand measures the on-demand precharging slowdowns. Benchmarks fan
+// across the worker pool; the merge walks them in input order.
 func (l *Lab) OnDemand() (OnDemandResult, error) {
+	benches := l.opts.benchmarks()
 	r := OnDemandResult{
-		Benchmarks: l.opts.benchmarks(),
+		Benchmarks: benches,
 		DSlowdown:  make(map[string]float64),
 		ISlowdown:  make(map[string]float64),
 	}
-	var ds, is []float64
-	for _, bench := range r.Benchmarks {
+	type cell struct{ d, i float64 }
+	cells := make([]cell, len(benches))
+	if err := l.forEach(len(benches), func(idx int) error {
+		bench := benches[idx]
 		base, err := l.Baseline(bench)
 		if err != nil {
-			return OnDemandResult{}, err
+			return err
 		}
 		dRun, err := Run(l.runConfig(bench, OnDemandPolicy(), Static()))
 		if err != nil {
-			return OnDemandResult{}, err
+			return err
 		}
 		iRun, err := Run(l.runConfig(bench, Static(), OnDemandPolicy()))
 		if err != nil {
-			return OnDemandResult{}, err
+			return err
 		}
-		r.DSlowdown[bench] = dRun.Slowdown(base)
-		r.ISlowdown[bench] = iRun.Slowdown(base)
-		l.note("on-demand %s: D %.3f I %.3f", bench, r.DSlowdown[bench], r.ISlowdown[bench])
-		ds = append(ds, r.DSlowdown[bench])
-		is = append(is, r.ISlowdown[bench])
+		cells[idx] = cell{d: dRun.Slowdown(base), i: iRun.Slowdown(base)}
+		l.note("on-demand %s: D %.3f I %.3f", bench, cells[idx].d, cells[idx].i)
+		return nil
+	}); err != nil {
+		return OnDemandResult{}, err
+	}
+	var ds, is []float64
+	for idx, bench := range benches {
+		r.DSlowdown[bench] = cells[idx].d
+		r.ISlowdown[bench] = cells[idx].i
+		ds = append(ds, cells[idx].d)
+		is = append(is, cells[idx].i)
 	}
 	r.DAvg = stats.Mean(ds)
 	r.IAvg = stats.Mean(is)

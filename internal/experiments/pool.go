@@ -1,0 +1,107 @@
+package experiments
+
+// The lab's worker pool: a bounded fan-out scheduler for independent
+// architectural runs with first-error cancellation. Every figure generator
+// that loops over (benchmark × threshold × side × size) jobs routes the loop
+// body through forEachCtx, stores each job's result at its input index, and
+// merges in input order afterwards — completion order never leaks into a
+// result, so parallel figures are identical to serial ones.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCtx runs fn(ctx, i) for every i in [0, n) on up to workers
+// goroutines (workers <= 1 runs inline on the caller's goroutine). The
+// first error cancels the shared context: jobs that have not started yet
+// are skipped, while in-flight jobs run to completion — an architectural
+// simulation is not interruptible mid-run, so "prompt" cancellation means
+// no new work is scheduled. The returned error is the failure with the
+// lowest job index, so error reporting does not depend on goroutine
+// scheduling either.
+func forEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		errs = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// forEach fans fn(i) for i in [0, n) across the lab's worker pool
+// (Options.Parallelism wide) and blocks until every scheduled job finished.
+// Nested fan-outs (a figure fanning benchmarks whose sweeps fan thresholds)
+// are each bounded independently; the runtime's GOMAXPROCS cap keeps actual
+// parallelism at the hardware width.
+func (l *Lab) forEach(n int, fn func(i int) error) error {
+	return forEachCtx(context.Background(), l.opts.parallelism(), n,
+		func(_ context.Context, i int) error { return fn(i) })
+}
+
+// RunAll executes the configurations concurrently on up to parallelism
+// workers (<= 0 means one per CPU) and returns the outcomes in input order —
+// never completion order. The first failing run cancels the remaining
+// queue; runs already in flight complete and their results are discarded.
+func RunAll(ctx context.Context, parallelism int, cfgs []RunConfig) ([]Outcome, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	outs := make([]Outcome, len(cfgs))
+	err := forEachCtx(ctx, parallelism, len(cfgs), func(_ context.Context, i int) error {
+		o, err := Run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		outs[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}

@@ -49,9 +49,13 @@ func (l *Lab) Predecode() (PredecodeResult, error) {
 	}
 	span1KB := subarraySpan(1024)
 	spanLine := subarraySpan(64)
-	var a1, aL []float64
-	for _, bench := range r.Benchmarks {
-		spec, _ := workload.ByName(bench)
+	type accCell struct {
+		acc1, accL float64
+		ok         bool
+	}
+	accs := make([]accCell, len(r.Benchmarks))
+	if err := l.forEach(len(r.Benchmarks), func(idx int) error {
+		spec, _ := workload.ByName(r.Benchmarks[idx])
 		g := workload.MustNew(spec, l.opts.Seed)
 		var op isa.MicroOp
 		var mem, ok1, okL int
@@ -69,12 +73,26 @@ func (l *Lab) Predecode() (PredecodeResult, error) {
 			}
 		}
 		if mem == 0 {
+			return nil
+		}
+		accs[idx] = accCell{
+			acc1: float64(ok1) / float64(mem),
+			accL: float64(okL) / float64(mem),
+			ok:   true,
+		}
+		return nil
+	}); err != nil {
+		return PredecodeResult{}, err
+	}
+	var a1, aL []float64
+	for idx, bench := range r.Benchmarks {
+		if !accs[idx].ok {
 			continue
 		}
-		r.Acc1KB[bench] = float64(ok1) / float64(mem)
-		r.AccLine[bench] = float64(okL) / float64(mem)
-		a1 = append(a1, r.Acc1KB[bench])
-		aL = append(aL, r.AccLine[bench])
+		r.Acc1KB[bench] = accs[idx].acc1
+		r.AccLine[bench] = accs[idx].accL
+		a1 = append(a1, accs[idx].acc1)
+		aL = append(aL, accs[idx].accL)
 	}
 	r.Avg1KB = stats.Mean(a1)
 	r.AvgLine = stats.Mean(aL)
@@ -88,21 +106,22 @@ func (l *Lab) Predecode() (PredecodeResult, error) {
 	if len(subset) > 4 {
 		subset = []string{"gcc", "mcf", "equake", "vortex"}
 	}
-	var gains []float64
-	for _, bench := range subset {
+	gains := make([]float64, len(subset))
+	if err := l.forEach(len(subset), func(idx int) error {
+		bench := subset[idx]
 		withPts, err := l.GatedSweep(bench, DataCache, 0) // hints on (default)
 		if err != nil {
-			return PredecodeResult{}, err
+			return err
 		}
 		base, err := l.Baseline(bench)
 		if err != nil {
-			return PredecodeResult{}, err
+			return err
 		}
-		var withoutPts []SweepPoint
-		for _, thr := range sortedThresholds(l.opts.Thresholds) {
+		withoutPts := make([]SweepPoint, 0, len(l.thresholds))
+		for _, thr := range l.thresholds {
 			o, err := Run(l.runConfig(bench, GatedPolicy(thr, false), Static()))
 			if err != nil {
-				return PredecodeResult{}, err
+				return err
 			}
 			withoutPts = append(withoutPts, SweepPoint{
 				Threshold: thr, Outcome: o, Slowdown: o.Slowdown(base),
@@ -112,9 +131,12 @@ func (l *Lab) Predecode() (PredecodeResult, error) {
 		without := BestFeasible(withoutPts, DataCache, tech.N70, l.opts.PerfBudget)
 		gain := without.Outcome.D.Discharge[tech.N70].Relative() -
 			with.Outcome.D.Discharge[tech.N70].Relative()
-		gains = append(gains, gain)
+		gains[idx] = gain
 		l.note("predecode %s: gain %.4f (thr %d vs %d)", bench, gain,
 			with.Threshold, without.Threshold)
+		return nil
+	}); err != nil {
+		return PredecodeResult{}, err
 	}
 	r.DischargeGain = stats.Mean(gains)
 	return r, nil

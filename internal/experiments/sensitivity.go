@@ -24,7 +24,8 @@ type SensitivityResult struct {
 
 // Sensitivity reruns three headline measurements across seeds on the lab's
 // benchmark subset. It does not touch the lab's memoized runs (each seed
-// builds its own runs).
+// builds its own runs). The (seed × benchmark) grid fans across the worker
+// pool; the per-seed summaries accumulate in seed order afterwards.
 func (l *Lab) Sensitivity(seeds []int64) (SensitivityResult, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}
@@ -35,33 +36,49 @@ func (l *Lab) Sensitivity(seeds []int64) (SensitivityResult, error) {
 		GatedD:    stats.NewSummary(),
 		OnDemandD: stats.NewSummary(),
 	}
-	for _, seed := range seeds {
+	benches := l.opts.benchmarks()
+	type cell struct{ oracle, gated, slow float64 }
+	cells := make([]cell, len(seeds)*len(benches))
+	if err := l.forEach(len(cells), func(idx int) error {
+		seed := seeds[idx/len(benches)]
+		bench := benches[idx%len(benches)]
+		cfg := l.runConfig(bench, Static(), Static())
+		cfg.Seed = seed
+		base, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		cfg.DPolicy, cfg.IPolicy = OraclePolicy(), OraclePolicy()
+		orc, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		cfg.DPolicy, cfg.IPolicy = GatedPolicy(l.opts.ConstantThreshold, true), Static()
+		gat, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		cfg.DPolicy, cfg.IPolicy = OnDemandPolicy(), Static()
+		od, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		cells[idx] = cell{
+			oracle: 1 - orc.D.Discharge[tech.N70].Relative(),
+			gated:  1 - gat.D.Discharge[tech.N70].Relative(),
+			slow:   od.Slowdown(base),
+		}
+		return nil
+	}); err != nil {
+		return SensitivityResult{}, err
+	}
+	for si, seed := range seeds {
 		var oracleRel, gatedRel, slow []float64
-		for _, bench := range l.opts.benchmarks() {
-			cfg := l.runConfig(bench, Static(), Static())
-			cfg.Seed = seed
-			base, err := Run(cfg)
-			if err != nil {
-				return SensitivityResult{}, err
-			}
-			cfg.DPolicy, cfg.IPolicy = OraclePolicy(), OraclePolicy()
-			orc, err := Run(cfg)
-			if err != nil {
-				return SensitivityResult{}, err
-			}
-			cfg.DPolicy, cfg.IPolicy = GatedPolicy(l.opts.ConstantThreshold, true), Static()
-			gat, err := Run(cfg)
-			if err != nil {
-				return SensitivityResult{}, err
-			}
-			cfg.DPolicy, cfg.IPolicy = OnDemandPolicy(), Static()
-			od, err := Run(cfg)
-			if err != nil {
-				return SensitivityResult{}, err
-			}
-			oracleRel = append(oracleRel, 1-orc.D.Discharge[tech.N70].Relative())
-			gatedRel = append(gatedRel, 1-gat.D.Discharge[tech.N70].Relative())
-			slow = append(slow, od.Slowdown(base))
+		for bi := range benches {
+			c := cells[si*len(benches)+bi]
+			oracleRel = append(oracleRel, c.oracle)
+			gatedRel = append(gatedRel, c.gated)
+			slow = append(slow, c.slow)
 		}
 		r.OracleD.Add(stats.Mean(oracleRel))
 		r.GatedD.Add(stats.Mean(gatedRel))

@@ -52,6 +52,8 @@
 package nanocache
 
 import (
+	"context"
+
 	"nanocache/internal/circuit"
 	"nanocache/internal/core"
 	"nanocache/internal/cpu"
@@ -176,17 +178,30 @@ type CacheEnergy = energy.CacheEnergy
 // Run executes one configuration.
 func Run(cfg RunConfig) (Outcome, error) { return experiments.Run(cfg) }
 
-// Options parameterizes a full evaluation.
+// RunAll executes independent configurations concurrently on up to
+// parallelism workers (<= 0 means one per CPU) and returns the outcomes in
+// input order. The first failing run cancels the remaining queue.
+func RunAll(ctx context.Context, parallelism int, cfgs []RunConfig) ([]Outcome, error) {
+	return experiments.RunAll(ctx, parallelism, cfgs)
+}
+
+// Options parameterizes a full evaluation. Options.Parallelism bounds the
+// lab's worker pool (0 = one worker per CPU, 1 = fully serial); results are
+// identical at every setting.
 type Options = experiments.Options
 
-// DefaultOptions returns the full-evaluation options (a few minutes on one
-// core); QuickOptions a reduced smoke configuration.
+// DefaultOptions returns the full-evaluation options (a few minutes of CPU
+// time, fanned across cores by default); QuickOptions a reduced smoke
+// configuration.
 func DefaultOptions() Options { return experiments.DefaultOptions() }
 
 // QuickOptions returns reduced options for quick runs and tests.
 func QuickOptions() Options { return experiments.QuickOptions() }
 
-// Lab memoizes baselines and threshold sweeps across experiments.
+// Lab memoizes baselines and threshold sweeps across experiments. A Lab is
+// safe for concurrent use; identical in-flight requests are deduplicated
+// (single-flight) and the figure generators fan independent runs across a
+// worker pool, merging in deterministic order.
 type Lab = experiments.Lab
 
 // NewLab builds a lab over validated options.
