@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-save figures figures-quick cover fuzz clean
+.PHONY: all build test race bench bench-save figures figures-quick verify cover cover-gate fuzz clean
 
 all: build test
 
@@ -34,11 +34,48 @@ figures:
 figures-quick:
 	go run ./cmd/figures -quick
 
+# Pure invariant-verification pass: collect the quick-sized figure set and
+# run every registered rule against it. Fails if any rule reports a
+# violation. `go test ./internal/verify` covers the same rules plus the
+# golden-master comparison; this target is the from-scratch CLI check.
+verify:
+	go run ./cmd/figures -fig none -verify -quick
+
 cover:
 	go test -cover ./...
 
+# Coverage gate: fail if aggregate statement coverage across the module
+# drops below COVER_MIN percent. Uses a single merged profile so packages
+# exercising each other (e.g. verify driving experiments) count once.
+COVER_MIN ?= 70
+cover-gate:
+	go test -coverprofile=cover.out -coverpkg=./... ./...
+	@total=$$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (gate: $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) }' || \
+		{ echo "FAIL: coverage $$total% below gate $(COVER_MIN)%"; exit 1; }
+
+# Fuzz every target for FUZZTIME each. The target list is explicit so a
+# renamed or deleted fuzz function fails the build loudly instead of being
+# silently skipped: each entry is first checked for existence with
+# `go test -list` before fuzzing.
+FUZZTIME ?= 30s
+FUZZ_TARGETS := \
+	FuzzReader:./internal/trace \
+	FuzzInterleave:./internal/isa \
+	FuzzCactiConfig:./internal/cacti \
+	FuzzRunInvariants:./internal/verify
+
 fuzz:
-	go test -run FuzzReader -fuzz FuzzReader -fuzztime 30s ./internal/trace/
+	@set -e; for entry in $(FUZZ_TARGETS); do \
+		target=$${entry%%:*}; pkg=$${entry#*:}; \
+		listed=$$(go test -list "^$$target$$" "$$pkg" | grep -c "^$$target$$" || true); \
+		if [ "$$listed" -ne 1 ]; then \
+			echo "FAIL: fuzz target $$target not found in $$pkg (renamed or deleted?)"; exit 1; \
+		fi; \
+		echo "=== fuzzing $$target ($$pkg, $(FUZZTIME)) ==="; \
+		go test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime $(FUZZTIME) "$$pkg"; \
+	done
 
 clean:
 	go clean ./...

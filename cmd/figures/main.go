@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	figures [-instructions N] [-benchmarks a,b,c] [-fig LIST] [-quick] [-parallel N] [-v]
+//	figures [-instructions N] [-benchmarks a,b,c] [-fig LIST] [-quick] [-parallel N] [-verify] [-v]
 //
 // By default all experiments run at full options with runs fanned across
 // every CPU (-parallel 1 recovers the serial engine; results are identical
 // at any width). -quick shrinks the runs for a fast smoke pass. -fig
-// selects a subset, e.g. -fig 2,3,8.
+// selects a subset, e.g. -fig 2,3,8. -verify additionally runs the
+// internal/verify invariant engine over the full figure set and exits
+// non-zero on any violation (use -fig none -verify -quick for a pure
+// verification pass).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 
 	"nanocache/internal/experiments"
 	"nanocache/internal/plot"
+	"nanocache/internal/verify"
 )
 
 func main() {
@@ -43,6 +47,7 @@ func run() error {
 		seed         = flag.Int64("seed", 1, "workload seed")
 		jsonPath     = flag.String("json", "", "also write all results as JSON to this file")
 		svgDir       = flag.String("svg", "", "also write the figures as SVG charts into this directory")
+		doVerify     = flag.Bool("verify", false, "run the invariant engine over the full figure set after the selected experiments; exit non-zero on any violation")
 	)
 	flag.Parse()
 	collected := map[string]any{}
@@ -362,6 +367,23 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "figures: %d summary checks outside their bands\n", n)
 		}
 	}
+	var verifyErr error
+	if *doVerify {
+		done := section("invariant verification")
+		subject, err := verify.Collect(lab, verify.CollectConfig{})
+		if err != nil {
+			return err
+		}
+		rep := verify.Check(subject)
+		collected["verify"] = rep
+		if err := rep.Render(out); err != nil {
+			return err
+		}
+		done()
+		// Defer the failure until after the JSON dump so a violating run
+		// still leaves its evidence on disk.
+		verifyErr = rep.Err()
+	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -375,5 +397,5 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote JSON results to %s\n", *jsonPath)
 	}
-	return nil
+	return verifyErr
 }

@@ -1,0 +1,76 @@
+// Package examples_test smoke-tests every runnable example: each one must
+// build, run to completion within a generous timeout, exit zero and print
+// something. The examples double as living documentation of the public
+// nanocache facade, so a facade change that breaks them fails here rather
+// than in a reader's terminal.
+package examples_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exampleTimeout bounds one example run. The slowest example sweeps several
+// policies over a few hundred thousand instructions; on a loaded CI machine
+// that can take tens of seconds, so the bound is generous — it exists to
+// catch hangs, not to benchmark.
+const exampleTimeout = 3 * time.Minute
+
+// exampleDirs discovers every example directory (any subdirectory holding a
+// main.go). Discovery rather than a hardcoded list means a new example is
+// smoke-tested the moment it is added, and a deleted one cannot leave a
+// silently-skipped test behind.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatalf("reading examples dir: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(e.Name(), "main.go")); err == nil {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+	return dirs
+}
+
+// TestExamplesRun go-runs each example and asserts a clean exit with
+// non-empty output. Skipped in -short mode: each example performs real
+// architectural simulation.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulations; skipping in -short mode")
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), exampleTimeout)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() == context.DeadlineExceeded {
+				t.Fatalf("example %s exceeded %v\noutput so far:\n%s", dir, exampleTimeout, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\noutput:\n%s", dir, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+
+	"nanocache/internal/tech"
+)
+
+// finitePos reports v is a finite, strictly positive float.
+func finitePos(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// finiteNonNeg reports v is finite and non-negative.
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// FuzzCactiConfig drives arbitrary cache geometries through the timing and
+// energy model: any configuration that passes Validate must evaluate to
+// finite, positive delays and energies (no NaN, no Inf, no negative work),
+// and any configuration that fails Validate must be rejected by New with an
+// error rather than a panic.
+func FuzzCactiConfig(f *testing.F) {
+	f.Add(uint8(5), uint8(2), uint8(3), uint8(1), uint8(2), uint8(3), float64(10), float64(0.5), false)
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(1), uint8(0), float64(1), float64(0), true)
+	f.Add(uint8(6), uint8(4), uint8(5), uint8(4), uint8(16), uint8(70), float64(2.5), float64(4), true)
+	f.Add(uint8(3), uint8(1), uint8(7), uint8(2), uint8(0), uint8(180), float64(-1), float64(1), false)
+
+	nodes := tech.ProjectedNodes()
+	f.Fuzz(func(t *testing.T, cacheLog, lineLog, subLog, waysLog, ports, nodeSel uint8,
+		pdf, accessesPerCycle float64, instruction bool) {
+		// Power-of-two geometry keeps most constructions inside Validate's
+		// rules, while raw ports/node/pdf values also exercise rejection.
+		line := 8 << (lineLog % 5)     // 8..128B lines
+		sub := line << (subLog % 7)    // 1..64 lines per subarray
+		cache := sub << (cacheLog % 7) // 1..64 subarrays
+		ways := 1 << (waysLog % 5)     // 1..16
+		var node tech.Node
+		if int(nodeSel)%2 == 0 {
+			node = nodes[int(nodeSel/2)%len(nodes)]
+		} else {
+			node = tech.Node(nodeSel) // usually invalid — must be rejected
+		}
+		cfg := Config{Node: node, Ways: ways, Kind: Data}
+		cfg.Geometry.CacheBytes = cache
+		cfg.Geometry.LineBytes = line
+		cfg.Geometry.SubarrayBytes = sub
+		cfg.Geometry.PrechargeDeviceFactor = pdf
+		cfg.Cell.Ports = int(ports)
+		if instruction {
+			cfg.Kind = Instruction
+		}
+
+		m, err := New(cfg)
+		if verr := cfg.Validate(); verr != nil {
+			if err == nil {
+				t.Fatalf("invalid config %+v accepted by New (Validate says %v)", cfg, verr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid config %+v rejected: %v", cfg, err)
+		}
+
+		d := m.DecodeDelays()
+		for name, v := range map[string]float64{
+			"decoder drive":      d.DecoderDrive,
+			"predecode":          d.Predecode,
+			"final decode":       d.FinalDecode,
+			"worst-case pull-up": d.WorstCasePullUp,
+			"total decode":       d.Total(),
+			"access time":        m.AccessTimeNS(),
+			"dynamic energy":     m.DynamicEnergyPerAccess(),
+			"one-way energy":     m.DynamicEnergyOneWay(),
+			"static power":       m.StaticBitlinePower(),
+		} {
+			if !finitePos(v) {
+				t.Errorf("%+v: %s = %v, want finite and positive", cfg, name, v)
+			}
+		}
+		if m.AccessCycles() < 1 {
+			t.Errorf("%+v: access takes %d cycles", cfg, m.AccessCycles())
+		}
+		if m.PrechargeMissPenaltyCycles() < 1 {
+			t.Errorf("%+v: precharge miss penalty %d cycles, want >= 1", cfg, m.PrechargeMissPenaltyCycles())
+		}
+		if m.OnDemandExtraCycles() < 0 {
+			t.Errorf("%+v: negative on-demand extra cycles %d", cfg, m.OnDemandExtraCycles())
+		}
+		if n := m.SetCount(); n < 1 {
+			t.Errorf("%+v: set count %d", cfg, n)
+		}
+
+		apc := math.Abs(accessesPerCycle)
+		if math.IsNaN(apc) || math.IsInf(apc, 0) {
+			apc = 1
+		}
+		apc = math.Min(apc, 8)
+		b := m.Breakdown(apc)
+		for name, v := range map[string]float64{
+			"bitline discharge": b.BitlineDischarge,
+			"cell core":         b.CellCore,
+			"dynamic":           b.Dynamic,
+			"total":             b.Total(),
+		} {
+			if !finiteNonNeg(v) {
+				t.Errorf("%+v apc=%.3f: breakdown %s = %v, want finite and non-negative", cfg, apc, name, v)
+			}
+		}
+		if frac := b.DischargeFraction(); !finiteNonNeg(frac) || frac > 1 {
+			t.Errorf("%+v: discharge fraction %v outside [0,1]", cfg, frac)
+		}
+		if ov := m.CounterOverheadPerCycle(10); !finiteNonNeg(ov) {
+			t.Errorf("%+v: counter overhead %v", cfg, ov)
+		}
+
+		a := m.Area()
+		for name, v := range map[string]float64{
+			"cell area":      a.CellArea,
+			"periphery area": a.PeripheryArea,
+			"routing area":   a.RoutingArea,
+			"total area":     a.Total(),
+		} {
+			if !finitePos(v) {
+				t.Errorf("%+v: %s = %v, want finite and positive", cfg, name, v)
+			}
+		}
+		if eff := a.Efficiency(); !(eff > 0 && eff <= 1) {
+			t.Errorf("%+v: area efficiency %v outside (0,1]", cfg, eff)
+		}
+
+		// Subarray routing must stay in range for any address.
+		for _, addr := range []uint64{0, 1, 0xFFFF_FFFF_FFFF_FFFF, uint64(cache), uint64(cache) * 7} {
+			if sub := m.SubarrayForAddress(addr); sub < 0 || sub >= cfg.Geometry.NumSubarrays() {
+				t.Errorf("%+v: address %#x routed to subarray %d of %d",
+					cfg, addr, sub, cfg.Geometry.NumSubarrays())
+			}
+		}
+	})
+}

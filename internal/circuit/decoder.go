@@ -48,11 +48,25 @@ func (g Geometry) Validate() error {
 		return fmt.Errorf("circuit: cache size %dB not a multiple of subarray size %dB", g.CacheBytes, g.SubarrayBytes)
 	case g.SubarrayBytes%g.LineBytes != 0:
 		return fmt.Errorf("circuit: subarray size %dB not a multiple of line size %dB", g.SubarrayBytes, g.LineBytes)
-	case g.PrechargeDeviceFactor <= 0:
-		return fmt.Errorf("circuit: precharge device factor must be positive: %v", g.PrechargeDeviceFactor)
+	case g.PrechargeDeviceFactor < MinPrechargeDeviceFactor || g.PrechargeDeviceFactor > MaxPrechargeDeviceFactor:
+		// The read-slowdown and pull-up approximations are calibrated
+		// around the paper's 10x baseline; outside this band the
+		// linear-in-log2 read model extrapolates into nonsense (it found
+		// its way to negative access times before this bound existed).
+		return fmt.Errorf("circuit: precharge device factor %v outside the modeled range [%v, %v]",
+			g.PrechargeDeviceFactor, MinPrechargeDeviceFactor, MaxPrechargeDeviceFactor)
 	}
 	return nil
 }
+
+// MinPrechargeDeviceFactor and MaxPrechargeDeviceFactor bound the precharge
+// device sizing (relative to the cell transistors) the delay model is
+// calibrated for. The paper's baseline is 10x; Sec. 5 considers enlarging
+// the devices, and the tests exercise halving and doubling.
+const (
+	MinPrechargeDeviceFactor = 1.0
+	MaxPrechargeDeviceFactor = 100.0
+)
 
 // NumSubarrays returns the number of subarrays in the array.
 func (g Geometry) NumSubarrays() int { return g.CacheBytes / g.SubarrayBytes }
@@ -196,9 +210,16 @@ func ReadSlowdownFactor(prechargeDeviceFactor float64) float64 {
 		return math.Inf(1)
 	}
 	// Calibrated so halving the device size speeds reads ~8% and doubling
-	// slows them ~15%.
-	return 1 + 0.15*math.Log2(prechargeDeviceFactor/10)*1.0
+	// slows them ~15%. The linear-in-log2 form is only meaningful near the
+	// baseline; floor it well above zero so even out-of-band factors can
+	// never produce a non-positive (let alone negative) read time.
+	f := 1 + 0.15*math.Log2(prechargeDeviceFactor/10)
+	return math.Max(f, minReadSlowdown)
 }
+
+// minReadSlowdown floors ReadSlowdownFactor: however small the precharge
+// devices, a read cannot complete in under a fifth of the baseline time.
+const minReadSlowdown = 0.2
 
 // PaperTable3 reproduces the paper's Table 3 verbatim for comparison output:
 // decode-drive, predecode, final-decode and worst-case pull-up delays in ns,

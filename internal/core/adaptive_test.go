@@ -139,15 +139,15 @@ func TestSetThresholdExactAccounting(t *testing.T) {
 	// Shrinking the threshold after a subarray is already isolated must not
 	// rewrite the pulled window that ended under the old rule.
 	p := NewGated(1, 100, 1, nil)
-	p.AccessPenalty(0, 10) // pulled [10, 110)
-	// At cycle 500 the subarray has been isolated since 110.
+	p.AccessPenalty(0, 10) // stalls; completes at 11; pulled [10, 111)
+	// At cycle 500 the subarray has been isolated since 111.
 	p.setThreshold(20, 500)
-	p.AccessPenalty(0, 600) // closes idle [110, 600)
+	p.AccessPenalty(0, 600) // closes idle [111, 600); completes at 601
 	p.Finish(1000)
 	led := p.Ledger()
-	// Pulled: [10,110) + [600, 620) = 120.
-	if led.PulledCycles() != 120 {
-		t.Errorf("pulled = %d, want 120", led.PulledCycles())
+	// Pulled: [10,111) + [600, 621) = 122.
+	if led.PulledCycles() != 122 {
+		t.Errorf("pulled = %d, want 122", led.PulledCycles())
 	}
 	if led.PulledCycles()+led.IdleCycles() != 1000 {
 		t.Error("conservation violated across threshold change")
@@ -158,11 +158,11 @@ func TestSetThresholdWhileHot(t *testing.T) {
 	// Growing the threshold while hot extends the window; shrinking it
 	// isolates at lastUse+new.
 	p := NewGated(1, 100, 1, nil)
-	p.AccessPenalty(0, 10)
-	p.setThreshold(300, 50) // still hot; isolation moves to 310
+	p.AccessPenalty(0, 10)  // stalls; completes at 11
+	p.setThreshold(300, 50) // still hot; isolation moves to 311
 	p.Finish(1000)
-	if p.Ledger().PulledCycles() != 300 {
-		t.Errorf("pulled = %d, want 300", p.Ledger().PulledCycles())
+	if p.Ledger().PulledCycles() != 301 {
+		t.Errorf("pulled = %d, want 301", p.Ledger().PulledCycles())
 	}
 
 	q := NewGated(1, 100, 1, nil)

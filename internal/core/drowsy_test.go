@@ -27,11 +27,13 @@ func TestDrowsyWakePenalty(t *testing.T) {
 
 func TestDrowsyAwakeFraction(t *testing.T) {
 	d := NewDrowsy(2, 10, 1)
-	d.Access(0, 100) // awake [100, 110) on subarray 0
+	// The wake completes at 101 and the decay clock restarts there, so the
+	// subarray is awake [100, 111) on subarray 0.
+	d.Access(0, 100)
 	d.Finish(1000)
-	// 10 awake cycles of 2000 subarray-cycles.
-	if got := d.AwakeFraction(1000); got != 10.0/2000 {
-		t.Errorf("awake fraction = %v, want %v", got, 10.0/2000)
+	// 11 awake cycles of 2000 subarray-cycles.
+	if got := d.AwakeFraction(1000); got != 11.0/2000 {
+		t.Errorf("awake fraction = %v, want %v", got, 11.0/2000)
 	}
 	if d.Ledger().Subarrays() != 2 {
 		t.Error("ledger wiring wrong")

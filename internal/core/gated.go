@@ -104,7 +104,12 @@ func (p *Gated) AccessPenalty(sub int, now uint64) int {
 		p.stats.Stalled++
 		pen = p.penalty
 	}
-	p.lastUse[sub] = now
+	// The stalled access completes at now+pen, and the subarray cannot
+	// decay while its own pull-up is in flight — so the decay clock
+	// restarts from completion, not issue. Dating it from `now` livelocked
+	// instruction fetch at thresholds ≤ the pull-up penalty: the retry
+	// found the subarray re-isolated, stalled again, forever.
+	p.lastUse[sub] = now + uint64(pen)
 	return pen
 }
 
@@ -171,6 +176,10 @@ type EagerGated struct {
 	pullAt     []uint64
 	isoAt      []uint64
 	everUsed   []bool
+	// holdUntil freezes a subarray's decay counter until its in-flight
+	// pull-up completes (accesses that stalled restart decay at now+pen,
+	// mirroring Gated.AccessPenalty's completion-time bookkeeping).
+	holdUntil []uint64
 
 	now   uint64
 	stats AccessStats
@@ -192,6 +201,7 @@ func NewEagerGated(n int, threshold uint64, penalty int, obs sram.IdleObserver) 
 		pullAt:     make([]uint64, n),
 		isoAt:      make([]uint64, n),
 		everUsed:   make([]bool, n),
+		holdUntil:  make([]uint64, n),
 	}
 	for s := 0; s < n; s++ {
 		g.counter[s] = threshold // start cold
@@ -204,6 +214,9 @@ func NewEagerGated(n int, threshold uint64, penalty int, obs sram.IdleObserver) 
 func (g *EagerGated) Tick(now uint64) {
 	for ; g.now < now; g.now++ {
 		for s := 0; s < g.n; s++ {
+			if g.now < g.holdUntil[s] {
+				continue // pull-up in flight: the counter cannot decay yet
+			}
 			if g.counter[s] < g.threshold {
 				g.counter[s]++
 				if g.counter[s] >= g.threshold && g.precharged[s] {
@@ -231,6 +244,8 @@ func (g *EagerGated) AccessPenalty(sub int, now uint64) int {
 		g.everUsed[sub] = true
 		g.stats.Stalled++
 		pen = g.penalty
+		// Freeze the counter until the pull-up completes (see holdUntil).
+		g.holdUntil[sub] = now + uint64(pen)
 	}
 	g.counter[sub] = 0
 	return pen

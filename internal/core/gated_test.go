@@ -262,8 +262,9 @@ func TestGatedOutOfOrderTimestamps(t *testing.T) {
 	if led.PulledCycles()+led.IdleCycles() != 2*1000 {
 		t.Error("conservation violated with out-of-order timestamps")
 	}
-	// Pulled window must still end at 100+50.
-	if led.PulledOn(0) != 50 {
-		t.Errorf("pulled = %d, want 50", led.PulledOn(0))
+	// Pulled window must still end at 101+50 (the stalled access completes
+	// at 101 and the decay clock restarts there).
+	if led.PulledOn(0) != 51 {
+		t.Errorf("pulled = %d, want 51", led.PulledOn(0))
 	}
 }

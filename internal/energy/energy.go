@@ -11,6 +11,7 @@ package energy
 
 import (
 	"fmt"
+	"math"
 
 	"nanocache/internal/cacti"
 	"nanocache/internal/circuit"
@@ -95,6 +96,50 @@ func (d Discharge) Relative() float64 {
 
 // Reduction returns 1 − Relative, the paper's "discharge savings".
 func (d Discharge) Reduction() float64 { return 1 - d.Relative() }
+
+// Check validates the account's internal conservation laws: every component
+// finite and non-negative, and the policy's total discharge never exceeding
+// what the conventional statically pulled-up cache would have dissipated by
+// more than the toggle overhead allows in the pulled component alone
+// (PulledEnergy ≤ StaticEnergy). The verify package applies this to every
+// run outcome.
+func (d Discharge) Check() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"pulled", d.PulledEnergy},
+		{"idle", d.IdleEnergy},
+		{"static", d.StaticEnergy},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			return fmt.Errorf("energy: %s %s discharge component is %v", d.Node, c.name, c.v)
+		}
+	}
+	if d.PulledEnergy > d.StaticEnergy*(1+1e-9) {
+		return fmt.Errorf("energy: %s pulled discharge %.6g exceeds the static bound %.6g",
+			d.Node, d.PulledEnergy, d.StaticEnergy)
+	}
+	return nil
+}
+
+// Check validates the full account: every component finite and non-negative.
+func (e CacheEnergy) Check() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"bitline", e.Bitline},
+		{"cell-core", e.CellCore},
+		{"dynamic", e.Dynamic},
+		{"control", e.ControlOverhead},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			return fmt.Errorf("energy: %s %s energy component is %v", e.Node, c.name, c.v)
+		}
+	}
+	return nil
+}
 
 // DischargeAt assembles the discharge account for one cache at one pricing
 // node from the controller's ledger and the run length.

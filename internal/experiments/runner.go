@@ -119,7 +119,15 @@ type CacheOutcome struct {
 	// PulledFraction is pulled-up subarray-time over total subarray-time —
 	// the paper's "number of precharged subarrays" metric.
 	PulledFraction float64
-	Toggles        uint64
+	// Subarrays is the cache's subarray count; PulledCycles and IdleCycles
+	// are the ledger's raw pulled-up and isolated subarray-cycles, and
+	// BalanceError is the worst per-subarray deviation from the
+	// conservation law pulled + isolated = wall time (0 for a correct
+	// controller). internal/verify asserts these on every run.
+	Subarrays                int
+	PulledCycles, IdleCycles uint64
+	BalanceError             uint64
+	Toggles                  uint64
 	// Discharge holds the bitline-discharge account per technology node.
 	Discharge map[tech.Node]energy.Discharge
 	// Energy holds the full cache-energy account per node.
@@ -384,6 +392,10 @@ func assembleCacheOutcome(c *cache.L1, m *cacti.Model, p *energy.Pricer, cycles 
 		Misses:         miss,
 		MissRatio:      c.MissRatio(),
 		PulledFraction: led.PulledFraction(cycles),
+		Subarrays:      led.Subarrays(),
+		PulledCycles:   led.PulledCycles(),
+		IdleCycles:     led.IdleCycles(),
+		BalanceError:   led.BalanceError(cycles),
 		Toggles:        led.Toggles(),
 		Discharge:      make(map[tech.Node]energy.Discharge, len(tech.Nodes)),
 		Energy:         make(map[tech.Node]energy.CacheEnergy, len(tech.Nodes)),

@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"testing"
+)
+
+// opsFromBytes decodes an arbitrary byte string into a slice of valid
+// micro-ops, four bytes per op. PCs ascend from pcBase and addresses stay
+// inside [addrBase, addrBase+2^20), both far below the thread-B relocation
+// offsets, so a merged stream's ops can be attributed to their source stream
+// by PC range alone.
+func opsFromBytes(data []byte, pcBase, addrBase uint64) []MicroOp {
+	var ops []MicroOp
+	for i := 0; i+4 <= len(data); i += 4 {
+		b0, b1, b2, b3 := data[i], data[i+1], data[i+2], data[i+3]
+		op := MicroOp{
+			PC:    pcBase + uint64(len(ops))*4,
+			Class: Class(b0 % uint8(numClasses)),
+			Src1:  Reg(b1 % NumRegs),
+			Src2:  Reg(b2 % NumRegs),
+			Dst:   Reg(b3 % NumRegs),
+		}
+		switch {
+		case op.Class.IsMem():
+			op.Base = Reg(b1 % NumRegs)
+			op.Disp = int32(int8(b2)) // small signed displacement
+			// Keep the effective address nonzero and in the low region.
+			op.Addr = addrBase + 1 + uint64(b3)*64 + uint64(b0)
+			if op.Class == Store {
+				op.Dst = None
+			}
+		case op.Class == Branch:
+			op.Dst = None
+			op.Taken = b1%2 == 0
+			if op.Taken {
+				op.Target = pcBase + uint64(b2)*4 + 4
+			}
+		}
+		if err := op.Validate(); err != nil {
+			// The construction above should never produce an invalid op;
+			// fail loudly rather than silently shrinking the stream.
+			panic(err)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// FuzzInterleave checks the SMT stream merge against its contract on
+// arbitrary stream pairs: the merged stream contains exactly the two input
+// streams' ops, each stream's ops appear in their original program order,
+// thread A's ops pass through untouched, thread B's ops are relocated into
+// the disjoint register/address/PC partition, and every merged op is still
+// valid.
+func FuzzInterleave(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 1, 2, 3}, []byte{})
+	f.Add([]byte{}, []byte{4, 5, 6, 7})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, []byte{6, 0, 9, 1})
+	f.Add([]byte{4, 1, 2, 3}, []byte{5, 1, 2, 3, 6, 2, 0, 0, 1, 9, 9, 9})
+
+	f.Fuzz(func(t *testing.T, aData, bData []byte) {
+		const pcA, pcB = uint64(0x1000), uint64(0x200000)
+		aOps := opsFromBytes(aData, pcA, 0x10000)
+		bOps := opsFromBytes(bData, pcB, 0x20000)
+
+		merged := &Interleave{
+			A: &SliceStream{Ops: append([]MicroOp(nil), aOps...)},
+			B: &SliceStream{Ops: append([]MicroOp(nil), bOps...)},
+		}
+		var got []MicroOp
+		var op MicroOp
+		for merged.Next(&op) {
+			got = append(got, op)
+			if len(got) > len(aOps)+len(bOps) {
+				t.Fatalf("merge produced more ops than its inputs hold (%d > %d)",
+					len(got), len(aOps)+len(bOps))
+			}
+		}
+		if len(got) != len(aOps)+len(bOps) {
+			t.Fatalf("merge produced %d ops, want %d+%d", len(got), len(aOps), len(bOps))
+		}
+
+		// Partition the merged stream by PC range: A's PCs sit below
+		// bPCOffset, B's were relocated above it.
+		var gotA, gotB []MicroOp
+		for _, op := range got {
+			if err := op.Validate(); err != nil {
+				t.Fatalf("merged op invalid: %v", err)
+			}
+			if op.PC >= bPCOffset {
+				gotB = append(gotB, op)
+			} else {
+				gotA = append(gotA, op)
+			}
+		}
+
+		// Thread A passes through byte-identical and in order.
+		if len(gotA) != len(aOps) {
+			t.Fatalf("merge carries %d thread-A ops, want %d", len(gotA), len(aOps))
+		}
+		for i := range aOps {
+			if gotA[i] != aOps[i] {
+				t.Fatalf("thread-A op %d altered by the merge:\n got %+v\nwant %+v", i, gotA[i], aOps[i])
+			}
+		}
+
+		// Thread B appears in order, relocated exactly as documented.
+		if len(gotB) != len(bOps) {
+			t.Fatalf("merge carries %d thread-B ops, want %d", len(gotB), len(bOps))
+		}
+		for i, orig := range bOps {
+			want := orig
+			relocate(&want)
+			if gotB[i] != want {
+				t.Fatalf("thread-B op %d misrelocated:\n got %+v\nwant %+v (from %+v)", i, gotB[i], want, orig)
+			}
+			// The relocation's own guarantees: a fresh register partition,
+			// offset PCs and addresses.
+			if gotB[i].Src1 != None && gotB[i].Src1 < 33 {
+				t.Fatalf("thread-B op %d register %d escapes the upper partition", i, gotB[i].Src1)
+			}
+			if orig.Class.IsMem() && gotB[i].Addr < bAddrOffset {
+				t.Fatalf("thread-B op %d address %#x below the relocation offset", i, gotB[i].Addr)
+			}
+		}
+	})
+}

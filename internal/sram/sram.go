@@ -184,6 +184,7 @@ type IdleObserver func(sub int, idleCycles uint64, reprecharged bool)
 type Ledger struct {
 	n        int
 	pulled   []uint64
+	idle     []uint64
 	toggles  uint64
 	idleSum  uint64
 	idleHist *stats.Histogram
@@ -199,6 +200,7 @@ func NewLedger(n int, obs IdleObserver) *Ledger {
 	return &Ledger{
 		n:        n,
 		pulled:   make([]uint64, n),
+		idle:     make([]uint64, n),
 		idleHist: stats.NewHistogram(),
 		obs:      obs,
 	}
@@ -222,6 +224,7 @@ func (g *Ledger) EndIdle(sub int, idleCycles uint64, reprecharged bool) {
 	if reprecharged {
 		g.toggles++
 	}
+	g.idle[sub] += idleCycles
 	g.idleSum += idleCycles
 	g.idleHist.Add(idleCycles)
 	if g.obs != nil {
@@ -241,8 +244,34 @@ func (g *Ledger) PulledCycles() uint64 {
 // PulledOn returns the pulled-up cycles of one subarray.
 func (g *Ledger) PulledOn(sub int) uint64 { return g.pulled[sub] }
 
+// IdleOn returns the isolated cycles of one subarray (closed intervals only).
+func (g *Ledger) IdleOn(sub int) uint64 { return g.idle[sub] }
+
 // IdleCycles returns total isolated subarray-cycles.
 func (g *Ledger) IdleCycles() uint64 { return g.idleSum }
+
+// BalanceError returns the worst per-subarray deviation from the
+// conservation law every precharge policy must satisfy after Finish:
+// pulled-up time + isolated time = wall time, for each subarray. A correct
+// controller yields 0; the verify package's conservation rules assert this
+// on every run. (Before Finish the open intervals make the balance
+// meaningless; callers are expected to have closed the run.)
+func (g *Ledger) BalanceError(runCycles uint64) uint64 {
+	var worst uint64
+	for s := 0; s < g.n; s++ {
+		have := g.pulled[s] + g.idle[s]
+		var dev uint64
+		if have > runCycles {
+			dev = have - runCycles
+		} else {
+			dev = runCycles - have
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
 
 // Toggles returns the number of isolate→precharge transitions.
 func (g *Ledger) Toggles() uint64 { return g.toggles }

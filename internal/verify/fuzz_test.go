@@ -1,0 +1,79 @@
+package verify
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nanocache/internal/core"
+	"nanocache/internal/experiments"
+	"nanocache/internal/workload"
+)
+
+// fuzzPolicy decodes one fuzzed byte into a valid precharge policy. The
+// decay threshold is folded into the controller's legal range — [1, 1023]
+// for gated, [8, 1023] for adaptive-gated (10-bit counters, Sec. 6.2).
+func fuzzPolicy(sel byte, threshold uint64, icache bool) experiments.PolicySpec {
+	switch sel % 5 {
+	case 0:
+		return experiments.Static()
+	case 1:
+		return experiments.OraclePolicy()
+	case 2:
+		return experiments.OnDemandPolicy()
+	case 3:
+		return experiments.GatedPolicy(1+threshold%core.MaxThreshold, !icache)
+	default:
+		lo, hi := uint64(8), uint64(core.MaxThreshold)
+		return experiments.AdaptiveGatedPolicy(lo+threshold%(hi-lo+1), !icache)
+	}
+}
+
+// FuzzRunInvariants drives random valid RunConfigs — benchmark, seed,
+// subarray geometry, policy pair, decay thresholds, way prediction, drowsy
+// mode — through the architectural simulator and checks every raw-outcome
+// invariant the registry knows (conservation, slowdown sign, finiteness).
+// Runs are quick-sized (a few thousand instructions) so the fuzzer explores
+// configuration space rather than simulated time.
+func FuzzRunInvariants(f *testing.F) {
+	f.Add(uint8(0), int64(1), uint8(0), uint8(0), uint8(2), uint16(32), uint16(32), false, false)
+	f.Add(uint8(3), int64(7), uint8(1), uint8(3), uint8(3), uint16(100), uint16(8), true, false)
+	f.Add(uint8(9), int64(42), uint8(2), uint8(4), uint8(1), uint16(1), uint16(256), false, true)
+	f.Add(uint8(11), int64(-5), uint8(3), uint8(2), uint8(0), uint16(1000), uint16(3), true, true)
+
+	benches := workload.Names()
+	f.Fuzz(func(t *testing.T, benchSel uint8, seed int64, sizeSel uint8,
+		dSel, iSel uint8, dThr, iThr uint16, wayPred, drowsy bool) {
+		bench := benches[int(benchSel)%len(benches)]
+		sizes := []int{512, 1024, 2048, 4096}
+		cfg := experiments.RunConfig{
+			Benchmark:     bench,
+			Seed:          seed,
+			Instructions:  4_000,
+			SubarrayBytes: sizes[int(sizeSel)%len(sizes)],
+			DPolicy:       fuzzPolicy(dSel, uint64(dThr), false),
+			IPolicy:       fuzzPolicy(iSel, uint64(iThr), true),
+			WayPredictD:   wayPred,
+			WayPredictI:   wayPred,
+		}
+		if drowsy {
+			// Drowsy mode reuses the gated decay machinery, so its
+			// thresholds obey the same [1, MaxThreshold] bound.
+			cfg.DrowsyD = 1 + uint64(dThr)%core.MaxThreshold
+			cfg.DrowsyI = 1 + uint64(iThr)%core.MaxThreshold
+		}
+		o, err := experiments.Run(cfg)
+		if err != nil {
+			t.Fatalf("valid config rejected: %+v: %v", cfg, err)
+		}
+		s := &Subject{}
+		s.AddOutcome(fmt.Sprintf("fuzz %s d=%s i=%s sub=%d seed=%d",
+			bench, cfg.DPolicy.Kind, cfg.IPolicy.Kind, cfg.SubarrayBytes, seed), o)
+		rep := Check(s)
+		if !rep.OK() {
+			var buf bytes.Buffer
+			_ = rep.Render(&buf)
+			t.Fatalf("invariant violation on fuzzed run:\n%s", buf.String())
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Golden-master comparison. Results are serialized to JSON (Go marshals map
+// keys in sorted order, so the byte stream has a stable field order) and
+// deep-compared structurally with a float tolerance, so a golden file
+// survives cross-platform libm jitter in the last bits of a double while
+// still pinning every number to six significant figures.
+const (
+	// goldenRelTol and goldenAbsTol bound the acceptable float drift
+	// between a result and its golden file.
+	goldenRelTol = 1e-6
+	goldenAbsTol = 1e-9
+	// maxGoldenDiffs caps the differences reported per comparison so a
+	// wholesale regression doesn't drown the interesting first divergence.
+	maxGoldenDiffs = 25
+)
+
+// MarshalGolden renders a result in the canonical golden-file form:
+// two-space-indented JSON with sorted keys and a trailing newline.
+func MarshalGolden(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CompareGolden deep-compares two JSON documents with float tolerance and
+// returns a human-readable difference list, path-first, empty when the
+// documents agree. The documents need not be byte-identical: numbers match
+// within goldenRelTol/goldenAbsTol, object key order is irrelevant.
+func CompareGolden(got, want []byte) ([]string, error) {
+	var g, w any
+	if err := json.Unmarshal(got, &g); err != nil {
+		return nil, fmt.Errorf("got: %w", err)
+	}
+	if err := json.Unmarshal(want, &w); err != nil {
+		return nil, fmt.Errorf("want: %w", err)
+	}
+	var diffs []string
+	diffJSON("$", g, w, &diffs)
+	return diffs, nil
+}
+
+// goldenFloatEq reports whether two golden floats agree within tolerance.
+func goldenFloatEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= goldenAbsTol || d <= goldenRelTol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// diffJSON walks two decoded JSON values in lockstep, appending a located
+// message for every structural or numeric disagreement.
+func diffJSON(path string, got, want any, diffs *[]string) {
+	if len(*diffs) >= maxGoldenDiffs {
+		return
+	}
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: got %s, want object", path, jsonKind(got)))
+			return
+		}
+		keys := make([]string, 0, len(w)+len(g))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		for k := range g {
+			if _, dup := w[k]; !dup {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			gv, inG := g[k]
+			wv, inW := w[k]
+			switch {
+			case !inG:
+				*diffs = append(*diffs, fmt.Sprintf("%s.%s: missing from result", path, k))
+			case !inW:
+				*diffs = append(*diffs, fmt.Sprintf("%s.%s: not in golden file", path, k))
+			default:
+				diffJSON(path+"."+k, gv, wv, diffs)
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: got %s, want array", path, jsonKind(got)))
+			return
+		}
+		if len(g) != len(w) {
+			*diffs = append(*diffs, fmt.Sprintf("%s: length %d, want %d", path, len(g), len(w)))
+			return
+		}
+		for i := range w {
+			diffJSON(fmt.Sprintf("%s[%d]", path, i), g[i], w[i], diffs)
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: got %s, want number", path, jsonKind(got)))
+			return
+		}
+		if !goldenFloatEq(g, w) {
+			*diffs = append(*diffs, fmt.Sprintf("%s: %v, want %v (Δ=%.3g beyond tolerance)",
+				path, g, w, math.Abs(g-w)))
+		}
+	case nil:
+		if got != nil {
+			*diffs = append(*diffs, fmt.Sprintf("%s: got %s, want null", path, jsonKind(got)))
+		}
+	default: // string, bool
+		if got != want {
+			*diffs = append(*diffs, fmt.Sprintf("%s: %v, want %v", path, got, want))
+		}
+	}
+}
+
+// jsonKind names a decoded JSON value's type for difference messages.
+func jsonKind(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "bool"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	}
+	return fmt.Sprintf("%T", v)
+}

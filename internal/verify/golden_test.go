@@ -1,0 +1,163 @@
+package verify
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates testdata/golden from the current quick figure set:
+//
+//	go test ./internal/verify -run TestGolden -update
+//
+// Regenerate only when a result is *supposed* to change (a model fix, a new
+// figure), review the diff figure by figure, and say why in the commit.
+var update = flag.Bool("update", false, "rewrite testdata/golden from the current quick figure set")
+
+// goldenFigures enumerates the figure set in file order. The subject's
+// pointers are taken per call so -update and compare see the same data.
+func goldenFigures(s *Subject) []struct {
+	Name  string
+	Value any
+} {
+	return []struct {
+		Name  string
+		Value any
+	}{
+		{"figure2", s.Figure2},
+		{"table3", s.Table3},
+		{"figure3", s.Figure3},
+		{"ondemand", s.OnDemand},
+		{"locality_d", s.LocalityD},
+		{"locality_i", s.LocalityI},
+		{"figure8_d", s.Figure8D},
+		{"figure8_i", s.Figure8I},
+		{"figure9", s.Figure9},
+		{"figure10", s.Figure10},
+		{"predecode", s.Predecode},
+	}
+}
+
+// TestGolden deep-compares every quick figure result against its golden
+// master under testdata/golden. The comparison is structural with float
+// tolerance (goldenRelTol/goldenAbsTol), so cross-platform libm jitter
+// passes while any real numeric drift fails with the JSON path of the first
+// divergent value.
+func TestGolden(t *testing.T) {
+	s := sharedSubject(t)
+	dir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, fig := range goldenFigures(s) {
+		fig := fig
+		seen[fig.Name+".json"] = true
+		t.Run(fig.Name, func(t *testing.T) {
+			path := filepath.Join(dir, fig.Name+".json")
+			got, err := MarshalGolden(fig.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden master (regenerate with -update): %v", err)
+			}
+			diffs, err := CompareGolden(got, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diffs) > 0 {
+				t.Errorf("%s diverges from its golden master in %d place(s):\n  %s\n(regenerate with -update only if the change is intended)",
+					fig.Name, len(diffs), strings.Join(diffs, "\n  "))
+			}
+		})
+	}
+	// A stale golden file is a figure that silently dropped out of the set.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if *update {
+			t.Fatal(err)
+		}
+		t.Fatalf("missing %s (regenerate with -update): %v", dir, err)
+	}
+	for _, e := range entries {
+		if !seen[e.Name()] {
+			t.Errorf("stale golden file %s: no figure produces it any more", e.Name())
+		}
+	}
+}
+
+// TestCompareGolden pins the tolerant comparator itself.
+func TestCompareGolden(t *testing.T) {
+	base := `{"A": 1.0, "B": [1, 2, 3], "C": {"x": "s", "y": true}, "D": null}`
+	cases := []struct {
+		name  string
+		got   string
+		diffs int
+		want  string // substring of the first diff, "" for clean
+	}{
+		{"identical", base, 0, ""},
+		{"within-tolerance", `{"A": 1.0000000001, "B": [1, 2, 3], "C": {"x": "s", "y": true}, "D": null}`, 0, ""},
+		{"float-drift", `{"A": 1.001, "B": [1, 2, 3], "C": {"x": "s", "y": true}, "D": null}`, 1, "$.A"},
+		{"missing-key", `{"A": 1.0, "B": [1, 2, 3], "D": null}`, 1, "$.C: missing from result"},
+		{"extra-key", `{"A": 1.0, "B": [1, 2, 3], "C": {"x": "s", "y": true}, "D": null, "E": 9}`, 1, "$.E: not in golden file"},
+		{"length", `{"A": 1.0, "B": [1, 2], "C": {"x": "s", "y": true}, "D": null}`, 1, "$.B: length 2, want 3"},
+		{"kind", `{"A": "1.0", "B": [1, 2, 3], "C": {"x": "s", "y": true}, "D": null}`, 1, "$.A: got string, want number"},
+		{"string", `{"A": 1.0, "B": [1, 2, 3], "C": {"x": "t", "y": true}, "D": null}`, 1, "$.C.x"},
+		{"null", `{"A": 1.0, "B": [1, 2, 3], "C": {"x": "s", "y": true}, "D": 0}`, 1, "$.D"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			diffs, err := CompareGolden([]byte(c.got), []byte(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diffs) != c.diffs {
+				t.Fatalf("got %d diffs %v, want %d", len(diffs), diffs, c.diffs)
+			}
+			if c.want != "" && !strings.Contains(diffs[0], c.want) {
+				t.Errorf("diff %q does not contain %q", diffs[0], c.want)
+			}
+		})
+	}
+	t.Run("diff-cap", func(t *testing.T) {
+		var gotB, wantB strings.Builder
+		gotB.WriteString(`[`)
+		wantB.WriteString(`[`)
+		for i := 0; i < 100; i++ {
+			if i > 0 {
+				gotB.WriteString(",")
+				wantB.WriteString(",")
+			}
+			fmt.Fprintf(&gotB, "%d", i)
+			fmt.Fprintf(&wantB, "%d", i+1000)
+		}
+		gotB.WriteString(`]`)
+		wantB.WriteString(`]`)
+		diffs, err := CompareGolden([]byte(gotB.String()), []byte(wantB.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diffs) > maxGoldenDiffs {
+			t.Errorf("diff list not capped: %d > %d", len(diffs), maxGoldenDiffs)
+		}
+	})
+	t.Run("bad-json", func(t *testing.T) {
+		if _, err := CompareGolden([]byte(`{`), []byte(`{}`)); err == nil {
+			t.Error("invalid JSON did not error")
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"math"
+
+	"nanocache/internal/core"
+	"nanocache/internal/experiments"
+	"nanocache/internal/tech"
+)
+
+// relTol is the relative tolerance for float identities that should hold to
+// rounding error (the model is analytic; only accumulation order varies).
+const relTol = 1e-9
+
+// approxEq reports a ≈ b within relTol (relative) or 1e-12 (absolute).
+func approxEq(a, b float64) bool {
+	d := math.Abs(a - b)
+	if d <= 1e-12 {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= relTol*scale
+}
+
+// eachCache visits both L1 outcomes of every raw run.
+func eachCache(s *Subject, fn func(label, side string, o experiments.Outcome, c experiments.CacheOutcome)) {
+	for _, ro := range s.Outcomes {
+		fn(ro.Label, "D", ro.Outcome, ro.Outcome.D)
+		fn(ro.Label, "I", ro.Outcome, ro.Outcome.I)
+	}
+}
+
+func init() {
+	register("conservation/energy-components",
+		"per-cache energy accounts have finite, non-negative components whose bitline term equals the discharge total",
+		func(s *Subject, r *ruleReport) {
+			eachCache(s, func(label, side string, o experiments.Outcome, c experiments.CacheOutcome) {
+				r.use()
+				for node, d := range c.Discharge {
+					if err := d.Check(); err != nil {
+						r.failf("%s %s-cache: %v", label, side, err)
+					}
+					e, ok := c.Energy[node]
+					if !ok {
+						continue
+					}
+					if err := e.Check(); err != nil {
+						r.failf("%s %s-cache: %v", label, side, err)
+					}
+					if !approxEq(e.Bitline, d.Total()) {
+						r.failf("%s %s-cache %v: energy bitline term %.9g != discharge total %.9g",
+							label, side, node, e.Bitline, d.Total())
+					}
+					total := e.Bitline + e.CellCore + e.Dynamic + e.ControlOverhead
+					if !approxEq(e.Total(), total) {
+						r.failf("%s %s-cache %v: Total() %.9g != component sum %.9g",
+							label, side, node, e.Total(), total)
+					}
+				}
+			})
+		})
+
+	register("conservation/subarray-time",
+		"pulled-up time + isolated time = wall time for every subarray of every run",
+		func(s *Subject, r *ruleReport) {
+			eachCache(s, func(label, side string, o experiments.Outcome, c experiments.CacheOutcome) {
+				if c.Subarrays == 0 {
+					return
+				}
+				r.use()
+				if c.BalanceError != 0 {
+					r.failf("%s %s-cache: worst per-subarray pulled+isolated deviates from wall time by %d cycles",
+						label, side, c.BalanceError)
+				}
+				want := o.CPU.Cycles * uint64(c.Subarrays)
+				if got := c.PulledCycles + c.IdleCycles; got != want {
+					r.failf("%s %s-cache: pulled %d + isolated %d = %d subarray-cycles, want cycles×subarrays = %d",
+						label, side, c.PulledCycles, c.IdleCycles, got, want)
+				}
+			})
+		})
+
+	register("conservation/discharge-split",
+		"discharge accounts agree with the ledger: pulled energy / static energy = pulled fraction, static energy = subarrays × wall time",
+		func(s *Subject, r *ruleReport) {
+			eachCache(s, func(label, side string, o experiments.Outcome, c experiments.CacheOutcome) {
+				for node, d := range c.Discharge {
+					if d.StaticEnergy == 0 {
+						continue
+					}
+					r.use()
+					if got := d.PulledEnergy / d.StaticEnergy; !approxEq(got, c.PulledFraction) {
+						r.failf("%s %s-cache %v: pulled energy share %.9g != pulled fraction %.9g",
+							label, side, node, got, c.PulledFraction)
+					}
+					cyc := tech.ParamsFor(node).CycleTime
+					want := float64(c.Subarrays) * float64(o.CPU.Cycles) * cyc
+					if c.Subarrays > 0 && !approxEq(d.StaticEnergy, want) {
+						r.failf("%s %s-cache %v: static energy %.9g != subarrays×cycles×cycleNS %.9g",
+							label, side, node, d.StaticEnergy, want)
+					}
+				}
+			})
+		})
+
+	register("conservation/static-baseline",
+		"a statically pulled-up cache is pulled up the whole run: pulled fraction 1, no isolated time, relative discharge 1 at every node",
+		func(s *Subject, r *ruleReport) {
+			for _, ro := range s.Outcomes {
+				sides := []struct {
+					name string
+					pol  experiments.PolicySpec
+					c    experiments.CacheOutcome
+				}{
+					{"D", ro.Outcome.Config.DPolicy, ro.Outcome.D},
+					{"I", ro.Outcome.Config.IPolicy, ro.Outcome.I},
+				}
+				for _, sd := range sides {
+					if sd.pol.Kind != core.KindStatic || sd.c.Subarrays == 0 {
+						continue
+					}
+					r.use()
+					if sd.c.PulledFraction != 1 {
+						r.failf("%s %s-cache: static pull-up has pulled fraction %.9g, want exactly 1",
+							ro.Label, sd.name, sd.c.PulledFraction)
+					}
+					if sd.c.IdleCycles != 0 {
+						r.failf("%s %s-cache: static pull-up accumulated %d isolated subarray-cycles",
+							ro.Label, sd.name, sd.c.IdleCycles)
+					}
+					for node, d := range sd.c.Discharge {
+						if rel := d.Relative(); rel != 1 {
+							r.failf("%s %s-cache %v: static pull-up relative discharge %.9g, want exactly 1",
+								ro.Label, sd.name, node, rel)
+						}
+					}
+				}
+			}
+		})
+
+	register("conservation/access-counts",
+		"cache and pipeline counters are mutually consistent: misses ≤ accesses, miss ratio = misses/accesses, positive cycles and IPC",
+		func(s *Subject, r *ruleReport) {
+			eachCache(s, func(label, side string, o experiments.Outcome, c experiments.CacheOutcome) {
+				r.use()
+				if c.Misses > c.Accesses {
+					r.failf("%s %s-cache: %d misses exceed %d accesses", label, side, c.Misses, c.Accesses)
+				}
+				if c.Accesses > 0 {
+					if want := float64(c.Misses) / float64(c.Accesses); !approxEq(c.MissRatio, want) {
+						r.failf("%s %s-cache: miss ratio %.9g != misses/accesses %.9g",
+							label, side, c.MissRatio, want)
+					}
+				}
+				if c.WayPredCorrect > c.WayPredLookups {
+					r.failf("%s %s-cache: %d correct way predictions exceed %d lookups",
+						label, side, c.WayPredCorrect, c.WayPredLookups)
+				}
+				if c.DrowsyAwakeFraction < 0 || c.DrowsyAwakeFraction > 1+relTol {
+					r.failf("%s %s-cache: drowsy awake fraction %.9g outside [0,1]",
+						label, side, c.DrowsyAwakeFraction)
+				}
+			})
+			for _, ro := range s.Outcomes {
+				res := ro.Outcome.CPU
+				if res.Cycles == 0 || res.Committed == 0 {
+					r.failf("%s: empty run (%d cycles, %d committed)", ro.Label, res.Cycles, res.Committed)
+					continue
+				}
+				if want := float64(res.Committed) / float64(res.Cycles); !approxEq(res.IPC, want) {
+					r.failf("%s: IPC %.9g != committed/cycles %.9g", ro.Label, res.IPC, want)
+				}
+				if res.Mispredicts > res.Branches {
+					r.failf("%s: %d mispredicts exceed %d branches", ro.Label, res.Mispredicts, res.Branches)
+				}
+				if res.IssuedUops < res.Committed {
+					r.failf("%s: issued %d uops but committed %d", ro.Label, res.IssuedUops, res.Committed)
+				}
+			}
+		})
+}

@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+)
+
+func init() {
+	register("determinism/parallelism",
+		"the figure set is byte-identical at Parallelism 1 and 8 (worker-pool merges never leak completion order)",
+		func(s *Subject, r *ruleReport) {
+			if s.Determinism == nil {
+				return
+			}
+			p := s.Determinism
+			r.expectf(p.SerialDigest == p.ParallelDigest,
+				"figure digests diverge across parallelism (%s): serial %.12s… vs parallel %.12s…",
+				p.Spec, p.SerialDigest, p.ParallelDigest)
+		})
+
+	register("determinism/repeat",
+		"re-running an identical RunConfig at a fixed seed reproduces the outcome byte for byte",
+		func(s *Subject, r *ruleReport) {
+			if s.Determinism == nil {
+				return
+			}
+			p := s.Determinism
+			r.expectf(p.RepeatDigests[0] == p.RepeatDigests[1],
+				"repeated run digests diverge: %.12s… vs %.12s…",
+				p.RepeatDigests[0], p.RepeatDigests[1])
+		})
+
+	register("validity/finite",
+		"no result anywhere in the subject contains a NaN or infinite float",
+		func(s *Subject, r *ruleReport) {
+			if s == nil {
+				return
+			}
+			r.use()
+			seen := map[uintptr]bool{}
+			var walk func(v reflect.Value, path string)
+			walk = func(v reflect.Value, path string) {
+				switch v.Kind() {
+				case reflect.Float64, reflect.Float32:
+					f := v.Float()
+					if math.IsNaN(f) || math.IsInf(f, 0) {
+						r.failf("%s is %v", path, f)
+					}
+				case reflect.Pointer, reflect.Interface:
+					if v.IsNil() {
+						return
+					}
+					if v.Kind() == reflect.Pointer {
+						if p := v.Pointer(); seen[p] {
+							return
+						} else {
+							seen[p] = true
+						}
+					}
+					walk(v.Elem(), path)
+				case reflect.Struct:
+					t := v.Type()
+					for i := 0; i < v.NumField(); i++ {
+						if !t.Field(i).IsExported() {
+							continue
+						}
+						walk(v.Field(i), path+"."+t.Field(i).Name)
+					}
+				case reflect.Slice, reflect.Array:
+					for i := 0; i < v.Len(); i++ {
+						// One representative index in the path keeps
+						// messages short without losing the locus.
+						walk(v.Index(i), pathIndex(path, i))
+					}
+				case reflect.Map:
+					iter := v.MapRange()
+					for iter.Next() {
+						walk(iter.Value(), pathKey(path, iter.Key()))
+					}
+				}
+			}
+			walk(reflect.ValueOf(s), "Subject")
+		})
+}
+
+func pathIndex(path string, i int) string {
+	return path + "[" + strconv.Itoa(i) + "]"
+}
+
+func pathKey(path string, k reflect.Value) string {
+	switch k.Kind() {
+	case reflect.String:
+		return path + "[" + k.String() + "]"
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return path + "[" + strconv.FormatInt(k.Int(), 10) + "]"
+	}
+	return path + "[?]"
+}

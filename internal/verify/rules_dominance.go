@@ -1,0 +1,173 @@
+package verify
+
+import (
+	"nanocache/internal/experiments"
+)
+
+// slowdownSlack absorbs the second-order timing interactions that can make
+// an isolating policy marginally faster than the conventional baseline
+// (different replay/misspeculation interleavings; observed up to ~0.03%
+// on quick runs). Dominance over the budgeted policies uses the same slack.
+const slowdownSlack = 0.005
+
+func init() {
+	register("dominance/oracle-bounds-gated",
+		"the oracle's discharge savings bound the gated policy's per benchmark (Fig. 3 vs Fig. 8), and gated savings are non-negative",
+		func(s *Subject, r *ruleReport) {
+			if s.Figure3 == nil {
+				return
+			}
+			for _, pair := range []struct {
+				rel map[string]float64
+				f8  *experiments.Fig8Result
+			}{
+				{s.Figure3.DRelative, s.Figure8D},
+				{s.Figure3.IRelative, s.Figure8I},
+			} {
+				if pair.f8 == nil {
+					continue
+				}
+				for _, b := range pair.f8.Bench {
+					oracle, ok := pair.rel[b.Benchmark]
+					if !ok {
+						continue
+					}
+					r.use()
+					if oracle > b.RelDischarge+relTol {
+						r.failf("%s %s: oracle relative discharge %.4f exceeds gated %.4f — the oracle must bound gated savings",
+							pair.f8.Side, b.Benchmark, oracle, b.RelDischarge)
+					}
+					if b.RelDischarge < -relTol || b.RelDischarge > 1+relTol {
+						r.failf("%s %s: gated relative discharge %.4f outside [0,1] — savings must be a fraction of the static discharge",
+							pair.f8.Side, b.Benchmark, b.RelDischarge)
+					}
+					if b.EnergySavings < -slowdownSlack || b.EnergySavings > 1+relTol {
+						r.failf("%s %s: gated overall energy saving %.4f outside [0,1]",
+							pair.f8.Side, b.Benchmark, b.EnergySavings)
+					}
+					if oracle < -relTol || oracle > 1+relTol {
+						r.failf("%s %s: oracle relative discharge %.4f outside [0,1]",
+							pair.f8.Side, b.Benchmark, oracle)
+					}
+				}
+			}
+		})
+
+	register("dominance/policy-ordering",
+		"per benchmark, static pull-up IPC ≥ gated IPC ≥ on-demand IPC: gated's slowdown never exceeds on-demand's",
+		func(s *Subject, r *ruleReport) {
+			if s.OnDemand == nil {
+				return
+			}
+			for _, pair := range []struct {
+				f8   *experiments.Fig8Result
+				slow map[string]float64
+			}{
+				{s.Figure8D, s.OnDemand.DSlowdown},
+				{s.Figure8I, s.OnDemand.ISlowdown},
+			} {
+				if pair.f8 == nil {
+					continue
+				}
+				for _, b := range pair.f8.Bench {
+					od, ok := pair.slow[b.Benchmark]
+					if !ok {
+						continue
+					}
+					r.use()
+					if b.Slowdown > od+slowdownSlack {
+						r.failf("%s %s: gated slowdown %.4f exceeds on-demand slowdown %.4f — the IPC order static ≥ gated ≥ on-demand is broken",
+							pair.f8.Side, b.Benchmark, b.Slowdown, od)
+					}
+				}
+			}
+		})
+
+	register("dominance/slowdown-sign",
+		"no precharge policy speeds the machine up: every sweep point and on-demand run has slowdown ≥ 0 (within slack)",
+		func(s *Subject, r *ruleReport) {
+			for id, pts := range s.Sweeps {
+				for _, p := range pts {
+					r.use()
+					if p.Slowdown < -slowdownSlack {
+						r.failf("gated %s %s thr=%d: slowdown %.4f is negative beyond slack %.3f",
+							id.Benchmark, id.Side, p.Threshold, p.Slowdown, slowdownSlack)
+					}
+				}
+			}
+			if s.OnDemand != nil {
+				for _, b := range s.OnDemand.Benchmarks {
+					r.use()
+					if d := s.OnDemand.DSlowdown[b]; d < -slowdownSlack {
+						r.failf("on-demand %s d-cache: slowdown %.4f is negative", b, d)
+					}
+					if i := s.OnDemand.ISlowdown[b]; i < -slowdownSlack {
+						r.failf("on-demand %s i-cache: slowdown %.4f is negative", b, i)
+					}
+				}
+			}
+		})
+
+	register("dominance/within-budget",
+		"Fig. 8's chosen thresholds respect the performance budget (unless the sweep had no feasible point), and the gated average stays under on-demand's",
+		func(s *Subject, r *ruleReport) {
+			if s.Budget <= 0 {
+				return
+			}
+			for _, f8 := range []*experiments.Fig8Result{s.Figure8D, s.Figure8I} {
+				if f8 == nil {
+					continue
+				}
+				for _, b := range f8.Bench {
+					r.use()
+					if b.Slowdown <= s.Budget+relTol {
+						continue
+					}
+					// Infeasible sweeps legitimately fall back to the
+					// gentlest (largest) threshold; anything else over
+					// budget is a selection bug.
+					if pts, ok := s.Sweeps[SweepID{Benchmark: b.Benchmark, Side: f8.Side}]; ok {
+						maxThr := uint64(0)
+						for _, p := range pts {
+							if p.Threshold > maxThr {
+								maxThr = p.Threshold
+							}
+						}
+						if b.Threshold != maxThr {
+							r.failf("%s %s: chosen threshold %d has slowdown %.4f over budget %.3f without being the fallback (max thr %d)",
+								f8.Side, b.Benchmark, b.Threshold, b.Slowdown, s.Budget, maxThr)
+						}
+					}
+				}
+				if s.OnDemand != nil {
+					avgOD := s.OnDemand.DAvg
+					if f8.Side == experiments.InstructionCache {
+						avgOD = s.OnDemand.IAvg
+					}
+					r.expectf(f8.AvgSlowdown <= avgOD+slowdownSlack,
+						"%s: gated average slowdown %.4f exceeds on-demand average %.4f",
+						f8.Side, f8.AvgSlowdown, avgOD)
+				}
+			}
+		})
+
+	register("dominance/predecode-span",
+		"base-register subarray prediction is at least as accurate at coarse (1KB) spans as at line-sized spans, and accuracies are fractions",
+		func(s *Subject, r *ruleReport) {
+			if s.Predecode == nil {
+				return
+			}
+			p := s.Predecode
+			r.expectf(p.Avg1KB >= p.AvgLine-relTol,
+				"average 1KB-span accuracy %.4f below line-span accuracy %.4f — coarser spans cannot be harder to predict on average",
+				p.Avg1KB, p.AvgLine)
+			for _, b := range p.Benchmarks {
+				if a, ok := p.Acc1KB[b]; ok && (a < -relTol || a > 1+relTol) {
+					r.failf("%s: 1KB-span accuracy %.4f outside [0,1]", b, a)
+				}
+				if a, ok := p.AccLine[b]; ok && (a < -relTol || a > 1+relTol) {
+					r.failf("%s: line-span accuracy %.4f outside [0,1]", b, a)
+				}
+			}
+		})
+}

@@ -1,0 +1,218 @@
+package verify
+
+import (
+	"math"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/tech"
+)
+
+// resizableFlatBand bounds how much the resizable cache's relative
+// discharge may drift across technology nodes; the paper's point is that it
+// is nearly flat while gated improves steeply.
+const resizableFlatBand = 0.1
+
+func init() {
+	register("monotonic/leakage-scaling",
+		"Table 1 scaling laws: leakage grows ×3.5 and switching halves per generation 180→130→100→70→50nm; Vdd, cycle time and the switch-to-leak ratio fall strictly",
+		func(s *Subject, r *ruleReport) {
+			nodes := tech.ProjectedNodes()
+			for i := 1; i < len(nodes); i++ {
+				prev, cur := tech.ParamsFor(nodes[i-1]), tech.ParamsFor(nodes[i])
+				r.expectf(approxEq(cur.LeakageScale/prev.LeakageScale, 3.5),
+					"%v→%v: leakage scale grows ×%.4f, want ×3.5",
+					nodes[i-1], nodes[i], cur.LeakageScale/prev.LeakageScale)
+				r.expectf(approxEq(cur.SwitchingScale/prev.SwitchingScale, 0.5),
+					"%v→%v: switching scale changes ×%.4f, want ×0.5",
+					nodes[i-1], nodes[i], cur.SwitchingScale/prev.SwitchingScale)
+				r.expectf(cur.SwitchToLeakRatio() < prev.SwitchToLeakRatio(),
+					"%v→%v: switch-to-leak ratio fails to fall (%.4g → %.4g)",
+					nodes[i-1], nodes[i], prev.SwitchToLeakRatio(), cur.SwitchToLeakRatio())
+				r.expectf(cur.SupplyVoltage < prev.SupplyVoltage,
+					"%v→%v: supply voltage fails to fall (%.2f → %.2f)",
+					nodes[i-1], nodes[i], prev.SupplyVoltage, cur.SupplyVoltage)
+				r.expectf(cur.CycleTime < prev.CycleTime,
+					"%v→%v: cycle time fails to fall (%.4f → %.4f ns)",
+					nodes[i-1], nodes[i], prev.CycleTime, cur.CycleTime)
+			}
+		})
+
+	register("monotonic/gated-across-nodes",
+		"Fig. 9: gated precharging's relative discharge is non-increasing from 180nm to 70nm on both cache sides (isolation pays off more as leakage grows)",
+		func(s *Subject, r *ruleReport) {
+			if s.Figure9 == nil {
+				return
+			}
+			for side, perNode := range s.Figure9.Gated {
+				prev := math.Inf(1)
+				for _, node := range s.Figure9.Nodes {
+					v, ok := perNode[node]
+					if !ok {
+						continue
+					}
+					r.expectf(v <= prev+relTol,
+						"%s %v: gated relative discharge %.4f rises above the previous generation's %.4f",
+						side, node, v, prev)
+					r.expectf(v >= -relTol && v <= 1+relTol,
+						"%s %v: gated relative discharge %.4f outside [0,1]", side, node, v)
+					prev = v
+				}
+			}
+		})
+
+	register("monotonic/resizable-flat",
+		"Fig. 9: the resizable cache's relative discharge is nearly flat across nodes (within ±0.1 between 180nm and 70nm)",
+		func(s *Subject, r *ruleReport) {
+			if s.Figure9 == nil {
+				return
+			}
+			for side, perNode := range s.Figure9.Resizable {
+				v180, ok180 := perNode[tech.N180]
+				v70, ok70 := perNode[tech.N70]
+				if !ok180 || !ok70 {
+					continue
+				}
+				spread := v180 - v70
+				r.expectf(math.Abs(spread) <= resizableFlatBand,
+					"%s: resizable relative discharge drifts %.4f across 180→70nm, beyond the flat band ±%.2f",
+					side, spread, resizableFlatBand)
+				for _, node := range s.Figure9.Nodes {
+					if v, ok := perNode[node]; ok {
+						r.expectf(v >= -relTol && v <= 1+relTol,
+							"%s %v: resizable relative discharge %.4f outside [0,1]", side, node, v)
+					}
+				}
+			}
+		})
+
+	register("monotonic/threshold-sweep",
+		"along every ascending gated threshold sweep, the 70nm relative discharge and the pulled-up fraction are non-decreasing (larger thresholds isolate less)",
+		func(s *Subject, r *ruleReport) {
+			for id, pts := range s.Sweeps {
+				for j := 1; j < len(pts); j++ {
+					r.use()
+					prev, cur := pts[j-1], pts[j]
+					if cur.Threshold <= prev.Threshold {
+						r.failf("gated %s %s: sweep thresholds not strictly ascending (%d after %d)",
+							id.Benchmark, id.Side, cur.Threshold, prev.Threshold)
+						continue
+					}
+					prevCo, curCo := sweepSide(prev, id.Side), sweepSide(cur, id.Side)
+					prevRel := prevCo.Discharge[tech.N70].Relative()
+					curRel := curCo.Discharge[tech.N70].Relative()
+					if curRel < prevRel-relTol {
+						r.failf("gated %s %s thr %d→%d: 70nm relative discharge falls %.6f → %.6f — savings must be monotone in the decay threshold",
+							id.Benchmark, id.Side, prev.Threshold, cur.Threshold, prevRel, curRel)
+					}
+					if curCo.PulledFraction < prevCo.PulledFraction-relTol {
+						r.failf("gated %s %s thr %d→%d: pulled fraction falls %.6f → %.6f",
+							id.Benchmark, id.Side, prev.Threshold, cur.Threshold,
+							prevCo.PulledFraction, curCo.PulledFraction)
+					}
+				}
+			}
+		})
+
+	register("monotonic/table3-pullup",
+		"Table 3: the worst-case bitline pull-up exceeds the final-decode stage at every node and size, so on-demand precharging can never hide",
+		func(s *Subject, r *ruleReport) {
+			if s.Table3 == nil {
+				return
+			}
+			prevBySize := map[int]float64{}
+			for _, row := range s.Table3.Rows {
+				r.use()
+				d := row.Model
+				if d.DecoderDrive <= 0 || d.Predecode <= 0 || d.FinalDecode <= 0 || d.WorstCasePullUp <= 0 {
+					r.failf("%dB %v: non-positive delay in %+v", row.SubarrayBytes, row.Node, d)
+				}
+				if d.WorstCasePullUp <= d.FinalDecode {
+					r.failf("%dB %v: worst-case pull-up %.3fns does not exceed final decode %.3fns",
+						row.SubarrayBytes, row.Node, d.WorstCasePullUp, d.FinalDecode)
+				}
+				if row.OnDemandViable {
+					r.failf("%dB %v: on-demand precharge reported as hideable — pull-up %.3fns vs margin %.3fns",
+						row.SubarrayBytes, row.Node, d.WorstCasePullUp, row.MarginNS)
+				}
+				if prev, ok := prevBySize[row.SubarrayBytes]; ok && d.Total() >= prev {
+					r.failf("%dB %v: total decode delay %.3fns fails to shrink from the previous generation's %.3fns",
+						row.SubarrayBytes, row.Node, d.Total(), prev)
+				}
+				prevBySize[row.SubarrayBytes] = d.Total()
+			}
+		})
+
+	register("monotonic/isolation-transient",
+		"Fig. 2: every isolation transient decays monotonically from its t=0 peak, and peak, settle time and break-even interval all shrink with newer generations",
+		func(s *Subject, r *ruleReport) {
+			if s.Figure2 == nil {
+				return
+			}
+			f2 := s.Figure2
+			prevPeak, prevSettle, prevBreak := math.Inf(1), math.Inf(1), math.Inf(1)
+			for _, node := range tech.Nodes {
+				samples, ok := f2.Power[node]
+				if !ok {
+					continue
+				}
+				r.use()
+				for i := 1; i < len(samples); i++ {
+					if samples[i] > samples[i-1]+relTol {
+						r.failf("%v: transient power rises at t=%.0fns (%.5f → %.5f)",
+							node, f2.TimesNS[i], samples[i-1], samples[i])
+					}
+				}
+				peak := f2.PeakPower[node]
+				if len(samples) > 0 && !approxEq(peak, samples[0]) {
+					r.failf("%v: reported peak %.4f disagrees with the t=0 sample %.4f", node, peak, samples[0])
+				}
+				if peak < 1-relTol {
+					r.failf("%v: isolation peak %.4f below the static level 1.0", node, peak)
+				}
+				r.expectf(peak <= prevPeak+relTol,
+					"%v: isolation peak %.4f exceeds the previous generation's %.4f", node, peak, prevPeak)
+				r.expectf(f2.SettleNS[node] > 0 && f2.SettleNS[node] <= prevSettle,
+					"%v: settle time %.0fns fails to shrink (previous %.0fns)", node, f2.SettleNS[node], prevSettle)
+				r.expectf(f2.BreakEvenNS[node] > 0 && f2.BreakEvenNS[node] <= prevBreak,
+					"%v: break-even interval %.1fns fails to shrink (previous %.1fns)", node, f2.BreakEvenNS[node], prevBreak)
+				prevPeak, prevSettle, prevBreak = peak, f2.SettleNS[node], f2.BreakEvenNS[node]
+			}
+		})
+
+	register("monotonic/locality-cdf",
+		"Figs. 5/6: access CDFs and hot-subarray fractions are true distributions — within [0,1] and non-decreasing in the frequency threshold",
+		func(s *Subject, r *ruleReport) {
+			for _, loc := range []*experiments.LocalityResult{s.LocalityD, s.LocalityI} {
+				if loc == nil {
+					continue
+				}
+				for _, bench := range loc.Benchmarks {
+					for name, series := range map[string][]float64{
+						"access CDF":   loc.AccessCDF[bench],
+						"hot fraction": loc.HotFraction[bench],
+					} {
+						prev := -relTol
+						for i, v := range series {
+							r.use()
+							if v < -relTol || v > 1+relTol {
+								r.failf("%s %s %s[%d]: %.4f outside [0,1]", loc.Side, bench, name, i, v)
+							}
+							if v < prev-relTol {
+								r.failf("%s %s %s: falls %.4f → %.4f at threshold index %d — must be non-decreasing",
+									loc.Side, bench, name, prev, v, i)
+							}
+							prev = v
+						}
+					}
+				}
+			}
+		})
+}
+
+// sweepSide returns the swept cache's outcome from a sweep point.
+func sweepSide(p experiments.SweepPoint, side experiments.CacheSide) experiments.CacheOutcome {
+	if side == experiments.DataCache {
+		return p.Outcome.D
+	}
+	return p.Outcome.I
+}

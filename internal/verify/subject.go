@@ -1,0 +1,275 @@
+package verify
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/workload"
+)
+
+// RunOutcome is one attributed raw architectural run.
+type RunOutcome struct {
+	// Label locates the run in failure messages,
+	// e.g. "baseline mcf" or "gated mcf d-cache thr=32".
+	Label string
+	// Outcome is the priced run result; its Config carries the policies.
+	Outcome experiments.Outcome
+}
+
+// SweepID names one gated threshold sweep.
+type SweepID struct {
+	Benchmark string
+	Side      experiments.CacheSide
+}
+
+// DeterminismProbe carries the digests the determinism rules compare.
+type DeterminismProbe struct {
+	// SerialDigest and ParallelDigest hash the same reduced figure set
+	// computed by two fresh labs at Parallelism 1 and 8.
+	SerialDigest, ParallelDigest string
+	// RepeatDigests hash two executions of one identical RunConfig.
+	RepeatDigests [2]string
+	// Spec describes what was probed, for failure messages.
+	Spec string
+}
+
+// Subject carries whatever slice of the evaluation is available for
+// checking. Nil sections are simply skipped by the rules that need them, so
+// a Subject built from a couple of fuzzed runs is as checkable as a full
+// figure set.
+type Subject struct {
+	// Budget is the performance budget the feasibility rules use
+	// (experiments.Options.PerfBudget).
+	Budget float64
+
+	// Outcomes are raw runs: baselines, sweep points, probes.
+	Outcomes []RunOutcome
+
+	// The quick figure set (any subset).
+	Figure2   *experiments.Fig2Result
+	Table3    *experiments.Table3Result
+	Figure3   *experiments.Fig3Result
+	OnDemand  *experiments.OnDemandResult
+	LocalityD *experiments.LocalityResult
+	LocalityI *experiments.LocalityResult
+	Figure8D  *experiments.Fig8Result
+	Figure8I  *experiments.Fig8Result
+	Figure9   *experiments.Fig9Result
+	Figure10  *experiments.Fig10Result
+	Predecode *experiments.PredecodeResult
+
+	// Sweeps are the full gated threshold sweeps behind Figures 8–10.
+	Sweeps map[SweepID][]experiments.SweepPoint
+
+	// Determinism is the Parallelism/repeat probe (nil skips those rules).
+	Determinism *DeterminismProbe
+}
+
+// AddOutcome appends an attributed raw run.
+func (s *Subject) AddOutcome(label string, o experiments.Outcome) {
+	s.Outcomes = append(s.Outcomes, RunOutcome{Label: label, Outcome: o})
+}
+
+// Digest returns a stable hex digest of any JSON-serializable result; the
+// determinism rules compare digests rather than whole structures so failure
+// messages stay short.
+func Digest(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CollectConfig tunes Collect.
+type CollectConfig struct {
+	// SkipDeterminism drops the Parallelism/repeat probe (it costs a few
+	// extra runs).
+	SkipDeterminism bool
+	// Figure10Sizes overrides the subarray-size ladder of the Figure 10
+	// probe; nil uses {4096, 1024} (1024 shares its sweeps with Figure 8).
+	Figure10Sizes []int
+}
+
+// Collect assembles the full checkable Subject for a lab: the quick figure
+// set, the raw sweeps and baselines behind it, and the determinism probe.
+// Everything routes through the lab's memoization, so collecting after (or
+// before) generating the same figures costs nothing extra.
+func Collect(lab *experiments.Lab, cfg CollectConfig) (*Subject, error) {
+	opts := lab.Options()
+	s := &Subject{
+		Budget: opts.PerfBudget,
+		Sweeps: make(map[SweepID][]experiments.SweepPoint),
+	}
+
+	f2 := experiments.Figure2()
+	s.Figure2 = &f2
+	t3, err := experiments.Table3()
+	if err != nil {
+		return nil, err
+	}
+	s.Table3 = &t3
+
+	f3, err := lab.Figure3()
+	if err != nil {
+		return nil, err
+	}
+	s.Figure3 = &f3
+	od, err := lab.OnDemand()
+	if err != nil {
+		return nil, err
+	}
+	s.OnDemand = &od
+	locD, err := lab.Locality(experiments.DataCache)
+	if err != nil {
+		return nil, err
+	}
+	s.LocalityD = &locD
+	locI, err := lab.Locality(experiments.InstructionCache)
+	if err != nil {
+		return nil, err
+	}
+	s.LocalityI = &locI
+	f8d, err := lab.Figure8(experiments.DataCache)
+	if err != nil {
+		return nil, err
+	}
+	s.Figure8D = &f8d
+	f8i, err := lab.Figure8(experiments.InstructionCache)
+	if err != nil {
+		return nil, err
+	}
+	s.Figure8I = &f8i
+	f9, err := lab.Figure9()
+	if err != nil {
+		return nil, err
+	}
+	s.Figure9 = &f9
+	sizes := cfg.Figure10Sizes
+	if len(sizes) == 0 {
+		sizes = []int{4096, 1024}
+	}
+	f10, err := lab.Figure10(sizes)
+	if err != nil {
+		return nil, err
+	}
+	s.Figure10 = &f10
+	pre, err := lab.Predecode()
+	if err != nil {
+		return nil, err
+	}
+	s.Predecode = &pre
+
+	// Raw material: baselines and the base-size sweeps (all memoized).
+	benches := opts.Benchmarks
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	for _, bench := range benches {
+		base, err := lab.Baseline(bench)
+		if err != nil {
+			return nil, err
+		}
+		s.AddOutcome("baseline "+bench, base)
+		for _, side := range []experiments.CacheSide{experiments.DataCache, experiments.InstructionCache} {
+			pts, err := lab.GatedSweep(bench, side, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.Sweeps[SweepID{Benchmark: bench, Side: side}] = pts
+			for _, p := range pts {
+				s.AddOutcome(fmt.Sprintf("gated %s %s thr=%d", bench, side, p.Threshold), p.Outcome)
+			}
+		}
+	}
+	// A couple of oracle and on-demand raw runs so the conservation rules
+	// see every policy kind, not just static and gated.
+	for _, bench := range benches[:min(2, len(benches))] {
+		ocfg := experiments.RunConfig{
+			Benchmark: bench, Seed: opts.Seed, Instructions: opts.Instructions,
+			SubarrayBytes: opts.SubarrayBytes,
+			DPolicy:       experiments.OraclePolicy(), IPolicy: experiments.OraclePolicy(),
+		}
+		o, err := experiments.Run(ocfg)
+		if err != nil {
+			return nil, err
+		}
+		s.AddOutcome("oracle "+bench, o)
+		ocfg.DPolicy, ocfg.IPolicy = experiments.OnDemandPolicy(), experiments.Static()
+		o, err = experiments.Run(ocfg)
+		if err != nil {
+			return nil, err
+		}
+		s.AddOutcome("on-demand "+bench, o)
+	}
+
+	if !cfg.SkipDeterminism {
+		probe, err := determinismProbe(opts, benches)
+		if err != nil {
+			return nil, err
+		}
+		s.Determinism = probe
+	}
+	return s, nil
+}
+
+// determinismProbe reruns a reduced figure set on two fresh labs at
+// Parallelism 1 and 8, and one fixed RunConfig twice, hashing each result.
+func determinismProbe(opts experiments.Options, benches []string) (*DeterminismProbe, error) {
+	probeOpts := opts
+	probeOpts.Benchmarks = benches[:min(2, len(benches))]
+	if len(probeOpts.Thresholds) > 2 {
+		probeOpts.Thresholds = probeOpts.Thresholds[:2]
+	}
+	probe := &DeterminismProbe{
+		Spec: fmt.Sprintf("benchmarks %v, thresholds %v, parallelism 1 vs 8",
+			probeOpts.Benchmarks, probeOpts.Thresholds),
+	}
+	for i, par := range []int{1, 8} {
+		o := probeOpts
+		o.Parallelism = par
+		lab, err := experiments.NewLab(o)
+		if err != nil {
+			return nil, err
+		}
+		f3, err := lab.Figure3()
+		if err != nil {
+			return nil, err
+		}
+		f8, err := lab.Figure8(experiments.DataCache)
+		if err != nil {
+			return nil, err
+		}
+		d, err := Digest([]any{f3, f8})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			probe.SerialDigest = d
+		} else {
+			probe.ParallelDigest = d
+		}
+	}
+	cfg := experiments.RunConfig{
+		Benchmark: probeOpts.Benchmarks[0], Seed: opts.Seed,
+		Instructions:  opts.Instructions,
+		SubarrayBytes: opts.SubarrayBytes,
+		DPolicy:       experiments.GatedPolicy(opts.ConstantThreshold, true),
+		IPolicy:       experiments.GatedPolicy(opts.ConstantThreshold, false),
+	}
+	for i := range probe.RepeatDigests {
+		o, err := experiments.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		probe.RepeatDigests[i], err = Digest(o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return probe, nil
+}

@@ -1,0 +1,202 @@
+// Package verify is the reproduction's invariant engine: a registry of
+// named, machine-checked rules that any figure set or raw run outcome must
+// obey, independent of the acceptance bands in experiments.Summary.
+//
+// The rules encode four families of cross-cutting relationships the paper's
+// results rest on:
+//
+//   - conservation — per-component energies sum to totals, pulled-up time
+//     plus isolated time equals wall time for every subarray;
+//   - dominance — the oracle bounds gated savings, static pull-up bounds
+//     gated IPC which bounds on-demand IPC;
+//   - monotonicity — leakage grows ×3.5 per generation, gated savings are
+//     monotone in the decay threshold, Table 3's pull-up delay exceeds the
+//     final-decode delay at every node;
+//   - determinism — byte-identical results across Parallelism settings and
+//     repeated runs at a fixed seed.
+//
+// A Subject carries whatever slice of the evaluation is available — a full
+// quick figure set from Collect, or a handful of raw outcomes from the
+// property-based fuzzer — and every rule checks the parts it understands,
+// skipping the rest. Check returns a Report whose violations carry the
+// offending rule's name, so a regression reads as
+// "dominance/oracle-bounds-gated: ..." rather than a silent drift.
+//
+// The golden-master harness in this package's tests complements the rules:
+// TestGolden deep-compares the quick figure set against testdata/golden
+// (regenerate with `go test ./internal/verify -run TestGolden -update`).
+package verify
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Rule is one named invariant. Implementations must be stateless: Check may
+// be called concurrently on different subjects.
+type Rule interface {
+	// Name identifies the rule, namespaced by family,
+	// e.g. "dominance/oracle-bounds-gated".
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Check inspects the subject and returns every violation found. A rule
+	// that finds none of its inputs present returns (nil, false); the bool
+	// reports whether the rule actually evaluated anything.
+	Check(s *Subject) (violations []Violation, applicable bool)
+}
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Rule is the name of the violated rule.
+	Rule string
+	// Detail locates and quantifies the breakage.
+	Detail string
+}
+
+// String renders the named-rule failure message.
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// rule is the standard Rule implementation: a named check function.
+type rule struct {
+	name, doc string
+	check     func(s *Subject, r *ruleReport)
+}
+
+func (r rule) Name() string { return r.name }
+func (r rule) Doc() string  { return r.doc }
+
+func (r rule) Check(s *Subject) ([]Violation, bool) {
+	rep := ruleReport{name: r.name}
+	r.check(s, &rep)
+	return rep.violations, rep.applicable
+}
+
+// ruleReport is the accumulator handed to rule bodies.
+type ruleReport struct {
+	name       string
+	applicable bool
+	violations []Violation
+}
+
+// use marks the rule applicable (it found data to inspect).
+func (r *ruleReport) use() { r.applicable = true }
+
+// failf records a violation.
+func (r *ruleReport) failf(format string, args ...any) {
+	r.violations = append(r.violations, Violation{Rule: r.name, Detail: fmt.Sprintf(format, args...)})
+}
+
+// expectf records a violation unless ok holds (and marks the rule
+// applicable: asserting is inspecting).
+func (r *ruleReport) expectf(ok bool, format string, args ...any) {
+	r.applicable = true
+	if !ok {
+		r.failf(format, args...)
+	}
+}
+
+// registry is the package-wide rule set, populated by the rules_*.go files'
+// init functions and frozen on first use.
+var registry []Rule
+
+// register adds a rule at init time; duplicate names panic (they would make
+// failure messages ambiguous).
+func register(name, doc string, check func(s *Subject, r *ruleReport)) {
+	for _, existing := range registry {
+		if existing.Name() == name {
+			panic("verify: duplicate rule " + name)
+		}
+	}
+	registry = append(registry, rule{name: name, doc: doc, check: check})
+}
+
+// Rules returns the registered rules sorted by name.
+func Rules() []Rule {
+	out := append([]Rule(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// RuleByName looks a rule up.
+func RuleByName(name string) (Rule, bool) {
+	for _, r := range registry {
+		if r.Name() == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Report is the outcome of checking a subject against the registry.
+type Report struct {
+	// Checked lists the rules that evaluated at least one input, Skipped
+	// the rules whose inputs were absent from the subject.
+	Checked, Skipped []string
+	// Violations carries every broken invariant, in rule-name order.
+	Violations []Violation
+}
+
+// OK reports whether every applicable rule held.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, or an error naming the first
+// violated rule and the violation count.
+func (r Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("verify: %d violation(s), first: %s", len(r.Violations), r.Violations[0])
+}
+
+// Render writes the per-rule verdict table followed by every violation.
+func (r Report) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Invariant report")
+	fmt.Fprintln(tw, "rule\tverdict")
+	bad := map[string]int{}
+	for _, v := range r.Violations {
+		bad[v.Rule]++
+	}
+	for _, name := range r.Checked {
+		if n := bad[name]; n > 0 {
+			fmt.Fprintf(tw, "%s\tFAIL (%d)\n", name, n)
+		} else {
+			fmt.Fprintf(tw, "%s\tPASS\n", name)
+		}
+	}
+	for _, name := range r.Skipped {
+		fmt.Fprintf(tw, "%s\tskipped (no inputs)\n", name)
+	}
+	fmt.Fprintf(tw, "total\t%d/%d pass, %d violation(s)\n",
+		len(r.Checked)-len(bad), len(r.Checked), len(r.Violations))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, v := range r.Violations {
+		if _, err := fmt.Fprintf(w, "  %s\n", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check runs every registered rule against the subject.
+func Check(s *Subject) Report {
+	var rep Report
+	for _, r := range Rules() {
+		vs, applicable := r.Check(s)
+		if applicable {
+			rep.Checked = append(rep.Checked, r.Name())
+		} else {
+			rep.Skipped = append(rep.Skipped, r.Name())
+		}
+		rep.Violations = append(rep.Violations, vs...)
+	}
+	sort.SliceStable(rep.Violations, func(i, j int) bool {
+		return rep.Violations[i].Rule < rep.Violations[j].Rule
+	})
+	return rep
+}

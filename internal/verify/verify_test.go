@@ -1,0 +1,238 @@
+package verify
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"nanocache/internal/energy"
+	"nanocache/internal/experiments"
+	"nanocache/internal/tech"
+)
+
+// The full quick-options Subject is expensive (~half a minute of
+// architectural runs on one core), so every test in this package shares one
+// collection. Collect routes through the lab's memoization, so TestGolden
+// and the rule tests pay for the figure set once.
+var (
+	collectOnce sync.Once
+	shared      *Subject
+	sharedErr   error
+)
+
+func sharedSubject(t *testing.T) *Subject {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping full quick-set collection in -short mode")
+	}
+	collectOnce.Do(func() {
+		lab, err := experiments.NewLab(experiments.QuickOptions())
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		shared, sharedErr = Collect(lab, CollectConfig{})
+	})
+	if sharedErr != nil {
+		t.Fatalf("collecting quick subject: %v", sharedErr)
+	}
+	return shared
+}
+
+// TestRulesHoldOnQuickSet is the headline check: every registered invariant
+// holds on the full quick figure set, its raw sweeps and baselines, and the
+// determinism probe.
+func TestRulesHoldOnQuickSet(t *testing.T) {
+	s := sharedSubject(t)
+	rep := Check(s)
+	if len(rep.Skipped) > 0 {
+		t.Errorf("a full subject should exercise every rule; skipped: %v", rep.Skipped)
+	}
+	if !rep.OK() {
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("invariant violations on the quick set:\n%s", buf.String())
+	}
+}
+
+// TestDeliberateBreak doctors a figure result the way a sign-flip regression
+// would and demands the registry catch it with the right rule's name: the
+// acceptance criterion that a broken dominance invariant reads as
+// "dominance/oracle-bounds-gated: ..." rather than passing silently.
+func TestDeliberateBreak(t *testing.T) {
+	s := sharedSubject(t)
+	if s.Figure3 == nil || s.Figure8D == nil || len(s.Figure8D.Bench) == 0 {
+		t.Fatal("quick subject missing Figure 3 or Figure 8")
+	}
+
+	// Invert the first benchmark's gated savings: relative discharge
+	// becomes negative, which also drops it below the oracle's bound.
+	doctored := *s.Figure8D
+	doctored.Bench = append([]experiments.Fig8Bench(nil), s.Figure8D.Bench...)
+	doctored.Bench[0].RelDischarge = -doctored.Bench[0].RelDischarge
+
+	broken := &Subject{Figure3: s.Figure3, Figure8D: &doctored}
+	rep := Check(broken)
+	if rep.OK() {
+		t.Fatal("inverted gated savings passed the registry — dominance rules are toothless")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == "dominance/oracle-bounds-gated" {
+			found = true
+			if !strings.Contains(v.Detail, doctored.Bench[0].Benchmark) {
+				t.Errorf("violation does not name the offending benchmark %q: %s",
+					doctored.Bench[0].Benchmark, v.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected a dominance/oracle-bounds-gated violation, got: %v", rep.Violations)
+	}
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "dominance/") {
+		t.Errorf("Report.Err should name the violated rule, got %v", err)
+	}
+}
+
+// TestDeliberateConservationBreak doctors a raw outcome's energy total and
+// expects the conservation family to flag it.
+func TestDeliberateConservationBreak(t *testing.T) {
+	s := sharedSubject(t)
+	if len(s.Outcomes) == 0 {
+		t.Fatal("quick subject has no raw outcomes")
+	}
+	o := s.Outcomes[0].Outcome
+	// Copy the per-node energy map and inflate one bitline term so it no
+	// longer equals the discharge ledger's total.
+	doctored := make(map[tech.Node]energy.CacheEnergy, len(o.D.Energy))
+	for node, e := range o.D.Energy {
+		doctored[node] = e
+	}
+	e := doctored[tech.N70]
+	e.Bitline = e.Bitline*1.5 + 1
+	doctored[tech.N70] = e
+	o.D.Energy = doctored
+	broken := &Subject{}
+	broken.AddOutcome("doctored "+s.Outcomes[0].Label, o)
+	rep := Check(broken)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == "conservation/energy-components" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected conservation/energy-components to fire, got: %v", rep.Violations)
+	}
+}
+
+// TestRegistry pins the registry's shape: the documented rule families are
+// all present, names are namespaced and documented, and lookup works.
+func TestRegistry(t *testing.T) {
+	rules := Rules()
+	if len(rules) < 15 {
+		t.Fatalf("registry has %d rules, want at least 15", len(rules))
+	}
+	families := map[string]int{}
+	for i, r := range rules {
+		if i > 0 && rules[i-1].Name() >= r.Name() {
+			t.Errorf("Rules() not sorted: %q before %q", rules[i-1].Name(), r.Name())
+		}
+		fam, _, ok := strings.Cut(r.Name(), "/")
+		if !ok {
+			t.Errorf("rule %q is not family-namespaced", r.Name())
+		}
+		families[fam]++
+		if r.Doc() == "" {
+			t.Errorf("rule %q has no doc line", r.Name())
+		}
+		got, ok := RuleByName(r.Name())
+		if !ok || got.Name() != r.Name() {
+			t.Errorf("RuleByName(%q) failed", r.Name())
+		}
+	}
+	for _, fam := range []string{"conservation", "dominance", "monotonic", "determinism", "validity"} {
+		if families[fam] == 0 {
+			t.Errorf("no rules in family %q", fam)
+		}
+	}
+	if _, ok := RuleByName("no/such-rule"); ok {
+		t.Error("RuleByName invented a rule")
+	}
+}
+
+// TestEmptySubject checks the applicability protocol: a subject with no data
+// is all-skip, no violations, and reports OK.
+func TestEmptySubject(t *testing.T) {
+	rep := Check(&Subject{})
+	if !rep.OK() {
+		t.Fatalf("empty subject produced violations: %v", rep.Violations)
+	}
+	// validity/finite always applies (it inspects the subject itself);
+	// everything else must skip for lack of inputs.
+	if len(rep.Checked) > 2 {
+		t.Errorf("empty subject should check almost nothing, checked %v", rep.Checked)
+	}
+}
+
+// TestRenderShowsFailures checks the report table marks failing rules.
+func TestRenderShowsFailures(t *testing.T) {
+	rep := Report{
+		Checked: []string{"dominance/oracle-bounds-gated", "monotonic/leakage-scaling"},
+		Skipped: []string{"determinism/repeat"},
+		Violations: []Violation{
+			{Rule: "dominance/oracle-bounds-gated", Detail: "oracle above gated"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FAIL (1)", "PASS", "skipped (no inputs)", "1/2 pass", "oracle above gated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDigestStable pins Digest to content, not identity.
+func TestDigestStable(t *testing.T) {
+	type payload struct {
+		A float64
+		M map[string]int
+	}
+	a, err := Digest(payload{A: 1.5, M: map[string]int{"x": 1, "y": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Digest(payload{A: 1.5, M: map[string]int{"y": 2, "x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Digest depends on map insertion order")
+	}
+	c, err := Digest(payload{A: 1.5000001, M: map[string]int{"x": 1, "y": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("Digest ignored a value change")
+	}
+}
+
+// TestDuplicateRulePanics pins the registry's duplicate guard.
+func TestDuplicateRulePanics(t *testing.T) {
+	defer func() {
+		// register checks for duplicates before appending, so the registry
+		// is untouched when the panic fires.
+		if recover() == nil {
+			t.Error("registering a duplicate rule name did not panic")
+		}
+	}()
+	register("validity/finite", "dup", func(s *Subject, r *ruleReport) {})
+}

@@ -60,6 +60,7 @@ import (
 	"nanocache/internal/energy"
 	"nanocache/internal/experiments"
 	"nanocache/internal/tech"
+	"nanocache/internal/verify"
 	"nanocache/internal/workload"
 )
 
@@ -249,3 +250,45 @@ const (
 // BenchmarkSpec returns the synthetic workload spec of one benchmark; copy
 // and modify it as a starting point for custom workloads.
 func BenchmarkSpec(name string) (WorkloadSpec, bool) { return workload.ByName(name) }
+
+// VerifyRule is one named invariant of the verification engine — a
+// machine-checked relationship (conservation, dominance, monotonicity,
+// determinism) that any result set must obey.
+type VerifyRule = verify.Rule
+
+// VerifyViolation is one broken invariant, carrying the violated rule's name.
+type VerifyViolation = verify.Violation
+
+// VerifyReport is the outcome of checking a subject against every
+// registered rule; Render writes the per-rule verdict table.
+type VerifyReport = verify.Report
+
+// VerifySubject carries whatever slice of an evaluation is available for
+// invariant checking; rules skip absent sections.
+type VerifySubject = verify.Subject
+
+// VerifyRules returns the registered invariants sorted by name.
+func VerifyRules() []VerifyRule { return verify.Rules() }
+
+// VerifyCheck runs every registered invariant against a subject.
+func VerifyCheck(s *VerifySubject) VerifyReport { return verify.Check(s) }
+
+// VerifyOutcome checks the invariants of a single raw run outcome (the ones
+// that need figure sets or sweeps skip themselves).
+func VerifyOutcome(label string, o Outcome) VerifyReport {
+	s := &VerifySubject{}
+	s.AddOutcome(label, o)
+	return verify.Check(s)
+}
+
+// Verify collects the full checkable subject from a lab — the figure set,
+// the raw sweeps and baselines behind it, and a determinism probe — and
+// runs every registered invariant. Collection routes through the lab's
+// memoization, so verifying after generating figures costs little extra.
+func Verify(lab *Lab) (VerifyReport, error) {
+	s, err := verify.Collect(lab, verify.CollectConfig{})
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	return verify.Check(s), nil
+}
