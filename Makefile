@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-save figures figures-quick verify cover cover-gate fuzz clean
+.PHONY: all build test race race-server bench bench-save figures figures-quick serve verify cover cover-gate fuzz clean
 
 all: build test
 
@@ -17,15 +17,23 @@ test:
 race:
 	go test -race ./...
 
+# The serving layer and the CLI entry points under the race detector (the
+# single-flight collapse and drain paths are the interesting schedules).
+race-server:
+	go test -race ./internal/server/ ./cmd/...
+
 # Reduced versions of every paper experiment as Go benchmarks.
 bench:
 	go test -bench=. -benchmem ./...
 
 # One pass over every benchmark (including BenchmarkLabParallel's serial vs
 # parallel speedup metric), saved as machine-readable test2json lines so the
-# perf trajectory can be diffed across PRs.
+# perf trajectory can be diffed across PRs. The serving layer's cached-hit
+# vs cold-run pair lands in its own file so the daemon's latency trajectory
+# is separately diffable.
 bench-save:
 	go test -json -run '^$$' -bench=. -benchtime=1x ./... > BENCH_parallel.json
+	go test -json -run '^$$' -bench='^BenchmarkServer' -benchtime=10x ./internal/server/ > BENCH_server.json
 
 # Full regeneration of every table and figure (several minutes, one core).
 figures:
@@ -33,6 +41,10 @@ figures:
 
 figures-quick:
 	go run ./cmd/figures -quick
+
+# Start the result-serving daemon on the quick option set.
+serve:
+	go run ./cmd/nanocached -quick -addr 127.0.0.1:8344
 
 # Pure invariant-verification pass: collect the quick-sized figure set and
 # run every registered rule against it. Fails if any rule reports a

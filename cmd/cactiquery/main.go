@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -21,27 +22,37 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cactiquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags in, report out, exit error back.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cactiquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cacheKB  = flag.Int("cache", 32, "cache size in KB")
-		lineB    = flag.Int("line", 32, "line size in bytes")
-		subarray = flag.Int("subarray", 1024, "subarray size in bytes")
-		ways     = flag.Int("ways", 2, "associativity")
-		ports    = flag.Int("ports", 2, "SRAM cell ports")
-		kindName = flag.String("kind", "data", "data|instruction")
-		device   = flag.Float64("device", 10, "precharge device size vs cell transistors")
+		cacheKB  = fs.Int("cache", 32, "cache size in KB")
+		lineB    = fs.Int("line", 32, "line size in bytes")
+		subarray = fs.Int("subarray", 1024, "subarray size in bytes")
+		ways     = fs.Int("ways", 2, "associativity")
+		ports    = fs.Int("ports", 2, "SRAM cell ports")
+		kindName = fs.String("kind", "data", "data|instruction")
+		device   = fs.Float64("device", 10, "precharge device size vs cell transistors")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	kind := cacti.Data
-	if *kindName == "instruction" {
+	var kind cacti.Kind
+	switch *kindName {
+	case "data", "d":
+		kind = cacti.Data
+	case "instruction", "i":
 		kind = cacti.Instruction
+	default:
+		return fmt.Errorf("unknown cache kind %q (data|instruction)", *kindName)
 	}
 	cfg := cacti.Config{
 		Geometry: circuit.Geometry{
@@ -55,7 +66,7 @@ func run() error {
 		Kind: kind,
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "%dKB %d-way %s cache, %dB lines, %dB subarrays (%d subarrays x %d rows), %d-ported cells\n",
 		*cacheKB, *ways, kind, *lineB, *subarray,
 		cfg.Geometry.NumSubarrays(), cfg.Geometry.RowsPerSubarray(), *ports)

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestDefaultReport(t *testing.T) {
+	out, _, err := runCLI(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"32KB 2-way data cache", // the paper's base L1
+		"180nm",                 // every node row renders
+		"130nm",
+		"100nm",
+		"70nm",
+		"bitline leakage share",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("default report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindAndGeometryFlags(t *testing.T) {
+	out, _, err := runCLI(t, "-kind", "instruction", "-subarray", "256", "-ways", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "instruction cache") || !strings.Contains(out, "256B subarrays") {
+		t.Errorf("report does not reflect flags:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-kind", "victim"},
+		{"-subarray", "not-a-number"},
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestBadGeometryIsAnError(t *testing.T) {
+	// A subarray larger than the cache cannot be organized; the model must
+	// refuse rather than emit nonsense rows.
+	if _, _, err := runCLI(t, "-cache", "1", "-subarray", "1048576"); err == nil {
+		t.Error("impossible geometry accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,26 +31,32 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags in, rendered tables on stdout,
+// progress on stderr, exit error back.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		instructions = flag.Uint64("instructions", 0, "instructions per run (0 = option default)")
-		benchmarks   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
-		figs         = flag.String("fig", "2,3,t3,5,6,od,8,9,10,pre,ov,proc,alpha,ext,proj,smt,mach,seeds,sum", "experiments to run")
-		quick        = flag.Bool("quick", false, "reduced runs for a smoke pass")
-		parallel     = flag.Int("parallel", 0, "concurrent architectural runs (0 = one per CPU, 1 = serial)")
-		verbose      = flag.Bool("v", false, "log per-run progress to stderr")
-		seed         = flag.Int64("seed", 1, "workload seed")
-		jsonPath     = flag.String("json", "", "also write all results as JSON to this file")
-		svgDir       = flag.String("svg", "", "also write the figures as SVG charts into this directory")
-		doVerify     = flag.Bool("verify", false, "run the invariant engine over the full figure set after the selected experiments; exit non-zero on any violation")
+		instructions = fs.Uint64("instructions", 0, "instructions per run (0 = option default)")
+		benchmarks   = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
+		figs         = fs.String("fig", "2,3,t3,5,6,od,8,9,10,pre,ov,proc,alpha,ext,proj,smt,mach,seeds,sum", "experiments to run")
+		quick        = fs.Bool("quick", false, "reduced runs for a smoke pass")
+		parallel     = fs.Int("parallel", 0, "concurrent architectural runs (0 = one per CPU, 1 = serial)")
+		verbose      = fs.Bool("v", false, "log per-run progress to stderr")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		jsonPath     = fs.String("json", "", "also write all results as JSON to this file")
+		svgDir       = fs.String("svg", "", "also write the figures as SVG charts into this directory")
+		doVerify     = fs.Bool("verify", false, "run the invariant engine over the full figure set after the selected experiments; exit non-zero on any violation")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	collected := map[string]any{}
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
@@ -85,19 +92,19 @@ func run() error {
 		return err
 	}
 	if *verbose {
-		lab.SetProgress(func(s string) { fmt.Fprintln(os.Stderr, "  ", s) })
+		lab.SetProgress(func(s string) { fmt.Fprintln(stderr, "  ", s) })
 	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	out := os.Stdout
+	out := stdout
 	section := func(name string) func() {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "== %s\n", name)
+		fmt.Fprintf(stderr, "== %s\n", name)
 		return func() {
-			fmt.Fprintf(os.Stderr, "== %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "== %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
 			fmt.Fprintln(out)
 		}
 	}
@@ -364,7 +371,7 @@ func run() error {
 		}
 		done()
 		if n := len(sum.Failures()); n > 0 {
-			fmt.Fprintf(os.Stderr, "figures: %d summary checks outside their bands\n", n)
+			fmt.Fprintf(stderr, "figures: %d summary checks outside their bands\n", n)
 		}
 	}
 	var verifyErr error
@@ -395,7 +402,7 @@ func run() error {
 		if err := enc.Encode(collected); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote JSON results to %s\n", *jsonPath)
+		fmt.Fprintf(stderr, "wrote JSON results to %s\n", *jsonPath)
 	}
 	return verifyErr
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+// TestStaticFigures exercises the no-simulation subset (figure 2, table 3,
+// overhead) so the whole CLI path runs in milliseconds.
+func TestStaticFigures(t *testing.T) {
+	out, errOut, err := runCLI(t, "-quick", "-fig", "2,t3,ov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"180nm", "130nm", "100nm", "70nm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing node %q", want)
+		}
+	}
+	for _, section := range []string{"figure 2", "table 3", "hardware overhead"} {
+		if !strings.Contains(errOut, "== "+section) {
+			t.Errorf("stderr missing section marker for %q:\n%s", section, errOut)
+		}
+	}
+}
+
+// TestJSONOutputShape is the -json contract the server's golden tests rely
+// on: the dump is a JSON object keyed by figure name.
+func TestJSONOutputShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	if _, _, err := runCLI(t, "-quick", "-fig", "2,t3,ov", "-json", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results map[string]json.RawMessage
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("-json output is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"figure2", "table3", "overhead"} {
+		if _, ok := results[key]; !ok {
+			t.Errorf("-json dump missing %q (have %d keys)", key, len(results))
+		}
+	}
+	if _, ok := results["figure8_d-cache"]; ok {
+		t.Error("-json dump contains figure8 although -fig excluded it")
+	}
+}
+
+// TestSVGOutput checks the chart writer plumbing on the cheapest figure.
+func TestSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := runCLI(t, "-quick", "-fig", "2", "-svg", dir); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "figure2.svg"))
+	if err != nil {
+		t.Fatalf("figure2.svg not written: %v", err)
+	}
+	if !bytes.Contains(svg, []byte("<svg")) {
+		t.Error("figure2.svg is not an SVG document")
+	}
+}
+
+// TestTinySimulatedFigure runs one real (minimal) simulation through the
+// CLI: figure 3 for a single benchmark at the smallest instruction budget.
+func TestTinySimulatedFigure(t *testing.T) {
+	out, _, err := runCLI(t, "-quick", "-fig", "3",
+		"-benchmarks", "gcc", "-instructions", "1500", "-parallel", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gcc") {
+		t.Errorf("figure 3 output missing the benchmark row:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-benchmarks", "no-such-benchmark", "-quick", "-fig", "none"},
+		{"-instructions", "10", "-fig", "none"}, // below the validator's floor
+		{"-parallel", "-3"},
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command nanocached serves the reproduction's experiment engine over
+// HTTP/JSON: figures, tables, raw runs and invariant reports, behind an LRU
+// result cache with single-flight collapse (internal/server). Start it once
+// and every dashboard, CI job or curl probe shares one memoized lab instead
+// of re-running sweeps.
+//
+// Usage:
+//
+//	nanocached [-addr HOST:PORT] [-quick] [-cache-size N] [-max-inflight N]
+//	           [-timeout D] [-drain-timeout D] [-instructions N]
+//	           [-benchmarks a,b,c] [-parallel N] [-seed N] [-v]
+//
+// Endpoints: GET /healthz, GET /metrics, GET /v1/options, GET /v1/figures,
+// GET /v1/figures/{name}, GET /v1/table3, GET /v1/verify, POST /v1/run.
+// On SIGINT/SIGTERM the daemon drains: new requests get 503 while in-flight
+// computations finish (bounded by -drain-timeout, after which they are
+// cancelled mid-simulation).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nanocached:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags in, exit error out. It blocks until
+// ctx is cancelled (SIGINT/SIGTERM in production, the test's cancel func in
+// tests) and then drains gracefully.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nanocached", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
+		cacheSize    = fs.Int("cache-size", 256, "LRU result-cache capacity in entries")
+		maxInflight  = fs.Int("max-inflight", 0, "concurrent computations (0 = one per CPU)")
+		timeout      = fs.Duration("timeout", 0, "per-request deadline (0 = none; client contexts still propagate)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound before in-flight computations are cancelled")
+		quick        = fs.Bool("quick", false, "serve the reduced quick option set instead of full evaluation options")
+		instructions = fs.Uint64("instructions", 0, "instructions per run (0 = option default)")
+		benchmarks   = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
+		parallel     = fs.Int("parallel", 0, "concurrent architectural runs inside the lab (0 = one per CPU)")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		verbose      = fs.Bool("v", false, "log per-run lab progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *instructions > 0 {
+		opts.Instructions = *instructions
+	}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	opts.Parallelism = *parallel
+	opts.Seed = *seed
+
+	s, err := server.New(server.Config{
+		Options:        opts,
+		CacheEntries:   *cacheSize,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		s.Lab().SetProgress(func(msg string) { fmt.Fprintln(stderr, "  ", msg) })
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(stderr, "nanocached: listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work (503), let in-flight computations finish, then
+	// cancel whatever is still running when the bound expires.
+	fmt.Fprintln(stderr, "nanocached: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- s.Close(dctx) }()
+	shutdownErr := hs.Shutdown(dctx)
+	if err := <-closeErr; err != nil {
+		return fmt.Errorf("drain incomplete, in-flight computations cancelled: %w", err)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	fmt.Fprintln(stderr, "nanocached: drained cleanly")
+	return nil
+}

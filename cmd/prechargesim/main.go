@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "prechargesim:", err)
 		os.Exit(1)
 	}
@@ -58,31 +59,36 @@ func parsePolicy(kind string, threshold uint64, predecode bool, tolerance float6
 		"unknown policy %q (static|oracle|ondemand|gated|adaptive|resizable|resizable-ways)", kind)
 }
 
-func run() error {
+// run is the testable entry point: flags in, report out, exit error back.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("prechargesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchmark    = flag.String("benchmark", "gcc", "benchmark name (see -list)")
-		list         = flag.Bool("list", false, "list benchmarks and exit")
-		instructions = flag.Uint64("instructions", 200_000, "instructions to simulate")
-		seed         = flag.Int64("seed", 1, "workload seed")
-		subarray     = flag.Int("subarray", 1024, "subarray size in bytes")
-		dpolicy      = flag.String("dpolicy", "gated", "data-cache policy")
-		ipolicy      = flag.String("ipolicy", "gated", "instruction-cache policy")
-		threshold    = flag.Uint64("threshold", 100, "gated decay threshold (cycles)")
-		predecode    = flag.Bool("predecode", true, "enable predecoding hints (gated d-cache)")
-		tolerance    = flag.Float64("tolerance", 0.005, "resizable miss-ratio tolerance")
-		baseline     = flag.Bool("baseline", true, "also run the conventional baseline for comparison")
-		parallel     = flag.Int("parallel", 0, "concurrent runs (0 = one per CPU, 1 = serial)")
-		wayPredict   = flag.Bool("waypredict", false, "enable MRU way prediction on both caches")
-		drowsy       = flag.Uint64("drowsy", 0, "enable drowsy mode with this decay threshold (0 = off)")
-		pipetrace    = flag.Uint64("pipetrace", 0, "print the first N pipeline events to stderr")
-		configPath   = flag.String("config", "", "load the run configuration from this JSON file (overrides policy flags)")
-		dumpConfig   = flag.Bool("dumpconfig", false, "print the run configuration as JSON and exit")
+		benchmark    = fs.String("benchmark", "gcc", "benchmark name (see -list)")
+		list         = fs.Bool("list", false, "list benchmarks and exit")
+		instructions = fs.Uint64("instructions", 200_000, "instructions to simulate")
+		seed         = fs.Int64("seed", 1, "workload seed")
+		subarray     = fs.Int("subarray", 1024, "subarray size in bytes")
+		dpolicy      = fs.String("dpolicy", "gated", "data-cache policy")
+		ipolicy      = fs.String("ipolicy", "gated", "instruction-cache policy")
+		threshold    = fs.Uint64("threshold", 100, "gated decay threshold (cycles)")
+		predecode    = fs.Bool("predecode", true, "enable predecoding hints (gated d-cache)")
+		tolerance    = fs.Float64("tolerance", 0.005, "resizable miss-ratio tolerance")
+		baseline     = fs.Bool("baseline", true, "also run the conventional baseline for comparison")
+		parallel     = fs.Int("parallel", 0, "concurrent runs (0 = one per CPU, 1 = serial)")
+		wayPredict   = fs.Bool("waypredict", false, "enable MRU way prediction on both caches")
+		drowsy       = fs.Uint64("drowsy", 0, "enable drowsy mode with this decay threshold (0 = off)")
+		pipetrace    = fs.Uint64("pipetrace", 0, "print the first N pipeline events to stderr")
+		configPath   = fs.String("config", "", "load the run configuration from this JSON file (overrides policy flags)")
+		dumpConfig   = fs.Bool("dumpconfig", false, "print the run configuration as JSON and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, s := range workload.Specs() {
-			fmt.Printf("%-8s %-9s %s\n", s.Name, s.Suite, s.Description)
+			fmt.Fprintf(stdout, "%-8s %-9s %s\n", s.Name, s.Suite, s.Description)
 		}
 		return nil
 	}
@@ -117,12 +123,12 @@ func run() error {
 		}
 	}
 	if *dumpConfig {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(cfg)
 	}
 	if *pipetrace > 0 {
-		cfg.Tracer = cpu.WriteTracer(os.Stderr, *pipetrace)
+		cfg.Tracer = cpu.WriteTracer(stderr, *pipetrace)
 	}
 	// The policy run and the conventional baseline are independent, so fan
 	// them across the worker pool; outcomes come back in input order.
@@ -143,7 +149,7 @@ func run() error {
 		base = outs[1]
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "benchmark\t%s (%d instructions, seed %d, %dB subarrays)\n",
 		cfg.Benchmark, cfg.Instructions, cfg.Seed, cfg.SubarrayBytes)
 	fmt.Fprintf(tw, "policies\tD=%v\tI=%v\n", cfg.DPolicy.Kind, cfg.IPolicy.Kind)

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nanocache/internal/experiments"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestListBenchmarks(t *testing.T) {
+	out, _, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gcc", "mcf", "health"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpConfigShape(t *testing.T) {
+	out, _, err := runCLI(t, "-dumpconfig", "-benchmark", "mcf", "-threshold", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg experiments.RunConfig
+	if err := json.Unmarshal([]byte(out), &cfg); err != nil {
+		t.Fatalf("-dumpconfig output is not a RunConfig: %v\n%s", err, out)
+	}
+	if cfg.Benchmark != "mcf" || cfg.DPolicy.Threshold != 64 {
+		t.Errorf("dumped config lost flags: %+v", cfg)
+	}
+}
+
+// TestConfigRoundTrip feeds -dumpconfig output back through -config and
+// demands an actual (tiny) simulation completes with the usual report.
+func TestConfigRoundTrip(t *testing.T) {
+	dumped, _, err := runCLI(t, "-dumpconfig", "-benchmark", "gcc", "-instructions", "2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(dumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "-config", path, "-parallel", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmark", "gcc", "d-cache", "i-cache", "slowdown vs conventional", "130nm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTinyRunReport runs the real pipeline for a few thousand instructions
+// under each policy family the flag parser accepts.
+func TestTinyRunReport(t *testing.T) {
+	for _, policy := range []string{"static", "ondemand", "gated", "resizable"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			out, _, err := runCLI(t,
+				"-benchmark", "gcc", "-instructions", "2000",
+				"-dpolicy", policy, "-ipolicy", policy,
+				"-baseline=false", "-parallel", "1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, "precharged fraction") {
+				t.Errorf("%s report missing pull-up stats:\n%s", policy, out)
+			}
+			if strings.Contains(out, "slowdown vs conventional") {
+				t.Errorf("-baseline=false still printed a baseline comparison:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-dpolicy", "psychic"},
+		{"-ipolicy", "psychic"},
+		{"-benchmark", "no-such-benchmark", "-instructions", "2000"},
+		{"-config", filepath.Join(t.TempDir(), "missing.json")},
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -23,22 +24,28 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: flags in, trace or summary out, exit
+// error back.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchmark = flag.String("benchmark", "gcc", "benchmark name")
-		n         = flag.Uint64("n", 32, "micro-ops to emit or analyze")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		summary   = flag.Bool("summary", false, "print stream statistics instead of the trace")
-		out       = flag.String("o", "", "capture a binary trace to this file")
-		replay    = flag.String("replay", "", "read micro-ops from a binary trace file")
+		benchmark = fs.String("benchmark", "gcc", "benchmark name")
+		n         = fs.Uint64("n", 32, "micro-ops to emit or analyze")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		summary   = fs.Bool("summary", false, "print stream statistics instead of the trace")
+		out       = fs.String("o", "", "capture a binary trace to this file")
+		replay    = fs.String("replay", "", "read micro-ops from a binary trace file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var stream isa.Stream
 	var spec workload.Spec
@@ -53,7 +60,7 @@ func run() error {
 		spec = workload.Spec{Name: *replay, Suite: "trace", Description: "replayed trace file"}
 		defer func() {
 			if tr.Err() != nil {
-				fmt.Fprintln(os.Stderr, "tracegen: trace error:", tr.Err())
+				fmt.Fprintln(stderr, "tracegen: trace error:", tr.Err())
 			}
 		}()
 	} else {
@@ -79,37 +86,37 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("captured %d micro-ops to %s\n", captured, *out)
+		fmt.Fprintf(stdout, "captured %d micro-ops to %s\n", captured, *out)
 		return nil
 	}
 	if *summary {
-		return summarize(stream, spec, *n)
+		return summarize(stdout, stream, spec, *n)
 	}
-	return dump(stream, *n)
+	return dump(stdout, stream, *n)
 }
 
-func dump(g isa.Stream, n uint64) error {
+func dump(w io.Writer, g isa.Stream, n uint64) error {
 	var op isa.MicroOp
 	for i := uint64(0); i < n && g.Next(&op); i++ {
 		switch {
 		case op.Class.IsMem():
-			fmt.Printf("%6d  %#010x  %-7s addr=%#010x base=r%d disp=%d dst=r%d\n",
+			fmt.Fprintf(w, "%6d  %#010x  %-7s addr=%#010x base=r%d disp=%d dst=r%d\n",
 				i, op.PC, op.Class, op.Addr, op.Base, op.Disp, op.Dst)
 		case op.Class == isa.Branch:
 			dir := "not-taken"
 			if op.Taken {
 				dir = fmt.Sprintf("taken -> %#x", op.Target)
 			}
-			fmt.Printf("%6d  %#010x  %-7s %s\n", i, op.PC, op.Class, dir)
+			fmt.Fprintf(w, "%6d  %#010x  %-7s %s\n", i, op.PC, op.Class, dir)
 		default:
-			fmt.Printf("%6d  %#010x  %-7s r%d, r%d -> r%d\n",
+			fmt.Fprintf(w, "%6d  %#010x  %-7s r%d, r%d -> r%d\n",
 				i, op.PC, op.Class, op.Src1, op.Src2, op.Dst)
 		}
 	}
 	return nil
 }
 
-func summarize(g isa.Stream, spec workload.Spec, n uint64) error {
+func summarize(w io.Writer, g isa.Stream, spec workload.Spec, n uint64) error {
 	classes := map[isa.Class]uint64{}
 	var op isa.MicroOp
 	var mem, taken, branches uint64
@@ -138,7 +145,7 @@ func summarize(g isa.Stream, spec workload.Spec, n uint64) error {
 			}
 		}
 	}
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "benchmark\t%s (%s)\t%s\n", spec.Name, spec.Suite, spec.Description)
 	fmt.Fprintf(tw, "micro-ops\t%d\n", n)
 	for c := isa.Class(0); c <= isa.Branch; c++ {

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestDumpLineCount(t *testing.T) {
+	out, _, err := runCLI(t, "-benchmark", "mcf", "-n", "30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 30 {
+		t.Fatalf("dump produced %d lines, want 30:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "0x") {
+		t.Errorf("dump lines carry no addresses:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out, _, err := runCLI(t, "-benchmark", "gcc", "-summary", "-n", "20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmark", "gcc", "micro-ops", "distinct data lines", "branches taken"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCaptureReplayRoundTrip is the -o → -replay contract: a trace captured
+// to disk replays as exactly the micro-ops the generator emitted, so the
+// readable dumps are byte-identical.
+func TestCaptureReplayRoundTrip(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "mcf.trace")
+	capOut, _, err := runCLI(t, "-benchmark", "mcf", "-seed", "7", "-n", "5000", "-o", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(capOut, "captured 5000 micro-ops") {
+		t.Fatalf("capture output: %s", capOut)
+	}
+
+	direct, _, err := runCLI(t, "-benchmark", "mcf", "-seed", "7", "-n", "500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, replayErrOut, err := runCLI(t, "-replay", trace, "-n", "500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayErrOut != "" {
+		t.Errorf("replay reported a trace error: %s", replayErrOut)
+	}
+	if direct != replayed {
+		t.Error("replayed dump differs from the generator's dump")
+	}
+
+	// The replayed stream also summarizes without error.
+	sum, _, err := runCLI(t, "-replay", trace, "-summary", "-n", "5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum, "replayed trace file") {
+		t.Errorf("replay summary missing provenance:\n%s", sum)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-benchmark", "no-such-benchmark"},
+		{"-replay", filepath.Join(t.TempDir(), "missing.trace")},
+		{"-n", "minus-five"},
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

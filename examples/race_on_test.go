@@ -1,0 +1,9 @@
+//go:build race
+
+package examples_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the smoke timeout scales up accordingly (the examples
+// themselves run via `go run`, but the host is slower under -race and CI
+// shares cores with the instrumented suite).
+const raceEnabled = true

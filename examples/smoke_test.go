@@ -19,8 +19,24 @@ import (
 // exampleTimeout bounds one example run. The slowest example sweeps several
 // policies over a few hundred thousand instructions; on a loaded CI machine
 // that can take tens of seconds, so the bound is generous — it exists to
-// catch hangs, not to benchmark.
-const exampleTimeout = 3 * time.Minute
+// catch hangs, not to benchmark. Under the race detector the host shares
+// cores with an instrumented test suite, so the bound triples; the
+// NANOCACHE_SMOKE_TIMEOUT environment variable (a Go duration, e.g. "10m")
+// overrides everything for unusually slow machines.
+func exampleTimeout(t *testing.T) time.Duration {
+	if v := os.Getenv("NANOCACHE_SMOKE_TIMEOUT"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("bad NANOCACHE_SMOKE_TIMEOUT %q: %v", v, err)
+		}
+		return d
+	}
+	d := 3 * time.Minute
+	if raceEnabled {
+		d *= 3
+	}
+	return d
+}
 
 // exampleDirs discovers every example directory (any subdirectory holding a
 // main.go). Discovery rather than a hardcoded list means a new example is
@@ -55,15 +71,16 @@ func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("examples run full simulations; skipping in -short mode")
 	}
+	timeout := exampleTimeout(t)
 	for _, dir := range exampleDirs(t) {
 		dir := dir
 		t.Run(dir, func(t *testing.T) {
-			ctx, cancel := context.WithTimeout(context.Background(), exampleTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
 			defer cancel()
 			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
 			out, err := cmd.CombinedOutput()
 			if ctx.Err() == context.DeadlineExceeded {
-				t.Fatalf("example %s exceeded %v\noutput so far:\n%s", dir, exampleTimeout, out)
+				t.Fatalf("example %s exceeded %v\noutput so far:\n%s", dir, timeout, out)
 			}
 			if err != nil {
 				t.Fatalf("example %s failed: %v\noutput:\n%s", dir, err, out)

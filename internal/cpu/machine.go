@@ -13,6 +13,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -172,6 +173,9 @@ type Machine struct {
 	s   isa.Stream
 
 	tracer Tracer
+	// ctx, when non-nil, is polled periodically by Run so a cancelled or
+	// timed-out context aborts a long simulation early (see SetContext).
+	ctx context.Context
 
 	rob       []robEntry
 	headSeq   uint64 // oldest in-flight sequence
@@ -226,6 +230,13 @@ func NewMachine(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) (*Machine, er
 	}
 	return m, nil
 }
+
+// SetContext installs a cancellation context. Run polls it every few
+// thousand simulated cycles: a cancelled (or deadline-exceeded) context makes
+// Run return promptly with an error wrapping ctx.Err(), so serving layers can
+// impose per-request timeouts on architectural runs. A nil context (the
+// default) costs nothing on the hot loop.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
 
 func (m *Machine) entry(seq uint64) *robEntry {
 	return &m.rob[seq%uint64(len(m.rob))]

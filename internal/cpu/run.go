@@ -6,13 +6,28 @@ import (
 	"nanocache/internal/isa"
 )
 
+// ctxPollMask controls how often Run polls an installed context for
+// cancellation: every (ctxPollMask+1) loop iterations. 8192 iterations are a
+// few microseconds of wall time, so cancellation latency is negligible while
+// the common (uncancelled) case pays one masked counter increment.
+const ctxPollMask = 8192 - 1
+
 // Run executes the stream to completion (or cfg.MaxInstructions) and returns
 // the processor-side results. It finishes both caches' accounting at the
-// final cycle, so callers can price energy immediately afterwards.
+// final cycle, so callers can price energy immediately afterwards. If a
+// context was installed with SetContext, its cancellation aborts the run with
+// an error wrapping ctx.Err().
 func (m *Machine) Run() (Result, error) {
 	var now uint64
+	var iter uint64
 	lastProgress := now
 	for {
+		if m.ctx != nil && iter&ctxPollMask == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return m.res, fmt.Errorf("cpu: run aborted at cycle %d: %w", now, err)
+			}
+		}
+		iter++
 		progressed := false
 		next := now + 1
 		noteEvent := func(t uint64) {

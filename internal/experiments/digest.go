@@ -1,0 +1,47 @@
+package experiments
+
+// Canonical cache-key digests. The serving layer (internal/server) memoizes
+// expensive results in an LRU keyed by a stable digest of everything that
+// determines the result: the run configuration (benchmark, seed, policies,
+// subarray geometry — the technology ladder is fixed by the energy pricer)
+// or the lab options. Digests rather than raw structs keep keys small,
+// constant-size and comparable across processes.
+//
+// Canonical form: the struct's JSON encoding. encoding/json emits struct
+// fields in declaration order and these types contain no maps, so the byte
+// stream — and therefore the digest — is deterministic. Function-typed
+// fields (RunConfig.Tracer) are excluded from JSON by tag and so never
+// poison a key.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// canonicalDigest hashes v's canonical JSON encoding.
+func canonicalDigest(kind string, v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("experiments: digesting %s: %w", kind, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Digest returns a stable hex digest of the configuration: two RunConfigs
+// have equal digests iff they describe the same simulation (same benchmark,
+// seed, instruction budget, subarray size, policies, replay mode, machine
+// override — everything except the JSON-excluded Tracer). It is the
+// serving layer's cache key for POST /v1/run.
+func (c RunConfig) Digest() (string, error) {
+	return canonicalDigest("run config", c)
+}
+
+// Digest returns a stable hex digest of the options. Two labs with equal
+// option digests produce byte-identical figures (the engine is
+// deterministic), so the digest scopes every figure-level cache key.
+func (o Options) Digest() (string, error) {
+	return canonicalDigest("options", o)
+}

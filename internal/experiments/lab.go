@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"nanocache/internal/core"
@@ -103,6 +104,12 @@ func (o Options) Validate() error {
 	for _, t := range o.Thresholds {
 		if t < 1 || t > core.MaxThreshold {
 			return fmt.Errorf("experiments: threshold %d out of range", t)
+		}
+	}
+	for _, b := range o.Benchmarks {
+		if _, ok := workload.ByName(b); !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q (known: %s)",
+				b, strings.Join(workload.Names(), ", "))
 		}
 	}
 	return nil

@@ -146,16 +146,24 @@ func TestForEachSerialStopsAtError(t *testing.T) {
 }
 
 // TestLabErrorPropagatesParallel runs a figure over a benchmark list with a
-// poisoned entry and asserts the failure surfaces through the pool.
+// poisoned entry and asserts the failure surfaces through the pool. An
+// unknown benchmark is rejected up front by Options.Validate, so the lab is
+// built with a valid list and poisoned afterwards to exercise the run-time
+// error path through the workers.
 func TestLabErrorPropagatesParallel(t *testing.T) {
 	opts := QuickOptions()
 	opts.Instructions = 5_000
-	opts.Benchmarks = []string{"gcc", "nonesuch"}
+	opts.Benchmarks = []string{"nonesuch"}
+	if _, err := NewLab(opts); err == nil || !strings.Contains(err.Error(), "nonesuch") {
+		t.Fatalf("NewLab with unknown benchmark: err = %v, want validation failure", err)
+	}
+	opts.Benchmarks = []string{"gcc"}
 	opts.Parallelism = 8
 	lab, err := NewLab(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	lab.opts.Benchmarks = []string{"gcc", "nonesuch"}
 	if _, err := lab.Figure3(); err == nil || !strings.Contains(err.Error(), "nonesuch") {
 		t.Fatalf("Figure3 err = %v, want unknown-benchmark failure", err)
 	}

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,12 +66,25 @@ func forEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 		}()
 	}
 	wg.Wait()
+	// Prefer a real failure over cancellation noise: once the first error
+	// cancels the shared context, in-flight context-aware runs abort with
+	// wrapped context.Canceled errors that would otherwise mask the cause.
+	var fallback error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if !errors.Is(err, context.Canceled) {
 			return err
 		}
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fallback
 }
 
 // forEach fans fn(i) for i in [0, n) across the lab's worker pool
@@ -85,15 +99,17 @@ func (l *Lab) forEach(n int, fn func(i int) error) error {
 
 // RunAll executes the configurations concurrently on up to parallelism
 // workers (<= 0 means one per CPU) and returns the outcomes in input order —
-// never completion order. The first failing run cancels the remaining
-// queue; runs already in flight complete and their results are discarded.
+// never completion order. The first failing run cancels the remaining queue
+// and aborts runs already in flight (each run polls the shared context); the
+// reported error is the originating failure, not the cancellation noise.
+// Cancelling ctx aborts everything with ctx.Err().
 func RunAll(ctx context.Context, parallelism int, cfgs []RunConfig) ([]Outcome, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	outs := make([]Outcome, len(cfgs))
-	err := forEachCtx(ctx, parallelism, len(cfgs), func(_ context.Context, i int) error {
-		o, err := Run(cfgs[i])
+	err := forEachCtx(ctx, parallelism, len(cfgs), func(ctx context.Context, i int) error {
+		o, err := RunCtx(ctx, cfgs[i])
 		if err != nil {
 			return err
 		}

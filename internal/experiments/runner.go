@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nanocache/internal/cache"
@@ -231,6 +232,18 @@ func counterBits(p PolicySpec) int {
 
 // Run executes one configuration and assembles the priced outcome.
 func Run(cfg RunConfig) (Outcome, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: the context is polled every few thousand
+// simulated cycles, so a cancelled or timed-out context aborts the
+// architectural run promptly with an error wrapping ctx.Err(). Serving
+// layers use this to put per-request deadlines on arbitrary client-supplied
+// configurations.
+func RunCtx(ctx context.Context, cfg RunConfig) (Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
 	var spec workload.Spec
 	if cfg.Workload != nil {
 		spec = *cfg.Workload
@@ -347,6 +360,9 @@ func Run(cfg RunConfig) (Outcome, error) {
 	}
 	if cfg.Tracer != nil {
 		machine.SetTracer(cfg.Tracer)
+	}
+	if ctx.Done() != nil {
+		machine.SetContext(ctx)
 	}
 	res, err := machine.Run()
 	if err != nil {

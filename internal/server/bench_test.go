@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+)
+
+// serveOnce drives one request straight through the handler (no network),
+// which is what a latency benchmark of the serving layer itself wants.
+func serveOnce(h http.Handler, method, target string, body []byte) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// BenchmarkServerCachedHit measures the steady-state cost of a repeat
+// figure fetch: LRU lookup plus HTTP plumbing, no simulation.
+func BenchmarkServerCachedHit(b *testing.B) {
+	s, err := New(Config{Options: tinyOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	if w := serveOnce(h, http.MethodGet, "/v1/figures/fig8", nil); w.Code != http.StatusOK {
+		b.Fatalf("priming fig8: status %d body %s", w.Code, w.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := serveOnce(h, http.MethodGet, "/v1/figures/fig8", nil); w.Code != http.StatusOK {
+			b.Fatalf("cached fig8: status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkServerColdRun measures a cold POST /v1/run: every iteration uses
+// a distinct seed so the digest never repeats and the architectural run is
+// actually executed.
+func BenchmarkServerColdRun(b *testing.B) {
+	s, err := New(Config{Options: tinyOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	cfg := experiments.RunConfig{
+		Benchmark:    "gcc",
+		Instructions: 1500,
+		DPolicy:      experiments.GatedPolicy(32, false),
+		IPolicy:      experiments.GatedPolicy(32, false),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		body, err := json.Marshal(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w := serveOnce(h, http.MethodPost, "/v1/run", body); w.Code != http.StatusOK {
+			b.Fatalf("cold run %d: status %d body %s", i, w.Code, w.Body)
+		}
+	}
+}
+
+// TestCachedHitSpeedup asserts the acceptance bound: a cached figure fetch
+// must be at least 50x faster than the cold computation it memoizes.
+// Medians over several samples keep a single scheduler hiccup from flaking
+// the ratio.
+func TestCachedHitSpeedup(t *testing.T) {
+	s, err := New(Config{Options: tinyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	cold := time.Now()
+	if w := serveOnce(h, http.MethodGet, "/v1/figures/fig8", nil); w.Code != http.StatusOK {
+		t.Fatalf("cold fig8: status %d body %s", w.Code, w.Body)
+	}
+	coldDur := time.Since(cold)
+
+	const samples = 9
+	hits := make([]time.Duration, samples)
+	for i := range hits {
+		start := time.Now()
+		w := serveOnce(h, http.MethodGet, "/v1/figures/fig8", nil)
+		hits[i] = time.Since(start)
+		if w.Code != http.StatusOK || w.Header().Get("X-Nanocache") != "hit" {
+			t.Fatalf("hit %d: status %d disposition %q", i, w.Code, w.Header().Get("X-Nanocache"))
+		}
+	}
+	// Median of the hit samples.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j] < hits[j-1]; j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	hitDur := hits[samples/2]
+	if hitDur <= 0 {
+		hitDur = time.Nanosecond
+	}
+	ratio := float64(coldDur) / float64(hitDur)
+	t.Logf("cold=%v hit(median)=%v speedup=%.0fx", coldDur, hitDur, ratio)
+	if ratio < 50 {
+		t.Errorf("cached hit only %.1fx faster than cold compute (cold=%v hit=%v), want >=50x",
+			ratio, coldDur, hitDur)
+	}
+}
+
+// ExampleServer_metrics shows the counters a scrape sees after one
+// miss/hit pair. (Compile-checked documentation for the metrics names.)
+func ExampleServer_metrics() {
+	s, _ := New(Config{Options: tinyOptions()})
+	h := s.Handler()
+	serveOnce(h, http.MethodGet, "/v1/figures/overhead", nil)
+	serveOnce(h, http.MethodGet, "/v1/figures/overhead", nil)
+	m := s.Metrics()
+	fmt.Printf("hits=%d misses=%d computes=%d\n", m.CacheHits, m.CacheMisses, m.Computes)
+	// Output: hits=1 misses=1 computes=1
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded least-recently-used byte cache. It holds fully
+// rendered HTTP response payloads keyed by canonical request digests, so a
+// cache hit is a map lookup plus a list splice — no JSON marshalling, no
+// experiment engine, no allocation beyond the response write.
+//
+// Entries are immutable once inserted (the server never mutates a cached
+// payload), so Get can return the stored slice without copying.
+type lru struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	bytes     int64
+	evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRU builds a cache bounded to max entries (max < 1 is clamped to 1:
+// a serving cache that cannot hold even one result defeats the daemon).
+func newLRU(max int) *lru {
+	if max < 1 {
+		max = 1
+	}
+	return &lru{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Get returns the cached payload and marks it most recently used.
+func (c *lru) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a payload, evicting from the cold end as needed.
+func (c *lru) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*lruEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.bytes += int64(len(val))
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*lruEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.val))
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total cached payload size.
+func (c *lru) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Evictions returns the number of entries evicted so far.
+func (c *lru) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress computation shared by every request that asked
+// for the same cache key while it was running: the first requester creates
+// it (and its background compute goroutine), later identical requests join
+// it and block on done. The flight's context is refcounted by waiter count —
+// when the last waiter gives up (client timeout, disconnect), the context is
+// cancelled so a context-aware computation (an architectural run) aborts
+// instead of burning cores for an audience of zero. The result, when one
+// arrives, goes into the LRU before the flight resolves, so the flight layer
+// only ever carries transient state.
+type flight struct {
+	done  chan struct{}
+	val   []byte
+	err   error
+	ctx    context.Context
+	cancel context.CancelFunc
+	// waiters is guarded by the owning group's mutex.
+	waiters int
+}
+
+// finish resolves the flight. Must be called exactly once.
+func (f *flight) finish(val []byte, err error) {
+	f.val, f.err = val, err
+	close(f.done)
+	f.cancel() // release the context's timer/goroutine resources
+}
+
+// flightGroup deduplicates concurrent identical computations by cache key.
+type flightGroup struct {
+	// base parents every flight context, so draining the server cancels
+	// every in-progress computation at once.
+	base context.Context
+
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, m: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating it if absent, and registers the
+// caller as a waiter. created reports whether this caller must start the
+// computation (it is the flight's first requester).
+func (g *flightGroup) join(key string) (f *flight, created bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(g.base)
+	f = &flight{done: make(chan struct{}), ctx: ctx, cancel: cancel, waiters: 1}
+	g.m[key] = f
+	return f, true
+}
+
+// leave deregisters a waiter that gave up (timeout or disconnect). When the
+// last waiter leaves an unresolved flight, its context is cancelled and the
+// key forgotten so a later retry starts fresh.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	abandoned := f.waiters <= 0
+	if abandoned && g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if abandoned {
+		f.cancel()
+	}
+}
+
+// forget removes the key→flight binding (called by the computation just
+// before resolving, success or failure, so the next request either hits the
+// LRU or starts a fresh computation).
+func (g *flightGroup) forget(key string, f *flight) {
+	g.mu.Lock()
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+}
+
+// inflight returns the number of unresolved flights.
+func (g *flightGroup) inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/verify"
+)
+
+// goldenPath locates the shared golden masters maintained by internal/verify
+// (regenerated there with `go test ./internal/verify -run TestGolden -update`).
+// The server intentionally reuses them: an endpoint payload must match what
+// the figures CLI computes for the same options, byte-for-float.
+func goldenPath(name string) string {
+	return filepath.Join("..", "verify", "testdata", "golden", name)
+}
+
+// compareGolden fetches one endpoint and compares the payload against a
+// verify golden master with float tolerance.
+func compareGolden(t *testing.T, url, golden string) {
+	t.Helper()
+	code, _, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d body %s", url, code, body)
+	}
+	want, err := os.ReadFile(goldenPath(golden))
+	if err != nil {
+		t.Fatalf("reading golden %s: %v", golden, err)
+	}
+	diffs, err := verify.CompareGolden(body, want)
+	if err != nil {
+		t.Fatalf("comparing %s against %s: %v", url, golden, err)
+	}
+	for _, d := range diffs {
+		t.Errorf("%s vs %s: %s", url, golden, d)
+	}
+}
+
+// TestTable3MatchesGolden pins the static table endpoint to the golden file
+// without any simulation; it runs even in -short mode.
+func TestTable3MatchesGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: tinyOptions()})
+	compareGolden(t, ts.URL+"/v1/table3", "table3.json")
+	compareGolden(t, ts.URL+"/v1/figures/fig2", "figure2.json")
+}
+
+// TestFigureEndpointsMatchGolden serves the quick figure set (the exact
+// options the verify goldens were generated at) and demands each endpoint's
+// JSON equal the golden master within float tolerance — the acceptance
+// criterion that a served figure matches `cmd/figures -json` output.
+func TestFigureEndpointsMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping quick-set golden comparison in -short mode")
+	}
+	_, ts := newTestServer(t, Config{Options: experiments.QuickOptions()})
+	cases := []struct {
+		path, golden string
+	}{
+		{"/v1/figures/fig8", "figure8_d.json"},
+		{"/v1/figures/fig8?side=i", "figure8_i.json"},
+		{"/v1/figures/fig3", "figure3.json"},
+		{"/v1/figures/ondemand", "ondemand.json"},
+		{"/v1/figures/locality?side=d", "locality_d.json"},
+		{"/v1/figures/locality?side=i", "locality_i.json"},
+		{"/v1/figures/fig9", "figure9.json"},
+		// The verify goldens were collected at Figure10Sizes {4096, 1024}
+		// (verify.CollectConfig's default), so pass them explicitly.
+		{"/v1/figures/fig10?sizes=4096,1024", "figure10.json"},
+		{"/v1/figures/predecode", "predecode.json"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.golden, func(t *testing.T) {
+			compareGolden(t, ts.URL+tc.path, tc.golden)
+		})
+	}
+}

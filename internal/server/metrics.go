@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"nanocache/internal/stats"
+)
+
+// metricSet is the daemon's observability surface: lock-free counters on the
+// request path plus a mutex-guarded latency histogram (internal/stats), all
+// rendered as plaintext name/value lines on GET /metrics. The format is the
+// Prometheus exposition subset (untyped samples, {quantile=...} labels), so
+// a scraper ingests it without the daemon importing anything.
+type metricSet struct {
+	start time.Time
+
+	requests atomic.Uint64 // every HTTP request, including /healthz, /metrics
+	hits     atomic.Uint64 // LRU cache hits
+	misses   atomic.Uint64 // LRU cache misses (joined or started a flight)
+	computes atomic.Uint64 // computations actually started (post-collapse)
+	errors   atomic.Uint64 // 5xx responses other than timeouts
+	timeouts atomic.Uint64 // requests that gave up waiting (504)
+	rejected atomic.Uint64 // requests refused while draining (503)
+	inflight atomic.Int64  // currently executing HTTP requests
+
+	latency *stats.Latency
+}
+
+func newMetricSet() *metricSet {
+	return &metricSet{start: time.Now(), latency: stats.NewLatency()}
+}
+
+// MetricsSnapshot is a consistent-enough view of the counters for tests and
+// the /metrics endpoint (individual counters are atomic; the set is not
+// snapshotted atomically, which scraping tolerates by design).
+type MetricsSnapshot struct {
+	Requests, CacheHits, CacheMisses uint64
+	Computes, Errors, Timeouts       uint64
+	Rejected                         uint64
+	Inflight                         int64
+	CacheEntries                     int
+	CacheBytes                       int64
+	CacheEvictions                   uint64
+	Latency                          stats.LatencySnapshot
+}
+
+// snapshot gathers the counters plus the cache gauges.
+func (m *metricSet) snapshot(c *lru) MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:       m.requests.Load(),
+		CacheHits:      m.hits.Load(),
+		CacheMisses:    m.misses.Load(),
+		Computes:       m.computes.Load(),
+		Errors:         m.errors.Load(),
+		Timeouts:       m.timeouts.Load(),
+		Rejected:       m.rejected.Load(),
+		Inflight:       m.inflight.Load(),
+		CacheEntries:   c.Len(),
+		CacheBytes:     c.Bytes(),
+		CacheEvictions: c.Evictions(),
+		Latency:        m.latency.Snapshot(),
+	}
+}
+
+// render writes the plaintext exposition.
+func (m *metricSet) render(w io.Writer, c *lru) {
+	s := m.snapshot(c)
+	line := func(name string, v any) { fmt.Fprintf(w, "%s %v\n", name, v) }
+	line("nanocached_up", 1)
+	line("nanocached_uptime_seconds", int64(time.Since(m.start).Seconds()))
+	line("nanocached_requests_total", s.Requests)
+	line("nanocached_cache_hits_total", s.CacheHits)
+	line("nanocached_cache_misses_total", s.CacheMisses)
+	line("nanocached_cache_entries", s.CacheEntries)
+	line("nanocached_cache_bytes", s.CacheBytes)
+	line("nanocached_cache_evictions_total", s.CacheEvictions)
+	line("nanocached_computes_total", s.Computes)
+	line("nanocached_errors_total", s.Errors)
+	line("nanocached_timeouts_total", s.Timeouts)
+	line("nanocached_rejected_total", s.Rejected)
+	line("nanocached_inflight", s.Inflight)
+	line("nanocached_request_latency_us_count", s.Latency.Count)
+	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.5\"} %d\n", s.Latency.P50)
+	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.99\"} %d\n", s.Latency.P99)
+	line("nanocached_request_latency_us_max", s.Latency.Max)
+}

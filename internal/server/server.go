@@ -1,0 +1,425 @@
+// Package server is nanocached's serving layer: a long-running HTTP/JSON
+// daemon in front of the experiment engine, so consumers of the
+// reproduction (dashboards, CI, the examples) fetch figures, tables, raw
+// runs and invariant reports without re-running whole sweeps — the paper's
+// gated-precharging observation ("don't pay for what recent history says
+// you won't use") applied one layer up, at the result-serving level.
+//
+// Three mechanisms keep the daemon cheap under load:
+//
+//   - an LRU result cache keyed by canonical digests of (lab options,
+//     endpoint, parameters) or RunConfig.Digest, holding fully rendered
+//     JSON payloads, so repeat requests are byte-identical map lookups;
+//   - single-flight collapse (flight.go): any number of concurrent
+//     identical requests share one computation, whose context is
+//     refcounted by waiter count — abandoned work is cancelled;
+//   - a bounded worker semaphore (Config.MaxInflight) in front of the
+//     PR-1 parallel Lab, so a burst of distinct cold requests queues
+//     instead of oversubscribing the machine.
+//
+// Per-request deadlines propagate as contexts into the architectural runs
+// (experiments.RunCtx), /metrics exposes plaintext counters and latency
+// quantiles (internal/stats), and Close drains gracefully: new work is
+// refused with 503 while in-flight computations finish or abort.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/verify"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Options is the lab configuration every figure endpoint serves from.
+	// The zero value means experiments.DefaultOptions().
+	Options experiments.Options
+	// CacheEntries bounds the LRU result cache (default 256 entries).
+	CacheEntries int
+	// MaxInflight bounds concurrently executing computations; further cold
+	// requests queue on the semaphore. 0 means one per CPU.
+	MaxInflight int
+	// RequestTimeout bounds each request (0 = no server-side deadline;
+	// client contexts still propagate).
+	RequestTimeout time.Duration
+}
+
+// Server is the daemon. Create with New, expose with Handler, stop with
+// Close. A Server is safe for concurrent use by many HTTP requests.
+type Server struct {
+	cfg        Config
+	lab        *experiments.Lab
+	optsDigest string
+	mux        *http.ServeMux
+	cache      *lru
+	flights    *flightGroup
+	sem        chan struct{}
+	m          *metricSet
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+
+	// workMu orders wg.Add against Close's wg.Wait: once closed is set
+	// (under workMu) no further computation can register, so Wait cannot
+	// race an Add from a request that slipped past the drain gate.
+	workMu sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// startWork registers one background computation with the drain WaitGroup.
+// It fails exactly when Close has begun, in which case the caller must not
+// start the computation.
+func (s *Server) startWork() bool {
+	s.workMu.Lock()
+	defer s.workMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// New validates the configuration and builds a serving-ready daemon.
+func New(cfg Config) (*Server, error) {
+	if cfg.Options.Instructions == 0 {
+		// Zero-valued options would fail lab validation anyway; treat them
+		// as "use the full evaluation defaults".
+		cfg.Options = experiments.DefaultOptions()
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.CacheEntries < 0 {
+		return nil, fmt.Errorf("server: negative cache size %d", cfg.CacheEntries)
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("server: negative max-inflight %d", cfg.MaxInflight)
+	}
+	if cfg.RequestTimeout < 0 {
+		return nil, fmt.Errorf("server: negative request timeout %v", cfg.RequestTimeout)
+	}
+	lab, err := experiments.NewLab(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	digest, err := cfg.Options.Digest()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		lab:        lab,
+		optsDigest: digest,
+		cache:      newLRU(cfg.CacheEntries),
+		flights:    newFlightGroup(ctx),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		m:          newMetricSet(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.routes()
+	return s, nil
+}
+
+// Lab exposes the underlying memoized lab (progress logging, tests).
+func (s *Server) Lab() *experiments.Lab { return s.lab }
+
+// Metrics returns a snapshot of the serving counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.m.snapshot(s.cache) }
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the daemon: new requests are refused with 503 while
+// in-flight computations finish. ctx bounds the wait; on expiry every
+// outstanding computation is cancelled (context-aware runs abort within a
+// few thousand simulated cycles) and Close returns ctx.Err().
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	s.workMu.Lock()
+	s.closed = true
+	s.workMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		return ctx.Err()
+	}
+}
+
+// Handler returns the daemon's HTTP handler (instrumentation included).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// routes wires the endpoint table.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/options", s.handleOptions)
+	s.mux.HandleFunc("GET /v1/figures", s.handleFigureIndex)
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/table3", s.handleTable3)
+	s.mux.HandleFunc("GET /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+}
+
+// instrument wraps the mux with the request counters, the latency recorder,
+// the per-request deadline and the drain gate.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.m.requests.Add(1)
+		s.m.inflight.Add(1)
+		defer func() {
+			s.m.inflight.Add(-1)
+			s.m.latency.Observe(time.Since(start))
+		}()
+		if s.draining.Load() && r.URL.Path != "/metrics" {
+			s.m.rejected.Add(1)
+			writeJSONError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// --- plumbing -------------------------------------------------------------
+
+// writeJSONError renders {"error": msg}.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(b, '\n'))
+}
+
+// writePayload serves a rendered JSON payload with its cache disposition.
+func writePayload(w http.ResponseWriter, payload []byte, disposition string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Nanocache", disposition)
+	w.Write(payload)
+}
+
+// serveCached is every expensive endpoint's spine: LRU lookup, single-flight
+// collapse, bounded computation, deadline-aware waiting.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
+	build func(ctx context.Context) (any, error)) {
+	key = key + "@" + s.optsDigest
+	if payload, ok := s.cache.Get(key); ok {
+		s.m.hits.Add(1)
+		writePayload(w, payload, "hit")
+		return
+	}
+	s.m.misses.Add(1)
+	fl, created := s.flights.join(key)
+	if created {
+		// Double-check the LRU: another flight may have published between
+		// our miss and our join, and rebuilding a non-memoized /v1/run
+		// because of that window would waste a whole architectural run.
+		if payload, ok := s.cache.Get(key); ok {
+			s.flights.forget(key, fl)
+			fl.finish(payload, nil)
+		} else if s.startWork() {
+			go s.compute(fl, key, build)
+		} else {
+			// Close began after this request passed the drain gate; refuse
+			// rather than start work the drain would never wait for.
+			s.flights.forget(key, fl)
+			fl.finish(nil, context.Canceled)
+		}
+	}
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			s.failRequest(w, fl.err)
+			return
+		}
+		writePayload(w, fl.val, "miss")
+	case <-r.Context().Done():
+		s.flights.leave(key, fl)
+		s.m.timeouts.Add(1)
+		writeJSONError(w, http.StatusGatewayTimeout,
+			"request deadline exceeded while computing; retry to re-attach")
+	}
+}
+
+// compute runs one collapsed computation in the background, bounded by the
+// worker semaphore, and publishes the rendered payload to the LRU.
+func (s *Server) compute(fl *flight, key string, build func(ctx context.Context) (any, error)) {
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	case <-fl.ctx.Done():
+		s.flights.forget(key, fl)
+		fl.finish(nil, fl.ctx.Err())
+		return
+	}
+	defer func() { <-s.sem }()
+	s.m.computes.Add(1)
+	v, err := build(fl.ctx)
+	if err == nil {
+		var payload []byte
+		payload, err = verify.MarshalGolden(v)
+		if err == nil {
+			s.cache.Put(key, payload)
+			s.flights.forget(key, fl)
+			fl.finish(payload, nil)
+			return
+		}
+	}
+	s.flights.forget(key, fl)
+	fl.finish(nil, err)
+}
+
+// failRequest maps a computation error to a status code.
+func (s *Server) failRequest(w http.ResponseWriter, err error) {
+	var bad badParamError
+	switch {
+	case errors.As(err, &bad):
+		writeJSONError(w, http.StatusBadRequest, bad.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if s.draining.Load() {
+			writeJSONError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		s.m.timeouts.Add(1)
+		writeJSONError(w, http.StatusGatewayTimeout, "computation cancelled: "+err.Error())
+	default:
+		s.m.errors.Add(1)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// --- handlers -------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.render(w, s.cache)
+}
+
+func (s *Server) handleOptions(w http.ResponseWriter, _ *http.Request) {
+	b, err := verify.MarshalGolden(map[string]any{
+		"options": s.cfg.Options,
+		"digest":  s.optsDigest,
+	})
+	if err != nil {
+		s.m.errors.Add(1)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writePayload(w, b, "static")
+}
+
+func (s *Server) handleFigureIndex(w http.ResponseWriter, _ *http.Request) {
+	index := map[string]any{
+		"figures":        figureRegistry,
+		"names":          figureNames(),
+		"options_digest": s.optsDigest,
+	}
+	b, err := verify.MarshalGolden(index)
+	if err != nil {
+		s.m.errors.Add(1)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writePayload(w, b, "static")
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, ok := figureRegistry[name]
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, fmt.Sprintf(
+			"unknown figure %q (known: %s)", name, strings.Join(figureNames(), ", ")))
+		return
+	}
+	q := r.URL.Query()
+	key, err := canonicalFigureKey(name, spec, q)
+	if err != nil {
+		s.failRequest(w, err)
+		return
+	}
+	s.serveCached(w, r, "figure|"+key, func(ctx context.Context) (any, error) {
+		return spec.build(ctx, s.lab, q)
+	})
+}
+
+func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(w, r, "figure|table3", func(ctx context.Context) (any, error) {
+		return experiments.Table3()
+	})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	full := false
+	switch v := r.URL.Query().Get("full"); v {
+	case "", "0", "false":
+	case "1", "true":
+		full = true
+	default:
+		writeJSONError(w, http.StatusBadRequest, "bad full value "+v)
+		return
+	}
+	key := fmt.Sprintf("verify|full=%t", full)
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		subject, err := verify.Collect(s.lab, verify.CollectConfig{SkipDeterminism: !full})
+		if err != nil {
+			return nil, err
+		}
+		return verify.Check(subject), nil
+	})
+}
+
+// maxRunBody bounds POST /v1/run bodies; a RunConfig is a few hundred bytes.
+const maxRunBody = 1 << 20
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRunBody))
+	dec.DisallowUnknownFields()
+	var cfg experiments.RunConfig
+	if err := dec.Decode(&cfg); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad run config: "+err.Error())
+		return
+	}
+	digest, err := cfg.Digest()
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveCached(w, r, "run|"+digest, func(ctx context.Context) (any, error) {
+		return experiments.RunCtx(ctx, cfg)
+	})
+}

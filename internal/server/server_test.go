@@ -1,0 +1,593 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+)
+
+// tinyOptions is the smallest lab the validator accepts: one benchmark, two
+// thresholds, minimum instruction budget. Cold figure computations take
+// milliseconds, which is what an HTTP test wants.
+func tinyOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Instructions = 1500
+	o.Benchmarks = []string{"gcc"}
+	o.Thresholds = []uint64{8, 32}
+	o.ResizeTolerances = []float64{0.01}
+	o.ResizeInterval = 1000
+	o.Parallelism = 2
+	return o
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: tinyOptions()})
+	code, _, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d, body %s", code, body)
+	}
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz body %s", body)
+	}
+}
+
+// TestFigureCacheHit is the acceptance sequence: fetch fig8 twice, demand a
+// byte-identical payload, the hit/miss disposition headers, and the hit
+// visible in /metrics.
+func TestFigureCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: tinyOptions()})
+	code1, h1, body1 := get(t, ts.URL+"/v1/figures/fig8")
+	if code1 != http.StatusOK {
+		t.Fatalf("first fig8: status %d body %s", code1, body1)
+	}
+	if got := h1.Get("X-Nanocache"); got != "miss" {
+		t.Errorf("first fig8 disposition %q, want miss", got)
+	}
+	code2, h2, body2 := get(t, ts.URL+"/v1/figures/fig8")
+	if code2 != http.StatusOK {
+		t.Fatalf("second fig8: status %d", code2)
+	}
+	if got := h2.Get("X-Nanocache"); got != "hit" {
+		t.Errorf("second fig8 disposition %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cache hit is not byte-identical to the original response")
+	}
+	var fig map[string]any
+	if err := json.Unmarshal(body1, &fig); err != nil {
+		t.Fatalf("fig8 response is not JSON: %v", err)
+	}
+	if _, ok := fig["Bench"]; !ok {
+		t.Errorf("fig8 response missing Bench: %v", fig)
+	}
+	m := s.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.Computes != 1 {
+		t.Errorf("metrics after hit sequence: hits=%d misses=%d computes=%d, want 1/1/1",
+			m.CacheHits, m.CacheMisses, m.Computes)
+	}
+	// The aliased side parameter shares the default's cache entry.
+	code3, h3, body3 := get(t, ts.URL+"/v1/figures/fig8?side=d-cache")
+	if code3 != http.StatusOK || h3.Get("X-Nanocache") != "hit" || !bytes.Equal(body1, body3) {
+		t.Errorf("side alias did not share the cache entry: status %d disposition %q",
+			code3, h3.Get("X-Nanocache"))
+	}
+	// The metrics endpoint exposes the same counters as plaintext.
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "nanocached_cache_hits_total 2") {
+		t.Errorf("metrics missing hit counter:\n%s", metrics)
+	}
+}
+
+// TestSingleFlightCollapse fires 64 concurrent identical requests at a cold
+// endpoint and demands exactly one underlying computation — and, via the
+// lab's progress emitter, exactly one set of architectural runs.
+func TestSingleFlightCollapse(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: tinyOptions()})
+	var labRuns atomic.Int64
+	s.Lab().SetProgress(func(string) { labRuns.Add(1) })
+
+	const clients = 64
+	bodies := make([][]byte, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/figures/fig3")
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d received a different payload", i)
+		}
+	}
+	m := s.Metrics()
+	if m.Computes != 1 {
+		t.Errorf("%d concurrent identical requests caused %d computations, want 1",
+			clients, m.Computes)
+	}
+	if m.CacheHits+m.CacheMisses != clients {
+		t.Errorf("hits(%d)+misses(%d) != %d", m.CacheHits, m.CacheMisses, clients)
+	}
+	firstWave := labRuns.Load()
+	if firstWave == 0 {
+		t.Fatal("no architectural runs observed — progress emitter broken?")
+	}
+	// A second wave must be pure cache: zero additional lab runs.
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/figures/fig3")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := labRuns.Load(); got != firstWave {
+		t.Errorf("second wave ran the lab again: %d runs, want %d", got, firstWave)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: tinyOptions()})
+	cfg := experiments.RunConfig{
+		Benchmark:    "gcc",
+		Seed:         1,
+		Instructions: 1500,
+		DPolicy:      experiments.GatedPolicy(100, true),
+		IPolicy:      experiments.GatedPolicy(100, false),
+	}
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (int, http.Header, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, b
+	}
+	code, h, b := post()
+	if code != http.StatusOK {
+		t.Fatalf("run: status %d body %s", code, b)
+	}
+	if h.Get("X-Nanocache") != "miss" {
+		t.Errorf("first run disposition %q", h.Get("X-Nanocache"))
+	}
+	var out experiments.Outcome
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("run response: %v", err)
+	}
+	if out.CPU.Cycles == 0 || out.D.Accesses == 0 {
+		t.Errorf("run outcome looks empty: cycles=%d accesses=%d", out.CPU.Cycles, out.D.Accesses)
+	}
+	code2, h2, b2 := post()
+	if code2 != http.StatusOK || h2.Get("X-Nanocache") != "hit" || !bytes.Equal(b, b2) {
+		t.Errorf("identical config re-POST: status %d disposition %q identical=%t",
+			code2, h2.Get("X-Nanocache"), bytes.Equal(b, b2))
+	}
+	if m := s.Metrics(); m.Computes != 1 {
+		t.Errorf("computes = %d, want 1", m.Computes)
+	}
+}
+
+// TestBadRequests table-drives the failure surface.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: tinyOptions()})
+	post := func(path, body string) func(t *testing.T) (int, []byte) {
+		return func(t *testing.T) (int, []byte) {
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, b
+		}
+	}
+	getReq := func(path string) func(t *testing.T) (int, []byte) {
+		return func(t *testing.T) (int, []byte) {
+			code, _, body := get(t, ts.URL+path)
+			return code, body
+		}
+	}
+	cases := []struct {
+		name string
+		do   func(t *testing.T) (int, []byte)
+		want int
+	}{
+		{"unknown figure", getReq("/v1/figures/fig99"), http.StatusNotFound},
+		{"bad side", getReq("/v1/figures/fig8?side=z"), http.StatusBadRequest},
+		{"unknown param", getReq("/v1/figures/fig3?color=red"), http.StatusBadRequest},
+		{"bad sizes", getReq("/v1/figures/fig10?sizes=-4"), http.StatusBadRequest},
+		{"profile without bench", getReq("/v1/figures/profile"), http.StatusBadRequest},
+		{"unknown profile bench", getReq("/v1/figures/profile?bench=nope"), http.StatusInternalServerError},
+		{"bad verify flag", getReq("/v1/verify?full=maybe"), http.StatusBadRequest},
+		{"run bad json", post("/v1/run", "{"), http.StatusBadRequest},
+		{"run unknown field", post("/v1/run", `{"Bogus": 1}`), http.StatusBadRequest},
+		{"run unknown benchmark", post("/v1/run", `{"Benchmark":"nope","Instructions":1500}`), http.StatusInternalServerError},
+		{"run wrong method", getReq("/v1/run"), http.StatusMethodNotAllowed},
+		{"figures wrong method", post("/v1/figures/fig3", "{}"), http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, body := c.do(t)
+			if code != c.want {
+				t.Errorf("status %d, want %d (body %s)", code, c.want, body)
+			}
+		})
+	}
+}
+
+// TestTimeoutPropagation: a server-side deadline must 504 promptly AND
+// cancel the abandoned architectural run (the context reaches the simulator
+// through experiments.RunCtx).
+func TestTimeoutPropagation(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Options:        tinyOptions(),
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	cfg := experiments.RunConfig{
+		Benchmark:    "gcc",
+		Seed:         7,
+		Instructions: 2_000_000_000, // hours of simulation if left alone
+	}
+	body, _ := json.Marshal(cfg)
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, b)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v, want prompt", elapsed)
+	}
+	// The abandoned computation must die: its context was cancelled when the
+	// last waiter left, and the simulator polls it.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flights.inflight() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned run still in flight 10s after timeout — cancellation not propagating")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m := s.Metrics(); m.Timeouts == 0 {
+		t.Error("timeout not counted in metrics")
+	}
+}
+
+// TestDrainWaitsForInflight: Close must refuse new work immediately but let
+// the in-flight computation finish and be served.
+func TestDrainWaitsForInflight(t *testing.T) {
+	s, err := New(Config{Options: tinyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := experiments.RunConfig{Benchmark: "gcc", Seed: 3, Instructions: 400_000}
+	body, _ := json.Marshal(cfg)
+	type result struct {
+		code int
+		when time.Time
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			reqDone <- result{code: -1, when: time.Now()}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- result{code: resp.StatusCode, when: time.Now()}
+	}()
+	// Wait for the computation to be genuinely in flight.
+	for i := 0; s.flights.inflight() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("run never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	closeDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		closeDone <- s.Close(ctx)
+	}()
+	// Draining: new requests are refused...
+	for i := 0; !s.Draining(); i++ {
+		if i > 1000 {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, _, body := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d body %s, want 503", code, body)
+	}
+	// ...but /metrics stays scrapeable.
+	if code, _, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+		t.Errorf("metrics while draining: status %d, want 200", code)
+	}
+	// The in-flight request completes successfully, and only then does
+	// Close return.
+	r := <-reqDone
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d", r.code)
+	}
+	if err := <-closeDone; err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestCloseCancelsOnDeadline: a Close whose context is already expired
+// hard-cancels outstanding computations instead of waiting.
+func TestCloseCancelsOnDeadline(t *testing.T) {
+	s, err := New(Config{Options: tinyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cfg := experiments.RunConfig{Benchmark: "gcc", Seed: 5, Instructions: 2_000_000_000}
+	body, _ := json.Marshal(cfg)
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	for i := 0; s.flights.inflight() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("run never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Close(expired); err == nil {
+		t.Error("Close with expired context returned nil, want ctx error")
+	}
+	select {
+	case code := <-reqDone:
+		// The waiter observed the cancelled computation as 503 (draining).
+		if code != http.StatusServiceUnavailable && code != http.StatusGatewayTimeout {
+			t.Errorf("cancelled in-flight request: status %d, want 503/504", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight request still blocked 15s after hard Close")
+	}
+}
+
+// TestVerifyEndpoint exercises GET /v1/verify on the tiny lab.
+func TestVerifyEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verify collects a whole figure set; skipping in -short mode")
+	}
+	_, ts := newTestServer(t, Config{Options: tinyOptions()})
+	code, _, body := get(t, ts.URL+"/v1/verify")
+	if code != http.StatusOK {
+		t.Fatalf("verify: status %d body %s", code, body)
+	}
+	var rep struct {
+		OK           bool     `json:"ok"`
+		Checked      []string `json:"checked"`
+		NumViolation int      `json:"num_violations"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.NumViolation != 0 {
+		t.Errorf("invariants violated on the tiny lab: %s", body)
+	}
+	if len(rep.Checked) == 0 {
+		t.Error("verify checked no rules")
+	}
+	// Second fetch is a hit.
+	_, h, _ := get(t, ts.URL+"/v1/verify")
+	if h.Get("X-Nanocache") != "hit" {
+		t.Errorf("verify re-fetch disposition %q, want hit", h.Get("X-Nanocache"))
+	}
+}
+
+// TestIndexAndOptions covers the discovery endpoints.
+func TestIndexAndOptions(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: tinyOptions()})
+	code, _, body := get(t, ts.URL+"/v1/figures")
+	if code != http.StatusOK {
+		t.Fatalf("index: status %d", code)
+	}
+	var idx struct {
+		Names         []string `json:"names"`
+		OptionsDigest string   `json:"options_digest"`
+	}
+	if err := json.Unmarshal(body, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Names) < 15 || idx.OptionsDigest == "" {
+		t.Errorf("index too small: %d names, digest %q", len(idx.Names), idx.OptionsDigest)
+	}
+	code, _, body = get(t, ts.URL+"/v1/options")
+	if code != http.StatusOK || !strings.Contains(string(body), `"digest"`) {
+		t.Errorf("options: status %d body %s", code, body)
+	}
+	// Table3 via its dedicated route matches the registry route bytes.
+	_, _, t3a := get(t, ts.URL+"/v1/table3")
+	_, _, t3b := get(t, ts.URL+"/v1/figures/table3")
+	if !bytes.Equal(t3a, t3b) {
+		t.Error("/v1/table3 and /v1/figures/table3 disagree")
+	}
+}
+
+// TestMaxInflightBounds: with MaxInflight=1, two distinct cold requests
+// serialize through the semaphore but both succeed.
+func TestMaxInflightBounds(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: tinyOptions(), MaxInflight: 1})
+	var wg sync.WaitGroup
+	paths := []string{"/v1/figures/fig3", "/v1/figures/ondemand", "/v1/figures/fig8?side=i"}
+	codes := make([]int, len(paths))
+	wg.Add(len(paths))
+	for i, p := range paths {
+		go func(i int, p string) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + p)
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i, p)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d", paths[i], code)
+		}
+	}
+	if m := s.Metrics(); m.Computes != uint64(len(paths)) {
+		t.Errorf("computes = %d, want %d distinct", m.Computes, len(paths))
+	}
+}
+
+// TestMetricsRendering pins the exposition format lines the CI smoke greps.
+func TestMetricsRendering(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: tinyOptions()})
+	get(t, ts.URL+"/v1/figures/fig2")
+	get(t, ts.URL+"/v1/figures/fig2")
+	_, _, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"nanocached_up 1",
+		"nanocached_requests_total",
+		"nanocached_cache_hits_total 1",
+		"nanocached_cache_misses_total 1",
+		"nanocached_computes_total 1",
+		"nanocached_inflight",
+		`nanocached_request_latency_us{quantile="0.5"}`,
+		`nanocached_request_latency_us{quantile="0.99"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestConfigValidation rejects nonsense configurations.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Options: tinyOptions(), CacheEntries: -1},
+		{Options: tinyOptions(), MaxInflight: -2},
+		{Options: tinyOptions(), RequestTimeout: -time.Second},
+		{Options: experiments.Options{Instructions: 500}}, // fails lab validation
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+	// The zero config resolves to full defaults and validates.
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if s.cfg.CacheEntries != 256 || s.cfg.MaxInflight < 1 {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	s.Close(ctx)
+}
+
+func ExampleServer() {
+	s, err := New(Config{Options: tinyOptions()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(b))
+	// Output: {"status":"ok"}
+}

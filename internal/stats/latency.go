@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Latency is a concurrency-safe request-latency recorder built on the
+// package's log2-bucketed Histogram. The serving layer observes one sample
+// per request from many handler goroutines and renders bucket-resolution
+// quantiles on /metrics; a mutex (rather than sharding) is plenty at the
+// request rates an experiment daemon sees, and keeps Snapshot exact.
+//
+// Samples are recorded in microseconds: a cached hit is a few dozen µs and a
+// cold architectural run minutes, so µs-resolution log2 buckets cover the
+// whole dynamic range in under 40 buckets.
+type Latency struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewLatency returns an empty recorder.
+func NewLatency() *Latency {
+	return &Latency{h: NewHistogram()}
+}
+
+// Observe records one request duration. Negative durations clamp to zero
+// (a monotonic-clock regression should not panic a serving path).
+func (l *Latency) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	l.mu.Lock()
+	l.h.Add(uint64(us))
+	l.mu.Unlock()
+}
+
+// LatencySnapshot is a consistent view of the recorder.
+type LatencySnapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// Mean is the exact mean in microseconds.
+	Mean float64
+	// Max is the largest observation in microseconds.
+	Max uint64
+	// P50 and P99 are bucket-resolution quantiles in microseconds (upper
+	// bucket bounds, so they never understate).
+	P50, P99 uint64
+}
+
+// Snapshot returns a consistent copy of the current statistics.
+func (l *Latency) Snapshot() LatencySnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LatencySnapshot{
+		Count: l.h.Count(),
+		Mean:  l.h.Mean(),
+		Max:   l.h.Max(),
+		P50:   l.h.Quantile(0.5),
+		P99:   l.h.Quantile(0.99),
+	}
+}
+
+// Quantile returns the bucket-resolution q-quantile in microseconds.
+func (l *Latency) Quantile(q float64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Quantile(q)
+}
+
+// String renders a compact summary.
+func (l *Latency) String() string {
+	s := l.Snapshot()
+	return fmt.Sprintf("latency(n=%d mean=%.0fµs p50=%dµs p99=%dµs max=%dµs)",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyQuantiles(t *testing.T) {
+	l := NewLatency()
+	// 99 samples at ~100µs, one at ~1s: p50 must sit in the 100µs decade
+	// and p99 must reach for the outlier's bucket.
+	for i := 0; i < 99; i++ {
+		l.Observe(100 * time.Microsecond)
+	}
+	l.Observe(time.Second)
+	s := l.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50 < 100 || s.P50 > 255 {
+		t.Errorf("p50 = %dµs, want within the 100µs bucket (<=255)", s.P50)
+	}
+	if s.P99 < 100 || s.P99 > 255 {
+		t.Errorf("p99 = %dµs, want in the dominant bucket with 99%% of mass, got %d", s.P99, s.P99)
+	}
+	if q := l.Quantile(1.0); q < 1_000_000 {
+		t.Errorf("p100 = %dµs, want >= 1s outlier", q)
+	}
+	if s.Max != 1_000_000 {
+		t.Errorf("max = %dµs, want 1000000", s.Max)
+	}
+	wantMean := (99*100 + 1_000_000) / 100.0
+	if s.Mean != wantMean {
+		t.Errorf("mean = %v, want %v (exact)", s.Mean, wantMean)
+	}
+}
+
+func TestLatencyNegativeClamps(t *testing.T) {
+	l := NewLatency()
+	l.Observe(-time.Second)
+	s := l.Snapshot()
+	if s.Count != 1 || s.Max != 0 {
+		t.Errorf("negative observation: snapshot %+v, want one zero sample", s)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	l := NewLatency()
+	s := l.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot %+v, want zeros", s)
+	}
+	if l.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// TestLatencyConcurrent hammers Observe from many goroutines; run with
+// -race this proves the recorder is safe on serving hot paths.
+func TestLatencyConcurrent(t *testing.T) {
+	l := NewLatency()
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Observe(time.Duration(g*perG+i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = l.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := l.Snapshot().Count; n != goroutines*perG {
+		t.Errorf("count = %d, want %d", n, goroutines*perG)
+	}
+}

@@ -1,0 +1,67 @@
+package verify
+
+import "encoding/json"
+
+// reportJSON is the wire form of a Report, served by the daemon's
+// GET /v1/verify and written by cmd/figures -json. It spells the verdict out
+// (ok plus counts) so API clients do not have to re-derive it from the
+// violation list, and uses stable lowercase keys so the endpoint's shape is
+// part of the package's contract rather than an accident of field names.
+type reportJSON struct {
+	OK         bool        `json:"ok"`
+	Checked    []string    `json:"checked"`
+	Skipped    []string    `json:"skipped"`
+	Violations []Violation `json:"violations"`
+	// Totals for dashboards: rules that ran, rules that passed, violations.
+	RulesChecked int `json:"rules_checked"`
+	RulesPassed  int `json:"rules_passed"`
+	NumViolation int `json:"num_violations"`
+}
+
+// MarshalJSON renders the report in its stable wire form.
+func (r Report) MarshalJSON() ([]byte, error) {
+	failed := map[string]bool{}
+	for _, v := range r.Violations {
+		failed[v.Rule] = true
+	}
+	passed := 0
+	for _, name := range r.Checked {
+		if !failed[name] {
+			passed++
+		}
+	}
+	// Empty slices marshal as [] rather than null: clients iterate them.
+	checked, skipped, violations := r.Checked, r.Skipped, r.Violations
+	if checked == nil {
+		checked = []string{}
+	}
+	if skipped == nil {
+		skipped = []string{}
+	}
+	if violations == nil {
+		violations = []Violation{}
+	}
+	return json.Marshal(reportJSON{
+		OK:           r.OK(),
+		Checked:      checked,
+		Skipped:      skipped,
+		Violations:   violations,
+		RulesChecked: len(r.Checked),
+		RulesPassed:  passed,
+		NumViolation: len(r.Violations),
+	})
+}
+
+// UnmarshalJSON accepts the wire form produced by MarshalJSON (the derived
+// totals are recomputed from the lists, so a hand-edited document cannot
+// smuggle an inconsistent verdict).
+func (r *Report) UnmarshalJSON(b []byte) error {
+	var w reportJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	r.Checked = w.Checked
+	r.Skipped = w.Skipped
+	r.Violations = w.Violations
+	return nil
+}

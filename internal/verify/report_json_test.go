@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestReportJSONShape pins the wire form of a Report: the daemon's
+// /v1/verify response is part of the serving contract.
+func TestReportJSONShape(t *testing.T) {
+	rep := Report{
+		Checked: []string{"a/one", "b/two"},
+		Skipped: []string{"c/three"},
+		Violations: []Violation{
+			{Rule: "b/two", Detail: "broke"},
+		},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ok", "checked", "skipped", "violations",
+		"rules_checked", "rules_passed", "num_violations"} {
+		if _, present := m[key]; !present {
+			t.Errorf("wire form missing %q: %s", key, b)
+		}
+	}
+	if m["ok"] != false {
+		t.Errorf("ok = %v, want false", m["ok"])
+	}
+	if m["rules_checked"] != 2.0 || m["rules_passed"] != 1.0 || m["num_violations"] != 1.0 {
+		t.Errorf("totals wrong: %s", b)
+	}
+
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OK() || len(back.Checked) != 2 || len(back.Skipped) != 1 || len(back.Violations) != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+// TestReportJSONEmpty: a clean empty report serializes with [] not null.
+func TestReportJSONEmpty(t *testing.T) {
+	b, err := json.Marshal(Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if strings.Contains(s, "null") {
+		t.Errorf("empty report marshals nulls: %s", s)
+	}
+	if !strings.Contains(s, `"ok":true`) {
+		t.Errorf("empty report should be ok: %s", s)
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"nanocache/internal/cpu"
 	"nanocache/internal/energy"
 	"nanocache/internal/experiments"
+	"nanocache/internal/server"
 	"nanocache/internal/tech"
 	"nanocache/internal/verify"
 	"nanocache/internal/workload"
@@ -179,6 +180,12 @@ type CacheEnergy = energy.CacheEnergy
 // Run executes one configuration.
 func Run(cfg RunConfig) (Outcome, error) { return experiments.Run(cfg) }
 
+// RunCtx executes one configuration under a context: cancelling ctx aborts
+// the architectural simulation within a few thousand simulated cycles.
+func RunCtx(ctx context.Context, cfg RunConfig) (Outcome, error) {
+	return experiments.RunCtx(ctx, cfg)
+}
+
 // RunAll executes independent configurations concurrently on up to
 // parallelism workers (<= 0 means one per CPU) and returns the outcomes in
 // input order. The first failing run cancels the remaining queue.
@@ -292,3 +299,20 @@ func Verify(lab *Lab) (VerifyReport, error) {
 	}
 	return verify.Check(s), nil
 }
+
+// ServerConfig parameterizes the result-serving daemon: lab options, LRU
+// cache capacity, computation concurrency and per-request deadline.
+type ServerConfig = server.Config
+
+// Server is the nanocached serving layer: an http.Handler over the
+// experiment engine with an LRU result cache, single-flight collapse of
+// concurrent identical requests, bounded computation and graceful drain.
+// See cmd/nanocached for the daemon around it.
+type Server = server.Server
+
+// ServerMetrics is a snapshot of a Server's request/cache counters.
+type ServerMetrics = server.MetricsSnapshot
+
+// NewServer validates the configuration and builds a serving-ready daemon;
+// expose it with Handler and stop it with Close.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
