@@ -17,10 +17,11 @@ test:
 race:
 	go test -race ./...
 
-# The serving layer and the CLI entry points under the race detector (the
-# single-flight collapse and drain paths are the interesting schedules).
+# The serving layer, job orchestrator, durable store and CLI entry points
+# under the race detector (single-flight collapse, drain, checkpoint resume
+# and two-tier promotion are the interesting schedules).
 race-server:
-	go test -race ./internal/server/ ./cmd/...
+	go test -race ./internal/server/ ./internal/jobs/ ./internal/store/ ./cmd/...
 
 # Reduced versions of every paper experiment as Go benchmarks.
 bench:
@@ -76,7 +77,9 @@ FUZZ_TARGETS := \
 	FuzzReader:./internal/trace \
 	FuzzInterleave:./internal/isa \
 	FuzzCactiConfig:./internal/cacti \
-	FuzzRunInvariants:./internal/verify
+	FuzzRunInvariants:./internal/verify \
+	FuzzJobStateMachine:./internal/jobs \
+	FuzzStoreEnvelope:./internal/store
 
 fuzz:
 	@set -e; for entry in $(FUZZ_TARGETS); do \

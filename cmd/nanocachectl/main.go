@@ -1,0 +1,308 @@
+// Command nanocachectl is the operator's client for nanocached's async job
+// surface: submit sweep jobs, follow their progress over SSE, fetch results,
+// cancel mistakes. It is deliberately thin — every subcommand is one HTTP
+// request (watch is one long-lived one), so anything it does is equally
+// scriptable with curl; the value is the ergonomics.
+//
+// Usage:
+//
+//	nanocachectl [-addr URL] [-timeout D] <subcommand> [args]
+//
+//	submit -figure NAME [-param k=v ...] [-watch]   submit a figure job
+//	submit -run FILE|JSON [-watch]                  submit a raw-run job
+//	list                                            list jobs + state counts
+//	status ID                                       one job snapshot
+//	watch ID                                        follow progress via SSE
+//	result ID                                       fetch the result payload
+//	cancel ID                                       cancel a queued/running job
+//
+// submit prints the accepted job snapshot (including its id) to stdout;
+// result prints the raw JSON payload, byte-identical to the synchronous
+// endpoint for the same spec. watch exits 0 when the job completes and
+// non-zero when it fails or is cancelled.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nanocachectl:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags in, exit error out.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nanocachectl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8344", "nanocached base URL")
+	timeout := fs.Duration("timeout", 0, "overall deadline (0 = none; watch typically wants none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return errors.New("missing subcommand (submit|list|status|watch|result|cancel)")
+	}
+	c := &client{
+		base:   strings.TrimRight(*addr, "/"),
+		hc:     &http.Client{},
+		stdout: stdout,
+		stderr: stderr,
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(ctx, rest, stderr)
+	case "list":
+		return c.printBody(ctx, http.MethodGet, "/v1/jobs")
+	case "status":
+		id, err := oneID(rest)
+		if err != nil {
+			return err
+		}
+		return c.printBody(ctx, http.MethodGet, "/v1/jobs/"+id)
+	case "watch":
+		id, err := oneID(rest)
+		if err != nil {
+			return err
+		}
+		return c.watch(ctx, id)
+	case "result":
+		id, err := oneID(rest)
+		if err != nil {
+			return err
+		}
+		return c.printBody(ctx, http.MethodGet, "/v1/jobs/"+id+"/result")
+	case "cancel":
+		id, err := oneID(rest)
+		if err != nil {
+			return err
+		}
+		return c.printBody(ctx, http.MethodDelete, "/v1/jobs/"+id)
+	}
+	return fmt.Errorf("unknown subcommand %q (want submit|list|status|watch|result|cancel)", cmd)
+}
+
+func oneID(args []string) (string, error) {
+	if len(args) != 1 || args[0] == "" {
+		return "", errors.New("expected exactly one job id argument")
+	}
+	return args[0], nil
+}
+
+// client wraps the daemon's base URL with error-mapping request helpers.
+type client struct {
+	base   string
+	hc     *http.Client
+	stdout io.Writer
+	stderr io.Writer
+}
+
+// do issues one request and maps non-2xx responses (the daemon's
+// {"error": ...} envelope) onto returned errors. The caller owns the body.
+func (c *client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	return resp, nil
+}
+
+// printBody issues one request and copies its payload to stdout.
+func (c *client) printBody(ctx context.Context, method, path string) error {
+	resp, err := c.do(ctx, method, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(c.stdout, resp.Body); err != nil {
+		return err
+	}
+	return nil
+}
+
+// paramFlags collects repeatable -param k=v flags.
+type paramFlags map[string]string
+
+func (p paramFlags) String() string { return "" }
+
+func (p paramFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("bad -param %q (want key=value)", v)
+	}
+	p[k] = val
+	return nil
+}
+
+func (c *client) submit(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nanocachectl submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	figure := fs.String("figure", "", "figure to compute (fig4, fig8, ...)")
+	runSpec := fs.String("run", "", "raw-run config: a JSON file path, or inline JSON starting with '{'")
+	follow := fs.Bool("watch", false, "follow the job to completion after submitting")
+	params := paramFlags{}
+	fs.Var(params, "param", "figure query parameter key=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	req := map[string]any{}
+	switch {
+	case *figure != "" && *runSpec == "":
+		req["figure"] = *figure
+		if len(params) > 0 {
+			req["params"] = params
+		}
+	case *runSpec != "" && *figure == "":
+		raw := []byte(*runSpec)
+		if !strings.HasPrefix(strings.TrimSpace(*runSpec), "{") {
+			b, err := os.ReadFile(*runSpec)
+			if err != nil {
+				return err
+			}
+			raw = b
+		}
+		if !json.Valid(raw) {
+			return errors.New("-run is not valid JSON")
+		}
+		req["run"] = json.RawMessage(raw)
+	default:
+		return errors.New("submit needs exactly one of -figure or -run")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	c.stdout.Write(b)
+	if !*follow {
+		return nil
+	}
+	var j jobSnapshot
+	if err := json.Unmarshal(b, &j); err != nil {
+		return fmt.Errorf("decoding submitted job: %w", err)
+	}
+	return c.watch(ctx, j.ID)
+}
+
+// jobSnapshot is the subset of the daemon's job JSON that watch renders.
+type jobSnapshot struct {
+	ID          string  `json:"id"`
+	State       string  `json:"state"`
+	Error       string  `json:"error"`
+	Attempts    int     `json:"attempts"`
+	TotalPoints int     `json:"total_points"`
+	DonePoints  int     `json:"done_points"`
+	Progress    float64 `json:"progress"`
+	ETASeconds  float64 `json:"eta_seconds"`
+}
+
+func (j jobSnapshot) terminal() bool {
+	switch j.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// watch follows /v1/jobs/{id}/events, printing one line per update and
+// exiting when the job reaches a terminal state. SSE framing is one
+// "data: <json>" line per event plus a blank separator; anything else
+// (event: lines, comments) is skipped.
+func (c *client) watch(ctx context.Context, id string) error {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var last jobSnapshot
+	seen := false
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var j jobSnapshot
+		if err := json.Unmarshal([]byte(data), &j); err != nil {
+			return fmt.Errorf("decoding job event: %w", err)
+		}
+		last, seen = j, true
+		eta := "?"
+		if j.ETASeconds >= 0 {
+			eta = (time.Duration(j.ETASeconds*1000) * time.Millisecond).Truncate(100 * time.Millisecond).String()
+		}
+		fmt.Fprintf(c.stdout, "%s %-9s %d/%d points (%.0f%%) attempt %d eta %s\n",
+			j.ID, j.State, j.DonePoints, j.TotalPoints, 100*j.Progress, j.Attempts, eta)
+		if j.terminal() {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !seen {
+		return errors.New("event stream ended before any update (daemon draining?)")
+	}
+	switch last.State {
+	case "done":
+		return nil
+	case "failed":
+		return fmt.Errorf("job %s failed: %s", last.ID, last.Error)
+	case "cancelled":
+		return fmt.Errorf("job %s was cancelled", last.ID)
+	}
+	return fmt.Errorf("event stream ended with job %s still %s (daemon draining; it resumes on reboot)", last.ID, last.State)
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/server"
+)
+
+// tinyOptions mirrors the server package's smallest valid lab.
+func tinyOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Instructions = 1500
+	o.Benchmarks = []string{"gcc"}
+	o.Thresholds = []uint64{8, 32}
+	o.ResizeTolerances = []float64{0.01}
+	o.ResizeInterval = 1000
+	o.Parallelism = 2
+	return o
+}
+
+// startServer boots an in-process daemon and returns its base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{Options: tinyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return ts.URL
+}
+
+// ctl runs one nanocachectl invocation against base and returns its stdout.
+func ctl(t *testing.T, base string, args ...string) (string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, append([]string{"-addr", base}, args...), &stdout, &stderr)
+	if err != nil {
+		return stdout.String(), err
+	}
+	return stdout.String(), nil
+}
+
+// TestSubmitWatchResult is the CLI walkthrough the README documents: submit
+// a figure job, watch it to completion over SSE, fetch the result, and see
+// it agree with the synchronous endpoint.
+func TestSubmitWatchResult(t *testing.T) {
+	base := startServer(t)
+	out, err := ctl(t, base, "submit", "-figure", "fig8", "-param", "side=d")
+	if err != nil {
+		t.Fatalf("submit: %v\n%s", err, out)
+	}
+	var j struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal([]byte(out), &j); err != nil || j.ID == "" {
+		t.Fatalf("submit output %q: %v", out, err)
+	}
+
+	watchOut, err := ctl(t, base, "watch", j.ID)
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, watchOut)
+	}
+	if !strings.Contains(watchOut, "done") {
+		t.Errorf("watch output missing terminal state:\n%s", watchOut)
+	}
+
+	statusOut, err := ctl(t, base, "status", j.ID)
+	if err != nil || !strings.Contains(statusOut, `"state": "done"`) {
+		t.Errorf("status: %v\n%s", err, statusOut)
+	}
+
+	resultOut, err := ctl(t, base, "result", j.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	resp, err := http.Get(base + "/v1/figures/fig8?side=d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var syncBody bytes.Buffer
+	syncBody.ReadFrom(resp.Body)
+	if resultOut != syncBody.String() {
+		t.Error("ctl result differs from synchronous endpoint")
+	}
+
+	listOut, err := ctl(t, base, "list")
+	if err != nil || !strings.Contains(listOut, j.ID) {
+		t.Errorf("list: %v\n%s", err, listOut)
+	}
+}
+
+// TestSubmitWatchFlag: -watch follows the job inside the submit invocation.
+func TestSubmitWatchFlag(t *testing.T) {
+	base := startServer(t)
+	out, err := ctl(t, base, "submit", "-figure", "fig2", "-watch")
+	if err != nil {
+		t.Fatalf("submit -watch: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "done") {
+		t.Errorf("submit -watch output missing completion:\n%s", out)
+	}
+}
+
+// TestSubmitRunAndCancel covers the run kind (from a file) and cancel.
+func TestSubmitRunAndCancel(t *testing.T) {
+	base := startServer(t)
+	cfg := experiments.RunConfig{Benchmark: "gcc", Seed: 11, Instructions: 2_000_000_000}
+	raw, _ := json.Marshal(cfg)
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctl(t, base, "submit", "-run", path)
+	if err != nil {
+		t.Fatalf("submit -run: %v\n%s", err, out)
+	}
+	var j struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(out), &j); err != nil || j.ID == "" {
+		t.Fatalf("submit output %q", out)
+	}
+	cancelOut, err := ctl(t, base, "cancel", j.ID)
+	if err != nil {
+		t.Fatalf("cancel: %v\n%s", err, cancelOut)
+	}
+	// Watching a cancelled job exits non-zero.
+	if _, err := ctl(t, base, "watch", j.ID); err == nil {
+		t.Error("watch of cancelled job returned nil error")
+	}
+	// Inline-JSON form also parses.
+	out2, err := ctl(t, base, "submit", "-run", `{"Benchmark":"gcc","Seed":12,"Instructions":1500}`)
+	if err != nil {
+		t.Fatalf("inline submit: %v\n%s", err, out2)
+	}
+}
+
+// TestCLIErrors pins the argument-validation surface.
+func TestCLIErrors(t *testing.T) {
+	base := startServer(t)
+	cases := [][]string{
+		{},                                       // no subcommand
+		{"frobnicate"},                           // unknown subcommand
+		{"status"},                               // missing id
+		{"status", "a", "b"},                     // too many args
+		{"submit"},                               // neither figure nor run
+		{"submit", "-figure", "x", "-run", "{}"}, // both
+		{"submit", "-run", "not json"},           // bad inline JSON / missing file
+		{"submit", "-figure", "fig99"},           // server-side rejection
+		{"submit", "-figure", "fig8", "-param", "noequals"},
+		{"status", "j000000000000"}, // unknown id → 404 surfaced
+	}
+	for _, args := range cases {
+		if out, err := ctl(t, base, args...); err == nil {
+			t.Errorf("ctl(%v) succeeded, want error\n%s", args, out)
+		}
+	}
+}

@@ -9,12 +9,18 @@
 //	nanocached [-addr HOST:PORT] [-quick] [-cache-size N] [-max-inflight N]
 //	           [-timeout D] [-drain-timeout D] [-instructions N]
 //	           [-benchmarks a,b,c] [-parallel N] [-seed N] [-v]
+//	           [-store-dir DIR] [-store-max-bytes N] [-store-fsync]
+//	           [-jobs N] [-job-retries N]
 //
 // Endpoints: GET /healthz, GET /metrics, GET /v1/options, GET /v1/figures,
-// GET /v1/figures/{name}, GET /v1/table3, GET /v1/verify, POST /v1/run.
+// GET /v1/figures/{name}, GET /v1/table3, GET /v1/verify, POST /v1/run, and
+// the async job surface POST/GET /v1/jobs, GET/DELETE /v1/jobs/{id},
+// GET /v1/jobs/{id}/result, GET /v1/jobs/{id}/events (SSE).
 // On SIGINT/SIGTERM the daemon drains: new requests get 503 while in-flight
 // computations finish (bounded by -drain-timeout, after which they are
-// cancelled mid-simulation).
+// cancelled mid-simulation). With -store-dir, results and job checkpoints
+// persist across restarts: a rebooted daemon serves previously computed
+// payloads from disk and resumes interrupted jobs at their last checkpoint.
 package main
 
 import (
@@ -62,6 +68,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		parallel     = fs.Int("parallel", 0, "concurrent architectural runs inside the lab (0 = one per CPU)")
 		seed         = fs.Int64("seed", 1, "workload seed")
 		verbose      = fs.Bool("v", false, "log per-run lab progress to stderr")
+
+		storeDir      = fs.String("store-dir", "", "durable result-store directory (empty = memory only)")
+		storeMaxBytes = fs.Int64("store-max-bytes", 0, "on-disk store budget in payload bytes (0 = unbounded)")
+		storeFsync    = fs.Bool("store-fsync", false, "fsync every store and job-record write")
+		jobWorkers    = fs.Int("jobs", 1, "concurrent async jobs")
+		jobRetries    = fs.Int("job-retries", 2, "per-sweep-point transient-failure retries")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +100,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CacheEntries:   *cacheSize,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMaxBytes,
+		StoreFsync:     *storeFsync,
+		Jobs:           *jobWorkers,
+		JobRetries:     *jobRetries,
 	})
 	if err != nil {
 		return err

@@ -184,6 +184,44 @@ func TestDaemonRefusesWhileDraining(t *testing.T) {
 	}
 }
 
+// TestDaemonStoreRestart: with -store-dir, a drained-and-rebooted daemon
+// serves the previously computed figure from disk (X-Nanocache: store) with
+// identical bytes.
+func TestDaemonStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, _, stop := startDaemon(t, "-store-dir", dir, "-jobs", "1", "-job-retries", "1")
+	resp, err := http.Get(base + "/v1/figures/fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fig8: %d %s", resp.StatusCode, first)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	base2, _, stop2 := startDaemon(t, "-store-dir", dir)
+	defer stop2()
+	resp2, err := http.Get(base2 + "/v1/figures/fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("fig8 after restart: %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Nanocache"); got != "store" {
+		t.Errorf("post-restart disposition %q, want store", got)
+	}
+	if string(first) != string(second) {
+		t.Error("restarted daemon served different fig8 bytes")
+	}
+}
+
 // Example_usage documents the canonical curl sequence the README shows.
 func Example_usage() {
 	fmt.Println("nanocached -quick -addr 127.0.0.1:8344 &")

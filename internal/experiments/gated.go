@@ -37,68 +37,95 @@ type Fig8Result struct {
 	ConstAvgRelDischarge float64
 }
 
-// Figure8 evaluates gated precharging on one cache side with per-benchmark
-// optimum thresholds under the performance budget, plus the
-// constant-threshold reference. Benchmarks fan across the worker pool; the
-// merge walks them in input order.
-func (l *Lab) Figure8(side CacheSide) (Fig8Result, error) {
-	r := Fig8Result{Side: side, ConstThreshold: l.opts.ConstantThreshold}
-	benches := l.opts.benchmarks()
-	type cell struct {
-		bench    Fig8Bench
-		constRel []float64
+// Fig8Cell is one benchmark's share of Figure 8: the per-benchmark bar plus
+// the constant-threshold reference samples. It is the figure's checkpoint
+// granularity — the job orchestrator persists one cell per completed sweep
+// point, and AssembleFigure8 rebuilds the figure from any mix of freshly
+// computed and restored cells. The type round-trips through JSON exactly
+// (float64 survives encoding/json bit-for-bit), so an assembled figure is
+// byte-identical to a synchronously computed one.
+type Fig8Cell struct {
+	Bench Fig8Bench
+	// ConstRel are the relative discharges observed at the constant
+	// reference threshold (normally one sample).
+	ConstRel []float64
+}
+
+// Figure8Cell computes one benchmark's Figure 8 cell on one cache side:
+// the full gated threshold sweep, the baseline, and the budget-feasible
+// optimum. Memoization in the lab makes repeated calls cheap.
+func (l *Lab) Figure8Cell(bench string, side CacheSide) (Fig8Cell, error) {
+	pts, err := l.GatedSweep(bench, side, 0)
+	if err != nil {
+		return Fig8Cell{}, err
 	}
-	cells := make([]cell, len(benches))
-	if err := l.forEach(len(benches), func(idx int) error {
-		bench := benches[idx]
-		pts, err := l.GatedSweep(bench, side, 0)
-		if err != nil {
-			return err
-		}
-		base, err := l.Baseline(bench)
-		if err != nil {
-			return err
-		}
-		best := BestFeasible(pts, side, tech.N70, l.opts.PerfBudget)
-		co := best.side(side)
-		baseCo := base.D
-		if side == InstructionCache {
-			baseCo = base.I
-		}
-		c := cell{bench: Fig8Bench{
-			Benchmark:      bench,
-			Threshold:      best.Threshold,
-			PulledFraction: co.PulledFraction,
-			RelDischarge:   co.Discharge[tech.N70].Relative(),
-			Slowdown:       best.Slowdown,
-			EnergySavings:  energy.Savings(co.Energy[tech.N70], baseCo.Energy[tech.N70]),
-		}}
-		for _, p := range pts {
-			if p.Threshold == l.opts.ConstantThreshold {
-				c.constRel = append(c.constRel, p.side(side).Discharge[tech.N70].Relative())
-			}
-		}
-		cells[idx] = c
-		return nil
-	}); err != nil {
-		return Fig8Result{}, err
+	base, err := l.Baseline(bench)
+	if err != nil {
+		return Fig8Cell{}, err
 	}
+	best := BestFeasible(pts, side, tech.N70, l.opts.PerfBudget)
+	co := best.side(side)
+	baseCo := base.D
+	if side == InstructionCache {
+		baseCo = base.I
+	}
+	c := Fig8Cell{Bench: Fig8Bench{
+		Benchmark:      bench,
+		Threshold:      best.Threshold,
+		PulledFraction: co.PulledFraction,
+		RelDischarge:   co.Discharge[tech.N70].Relative(),
+		Slowdown:       best.Slowdown,
+		EnergySavings:  energy.Savings(co.Energy[tech.N70], baseCo.Energy[tech.N70]),
+	}}
+	for _, p := range pts {
+		if p.Threshold == l.opts.ConstantThreshold {
+			c.ConstRel = append(c.ConstRel, p.side(side).Discharge[tech.N70].Relative())
+		}
+	}
+	return c, nil
+}
+
+// AssembleFigure8 merges per-benchmark cells (in benchmark order) into the
+// full figure. Pure: it touches no simulator state, so a job resuming from
+// persisted cells produces exactly what the synchronous path produces.
+func AssembleFigure8(side CacheSide, constThreshold uint64, cells []Fig8Cell) Fig8Result {
+	r := Fig8Result{Side: side, ConstThreshold: constThreshold}
 	var pulled, rel, slow, save, constRel []float64
 	for _, c := range cells {
-		b := c.bench
+		b := c.Bench
 		r.Bench = append(r.Bench, b)
 		pulled = append(pulled, b.PulledFraction)
 		rel = append(rel, b.RelDischarge)
 		slow = append(slow, b.Slowdown)
 		save = append(save, b.EnergySavings)
-		constRel = append(constRel, c.constRel...)
+		constRel = append(constRel, c.ConstRel...)
 	}
 	r.AvgPulled = stats.Mean(pulled)
 	r.AvgRelDischarge = stats.Mean(rel)
 	r.AvgSlowdown = stats.Mean(slow)
 	r.AvgSavings = stats.Mean(save)
 	r.ConstAvgRelDischarge = stats.Mean(constRel)
-	return r, nil
+	return r
+}
+
+// Figure8 evaluates gated precharging on one cache side with per-benchmark
+// optimum thresholds under the performance budget, plus the
+// constant-threshold reference. Benchmarks fan across the worker pool; the
+// merge walks them in input order.
+func (l *Lab) Figure8(side CacheSide) (Fig8Result, error) {
+	benches := l.opts.benchmarks()
+	cells := make([]Fig8Cell, len(benches))
+	if err := l.forEach(len(benches), func(idx int) error {
+		c, err := l.Figure8Cell(benches[idx], side)
+		if err != nil {
+			return err
+		}
+		cells[idx] = c
+		return nil
+	}); err != nil {
+		return Fig8Result{}, err
+	}
+	return AssembleFigure8(side, l.opts.ConstantThreshold, cells), nil
 }
 
 // Render writes the figure as a text table.

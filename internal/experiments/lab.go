@@ -79,6 +79,13 @@ func (o Options) benchmarks() []string {
 	return allBenchmarks()
 }
 
+// BenchmarkList resolves the effective benchmark set (the configured subset,
+// or all sixteen) in figure order. The serving layer's job planner uses it
+// to decompose a figure sweep into per-benchmark checkpoint points.
+func (o Options) BenchmarkList() []string {
+	return append([]string(nil), o.benchmarks()...)
+}
+
 // parallelism resolves the worker-pool width (0 = one worker per CPU).
 func (o Options) parallelism() int {
 	if o.Parallelism > 0 {

@@ -87,6 +87,14 @@ func forEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 	return fallback
 }
 
+// ForEachCtx exposes the pool's bounded fan-out scheduler to other layers
+// (the job orchestrator fans a job's sweep points through it), so async
+// execution inherits exactly the figure generators' semantics: bounded
+// width, first-error cancellation, no new work scheduled after an abort.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	return forEachCtx(ctx, workers, n, fn)
+}
+
 // forEach fans fn(i) for i in [0, n) across the lab's worker pool
 // (Options.Parallelism wide) and blocks until every scheduled job finished.
 // Nested fan-outs (a figure fanning benchmarks whose sweeps fan thresholds)

@@ -11,6 +11,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"nanocache/internal/cache"
 	"nanocache/internal/cacti"
@@ -230,6 +231,16 @@ func counterBits(p PolicySpec) int {
 	return 0
 }
 
+// runsExecuted counts architectural simulator invocations process-wide.
+// The persistence and resume tests use deltas of this counter to prove a
+// store-backed warm restart (or a checkpointed job resume) recomputes
+// nothing: zero delta means zero simulations, not just fast ones.
+var runsExecuted atomic.Uint64
+
+// RunsExecuted returns the number of architectural runs started by this
+// process so far.
+func RunsExecuted() uint64 { return runsExecuted.Load() }
+
 // Run executes one configuration and assembles the priced outcome.
 func Run(cfg RunConfig) (Outcome, error) {
 	return RunCtx(context.Background(), cfg)
@@ -241,6 +252,7 @@ func Run(cfg RunConfig) (Outcome, error) {
 // layers use this to put per-request deadlines on arbitrary client-supplied
 // configurations.
 func RunCtx(ctx context.Context, cfg RunConfig) (Outcome, error) {
+	runsExecuted.Add(1)
 	if err := ctx.Err(); err != nil {
 		return Outcome{}, err
 	}

@@ -1,0 +1,56 @@
+package jobs
+
+import (
+	"testing"
+)
+
+// FuzzJobStateMachine throws arbitrary event sequences at Next from every
+// starting state and checks the lifecycle's global invariants:
+//
+//   - the machine never leaves the five defined states;
+//   - an illegal transition never moves the state (rejected events are
+//     side-effect-free, which is what lets the manager treat Next errors as
+//     pure no-ops);
+//   - terminal states absorb everything: once done/failed/cancelled, no
+//     event sequence escapes;
+//   - a job can only reach done through running (completing requires a
+//     preceding start).
+func FuzzJobStateMachine(f *testing.F) {
+	f.Add(0, []byte{0, 3, 1}) // queued: start, complete
+	f.Add(0, []byte{5, 0})    // queued: cancel then start (must stay cancelled)
+	f.Add(1, []byte{2, 2, 4}) // running: retry, retry(illegal from queued), fail
+	f.Add(2, []byte{0, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, startIdx int, evs []byte) {
+		states := States()
+		events := []Event{EventStart, EventProgress, EventRetry, EventComplete, EventFail, EventCancel}
+		s := states[int(uint(startIdx)%uint(len(states)))]
+		everRan := s == StateRunning || s.Terminal() // seeds may start anywhere
+		terminalAt := State("")
+		if s.Terminal() {
+			terminalAt = s
+		}
+		for _, b := range evs {
+			e := events[int(b)%len(events)]
+			next, err := Next(s, e)
+			if !next.Valid() {
+				t.Fatalf("Next(%s, %s) produced invalid state %q", s, e, next)
+			}
+			if err != nil && next != s {
+				t.Fatalf("rejected event %s moved state %s -> %s", e, s, next)
+			}
+			if terminalAt != "" && next != terminalAt {
+				t.Fatalf("terminal state %s escaped to %s via %s", terminalAt, next, e)
+			}
+			if err == nil && e == EventStart {
+				everRan = true
+			}
+			if next == StateDone && !everRan {
+				t.Fatalf("reached done without ever running (via %s from %s)", e, s)
+			}
+			s = next
+			if s.Terminal() && terminalAt == "" {
+				terminalAt = s
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Spec describes what a job computes. It is the submit-time contract between
+// the API layer and the planner: the orchestrator itself never interprets
+// it beyond passing it to Config.Planner and persisting it verbatim so a
+// restarted daemon can re-plan an interrupted job.
+type Spec struct {
+	// Kind selects the planner branch ("figure", "run", ...).
+	Kind string `json:"kind"`
+	// Figure names a figure endpoint for Kind "figure".
+	Figure string `json:"figure,omitempty"`
+	// Params are the figure's query parameters (canonicalized by the
+	// planner; they participate in the result key, so two specs with the
+	// same canonical parameters share checkpoints and results).
+	Params map[string]string `json:"params,omitempty"`
+	// Run is the raw run configuration for Kind "run".
+	Run []byte `json:"run,omitempty"`
+}
+
+// Point is one checkpointable unit of a job: one sweep point. Its result is
+// persisted under a content-addressed key the moment it completes, so an
+// interrupted job resumes from its last completed point — never from zero.
+type Point struct {
+	// Key identifies the point within its plan (e.g. "bench=gcc"). It must
+	// be stable across restarts: the checkpoint key is derived from the
+	// plan's result key plus this.
+	Key string
+	// Run computes the point's result (typically canonical JSON). The
+	// context aborts it on cancellation or drain.
+	Run func(ctx context.Context) ([]byte, error)
+}
+
+// Plan is a planned job: its sweep points, how to merge their results, and
+// where the merged payload goes.
+type Plan struct {
+	// ResultKey is the serving-cache key the final payload is published
+	// under. Submitting two specs that plan to the same ResultKey dedupes:
+	// the second submit returns the first job.
+	ResultKey string
+	// Points are the checkpointable units, executed in order (fanned across
+	// Config.PointParallelism workers when >1).
+	Points []Point
+	// Merge combines the point results (in Points order) into the final
+	// payload.
+	Merge func(ctx context.Context, results [][]byte) ([]byte, error)
+	// Publish delivers the final payload to the serving layer (LRU + durable
+	// store). Optional; the payload is also checkpointed under ResultKey.
+	Publish func(payload []byte) error
+}
+
+// Planner turns a spec into a plan. It must be deterministic: a restarted
+// daemon re-plans persisted specs and expects identical point keys so the
+// checkpoints line up.
+type Planner func(spec Spec) (*Plan, error)
+
+// Blobs is the checkpoint store the orchestrator persists point results
+// into. *store.Store satisfies it; nil Config.Blobs falls back to an
+// in-process map (checkpoints then survive retries but not restarts).
+type Blobs interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte) error
+}
+
+// memBlobs is the in-process fallback checkpoint store.
+type memBlobs struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemBlobs() *memBlobs { return &memBlobs{m: make(map[string][]byte)} }
+
+func (b *memBlobs) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *memBlobs) Put(key string, payload []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// Job is an API-facing snapshot of one job. All fields are copies; a
+// snapshot never races the worker mutating the live record.
+type Job struct {
+	ID    string `json:"id"`
+	Spec  Spec   `json:"spec"`
+	State State  `json:"state"`
+	// Error is the failure message for StateFailed (last attempt's error).
+	Error string `json:"error,omitempty"`
+	// Attempts counts EventStart applications (1 for a job that never
+	// retried or resumed).
+	Attempts int `json:"attempts"`
+	// TotalPoints and DonePoints measure checkpoint progress.
+	TotalPoints int `json:"total_points"`
+	DonePoints  int `json:"done_points"`
+	// Progress is DonePoints/TotalPoints in [0,1].
+	Progress float64 `json:"progress"`
+	// ETASeconds estimates remaining wall time from this attempt's pace;
+	// negative means unknown (nothing completed yet this attempt).
+	ETASeconds float64 `json:"eta_seconds"`
+	// ResultKey is the serving-cache key the result is published under.
+	ResultKey string `json:"result_key"`
+	// QueueWaitMS is how long the job waited between (re-)enqueue and its
+	// most recent start, in milliseconds.
+	QueueWaitMS int64 `json:"queue_wait_ms"`
+
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+// Update is one progress notification delivered to subscribers: a fresh
+// snapshot plus a monotonic per-job sequence number (SSE clients use it to
+// discard stale ticker polls racing subscription deliveries).
+type Update struct {
+	Seq int64 `json:"seq"`
+	Job Job   `json:"job"`
+}

@@ -1,0 +1,107 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a job's position in its lifecycle. The machine is deliberately
+// tiny and closed: every state change the manager makes goes through Next,
+// so an impossible transition (completing a cancelled job, starting a done
+// one) is a returned error at the one choke point rather than a data race
+// discovered in production. FuzzJobStateMachine hammers random event orders
+// against exactly this function.
+//
+//	queued ──start──▶ running ──complete──▶ done
+//	  │ ▲                │ │
+//	  │ └────retry───────┘ ├──fail──▶ failed
+//	  │                    │
+//	  └───────cancel───────┴──cancel──▶ cancelled
+//
+// done, failed and cancelled are terminal: they absorb no further events.
+// retry covers both transient-failure backoff and drain interruption — in
+// both cases the job returns to the queue with its checkpoints intact.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// States returns every lifecycle state in lifecycle order (for metric
+// exports that want zero-valued gauges for empty states).
+func States() []State {
+	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+}
+
+// Terminal reports whether no further transition is legal from s.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Valid reports whether s is one of the five lifecycle states.
+func (s State) Valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Event is a lifecycle input.
+type Event string
+
+// Lifecycle events.
+const (
+	// EventStart moves a queued job onto a worker.
+	EventStart Event = "start"
+	// EventProgress reports a completed, checkpointed sweep point. It does
+	// not change the state — it exists so progress notifications flow
+	// through the same audited choke point as state changes.
+	EventProgress Event = "progress"
+	// EventRetry returns a running job to the queue (transient failure
+	// backoff, or a drain interrupting it at its last checkpoint).
+	EventRetry Event = "retry"
+	// EventComplete finishes a running job successfully.
+	EventComplete Event = "complete"
+	// EventFail finishes a running job after its retry budget is exhausted.
+	EventFail Event = "fail"
+	// EventCancel aborts a queued or running job on user request.
+	EventCancel Event = "cancel"
+)
+
+// ErrIllegalTransition is wrapped by every Next rejection.
+var ErrIllegalTransition = errors.New("jobs: illegal transition")
+
+// Next returns the state after applying event e in state s, or an error
+// wrapping ErrIllegalTransition if the lifecycle does not permit it. It is
+// a pure function — the entire job lifecycle policy in one place.
+func Next(s State, e Event) (State, error) {
+	switch s {
+	case StateQueued:
+		switch e {
+		case EventStart:
+			return StateRunning, nil
+		case EventCancel:
+			return StateCancelled, nil
+		}
+	case StateRunning:
+		switch e {
+		case EventProgress:
+			return StateRunning, nil
+		case EventRetry:
+			return StateQueued, nil
+		case EventComplete:
+			return StateDone, nil
+		case EventFail:
+			return StateFailed, nil
+		case EventCancel:
+			return StateCancelled, nil
+		}
+	}
+	return s, fmt.Errorf("%w: %s + %s", ErrIllegalTransition, s, e)
+}

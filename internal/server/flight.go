@@ -15,9 +15,9 @@ import (
 // arrives, goes into the LRU before the flight resolves, so the flight layer
 // only ever carries transient state.
 type flight struct {
-	done  chan struct{}
-	val   []byte
-	err   error
+	done   chan struct{}
+	val    []byte
+	err    error
 	ctx    context.Context
 	cancel context.CancelFunc
 	// waiters is guarded by the owning group's mutex.

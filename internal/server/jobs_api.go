@@ -1,0 +1,334 @@
+package server
+
+// The async job surface: POST/GET/DELETE /v1/jobs plus an SSE progress
+// stream. A job computes exactly what the synchronous endpoints compute and
+// publishes the payload under the same cache key, so a completed fig8 job
+// turns the next GET /v1/figures/fig8 into a cache hit — async execution is
+// a scheduling decision, never a different result.
+//
+// planJob is the bridge between specs and the experiment engine. Figures
+// with a decomposable sweep (fig8) plan into one checkpoint point per
+// benchmark: the orchestrator persists each benchmark's cell as it lands,
+// so a killed daemon resumes the sweep at the first benchmark without a
+// checkpoint. Everything else plans as a single point — still async, still
+// restart-safe at job granularity.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/jobs"
+	"nanocache/internal/verify"
+)
+
+// planJob turns a job spec into a checkpointable plan. It must be
+// deterministic: a restarted daemon re-plans persisted specs and expects
+// identical point keys so checkpoints line up.
+func (s *Server) planJob(spec jobs.Spec) (*jobs.Plan, error) {
+	switch spec.Kind {
+	case "figure":
+		return s.planFigureJob(spec)
+	case "run":
+		return s.planRunJob(spec)
+	}
+	return nil, badParamf("unknown job kind %q (want figure or run)", spec.Kind)
+}
+
+// specQuery renders a spec's parameter map as url.Values so the figure
+// builders and key canonicalizer see exactly what the synchronous endpoint
+// would.
+func specQuery(spec jobs.Spec) url.Values {
+	q := url.Values{}
+	for k, v := range spec.Params {
+		q.Set(k, v)
+	}
+	return q
+}
+
+func (s *Server) planFigureJob(spec jobs.Spec) (*jobs.Plan, error) {
+	fig, ok := figureRegistry[spec.Figure]
+	if !ok {
+		return nil, badParamf("unknown figure %q", spec.Figure)
+	}
+	q := specQuery(spec)
+	key, err := canonicalFigureKey(spec.Figure, fig, q)
+	if err != nil {
+		return nil, err
+	}
+	resultKey := "figure|" + key + "@" + s.optsDigest
+	plan := &jobs.Plan{
+		ResultKey: resultKey,
+		Publish:   func(payload []byte) error { s.cache.Put(resultKey, payload); return nil },
+	}
+	if spec.Figure == "fig8" {
+		// Decomposable sweep: one checkpoint point per benchmark. The cells
+		// merge through the same AssembleFigure8 the synchronous path uses,
+		// so the assembled payload is byte-identical to GET /v1/figures/fig8.
+		side, err := parseSide(q)
+		if err != nil {
+			return nil, err
+		}
+		benches := s.cfg.Options.BenchmarkList()
+		for _, bench := range benches {
+			bench := bench
+			plan.Points = append(plan.Points, jobs.Point{
+				Key: "bench=" + bench,
+				Run: func(ctx context.Context) ([]byte, error) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					cell, err := s.lab.Figure8Cell(bench, side)
+					if err != nil {
+						return nil, err
+					}
+					return json.Marshal(cell)
+				},
+			})
+		}
+		constThreshold := s.cfg.Options.ConstantThreshold
+		if constThreshold == 0 {
+			constThreshold = experiments.DefaultOptions().ConstantThreshold
+		}
+		plan.Merge = func(_ context.Context, results [][]byte) ([]byte, error) {
+			cells := make([]experiments.Fig8Cell, len(results))
+			for i, b := range results {
+				if err := json.Unmarshal(b, &cells[i]); err != nil {
+					return nil, fmt.Errorf("decoding cell %s: %w", benches[i], err)
+				}
+			}
+			return verify.MarshalGolden(experiments.AssembleFigure8(side, constThreshold, cells))
+		}
+		return plan, nil
+	}
+	// Non-decomposable figure: a single checkpoint point running the same
+	// builder the synchronous endpoint runs.
+	plan.Points = []jobs.Point{{
+		Key: "all",
+		Run: func(ctx context.Context) ([]byte, error) {
+			v, err := fig.build(ctx, s.lab, q)
+			if err != nil {
+				return nil, err
+			}
+			return verify.MarshalGolden(v)
+		},
+	}}
+	plan.Merge = func(_ context.Context, results [][]byte) ([]byte, error) { return results[0], nil }
+	return plan, nil
+}
+
+func (s *Server) planRunJob(spec jobs.Spec) (*jobs.Plan, error) {
+	var cfg experiments.RunConfig
+	dec := json.NewDecoder(bytes.NewReader(spec.Run))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, badParamf("bad run config: %v", err)
+	}
+	digest, err := cfg.Digest()
+	if err != nil {
+		return nil, badParamf("%v", err)
+	}
+	resultKey := "run|" + digest + "@" + s.optsDigest
+	return &jobs.Plan{
+		ResultKey: resultKey,
+		Publish:   func(payload []byte) error { s.cache.Put(resultKey, payload); return nil },
+		Points: []jobs.Point{{
+			Key: "all",
+			Run: func(ctx context.Context) ([]byte, error) {
+				o, err := experiments.RunCtx(ctx, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return verify.MarshalGolden(o)
+			},
+		}},
+		Merge: func(_ context.Context, results [][]byte) ([]byte, error) { return results[0], nil },
+	}, nil
+}
+
+// --- handlers -------------------------------------------------------------
+
+// maxJobBody bounds POST /v1/jobs bodies.
+const maxJobBody = 1 << 20
+
+// jobSubmitRequest is the POST /v1/jobs body: exactly one of figure or run.
+type jobSubmitRequest struct {
+	Figure string            `json:"figure,omitempty"`
+	Params map[string]string `json:"params,omitempty"`
+	Run    json.RawMessage   `json:"run,omitempty"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	var req jobSubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad job request: "+err.Error())
+		return
+	}
+	var spec jobs.Spec
+	switch {
+	case req.Figure != "" && req.Run == nil:
+		spec = jobs.Spec{Kind: "figure", Figure: req.Figure, Params: req.Params}
+	case req.Run != nil && req.Figure == "":
+		spec = jobs.Spec{Kind: "run", Run: []byte(req.Run)}
+	default:
+		writeJSONError(w, http.StatusBadRequest, "job request needs exactly one of figure or run")
+		return
+	}
+	j, err := s.jobs.Submit(spec)
+	if err != nil {
+		s.failJobRequest(w, err)
+		return
+	}
+	s.m.jobsSubmitted.Add(1)
+	writeJob(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	list := s.jobs.List()
+	counts := s.jobs.Counts()
+	countsOut := make(map[string]int, len(counts))
+	for st, n := range counts {
+		countsOut[string(st)] = n
+	}
+	b, err := verify.MarshalGolden(map[string]any{"jobs": list, "counts": countsOut})
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writePayload(w, b, "live")
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.failJobRequest(w, err)
+		return
+	}
+	writeJob(w, http.StatusOK, j)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.failJobRequest(w, err)
+		return
+	}
+	writeJob(w, http.StatusOK, j)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		s.failJobRequest(w, err)
+		return
+	}
+	if j.State != jobs.StateDone {
+		writeJSONError(w, http.StatusConflict,
+			fmt.Sprintf("job %s is %s, not done", j.ID, j.State))
+		return
+	}
+	if payload, disposition, ok := s.lookup(j.ResultKey); ok {
+		writePayload(w, payload, disposition)
+		return
+	}
+	writeJSONError(w, http.StatusNotFound,
+		"result evicted from both cache tiers; resubmit the job (checkpoints make it cheap)")
+}
+
+// handleJobEvents streams job progress as Server-Sent Events: one "job"
+// event per state or progress change, each carrying a full snapshot, ending
+// after the terminal snapshot. A slow consumer may miss intermediate
+// updates (the subscription is lossy by contract) but always sees the
+// terminal one: a 250ms safety poll resynchronizes from the manager.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	updates, unsubscribe, err := s.jobs.Subscribe(id)
+	if err != nil {
+		s.failJobRequest(w, err)
+		return
+	}
+	defer unsubscribe()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSONError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Nanocache", "live")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(j jobs.Job) bool {
+		b, err := json.Marshal(j)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: job\ndata: %s\n\n", b)
+		flusher.Flush()
+		return !j.State.Terminal()
+	}
+	j, err := s.jobs.Get(id)
+	if err != nil || !emit(j) {
+		return
+	}
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			// Draining: end the stream; the client reconnects after reboot
+			// and the resumed job keeps feeding it.
+			return
+		case u := <-updates:
+			if !emit(u.Job) {
+				return
+			}
+		case <-ticker.C:
+			j, err := s.jobs.Get(id)
+			if err != nil || !emit(j) {
+				return
+			}
+		}
+	}
+}
+
+// failJobRequest maps orchestrator errors onto status codes.
+func (s *Server) failJobRequest(w http.ResponseWriter, err error) {
+	var bad badParamError
+	switch {
+	case errors.As(err, &bad):
+		writeJSONError(w, http.StatusBadRequest, bad.Error())
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeJSONError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrTerminal):
+		writeJSONError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, jobs.ErrClosed):
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.m.errors.Add(1)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeJob renders one job snapshot.
+func writeJob(w http.ResponseWriter, status int, j jobs.Job) {
+	b, err := verify.MarshalGolden(j)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Nanocache", "live")
+	w.WriteHeader(status)
+	w.Write(b)
+}

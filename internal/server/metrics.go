@@ -3,10 +3,13 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync/atomic"
 	"time"
 
+	"nanocache/internal/jobs"
 	"nanocache/internal/stats"
+	"nanocache/internal/store"
 )
 
 // metricSet is the daemon's observability surface: lock-free counters on the
@@ -25,6 +28,9 @@ type metricSet struct {
 	timeouts atomic.Uint64 // requests that gave up waiting (504)
 	rejected atomic.Uint64 // requests refused while draining (503)
 	inflight atomic.Int64  // currently executing HTTP requests
+
+	storeHits     atomic.Uint64 // durable-tier hits promoted into the LRU
+	jobsSubmitted atomic.Uint64 // accepted POST /v1/jobs requests
 
 	latency *stats.Latency
 }
@@ -45,11 +51,28 @@ type MetricsSnapshot struct {
 	CacheBytes                       int64
 	CacheEvictions                   uint64
 	Latency                          stats.LatencySnapshot
+
+	// Durable tier (zero-valued when the server runs memory-only). StoreHits
+	// counts read-through promotions observed by the serving layer; the rest
+	// mirror the store's own counters.
+	StoreHits        uint64
+	StoreMisses      uint64
+	StorePuts        uint64
+	StoreEvictions   uint64
+	StoreQuarantined uint64
+	StoreEntries     int
+	StoreBytes       int64
+
+	// Async jobs.
+	JobsSubmitted uint64
+	JobStates     map[string]int // every state, including zero counts
+	JobQueueWait  stats.LatencySnapshot
 }
 
-// snapshot gathers the counters plus the cache gauges.
-func (m *metricSet) snapshot(c *lru) MetricsSnapshot {
-	return MetricsSnapshot{
+// snapshot gathers the counters plus the cache, store and job gauges. st and
+// jm may be nil (memory-only server, early construction).
+func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager) MetricsSnapshot {
+	s := MetricsSnapshot{
 		Requests:       m.requests.Load(),
 		CacheHits:      m.hits.Load(),
 		CacheMisses:    m.misses.Load(),
@@ -62,12 +85,34 @@ func (m *metricSet) snapshot(c *lru) MetricsSnapshot {
 		CacheBytes:     c.Bytes(),
 		CacheEvictions: c.Evictions(),
 		Latency:        m.latency.Snapshot(),
+		StoreHits:      m.storeHits.Load(),
+		JobsSubmitted:  m.jobsSubmitted.Load(),
+		JobStates:      map[string]int{},
 	}
+	for _, st := range jobs.States() {
+		s.JobStates[string(st)] = 0
+	}
+	if st != nil {
+		ss := st.Stats()
+		s.StoreMisses = ss.Misses
+		s.StorePuts = ss.Puts
+		s.StoreEvictions = ss.Evictions
+		s.StoreQuarantined = ss.Quarantined
+		s.StoreEntries = ss.Entries
+		s.StoreBytes = ss.Bytes
+	}
+	if jm != nil {
+		for st, n := range jm.Counts() {
+			s.JobStates[string(st)] = n
+		}
+		s.JobQueueWait = jm.QueueWait()
+	}
+	return s
 }
 
 // render writes the plaintext exposition.
-func (m *metricSet) render(w io.Writer, c *lru) {
-	s := m.snapshot(c)
+func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manager) {
+	s := m.snapshot(c, st, jm)
 	line := func(name string, v any) { fmt.Fprintf(w, "%s %v\n", name, v) }
 	line("nanocached_up", 1)
 	line("nanocached_uptime_seconds", int64(time.Since(m.start).Seconds()))
@@ -82,6 +127,25 @@ func (m *metricSet) render(w io.Writer, c *lru) {
 	line("nanocached_timeouts_total", s.Timeouts)
 	line("nanocached_rejected_total", s.Rejected)
 	line("nanocached_inflight", s.Inflight)
+	line("nanocached_store_hits_total", s.StoreHits)
+	line("nanocached_store_misses_total", s.StoreMisses)
+	line("nanocached_store_puts_total", s.StorePuts)
+	line("nanocached_store_evictions_total", s.StoreEvictions)
+	line("nanocached_store_quarantined_total", s.StoreQuarantined)
+	line("nanocached_store_entries", s.StoreEntries)
+	line("nanocached_store_bytes", s.StoreBytes)
+	line("nanocached_jobs_submitted_total", s.JobsSubmitted)
+	states := make([]string, 0, len(s.JobStates))
+	for st := range s.JobStates {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "nanocached_jobs{state=%q} %d\n", st, s.JobStates[st])
+	}
+	line("nanocached_job_queue_wait_us_count", s.JobQueueWait.Count)
+	fmt.Fprintf(w, "nanocached_job_queue_wait_us{quantile=\"0.5\"} %d\n", s.JobQueueWait.P50)
+	fmt.Fprintf(w, "nanocached_job_queue_wait_us{quantile=\"0.99\"} %d\n", s.JobQueueWait.P99)
 	line("nanocached_request_latency_us_count", s.Latency.Count)
 	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.5\"} %d\n", s.Latency.P50)
 	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.99\"} %d\n", s.Latency.P99)

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -36,6 +37,8 @@ import (
 	"time"
 
 	"nanocache/internal/experiments"
+	"nanocache/internal/jobs"
+	"nanocache/internal/store"
 	"nanocache/internal/verify"
 )
 
@@ -52,6 +55,26 @@ type Config struct {
 	// RequestTimeout bounds each request (0 = no server-side deadline;
 	// client contexts still propagate).
 	RequestTimeout time.Duration
+
+	// StoreDir enables the durable result tier: rendered payloads are
+	// written behind the LRU into a content-addressed on-disk store
+	// (internal/store), so cached results survive restarts and warm the LRU
+	// back up through read-through promotion. Empty = memory only.
+	StoreDir string
+	// StoreMaxBytes bounds the on-disk store (0 = unbounded); oldest
+	// records are garbage-collected first.
+	StoreMaxBytes int64
+	// StoreFsync fsyncs every store and job-record write (power-loss
+	// durability at a write-latency cost).
+	StoreFsync bool
+
+	// Jobs bounds concurrently executing async jobs (default 1).
+	Jobs int
+	// JobRetries is the per-sweep-point transient-failure retry budget for
+	// async jobs (default 2; exponential backoff with jitter).
+	JobRetries int
+	// JobBackoff is the base retry backoff (default 250ms).
+	JobBackoff time.Duration
 }
 
 // Server is the daemon. Create with New, expose with Handler, stop with
@@ -62,6 +85,8 @@ type Server struct {
 	optsDigest string
 	mux        *http.ServeMux
 	cache      *lru
+	store      *store.Store // durable second tier; nil without StoreDir
+	jobs       *jobs.Manager
 	flights    *flightGroup
 	sem        chan struct{}
 	m          *metricSet
@@ -113,6 +138,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout < 0 {
 		return nil, fmt.Errorf("server: negative request timeout %v", cfg.RequestTimeout)
 	}
+	if cfg.Jobs == 0 {
+		cfg.Jobs = 1
+	}
+	if cfg.Jobs < 0 {
+		return nil, fmt.Errorf("server: negative job workers %d", cfg.Jobs)
+	}
+	if cfg.JobRetries == 0 {
+		cfg.JobRetries = 2
+	}
+	if cfg.JobRetries < 0 {
+		return nil, fmt.Errorf("server: negative job retries %d", cfg.JobRetries)
+	}
+	if cfg.JobBackoff == 0 {
+		cfg.JobBackoff = 250 * time.Millisecond
+	}
+	if cfg.JobBackoff < 0 {
+		return nil, fmt.Errorf("server: negative job backoff %v", cfg.JobBackoff)
+	}
 	lab, err := experiments.NewLab(cfg.Options)
 	if err != nil {
 		return nil, err
@@ -133,28 +176,81 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	var recordDir string
+	var blobs jobs.Blobs
+	if cfg.StoreDir != "" {
+		st, err := store.Open(store.Config{
+			Dir:      cfg.StoreDir,
+			MaxBytes: cfg.StoreMaxBytes,
+			Fsync:    cfg.StoreFsync,
+			Schema:   storeSchema,
+			Options:  digest,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		blobs = st
+		recordDir = filepath.Join(cfg.StoreDir, "jobs")
+	}
+	jm, err := jobs.NewManager(jobs.Config{
+		Workers:   cfg.Jobs,
+		Retries:   cfg.JobRetries,
+		Backoff:   cfg.JobBackoff,
+		Planner:   s.planJob,
+		Blobs:     blobs,
+		RecordDir: recordDir,
+		Fsync:     cfg.StoreFsync,
+	})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.jobs = jm
+	if _, err := jm.Resume(); err != nil {
+		jm.Close(context.Background())
+		cancel()
+		return nil, err
+	}
 	s.routes()
 	return s, nil
 }
+
+// storeSchema is the durable store's payload schema generation. Bump it
+// when the rendered-result format changes incompatibly: old records then
+// read as misses instead of being served with a stale shape.
+const storeSchema = 1
+
+// Store exposes the durable tier (tests, warm-up tooling); nil when the
+// server runs memory-only.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Jobs exposes the async job orchestrator.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Lab exposes the underlying memoized lab (progress logging, tests).
 func (s *Server) Lab() *experiments.Lab { return s.lab }
 
 // Metrics returns a snapshot of the serving counters.
-func (s *Server) Metrics() MetricsSnapshot { return s.m.snapshot(s.cache) }
+func (s *Server) Metrics() MetricsSnapshot { return s.m.snapshot(s.cache, s.store, s.jobs) }
 
 // Draining reports whether Close has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close drains the daemon: new requests are refused with 503 while
-// in-flight computations finish. ctx bounds the wait; on expiry every
-// outstanding computation is cancelled (context-aware runs abort within a
-// few thousand simulated cycles) and Close returns ctx.Err().
+// in-flight computations finish. The job orchestrator shuts down first —
+// running jobs are interrupted at their current sweep point, and their
+// checkpoints and queue records are persisted so the next boot resumes them
+// — then the HTTP-side flights drain. ctx bounds the whole wait; on expiry
+// every outstanding computation is cancelled (context-aware runs abort
+// within a few thousand simulated cycles) and Close returns ctx.Err().
 func (s *Server) Close(ctx context.Context) error {
 	s.draining.Store(true)
 	s.workMu.Lock()
 	s.closed = true
 	s.workMu.Unlock()
+	jobsErr := s.jobs.Close(ctx)
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -163,7 +259,7 @@ func (s *Server) Close(ctx context.Context) error {
 	select {
 	case <-done:
 		s.baseCancel()
-		return nil
+		return jobsErr
 	case <-ctx.Done():
 		s.baseCancel()
 		return ctx.Err()
@@ -184,6 +280,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/table3", s.handleTable3)
 	s.mux.HandleFunc("GET /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 }
 
 // instrument wraps the mux with the request counters, the latency recorder,
@@ -228,14 +330,43 @@ func writePayload(w http.ResponseWriter, payload []byte, disposition string) {
 	w.Write(payload)
 }
 
-// serveCached is every expensive endpoint's spine: LRU lookup, single-flight
-// collapse, bounded computation, deadline-aware waiting.
+// lookup consults both cache tiers: the LRU first, then the durable store,
+// promoting store hits into the LRU (read-through) so a rebooted daemon
+// warms back up one touch at a time. The returned disposition is "hit"
+// (LRU) or "store".
+func (s *Server) lookup(key string) (payload []byte, disposition string, ok bool) {
+	if payload, ok := s.cache.Get(key); ok {
+		s.m.hits.Add(1)
+		return payload, "hit", true
+	}
+	if s.store != nil {
+		if payload, ok := s.store.Get(key); ok {
+			s.m.storeHits.Add(1)
+			s.cache.Put(key, payload)
+			return payload, "store", true
+		}
+	}
+	return nil, "", false
+}
+
+// publish installs a rendered payload in both tiers: synchronously in the
+// LRU, and behind it in the durable store (write-behind: callers publish
+// after resolving their waiters, so the disk write never blocks a
+// response).
+func (s *Server) publish(key string, payload []byte) {
+	s.cache.Put(key, payload)
+	if s.store != nil {
+		s.store.Put(key, payload)
+	}
+}
+
+// serveCached is every expensive endpoint's spine: two-tier cache lookup,
+// single-flight collapse, bounded computation, deadline-aware waiting.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	build func(ctx context.Context) (any, error)) {
 	key = key + "@" + s.optsDigest
-	if payload, ok := s.cache.Get(key); ok {
-		s.m.hits.Add(1)
-		writePayload(w, payload, "hit")
+	if payload, disposition, ok := s.lookup(key); ok {
+		writePayload(w, payload, disposition)
 		return
 	}
 	s.m.misses.Add(1)
@@ -292,6 +423,13 @@ func (s *Server) compute(fl *flight, key string, build func(ctx context.Context)
 			s.cache.Put(key, payload)
 			s.flights.forget(key, fl)
 			fl.finish(payload, nil)
+			// Write-behind into the durable tier: waiters are already
+			// resolved, so the disk write costs no request latency. The
+			// drain WaitGroup still covers us (wg.Done is deferred), so
+			// Close cannot complete with this write in flight.
+			if s.store != nil {
+				s.store.Put(key, payload)
+			}
 			return
 		}
 	}
@@ -327,7 +465,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.render(w, s.cache)
+	s.m.render(w, s.cache, s.store, s.jobs)
 }
 
 func (s *Server) handleOptions(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,147 @@
+package store
+
+// The on-disk record codec. Every stored result is wrapped in a versioned
+// binary envelope so a file is self-describing: a reader that finds one in a
+// store directory can recover the cache key, the schema generation and the
+// lab-options fingerprint it was computed under without any out-of-band
+// index, and — crucially for a cache that survives restarts — can prove the
+// bytes are intact before serving them. The trailing SHA-256 covers every
+// preceding byte, so a torn write (power loss mid-rename is impossible, but
+// disk corruption is not) is detected as a checksum mismatch rather than
+// served as a silently wrong figure.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "NCRS"
+//	4       4     envelope format version (currently 1)
+//	8       4     schema generation (Config.Schema; payload interpretation)
+//	12      8     created, unix nanoseconds
+//	20      4     key length K
+//	24      K     key (UTF-8)
+//	...     4     options-fingerprint length F
+//	...     F     options fingerprint (UTF-8)
+//	...     8     payload length P
+//	...     P     payload
+//	...     32    SHA-256 over everything above
+//
+// The codec is round-trip exact (FuzzStoreEnvelope) and every decode error
+// is distinguishable, so the store can count corruption separately from
+// version skew.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EnvelopeVersion is the current on-disk format generation. Decoding rejects
+// other versions with ErrVersion so a future layout change cannot be
+// misparsed as corruption.
+const EnvelopeVersion = 1
+
+// envelopeMagic marks a store file. Four printable bytes so `head` on an
+// object file identifies it.
+var envelopeMagic = [4]byte{'N', 'C', 'R', 'S'}
+
+// Decode failure modes. ErrCorrupt covers structural damage and checksum
+// mismatches; ErrVersion covers intact files from another format generation.
+var (
+	ErrCorrupt = errors.New("store: corrupt envelope")
+	ErrVersion = errors.New("store: unsupported envelope version")
+)
+
+// envelopeOverhead is the fixed byte cost of wrapping a payload (everything
+// except the key, fingerprint and payload bytes themselves).
+const envelopeOverhead = 4 + 4 + 4 + 8 + 4 + 4 + 8 + sha256.Size
+
+// Envelope is one decoded store record.
+type Envelope struct {
+	// Schema is the payload schema generation the writer was built with.
+	Schema uint32
+	// Key is the full cache key the payload was stored under (the file name
+	// is only its hash).
+	Key string
+	// Options is the lab-options fingerprint the result was computed under.
+	Options string
+	// CreatedUnixNano is the write timestamp (drives age-based GC).
+	CreatedUnixNano int64
+	// Payload is the stored result, typically canonical JSON.
+	Payload []byte
+}
+
+// Encode renders the envelope in the on-disk format, checksum included.
+func (e Envelope) Encode() []byte {
+	buf := make([]byte, 0, envelopeOverhead+len(e.Key)+len(e.Options)+len(e.Payload))
+	buf = append(buf, envelopeMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, EnvelopeVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, e.Schema)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.CreatedUnixNano))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Key)))
+	buf = append(buf, e.Key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Options)))
+	buf = append(buf, e.Options...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// DecodeEnvelope parses and verifies an on-disk record. The checksum is
+// verified before any field is trusted; length fields are bounded by the
+// buffer size before allocation, so a corrupt length cannot force a huge
+// allocation.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	if len(b) < envelopeOverhead {
+		return Envelope{}, fmt.Errorf("%w: %d bytes is shorter than the fixed header", ErrCorrupt, len(b))
+	}
+	if !bytes.Equal(b[:4], envelopeMagic[:]) {
+		return Envelope{}, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:4])
+	}
+	body, sum := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
+	if got := sha256.Sum256(body); !bytes.Equal(got[:], sum) {
+		return Envelope{}, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	// The bytes are authentic from here on; remaining errors are version
+	// skew or an encoder bug, not disk damage.
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != EnvelopeVersion {
+		return Envelope{}, fmt.Errorf("%w: version %d (supported: %d)", ErrVersion, v, EnvelopeVersion)
+	}
+	e := Envelope{
+		Schema:          binary.LittleEndian.Uint32(b[8:12]),
+		CreatedUnixNano: int64(binary.LittleEndian.Uint64(b[12:20])),
+	}
+	rest := body[20:]
+	var err error
+	if e.Key, rest, err = takeString(rest, "key"); err != nil {
+		return Envelope{}, err
+	}
+	if e.Options, rest, err = takeString(rest, "options fingerprint"); err != nil {
+		return Envelope{}, err
+	}
+	if len(rest) < 8 {
+		return Envelope{}, fmt.Errorf("%w: truncated payload length", ErrCorrupt)
+	}
+	plen := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	if plen != uint64(len(rest)) {
+		return Envelope{}, fmt.Errorf("%w: payload length %d, %d bytes remain", ErrCorrupt, plen, len(rest))
+	}
+	e.Payload = append([]byte(nil), rest...)
+	return e, nil
+}
+
+// takeString pops one length-prefixed string off the front of b.
+func takeString(b []byte, what string) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("%w: truncated %s length", ErrCorrupt, what)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(n) > uint64(len(b)) {
+		return "", nil, fmt.Errorf("%w: %s length %d exceeds %d remaining bytes", ErrCorrupt, what, n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzStoreEnvelope drives the on-disk codec from both ends:
+//
+//   - constructive: any (schema, key, options, created, payload) tuple must
+//     round-trip exactly through Encode→DecodeEnvelope;
+//   - destructive: the same tuple's encoding with one fuzzer-chosen byte
+//     flipped (or truncated) must either fail cleanly with ErrCorrupt /
+//     ErrVersion or — never — decode to different field values. No input may
+//     panic or allocate unboundedly (length fields are checked against the
+//     buffer before use).
+func FuzzStoreEnvelope(f *testing.F) {
+	f.Add(uint32(1), "figure|fig8@abc", "opts", int64(1700000000), []byte(`{"x":1}`), -1, byte(0))
+	f.Add(uint32(0), "", "", int64(0), []byte{}, 0, byte(0xFF))
+	f.Add(uint32(7), "k\x00weird", "ñ", int64(-5), bytes.Repeat([]byte("p"), 300), 40, byte(1))
+	f.Fuzz(func(t *testing.T, schema uint32, key, options string, created int64, payload []byte, flip int, xor byte) {
+		env := Envelope{
+			Schema:          schema,
+			Key:             key,
+			Options:         options,
+			CreatedUnixNano: created,
+			Payload:         payload,
+		}
+		enc := env.Encode()
+
+		// Constructive: exact round trip.
+		dec, err := DecodeEnvelope(enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if dec.Schema != schema || dec.Key != key || dec.Options != options ||
+			dec.CreatedUnixNano != created || !bytes.Equal(dec.Payload, payload) {
+			t.Fatalf("round trip mismatch: %+v != input", dec)
+		}
+
+		// Destructive: flip one byte or truncate, decode must fail cleanly.
+		if flip >= 0 {
+			mut := append([]byte(nil), enc...)
+			if flip%2 == 0 && len(mut) > 0 {
+				mut = mut[:flip%len(mut)] // truncation
+			} else if len(mut) > 0 && xor != 0 {
+				mut[flip%len(mut)] ^= xor // corruption
+			}
+			if !bytes.Equal(mut, enc) {
+				if _, err := DecodeEnvelope(mut); err != nil &&
+					!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+					t.Fatalf("mutated decode failed with unclassified error: %v", err)
+				}
+			}
+		}
+
+		// Raw decode of arbitrary bytes (the payload doubles as garbage
+		// input): must never panic, and any success must re-encode stably.
+		if dec2, err := DecodeEnvelope(payload); err == nil {
+			if !bytes.Equal(dec2.Encode(), payload) {
+				t.Fatal("accepted raw input does not re-encode to itself")
+			}
+		}
+	})
+}

@@ -1,0 +1,399 @@
+// Package store is the durable tier of nanocached's result cache: a
+// content-addressed, crash-safe on-disk store for rendered experiment
+// results. The serving LRU (internal/server) is fast but volatile — a
+// restart used to throw away minutes of recomputed sweeps. This package
+// keeps the same canonical digests the serving layer already uses
+// (internal/experiments/digest.go) and maps each key to one file, so a
+// rebooted daemon serves yesterday's Figure 8 byte-for-byte without touching
+// the simulator.
+//
+// Durability and safety properties:
+//
+//   - writes are atomic: payloads land in a tmp file in the same directory
+//     and are renamed into place, so a reader never observes a half-written
+//     record (optionally fsynced for power-loss durability);
+//   - every record is a versioned envelope (envelope.go) whose trailing
+//     SHA-256 covers the whole file: corruption is detected on read and the
+//     damaged file is moved to quarantine/ — a bad sector costs one cache
+//     miss, never a wrong answer or a crash;
+//   - the store is GC-bounded by total bytes and/or record age, evicting
+//     oldest-written records first (the access pattern upstream is an LRU,
+//     so write age is a good enough proxy down here).
+//
+// Keys are hashed (SHA-256) into a two-level fan-out under objects/, keeping
+// directories small and file names filesystem-safe regardless of what
+// characters the cache key contains.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a store.
+type Config struct {
+	// Dir is the root directory (created if absent).
+	Dir string
+	// MaxBytes bounds the total payload bytes on disk; 0 means unbounded.
+	// Enforced after every Put by evicting oldest-written records.
+	MaxBytes int64
+	// MaxAge expires records older than this; 0 means no age limit.
+	// Enforced on Open, on Put and on explicit GC calls.
+	MaxAge time.Duration
+	// Fsync forces an fsync of each record (and its directory) before the
+	// rename commits, trading write latency for power-loss durability.
+	Fsync bool
+	// Schema is the payload schema generation stamped into every envelope.
+	// Records written under a different schema are treated as misses and
+	// garbage-collected rather than served.
+	Schema uint32
+	// Options is an optional lab-options fingerprint stamped into every
+	// envelope for offline inspection. It does not scope lookups — the
+	// serving layer already bakes its options digest into every key.
+	Options string
+}
+
+// Stats is a snapshot of the store's counters and gauges.
+type Stats struct {
+	Entries     int
+	Bytes       int64
+	Hits        uint64
+	Misses      uint64
+	Puts        uint64
+	Evictions   uint64
+	Quarantined uint64
+}
+
+// entry is the in-memory index record for one on-disk object.
+type entry struct {
+	path    string // absolute object path
+	size    int64  // payload bytes (what MaxBytes budgets)
+	created int64  // envelope timestamp, unix nanoseconds
+}
+
+// Store is a durable content-addressed result store. Safe for concurrent
+// use; the in-memory index makes misses an O(1) map lookup with no disk
+// touch.
+type Store struct {
+	cfg Config
+
+	mu    sync.Mutex
+	index map[string]entry
+	bytes int64
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	puts        atomic.Uint64
+	evictions   atomic.Uint64
+	quarantined atomic.Uint64
+}
+
+// Open creates or reopens a store rooted at cfg.Dir. Existing records are
+// scanned into the index; unreadable or corrupt files are quarantined and
+// expired ones collected, so Open leaves the directory consistent with the
+// configuration.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if cfg.MaxBytes < 0 {
+		return nil, fmt.Errorf("store: negative byte budget %d", cfg.MaxBytes)
+	}
+	if cfg.MaxAge < 0 {
+		return nil, fmt.Errorf("store: negative max age %v", cfg.MaxAge)
+	}
+	for _, sub := range []string{objectsDir, quarantineDir} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{cfg: cfg, index: make(map[string]entry)}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.gcLocked(time.Now())
+	s.mu.Unlock()
+	return s, nil
+}
+
+const (
+	objectsDir    = "objects"
+	quarantineDir = "quarantine"
+	objectExt     = ".ncr"
+)
+
+// objectPath maps a key to its file: objects/<first two hex>/<sha256>.ncr.
+func (s *Store) objectPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.cfg.Dir, objectsDir, name[:2], name+objectExt)
+}
+
+// scan rebuilds the index from disk. Corrupt, version-skewed or
+// schema-skewed files are quarantined so a later Put can cleanly rewrite
+// their slot.
+func (s *Store) scan() error {
+	root := filepath.Join(s.cfg.Dir, objectsDir)
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != objectExt {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		env, err := DecodeEnvelope(b)
+		if err != nil || env.Schema != s.cfg.Schema {
+			s.quarantine(path)
+			return nil
+		}
+		s.index[env.Key] = entry{path: path, size: int64(len(env.Payload)), created: env.CreatedUnixNano}
+		s.bytes += int64(len(env.Payload))
+		return nil
+	})
+}
+
+// Get returns the payload stored under key. A missing key, a corrupt record
+// (quarantined as a side effect) or an undecodable envelope all report a
+// plain miss: the caller recomputes, it never crashes.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	ent, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	b, err := os.ReadFile(ent.path)
+	if err != nil {
+		s.dropAndQuarantine(key, ent)
+		s.misses.Add(1)
+		return nil, false
+	}
+	env, derr := DecodeEnvelope(b)
+	if derr != nil || env.Key != key || env.Schema != s.cfg.Schema {
+		// Damaged, aliased (hash collision would surface here) or written by
+		// a different schema generation: out of the serving path it goes.
+		s.dropAndQuarantine(key, ent)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return env.Payload, true
+}
+
+// Put durably stores payload under key (atomic tmp+rename; fsync per
+// Config.Fsync) and then enforces the size/age budget.
+func (s *Store) Put(key string, payload []byte) error {
+	now := time.Now()
+	env := Envelope{
+		Schema:          s.cfg.Schema,
+		Key:             key,
+		Options:         s.cfg.Options,
+		CreatedUnixNano: now.UnixNano(),
+		Payload:         payload,
+	}
+	path := s.objectPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := WriteFileAtomic(path, env.Encode(), s.cfg.Fsync); err != nil {
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	s.puts.Add(1)
+	s.mu.Lock()
+	if old, ok := s.index[key]; ok {
+		s.bytes -= old.size
+	}
+	s.index[key] = entry{path: path, size: int64(len(payload)), created: env.CreatedUnixNano}
+	s.bytes += int64(len(payload))
+	s.gcLocked(now)
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes a record. Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.index[key]
+	if !ok {
+		return nil
+	}
+	delete(s.index, key)
+	s.bytes -= ent.size
+	if err := os.Remove(ent.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// GC enforces the size and age budgets immediately and reports how many
+// records it evicted.
+func (s *Store) GC() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gcLocked(time.Now())
+}
+
+// gcLocked evicts expired records, then oldest-written records until the
+// byte budget holds. Caller holds mu.
+func (s *Store) gcLocked(now time.Time) int {
+	evicted := 0
+	if s.cfg.MaxAge > 0 {
+		cutoff := now.Add(-s.cfg.MaxAge).UnixNano()
+		for key, ent := range s.index {
+			if ent.created < cutoff {
+				s.removeLocked(key, ent)
+				evicted++
+			}
+		}
+	}
+	if s.cfg.MaxBytes > 0 && s.bytes > s.cfg.MaxBytes {
+		type aged struct {
+			key string
+			ent entry
+		}
+		all := make([]aged, 0, len(s.index))
+		for key, ent := range s.index {
+			all = append(all, aged{key, ent})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].ent.created < all[j].ent.created })
+		for _, a := range all {
+			if s.bytes <= s.cfg.MaxBytes {
+				break
+			}
+			s.removeLocked(a.key, a.ent)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// removeLocked drops one record from index and disk. Caller holds mu.
+func (s *Store) removeLocked(key string, ent entry) {
+	delete(s.index, key)
+	s.bytes -= ent.size
+	os.Remove(ent.path)
+	s.evictions.Add(1)
+}
+
+// dropAndQuarantine removes a record from the index and moves its file
+// aside for post-mortem inspection.
+func (s *Store) dropAndQuarantine(key string, ent entry) {
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok && cur.path == ent.path {
+		delete(s.index, key)
+		s.bytes -= cur.size
+	}
+	s.mu.Unlock()
+	s.quarantine(ent.path)
+}
+
+// quarantine moves a damaged file into quarantine/ (best effort; a file
+// that cannot even be renamed is deleted so it cannot poison future scans).
+func (s *Store) quarantine(path string) {
+	dst := filepath.Join(s.cfg.Dir, quarantineDir,
+		fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	s.quarantined.Add(1)
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes returns the total stored payload bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Keys returns every stored key, most recently written first — the order a
+// boot-time cache warmer wants.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type aged struct {
+		key     string
+		created int64
+	}
+	all := make([]aged, 0, len(s.index))
+	for key, ent := range s.index {
+		all = append(all, aged{key, ent.created})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].created > all[j].created })
+	keys := make([]string, len(all))
+	for i, a := range all {
+		keys[i] = a.key
+	}
+	return keys
+}
+
+// Stats snapshots the counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := len(s.index), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Entries:     entries,
+		Bytes:       bytes,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// WriteFileAtomic writes data to path via a same-directory tmp file and
+// rename, so concurrent readers only ever see the old or the new complete
+// contents. With fsync set, the file (and, best effort, its directory) are
+// synced before the rename commits. Exported for the job orchestrator's
+// record files, which need identical crash semantics.
+func WriteFileAtomic(path string, data []byte, fsync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	if fsync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}

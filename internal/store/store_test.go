@@ -1,0 +1,299 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir, Schema: 1, Options: "opts-digest"})
+	payload := []byte(`{"figure":"fig8"}`)
+	if err := s.Put("figure|fig8@abc", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("figure|fig8@abc")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %t; want %q", got, ok, payload)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss / 1 put / 1 entry", st)
+	}
+	if st.Bytes != int64(len(payload)) {
+		t.Errorf("bytes %d, want %d", st.Bytes, len(payload))
+	}
+}
+
+// TestReopen is the restart property: a fresh Store over the same directory
+// serves exactly the bytes the previous process wrote.
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Schema: 3, Options: "digest"}
+	s1 := mustOpen(t, cfg)
+	keys := map[string][]byte{
+		"a":                      []byte("alpha"),
+		"weird/key|with@chars ñ": []byte("beta"),
+		"c":                      bytes.Repeat([]byte("x"), 4096),
+	}
+	for k, v := range keys {
+		if err := s1.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustOpen(t, cfg)
+	if s2.Len() != len(keys) {
+		t.Fatalf("reopened store has %d entries, want %d", s2.Len(), len(keys))
+	}
+	for k, v := range keys {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Errorf("reopened Get(%q) = %q, %t", k, got, ok)
+		}
+	}
+}
+
+// TestCorruptionQuarantined flips bytes in a stored object and demands a
+// clean miss plus a quarantined file — never a wrong payload, never a panic.
+func TestCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Schema: 1}
+	s := mustOpen(t, cfg)
+	if err := s.Put("victim", []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath("victim")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("victim"); ok {
+		t.Fatal("corrupt record served as a hit")
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Errorf("stats after corruption %+v, want 1 quarantined / 0 entries", st)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v; want 1", len(q), err)
+	}
+	// The slot is cleanly rewritable.
+	if err := s.Put("victim", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("victim"); !ok || string(got) != "fresh" {
+		t.Errorf("rewrite after quarantine: %q, %t", got, ok)
+	}
+}
+
+// TestTruncationQuarantined covers the other common damage mode: a file cut
+// short (partial disk, manual truncation).
+func TestTruncationQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir, Schema: 1})
+	if err := s.Put("victim", bytes.Repeat([]byte("p"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(s.objectPath("victim"), 37); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("victim"); ok {
+		t.Fatal("truncated record served as a hit")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+// TestOpenQuarantinesGarbage: junk and version-skewed files in objects/ are
+// moved aside at boot instead of crashing or being indexed.
+func TestOpenQuarantinesGarbage(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, Config{Dir: dir, Schema: 1})
+	if err := s1.Put("good", []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, objectsDir, "zz")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "junk"+objectExt), []byte("not an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A schema-skewed but otherwise intact record must not be served either.
+	skew := Envelope{Schema: 99, Key: "other", Payload: []byte("wrong generation")}
+	if err := os.WriteFile(filepath.Join(sub, "skew"+objectExt), skew.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Config{Dir: dir, Schema: 1})
+	if s2.Len() != 1 {
+		t.Errorf("reopened store has %d entries, want only the good one", s2.Len())
+	}
+	if got, ok := s2.Get("good"); !ok || string(got) != "keep me" {
+		t.Errorf("good record lost: %q, %t", got, ok)
+	}
+	if st := s2.Stats(); st.Quarantined != 2 {
+		t.Errorf("quarantined = %d, want 2", st.Quarantined)
+	}
+}
+
+// TestGCBySize: the byte budget evicts oldest-written records first.
+func TestGCBySize(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir, Schema: 1, MaxBytes: 250})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // distinct created timestamps
+	}
+	if b := s.Bytes(); b > 250 {
+		t.Errorf("store holds %d bytes, budget 250", b)
+	}
+	if _, ok := s.Get("k0"); ok {
+		t.Error("oldest record survived GC")
+	}
+	if _, ok := s.Get("k4"); !ok {
+		t.Error("newest record evicted")
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Error("no evictions counted")
+	}
+}
+
+// TestGCByAge: expired records disappear on explicit GC and on reopen.
+func TestGCByAge(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Schema: 1, MaxAge: 50 * time.Millisecond}
+	s := mustOpen(t, cfg)
+	if err := s.Put("old", []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if n := s.GC(); n != 1 {
+		t.Errorf("GC evicted %d, want 1", n)
+	}
+	if _, ok := s.Get("old"); ok {
+		t.Error("expired record still served")
+	}
+	// Expiry also holds across a reopen.
+	if err := s.Put("old2", []byte("stale again")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	s2 := mustOpen(t, cfg)
+	if s2.Len() != 0 {
+		t.Errorf("reopen kept %d expired records", s2.Len())
+	}
+}
+
+func TestDeleteAndKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir, Schema: 1})
+	for _, k := range []string{"first", "second", "third"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "third" || keys[2] != "first" {
+		t.Errorf("Keys() = %v, want newest-first [third second first]", keys)
+	}
+	if err := s.Delete("second"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("second"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d after delete, want 2", s.Len())
+	}
+	if _, ok := s.Get("second"); ok {
+		t.Error("deleted key still served")
+	}
+}
+
+// TestConcurrentAccess hammers the store from many goroutines; run under
+// -race this is the data-race certificate.
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir, Schema: 1, MaxBytes: 10_000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%20)
+				switch i % 3 {
+				case 0:
+					s.Put(key, []byte(strings.Repeat("v", 50)))
+				case 1:
+					s.Get(key)
+				case 2:
+					s.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.GC()
+}
+
+func TestOpenValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Dir: t.TempDir(), MaxBytes: -1},
+		{Dir: t.TempDir(), MaxAge: -time.Second},
+	} {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("Open(%+v) accepted, want error", cfg)
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	for i, fsync := range []bool{false, true} {
+		data := []byte(fmt.Sprintf("generation %d", i))
+		if err := WriteFileAtomic(path, data, fsync); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("after write %d: %q, %v", i, got, err)
+		}
+	}
+	// No tmp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after atomic writes, want 1", len(entries))
+	}
+}
