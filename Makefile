@@ -31,10 +31,14 @@ bench:
 # parallel speedup metric), saved as machine-readable test2json lines so the
 # perf trajectory can be diffed across PRs. The serving layer's cached-hit
 # vs cold-run pair lands in its own file so the daemon's latency trajectory
-# is separately diffable.
+# is separately diffable, and the core sweep engine (BenchmarkSweepReplay's
+# speedup vs the recorded pre-overhaul reference, ns/instr, allocs/instr)
+# lands in BENCH_core.json so hot-loop regressions show up as a diff.
 bench-save:
 	go test -json -run '^$$' -bench=. -benchtime=1x ./... > BENCH_parallel.json
 	go test -json -run '^$$' -bench='^BenchmarkServer' -benchtime=10x ./internal/server/ > BENCH_server.json
+	@{ echo '{"Action":"note","Package":"nanocache/internal/experiments","Output":"prepr_ms_per_sweep=153.8 recorded at commit 16a559b (pre-overhaul engine, go test -benchtime=5x); denominator of the speedup metric below"}'; \
+	go test -json -run '^$$' -bench='^BenchmarkSweepReplay$$' -benchtime=5x ./internal/experiments/; } > BENCH_core.json
 
 # Full regeneration of every table and figure (several minutes, one core).
 figures:

@@ -10,12 +10,16 @@
 //	           [-timeout D] [-drain-timeout D] [-instructions N]
 //	           [-benchmarks a,b,c] [-parallel N] [-seed N] [-v]
 //	           [-store-dir DIR] [-store-max-bytes N] [-store-fsync]
-//	           [-jobs N] [-job-retries N]
+//	           [-jobs N] [-job-retries N] [-pprof HOST:PORT]
 //
 // Endpoints: GET /healthz, GET /metrics, GET /v1/options, GET /v1/figures,
 // GET /v1/figures/{name}, GET /v1/table3, GET /v1/verify, POST /v1/run, and
 // the async job surface POST/GET /v1/jobs, GET/DELETE /v1/jobs/{id},
 // GET /v1/jobs/{id}/result, GET /v1/jobs/{id}/events (SSE).
+// With -pprof a second, separately bound listener exposes net/http/pprof
+// under /debug/pprof/ — kept off the serving address so profiling endpoints
+// are never reachable through the public port. Scrape-friendly runtime
+// gauges (goroutines, heap, GC pauses) are always present in GET /metrics.
 // On SIGINT/SIGTERM the daemon drains: new requests get 503 while in-flight
 // computations finish (bounded by -drain-timeout, after which they are
 // cancelled mid-simulation). With -store-dir, results and job checkpoints
@@ -31,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -74,6 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		storeFsync    = fs.Bool("store-fsync", false, "fsync every store and job-record write")
 		jobWorkers    = fs.Int("jobs", 1, "concurrent async jobs")
 		jobRetries    = fs.Int("job-retries", 2, "per-sweep-point transient-failure retries")
+		pprofAddr     = fs.String("pprof", "", "debug listen address serving net/http/pprof under /debug/pprof/ (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +128,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	// The profiling surface binds its own listener so /debug/pprof/ is never
+	// reachable through the serving address: operators point -pprof at
+	// localhost (or a firewalled port) and `go tool pprof` at it, while the
+	// public port stays limited to the documented API. Serve errors after a
+	// successful bind are deliberately ignored — profiling must never take
+	// the daemon down.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: mux}
+		fmt.Fprintf(stderr, "nanocached: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go ps.Serve(pln)
+		defer ps.Close()
+	}
 
 	select {
 	case err := <-serveErr:

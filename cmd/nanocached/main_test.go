@@ -137,6 +137,72 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	}
 }
 
+var pprofRE = regexp.MustCompile(`pprof on (http://[^\s]+)`)
+
+// TestDaemonPprofEndpoint boots with -pprof on an ephemeral port and checks
+// the profiling surface: the debug listener announces itself on stderr,
+// serves the pprof index and a goroutine profile, and — crucially — the
+// profiling routes are NOT reachable through the public serving address.
+func TestDaemonPprofEndpoint(t *testing.T) {
+	base, stderr, stop := startDaemon(t, "-pprof", "127.0.0.1:0")
+	defer stop()
+
+	// startDaemon returns as soon as the serving address appears; the pprof
+	// announcement follows it by a few statements, so poll briefly.
+	var m []string
+	deadline := time.Now().Add(5 * time.Second)
+	for m = pprofRE.FindStringSubmatch(stderr.String()); m == nil; m = pprofRE.FindStringSubmatch(stderr.String()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its pprof address\nstderr: %s", stderr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	debugURL := strings.TrimSuffix(m[1], "/")
+
+	for _, path := range []string{"/", "/goroutine?debug=1"} {
+		resp, err := http.Get(debugURL + path)
+		if err != nil {
+			t.Fatalf("pprof %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof %s: status %d body %s", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Errorf("pprof %s: empty body", path)
+		}
+	}
+
+	// The serving mux must not expose the debug routes.
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("public debug probe: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/pprof/ is reachable on the public serving address")
+	}
+
+	// The runtime gauges back the same observability story on /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"nanocached_goroutines",
+		"nanocached_heap_alloc_bytes",
+		"nanocached_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
 // TestRunFlagErrors pins the flag-validation surface.
 func TestRunFlagErrors(t *testing.T) {
 	cases := []struct {
@@ -149,6 +215,7 @@ func TestRunFlagErrors(t *testing.T) {
 		{"negative cache", []string{"-cache-size", "-5"}},
 		{"bad lab options", []string{"-benchmarks", "no-such-benchmark"}},
 		{"unlistenable addr", []string{"-addr", "256.0.0.1:bad"}},
+		{"unlistenable pprof addr", []string{"-addr", "127.0.0.1:0", "-pprof", "256.0.0.1:bad"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -68,6 +68,15 @@ type AccessResult struct {
 type L1 struct {
 	model *cacti.Model
 	ctrl  core.Controller
+	// ctrlStatic/ctrlGated devirtualize the two controllers on the hot sweep
+	// path (the static baseline and every gated threshold point): storing the
+	// concrete type makes the per-access AccessPenalty call direct — and
+	// therefore inlinable — instead of an itab dispatch. extraLat hoists the
+	// policy's ExtraAccessLatency, which is constant for every controller
+	// (on-demand fixes it at construction), out of the per-access path.
+	ctrlStatic *core.StaticPullUp
+	ctrlGated  *core.Gated
+	extraLat   int
 	// resizer, when non-nil, masks the set index to the active fraction
 	// and is consulted at interval boundaries; ctrl is then the resizer.
 	resizer *core.Resizable
@@ -134,6 +143,13 @@ func NewL1(m *cacti.Model, ctrl core.Controller, loc *sram.Locality, next *L2) (
 		baseLat:    m.AccessCycles(),
 		tags:       make([]uint64, sets*ways),
 		valid:      make([]bool, sets*ways),
+	}
+	c.extraLat = ctrl.ExtraAccessLatency()
+	switch ct := ctrl.(type) {
+	case *core.StaticPullUp:
+		c.ctrlStatic = ct
+	case *core.Gated:
+		c.ctrlGated = ct
 	}
 	if r, ok := ctrl.(*core.Resizable); ok {
 		c.resizer = r
@@ -230,19 +246,35 @@ func (c *L1) Drowsy() *core.Drowsy { return c.drowsy }
 
 // PolicyLatency returns the uniform latency the precharge policy adds to
 // every access (on-demand precharging).
-func (c *L1) PolicyLatency() int { return c.ctrl.ExtraAccessLatency() }
+func (c *L1) PolicyLatency() int { return c.extraLat }
 
 // Hint forwards a predecoding prediction for the subarray of addr at cycle
 // now to the precharge controller (Sec. 6.3).
 func (c *L1) Hint(addr uint64, now uint64) {
+	if c.ctrlGated != nil {
+		c.ctrlGated.Hint(c.SubarrayFor(addr), now)
+		return
+	}
 	c.ctrl.Hint(c.SubarrayFor(addr), now)
+}
+
+// accessPenalty dispatches the per-access precharge penalty through the
+// devirtualized fast paths when the controller is one of the two hot types.
+func (c *L1) accessPenalty(sub int, now uint64) int {
+	switch {
+	case c.ctrlStatic != nil:
+		return c.ctrlStatic.AccessPenalty(sub, now)
+	case c.ctrlGated != nil:
+		return c.ctrlGated.AccessPenalty(sub, now)
+	}
+	return c.ctrl.AccessPenalty(sub, now)
 }
 
 // Access performs one read or write at cycle now and returns its result.
 // Writes are modeled write-allocate; miss traffic probes the backing L2.
 func (c *L1) Access(addr uint64, now uint64, write bool) AccessResult {
 	sub := c.SubarrayFor(addr)
-	stall := c.ctrl.AccessPenalty(sub, now)
+	stall := c.accessPenalty(sub, now)
 	if c.loc != nil {
 		c.loc.RecordAccess(sub, now)
 	}
@@ -252,7 +284,7 @@ func (c *L1) Access(addr uint64, now uint64, write bool) AccessResult {
 	res := AccessResult{
 		Subarray:       sub,
 		PrechargeStall: stall,
-		Latency:        c.baseLat + c.ctrl.ExtraAccessLatency() + stall,
+		Latency:        c.baseLat + c.extraLat + stall,
 	}
 	if c.drowsy != nil {
 		wake := c.drowsy.Access(sub, now)

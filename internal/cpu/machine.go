@@ -6,16 +6,21 @@
 // either Pentium-4-style dependent-only replay or R10000-style squash-all.
 //
 // The model is trace-driven: it consumes the committed-path micro-op stream
-// from internal/workload and models wrong-path work as fetch-redirect
+// from internal/workload (or a pre-recorded isa.Recorded trace replayed
+// through an isa.Cursor) and models wrong-path work as fetch-redirect
 // penalties. Cache behaviour (including precharge-policy stalls and latency)
 // comes from internal/cache, whose L1s the machine drives with fetch- and
 // execute-stage timestamps.
+//
+// The cycle loop is engineered to be allocation-free in steady state and a
+// Machine is reusable across runs via Reset, so sweep engines keep one
+// scratch machine per worker instead of reconstructing ROB, scheduler and
+// predictor state once per policy point (see DESIGN.md §11).
 package cpu
 
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"nanocache/internal/cache"
 	"nanocache/internal/isa"
@@ -165,6 +170,11 @@ type mshrEntry struct {
 }
 
 // Machine wires a configuration, the two L1s and a micro-op stream.
+//
+// A Machine is reusable: Reset reinitializes it in place for a new run,
+// recycling the ROB storage, scheduler scratch buffers and predictor tables,
+// so worker pools keep one scratch machine per worker instead of paying
+// construction and allocator traffic once per run.
 type Machine struct {
 	cfg Config
 	l1i *cache.L1
@@ -177,19 +187,40 @@ type Machine struct {
 	// timed-out context aborts a long simulation early (see SetContext).
 	ctx context.Context
 
-	rob       []robEntry
-	headSeq   uint64 // oldest in-flight sequence
-	tailSeq   uint64 // next sequence to dispatch
+	// rob is the reorder buffer ring. Its capacity is cfg.ROBSize rounded up
+	// to a power of two so the ring index is a mask instead of a 64-bit
+	// modulo — the pre-overhaul `seq % len(rob)` division was the single
+	// hottest instruction of the whole simulator (36% of run time).
+	// Occupancy is still bounded by cfg.ROBSize exactly.
+	rob     []robEntry
+	robMask uint64
+	headSeq uint64 // oldest in-flight sequence
+	tailSeq uint64 // next sequence to dispatch
+	// issueBase is the lowest sequence that might still be unissued: the
+	// scheduler scan starts there instead of at the ROB head, skipping the
+	// committed-but-unretired prefix wholesale. It only ever advances past
+	// issued entries and is pulled back on squash, so the scan's issue
+	// decisions are exactly those of a full head-to-tail walk.
+	issueBase uint64
 	regProd   [isa.NumRegs]uint64
 	replays   []replayEvent
 	mshrs     []mshrEntry
 	memQueued int // in-flight memory ops (LSQ occupancy)
 
-	// Scratch buffers reused across cycles so the simulation loop does not
-	// allocate per event (profiled hot spots: replay squash tracking and
-	// MSHR completion-time sorting).
+	// Scratch buffers reused across cycles and runs so the simulation loop
+	// does not allocate per event (profiled hot spots: replay squash
+	// tracking and MSHR completion-time selection).
 	squashScratch map[uint64]bool
 	mshrTimes     []uint64
+
+	// Hot-loop event accumulator: next is the earliest cycle > now at which
+	// anything can happen, maintained by noteEvent. Machine fields rather
+	// than a per-iteration closure keep the steady-state loop free of
+	// closure construction and escapes.
+	now          uint64
+	next         uint64
+	iters        uint64
+	lastProgress uint64
 
 	// Fetch state.
 	pending      isa.MicroOp
@@ -205,30 +236,92 @@ type Machine struct {
 	res Result
 }
 
+// nextPow2 rounds n up to the next power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // NewMachine builds a machine over the given caches and stream.
 func NewMachine(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reset(cfg, l1i, l1d, stream); err != nil {
 		return nil, err
 	}
-	if l1i == nil || l1d == nil || stream == nil {
-		return nil, fmt.Errorf("cpu: caches and stream are required")
-	}
-	m := &Machine{
-		cfg:   cfg,
-		l1i:   l1i,
-		l1d:   l1d,
-		bp:    NewPredictor(12),
-		s:     stream,
-		rob:   make([]robEntry, cfg.ROBSize),
-		mshrs: make([]mshrEntry, 0, cfg.MSHRs),
+	return m, nil
+}
 
-		squashScratch: make(map[uint64]bool, cfg.ROBSize),
-		mshrTimes:     make([]uint64, 0, cfg.MSHRs+1),
+// Reset reinitializes the machine in place for a new run over fresh caches
+// and a new stream. It reuses the ROB ring (unless the configured size
+// grew), the replay/MSHR scratch buffers and the branch predictor tables
+// (cleared to their initial bias), and drops any installed tracer and
+// context — a reset machine is indistinguishable from a newly constructed
+// one, which the serial-vs-pooled equivalence tests pin.
+func (m *Machine) Reset(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
+	if l1i == nil || l1d == nil || stream == nil {
+		return fmt.Errorf("cpu: caches and stream are required")
+	}
+	m.cfg = cfg
+	m.l1i = l1i
+	m.l1d = l1d
+	m.s = stream
+	m.tracer = nil
+	m.ctx = nil
+
+	if cap := nextPow2(cfg.ROBSize); len(m.rob) != cap {
+		m.rob = make([]robEntry, cap)
+		m.robMask = uint64(cap - 1)
+	} else {
+		clear(m.rob)
+	}
+	if m.bp == nil {
+		m.bp = NewPredictor(12)
+	} else {
+		m.bp.Reset()
+	}
+	m.headSeq, m.tailSeq, m.issueBase = 0, 0, 0
 	for i := range m.regProd {
 		m.regProd[i] = invalidSrc
 	}
-	return m, nil
+	if m.replays == nil {
+		m.replays = make([]replayEvent, 0, 64)
+	}
+	m.replays = m.replays[:0]
+	if m.mshrs == nil {
+		m.mshrs = make([]mshrEntry, 0, cfg.MSHRs+cfg.LSQSize)
+	}
+	m.mshrs = m.mshrs[:0]
+	if m.mshrTimes == nil {
+		m.mshrTimes = make([]uint64, 0, cfg.MSHRs+cfg.LSQSize)
+	}
+	m.mshrTimes = m.mshrTimes[:0]
+	if m.squashScratch == nil {
+		m.squashScratch = make(map[uint64]bool, cfg.ROBSize)
+	} else {
+		clear(m.squashScratch)
+	}
+	m.memQueued = 0
+
+	m.now, m.next, m.iters, m.lastProgress = 0, 0, 0, 0
+
+	m.pending = isa.MicroOp{}
+	m.havePending = false
+	m.streamDone = false
+	m.fetchBlockBy = 0
+	m.fetchBlocked = false
+	m.lineReadyAt = 0
+	m.curLine = 0
+	m.haveCurLine = false
+	m.lastFetchAt = 0
+
+	m.res = Result{}
+	return nil
 }
 
 // SetContext installs a cancellation context. Run polls it every few
@@ -239,7 +332,7 @@ func NewMachine(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) (*Machine, er
 func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
 
 func (m *Machine) entry(seq uint64) *robEntry {
-	return &m.rob[seq%uint64(len(m.rob))]
+	return &m.rob[seq&m.robMask]
 }
 
 // srcReady reports whether producer sequence s has its result available for
@@ -276,7 +369,8 @@ func (m *Machine) dCacheAccess(op *isa.MicroOp, accTime uint64) (lat int, stall 
 	if res.Hit {
 		// A hit on a line whose fill is still in flight (hit-under-miss,
 		// or a replayed load re-touching its own miss) waits for the fill.
-		for _, e := range m.mshrs {
+		for i := range m.mshrs {
+			e := &m.mshrs[i]
 			if e.line == line && e.readyAt > accTime {
 				return int(e.readyAt-accTime) + m.l1d.BaseLatency(), res.PrechargeStall
 			}
@@ -293,10 +387,10 @@ func (m *Machine) dCacheAccess(op *isa.MicroOp, accTime uint64) (lat int, stall 
 		}
 	}
 	m.mshrs = live
-	for _, e := range m.mshrs {
-		if e.line == line {
+	for i := range m.mshrs {
+		if m.mshrs[i].line == line {
 			// Merge: data arrives with the outstanding fetch.
-			return int(e.readyAt-accTime) + m.l1d.BaseLatency(), res.PrechargeStall
+			return int(m.mshrs[i].readyAt-accTime) + m.l1d.BaseLatency(), res.PrechargeStall
 		}
 	}
 	start := accTime
@@ -304,12 +398,14 @@ func (m *Machine) dCacheAccess(op *isa.MicroOp, accTime uint64) (lat int, stall 
 		// All MSHRs busy: requests queue FIFO, so this miss starts when
 		// enough earlier fills retire to free a slot — the k-th smallest
 		// completion among the outstanding ones, k = outstanding − cap.
+		// Insertion sort on the reused scratch slice: the set is tiny
+		// (≤ MSHRs + queued) and, unlike sort.Slice, allocation-free.
 		k := len(m.mshrs) - m.cfg.MSHRs
 		times := m.mshrTimes[:0]
 		for _, e := range m.mshrs {
 			times = append(times, e.readyAt)
 		}
-		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		insertionSortU64(times)
 		m.mshrTimes = times
 		if t := times[k]; t > start {
 			start = t
@@ -318,4 +414,17 @@ func (m *Machine) dCacheAccess(op *isa.MicroOp, accTime uint64) (lat int, stall 
 	ready := start + uint64(res.Latency)
 	m.mshrs = append(m.mshrs, mshrEntry{line: line, readyAt: ready})
 	return int(ready - accTime), res.PrechargeStall
+}
+
+// insertionSortU64 sorts a small slice ascending without allocating.
+func insertionSortU64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }

@@ -35,6 +35,21 @@ func NewPredictor(bits uint) *Predictor {
 	return p
 }
 
+// Reset restores the predictor to its as-constructed state — all counters at
+// their initial weak bias, history and statistics cleared — reusing the table
+// storage. A reset predictor is indistinguishable from a fresh NewPredictor,
+// which lets Machine.Reset recycle the three tables across runs.
+func (p *Predictor) Reset() {
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+		p.gshare[i] = 1
+		p.chooser[i] = 1
+	}
+	p.history = 0
+	p.lookups = 0
+	p.correct = 0
+}
+
 func taken(counter uint8) bool { return counter >= 2 }
 
 func bump(c uint8, t bool) uint8 {

@@ -43,14 +43,14 @@ func (l *Lab) Alpha21164() (AlphaResult, error) {
 		}
 		l2Cfg := l.runConfig(bench, Static(), Static())
 		l2Cfg.L2Policy = OnDemandPolicy()
-		l2Run, err := Run(l2Cfg)
+		l2Run, err := l.run(l2Cfg)
 		if err != nil {
 			return AlphaResult{}, err
 		}
 		if l2Run.L2 == nil {
 			return AlphaResult{}, fmt.Errorf("experiments: L2 outcome missing for %s", bench)
 		}
-		l1Run, err := Run(l.runConfig(bench, OnDemandPolicy(), Static()))
+		l1Run, err := l.run(l.runConfig(bench, OnDemandPolicy(), Static()))
 		if err != nil {
 			return AlphaResult{}, err
 		}

@@ -45,3 +45,13 @@ func (c RunConfig) Digest() (string, error) {
 func (o Options) Digest() (string, error) {
 	return canonicalDigest("options", o)
 }
+
+// Digest returns a stable hex digest of a fully-assembled outcome — every
+// counter, latency, ledger total and per-node energy account it carries.
+// Outcome holds per-node maps, which encoding/json marshals with sorted
+// keys, so the encoding stays canonical. Two outcomes digest equal iff the
+// simulations behaved identically; the fresh-vs-replayed-trace equivalence
+// tests compare at this level.
+func (o Outcome) Digest() (string, error) {
+	return canonicalDigest("outcome", o)
+}

@@ -59,7 +59,7 @@ func (l *Lab) Extensions() (ExtensionsResult, error) {
 		}
 
 		// Adaptive controller.
-		ad, err := Run(l.runConfig(bench, AdaptiveGatedPolicy(0, true), Static()))
+		ad, err := l.run(l.runConfig(bench, AdaptiveGatedPolicy(0, true), Static()))
 		if err != nil {
 			return ExtensionsResult{}, err
 		}
@@ -82,7 +82,7 @@ func (l *Lab) Extensions() (ExtensionsResult, error) {
 		// Way prediction alone and combined with gating.
 		wayCfg := l.runConfig(bench, Static(), Static())
 		wayCfg.WayPredictD = true
-		way, err := Run(wayCfg)
+		way, err := l.run(wayCfg)
 		if err != nil {
 			return ExtensionsResult{}, err
 		}
@@ -92,11 +92,11 @@ func (l *Lab) Extensions() (ExtensionsResult, error) {
 		}
 		bothCfg := l.runConfig(bench, GatedPolicy(l.opts.ConstantThreshold, true), Static())
 		bothCfg.WayPredictD = true
-		both, err := Run(bothCfg)
+		both, err := l.run(bothCfg)
 		if err != nil {
 			return ExtensionsResult{}, err
 		}
-		gatedOnly, err := Run(l.runConfig(bench, GatedPolicy(l.opts.ConstantThreshold, true), Static()))
+		gatedOnly, err := l.run(l.runConfig(bench, GatedPolicy(l.opts.ConstantThreshold, true), Static()))
 		if err != nil {
 			return ExtensionsResult{}, err
 		}
@@ -108,13 +108,13 @@ func (l *Lab) Extensions() (ExtensionsResult, error) {
 		// Drowsy mode alone and combined with gating.
 		drowsyCfg := l.runConfig(bench, Static(), Static())
 		drowsyCfg.DrowsyD = l.opts.ConstantThreshold
-		drowsyRun, err := Run(drowsyCfg)
+		drowsyRun, err := l.run(drowsyCfg)
 		if err != nil {
 			return ExtensionsResult{}, err
 		}
 		gdCfg := l.runConfig(bench, GatedPolicy(l.opts.ConstantThreshold, true), Static())
 		gdCfg.DrowsyD = l.opts.ConstantThreshold
-		gdRun, err := Run(gdCfg)
+		gdRun, err := l.run(gdCfg)
 		if err != nil {
 			return ExtensionsResult{}, err
 		}

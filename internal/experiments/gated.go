@@ -235,7 +235,7 @@ func (l *Lab) bestResizable(bench string, side CacheSide) (SweepPoint, error) {
 		} else {
 			i = ResizablePolicy(tol, 4)
 		}
-		o, err := Run(l.runConfig(bench, d, i))
+		o, err := l.run(l.runConfig(bench, d, i))
 		if err != nil {
 			return SweepPoint{}, err
 		}

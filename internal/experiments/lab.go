@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"nanocache/internal/core"
+	"nanocache/internal/isa"
 	"nanocache/internal/tech"
 	"nanocache/internal/workload"
 )
@@ -159,6 +160,7 @@ type Lab struct {
 	mu        sync.Mutex
 	baselines map[baselineKey]*inflight[Outcome]
 	sweeps    map[sweepKey]*inflight[[]SweepPoint]
+	traces    map[traceKey]*inflight[*isa.Recorded]
 
 	// progressMu serializes progress emission; see SetProgress.
 	progressMu sync.Mutex
@@ -174,6 +176,17 @@ type sweepKey struct {
 	bench    string
 	side     CacheSide
 	subarray int
+}
+
+// traceKey identifies one shared replayable trace: the dynamic micro-op
+// stream is fully determined by the benchmark, the optional SMT partner, the
+// seed and the instruction budget — and by nothing policy- or machine-
+// dependent, which is what makes sweep-wide sharing sound.
+type traceKey struct {
+	bench  string
+	second string
+	seed   int64
+	n      uint64
 }
 
 // inflight is a single-flight memo cell: the first requester computes the
@@ -224,7 +237,40 @@ func NewLab(opts Options) (*Lab, error) {
 		thresholds: sortedThresholds(opts.Thresholds),
 		baselines:  make(map[baselineKey]*inflight[Outcome]),
 		sweeps:     make(map[sweepKey]*inflight[[]SweepPoint]),
+		traces:     make(map[traceKey]*inflight[*isa.Recorded]),
 	}, nil
+}
+
+// traceFor returns (memoized, single-flight) the shared replayable trace for
+// cfg's stream identity. First use materializes the trace by running the
+// generator once; every subsequent sweep point, baseline and sensitivity run
+// replays it. At full-evaluation scale one trace is a few MB (150k ops ×
+// ~48B), bounded by the benchmark set plus the SMT pairs — the figures share
+// a handful of streams across hundreds of runs.
+func (l *Lab) traceFor(cfg RunConfig) (*isa.Recorded, error) {
+	key := traceKey{bench: cfg.Benchmark, second: cfg.SecondBenchmark,
+		seed: cfg.Seed, n: cfg.Instructions}
+	return single(l, l.traces, key, func() (*isa.Recorded, error) {
+		return RecordTrace(cfg)
+	})
+}
+
+// run executes one configuration through the lab's shared-trace replay: the
+// per-(benchmark, seed, interleave) trace is recorded on first use and every
+// later run of the same stream replays it, so a sweep's per-point cost is
+// only the policy-dependent simulation. Results are byte-identical to
+// Run(cfg) with fresh generation (pinned by TestFreshVsReplayedTrace
+// equivalence and the goldens). Custom workloads and externally-traced
+// configs pass through unchanged.
+func (l *Lab) run(cfg RunConfig) (Outcome, error) {
+	if cfg.Trace == nil && cfg.Workload == nil {
+		tr, err := l.traceFor(cfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		cfg.Trace = tr
+	}
+	return Run(cfg)
 }
 
 // Options returns the lab's options.
@@ -298,7 +344,7 @@ func (l *Lab) GatedSweep(bench string, side CacheSide, subarrayBytes int) ([]Swe
 			}
 			cfg := l.runConfig(bench, d, i)
 			cfg.SubarrayBytes = subarrayBytes
-			o, err := Run(cfg)
+			o, err := l.run(cfg)
 			if err != nil {
 				return err
 			}
@@ -321,7 +367,7 @@ func (l *Lab) baselineAt(bench string, subarrayBytes int) (Outcome, error) {
 	return single(l, l.baselines, baselineKey{bench, subarrayBytes}, func() (Outcome, error) {
 		cfg := l.runConfig(bench, Static(), Static())
 		cfg.SubarrayBytes = subarrayBytes
-		o, err := Run(cfg)
+		o, err := l.run(cfg)
 		if err != nil {
 			return Outcome{}, err
 		}

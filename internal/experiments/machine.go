@@ -64,13 +64,13 @@ func (l *Lab) MachineSensitivity() (MachineSensitivityResult, error) {
 		bench := benches[idx%len(benches)]
 		baseCfg := l.runConfig(bench, Static(), Static())
 		baseCfg.CPU = &v.cfg
-		base, err := Run(baseCfg)
+		base, err := l.run(baseCfg)
 		if err != nil {
 			return err
 		}
 		odCfg := l.runConfig(bench, OnDemandPolicy(), Static())
 		odCfg.CPU = &v.cfg
-		od, err := Run(odCfg)
+		od, err := l.run(odCfg)
 		if err != nil {
 			return err
 		}

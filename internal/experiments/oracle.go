@@ -41,7 +41,7 @@ func (l *Lab) Figure3() (Fig3Result, error) {
 	cells := make([]cell, len(benches))
 	if err := l.forEach(len(benches), func(idx int) error {
 		bench := benches[idx]
-		o, err := Run(l.runConfig(bench, OraclePolicy(), OraclePolicy()))
+		o, err := l.run(l.runConfig(bench, OraclePolicy(), OraclePolicy()))
 		if err != nil {
 			return err
 		}
@@ -124,11 +124,11 @@ func (l *Lab) OnDemand() (OnDemandResult, error) {
 		if err != nil {
 			return err
 		}
-		dRun, err := Run(l.runConfig(bench, OnDemandPolicy(), Static()))
+		dRun, err := l.run(l.runConfig(bench, OnDemandPolicy(), Static()))
 		if err != nil {
 			return err
 		}
-		iRun, err := Run(l.runConfig(bench, Static(), OnDemandPolicy()))
+		iRun, err := l.run(l.runConfig(bench, Static(), OnDemandPolicy()))
 		if err != nil {
 			return err
 		}

@@ -119,7 +119,7 @@ func (l *Lab) Predecode() (PredecodeResult, error) {
 		}
 		withoutPts := make([]SweepPoint, 0, len(l.thresholds))
 		for _, thr := range l.thresholds {
-			o, err := Run(l.runConfig(bench, GatedPolicy(thr, false), Static()))
+			o, err := l.run(l.runConfig(bench, GatedPolicy(thr, false), Static()))
 			if err != nil {
 				return err
 			}

@@ -42,7 +42,7 @@ func (l *Lab) Processor() (ProcessorResult, error) {
 		if err != nil {
 			return ProcessorResult{}, err
 		}
-		gated, err := Run(l.runConfig(bench,
+		gated, err := l.run(l.runConfig(bench,
 			GatedPolicy(l.opts.ConstantThreshold, true),
 			GatedPolicy(l.opts.ConstantThreshold, false)))
 		if err != nil {

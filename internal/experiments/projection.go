@@ -38,7 +38,7 @@ func (l *Lab) Projection() (ProjectionResult, error) {
 		if err != nil {
 			return ProjectionResult{}, err
 		}
-		orc, err := Run(l.runConfig(bench, OraclePolicy(), OraclePolicy()))
+		orc, err := l.run(l.runConfig(bench, OraclePolicy(), OraclePolicy()))
 		if err != nil {
 			return ProjectionResult{}, err
 		}

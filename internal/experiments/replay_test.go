@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"nanocache/internal/workload"
+)
+
+// TestFreshVsReplayedTraceEquivalence pins the tentpole soundness property
+// of the shared-trace sweep engine: replaying a recorded trace produces an
+// outcome digest-identical to regenerating the stream, for every registered
+// workload, on both cache sides, and under SMT interleaving. The digest
+// covers every counter, ledger total and per-node energy account, so any
+// divergence — ordering, timing, accounting — fails loudly. The suite also
+// runs under the race detector (make race), where the sync.Pool machine
+// reuse and single-flight trace cells get exercised by t.Parallel.
+func TestFreshVsReplayedTraceEquivalence(t *testing.T) {
+	const instrs = 4_000
+	check := func(t *testing.T, cfg RunConfig) {
+		t.Helper()
+		fresh, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := RecordTrace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayCfg := cfg
+		replayCfg.Trace = tr
+		replayed, err := Run(replayCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := fresh.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := replayed.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fd != rd {
+			t.Errorf("fresh and replayed outcomes diverge:\n fresh  %s\n replay %s\n fresh CPU %+v\nreplay CPU %+v",
+				fd, rd, fresh.CPU, replayed.CPU)
+		}
+	}
+	for _, bench := range workload.Names() {
+		for _, side := range []CacheSide{DataCache, InstructionCache} {
+			name := fmt.Sprintf("%s/%s", bench, side)
+			cfg := RunConfig{
+				Benchmark:    bench,
+				Seed:         1,
+				Instructions: instrs,
+				DPolicy:      Static(),
+				IPolicy:      Static(),
+			}
+			if side == DataCache {
+				cfg.DPolicy = GatedPolicy(100, true)
+			} else {
+				cfg.IPolicy = GatedPolicy(100, false)
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				check(t, cfg)
+			})
+		}
+	}
+	t.Run("smt-interleave", func(t *testing.T) {
+		t.Parallel()
+		check(t, RunConfig{
+			Benchmark:       "gcc",
+			SecondBenchmark: "art",
+			Seed:            1,
+			Instructions:    instrs,
+			DPolicy:         GatedPolicy(100, true),
+			IPolicy:         Static(),
+		})
+	})
+}
+
+// TestLabRunUsesSharedTrace pins the memoization contract: two lab runs of
+// the same stream identity share one recorded trace (single-flight), and the
+// lab's replayed outcome is digest-identical to a fresh standalone Run.
+func TestLabRunUsesSharedTrace(t *testing.T) {
+	opts := QuickOptions()
+	opts.Instructions = 4_000
+	opts.Benchmarks = []string{"gcc"}
+	lab, err := NewLab(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lab.runConfig("gcc", GatedPolicy(100, true), Static())
+	viaLab, err := lab.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(lab.traces); n != 1 {
+		t.Fatalf("lab memoized %d traces, want 1", n)
+	}
+	if _, err := lab.run(lab.runConfig("gcc", Static(), Static())); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(lab.traces); n != 1 {
+		t.Fatalf("second run of the same stream grew the trace memo to %d entries", n)
+	}
+	standalone, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := viaLab.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := standalone.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld != sd {
+		t.Fatalf("lab replay digest %s != standalone fresh digest %s", ld, sd)
+	}
+}
+
+// prePRQuickSweepMS is the measured wall time (ms) of quickSweep with the
+// engine as of the commit preceding this overhaul — cycle-stepping loop,
+// 64-bit-modulo ROB indexing, per-point stream regeneration, per-run machine
+// construction — on the reference development machine (go test -benchtime=5x,
+// see BENCH_core.json "prepr_ms_per_sweep"). BenchmarkSweepReplay divides
+// this by the current sweep time to make the perf trajectory of the PR
+// machine-readable; it is a recorded reference, not a portable constant.
+const prePRQuickSweepMS = 153.8
+
+// quickSweep is the reduced Figure-8-style sweep both engines are measured
+// on: one static baseline plus four gated threshold points of one benchmark
+// at 40k instructions. trace == nil regenerates the stream per point (the
+// pre-overhaul path's stream behaviour); a recorded trace replays.
+func quickSweep(b *testing.B, cfg RunConfig, thresholds []uint64, replay bool) {
+	b.Helper()
+	base := cfg
+	if replay {
+		tr, err := RecordTrace(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base.Trace = tr
+	}
+	if _, err := Run(base); err != nil {
+		b.Fatal(err)
+	}
+	for _, thr := range thresholds {
+		pt := base
+		pt.DPolicy = GatedPolicy(thr, true)
+		if _, err := Run(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepReplay measures the post-overhaul sweep engine on the
+// reduced quick-sweep and reports the perf metrics the PR is accountable
+// for (recorded by `make bench-save` into BENCH_core.json):
+//
+//	ms/sweep       current shared-trace sweep wall time
+//	speedup        vs. the recorded pre-overhaul reference (≥ 1.5 expected)
+//	replay_speedup live fresh-generation vs. trace-replay, same engine
+//	ns/instr       simulation cost per committed instruction
+//	allocs/instr   heap objects per instruction across the whole sweep
+//	               (cycle-loop steady state itself is pinned at zero by
+//	               TestCycleLoopZeroAlloc; the remainder is per-run cache
+//	               construction)
+func BenchmarkSweepReplay(b *testing.B) {
+	thresholds := []uint64{8, 32, 100, 256}
+	const instrs = 40_000
+	cfg := RunConfig{Benchmark: "gcc", Seed: 1, Instructions: instrs,
+		DPolicy: Static(), IPolicy: Static()}
+	runsPerSweep := uint64(1 + len(thresholds))
+
+	var fresh, replayed time.Duration
+	var allocs uint64
+	var ms runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // ns/op charges the replay engine only
+		start := time.Now()
+		quickSweep(b, cfg, thresholds, false)
+		fresh += time.Since(start)
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		b.StartTimer()
+		start = time.Now()
+		quickSweep(b, cfg, thresholds, true)
+		replayed += time.Since(start)
+		b.StopTimer()
+		runtime.ReadMemStats(&ms)
+		allocs += ms.Mallocs - before
+		b.StartTimer()
+	}
+	msPerSweep := float64(replayed.Microseconds()) / 1e3 / float64(b.N)
+	b.ReportMetric(msPerSweep, "ms/sweep")
+	if msPerSweep > 0 {
+		b.ReportMetric(prePRQuickSweepMS/msPerSweep, "speedup")
+	}
+	if replayed > 0 {
+		b.ReportMetric(float64(fresh)/float64(replayed), "replay_speedup")
+	}
+	instrTotal := float64(b.N) * float64(runsPerSweep) * float64(instrs)
+	b.ReportMetric(float64(replayed.Nanoseconds())/instrTotal, "ns/instr")
+	b.ReportMetric(float64(allocs)/instrTotal, "allocs/instr")
+}

@@ -11,6 +11,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"nanocache/internal/cache"
@@ -107,6 +108,16 @@ type RunConfig struct {
 	// commit, squash, mispredict) for debugging and visualization. It is
 	// excluded from JSON configs.
 	Tracer cpu.Tracer `json:"-"`
+	// Trace, when non-nil, is a pre-recorded micro-op trace replayed in
+	// place of regenerating the workload stream: the dynamic instruction
+	// sequence is policy-invariant, so sweep engines record it once per
+	// (benchmark, seed, interleave) via RecordTrace and replay it at every
+	// policy point (DESIGN.md §11). It must have been recorded from an
+	// identically-specified config (same benchmark/workload, second
+	// benchmark, seed and instruction budget); results are then
+	// byte-identical to fresh generation, which the equivalence tests pin.
+	// Excluded from JSON so digests and cache keys are unchanged.
+	Trace *isa.Recorded `json:"-"`
 	// CPU, when non-nil, overrides the Table 2 machine configuration
 	// (width, ROB/IQ/LSQ sizes, MSHRs, pipeline depths, load-hit
 	// speculation). MaxInstructions, Replay, Predecode and ResizeInterval
@@ -241,6 +252,64 @@ var runsExecuted atomic.Uint64
 // process so far.
 func RunsExecuted() uint64 { return runsExecuted.Load() }
 
+// simScratch is the per-worker reusable simulation state: a machine whose
+// ROB, scheduler scratch and predictor tables survive across runs, and a
+// trace cursor for replayed streams. RunCtx checks one out of a sync.Pool
+// for the duration of the run, so a worker pool sweeping hundreds of policy
+// points reconstructs nothing but the (policy-dependent) caches.
+type simScratch struct {
+	machine cpu.Machine
+	cursor  isa.Cursor
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(simScratch) }}
+
+// buildStream composes the fresh-generation micro-op stream of cfg: the
+// benchmark (or custom workload) generator, the optional SMT interleave, and
+// the instruction-budget limit.
+func buildStream(spec workload.Spec, cfg RunConfig) (isa.Stream, error) {
+	var inner isa.Stream = workload.MustNew(spec, cfg.Seed)
+	if cfg.SecondBenchmark != "" {
+		spec2, ok := workload.ByName(cfg.SecondBenchmark)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", cfg.SecondBenchmark)
+		}
+		inner = &isa.Interleave{A: inner, B: workload.MustNew(spec2, cfg.Seed+1)}
+	}
+	return &isa.Limit{S: inner, N: cfg.Instructions + 64}, nil
+}
+
+// RecordTrace materializes cfg's micro-op stream — benchmark or custom
+// workload, optional interleave, instruction budget — into an immutable
+// replayable trace. Setting the result as cfg.Trace makes Run replay it in
+// place of regeneration with byte-identical outcomes; any number of
+// concurrent runs may share one trace. Policy fields are irrelevant to the
+// recording (the committed-path stream is policy-invariant), so one trace
+// serves every point of a sweep over the same (benchmark, seed, budget).
+func RecordTrace(cfg RunConfig) (*isa.Recorded, error) {
+	var spec workload.Spec
+	if cfg.Workload != nil {
+		spec = *cfg.Workload
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		var ok bool
+		spec, ok = workload.ByName(cfg.Benchmark)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", cfg.Benchmark)
+		}
+	}
+	if cfg.Instructions == 0 {
+		return nil, fmt.Errorf("experiments: zero-length run")
+	}
+	s, err := buildStream(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Record(s, cfg.Instructions+64), nil
+}
+
 // Run executes one configuration and assembles the priced outcome.
 func Run(cfg RunConfig) (Outcome, error) {
 	return RunCtx(context.Background(), cfg)
@@ -357,17 +426,23 @@ func RunCtx(ctx context.Context, cfg RunConfig) (Outcome, error) {
 		}
 	}
 
-	var inner isa.Stream = workload.MustNew(spec, cfg.Seed)
-	if cfg.SecondBenchmark != "" {
-		spec2, ok := workload.ByName(cfg.SecondBenchmark)
-		if !ok {
-			return Outcome{}, fmt.Errorf("experiments: unknown benchmark %q", cfg.SecondBenchmark)
+	scratch := scratchPool.Get().(*simScratch)
+	defer scratchPool.Put(scratch)
+	var stream isa.Stream
+	if cfg.Trace != nil {
+		// Replay the pre-recorded committed-path trace: byte-identical to
+		// regenerating the stream, and free of generator arithmetic.
+		scratch.cursor.Attach(cfg.Trace)
+		stream = &scratch.cursor
+	} else {
+		s, err := buildStream(spec, cfg)
+		if err != nil {
+			return Outcome{}, err
 		}
-		inner = &isa.Interleave{A: inner, B: workload.MustNew(spec2, cfg.Seed+1)}
+		stream = s
 	}
-	stream := &isa.Limit{S: inner, N: cfg.Instructions + 64}
-	machine, err := cpu.NewMachine(mcfg, l1i, l1d, stream)
-	if err != nil {
+	machine := &scratch.machine
+	if err := machine.Reset(mcfg, l1i, l1d, stream); err != nil {
 		return Outcome{}, err
 	}
 	if cfg.Tracer != nil {

@@ -24,8 +24,9 @@ type SensitivityResult struct {
 
 // Sensitivity reruns three headline measurements across seeds on the lab's
 // benchmark subset. It does not touch the lab's memoized runs (each seed
-// builds its own runs). The (seed × benchmark) grid fans across the worker
-// pool; the per-seed summaries accumulate in seed order afterwards.
+// builds its own runs; only the base seed's recorded trace is shared with
+// the lab). The (seed × benchmark) grid fans across the worker pool; the
+// per-seed summaries accumulate in seed order afterwards.
 func (l *Lab) Sensitivity(seeds []int64) (SensitivityResult, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}
@@ -44,6 +45,23 @@ func (l *Lab) Sensitivity(seeds []int64) (SensitivityResult, error) {
 		bench := benches[idx%len(benches)]
 		cfg := l.runConfig(bench, Static(), Static())
 		cfg.Seed = seed
+		// One recorded trace serves all four policy runs of this cell. Only
+		// the lab's base seed is memoized lab-wide; off-base seeds record a
+		// cell-local trace so the sweep across many seeds does not pin one
+		// trace per (seed, benchmark) in memory for the lab's lifetime.
+		if seed == l.opts.Seed {
+			tr, err := l.traceFor(cfg)
+			if err != nil {
+				return err
+			}
+			cfg.Trace = tr
+		} else {
+			tr, err := RecordTrace(cfg)
+			if err != nil {
+				return err
+			}
+			cfg.Trace = tr
+		}
 		base, err := Run(cfg)
 		if err != nil {
 			return err

@@ -41,7 +41,7 @@ func (l *Lab) SMT() (SMTResult, error) {
 				return SMTResult{}, err
 			}
 			singleHot = append(singleHot, base.D.Locality.HotFraction()[2])
-			gated, err := Run(l.runConfig(bench, GatedPolicy(l.opts.ConstantThreshold, true), Static()))
+			gated, err := l.run(l.runConfig(bench, GatedPolicy(l.opts.ConstantThreshold, true), Static()))
 			if err != nil {
 				return SMTResult{}, err
 			}
@@ -49,14 +49,14 @@ func (l *Lab) SMT() (SMTResult, error) {
 		}
 		smtBase := l.runConfig(a, Static(), Static())
 		smtBase.SecondBenchmark = b
-		ob, err := Run(smtBase)
+		ob, err := l.run(smtBase)
 		if err != nil {
 			return SMTResult{}, err
 		}
 		smtHot = append(smtHot, ob.D.Locality.HotFraction()[2])
 		smtGated := l.runConfig(a, GatedPolicy(l.opts.ConstantThreshold, true), Static())
 		smtGated.SecondBenchmark = b
-		og, err := Run(smtGated)
+		og, err := l.run(smtGated)
 		if err != nil {
 			return SMTResult{}, err
 		}

@@ -1,0 +1,124 @@
+package isa
+
+import "testing"
+
+// seqStream is a deterministic synthetic stream of n micro-ops.
+type seqStream struct {
+	i, n uint64
+}
+
+func (s *seqStream) Next(op *MicroOp) bool {
+	if s.i >= s.n {
+		return false
+	}
+	*op = MicroOp{
+		PC:    0x1000 + 4*s.i,
+		Class: Class(s.i % 5),
+		Addr:  0x8000 + 32*s.i,
+		Disp:  int32(s.i),
+		Taken: s.i%3 == 0,
+	}
+	s.i++
+	return true
+}
+
+func TestRecordMatchesFreshStream(t *testing.T) {
+	const n = 1000
+	rec := Record(&seqStream{n: n}, 0)
+	if rec.Len() != n {
+		t.Fatalf("recorded %d ops, want %d", rec.Len(), n)
+	}
+	fresh := &seqStream{n: n}
+	cur := rec.Cursor()
+	var a, b MicroOp
+	for i := 0; ; i++ {
+		okA := fresh.Next(&a)
+		okB := cur.Next(&b)
+		if okA != okB {
+			t.Fatalf("op %d: fresh ok=%v replay ok=%v", i, okA, okB)
+		}
+		if !okA {
+			break
+		}
+		if a != b {
+			t.Fatalf("op %d: fresh %+v != replay %+v", i, a, b)
+		}
+	}
+}
+
+func TestRecordBounded(t *testing.T) {
+	rec := Record(&seqStream{n: 1000}, 64)
+	if rec.Len() != 64 {
+		t.Fatalf("bounded record kept %d ops, want 64", rec.Len())
+	}
+	// A bound beyond exhaustion records everything available.
+	rec = Record(&seqStream{n: 10}, 64)
+	if rec.Len() != 10 {
+		t.Fatalf("record past exhaustion kept %d ops, want 10", rec.Len())
+	}
+}
+
+func TestCursorResetAndAttach(t *testing.T) {
+	rec := Record(&seqStream{n: 100}, 0)
+	var c Cursor // zero value is an empty stream
+	var op MicroOp
+	if c.Next(&op) {
+		t.Fatal("zero-value cursor yielded an op")
+	}
+	c.Attach(rec)
+	count := 0
+	for c.Next(&op) {
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("first replay yielded %d ops, want 100", count)
+	}
+	c.Reset()
+	count = 0
+	for c.Next(&op) {
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("replay after Reset yielded %d ops, want 100", count)
+	}
+	// Attach re-points without allocating a new cursor.
+	other := Record(&seqStream{n: 7}, 0)
+	c.Attach(other)
+	count = 0
+	for c.Next(&op) {
+		count++
+	}
+	if count != 7 {
+		t.Fatalf("replay after Attach yielded %d ops, want 7", count)
+	}
+}
+
+func TestConcurrentCursorsShareTrace(t *testing.T) {
+	rec := Record(&seqStream{n: 5000}, 0)
+	done := make(chan int, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var op MicroOp
+			c := rec.Cursor()
+			n := 0
+			for c.Next(&op) {
+				n++
+			}
+			done <- n
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if n := <-done; n != 5000 {
+			t.Fatalf("concurrent replay yielded %d ops, want 5000", n)
+		}
+	}
+}
+
+func TestRecordedFromOpsCopies(t *testing.T) {
+	ops := []MicroOp{{PC: 1}, {PC: 2}}
+	rec := RecordedFromOps(ops)
+	ops[0].PC = 99 // mutating the input must not reach the trace
+	if got := rec.At(0).PC; got != 1 {
+		t.Fatalf("trace shares caller storage: At(0).PC = %d, want 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,18 @@ type MetricsSnapshot struct {
 	JobsSubmitted uint64
 	JobStates     map[string]int // every state, including zero counts
 	JobQueueWait  stats.LatencySnapshot
+
+	// Process runtime gauges, sampled at snapshot time. These make the
+	// daemon's resource trajectory scrapeable without attaching a profiler:
+	// goroutine leaks show in Goroutines, allocation-rate regressions in
+	// HeapAllocBytes/HeapObjects, and GC pressure in GCCycles plus the
+	// cumulative pause total. For interactive investigation, start the
+	// daemon with -pprof and use go tool pprof against /debug/pprof/.
+	Goroutines     int
+	HeapAllocBytes uint64
+	HeapObjects    uint64
+	GCCycles       uint32
+	GCPauseTotal   time.Duration
 }
 
 // snapshot gathers the counters plus the cache, store and job gauges. st and
@@ -107,6 +120,13 @@ func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager) MetricsS
 		}
 		s.JobQueueWait = jm.QueueWait()
 	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	s.Goroutines = runtime.NumGoroutine()
+	s.HeapAllocBytes = mem.HeapAlloc
+	s.HeapObjects = mem.HeapObjects
+	s.GCCycles = mem.NumGC
+	s.GCPauseTotal = time.Duration(mem.PauseTotalNs)
 	return s
 }
 
@@ -150,4 +170,9 @@ func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manage
 	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.5\"} %d\n", s.Latency.P50)
 	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.99\"} %d\n", s.Latency.P99)
 	line("nanocached_request_latency_us_max", s.Latency.Max)
+	line("nanocached_goroutines", s.Goroutines)
+	line("nanocached_heap_alloc_bytes", s.HeapAllocBytes)
+	line("nanocached_heap_objects", s.HeapObjects)
+	line("nanocached_gc_cycles_total", s.GCCycles)
+	fmt.Fprintf(w, "nanocached_gc_pause_seconds_total %.6f\n", s.GCPauseTotal.Seconds())
 }

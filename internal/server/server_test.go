@@ -535,10 +535,38 @@ func TestMetricsRendering(t *testing.T) {
 		"nanocached_inflight",
 		`nanocached_request_latency_us{quantile="0.5"}`,
 		`nanocached_request_latency_us{quantile="0.99"}`,
+		"nanocached_goroutines",
+		"nanocached_heap_alloc_bytes",
+		"nanocached_heap_objects",
+		"nanocached_gc_cycles_total",
+		"nanocached_gc_pause_seconds_total",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestRuntimeGauges pins the process-health gauges added for profiling
+// support: a live server always has goroutines and a non-empty heap, so the
+// snapshot values must be positive (they come from runtime.ReadMemStats and
+// runtime.NumGoroutine at snapshot time, not from counters that could stay
+// zero).
+func TestRuntimeGauges(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: tinyOptions()})
+	get(t, ts.URL+"/v1/figures/fig2")
+	m := s.Metrics()
+	if m.Goroutines <= 0 {
+		t.Errorf("Goroutines = %d, want > 0", m.Goroutines)
+	}
+	if m.HeapAllocBytes == 0 {
+		t.Error("HeapAllocBytes = 0, want live heap")
+	}
+	if m.HeapObjects == 0 {
+		t.Error("HeapObjects = 0, want live heap")
+	}
+	if m.GCPauseTotal < 0 {
+		t.Errorf("GCPauseTotal = %v, want >= 0", m.GCPauseTotal)
 	}
 }
 

@@ -24,9 +24,13 @@ type Histogram struct {
 	max     uint64
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram. The full 64-bucket range is
+// preallocated (512 bytes) so AddN never grows the slice on a hot path —
+// the cycle loops record into histograms every access and are pinned at
+// zero allocations in steady state. Renderers skip empty buckets, so the
+// preallocation is invisible to output.
 func NewHistogram() *Histogram {
-	return &Histogram{min: math.MaxUint64}
+	return &Histogram{min: math.MaxUint64, buckets: make([]uint64, 64)}
 }
 
 // bucketOf returns the bucket index for sample v.

@@ -1,0 +1,26 @@
+package workload
+
+import "nanocache/internal/isa"
+
+// Record materializes the first n micro-ops of the benchmark's deterministic
+// stream into an immutable replayable trace. The trace is byte-identical to
+// what n calls of a fresh Generator's Next would produce (same spec, same
+// seed), so replaying it through isa.Cursor is equivalent to — and much
+// cheaper than — regenerating the workload. Sweep engines materialize one
+// trace per (benchmark, seed) and replay it at every policy point.
+func Record(spec Spec, seed int64, n uint64) (*isa.Recorded, error) {
+	g, err := New(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Record(g, n), nil
+}
+
+// MustRecord is Record panicking on error, for the built-in validated specs.
+func MustRecord(spec Spec, seed int64, n uint64) *isa.Recorded {
+	r, err := Record(spec, seed, n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"testing"
+
+	"nanocache/internal/isa"
+)
+
+// TestRecordMatchesGenerator pins the trace layer's core contract: replaying
+// a recorded trace is byte-identical to regenerating the workload with the
+// same spec and seed.
+func TestRecordMatchesGenerator(t *testing.T) {
+	for _, name := range Names() {
+		spec, ok := ByName(name)
+		if !ok {
+			t.Fatalf("registered benchmark %q not found", name)
+		}
+		const n = 2048
+		rec := MustRecord(spec, 7, n)
+		if rec.Len() != n {
+			t.Fatalf("%s: recorded %d ops, want %d", name, rec.Len(), n)
+		}
+		g, err := New(spec, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var fresh, replay isa.MicroOp
+		cur := rec.Cursor()
+		for i := 0; i < n; i++ {
+			if !g.Next(&fresh) {
+				t.Fatalf("%s: generator ended at op %d", name, i)
+			}
+			if !cur.Next(&replay) {
+				t.Fatalf("%s: trace ended at op %d", name, i)
+			}
+			if fresh != replay {
+				t.Fatalf("%s: op %d: fresh %+v != replay %+v", name, i, fresh, replay)
+			}
+		}
+	}
+}
+
+func TestRecordRejectsInvalidSpec(t *testing.T) {
+	if _, err := Record(Spec{}, 1, 10); err == nil {
+		t.Fatal("Record accepted a zero spec")
+	}
+}
