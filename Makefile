@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race race-server bench bench-save figures figures-quick serve verify cover cover-gate fuzz clean
+.PHONY: all build test race race-server bench bench-save bench-compare profile figures figures-quick serve verify cover cover-gate fuzz clean
 
 all: build test
 
@@ -38,7 +38,27 @@ bench-save:
 	go test -json -run '^$$' -bench=. -benchtime=1x ./... > BENCH_parallel.json
 	go test -json -run '^$$' -bench='^BenchmarkServer' -benchtime=10x ./internal/server/ > BENCH_server.json
 	@{ echo '{"Action":"note","Package":"nanocache/internal/experiments","Output":"prepr_ms_per_sweep=153.8 recorded at commit 16a559b (pre-overhaul engine, go test -benchtime=5x); denominator of the speedup metric below"}'; \
-	go test -json -run '^$$' -bench='^BenchmarkSweepReplay$$' -benchtime=5x ./internal/experiments/; } > BENCH_core.json
+	go test -json -run '^$$' -bench='^BenchmarkSweepReplay' -benchtime=5x -count=3 ./internal/experiments/; } > BENCH_core.json
+
+# PR-to-PR perf gate: re-run the core sweep benchmarks into a candidate
+# file and diff the ms/sweep headline (and per-benchmark breakdown) against
+# the checked-in BENCH_core.json, failing on a >10% regression. CI runs
+# this as a soft gate (continue-on-error) because shared runners are noisy;
+# on the reference machine it is authoritative.
+bench-compare:
+	@{ echo '{"Action":"note","Package":"nanocache/internal/experiments","Output":"candidate recording for benchdiff; regenerate the baseline with make bench-save"}'; \
+	go test -json -run '^$$' -bench='^BenchmarkSweepReplay' -benchtime=5x -count=3 ./internal/experiments/; } > BENCH_core.new.json
+	go run ./cmd/benchdiff -old BENCH_core.json -new BENCH_core.new.json -metric ms/sweep -tolerance 0.10
+
+# CPU and heap profiles of the incremental sweep engine benchmark, with a
+# top-10 symbol summary of each printed for a quick look; open the .pprof
+# files with `go tool pprof` for the full view.
+profile:
+	go test -run '^$$' -bench '^BenchmarkSweepReplay$$' -benchtime=10x \
+		-cpuprofile=cpu.pprof -memprofile=mem.pprof \
+		-o sweep.test ./internal/experiments/
+	go tool pprof -top -nodecount=10 sweep.test cpu.pprof
+	go tool pprof -top -nodecount=10 -sample_index=alloc_space sweep.test mem.pprof
 
 # Full regeneration of every table and figure (several minutes, one core).
 figures:
@@ -83,7 +103,8 @@ FUZZ_TARGETS := \
 	FuzzCactiConfig:./internal/cacti \
 	FuzzRunInvariants:./internal/verify \
 	FuzzJobStateMachine:./internal/jobs \
-	FuzzStoreEnvelope:./internal/store
+	FuzzStoreEnvelope:./internal/store \
+	FuzzSnapshotRestore:./internal/experiments
 
 fuzz:
 	@set -e; for entry in $(FUZZ_TARGETS); do \

@@ -1,0 +1,158 @@
+// Command benchdiff compares two benchmark recordings in the test2json
+// format `make bench-save` writes (BENCH_core.json and friends) and fails
+// when a watched metric regresses beyond a tolerance. It is the PR-to-PR
+// perf gate for the sweep engine: the checked-in recording is the baseline,
+// a fresh run is the candidate, and a >10% ms/sweep regression exits
+// non-zero so CI can surface it.
+//
+//	benchdiff -old BENCH_core.json -new BENCH_core.new.json
+//
+// Metric semantics: for each (benchmark, metric) pair the smallest sample
+// across the file's `-count` repetitions is used — timing noise on a shared
+// runner only ever inflates a measurement, so the minimum is the least
+// noisy estimate of the true cost. Benchmarks present only in the new file
+// are reported as new (no baseline to regress against); benchmarks present
+// only in the old file are reported as dropped but do not fail the gate,
+// because a rename shows up as one of each and the replacement is judged
+// from its next baseline. A missing watched metric in the old file (an
+// older recording predating the metric) is tolerated the same way.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's stream this tool reads.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a complete benchmark result line once the fragmented
+// Output stream is reassembled: name (with optional -P GOMAXPROCS suffix),
+// iteration count, then the metric list.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark[^\s-]+(?:/[^\s]+)?)(?:-\d+)?[ \t]+\d+[ \t]+(.+)$`)
+
+// metrics[bench][metric] = best (smallest) recorded value.
+type metrics map[string]map[string]float64
+
+// parse reassembles the Output fragments of a test2json file and extracts
+// every benchmark metric. Non-JSON lines (such as the leading provenance
+// note bench-save writes) are skipped.
+func parse(path string) (metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		if ev.Action == "output" {
+			out.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	m := metrics{}
+	for _, g := range benchLine.FindAllStringSubmatch(out.String(), -1) {
+		name := g[1]
+		fields := strings.Fields(g[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if m[name] == nil {
+				m[name] = map[string]float64{}
+			}
+			if old, ok := m[name][unit]; !ok || v < old {
+				m[name][unit] = v
+			}
+		}
+	}
+	return m, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_core.json", "baseline recording (test2json)")
+	newPath := flag.String("new", "BENCH_core.new.json", "candidate recording (test2json)")
+	metric := flag.String("metric", "ms/sweep", "watched metric; new/old above 1+tolerance fails")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression of the watched metric")
+	flag.Parse()
+
+	oldM, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newM, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	report, failed := compare(oldM, newM, *metric, *tolerance)
+	fmt.Print(report)
+	if failed {
+		fmt.Printf("FAIL: %s regressed beyond %.0f%%\n", *metric, *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+// compare renders the per-benchmark comparison of the watched metric and
+// reports whether any benchmark regressed beyond the tolerance.
+func compare(oldM, newM metrics, metric string, tolerance float64) (string, bool) {
+	names := make([]string, 0, len(oldM)+len(newM))
+	seen := map[string]bool{}
+	for n := range oldM {
+		names, seen[n] = append(names, n), true
+	}
+	for n := range newM {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	failed := false
+	for _, name := range names {
+		ov, oldHas := oldM[name][metric]
+		nv, newHas := newM[name][metric]
+		switch {
+		case !newHas && !oldHas:
+			// Neither side records the watched metric (e.g. an auxiliary
+			// benchmark in the same file): nothing to gate.
+		case !newHas:
+			fmt.Fprintf(&b, "%-40s dropped (old %s=%.2f, no new recording)\n", name, metric, ov)
+		case !oldHas:
+			fmt.Fprintf(&b, "%-40s new     %s=%.2f (no baseline)\n", name, metric, nv)
+		default:
+			delta := nv/ov - 1
+			status := "ok"
+			if delta > tolerance {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(&b, "%-40s %s %.2f -> %.2f (%+.1f%%, tolerance %.0f%%) %s\n",
+				name, metric, ov, nv, delta*100, tolerance*100, status)
+		}
+	}
+	return b.String(), failed
+}

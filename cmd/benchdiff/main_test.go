@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample mirrors the fragmented test2json stream bench-save records: the
+// benchmark name and its metrics arrive as separate Output events, the file
+// leads with a non-JSON-stream provenance note, and two -count repetitions
+// of the same benchmark carry different noise.
+const sample = `{"Action":"note","Package":"p","Output":"prepr_ms_per_sweep=153.8 reference"}
+{"Action":"start","Package":"p"}
+{"Action":"output","Package":"p","Output":"goos: linux\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkSweepReplay","Output":"=== RUN   BenchmarkSweepReplay\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkSweepReplay","Output":"BenchmarkSweepReplay \t"}
+{"Action":"output","Package":"p","Test":"BenchmarkSweepReplay","Output":"       5\t  50261918 ns/op\t        50.26 ms/sweep\t         3.060 speedup\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkSweepReplay","Output":"BenchmarkSweepReplay \t"}
+{"Action":"output","Package":"p","Test":"BenchmarkSweepReplay","Output":"       5\t  48132964 ns/op\t        48.13 ms/sweep\t         3.195 speedup\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkSweepReplayPerBench/gcc","Output":"BenchmarkSweepReplayPerBench/gcc-4 \t       5\t  48213000 ns/op\t        48.21 ms/sweep\n"}
+{"Action":"output","Package":"p","Output":"PASS\n"}
+`
+
+func writeSample(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseTakesMinAcrossCounts(t *testing.T) {
+	m, err := parse(writeSample(t, "b.json", sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkSweepReplay"]["ms/sweep"]; got != 48.13 {
+		t.Fatalf("ms/sweep = %v, want the 48.13 minimum of the two counts", got)
+	}
+	if got := m["BenchmarkSweepReplay"]["speedup"]; got != 3.060 {
+		t.Fatalf("speedup min = %v, want 3.060", got)
+	}
+	if got := m["BenchmarkSweepReplayPerBench/gcc"]["ms/sweep"]; got != 48.21 {
+		t.Fatalf("sub-benchmark ms/sweep = %v, want 48.21 (GOMAXPROCS suffix stripped)", got)
+	}
+}
+
+func TestCompareGatesRegression(t *testing.T) {
+	oldM := metrics{"BenchmarkSweepReplay": {"ms/sweep": 48.0}}
+
+	report, failed := compare(oldM, metrics{"BenchmarkSweepReplay": {"ms/sweep": 50.0}}, "ms/sweep", 0.10)
+	if failed {
+		t.Fatalf("+4%% flagged as regression at 10%% tolerance:\n%s", report)
+	}
+
+	report, failed = compare(oldM, metrics{"BenchmarkSweepReplay": {"ms/sweep": 55.0}}, "ms/sweep", 0.10)
+	if !failed || !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("+14.6%% not flagged at 10%% tolerance:\n%s", report)
+	}
+}
+
+func TestCompareToleratesMissingSides(t *testing.T) {
+	oldM := metrics{
+		"BenchmarkOldOnly": {"ms/sweep": 40.0},
+		"BenchmarkNoGate":  {"allocs/op": 7},
+	}
+	newM := metrics{
+		"BenchmarkNewOnly": {"ms/sweep": 30.0},
+		"BenchmarkNoGate":  {"allocs/op": 9},
+	}
+	report, failed := compare(oldM, newM, "ms/sweep", 0.10)
+	if failed {
+		t.Fatalf("missing baselines must not fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "dropped") || !strings.Contains(report, "no baseline") {
+		t.Fatalf("report does not note dropped/new benchmarks:\n%s", report)
+	}
+	if strings.Contains(report, "BenchmarkNoGate") {
+		t.Fatalf("benchmark without the watched metric should be silent:\n%s", report)
+	}
+}

@@ -89,6 +89,17 @@ type L1 struct {
 	ways       int
 	baseLat    int
 
+	// fastIdx short-circuits the set and subarray index math to a mask and a
+	// shift. It holds for every non-resizable cache whose set count and
+	// sets-per-subarray are powers of two — all of the paper's geometries —
+	// and turns the two hottest divisions of the access path (the pre-overhaul
+	// profile's `% effectiveSets()` and `/ setsPerSub`) into single-cycle ops.
+	// Resizable caches keep the general path: their effective set count
+	// changes at interval boundaries and is not a power of two in general.
+	fastIdx  bool
+	setMask  uint64
+	subShift uint
+
 	// tags[set*ways+way] holds the line address; order within a set is
 	// LRU: way 0 is MRU.
 	tags  []uint64
@@ -151,6 +162,12 @@ func NewL1(m *cacti.Model, ctrl core.Controller, loc *sram.Locality, next *L2) (
 	case *core.Gated:
 		c.ctrlGated = ct
 	}
+	if _, isResizable := ctrl.(*core.Resizable); !isResizable &&
+		sets&(sets-1) == 0 && setsPerSub&(setsPerSub-1) == 0 {
+		c.fastIdx = true
+		c.setMask = uint64(sets - 1)
+		c.subShift = uint(bits.TrailingZeros(uint(setsPerSub)))
+	}
 	if r, ok := ctrl.(*core.Resizable); ok {
 		c.resizer = r
 		if r.Ledger().Subarrays() != g.NumSubarrays() {
@@ -193,14 +210,17 @@ func (c *L1) effectiveWays() int {
 
 // setFor maps an address to its (effective) set.
 func (c *L1) setFor(addr uint64) int {
+	if c.fastIdx {
+		return int((addr >> c.lineShift) & c.setMask)
+	}
 	return int((addr >> c.lineShift) % uint64(c.effectiveSets()))
 }
 
-// SubarrayFor maps an address to the subarray it would access under the
-// current size. With resizing active, the set range and way count both
-// shrink, and accesses pack into the first ActiveSubarrays subarrays.
-func (c *L1) SubarrayFor(addr uint64) int {
-	set := c.setFor(addr)
+// subFor maps an (already computed) set to its subarray.
+func (c *L1) subFor(set int) int {
+	if c.fastIdx {
+		return set >> c.subShift
+	}
 	if c.resizer == nil {
 		return set / c.setsPerSub
 	}
@@ -211,6 +231,13 @@ func (c *L1) SubarrayFor(addr uint64) int {
 		sub = k - 1
 	}
 	return sub
+}
+
+// SubarrayFor maps an address to the subarray it would access under the
+// current size. With resizing active, the set range and way count both
+// shrink, and accesses pack into the first ActiveSubarrays subarrays.
+func (c *L1) SubarrayFor(addr uint64) int {
+	return c.subFor(c.setFor(addr))
 }
 
 // BaseLatency returns the pipelined L1 hit latency in cycles, excluding any
@@ -273,7 +300,8 @@ func (c *L1) accessPenalty(sub int, now uint64) int {
 // Access performs one read or write at cycle now and returns its result.
 // Writes are modeled write-allocate; miss traffic probes the backing L2.
 func (c *L1) Access(addr uint64, now uint64, write bool) AccessResult {
-	sub := c.SubarrayFor(addr)
+	set := c.setFor(addr)
+	sub := c.subFor(set)
 	stall := c.accessPenalty(sub, now)
 	if c.loc != nil {
 		c.loc.RecordAccess(sub, now)
@@ -299,7 +327,6 @@ func (c *L1) Access(addr uint64, now uint64, write bool) AccessResult {
 	undoStallOnMiss := stall
 
 	line := addr >> c.lineShift
-	set := c.setFor(addr)
 	base := set * c.ways
 	ways := c.effectiveWays()
 	for w := 0; w < ways; w++ {
@@ -396,6 +423,52 @@ func (c *L1) Finish(end uint64) {
 	}
 }
 
+// CopyStateFrom copies src's accumulated array and statistics state — tags,
+// LRU order, way-predictor table, locality tracker and counters — into c,
+// which must have the same geometry. Controller state is NOT copied: the
+// experiment layer copies it through the concrete controller types (see
+// core.Gated.CopyStateFrom), because a fork may deliberately pair the copied
+// state with a different decay threshold. Resizable and drowsy caches are
+// refused — their interval state is entangled with the policy being swept,
+// and the fork engine excludes them.
+func (c *L1) CopyStateFrom(src *L1) error {
+	if c.sets != src.sets || c.ways != src.ways || c.lineShift != src.lineShift ||
+		c.setsPerSub != src.setsPerSub || c.baseLat != src.baseLat {
+		return fmt.Errorf("cache: L1 geometry mismatch")
+	}
+	if c.resizer != nil || src.resizer != nil {
+		return fmt.Errorf("cache: resizable caches cannot fork")
+	}
+	if c.drowsy != nil || src.drowsy != nil {
+		return fmt.Errorf("cache: drowsy caches cannot fork")
+	}
+	if (c.wayPred == nil) != (src.wayPred == nil) {
+		return fmt.Errorf("cache: way-prediction enablement differs")
+	}
+	copy(c.tags, src.tags)
+	copy(c.valid, src.valid)
+	if c.wayPred != nil {
+		copy(c.wayPred, src.wayPred)
+	}
+	c.wayPredOK = src.wayPredOK
+	c.wayPredLookups = src.wayPredLookups
+	if (c.loc == nil) != (src.loc == nil) {
+		return fmt.Errorf("cache: locality-tracking enablement differs")
+	}
+	if c.loc != nil {
+		if err := c.loc.CopyStateFrom(src.loc); err != nil {
+			return err
+		}
+	}
+	c.intAccesses = src.intAccesses
+	c.intMisses = src.intMisses
+	c.accesses = src.accesses
+	c.misses = src.misses
+	c.flushes = src.flushes
+	c.finished = src.finished
+	return nil
+}
+
 // Stats returns aggregate counters.
 func (c *L1) Stats() (accesses, misses, flushes uint64) {
 	return c.accesses, c.misses, c.flushes
@@ -428,6 +501,7 @@ func (c *L1) Subarrays() int { return c.model.Config().Geometry.NumSubarrays() }
 // latency.
 type L2 struct {
 	sets, ways int
+	setMask    uint64 // sets is power-of-two enforced at construction
 	lineShift  uint
 	tags       []uint64
 	valid      []bool
@@ -461,6 +535,7 @@ func NewL2WithPolicy(bytes, ways, lineBytes, subarrayBytes int, ctrl core.Contro
 	}
 	c := &L2{
 		sets:      sets,
+		setMask:   uint64(sets - 1),
 		ways:      ways,
 		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
 		tags:      make([]uint64, sets*ways),
@@ -513,7 +588,7 @@ func L2Subarrays(bytes, ways, lineBytes, subarrayBytes int) int {
 func (c *L2) Access(addr uint64, now uint64) (hit bool, extra int) {
 	c.accesses++
 	line := addr >> c.lineShift
-	set := int(line % uint64(c.sets))
+	set := int(line & c.setMask)
 	if c.ctrl != nil {
 		extra = c.ctrl.AccessPenalty(set/c.setsPerSub, now) + c.ctrl.ExtraAccessLatency()
 		c.extraCycles += uint64(extra)
@@ -548,6 +623,25 @@ func (c *L2) Finish(end uint64) {
 	}
 	c.finished = true
 	c.ctrl.Finish(end)
+}
+
+// CopyStateFrom copies src's array and statistics state into c, which must
+// have the same shape. Policy-controlled L2s are refused: the fork engine
+// only handles the conventional (static) L2, whose controller is nil.
+func (c *L2) CopyStateFrom(src *L2) error {
+	if c.sets != src.sets || c.ways != src.ways || c.lineShift != src.lineShift {
+		return fmt.Errorf("cache: L2 shape mismatch")
+	}
+	if c.ctrl != nil || src.ctrl != nil {
+		return fmt.Errorf("cache: policy-controlled L2s cannot fork")
+	}
+	copy(c.tags, src.tags)
+	copy(c.valid, src.valid)
+	c.accesses = src.accesses
+	c.misses = src.misses
+	c.extraCycles = src.extraCycles
+	c.finished = src.finished
+	return nil
 }
 
 // Controller exposes the L2's precharge controller (nil when conventional).

@@ -28,6 +28,15 @@ type Gated struct {
 	pullAt  []uint64
 	lastUse []uint64
 
+	// maxGap is the largest idle gap (observation timestamp minus the
+	// subarray's last use) seen on any touched subarray so far. It is the
+	// divergence watermark of the incremental sweep engine: a gated run at
+	// threshold T is bit-identical to this one while maxGap < T, because
+	// every decision — and every ledger interval boundary, which is dated
+	// lastUse+threshold — depends on the threshold only through gaps that
+	// reach it (untouched subarrays isolate threshold-independently).
+	maxGap uint64
+
 	stats AccessStats
 	done  bool
 }
@@ -98,6 +107,9 @@ func (p *Gated) AccessPenalty(sub int, now uint64) int {
 		// late-arriving earlier access hits a still-hot subarray.
 		return 0
 	}
+	if p.touched[sub] && now-p.lastUse[sub] > p.maxGap {
+		p.maxGap = now - p.lastUse[sub]
+	}
 	pen := 0
 	if since, isolated := p.isolatedAt(sub, now); isolated {
 		p.wake(sub, now, since)
@@ -121,6 +133,9 @@ func (p *Gated) Hint(sub int, now uint64) {
 	p.stats.Hints++
 	if p.touched[sub] && now < p.lastUse[sub] {
 		return
+	}
+	if p.touched[sub] && now-p.lastUse[sub] > p.maxGap {
+		p.maxGap = now - p.lastUse[sub]
 	}
 	if since, isolated := p.isolatedAt(sub, now); isolated {
 		p.wake(sub, now, since)
@@ -158,6 +173,34 @@ func (p *Gated) Ledger() *sram.Ledger { return p.ledger }
 
 // Stats returns access statistics, including stall and hint counts.
 func (p *Gated) Stats() AccessStats { return p.stats }
+
+// MaxObservedGap returns the divergence watermark: the largest idle gap any
+// observation has seen on a touched subarray. A gated run at threshold T
+// behaves bit-identically to this one while MaxObservedGap() < T.
+func (p *Gated) MaxObservedGap() uint64 { return p.maxGap }
+
+// CopyStateFrom copies src's accumulated dynamic state — recency arrays,
+// ledger and statistics — into p, keeping the receiver's own threshold,
+// penalty and idle observer. This is the controller's piece of the sweep
+// engine's checkpoint-and-fork: a fork constructed at a different decay
+// threshold inherits the shared prefix's state and diverges only from the
+// first decay decision the new threshold changes (DESIGN.md §12 proves no
+// such decision exists before the snapshot cycle).
+func (p *Gated) CopyStateFrom(src *Gated) error {
+	if p.n != src.n {
+		return fmt.Errorf("core: gated shape mismatch: %d vs %d subarrays", p.n, src.n)
+	}
+	if p.penalty != src.penalty {
+		return fmt.Errorf("core: gated penalty mismatch: %d vs %d", p.penalty, src.penalty)
+	}
+	copy(p.touched, src.touched)
+	copy(p.pullAt, src.pullAt)
+	copy(p.lastUse, src.lastUse)
+	p.maxGap = src.maxGap
+	p.stats = src.stats
+	p.done = src.done
+	return p.ledger.CopyStateFrom(src.ledger)
+}
 
 // EagerGated is the naive reference implementation of gated precharging
 // that materializes every decay counter every cycle, exactly as the

@@ -21,6 +21,7 @@ package cpu
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"nanocache/internal/cache"
 	"nanocache/internal/isa"
@@ -142,19 +143,47 @@ type Result struct {
 
 const invalidSrc = ^uint64(0)
 
+// issuedBit marks an issueQ slot whose entry has issued; the low 63 bits
+// then carry the entry's announcedReady so consumer readiness checks read
+// one packed word instead of dereferencing the robEntry. It can never
+// collide with a readiness bound: bounds are real cycle numbers far below
+// 2^63.
+const issuedBit = uint64(1) << 63
+
+// wheelBuckets is the scheduler timing wheel's revolution length in cycles.
+// It comfortably covers the common issue-bound horizons (front-end depth,
+// ALU chains, L1 miss service); longer waits wrap and cost one spare bucket
+// visit per revolution. Must be a power of two.
+const (
+	wheelBuckets = 256
+	wheelMask    = wheelBuckets - 1
+)
+
+// completeShift packs an entry's class (7 values, 3 bits) under its
+// completion cycle in the completeQ side ring.
+const completeShift = 3
+
+// schedEntry is the scheduler's compact per-slot view of an in-flight entry:
+// the producer sequence numbers and the port class, i.e. exactly what the
+// per-cycle readiness checks and the squash-shadow walk read. Keeping them
+// out of robEntry means those walks touch two slots per cache line instead
+// of paying a robEntry-sized stride.
+type schedEntry struct {
+	src   [3]uint64 // producer sequence numbers, densely packed: src[:n]
+	n     uint8     // number of live sources
+	class isa.Class
+}
+
+// robEntry holds only the entry's micro-op and sequence number. All per-entry
+// scheduling state lives in packed side rings indexed by the same slot —
+// issueQ (issued flag + announced readiness, or the pre-issue bound), sched
+// (sources + class), completeQ (completion cycle + class) and issueAtQ — so
+// the hot commit and ALU-issue paths never touch this wide struct at all: a
+// side-ring word packs eight slots per cache line where robEntry fits barely
+// one.
 type robEntry struct {
-	op          isa.MicroOp
-	src         [3]uint64 // producer sequence numbers (invalidSrc = none)
-	seq         uint64
-	issueableAt uint64
-	issued      bool
-	issueAt     uint64
-	// announcedReady is when dependents may issue (back-to-back relation).
-	announcedReady uint64
-	// completeAt is when the op finishes execution (commit eligibility,
-	// branch resolution).
-	completeAt uint64
-	mispredict bool
+	op  isa.MicroOp
+	seq uint64
 }
 
 type replayEvent struct {
@@ -181,6 +210,10 @@ type Machine struct {
 	l1d *cache.L1
 	bp  *Predictor
 	s   isa.Stream
+	// cursor is s devirtualized: when the stream is a trace cursor (the
+	// sweep engines' replay path), fetch calls it directly so the per-op
+	// copy inlines instead of going through the interface.
+	cursor *isa.Cursor
 
 	tracer Tracer
 	// ctx, when non-nil, is polled periodically by Run so a cancelled or
@@ -196,13 +229,61 @@ type Machine struct {
 	robMask uint64
 	headSeq uint64 // oldest in-flight sequence
 	tailSeq uint64 // next sequence to dispatch
-	// issueBase is the lowest sequence that might still be unissued: the
-	// scheduler scan starts there instead of at the ROB head, skipping the
-	// committed-but-unretired prefix wholesale. It only ever advances past
-	// issued entries and is pulled back on squash, so the scan's issue
-	// decisions are exactly those of a full head-to-tail walk.
-	issueBase uint64
-	regProd   [isa.NumRegs]uint64
+	// issueQ is a ring parallel to rob holding the scheduler's per-slot skip
+	// word: issuedBit|announcedReady once the entry has issued, otherwise a
+	// lower bound on the earliest cycle it could issue. The bound is always sound: announced
+	// readiness only ever moves later (replay corrections and reissues both
+	// announce after the original time), and a squash resets the slot to 0,
+	// so skipping until the bound never delays a real issue. Packing the
+	// words in their own uint64 ring keeps the per-cycle scheduler scan on
+	// eight slots per cache line instead of one robEntry per line.
+	issueQ []uint64
+	// issueWakeAt is the next cycle at which the scheduler scan can possibly
+	// issue anything; issue() short-circuits before it. It is only set when
+	// a scan issued nothing and every window entry carried a sound future
+	// bound, is min-updated when dispatch inserts a new entry, and resets to
+	// 0 (scan every cycle) on any squash. Window membership cannot otherwise
+	// change while the scan sleeps: commit only retires issued entries, and
+	// execute only happens inside a scan.
+	issueWakeAt uint64
+	// candBits is a bitmap over ring slots: bit seq&robMask is set iff the
+	// entry is in flight and not issued. The scheduler walk iterates set
+	// bits word-at-a-time instead of probing every ring slot, so the
+	// committed-but-unretired and issued-in-shadow holes between candidates
+	// cost one masked word load per 64 slots. Maintained at dispatch (set),
+	// execute (clear) and unissue (set); committed entries are always
+	// issued, so their bits are already clear.
+	candBits []uint64
+	// awakeBits is the subset of candBits the scheduler scan must actually
+	// examine this cycle: entries that are due (their cached issue bound has
+	// been reached), were just squashed (bound unknown), or were ready but
+	// window/port-blocked. Everything else sits in the timing wheel below and
+	// costs the scan nothing until its bound comes due.
+	awakeBits []uint64
+	// wheel is a 256-bucket calendar queue over the candidate slots: a parked
+	// entry lives in bucket (bound & wheelMask) as one bit in that bucket's
+	// candBits-shaped bitmap. Each scan drains the buckets for the cycles
+	// since lastWheel and wakes entries whose bound (in issueQ) has arrived;
+	// entries parked more than a wheel revolution ahead reappear early, see
+	// their future bound, and are re-parked into the same bucket — one spare
+	// visit per 256 cycles instead of one per scan. wheelBits summarises
+	// which buckets are non-empty so drain and next-due search skip empties
+	// word-at-a-time.
+	wheel     []uint64
+	wheelBits [wheelBuckets / 64]uint64
+	lastWheel uint64
+	// completeQ is a ring parallel to rob packing each entry's completion
+	// cycle and class: completeAt<<completeShift | class. Valid only while
+	// the entry is issued (issueQ carries issuedBit); commit and branch
+	// resolution read it instead of the robEntry.
+	completeQ []uint64
+	// issueAtQ is a ring parallel to rob holding each entry's issue cycle,
+	// valid while issued: the replay stale-check and squash-all shadow
+	// comparisons read it.
+	issueAtQ []uint64
+	// sched is a ring parallel to rob; see schedEntry.
+	sched   []schedEntry
+	regProd [isa.NumRegs]uint64
 	replays   []replayEvent
 	mshrs     []mshrEntry
 	memQueued int // in-flight memory ops (LSQ occupancy)
@@ -210,8 +291,19 @@ type Machine struct {
 	// Scratch buffers reused across cycles and runs so the simulation loop
 	// does not allocate per event (profiled hot spots: replay squash
 	// tracking and MSHR completion-time selection).
-	squashScratch map[uint64]bool
-	mshrTimes     []uint64
+	//
+	// The squash set is a ring-indexed stamp pair instead of a map: slot
+	// seq&robMask is a member of the current squash event iff markEvent
+	// carries the event's id and markSeq the exact sequence. Bumping
+	// squashEvent invalidates the whole set in O(1), so the dependent-only
+	// replay path pays neither hashing nor a per-event clear. The three
+	// fields are pure intra-event scratch — never part of simulation state —
+	// and are deliberately excluded from CopyStateFrom (squashEvent must
+	// stay monotonic per machine or stale stamps could alias a future event).
+	squashEvent uint64
+	markEvent   []uint64
+	markSeq     []uint64
+	mshrTimes   []uint64
 
 	// Hot-loop event accumulator: next is the earliest cycle > now at which
 	// anything can happen, maintained by noteEvent. Machine fields rather
@@ -232,6 +324,11 @@ type Machine struct {
 	curLine      uint64
 	haveCurLine  bool
 	lastFetchAt  uint64 // last cycle with an i-cache read, stored +1 (reads recur per fetch cycle)
+
+	// runDone latches when the cycle loop hits a completion condition, so a
+	// paused run (RunUntil) and its resume (FinishRun) agree on whether any
+	// simulation remains.
+	runDone bool
 
 	res Result
 }
@@ -271,21 +368,31 @@ func (m *Machine) Reset(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) error
 	m.l1i = l1i
 	m.l1d = l1d
 	m.s = stream
+	m.cursor, _ = stream.(*isa.Cursor)
 	m.tracer = nil
 	m.ctx = nil
 
 	if cap := nextPow2(cfg.ROBSize); len(m.rob) != cap {
-		m.rob = make([]robEntry, cap)
-		m.robMask = uint64(cap - 1)
+		m.allocRings(cap)
 	} else {
 		clear(m.rob)
+		clear(m.issueQ)
+		clear(m.candBits)
+		clear(m.awakeBits)
+		clear(m.wheel)
+		clear(m.completeQ)
+		clear(m.issueAtQ)
+		clear(m.sched)
 	}
+	m.wheelBits = [wheelBuckets / 64]uint64{}
+	m.lastWheel = 0
 	if m.bp == nil {
 		m.bp = NewPredictor(12)
 	} else {
 		m.bp.Reset()
 	}
-	m.headSeq, m.tailSeq, m.issueBase = 0, 0, 0
+	m.headSeq, m.tailSeq = 0, 0
+	m.issueWakeAt = 0
 	for i := range m.regProd {
 		m.regProd[i] = invalidSrc
 	}
@@ -301,11 +408,6 @@ func (m *Machine) Reset(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) error
 		m.mshrTimes = make([]uint64, 0, cfg.MSHRs+cfg.LSQSize)
 	}
 	m.mshrTimes = m.mshrTimes[:0]
-	if m.squashScratch == nil {
-		m.squashScratch = make(map[uint64]bool, cfg.ROBSize)
-	} else {
-		clear(m.squashScratch)
-	}
 	m.memQueued = 0
 
 	m.now, m.next, m.iters, m.lastProgress = 0, 0, 0, 0
@@ -320,8 +422,28 @@ func (m *Machine) Reset(cfg Config, l1i, l1d *cache.L1, stream isa.Stream) error
 	m.haveCurLine = false
 	m.lastFetchAt = 0
 
+	m.runDone = false
+
 	m.res = Result{}
 	return nil
+}
+
+// allocRings (re)allocates the ROB ring and every parallel side ring and
+// scratch buffer for the given power-of-two capacity. Shared by Reset (size
+// change) and Restore (snapshot from a differently sized machine).
+func (m *Machine) allocRings(cap int) {
+	m.rob = make([]robEntry, cap)
+	m.robMask = uint64(cap - 1)
+	m.issueQ = make([]uint64, cap)
+	m.candBits = make([]uint64, (cap+63)/64)
+	m.awakeBits = make([]uint64, (cap+63)/64)
+	m.wheel = make([]uint64, wheelBuckets*((cap+63)/64))
+	m.completeQ = make([]uint64, cap)
+	m.issueAtQ = make([]uint64, cap)
+	m.sched = make([]schedEntry, cap)
+	m.markEvent = make([]uint64, cap)
+	m.markSeq = make([]uint64, cap)
+	m.squashEvent = 0
 }
 
 // SetContext installs a cancellation context. Run polls it every few
@@ -335,28 +457,37 @@ func (m *Machine) entry(seq uint64) *robEntry {
 	return &m.rob[seq&m.robMask]
 }
 
-// srcReady reports whether producer sequence s has its result available for
-// a consumer issuing at cycle now.
-func (m *Machine) srcReady(s uint64, now uint64) bool {
-	if s == invalidSrc || s < m.headSeq {
-		return true // committed (or no) producer
-	}
-	e := m.entry(s)
-	return e.issued && now >= e.announcedReady
+// parkSlot inserts a candidate slot into the timing wheel bucket for cycle
+// `due` (its issueQ word holds the full bound, so wrapped entries re-park
+// themselves when their bucket comes around early).
+func (m *Machine) parkSlot(slot, due uint64) {
+	b := due & wheelMask
+	m.wheel[b*uint64(len(m.candBits))+slot>>6] |= uint64(1) << (slot & 63)
+	m.wheelBits[b>>6] |= uint64(1) << (b & 63)
 }
 
-// srcNextReady returns the earliest cycle producer s could satisfy a
-// consumer, for event-skipping. Returns 0 when already ready, or ^0 when
-// unknown (producer unissued).
-func (m *Machine) srcNextReady(s uint64) uint64 {
-	if s == invalidSrc || s < m.headSeq {
-		return 0
+// nextWheelDue returns the next cycle > now whose wheel bucket is non-empty,
+// or invalidSrc when the wheel is empty. For entries parked more than a
+// revolution ahead this underestimates their true bound (the scan wakes,
+// re-parks them and goes back to sleep), which costs a spare iteration but
+// never delays an issue.
+func (m *Machine) nextWheelDue(now uint64) uint64 {
+	start := (now + 1) & wheelMask
+	for k := uint64(0); k <= wheelBuckets/64; k++ {
+		wi := (start>>6 + k) & (wheelBuckets/64 - 1)
+		w := m.wheelBits[wi]
+		if k == 0 {
+			w &= ^uint64(0) << (start & 63)
+		} else if k == wheelBuckets/64 {
+			w &= uint64(1)<<(start&63) - 1
+		}
+		if w == 0 {
+			continue
+		}
+		pos := wi<<6 | uint64(bits.TrailingZeros64(w))
+		return now + 1 + (pos-start)&wheelMask
 	}
-	e := m.entry(s)
-	if !e.issued {
-		return invalidSrc
-	}
-	return e.announcedReady
+	return invalidSrc
 }
 
 // dCacheAccess performs the data-cache access of a memory op whose execute

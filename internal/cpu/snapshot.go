@@ -1,0 +1,231 @@
+package cpu
+
+import (
+	"fmt"
+
+	"nanocache/internal/cache"
+	"nanocache/internal/isa"
+)
+
+// Snapshot is a copy-on-write image of a warm Machine mid-run: the ROB ring
+// and every parallel side ring, the scheduler's timing wheel and bitmaps, the
+// branch predictor tables, in-flight replay events and MSHRs, the fetch
+// state, the trace-cursor position and the result counters — everything the
+// cycle loop reads or writes except the caches (which snapshot at the cache
+// layer, see cache.L1.CopyStateFrom) and per-machine scratch.
+//
+// It is the checkpoint half of the sweep engine's checkpoint-and-fork
+// execution model (DESIGN.md §12): a threshold sweep advances one shared
+// machine through the prefix all thresholds agree on, snapshots it, and
+// Restore-forks a run per threshold from the image instead of re-simulating
+// from cycle zero. A Snapshot owns its storage and is reusable — taking a
+// snapshot into a previously used value reuses its buffers, so the
+// snapshot/fork cycle is allocation-free once warm.
+//
+// Deliberately excluded: the tracer and context (forks run untraced, like a
+// Reset machine), and the squash-set stamp scratch (markEvent/markSeq/
+// squashEvent), which is pure intra-event scratch whose event counter must
+// stay monotonic per machine — copying it between machines could alias a
+// stale stamp with a future event.
+type Snapshot struct {
+	cfg Config
+
+	rob       []robEntry
+	robMask   uint64
+	headSeq   uint64
+	tailSeq   uint64
+	issueQ    []uint64
+	candBits  []uint64
+	awakeBits []uint64
+	wheel     []uint64
+	wheelBits [wheelBuckets / 64]uint64
+	lastWheel uint64
+	completeQ []uint64
+	issueAtQ  []uint64
+	sched     []schedEntry
+
+	issueWakeAt uint64
+	regProd     [isa.NumRegs]uint64
+	replays     []replayEvent
+	mshrs       []mshrEntry
+	memQueued   int
+
+	bp Predictor
+
+	now          uint64
+	next         uint64
+	iters        uint64
+	lastProgress uint64
+
+	pending      isa.MicroOp
+	havePending  bool
+	streamDone   bool
+	fetchBlockBy uint64
+	fetchBlocked bool
+	lineReadyAt  uint64
+	curLine      uint64
+	haveCurLine  bool
+	lastFetchAt  uint64
+
+	runDone bool
+	res     Result
+
+	cursorPos int
+	hasCursor bool
+}
+
+// copyInto copies src into *dst reusing dst's backing array when it is large
+// enough, so repeated snapshots of same-shaped machines never allocate.
+func copyInto[T any](dst *[]T, src []T) {
+	if cap(*dst) < len(src) {
+		*dst = make([]T, len(src))
+	}
+	*dst = (*dst)[:len(src)]
+	copy(*dst, src)
+}
+
+// Snapshot captures the machine's complete run state into dst, reusing dst's
+// storage. The machine may be mid-run (typically paused by RunUntil) or
+// finished; it is not disturbed. If the machine's stream is a trace cursor,
+// the cursor's replay position is captured so a restored fork resumes the
+// trace at exactly the same micro-op.
+func (m *Machine) Snapshot(dst *Snapshot) {
+	dst.cfg = m.cfg
+
+	copyInto(&dst.rob, m.rob)
+	dst.robMask = m.robMask
+	dst.headSeq = m.headSeq
+	dst.tailSeq = m.tailSeq
+	copyInto(&dst.issueQ, m.issueQ)
+	copyInto(&dst.candBits, m.candBits)
+	copyInto(&dst.awakeBits, m.awakeBits)
+	copyInto(&dst.wheel, m.wheel)
+	dst.wheelBits = m.wheelBits
+	dst.lastWheel = m.lastWheel
+	copyInto(&dst.completeQ, m.completeQ)
+	copyInto(&dst.issueAtQ, m.issueAtQ)
+	copyInto(&dst.sched, m.sched)
+
+	dst.issueWakeAt = m.issueWakeAt
+	dst.regProd = m.regProd
+	copyInto(&dst.replays, m.replays)
+	copyInto(&dst.mshrs, m.mshrs)
+	dst.memQueued = m.memQueued
+
+	dst.bp.copyStateFrom(m.bp)
+
+	dst.now = m.now
+	dst.next = m.next
+	dst.iters = m.iters
+	dst.lastProgress = m.lastProgress
+
+	dst.pending = m.pending
+	dst.havePending = m.havePending
+	dst.streamDone = m.streamDone
+	dst.fetchBlockBy = m.fetchBlockBy
+	dst.fetchBlocked = m.fetchBlocked
+	dst.lineReadyAt = m.lineReadyAt
+	dst.curLine = m.curLine
+	dst.haveCurLine = m.haveCurLine
+	dst.lastFetchAt = m.lastFetchAt
+
+	dst.runDone = m.runDone
+	dst.res = m.res
+
+	if m.cursor != nil {
+		dst.cursorPos = m.cursor.Pos()
+		dst.hasCursor = true
+	} else {
+		dst.cursorPos = 0
+		dst.hasCursor = false
+	}
+}
+
+// Restore forks a run from a snapshot: the machine becomes an exact copy of
+// the snapshotted one — same cycle, same in-flight instructions, same
+// predictor state — wired to the given caches and stream, ready for
+// FinishRun (or further RunUntil calls). The caches must carry state
+// equivalent to what the snapshotted machine's caches held at the snapshot
+// cycle (the experiment layer copies them via the CopyStateFrom family); the
+// divergence bound in DESIGN.md §12 says when a fork at a different decay
+// threshold still replays bit-identically.
+//
+// If the snapshot was taken over a trace cursor, the new stream must be a
+// cursor over the same trace; Restore seeks it to the captured position.
+// Like Reset, Restore drops any installed tracer and context, and it reuses
+// the machine's ring storage, so restoring into a warm same-shaped machine
+// is allocation-free.
+func (m *Machine) Restore(snap *Snapshot, l1i, l1d *cache.L1, stream isa.Stream) error {
+	if l1i == nil || l1d == nil || stream == nil {
+		return fmt.Errorf("cpu: caches and stream are required")
+	}
+	cur, _ := stream.(*isa.Cursor)
+	if snap.hasCursor && cur == nil {
+		return fmt.Errorf("cpu: snapshot was taken over a trace cursor; restore requires one")
+	}
+	m.cfg = snap.cfg
+	m.l1i = l1i
+	m.l1d = l1d
+	m.s = stream
+	m.cursor = cur
+	if snap.hasCursor {
+		cur.Seek(snap.cursorPos)
+	}
+	m.tracer = nil
+	m.ctx = nil
+
+	if len(m.rob) != len(snap.rob) {
+		m.allocRings(len(snap.rob))
+	}
+	copy(m.rob, snap.rob)
+	m.robMask = snap.robMask
+	m.headSeq = snap.headSeq
+	m.tailSeq = snap.tailSeq
+	copy(m.issueQ, snap.issueQ)
+	copy(m.candBits, snap.candBits)
+	copy(m.awakeBits, snap.awakeBits)
+	copy(m.wheel, snap.wheel)
+	m.wheelBits = snap.wheelBits
+	m.lastWheel = snap.lastWheel
+	copy(m.completeQ, snap.completeQ)
+	copy(m.issueAtQ, snap.issueAtQ)
+	copy(m.sched, snap.sched)
+
+	m.issueWakeAt = snap.issueWakeAt
+	m.regProd = snap.regProd
+	copyInto(&m.replays, snap.replays)
+	copyInto(&m.mshrs, snap.mshrs)
+	m.memQueued = snap.memQueued
+
+	if m.bp == nil {
+		m.bp = &Predictor{}
+	}
+	m.bp.copyStateFrom(&snap.bp)
+
+	if m.mshrTimes == nil {
+		m.mshrTimes = make([]uint64, 0, snap.cfg.MSHRs+snap.cfg.LSQSize)
+	}
+	m.mshrTimes = m.mshrTimes[:0]
+
+	m.now = snap.now
+	m.next = snap.next
+	m.iters = snap.iters
+	m.lastProgress = snap.lastProgress
+
+	m.pending = snap.pending
+	m.havePending = snap.havePending
+	m.streamDone = snap.streamDone
+	m.fetchBlockBy = snap.fetchBlockBy
+	m.fetchBlocked = snap.fetchBlocked
+	m.lineReadyAt = snap.lineReadyAt
+	m.curLine = snap.curLine
+	m.haveCurLine = snap.haveCurLine
+	m.lastFetchAt = snap.lastFetchAt
+
+	m.runDone = snap.runDone
+	m.res = snap.res
+	return nil
+}
+
+// Now reports the machine's current cycle — where a paused run stopped.
+func (m *Machine) Now() uint64 { return m.now }

@@ -12,6 +12,7 @@ package energy
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nanocache/internal/cacti"
 	"nanocache/internal/circuit"
@@ -25,8 +26,55 @@ type Pricer struct {
 	nodes      []tech.Node
 	transients []circuit.IsolationTransient
 	cycleNS    []float64
-	idleEnergy []float64 // accumulated, per node, static-ns
+	memo       []*transientMemo // per node, shared process-wide
+	idleEnergy []float64        // accumulated, per node, static-ns
 	intervals  uint64
+}
+
+// transientMemo caches a node's priced interval energies for short idle
+// lengths. The transient curves are fixed per node (the cycle time and the
+// circuit constants are Table 1 values), so the observer's exp()-heavy
+// Energy/PullUpEnergy evaluations repeat the same handful of inputs millions
+// of times per sweep; the memo replaces them with two array reads. Entries
+// are computed by exactly the expressions the slow path uses, so priced
+// results are bit-identical with or without the memo. Tables are built once
+// per (node) process-wide and are immutable afterwards, hence safe for the
+// lab's concurrent workers.
+type transientMemo struct {
+	energy   []float64 // Energy(T) for idleCycles = index
+	withPull []float64 // Energy(T) + PullUpEnergy(T)
+}
+
+// transientMemoCycles bounds the memoized idle length. Gated thresholds cap
+// at 1023 cycles and most closed intervals are within a few thresholds;
+// longer tails (cold subarrays closed at end of run) take the slow path.
+const transientMemoCycles = 4096
+
+var (
+	transientMemoMu  sync.Mutex
+	transientMemoTab = map[tech.Node]*transientMemo{}
+)
+
+func memoFor(n tech.Node) *transientMemo {
+	transientMemoMu.Lock()
+	defer transientMemoMu.Unlock()
+	if m, ok := transientMemoTab[n]; ok {
+		return m
+	}
+	tr := circuit.TransientFor(n)
+	cyc := tech.ParamsFor(n).CycleTime
+	m := &transientMemo{
+		energy:   make([]float64, transientMemoCycles),
+		withPull: make([]float64, transientMemoCycles),
+	}
+	for c := 0; c < transientMemoCycles; c++ {
+		T := float64(c) * cyc
+		e := tr.Energy(T)
+		m.energy[c] = e
+		m.withPull[c] = e + tr.PullUpEnergy(T)
+	}
+	transientMemoTab[n] = m
+	return m
 }
 
 // NewPricer prices at the given nodes (all four studied generations if none
@@ -39,11 +87,13 @@ func NewPricer(nodes ...tech.Node) *Pricer {
 		nodes:      append([]tech.Node(nil), nodes...),
 		transients: make([]circuit.IsolationTransient, len(nodes)),
 		cycleNS:    make([]float64, len(nodes)),
+		memo:       make([]*transientMemo, len(nodes)),
 		idleEnergy: make([]float64, len(nodes)),
 	}
 	for i, n := range nodes {
 		p.transients[i] = circuit.TransientFor(n)
 		p.cycleNS[i] = tech.ParamsFor(n).CycleTime
+		p.memo[i] = memoFor(n)
 	}
 	return p
 }
@@ -53,6 +103,19 @@ func NewPricer(nodes ...tech.Node) *Pricer {
 func (p *Pricer) Observer() sram.IdleObserver {
 	return func(sub int, idleCycles uint64, reprecharged bool) {
 		p.intervals++
+		if idleCycles < transientMemoCycles {
+			// Memoized fast path: identical floats to the computation below
+			// (the tables are filled by the same expressions).
+			for i := range p.nodes {
+				m := p.memo[i]
+				if reprecharged {
+					p.idleEnergy[i] += m.withPull[idleCycles]
+				} else {
+					p.idleEnergy[i] += m.energy[idleCycles]
+				}
+			}
+			return
+		}
 		for i := range p.nodes {
 			T := float64(idleCycles) * p.cycleNS[i]
 			e := p.transients[i].Energy(T)
@@ -62,6 +125,26 @@ func (p *Pricer) Observer() sram.IdleObserver {
 			p.idleEnergy[i] += e
 		}
 	}
+}
+
+// CopyStateFrom copies src's accumulated pricing state into p. Both pricers
+// must price the same node list. Because the memo tables are immutable and
+// shared process-wide, a fork that copies the accumulated sums and then
+// prices the same subsequent intervals in the same order produces
+// bit-identical floats to a fresh run — the foundation of the sweep engine's
+// checkpoint-and-fork digest equality (DESIGN.md §12).
+func (p *Pricer) CopyStateFrom(src *Pricer) error {
+	if len(p.nodes) != len(src.nodes) {
+		return fmt.Errorf("energy: pricer node lists differ")
+	}
+	for i := range p.nodes {
+		if p.nodes[i] != src.nodes[i] {
+			return fmt.Errorf("energy: pricer node lists differ")
+		}
+	}
+	copy(p.idleEnergy, src.idleEnergy)
+	p.intervals = src.intervals
+	return nil
 }
 
 // Intervals returns the number of priced isolation intervals.

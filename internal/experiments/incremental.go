@@ -1,0 +1,305 @@
+// Incremental sweep simulation (DESIGN.md §12): a gated threshold sweep
+// re-runs the same trace once per threshold, but neighboring thresholds agree
+// on every controller decision until the first decay-eligible interval at the
+// smaller threshold. runGatedBatch exploits that: it advances ONE shared
+// prefix machine (at the batch's largest threshold), pauses just before the
+// first cycle where the next threshold could change a cache decision,
+// snapshots the warm machine (cpu.Snapshot) plus the cache/controller/energy
+// state (the CopyStateFrom family), and forks the per-threshold run from the
+// image instead of simulating from cycle zero. Forked runs are bit-identical
+// to fresh runs — TestSnapshotForkMatchesFresh proves it by digest across all
+// benchmarks and both cache sides, and the divergence bound is argued below.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"nanocache/internal/cache"
+	"nanocache/internal/cacti"
+	"nanocache/internal/core"
+	"nanocache/internal/cpu"
+	"nanocache/internal/energy"
+	"nanocache/internal/sram"
+	"nanocache/internal/tech"
+)
+
+// snapPool recycles machine snapshots across batches; a warm Snapshot is
+// the size of the machine's rings and worth reusing.
+var snapPool = sync.Pool{New: func() any { return new(cpu.Snapshot) }}
+
+// forkEligible reports whether cfg can run through the checkpoint-and-fork
+// batch engine: a pre-recorded trace (forks seek the cursor; generators
+// cannot be rewound), the default machine, a conventional L2, no tracer, and
+// exactly the sweep shape — the swept side gated, the other side static.
+// Everything else (resizable, drowsy, way prediction, custom workloads, SMT
+// via Workload) takes the per-point path; SecondBenchmark is fine because the
+// interleave is baked into the trace.
+func forkEligible(cfg RunConfig, side CacheSide) bool {
+	swept, other := cfg.DPolicy, cfg.IPolicy
+	if side == InstructionCache {
+		swept, other = cfg.IPolicy, cfg.DPolicy
+	}
+	return cfg.Trace != nil &&
+		cfg.Workload == nil &&
+		cfg.Tracer == nil &&
+		cfg.CPU == nil &&
+		cfg.L2Policy.Kind == core.KindStatic &&
+		cfg.DrowsyD == 0 && cfg.DrowsyI == 0 &&
+		!cfg.WayPredictD && !cfg.WayPredictI &&
+		swept.Kind == core.KindGated &&
+		other.Kind == core.KindStatic
+}
+
+// forkMachineConfig mirrors RunCtx's machine configuration for the configs
+// forkEligible admits (default machine, no resizable policy).
+func forkMachineConfig(cfg RunConfig) cpu.Config {
+	mcfg := cpu.DefaultConfig()
+	mcfg.MaxInstructions = cfg.Instructions
+	mcfg.Replay = cfg.Replay
+	mcfg.Predecode = cfg.DPolicy.Predecode && cfg.DPolicy.Kind == core.KindGated
+	return mcfg
+}
+
+// pauseFor returns the latest cycle the shared prefix may reach while staying
+// bit-identical to a fresh run at decay threshold thr.
+//
+// Divergence bound: a gated controller at threshold T isolates a touched
+// subarray only when it observes a timestamp ≥ lastUse+T ≥ T, so two
+// thresholds T1 < T2 make identical decisions on every observation with
+// timestamp < T1 (untouched subarrays are isolated threshold-independently).
+// Observations run ahead of the clock by at most IssueToExec+1 cycles: a
+// memory op issued at cycle c reaches the data cache at c+IssueToExec+1,
+// predecode hints land at c+2, instruction fetches at c. The cycle loop's
+// pause check precedes the cycle's execution, so after RunUntil(p) every
+// executed cycle had now ≤ p−1 and every observed timestamp is at most
+// p−1+IssueToExec+1 = p+IssueToExec. Pausing at thr−(IssueToExec+2) keeps
+// the maximum observed timestamp at thr−2 < thr.
+func pauseFor(mcfg cpu.Config, thr uint64) uint64 {
+	margin := uint64(mcfg.IssueToExec) + 2
+	if thr <= margin {
+		return 0
+	}
+	return thr - margin
+}
+
+// gatedRig is one sweep point's full simulation harness: models, pricers,
+// controllers, caches. The batch engine builds one per point (plus one for
+// the shared prefix) and copies accumulated state between them; the machines
+// themselves come from the worker's scratch pool.
+type gatedRig struct {
+	dModel, iModel   *cacti.Model
+	dPricer, iPricer *energy.Pricer
+	gated            *core.Gated
+	static           *core.StaticPullUp
+	l2               *cache.L2
+	l1d, l1i         *cache.L1
+}
+
+// newGatedRig builds the harness for one point: the swept side gated at thr
+// (the exact construction RunCtx would do for the same config), the other
+// side static, a conventional L2 shared by both L1s.
+func newGatedRig(dModel, iModel *cacti.Model, side CacheSide, thr uint64) (*gatedRig, error) {
+	r := &gatedRig{
+		dModel:  dModel,
+		iModel:  iModel,
+		dPricer: energy.NewPricer(tech.ProjectedNodes()...),
+		iPricer: energy.NewPricer(tech.ProjectedNodes()...),
+	}
+	nD := dModel.Config().Geometry.NumSubarrays()
+	nI := iModel.Config().Geometry.NumSubarrays()
+	var dCtrl, iCtrl core.Controller
+	if side == DataCache {
+		r.gated = core.NewGated(nD, thr, dModel.PrechargeMissPenaltyCycles(), r.dPricer.Observer())
+		r.static = core.NewStaticPullUp(nI, r.iPricer.Observer())
+		dCtrl, iCtrl = r.gated, r.static
+	} else {
+		r.gated = core.NewGated(nI, thr, iModel.PrechargeMissPenaltyCycles(), r.iPricer.Observer())
+		r.static = core.NewStaticPullUp(nD, r.dPricer.Observer())
+		dCtrl, iCtrl = r.static, r.gated
+	}
+	r.l2 = cache.DefaultL2()
+	var err error
+	if r.l1d, err = cache.NewL1(dModel, dCtrl, sram.NewLocality(nD, nil), r.l2); err != nil {
+		return nil, err
+	}
+	if r.l1i, err = cache.NewL1(iModel, iCtrl, sram.NewLocality(nI, nil), r.l2); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// copyStateFrom copies src's accumulated simulation state into r — caches,
+// both controllers, locality trackers and pricers. r keeps its own threshold
+// and observers; only dynamic state transfers.
+func (r *gatedRig) copyStateFrom(src *gatedRig) error {
+	if err := r.gated.CopyStateFrom(src.gated); err != nil {
+		return err
+	}
+	if err := r.static.CopyStateFrom(src.static); err != nil {
+		return err
+	}
+	if err := r.l2.CopyStateFrom(src.l2); err != nil {
+		return err
+	}
+	if err := r.l1d.CopyStateFrom(src.l1d); err != nil {
+		return err
+	}
+	if err := r.l1i.CopyStateFrom(src.l1i); err != nil {
+		return err
+	}
+	if err := r.dPricer.CopyStateFrom(src.dPricer); err != nil {
+		return err
+	}
+	return r.iPricer.CopyStateFrom(src.iPricer)
+}
+
+// assembleForkOutcome prices one forked point exactly as RunCtx would: the
+// point's Config carries its own threshold, so digests and memo keys match
+// the per-point path byte for byte.
+func assembleForkOutcome(cfg RunConfig, side CacheSide, thr uint64, rig *gatedRig, res cpu.Result) (Outcome, error) {
+	ptCfg := cfg
+	if side == DataCache {
+		ptCfg.DPolicy.Threshold = thr
+	} else {
+		ptCfg.IPolicy.Threshold = thr
+	}
+	out := Outcome{Config: ptCfg, CPU: res}
+	var err error
+	if out.D, err = assembleCacheOutcome(rig.l1d, rig.dModel, rig.dPricer, res.Cycles, counterBits(ptCfg.DPolicy)); err != nil {
+		return Outcome{}, err
+	}
+	if out.I, err = assembleCacheOutcome(rig.l1i, rig.iModel, rig.iPricer, res.Cycles, counterBits(ptCfg.IPolicy)); err != nil {
+		return Outcome{}, err
+	}
+	return out, nil
+}
+
+// runGatedBatch runs a strictly ascending batch of gated thresholds over one
+// shared trace via checkpoint-and-fork. cfg describes the batch's common
+// shape (the swept side's Threshold field is overridden per point); it must
+// be forkEligible. Outcomes come back in threshold order and are
+// bit-identical to per-point Run calls of the same configs.
+//
+// The prefix machine runs at the LARGEST threshold and is paused/snapshotted
+// ladder-ascending: each point forks at its own pause cycle (pauses are
+// nondecreasing in threshold, so the prefix only ever moves forward), and the
+// largest threshold consumes the prefix machine itself instead of forking.
+func runGatedBatch(cfg RunConfig, side CacheSide, thresholds []uint64) ([]Outcome, error) {
+	if len(thresholds) == 0 {
+		return nil, nil
+	}
+	for i := 1; i < len(thresholds); i++ {
+		if thresholds[i] <= thresholds[i-1] {
+			return nil, fmt.Errorf("experiments: batch thresholds must be strictly ascending")
+		}
+	}
+	if thresholds[0] < 1 || thresholds[len(thresholds)-1] > core.MaxThreshold {
+		return nil, fmt.Errorf("experiments: batch threshold out of range")
+	}
+	if !forkEligible(cfg, side) {
+		return nil, fmt.Errorf("experiments: config is not eligible for fork batching")
+	}
+
+	sub := cfg.SubarrayBytes
+	if sub == 0 {
+		sub = 1024
+	}
+	dCfg := cacti.DefaultDataConfig(tech.N70)
+	dCfg.Geometry.SubarrayBytes = sub
+	iCfg := cacti.DefaultInstructionConfig(tech.N70)
+	iCfg.Geometry.SubarrayBytes = sub
+	dModel, err := cacti.New(dCfg)
+	if err != nil {
+		return nil, err
+	}
+	iModel, err := cacti.New(iCfg)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := forkMachineConfig(cfg)
+
+	last := len(thresholds) - 1
+	prefix, err := newGatedRig(dModel, iModel, side, thresholds[last])
+	if err != nil {
+		return nil, err
+	}
+	ps := scratchPool.Get().(*simScratch)
+	defer scratchPool.Put(ps)
+	fs := scratchPool.Get().(*simScratch)
+	defer scratchPool.Put(fs)
+	prefixM, forkM := &ps.machine, &fs.machine
+	ps.cursor.Attach(cfg.Trace)
+	if err := prefixM.Reset(mcfg, prefix.l1i, prefix.l1d, &ps.cursor); err != nil {
+		return nil, err
+	}
+
+	snap := snapPool.Get().(*cpu.Snapshot)
+	defer snapPool.Put(snap)
+	outs := make([]Outcome, len(thresholds))
+	for j, thr := range thresholds {
+		runsExecuted.Add(1)
+		if _, err := prefixM.RunUntil(pauseFor(mcfg, thr)); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", cfg.Benchmark, err)
+		}
+		rig := prefix
+		var res cpu.Result
+		if j == last {
+			// The largest threshold IS the prefix run: resume it in place.
+			if res, err = prefixM.FinishRun(); err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", cfg.Benchmark, err)
+			}
+		} else {
+			if rig, err = newGatedRig(dModel, iModel, side, thr); err != nil {
+				return nil, err
+			}
+			if err := rig.copyStateFrom(prefix); err != nil {
+				return nil, err
+			}
+			prefixM.Snapshot(snap)
+			fs.cursor.Attach(cfg.Trace)
+			if err := forkM.Restore(snap, rig.l1i, rig.l1d, &fs.cursor); err != nil {
+				return nil, err
+			}
+			if res, err = forkM.FinishRun(); err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", cfg.Benchmark, err)
+			}
+		}
+		if outs[j], err = assembleForkOutcome(cfg, side, thr, rig, res); err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// chunkRanges splits [0,n) into at most k contiguous, near-even [lo,hi)
+// ranges. The sweep engine assigns one range of adjacent thresholds per
+// worker, so each worker's forks reuse its own hottest prefix snapshot.
+func chunkRanges(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// strictlyAscending reports whether ts is strictly ascending (the batch
+// engine's precondition; a ladder with duplicates falls back to per-point
+// runs).
+func strictlyAscending(ts []uint64) bool {
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"nanocache/internal/core"
+	"nanocache/internal/cpu"
+	"nanocache/internal/workload"
+)
+
+// forkBaseCfg builds the sweep shape runGatedBatch accepts: the swept side
+// gated (threshold overridden per point), the other side static.
+func forkBaseCfg(bench, second string, side CacheSide, instrs uint64) RunConfig {
+	cfg := RunConfig{
+		Benchmark:       bench,
+		SecondBenchmark: second,
+		Seed:            1,
+		Instructions:    instrs,
+		DPolicy:         Static(),
+		IPolicy:         Static(),
+	}
+	if side == DataCache {
+		cfg.DPolicy = GatedPolicy(8, true)
+	} else {
+		cfg.IPolicy = GatedPolicy(8, false)
+	}
+	return cfg
+}
+
+// checkForkVsFresh records cfg's trace, runs the ladder through the
+// checkpoint-and-fork batch engine, and demands every point's outcome be
+// digest-identical to a fresh from-cycle-zero Run of the same config.
+func checkForkVsFresh(t *testing.T, cfg RunConfig, side CacheSide, ladder []uint64) {
+	t.Helper()
+	tr, err := RecordTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = tr
+	outs, err := runGatedBatch(cfg, side, ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(ladder) {
+		t.Fatalf("batch returned %d outcomes for %d thresholds", len(outs), len(ladder))
+	}
+	for j, thr := range ladder {
+		freshCfg := cfg
+		if side == DataCache {
+			freshCfg.DPolicy.Threshold = thr
+		} else {
+			freshCfg.IPolicy.Threshold = thr
+		}
+		fresh, err := Run(freshCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := fresh.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		od, err := outs[j].Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fd != od {
+			t.Errorf("thr=%d: forked run diverges from fresh:\n fresh %s\n fork  %s\n fresh CPU %+v\n fork  CPU %+v",
+				thr, fd, od, fresh.CPU, outs[j].CPU)
+		}
+	}
+}
+
+// TestSnapshotForkMatchesFresh pins the tentpole soundness property of the
+// incremental sweep engine: a run forked from a warm machine snapshot at the
+// divergence bound is digest-identical to simulating from cycle zero — for
+// every registered workload, on both cache sides, and under SMT
+// interleaving. The ladder spans a degenerate fork (threshold ≤ the
+// divergence margin, so the fork happens at cycle 0), a mid-range prefix and
+// a long prefix; the digest covers every counter, ledger total and per-node
+// energy float, so any drift — timing, accounting, interval ordering —
+// fails loudly. The suite also runs under the race detector (make race).
+func TestSnapshotForkMatchesFresh(t *testing.T) {
+	const instrs = 4_000
+	ladder := []uint64{8, 100, 256}
+	for _, bench := range workload.Names() {
+		for _, side := range []CacheSide{DataCache, InstructionCache} {
+			t.Run(fmt.Sprintf("%s/%s", bench, side), func(t *testing.T) {
+				t.Parallel()
+				checkForkVsFresh(t, forkBaseCfg(bench, "", side, instrs), side, ladder)
+			})
+		}
+	}
+	t.Run("smt-interleave", func(t *testing.T) {
+		t.Parallel()
+		checkForkVsFresh(t, forkBaseCfg("gcc", "art", DataCache, instrs), DataCache, ladder)
+	})
+}
+
+// TestGatedSweepUsesForkEngine pins that the lab's standard sweep
+// configuration actually takes the incremental path — forkEligible must
+// admit the probe config GatedSweep builds, and must reject the shapes the
+// batch engine cannot express.
+func TestGatedSweepUsesForkEngine(t *testing.T) {
+	opts := QuickOptions()
+	opts.Instructions = 4_000
+	opts.Benchmarks = []string{"gcc"}
+	lab, err := NewLab(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := lab.runConfig("gcc", GatedPolicy(lab.thresholds[0], true), Static())
+	tr, err := lab.traceFor(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Trace = tr
+	if !forkEligible(probe, DataCache) {
+		t.Fatal("the lab's standard data-side sweep config must be fork-eligible")
+	}
+	if !strictlyAscending(lab.thresholds) {
+		t.Fatalf("lab thresholds %v must be strictly ascending for batching", lab.thresholds)
+	}
+
+	reject := func(name string, mutate func(*RunConfig), side CacheSide) {
+		cfg := probe
+		mutate(&cfg)
+		if forkEligible(cfg, side) {
+			t.Errorf("%s: config must not be fork-eligible", name)
+		}
+	}
+	reject("no-trace", func(c *RunConfig) { c.Trace = nil }, DataCache)
+	reject("custom-machine", func(c *RunConfig) { c.CPU = new(cpu.Config) }, DataCache)
+	reject("swept-side-static", func(c *RunConfig) {}, InstructionCache)
+	reject("drowsy", func(c *RunConfig) { c.DrowsyD = 64 }, DataCache)
+	reject("way-predict", func(c *RunConfig) { c.WayPredictI = true }, DataCache)
+	reject("l2-policy", func(c *RunConfig) { c.L2Policy = OnDemandPolicy() }, DataCache)
+	reject("adaptive", func(c *RunConfig) { c.DPolicy = AdaptiveGatedPolicy(0, true) }, DataCache)
+}
+
+// TestChunkRanges pins the worker partition: contiguous, near-even,
+// complete, and never more chunks than items.
+func TestChunkRanges(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{4, 1}, {4, 2}, {4, 4}, {4, 8}, {7, 3}, {1, 1}, {16, 5}, {3, 0},
+	} {
+		chunks := chunkRanges(tc.n, tc.k)
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next || c[1] <= c[0] {
+				t.Fatalf("chunkRanges(%d,%d) = %v: not contiguous", tc.n, tc.k, chunks)
+			}
+			next = c[1]
+		}
+		if next != tc.n {
+			t.Fatalf("chunkRanges(%d,%d) = %v: covers %d items", tc.n, tc.k, chunks, next)
+		}
+		if want := min(tc.n, max(tc.k, 1)); len(chunks) != want {
+			t.Fatalf("chunkRanges(%d,%d) produced %d chunks, want %d", tc.n, tc.k, len(chunks), want)
+		}
+	}
+}
+
+// FuzzSnapshotRestore fuzzes the checkpoint-and-fork engine across the
+// whole threshold space: any strictly ascending two-point ladder over any
+// benchmark must produce forked outcomes digest-identical to fresh runs.
+// The fork of the smaller threshold exercises snapshot → restore → resume
+// at an arbitrary divergence cycle; the larger consumes the mutated prefix
+// machine, so both halves of the engine are covered per input.
+func FuzzSnapshotRestore(f *testing.F) {
+	f.Add(uint8(0), uint16(8), uint16(100))
+	f.Add(uint8(3), uint16(1), uint16(1023))
+	f.Add(uint8(7), uint16(90), uint16(91))
+	f.Fuzz(func(t *testing.T, benchIdx uint8, a, b uint16) {
+		names := workload.Names()
+		bench := names[int(benchIdx)%len(names)]
+		t1 := uint64(a)%core.MaxThreshold + 1
+		t2 := uint64(b)%core.MaxThreshold + 1
+		if t1 == t2 {
+			if t2 < core.MaxThreshold {
+				t2++
+			} else {
+				t1--
+			}
+		}
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		checkForkVsFresh(t, forkBaseCfg(bench, "", DataCache, 2_000), DataCache, []uint64{t1, t2})
+	})
+}

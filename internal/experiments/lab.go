@@ -320,9 +320,16 @@ func (l *Lab) Baseline(bench string) (Outcome, error) {
 // GatedSweep returns (memoized) the gated threshold sweep for one cache
 // side of one benchmark at the given subarray size (0 = the base size).
 // The swept cache is gated (with predecoding on the data side, per the
-// paper); the other cache stays conventional. The threshold ladder fans
-// across the worker pool; points always come back in ascending-threshold
-// order regardless of completion order.
+// paper); the other cache stays conventional. Points always come back in
+// ascending-threshold order regardless of completion order.
+//
+// Eligible sweeps run incrementally (DESIGN.md §12): the ladder is split
+// into contiguous ascending chunks, one per worker, and each chunk shares a
+// checkpoint-and-fork prefix machine via runGatedBatch — adjacent thresholds
+// share the longest common prefixes, so each worker forks from its own
+// hottest snapshot. Configurations the fork engine cannot express (custom
+// machines, duplicate thresholds) fan out per point as before; either path
+// produces bit-identical outcomes (TestSnapshotForkMatchesFresh).
 func (l *Lab) GatedSweep(bench string, side CacheSide, subarrayBytes int) ([]SweepPoint, error) {
 	if subarrayBytes == 0 {
 		subarrayBytes = l.opts.SubarrayBytes
@@ -333,9 +340,7 @@ func (l *Lab) GatedSweep(bench string, side CacheSide, subarrayBytes int) ([]Swe
 		if err != nil {
 			return nil, err
 		}
-		pts := make([]SweepPoint, len(l.thresholds))
-		err = l.forEach(len(l.thresholds), func(j int) error {
-			thr := l.thresholds[j]
+		sweptCfg := func(thr uint64) RunConfig {
 			d, i := Static(), Static()
 			if side == DataCache {
 				d = GatedPolicy(thr, true)
@@ -344,13 +349,46 @@ func (l *Lab) GatedSweep(bench string, side CacheSide, subarrayBytes int) ([]Swe
 			}
 			cfg := l.runConfig(bench, d, i)
 			cfg.SubarrayBytes = subarrayBytes
-			o, err := l.run(cfg)
+			return cfg
+		}
+		pts := make([]SweepPoint, len(l.thresholds))
+		record := func(j int, o Outcome) {
+			pts[j] = SweepPoint{Threshold: l.thresholds[j], Outcome: o, Slowdown: o.Slowdown(base)}
+			l.note("sweep %s %s sub=%dB thr=%d: slowdown %.4f", bench, side, subarrayBytes,
+				l.thresholds[j], o.Slowdown(base))
+		}
+
+		probe := sweptCfg(l.thresholds[0])
+		if tr, err := l.traceFor(probe); err == nil {
+			probe.Trace = tr
+		}
+		if forkEligible(probe, side) && strictlyAscending(l.thresholds) {
+			chunks := chunkRanges(len(l.thresholds), l.opts.parallelism())
+			err = l.forEach(len(chunks), func(ci int) error {
+				lo, hi := chunks[ci][0], chunks[ci][1]
+				cfg := sweptCfg(l.thresholds[lo])
+				cfg.Trace = probe.Trace
+				outs, err := runGatedBatch(cfg, side, l.thresholds[lo:hi])
+				if err != nil {
+					return err
+				}
+				for k, o := range outs {
+					record(lo+k, o)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return pts, nil
+		}
+
+		err = l.forEach(len(l.thresholds), func(j int) error {
+			o, err := l.run(sweptCfg(l.thresholds[j]))
 			if err != nil {
 				return err
 			}
-			pts[j] = SweepPoint{Threshold: thr, Outcome: o, Slowdown: o.Slowdown(base)}
-			l.note("sweep %s %s sub=%dB thr=%d: slowdown %.4f", bench, side, subarrayBytes,
-				thr, o.Slowdown(base))
+			record(j, o)
 			return nil
 		})
 		if err != nil {

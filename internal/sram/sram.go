@@ -33,12 +33,19 @@ type Locality struct {
 	touched    []bool
 	accesses   []uint64 // access count per subarray
 
-	total     uint64
-	gapHist   *stats.Histogram
-	gapAtMost []uint64 // exact counts of gaps <= thresholds[i]
-	hotCycles []uint64 // sum over gaps of min(gap, thresholds[i])
-	finalized bool
-	endCycle  uint64
+	total   uint64
+	gapHist *stats.Histogram
+	// gapBucketCnt[k] and gapBucketSum[k] count and sum the gaps whose
+	// smallest covering threshold is thresholds[k] (k == len(thresholds)
+	// for gaps above every threshold). The per-access work is one
+	// early-exit scan and two increments; the per-threshold cumulative
+	// views (gap CDF, hot cycles) are materialized lazily — prefix sums
+	// over these buckets reproduce the per-access accounting exactly.
+	gapBucketCnt []uint64
+	gapBucketSum []uint64
+	hotCycles    []uint64 // sum over gaps of min(gap, thresholds[i]); set by Finalize
+	finalized    bool
+	endCycle     uint64
 }
 
 // NewLocality returns a tracker for n subarrays evaluated at the given
@@ -62,8 +69,10 @@ func NewLocality(n int, thresholds []uint64) *Locality {
 		touched:    make([]bool, n),
 		accesses:   make([]uint64, n),
 		gapHist:    stats.NewHistogram(),
-		gapAtMost:  make([]uint64, len(thresholds)),
-		hotCycles:  make([]uint64, len(thresholds)),
+
+		gapBucketCnt: make([]uint64, len(thresholds)+1),
+		gapBucketSum: make([]uint64, len(thresholds)+1),
+		hotCycles:    make([]uint64, len(thresholds)),
 	}
 }
 
@@ -84,16 +93,12 @@ func (l *Locality) RecordAccess(sub int, now uint64) {
 		}
 		gap := now - l.lastAccess[sub]
 		l.gapHist.Add(gap)
-		for i, t := range l.thresholds {
-			if gap <= t {
-				l.gapAtMost[i]++
-			}
-			if gap < t {
-				l.hotCycles[i] += gap
-			} else {
-				l.hotCycles[i] += t
-			}
+		k := 0
+		for k < len(l.thresholds) && gap > l.thresholds[k] {
+			k++
 		}
+		l.gapBucketCnt[k]++
+		l.gapBucketSum[k] += gap
 	}
 	l.touched[sub] = true
 	l.lastAccess[sub] = now
@@ -108,6 +113,20 @@ func (l *Locality) Finalize(end uint64) {
 	}
 	l.finalized = true
 	l.endCycle = end
+	// Materialize the per-threshold hot-cycle sums from the gap buckets: a
+	// gap g contributes min(g, t) at threshold t, i.e. its own length below
+	// its covering threshold and t above it — exactly what the former
+	// per-access per-threshold loop accumulated.
+	var totalGaps uint64
+	for _, c := range l.gapBucketCnt {
+		totalGaps += c
+	}
+	var cumSum, cumCnt uint64
+	for i, t := range l.thresholds {
+		cumSum += l.gapBucketSum[i]
+		cumCnt += l.gapBucketCnt[i]
+		l.hotCycles[i] = cumSum + t*(totalGaps-cumCnt)
+	}
 	for s := 0; s < l.n; s++ {
 		if !l.touched[s] {
 			continue
@@ -121,6 +140,34 @@ func (l *Locality) Finalize(end uint64) {
 			}
 		}
 	}
+}
+
+// CopyStateFrom makes l an exact copy of src's accumulated recency state.
+// Both trackers must cover the same subarray count and thresholds (they are
+// shape, not state). Part of the sweep engine's checkpoint-and-fork copy.
+func (l *Locality) CopyStateFrom(src *Locality) error {
+	if l.n != src.n {
+		return fmt.Errorf("sram: locality shape mismatch: %d vs %d subarrays", l.n, src.n)
+	}
+	if len(l.thresholds) != len(src.thresholds) {
+		return fmt.Errorf("sram: locality threshold sets differ")
+	}
+	for i := range l.thresholds {
+		if l.thresholds[i] != src.thresholds[i] {
+			return fmt.Errorf("sram: locality threshold sets differ")
+		}
+	}
+	copy(l.lastAccess, src.lastAccess)
+	copy(l.touched, src.touched)
+	copy(l.accesses, src.accesses)
+	l.total = src.total
+	l.gapHist.CopyFrom(src.gapHist)
+	copy(l.gapBucketCnt, src.gapBucketCnt)
+	copy(l.gapBucketSum, src.gapBucketSum)
+	copy(l.hotCycles, src.hotCycles)
+	l.finalized = src.finalized
+	l.endCycle = src.endCycle
+	return nil
 }
 
 // Thresholds returns the evaluation thresholds.
@@ -142,8 +189,10 @@ func (l *Locality) AccessCDF() []float64 {
 	if gaps == 0 {
 		return out
 	}
-	for i, c := range l.gapAtMost {
-		out[i] = float64(c) / float64(gaps)
+	var cum uint64
+	for i := range l.thresholds {
+		cum += l.gapBucketCnt[i]
+		out[i] = float64(cum) / float64(gaps)
 	}
 	return out
 }
@@ -230,6 +279,22 @@ func (g *Ledger) EndIdle(sub int, idleCycles uint64, reprecharged bool) {
 	if g.obs != nil {
 		g.obs(sub, idleCycles, reprecharged)
 	}
+}
+
+// CopyStateFrom makes g an exact copy of src's accumulated pull-up/idle
+// accounting. The receiver keeps its own observer: a forked run's intervals
+// must flow to the fork's energy pricer, not the snapshotted run's. Part of
+// the sweep engine's checkpoint-and-fork copy.
+func (g *Ledger) CopyStateFrom(src *Ledger) error {
+	if g.n != src.n {
+		return fmt.Errorf("sram: ledger shape mismatch: %d vs %d subarrays", g.n, src.n)
+	}
+	copy(g.pulled, src.pulled)
+	copy(g.idle, src.idle)
+	g.toggles = src.toggles
+	g.idleSum = src.idleSum
+	g.idleHist.CopyFrom(src.idleHist)
+	return nil
 }
 
 // PulledCycles returns total pulled-up subarray-cycles.

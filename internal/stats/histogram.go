@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -33,40 +34,14 @@ func NewHistogram() *Histogram {
 	return &Histogram{min: math.MaxUint64, buckets: make([]uint64, 64)}
 }
 
-// bucketOf returns the bucket index for sample v.
+// bucketOf returns the bucket index for sample v. bits.Len64 compiles to a
+// single hardware count-leading-zeros; this sits on the per-access path of
+// every cycle simulator.
 func bucketOf(v uint64) int {
 	if v < 2 {
 		return 0
 	}
-	return 63 - leadingZeros(v)
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	if v>>32 == 0 {
-		n += 32
-		v <<= 32
-	}
-	if v>>48 == 0 {
-		n += 16
-		v <<= 16
-	}
-	if v>>56 == 0 {
-		n += 8
-		v <<= 8
-	}
-	if v>>60 == 0 {
-		n += 4
-		v <<= 4
-	}
-	if v>>62 == 0 {
-		n += 2
-		v <<= 2
-	}
-	if v>>63 == 0 {
-		n++
-	}
-	return n
+	return bits.Len64(v) - 1
 }
 
 // Add records one sample.
@@ -190,6 +165,23 @@ func (h *Histogram) Merge(other *Histogram) {
 			h.max = other.max
 		}
 	}
+}
+
+// CopyFrom makes h an exact copy of src, reusing h's bucket storage when
+// large enough. It is the histogram's piece of the sweep engine's
+// checkpoint-and-fork state copy: a forked run's histogram must continue from
+// the prefix's exact bucket counts so the final distributions are
+// bit-identical to a fresh run's.
+func (h *Histogram) CopyFrom(src *Histogram) {
+	if cap(h.buckets) < len(src.buckets) {
+		h.buckets = make([]uint64, len(src.buckets))
+	}
+	h.buckets = h.buckets[:len(src.buckets)]
+	copy(h.buckets, src.buckets)
+	h.count = src.count
+	h.sum = src.sum
+	h.min = src.min
+	h.max = src.max
 }
 
 // Reset clears the histogram.
