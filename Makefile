@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race race-server bench bench-save bench-compare profile figures figures-quick serve verify cover cover-gate fuzz clean
+.PHONY: all build test race race-server bench bench-save bench-compare bench-load bench-load-compare profile figures figures-quick serve verify cover cover-gate fuzz clean
 
 all: build test
 
@@ -34,11 +34,41 @@ bench:
 # is separately diffable, and the core sweep engine (BenchmarkSweepReplay's
 # speedup vs the recorded pre-overhaul reference, ns/instr, allocs/instr)
 # lands in BENCH_core.json so hot-loop regressions show up as a diff.
-bench-save:
+# bench-load rides along so the serving layer's load trajectory
+# (BENCH_load.json) is re-recorded with the rest.
+bench-save: bench-load
 	go test -json -run '^$$' -bench=. -benchtime=1x ./... > BENCH_parallel.json
 	go test -json -run '^$$' -bench='^BenchmarkServer' -benchtime=10x ./internal/server/ > BENCH_server.json
 	@{ echo '{"Action":"note","Package":"nanocache/internal/experiments","Output":"prepr_ms_per_sweep=153.8 recorded at commit 16a559b (pre-overhaul engine, go test -benchtime=5x); denominator of the speedup metric below"}'; \
 	go test -json -run '^$$' -bench='^BenchmarkSweepReplay' -benchtime=5x -count=3 ./internal/experiments/; } > BENCH_core.json
+
+# Load-test recording: boot a quick-set daemon, drive it with the open-loop
+# generator across a rate ladder, and save per-class latency quantiles
+# (p50/p99/p999), shed/error rates and the max sustainable rate in the same
+# test2json shape the other BENCH_*.json files use, so cmd/benchdiff can
+# gate the latency trajectory PR to PR. Tune with LOAD_RATES/LOAD_DURATION.
+LOAD_RATES ?= 50,100,200
+LOAD_DURATION ?= 10s
+LOAD_OUT ?= BENCH_load.json
+bench-load:
+	go build -o nanoload.bin ./cmd/nanoload
+	go build -o nanocached.bin ./cmd/nanocached
+	@set -e; \
+	./nanocached.bin -addr 127.0.0.1:8346 -quick -benchmarks gcc -instructions 2000 -parallel 2 & \
+	DAEMON=$$!; \
+	trap "kill -TERM $$DAEMON 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:8346/healthz > /dev/null && break; sleep 0.1; \
+	done; \
+	./nanoload.bin -addr http://127.0.0.1:8346 -rates $(LOAD_RATES) \
+		-duration $(LOAD_DURATION) -warmup 2s -out $(LOAD_OUT)
+
+# Diff a fresh load recording's cached-hit p99 against the checked-in
+# BENCH_load.json, failing on a >25% regression (latency quantiles are
+# noisier than ms/sweep, hence the wider tolerance). Soft-gated in CI.
+bench-load-compare:
+	$(MAKE) bench-load LOAD_OUT=BENCH_load.new.json
+	go run ./cmd/benchdiff -old BENCH_load.json -new BENCH_load.new.json -metric p99-us -tolerance 0.25
 
 # PR-to-PR perf gate: re-run the core sweep benchmarks into a candidate
 # file and diff the ms/sweep headline (and per-benchmark breakdown) against

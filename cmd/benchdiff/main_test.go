@@ -82,3 +82,129 @@ func TestCompareToleratesMissingSides(t *testing.T) {
 		t.Fatalf("benchmark without the watched metric should be silent:\n%s", report)
 	}
 }
+
+// loadSample is a BENCH_load.json recording as cmd/nanoload writes it: one
+// complete line per Output event (no fragmentation), a leading note event,
+// per-class lines with latency quantiles and rates, and a max_sustainable
+// line carrying only qps.
+const loadSample = `{"Action":"note","Package":"nanocache/cmd/nanoload","Output":"nanoload addr=http://127.0.0.1:8344 mix=hit=80,promote=5,cold=10,job=5 rates=[200] duration=10s"}
+{"Action":"output","Package":"nanocache/cmd/nanoload","Output":"BenchmarkLoad/hit \t    1612\t        42.0 p50-us\t       310.0 p99-us\t      1120.5 p999-us\t    0.00 shed-pct\t    0.00 err-pct\t     161.2 qps\n"}
+{"Action":"output","Package":"nanocache/cmd/nanoload","Output":"BenchmarkLoad/cold \t     198\t      1500.0 p50-us\t      5200.0 p99-us\t      8100.0 p999-us\t    1.00 shed-pct\t    0.00 err-pct\t      19.8 qps\n"}
+{"Action":"output","Package":"nanocache/cmd/nanoload","Output":"BenchmarkLoad/overall \t    2010\t        55.0 p50-us\t      2400.0 p99-us\t      7800.0 p999-us\t    0.10 shed-pct\t    0.00 err-pct\t     201.0 qps\t    0.00 cheap-shed-pct\t    0.99 cold-shed-pct\n"}
+{"Action":"output","Package":"nanocache/cmd/nanoload","Output":"BenchmarkLoad/max_sustainable \t    2010\t       200.0 qps\n"}
+`
+
+// TestParseLoadRecording pins the BENCH_load.json shape end to end: class
+// names survive the GOMAXPROCS-suffix stripper, every quantile and rate
+// metric lands under its class, and the server-side shed percentages on the
+// overall line parse too.
+func TestParseLoadRecording(t *testing.T) {
+	m, err := parse(writeSample(t, "BENCH_load.json", loadSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkLoad/hit"]["p99-us"]; got != 310.0 {
+		t.Fatalf("hit p99-us = %v, want 310.0", got)
+	}
+	if got := m["BenchmarkLoad/hit"]["p999-us"]; got != 1120.5 {
+		t.Fatalf("hit p999-us = %v, want 1120.5", got)
+	}
+	if got := m["BenchmarkLoad/cold"]["p50-us"]; got != 1500.0 {
+		t.Fatalf("cold p50-us = %v, want 1500.0", got)
+	}
+	if got := m["BenchmarkLoad/overall"]["cheap-shed-pct"]; got != 0.0 {
+		t.Fatalf("overall cheap-shed-pct = %v, want 0", got)
+	}
+	if got := m["BenchmarkLoad/max_sustainable"]["qps"]; got != 200.0 {
+		t.Fatalf("max_sustainable qps = %v, want 200.0", got)
+	}
+	// "hit" must not have been truncated by the `-\d+` GOMAXPROCS stripper
+	// (the reason load classes avoid hyphen-digit names).
+	if _, ok := m["BenchmarkLoad"]; ok {
+		t.Fatal("class suffix was stripped from a load benchmark name")
+	}
+}
+
+// TestCompareLoadP99Gate drives the gate on the p99-us metric the load-slo
+// CI job watches: a missing baseline (first PR with a BENCH_load.json) is
+// tolerated, a real p99 regression fails.
+func TestCompareLoadP99Gate(t *testing.T) {
+	cases := []struct {
+		name     string
+		oldM     metrics
+		newM     metrics
+		wantFail bool
+		wantNote string
+	}{
+		{
+			name:     "within tolerance",
+			oldM:     metrics{"BenchmarkLoad/hit": {"p99-us": 300.0}},
+			newM:     metrics{"BenchmarkLoad/hit": {"p99-us": 320.0}},
+			wantFail: false,
+		},
+		{
+			name:     "p99 regression",
+			oldM:     metrics{"BenchmarkLoad/hit": {"p99-us": 300.0}},
+			newM:     metrics{"BenchmarkLoad/hit": {"p99-us": 400.0}},
+			wantFail: true,
+			wantNote: "REGRESSION",
+		},
+		{
+			name:     "no baseline yet",
+			oldM:     metrics{},
+			newM:     metrics{"BenchmarkLoad/hit": {"p99-us": 400.0}},
+			wantFail: false,
+			wantNote: "no baseline",
+		},
+		{
+			name: "old recording predates the metric",
+			oldM: metrics{"BenchmarkLoad/hit": {"qps": 100.0}},
+			newM: metrics{"BenchmarkLoad/hit": {"p99-us": 400.0, "qps": 90.0}},
+			// qps is not the watched metric and p99-us has no baseline:
+			// nothing to gate.
+			wantFail: false,
+			wantNote: "no baseline",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			report, failed := compare(tc.oldM, tc.newM, "p99-us", 0.10)
+			if failed != tc.wantFail {
+				t.Fatalf("failed = %v, want %v:\n%s", failed, tc.wantFail, report)
+			}
+			if tc.wantNote != "" && !strings.Contains(report, tc.wantNote) {
+				t.Fatalf("report missing %q:\n%s", tc.wantNote, report)
+			}
+		})
+	}
+}
+
+// TestParseSkipsMalformedLines pins the parser's tolerance contract: broken
+// JSON events, output lines that only look like benchmarks, and metric
+// pairs with unparsable values must be skipped, not crash or pollute the
+// metric set.
+func TestParseSkipsMalformedLines(t *testing.T) {
+	malformed := `this line is not JSON at all
+{"Action":"output","Package":"p","Output":"BenchmarkBroken \t  notanumber\t        42.0 ms/sweep\n"}
+{"Action":"output","Package":"p"
+{"Action":"output","Package":"p","Output":"Benchmark-3Weird \t       5\t        10.0 ms/sweep\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkOK \t       5\t        junk ms/sweep\t        12.5 qps\n"}
+{"Action":"output","Package":"p","Output":"  BenchmarkIndented \t       5\t        9.0 ms/sweep\n"}
+`
+	m, err := parse(writeSample(t, "m.json", malformed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["BenchmarkBroken"]; ok {
+		t.Error("line without an iteration count should not parse")
+	}
+	if _, ok := m["BenchmarkIndented"]; ok {
+		t.Error("indented line should not parse as a benchmark result")
+	}
+	if got := m["BenchmarkOK"]["qps"]; got != 12.5 {
+		t.Errorf("qps after an unparsable metric pair = %v, want 12.5", got)
+	}
+	if _, ok := m["BenchmarkOK"]["ms/sweep"]; ok {
+		t.Error("unparsable metric value should be skipped")
+	}
+}

@@ -9,8 +9,15 @@
 //	nanocached [-addr HOST:PORT] [-quick] [-cache-size N] [-max-inflight N]
 //	           [-timeout D] [-drain-timeout D] [-instructions N]
 //	           [-benchmarks a,b,c] [-parallel N] [-seed N] [-v]
+//	           [-cheap-queue N] [-cold-queue N] [-retry-after D]
 //	           [-store-dir DIR] [-store-max-bytes N] [-store-fsync]
 //	           [-jobs N] [-job-retries N] [-pprof HOST:PORT]
+//
+// Admission control classifies cache misses as cheap (analytic builders) or
+// cold (architectural simulation); each class waits in its own bounded FIFO
+// for a -max-inflight worker slot, cheap first, and a full class queue sheds
+// with 429 + Retry-After + "X-Nanocache: shed". Cached hits bypass the
+// queues entirely, so cold sweeps can never starve them.
 //
 // Endpoints: GET /healthz, GET /metrics, GET /v1/options, GET /v1/figures,
 // GET /v1/figures/{name}, GET /v1/table3, GET /v1/verify, POST /v1/run, and
@@ -74,6 +81,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		seed         = fs.Int64("seed", 1, "workload seed")
 		verbose      = fs.Bool("v", false, "log per-run lab progress to stderr")
 
+		cheapQueue = fs.Int("cheap-queue", 0, "cheap-class admission queue bound before shedding (0 = default 256)")
+		coldQueue  = fs.Int("cold-queue", 0, "cold-class admission queue bound before shedding (0 = default 32)")
+		retryAfter = fs.Duration("retry-after", 0, "Retry-After hint on shed (429) responses (0 = default 1s)")
+
 		storeDir      = fs.String("store-dir", "", "durable result-store directory (empty = memory only)")
 		storeMaxBytes = fs.Int64("store-max-bytes", 0, "on-disk store budget in payload bytes (0 = unbounded)")
 		storeFsync    = fs.Bool("store-fsync", false, "fsync every store and job-record write")
@@ -106,6 +117,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CacheEntries:   *cacheSize,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
+		CheapQueue:     *cheapQueue,
+		ColdQueue:      *coldQueue,
+		RetryAfter:     *retryAfter,
 		StoreDir:       *storeDir,
 		StoreMaxBytes:  *storeMaxBytes,
 		StoreFsync:     *storeFsync,

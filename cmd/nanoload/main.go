@@ -1,0 +1,731 @@
+// Command nanoload is an open-loop load generator for nanocached: it fires
+// requests at a fixed arrival rate (arrivals are scheduled by the clock, not
+// by response completions, so a slow server faces a growing backlog exactly
+// as real traffic would — the coordinated-omission-free methodology) with a
+// configurable mix of request classes, and reports per-class latency
+// quantiles, shed/error counts and achieved QPS.
+//
+// Request classes mirror how the daemon's admission control sees traffic:
+//
+//	hit      GET a pre-warmed figure: the cached fast path, never queued
+//	promote  POST /v1/run over a small warmed pool of configs: LRU hits,
+//	         or store promotions after a restart / LRU eviction
+//	cold     POST /v1/run with a never-seen seed: always a cold simulation,
+//	         admission class "cold"
+//	job      POST /v1/jobs with a unique run spec: async submission latency
+//
+// A warmup phase (unrecorded) primes the hit figure and the promote pool,
+// then each configured rate step runs for -duration. Results go to stdout
+// as a human table and, with -out, as test2json lines whose benchmark
+// metrics (`BenchmarkLoad/<class> ... p99-us ...`) feed the same
+// cmd/benchdiff gate as BENCH_core.json — `make bench-save` records them
+// into BENCH_load.json.
+//
+// SLO gates turn the tool into a CI check: -slo-hit-p99 bounds the hit
+// class's p99, -slo-cheap-shed-pct bounds the server-side cheap-class shed
+// rate (scraped from /metrics before and after the run). A violated gate
+// exits non-zero with the violation on stderr.
+//
+//	nanoload -addr http://127.0.0.1:8344 -rate 200 -duration 10s \
+//	  -mix hit=80,promote=5,cold=10,job=5 -slo-hit-p99 50ms -out BENCH_load.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nanocache/internal/experiments"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nanoload:", err)
+		os.Exit(1)
+	}
+}
+
+// --- request classes ------------------------------------------------------
+
+type classID int
+
+const (
+	clHit classID = iota
+	clPromote
+	clCold
+	clJob
+	numLoadClasses
+)
+
+var classNames = [numLoadClasses]string{"hit", "promote", "cold", "job"}
+
+func (c classID) String() string { return classNames[c] }
+
+// mix holds normalized class weights.
+type mix [numLoadClasses]float64
+
+// parseMix decodes "hit=80,promote=5,cold=10,job=5" (weights need not sum
+// to anything; they are normalized). Omitted classes get weight 0.
+func parseMix(s string) (mix, error) {
+	var m mix
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix element %q (want class=weight)", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return m, fmt.Errorf("bad mix weight %q (want a non-negative number)", val)
+		}
+		idx := -1
+		for i, n := range classNames {
+			if n == strings.TrimSpace(name) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return m, fmt.Errorf("unknown mix class %q (want one of %s)",
+				name, strings.Join(classNames[:], ", "))
+		}
+		m[idx] += w
+		total += w
+	}
+	if total == 0 {
+		return m, errors.New("mix has no positive weight")
+	}
+	for i := range m {
+		m[i] /= total
+	}
+	return m, nil
+}
+
+// pick draws a class from the mix.
+func (m mix) pick(rng *rand.Rand) classID {
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range m {
+		acc += w
+		if x < acc {
+			return classID(i)
+		}
+	}
+	return clHit // float round-off on the last bucket
+}
+
+// --- aggregation ----------------------------------------------------------
+
+// classAgg accumulates one class's outcomes for one recorded window.
+type classAgg struct {
+	sent, done            int
+	ok, shed, timeout, errs int
+	okUS                  []float64 // latencies of successful responses, µs
+	dispositions          map[string]int
+}
+
+func (a *classAgg) incomplete() int { return a.sent - a.done }
+
+// recorder is the concurrency-safe sink the request goroutines feed.
+type recorder struct {
+	mu      sync.Mutex
+	classes [numLoadClasses]classAgg
+}
+
+func newRecorder() *recorder {
+	r := &recorder{}
+	for i := range r.classes {
+		r.classes[i].dispositions = map[string]int{}
+	}
+	return r
+}
+
+func (r *recorder) noteSent(c classID) {
+	r.mu.Lock()
+	r.classes[c].sent++
+	r.mu.Unlock()
+}
+
+type outcome struct {
+	class       classID
+	us          float64
+	status      int
+	disposition string
+	transport   bool // transport-level failure (no HTTP status)
+}
+
+func (r *recorder) record(o outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := &r.classes[o.class]
+	a.done++
+	if o.disposition != "" {
+		a.dispositions[o.disposition]++
+	}
+	switch {
+	case o.transport:
+		a.errs++
+	case o.status == http.StatusTooManyRequests:
+		a.shed++
+	case o.status == http.StatusGatewayTimeout:
+		a.timeout++
+	case o.status >= 200 && o.status < 300:
+		a.ok++
+		a.okUS = append(a.okUS, o.us)
+	default:
+		a.errs++
+	}
+}
+
+// snapshot copies the aggregates with sorted latency slices.
+func (r *recorder) snapshot() [numLoadClasses]classAgg {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.classes
+	for i := range out {
+		out[i].okUS = append([]float64(nil), out[i].okUS...)
+		sort.Float64s(out[i].okUS)
+		d := make(map[string]int, len(out[i].dispositions))
+		for k, v := range out[i].dispositions {
+			d[k] = v
+		}
+		out[i].dispositions = d
+	}
+	return out
+}
+
+// quantile returns the linearly interpolated q-quantile of sorted samples
+// (exact, unlike the daemon's bucketed histogram: the load tool holds every
+// sample). NaN with no samples.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if hi >= n {
+		hi = n - 1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// --- request generation ---------------------------------------------------
+
+// gen issues one request per class on demand.
+type gen struct {
+	base         string
+	client       *http.Client
+	hitPath      string
+	promoteBody  [][]byte // pre-marshaled RunConfigs, rotated
+	benchmark    string
+	instructions uint64
+
+	mu         sync.Mutex
+	promoteSeq int
+	coldSeq    int64
+	jobSeq     int64
+}
+
+// runBody marshals a RunConfig for the configured benchmark at one seed.
+func (g *gen) runBody(seed int64) []byte {
+	b, err := json.Marshal(experiments.RunConfig{
+		Benchmark:    g.benchmark,
+		Seed:         seed,
+		Instructions: g.instructions,
+	})
+	if err != nil {
+		panic(err) // static struct, cannot fail
+	}
+	return b
+}
+
+// Seed bases keep the classes' key spaces disjoint: promote rotates a small
+// warmed pool, cold and job must never repeat a digest the server has seen.
+const (
+	promoteSeedBase = 1_000_000
+	coldSeedBase    = 10_000_000
+	jobSeedBase     = 20_000_000
+)
+
+// next returns the method, URL and body for one request of class c.
+func (g *gen) next(c classID) (method, url string, body []byte) {
+	switch c {
+	case clHit:
+		return http.MethodGet, g.base + g.hitPath, nil
+	case clPromote:
+		g.mu.Lock()
+		b := g.promoteBody[g.promoteSeq%len(g.promoteBody)]
+		g.promoteSeq++
+		g.mu.Unlock()
+		return http.MethodPost, g.base + "/v1/run", b
+	case clCold:
+		g.mu.Lock()
+		seed := coldSeedBase + g.coldSeq
+		g.coldSeq++
+		g.mu.Unlock()
+		return http.MethodPost, g.base + "/v1/run", g.runBody(seed)
+	case clJob:
+		g.mu.Lock()
+		seed := jobSeedBase + g.jobSeq
+		g.jobSeq++
+		g.mu.Unlock()
+		spec, _ := json.Marshal(map[string]any{
+			"run": json.RawMessage(g.runBody(seed)),
+		})
+		return http.MethodPost, g.base + "/v1/jobs", spec
+	}
+	panic("unknown class")
+}
+
+// do issues one request and reports its outcome.
+func (g *gen) do(ctx context.Context, c classID) outcome {
+	method, url, body := g.next(c)
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return outcome{class: c, transport: true}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	us := float64(time.Since(start).Nanoseconds()) / 1e3
+	if err != nil {
+		return outcome{class: c, us: us, transport: true}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return outcome{
+		class:       c,
+		us:          us,
+		status:      resp.StatusCode,
+		disposition: resp.Header.Get("X-Nanocache"),
+	}
+}
+
+// step runs one open-loop window: arrivals at fixed spacing, each served by
+// its own goroutine, recorded iff rec is non-nil. Returns sent count and
+// whether every in-flight request completed inside the drain bound.
+func (g *gen) step(ctx context.Context, rate float64, d, drain time.Duration,
+	m mix, rng *rand.Rand, rec *recorder) (sent int, drained bool) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	end := start.Add(d)
+	var wg sync.WaitGroup
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if due.After(end) || ctx.Err() != nil {
+			break
+		}
+		if sleep := time.Until(due); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		c := m.pick(rng)
+		sent++
+		if rec != nil {
+			rec.noteSent(c)
+		}
+		wg.Add(1)
+		go func(c classID) {
+			defer wg.Done()
+			o := g.do(ctx, c)
+			if rec != nil {
+				rec.record(o)
+			}
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return sent, true
+	case <-time.After(drain):
+		return sent, false
+	}
+}
+
+// --- /metrics scraping ----------------------------------------------------
+
+// scrapeMetrics parses the daemon's plaintext exposition into name{labels}
+// -> value. Unparsable lines are skipped.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(b), "\n") {
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}
+
+// shedPct computes a server class's shed percentage from two metric scrapes
+// (shed / (shed + admitted), in percent; 0 with no admission traffic).
+func shedPct(before, after map[string]float64, class string) float64 {
+	shed := after[fmt.Sprintf("nanocached_admission_shed_total{class=%q}", class)] -
+		before[fmt.Sprintf("nanocached_admission_shed_total{class=%q}", class)]
+	adm := after[fmt.Sprintf("nanocached_admission_admitted_total{class=%q}", class)] -
+		before[fmt.Sprintf("nanocached_admission_admitted_total{class=%q}", class)]
+	if shed+adm <= 0 {
+		return 0
+	}
+	return 100 * shed / (shed + adm)
+}
+
+// --- reporting ------------------------------------------------------------
+
+// stepResult is one rate step's aggregate.
+type stepResult struct {
+	rate     float64
+	elapsed  time.Duration
+	classes  [numLoadClasses]classAgg
+	drained  bool
+}
+
+// sustainable reports whether the step met the sustainability criterion:
+// sheds, errors, timeouts and incompletes together at most sustainPct
+// percent of what was sent.
+func (s stepResult) sustainable(sustainPct float64) bool {
+	sent, bad := 0, 0
+	for i := range s.classes {
+		a := &s.classes[i]
+		sent += a.sent
+		bad += a.shed + a.errs + a.timeout + a.incomplete()
+	}
+	if sent == 0 {
+		return false
+	}
+	return 100*float64(bad)/float64(sent) <= sustainPct
+}
+
+// merge folds every step's per-class aggregates into one (for SLO gates and
+// the per-class headline lines).
+func merge(steps []stepResult) [numLoadClasses]classAgg {
+	var out [numLoadClasses]classAgg
+	for i := range out {
+		out[i].dispositions = map[string]int{}
+	}
+	for _, s := range steps {
+		for i := range s.classes {
+			a, b := &out[i], &s.classes[i]
+			a.sent += b.sent
+			a.done += b.done
+			a.ok += b.ok
+			a.shed += b.shed
+			a.timeout += b.timeout
+			a.errs += b.errs
+			a.okUS = append(a.okUS, b.okUS...)
+			for k, v := range b.dispositions {
+				a.dispositions[k] += v
+			}
+		}
+	}
+	for i := range out {
+		sort.Float64s(out[i].okUS)
+	}
+	return out
+}
+
+// classMetricsLine renders one benchmark-format metrics line body:
+// quantiles, shed/err percentages and achieved QPS.
+func classMetricsLine(a classAgg, elapsed time.Duration) string {
+	pct := func(n int) float64 {
+		if a.sent == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(a.sent)
+	}
+	qps := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		qps = float64(a.ok) / secs
+	}
+	return fmt.Sprintf("%12.1f p50-us\t%12.1f p99-us\t%12.1f p999-us\t%8.2f shed-pct\t%8.2f err-pct\t%10.1f qps",
+		quantile(a.okUS, 0.50), quantile(a.okUS, 0.99), quantile(a.okUS, 0.999),
+		pct(a.shed), pct(a.errs+a.timeout+a.incomplete()), qps)
+}
+
+// test2json wraps one output line in the stream shape `go test -json`
+// produces, which is what cmd/benchdiff and the BENCH_*.json convention
+// parse.
+func test2json(action, output string) string {
+	b, _ := json.Marshal(map[string]string{
+		"Action":  action,
+		"Package": "nanocache/cmd/nanoload",
+		"Output":  output,
+	})
+	return string(b)
+}
+
+// --- entry point ----------------------------------------------------------
+
+// run is the testable entry point.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nanoload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "http://127.0.0.1:8344", "daemon base URL")
+		rate         = fs.Float64("rate", 100, "offered request rate per second (open loop)")
+		rates        = fs.String("rates", "", "comma-separated rate ladder overriding -rate; each step runs for -duration, and the highest sustainable step is reported as max_sustainable")
+		duration     = fs.Duration("duration", 10*time.Second, "recorded window per rate step")
+		warmup       = fs.Duration("warmup", 2*time.Second, "unrecorded warmup window at the first rate")
+		mixFlag      = fs.String("mix", "hit=80,promote=5,cold=10,job=5", "request-class weights (hit, promote, cold, job)")
+		benchmark    = fs.String("benchmark", "gcc", "benchmark the run-shaped classes simulate")
+		instructions = fs.Uint64("instructions", 2000, "instructions per run-shaped request")
+		hitFigure    = fs.String("hit-figure", "fig3", "figure endpoint the hit class fetches (pre-warmed)")
+		promotePool  = fs.Int("promote-pool", 8, "distinct warmed run configs the promote class rotates")
+		reqTimeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		drain        = fs.Duration("drain", 30*time.Second, "wait for in-flight requests after the last arrival")
+		seed         = fs.Int64("seed", 1, "mix-sequence seed (arrival classes are deterministic per seed)")
+		out          = fs.String("out", "", "write test2json benchmark lines here (\"-\" = stdout); feeds cmd/benchdiff")
+		sustainPct   = fs.Float64("sustain-pct", 1, "max percent of sent requests shed/failed/unfinished for a step to count as sustainable")
+		sloHitP99    = fs.Duration("slo-hit-p99", 0, "fail unless the hit class p99 is below this (0 = no gate)")
+		sloCheapShed = fs.Float64("slo-cheap-shed-pct", -1, "fail unless the server-side cheap-class shed rate is below this percentage (<0 = no gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	m, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	ladder := []float64{*rate}
+	if *rates != "" {
+		ladder = ladder[:0]
+		for _, part := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("bad rate %q (want positive numbers)", part)
+			}
+			ladder = append(ladder, v)
+		}
+	}
+	for _, r := range ladder {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("bad rate %v", r)
+		}
+	}
+	if *promotePool < 1 {
+		return fmt.Errorf("promote-pool must be at least 1, got %d", *promotePool)
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	g := &gen{
+		base:         base,
+		client:       &http.Client{Timeout: *reqTimeout},
+		hitPath:      "/v1/figures/" + *hitFigure,
+		benchmark:    *benchmark,
+		instructions: *instructions,
+	}
+	for i := 0; i < *promotePool; i++ {
+		g.promoteBody = append(g.promoteBody, g.runBody(promoteSeedBase+int64(i)))
+	}
+
+	// Prime: the hit figure must be cached and the promote pool computed
+	// before the recorded window, or the first hits measure cold sweeps.
+	fmt.Fprintf(stderr, "nanoload: priming %s and %d promote configs\n", g.hitPath, *promotePool)
+	if o := g.do(ctx, clHit); o.transport || o.status != http.StatusOK {
+		return fmt.Errorf("priming %s: status %d (is the daemon up at %s?)", g.hitPath, o.status, base)
+	}
+	for i := 0; i < *promotePool; i++ {
+		if o := g.do(ctx, clPromote); o.transport || o.status != http.StatusOK {
+			return fmt.Errorf("priming promote pool: status %d", o.status)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	if *warmup > 0 {
+		fmt.Fprintf(stderr, "nanoload: warmup %v at %.0f/s\n", *warmup, ladder[0])
+		g.step(ctx, ladder[0], *warmup, *drain, m, rng, nil)
+	}
+
+	before, scrapeErr := scrapeMetrics(g.client, base)
+	var steps []stepResult
+	for _, r := range ladder {
+		fmt.Fprintf(stderr, "nanoload: measuring %v at %.0f/s\n", *duration, r)
+		rec := newRecorder()
+		start := time.Now()
+		_, drained := g.step(ctx, r, *duration, *drain, m, rng, rec)
+		steps = append(steps, stepResult{
+			rate:    r,
+			elapsed: time.Since(start),
+			classes: rec.snapshot(),
+			drained: drained,
+		})
+	}
+	after, scrapeErr2 := scrapeMetrics(g.client, base)
+	serverMetrics := scrapeErr == nil && scrapeErr2 == nil
+
+	// Max sustainable rate: the highest step whose badness stayed under the
+	// threshold.
+	maxSustainable := 0.0
+	for _, s := range steps {
+		if s.sustainable(*sustainPct) && s.rate > maxSustainable {
+			maxSustainable = s.rate
+		}
+	}
+
+	total := merge(steps)
+	var elapsed time.Duration
+	for _, s := range steps {
+		elapsed += s.elapsed
+	}
+
+	// Human summary.
+	fmt.Fprintf(stdout, "nanoload: %s  mix %s  %d step(s), %v recorded\n",
+		base, *mixFlag, len(steps), elapsed.Round(time.Millisecond))
+	for _, s := range steps {
+		ok, sent := 0, 0
+		for i := range s.classes {
+			ok += s.classes[i].ok
+			sent += s.classes[i].sent
+		}
+		note := "sustainable"
+		if !s.sustainable(*sustainPct) {
+			note = "OVERLOADED"
+		}
+		if !s.drained {
+			note += ", drain timeout"
+		}
+		fmt.Fprintf(stdout, "  step %6.0f/s: sent %d ok %d (%s)\n", s.rate, sent, ok, note)
+	}
+	for c := classID(0); c < numLoadClasses; c++ {
+		a := total[c]
+		if a.sent == 0 {
+			continue
+		}
+		disp := make([]string, 0, len(a.dispositions))
+		for k, v := range a.dispositions {
+			disp = append(disp, fmt.Sprintf("%s:%d", k, v))
+		}
+		sort.Strings(disp)
+		fmt.Fprintf(stdout, "  %-8s sent %6d ok %6d shed %4d err %4d  p50 %8.0fµs  p99 %8.0fµs  p999 %8.0fµs  [%s]\n",
+			c, a.sent, a.ok, a.shed, a.errs+a.timeout, quantile(a.okUS, 0.5),
+			quantile(a.okUS, 0.99), quantile(a.okUS, 0.999), strings.Join(disp, " "))
+	}
+	if serverMetrics {
+		fmt.Fprintf(stdout, "  server shed: cheap %.2f%%  cold %.2f%%\n",
+			shedPct(before, after, "cheap"), shedPct(before, after, "cold"))
+	} else {
+		fmt.Fprintln(stdout, "  server metrics unavailable (non-nanocached target?)")
+	}
+	if maxSustainable > 0 {
+		fmt.Fprintf(stdout, "  max sustainable rate: %.0f/s (<=%.1f%% shed/err/unfinished)\n",
+			maxSustainable, *sustainPct)
+	} else {
+		fmt.Fprintf(stdout, "  no step sustainable at <=%.1f%% shed/err/unfinished\n", *sustainPct)
+	}
+
+	// test2json recording for BENCH_load.json.
+	if *out != "" {
+		w := stdout
+		var f *os.File
+		if *out != "-" {
+			f, err = os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		fmt.Fprintln(w, test2json("note", fmt.Sprintf(
+			"nanoload addr=%s mix=%s rates=%v duration=%v warmup=%v seed=%d benchmark=%s instructions=%d",
+			base, *mixFlag, ladder, *duration, *warmup, *seed, *benchmark, *instructions)))
+		for c := classID(0); c < numLoadClasses; c++ {
+			if total[c].sent == 0 {
+				continue
+			}
+			fmt.Fprintln(w, test2json("output", fmt.Sprintf("BenchmarkLoad/%s \t%8d\t%s\n",
+				c, total[c].ok, classMetricsLine(total[c], elapsed))))
+		}
+		var overall classAgg
+		overall.dispositions = map[string]int{}
+		for i := range total {
+			overall.sent += total[i].sent
+			overall.done += total[i].done
+			overall.ok += total[i].ok
+			overall.shed += total[i].shed
+			overall.timeout += total[i].timeout
+			overall.errs += total[i].errs
+			overall.okUS = append(overall.okUS, total[i].okUS...)
+		}
+		sort.Float64s(overall.okUS)
+		line := fmt.Sprintf("BenchmarkLoad/overall \t%8d\t%s", overall.ok, classMetricsLine(overall, elapsed))
+		if serverMetrics {
+			line += fmt.Sprintf("\t%8.2f cheap-shed-pct\t%8.2f cold-shed-pct",
+				shedPct(before, after, "cheap"), shedPct(before, after, "cold"))
+		}
+		fmt.Fprintln(w, test2json("output", line+"\n"))
+		fmt.Fprintln(w, test2json("output", fmt.Sprintf(
+			"BenchmarkLoad/max_sustainable \t%8d\t%12.1f qps\n", overall.ok, maxSustainable)))
+	}
+
+	// SLO gates.
+	var violations []string
+	if *sloHitP99 > 0 {
+		p99 := quantile(total[clHit].okUS, 0.99)
+		if math.IsNaN(p99) {
+			violations = append(violations, "hit p99 gate set but no successful hit samples")
+		} else if time.Duration(p99*1e3) >= *sloHitP99 {
+			violations = append(violations, fmt.Sprintf(
+				"hit p99 %.0fµs >= SLO %v", p99, *sloHitP99))
+		}
+	}
+	if *sloCheapShed >= 0 {
+		if !serverMetrics {
+			violations = append(violations, "cheap-shed gate set but /metrics was not scrapeable")
+		} else if got := shedPct(before, after, "cheap"); got >= *sloCheapShed {
+			violations = append(violations, fmt.Sprintf(
+				"server cheap-class shed %.2f%% >= SLO %.2f%%", got, *sloCheapShed))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("SLO violated: %s", strings.Join(violations, "; "))
+	}
+	return nil
+}

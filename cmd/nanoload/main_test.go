@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/server"
+)
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    mix
+		wantErr bool
+	}{
+		{in: "hit=80,promote=5,cold=10,job=5",
+			want: mix{0.80, 0.05, 0.10, 0.05}},
+		{in: "hit=1", want: mix{1, 0, 0, 0}},
+		{in: " cold = 3 , hit = 1 ", want: mix{0.25, 0, 0.75, 0}},
+		{in: "hit=2,hit=2", want: mix{1, 0, 0, 0}}, // repeated classes accumulate
+		{in: "", wantErr: true},
+		{in: "hit=0,cold=0", wantErr: true},
+		{in: "warm=5", wantErr: true},
+		{in: "hit", wantErr: true},
+		{in: "hit=-1", wantErr: true},
+		{in: "hit=NaN", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseMix(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseMix(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMix(%q): %v", tc.in, err)
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-9 {
+				t.Errorf("parseMix(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Error("quantile of no samples should be NaN")
+	}
+	if got := quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-sample quantile = %v, want 7", got)
+	}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(s, 0.5); got != 5.5 {
+		t.Errorf("p50 of 1..10 = %v, want 5.5", got)
+	}
+	if got := quantile(s, 1.0); got != 10 {
+		t.Errorf("p100 of 1..10 = %v, want 10", got)
+	}
+	if got := quantile(s, 0); got != 1 {
+		t.Errorf("p0 of 1..10 = %v, want 1", got)
+	}
+}
+
+func TestShedPct(t *testing.T) {
+	before := map[string]float64{
+		`nanocached_admission_shed_total{class="cheap"}`:     2,
+		`nanocached_admission_admitted_total{class="cheap"}`: 10,
+	}
+	after := map[string]float64{
+		`nanocached_admission_shed_total{class="cheap"}`:     4,
+		`nanocached_admission_admitted_total{class="cheap"}`: 16,
+	}
+	// Delta: 2 shed vs 6 admitted => 25%.
+	if got := shedPct(before, after, "cheap"); math.Abs(got-25) > 1e-9 {
+		t.Errorf("shedPct = %v, want 25", got)
+	}
+	if got := shedPct(after, after, "cheap"); got != 0 {
+		t.Errorf("no-traffic shedPct = %v, want 0", got)
+	}
+	if got := shedPct(before, after, "cold"); got != 0 {
+		t.Errorf("unknown-class shedPct = %v, want 0", got)
+	}
+}
+
+// tinyOptions mirrors internal/server's test lab: one benchmark, minimum
+// instruction budget, so cold computations take milliseconds.
+func tinyOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Instructions = 1500
+	o.Benchmarks = []string{"gcc"}
+	o.Thresholds = []uint64{8, 32}
+	o.ResizeTolerances = []float64{0.01}
+	o.ResizeInterval = 1000
+	o.Parallelism = 2
+	return o
+}
+
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{Options: tinyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return ts.URL
+}
+
+// benchLine is the shape cmd/benchdiff extracts from test2json output.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+)?)(?:-\d+)?[ \t]+\d+[ \t]+(.+)$`)
+
+// TestRunAgainstDaemon drives the full tool against an in-process daemon and
+// checks the human summary, the test2json recording, and that the recording
+// parses under the same grammar cmd/benchdiff applies.
+func TestRunAgainstDaemon(t *testing.T) {
+	url := startDaemon(t)
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", url,
+		"-rate", "300",
+		"-duration", "400ms",
+		"-warmup", "100ms",
+		"-drain", "20s",
+		"-instructions", "1500",
+		"-promote-pool", "2",
+		"-hit-figure", "fig2",
+		"-out", out,
+		"-slo-hit-p99", "5s", // generous: the gate must pass, not bite
+		"-slo-cheap-shed-pct", "50",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	for _, want := range []string{"hit", "max sustainable rate", "server shed: cheap"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		var ev struct{ Action, Package, Output string }
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("non-JSON line in -out file: %q: %v", line, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimRight(ev.Output, "\n"))
+		if m == nil {
+			t.Errorf("output line does not parse as a benchmark result: %q", ev.Output)
+			continue
+		}
+		classes[m[1]] = true
+		if strings.HasPrefix(m[1], "BenchmarkLoad/") && m[1] != "BenchmarkLoad/max_sustainable" {
+			for _, unit := range []string{"p50-us", "p99-us", "p999-us", "qps"} {
+				if !strings.Contains(m[2], unit) {
+					t.Errorf("%s line missing %s metric: %q", m[1], unit, m[2])
+				}
+			}
+		}
+	}
+	// At rate 300 for 400ms the 80/5/10/5 default mix statistically cannot
+	// miss a class, and hit is guaranteed by weight 0.8.
+	for _, want := range []string{
+		"BenchmarkLoad/hit", "BenchmarkLoad/overall", "BenchmarkLoad/max_sustainable",
+	} {
+		if !classes[want] {
+			t.Errorf("missing %s in -out recording (got %v)", want, classes)
+		}
+	}
+}
+
+// TestRunSLOViolation pins the gate path: an unmeetable hit-p99 SLO must
+// fail the run with a named violation.
+func TestRunSLOViolation(t *testing.T) {
+	url := startDaemon(t)
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", url,
+		"-rate", "200",
+		"-duration", "200ms",
+		"-warmup", "0s",
+		"-mix", "hit=1",
+		"-hit-figure", "fig2",
+		"-slo-hit-p99", "1ns",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "SLO violated") {
+		t.Fatalf("want SLO violation error, got %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{"-mix", "warm=1"},
+		{"-rates", "100,-5"},
+		{"-rates", "abc"},
+		{"-promote-pool", "0"},
+		{"-addr", "http://127.0.0.1:1", "extra-arg"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v): want error, got nil", args)
+		}
+	}
+}
+
+// TestRunUnreachableDaemon pins the priming error path: a closed port must
+// fail fast with a diagnostic, not hang for the full duration.
+func TestRunUnreachableDaemon(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", "http://127.0.0.1:1",
+		"-rate", "10",
+		"-duration", "100ms",
+		"-timeout", "500ms",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "priming") {
+		t.Fatalf("want priming error, got %v", err)
+	}
+}

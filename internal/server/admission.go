@@ -1,0 +1,247 @@
+package server
+
+// Admission control: the serving-layer analogue of the paper's gated
+// precharging. A flat inflight semaphore treats a microsecond cached hit and
+// a ~50ms cold sweep as the same unit of work, so a burst of cold sweeps
+// starves the cheap traffic behind it — exactly the head-of-line problem the
+// paper solves at the subarray level by only paying the expensive operation
+// (precharge) when recent history says it is needed. Here the expensive
+// operation is an architectural simulation, and the controller keeps it from
+// ever queueing in front of predictable cheap work:
+//
+//   - cached hits (either cache tier) and truly static payloads never enter
+//     the controller at all — the fast path answers from memory before a
+//     flight is even created;
+//   - cache misses are classified by what their builder costs: classCheap
+//     for analytic builders that run no simulation (table3, fig2, overhead,
+//     the option/index pages), classCold for anything that executes
+//     architectural runs;
+//   - each class owns a bounded FIFO queue in front of the shared worker
+//     slots, and a freed slot always serves the cheap queue first, so cheap
+//     misses overtake queued sweeps but FIFO order holds within a class;
+//   - a full class queue sheds instead of queueing without bound: the
+//     request fails fast with 429, a Retry-After hint and an
+//     "X-Nanocache: shed" header, and the shed is visible per class in
+//     /metrics. Because the queues are separate, cold overload can never
+//     shed a cheap request: cheap requests are refused only when the cheap
+//     queue itself is full.
+//
+// Cost accounting rides along: every admitted request adds its class's cost
+// estimate (derived from the lab options behind the server's digest — how
+// many architectural runs a cold miss fans out into, and how many simulated
+// instructions each runs) to a per-class counter, so /metrics exposes not
+// just how many requests ran but how much simulated work they bought.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nanocache/internal/stats"
+)
+
+// reqClass classifies one admission-controlled computation. Declaration
+// order is scheduling priority: a freed worker slot scans the queues in
+// ascending class order, so classCheap is always served before classCold.
+type reqClass uint8
+
+const (
+	// classCheap marks analytic builders: no architectural simulation, the
+	// build costs microseconds. Kept queued (rather than bypassing) so a
+	// thundering herd of distinct cheap misses still cannot oversubscribe
+	// the machine, but sized and prioritized so cold work never delays it.
+	classCheap reqClass = iota
+	// classCold marks builders that execute architectural runs: figures,
+	// sweeps, raw /v1/run simulations, invariant collection.
+	classCold
+	numClasses
+)
+
+// String names the class as it appears in /metrics labels.
+func (c reqClass) String() string {
+	switch c {
+	case classCheap:
+		return "cheap"
+	case classCold:
+		return "cold"
+	}
+	return fmt.Sprintf("class%d", uint8(c))
+}
+
+// classes enumerates every class in priority order (for metrics rendering).
+func classes() []reqClass { return []reqClass{classCheap, classCold} }
+
+// errShed reports an admission refusal: the class queue was full. It maps to
+// 429 with a Retry-After hint at the HTTP layer.
+type errShed struct {
+	class      reqClass
+	retryAfter time.Duration
+}
+
+func (e errShed) Error() string {
+	return fmt.Sprintf("%s queue full, request shed; retry after %v", e.class, e.retryAfter)
+}
+
+// ticket is one queued admission request.
+type ticket struct {
+	ready   chan struct{}
+	granted bool // guarded by admission.mu; set before ready closes
+}
+
+// admission is the per-class bounded priority queue in front of the worker
+// slots. It replaces the flat `chan struct{}` semaphore: same capacity
+// semantics (workers concurrent computations), but waiting happens in
+// explicit per-class FIFOs with cheap-first grant order and a shed bound.
+type admission struct {
+	workers    int
+	caps       [numClasses]int
+	costUnits  [numClasses]uint64
+	retryAfter time.Duration
+
+	mu     sync.Mutex
+	free   int
+	queues [numClasses][]*ticket
+
+	admitted [numClasses]atomic.Uint64
+	shed     [numClasses]atomic.Uint64
+	cost     [numClasses]atomic.Uint64
+	wait     [numClasses]*stats.Latency
+}
+
+// newAdmission sizes the controller: workers concurrent slots, caps[i]
+// queued waiters per class beyond that, costUnits[i] accounted per admitted
+// request, retryAfter echoed in shed responses.
+func newAdmission(workers int, caps [numClasses]int, costUnits [numClasses]uint64,
+	retryAfter time.Duration) *admission {
+	a := &admission{
+		workers:    workers,
+		caps:       caps,
+		costUnits:  costUnits,
+		retryAfter: retryAfter,
+		free:       workers,
+	}
+	for c := range a.wait {
+		a.wait[c] = stats.NewLatency()
+	}
+	return a
+}
+
+// acquire blocks until a worker slot is granted, the class queue sheds the
+// request, or ctx ends (the flight's last waiter left, or the server began
+// draining). The caller must release() after the computation iff acquire
+// returned nil.
+func (a *admission) acquire(ctx context.Context, class reqClass) error {
+	a.mu.Lock()
+	// Invariant: free > 0 implies every queue is empty (release hands freed
+	// slots straight to the head waiter), so a direct grab never overtakes
+	// a queued request.
+	if a.free > 0 {
+		a.free--
+		a.mu.Unlock()
+		a.admit(class)
+		return nil
+	}
+	if len(a.queues[class]) >= a.caps[class] {
+		a.mu.Unlock()
+		a.shed[class].Add(1)
+		return errShed{class: class, retryAfter: a.retryAfter}
+	}
+	t := &ticket{ready: make(chan struct{})}
+	a.queues[class] = append(a.queues[class], t)
+	a.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-t.ready:
+		a.wait[class].Observe(time.Since(start))
+		a.admit(class)
+		return nil
+	case <-ctx.Done():
+		// Abandoned while queued. A concurrent release may have granted the
+		// slot between ctx ending and the lock below; if so the grant is
+		// ours to give back, otherwise unlink the ticket.
+		a.mu.Lock()
+		if t.granted {
+			a.mu.Unlock()
+			a.release()
+			return ctx.Err()
+		}
+		q := a.queues[class]
+		for i, qt := range q {
+			if qt == t {
+				a.queues[class] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// admit records one granted request.
+func (a *admission) admit(class reqClass) {
+	a.admitted[class].Add(1)
+	a.cost[class].Add(a.costUnits[class])
+}
+
+// release returns a worker slot: the head of the highest-priority non-empty
+// queue gets it directly; with nothing queued the slot goes back to the
+// free pool.
+func (a *admission) release() {
+	a.mu.Lock()
+	for c := reqClass(0); c < numClasses; c++ {
+		if q := a.queues[c]; len(q) > 0 {
+			t := q[0]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			a.queues[c] = q[:len(q)-1]
+			t.granted = true
+			close(t.ready)
+			a.mu.Unlock()
+			return
+		}
+	}
+	a.free++
+	a.mu.Unlock()
+}
+
+// depth reports the current queue depth of one class.
+func (a *admission) depth(class reqClass) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queues[class])
+}
+
+// AdmissionClassSnapshot is one class's admission counters for
+// MetricsSnapshot and the /metrics exposition.
+type AdmissionClassSnapshot struct {
+	// Depth is the instantaneous queue depth.
+	Depth int
+	// Admitted counts requests granted a worker slot.
+	Admitted uint64
+	// Shed counts requests refused because the class queue was full.
+	Shed uint64
+	// CostUnits accumulates the admitted requests' cost estimates
+	// (simulated-kiloinstruction units; 1 for analytic builders).
+	CostUnits uint64
+	// QueueWait summarizes time spent queued before a grant (requests that
+	// were granted a slot immediately do not observe a sample).
+	QueueWait stats.LatencySnapshot
+}
+
+// snapshot gathers every class's counters keyed by class name.
+func (a *admission) snapshot() map[string]AdmissionClassSnapshot {
+	out := make(map[string]AdmissionClassSnapshot, numClasses)
+	for _, c := range classes() {
+		out[c.String()] = AdmissionClassSnapshot{
+			Depth:     a.depth(c),
+			Admitted:  a.admitted[c].Load(),
+			Shed:      a.shed[c].Load(),
+			CostUnits: a.cost[c].Load(),
+			QueueWait: a.wait[c].Snapshot(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+)
+
+// grab occupies one worker slot directly (empty queues, free slot).
+func grab(t *testing.T, a *admission, class reqClass) {
+	t.Helper()
+	if err := a.acquire(context.Background(), class); err != nil {
+		t.Fatalf("direct acquire: %v", err)
+	}
+}
+
+// enqueue starts an acquire that is expected to queue, returning a channel
+// that carries its result once granted or refused.
+func enqueue(ctx context.Context, a *admission, class reqClass) chan error {
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx, class) }()
+	return done
+}
+
+// waitDepth spins until the class queue reaches want waiters.
+func waitDepth(t *testing.T, a *admission, class reqClass, want int) {
+	t.Helper()
+	for i := 0; a.depth(class) != want; i++ {
+		if i > 2000 {
+			t.Fatalf("%s queue depth never reached %d (at %d)", class, want, a.depth(class))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionCheapFirst pins the scheduling priority: with one slot held
+// and both classes queued (cold first in arrival order), the freed slot goes
+// to the cheap waiter.
+func TestAdmissionCheapFirst(t *testing.T) {
+	a := newAdmission(1, [numClasses]int{classCheap: 4, classCold: 4},
+		[numClasses]uint64{1, 100}, time.Second)
+	grab(t, a, classCold)
+
+	cold := enqueue(context.Background(), a, classCold)
+	waitDepth(t, a, classCold, 1)
+	cheap := enqueue(context.Background(), a, classCheap)
+	waitDepth(t, a, classCheap, 1)
+
+	a.release() // frees the held slot: must grant the cheap waiter
+	select {
+	case err := <-cheap:
+		if err != nil {
+			t.Fatalf("cheap waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cheap waiter not granted after release")
+	}
+	select {
+	case err := <-cold:
+		t.Fatalf("cold waiter granted before the slot freed again (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.release() // cheap's slot back: now the cold waiter runs
+	if err := <-cold; err != nil {
+		t.Fatalf("cold waiter: %v", err)
+	}
+	a.release()
+
+	snap := a.snapshot()
+	if snap["cheap"].Admitted != 1 || snap["cold"].Admitted != 2 {
+		t.Errorf("admitted cheap=%d cold=%d, want 1/2", snap["cheap"].Admitted, snap["cold"].Admitted)
+	}
+	if snap["cheap"].CostUnits != 1 || snap["cold"].CostUnits != 200 {
+		t.Errorf("cost units cheap=%d cold=%d, want 1/200", snap["cheap"].CostUnits, snap["cold"].CostUnits)
+	}
+	if snap["cheap"].QueueWait.Count != 1 || snap["cold"].QueueWait.Count != 1 {
+		t.Errorf("queue-wait samples cheap=%d cold=%d, want 1/1 (direct grabs do not observe)",
+			snap["cheap"].QueueWait.Count, snap["cold"].QueueWait.Count)
+	}
+}
+
+// TestAdmissionShedsPerClass pins the acceptance invariant: cold overload
+// sheds cold requests once the cold queue is full, while cheap requests keep
+// being accepted — no cheap request is ever shed before the cheap queue
+// itself fills, regardless of how oversubscribed the cold class is.
+func TestAdmissionShedsPerClass(t *testing.T) {
+	a := newAdmission(1, [numClasses]int{classCheap: 2, classCold: 2},
+		[numClasses]uint64{1, 1}, 3*time.Second)
+	grab(t, a, classCold)
+
+	// Fill the cold queue to its bound (arrival order pinned so the drain
+	// below can read the grant channels FIFO).
+	c1 := enqueue(context.Background(), a, classCold)
+	waitDepth(t, a, classCold, 1)
+	c2 := enqueue(context.Background(), a, classCold)
+	waitDepth(t, a, classCold, 2)
+
+	// Cold is now over capacity: the next cold acquire sheds immediately.
+	var shed errShed
+	if err := a.acquire(context.Background(), classCold); !errors.As(err, &shed) {
+		t.Fatalf("over-capacity cold acquire: %v, want errShed", err)
+	}
+	if shed.class != classCold || shed.retryAfter != 3*time.Second {
+		t.Errorf("shed = %+v, want cold class with 3s retry hint", shed)
+	}
+
+	// Cheap requests still enter their own queue: zero cheap sheds while
+	// the cold class is saturated.
+	q1 := enqueue(context.Background(), a, classCheap)
+	waitDepth(t, a, classCheap, 1)
+	q2 := enqueue(context.Background(), a, classCheap)
+	waitDepth(t, a, classCheap, 2)
+	if got := a.snapshot()["cheap"].Shed; got != 0 {
+		t.Fatalf("cheap sheds with cold saturated = %d, want 0", got)
+	}
+	// Only when the cheap queue itself is full does cheap shed.
+	if err := a.acquire(context.Background(), classCheap); !errors.As(err, &shed) {
+		t.Fatalf("over-capacity cheap acquire: %v, want errShed", err)
+	} else if shed.class != classCheap {
+		t.Errorf("shed class = %s, want cheap", shed.class)
+	}
+
+	// Drain everything: cheap waiters first, then cold.
+	a.release()
+	for _, ch := range []chan error{q1, q2, c1, c2} {
+		if err := <-ch; err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+		a.release()
+	}
+	snap := a.snapshot()
+	if snap["cold"].Shed != 1 || snap["cheap"].Shed != 1 {
+		t.Errorf("sheds cheap=%d cold=%d, want 1/1", snap["cheap"].Shed, snap["cold"].Shed)
+	}
+	if snap["cheap"].Depth != 0 || snap["cold"].Depth != 0 {
+		t.Errorf("queues not drained: %+v", snap)
+	}
+}
+
+// TestAdmissionAbandonedWaiter: a queued acquire whose context ends unlinks
+// its ticket, and a grant racing the cancellation is returned to the pool
+// rather than leaked.
+func TestAdmissionAbandonedWaiter(t *testing.T) {
+	a := newAdmission(1, [numClasses]int{classCheap: 4, classCold: 4},
+		[numClasses]uint64{1, 1}, time.Second)
+	grab(t, a, classCold)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := enqueue(ctx, a, classCold)
+	waitDepth(t, a, classCold, 1)
+	stays := enqueue(context.Background(), a, classCold)
+	waitDepth(t, a, classCold, 2)
+
+	cancel()
+	if err := <-abandoned; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter returned %v, want context.Canceled", err)
+	}
+	waitDepth(t, a, classCold, 1)
+
+	a.release() // must grant the surviving waiter, not the abandoned ticket
+	select {
+	case err := <-stays:
+		if err != nil {
+			t.Fatalf("surviving waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("surviving waiter never granted — released slot leaked to the abandoned ticket")
+	}
+	a.release()
+	if free := func() int { a.mu.Lock(); defer a.mu.Unlock(); return a.free }(); free != 1 {
+		t.Errorf("free slots = %d after full drain, want 1", free)
+	}
+}
+
+// TestAdmissionConcurrentAccounting hammers the controller from many
+// goroutines under -race and checks conservation: every successful acquire
+// released exactly once, all slots home, queues empty, and the admitted
+// counters equal the successes.
+func TestAdmissionConcurrentAccounting(t *testing.T) {
+	const workers, goroutines, rounds = 4, 32, 50
+	a := newAdmission(workers, [numClasses]int{classCheap: 8, classCold: 8},
+		[numClasses]uint64{1, 10}, time.Second)
+	var ok, shed [numClasses]atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < rounds; i++ {
+				class := classCold
+				if rng.Intn(2) == 0 {
+					class = classCheap
+				}
+				ctx := context.Background()
+				if rng.Intn(4) == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+					defer cancel()
+				}
+				err := a.acquire(ctx, class)
+				switch {
+				case err == nil:
+					ok[class].Add(1)
+					time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+					a.release()
+				case errors.As(err, new(errShed)):
+					shed[class].Add(1)
+				case errors.Is(err, context.DeadlineExceeded):
+				default:
+					t.Errorf("unexpected acquire error: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	a.mu.Lock()
+	free := a.free
+	depths := [numClasses]int{len(a.queues[classCheap]), len(a.queues[classCold])}
+	a.mu.Unlock()
+	if free != workers {
+		t.Errorf("free slots = %d, want all %d home", free, workers)
+	}
+	if depths[0] != 0 || depths[1] != 0 {
+		t.Errorf("queues not empty after drain: %v", depths)
+	}
+	snap := a.snapshot()
+	for _, c := range classes() {
+		if got, want := snap[c.String()].Admitted, ok[c].Load(); got != want {
+			t.Errorf("%s admitted = %d, want %d successes", c, got, want)
+		}
+		if got, want := snap[c.String()].Shed, shed[c].Load(); got != want {
+			t.Errorf("%s shed = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// TestServerShedsColdKeepsCheap drives the whole HTTP stack into cold
+// overload: one endless cold run holds the single worker slot, a second
+// fills the one-deep cold queue, and the third cold request must be shed
+// with 429 + Retry-After + "X-Nanocache: shed" — while a cheap-class miss
+// arriving at the same moment is queued, not shed.
+func TestServerShedsColdKeepsCheap(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Options:     tinyOptions(),
+		MaxInflight: 1,
+		ColdQueue:   1,
+		CheapQueue:  8,
+		RetryAfter:  2 * time.Second,
+	})
+
+	ctx, cancelClients := context.WithCancel(context.Background())
+	defer cancelClients()
+	postRun := func(seed int64, instructions uint64) (int, http.Header, []byte, error) {
+		cfg := experiments.RunConfig{Benchmark: "gcc", Seed: seed, Instructions: instructions}
+		body, _ := json.Marshal(cfg)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run",
+			bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, b, nil
+	}
+
+	// Occupy the worker slot with an effectively endless cold run, then
+	// queue a second one to fill the cold queue.
+	go postRun(101, 2_000_000_000)
+	for i := 0; s.Metrics().Computes == 0; i++ {
+		if i > 2000 {
+			t.Fatal("occupier never started computing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go postRun(102, 2_000_000_000)
+	for i := 0; s.adm.depth(classCold) != 1; i++ {
+		if i > 2000 {
+			t.Fatal("second cold run never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third cold request: the queue is full, so it is shed immediately.
+	code, h, body, err := postRun(103, 2_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity cold run: status %d body %s, want 429", code, body)
+	}
+	if got := h.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if got := h.Get("X-Nanocache"); got != "shed" {
+		t.Errorf("X-Nanocache = %q, want shed", got)
+	}
+	if !strings.Contains(string(body), "shed") {
+		t.Errorf("shed body %s does not say so", body)
+	}
+
+	// A cheap-class miss at the same moment queues instead of shedding (the
+	// classes are isolated), and a cached hit bypasses admission entirely.
+	cheapDone := make(chan int, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/table3", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cheapDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cheapDone <- resp.StatusCode
+	}()
+	for i := 0; s.adm.depth(classCheap) != 1; i++ {
+		if i > 2000 {
+			t.Fatal("cheap miss never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := s.Metrics()
+	if m.Admission["cheap"].Shed != 0 {
+		t.Errorf("cheap sheds = %d with cold saturated, want 0", m.Admission["cheap"].Shed)
+	}
+	if m.Admission["cold"].Shed != 1 {
+		t.Errorf("cold sheds = %d, want 1", m.Admission["cold"].Shed)
+	}
+	if code, _, body := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz under overload: status %d body %s", code, body)
+	}
+
+	// The exposition carries the per-class lines the load tooling scrapes.
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`nanocached_admission_shed_total{class="cold"} 1`,
+		`nanocached_admission_shed_total{class="cheap"} 0`,
+		`nanocached_admission_queue_depth{class="cold"} 1`,
+		`nanocached_admission_queue_depth{class="cheap"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Disconnect every stuck client: flights lose their waiters, the queued
+	// tickets unlink, and the occupier's simulation aborts via its context.
+	cancelClients()
+	<-cheapDone
+	deadline := time.Now().Add(15 * time.Second)
+	for s.flights.inflight() > 0 || s.adm.depth(classCold) > 0 || s.adm.depth(classCheap) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("overload never drained: flights=%d cold=%d cheap=%d",
+				s.flights.inflight(), s.adm.depth(classCold), s.adm.depth(classCheap))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -20,9 +20,22 @@ type figureSpec struct {
 	Doc string `json:"doc"`
 	// Params names the accepted query parameters, e.g. "side=d|i".
 	Params []string `json:"params,omitempty"`
+	// Cheap marks analytic builders that run no architectural simulation;
+	// their cache misses wait in the cheap admission class (served before
+	// queued cold work, admission.go) instead of the cold one. Served in
+	// the index so clients can see which endpoints are safe to hammer.
+	Cheap bool `json:"cheap,omitempty"`
 	// build computes the result. It must be deterministic in (lab options,
 	// canonical params): the response is cached under exactly that key.
 	build func(ctx context.Context, lab *experiments.Lab, q url.Values) (any, error)
+}
+
+// class maps the spec onto its admission class.
+func (f figureSpec) class() reqClass {
+	if f.Cheap {
+		return classCheap
+	}
+	return classCold
 }
 
 // badParamError marks a client mistake (400 rather than 500).
@@ -68,13 +81,15 @@ func parseInts(q url.Values, name string) ([]int, error) {
 // memoization and the server's LRU.
 var figureRegistry = map[string]figureSpec{
 	"fig2": {
-		Doc: "isolation transients across CMOS nodes (no simulation)",
+		Doc:   "isolation transients across CMOS nodes (no simulation)",
+		Cheap: true,
 		build: func(_ context.Context, _ *experiments.Lab, _ url.Values) (any, error) {
 			return experiments.Figure2(), nil
 		},
 	},
 	"table3": {
-		Doc: "decoder stage and worst-case pull-up delays vs the paper",
+		Doc:   "decoder stage and worst-case pull-up delays vs the paper",
+		Cheap: true,
 		build: func(_ context.Context, _ *experiments.Lab, _ url.Values) (any, error) {
 			return experiments.Table3()
 		},
@@ -137,7 +152,8 @@ var figureRegistry = map[string]figureSpec{
 		},
 	},
 	"overhead": {
-		Doc: "gated hardware overhead bound (Sec. 6.2, no simulation)",
+		Doc:   "gated hardware overhead bound (Sec. 6.2, no simulation)",
+		Cheap: true,
 		build: func(_ context.Context, _ *experiments.Lab, _ url.Values) (any, error) {
 			return experiments.Overhead(), nil
 		},

@@ -70,6 +70,8 @@ func TestFigureEndpointsMatchGolden(t *testing.T) {
 		// (verify.CollectConfig's default), so pass them explicitly.
 		{"/v1/figures/fig10?sizes=4096,1024", "figure10.json"},
 		{"/v1/figures/predecode", "predecode.json"},
+		{"/v1/figures/sensitivity", "sensitivity.json"},
+		{"/v1/figures/machine", "machine.json"},
 	}
 	for _, tc := range cases {
 		tc := tc

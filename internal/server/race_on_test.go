@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled lets timing-sensitive tests scale their workloads: the race
+// detector slows the architectural simulation by roughly an order of
+// magnitude.
+const raceEnabled = true

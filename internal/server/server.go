@@ -13,9 +13,14 @@
 //   - single-flight collapse (flight.go): any number of concurrent
 //     identical requests share one computation, whose context is
 //     refcounted by waiter count — abandoned work is cancelled;
-//   - a bounded worker semaphore (Config.MaxInflight) in front of the
-//     PR-1 parallel Lab, so a burst of distinct cold requests queues
-//     instead of oversubscribing the machine.
+//   - per-class admission control (admission.go) in front of the PR-1
+//     parallel Lab: cache misses are classified cheap (analytic builders)
+//     or cold (architectural simulation) and wait in separate bounded
+//     FIFO queues for one of Config.MaxInflight worker slots, cheap first.
+//     A full class queue sheds with 429 + Retry-After instead of queueing
+//     without bound, so cold overload degrades cold traffic only — cached
+//     hits bypass the controller entirely and cheap misses overtake queued
+//     sweeps.
 //
 // Per-request deadlines propagate as contexts into the architectural runs
 // (experiments.RunCtx), /metrics exposes plaintext counters and latency
@@ -31,6 +36,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,12 +55,24 @@ type Config struct {
 	Options experiments.Options
 	// CacheEntries bounds the LRU result cache (default 256 entries).
 	CacheEntries int
-	// MaxInflight bounds concurrently executing computations; further cold
-	// requests queue on the semaphore. 0 means one per CPU.
+	// MaxInflight bounds concurrently executing computations; further
+	// cache misses wait in their class's admission queue. 0 means one per
+	// CPU.
 	MaxInflight int
 	// RequestTimeout bounds each request (0 = no server-side deadline;
 	// client contexts still propagate).
 	RequestTimeout time.Duration
+
+	// CheapQueue bounds the cheap-class admission queue (analytic builders:
+	// no simulation). Requests beyond the bound are shed with 429.
+	// 0 means 256.
+	CheapQueue int
+	// ColdQueue bounds the cold-class admission queue (architectural runs
+	// and sweeps). Requests beyond the bound are shed with 429. 0 means 32.
+	ColdQueue int
+	// RetryAfter is the hint returned with shed responses (Retry-After
+	// header, rounded up to whole seconds). 0 means 1s.
+	RetryAfter time.Duration
 
 	// StoreDir enables the durable result tier: rendered payloads are
 	// written behind the LRU into a content-addressed on-disk store
@@ -88,7 +106,7 @@ type Server struct {
 	store      *store.Store // durable second tier; nil without StoreDir
 	jobs       *jobs.Manager
 	flights    *flightGroup
-	sem        chan struct{}
+	adm        *admission
 	m          *metricSet
 
 	baseCtx    context.Context
@@ -138,6 +156,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout < 0 {
 		return nil, fmt.Errorf("server: negative request timeout %v", cfg.RequestTimeout)
 	}
+	if cfg.CheapQueue == 0 {
+		cfg.CheapQueue = 256
+	}
+	if cfg.CheapQueue < 0 {
+		return nil, fmt.Errorf("server: negative cheap-queue bound %d", cfg.CheapQueue)
+	}
+	if cfg.ColdQueue == 0 {
+		cfg.ColdQueue = 32
+	}
+	if cfg.ColdQueue < 0 {
+		return nil, fmt.Errorf("server: negative cold-queue bound %d", cfg.ColdQueue)
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.RetryAfter < 0 {
+		return nil, fmt.Errorf("server: negative retry-after %v", cfg.RetryAfter)
+	}
 	if cfg.Jobs == 0 {
 		cfg.Jobs = 1
 	}
@@ -171,7 +207,10 @@ func New(cfg Config) (*Server, error) {
 		optsDigest: digest,
 		cache:      newLRU(cfg.CacheEntries),
 		flights:    newFlightGroup(ctx),
-		sem:        make(chan struct{}, cfg.MaxInflight),
+		adm: newAdmission(cfg.MaxInflight,
+			[numClasses]int{classCheap: cfg.CheapQueue, classCold: cfg.ColdQueue},
+			[numClasses]uint64{classCheap: 1, classCold: coldCostEstimate(cfg.Options)},
+			cfg.RetryAfter),
 		m:          newMetricSet(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -222,6 +261,22 @@ func New(cfg Config) (*Server, error) {
 // read as misses instead of being served with a stale shape.
 const storeSchema = 1
 
+// coldCostEstimate derives a cold miss's cost in simulated-kiloinstruction
+// units from the lab options the server's digest pins: a figure endpoint
+// typically fans out into one sweep (baseline + every threshold) per
+// configured benchmark, each run simulating Options.Instructions. It is an
+// estimate for accounting, not a scheduling input — admission only needs
+// the class, but /metrics can then report how much simulated work the
+// admitted traffic bought.
+func coldCostEstimate(opts experiments.Options) uint64 {
+	runs := uint64(len(opts.BenchmarkList())) * uint64(len(opts.Thresholds)+1)
+	cost := runs * opts.Instructions / 1000
+	if cost == 0 {
+		cost = 1
+	}
+	return cost
+}
+
 // Store exposes the durable tier (tests, warm-up tooling); nil when the
 // server runs memory-only.
 func (s *Server) Store() *store.Store { return s.store }
@@ -233,7 +288,9 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 func (s *Server) Lab() *experiments.Lab { return s.lab }
 
 // Metrics returns a snapshot of the serving counters.
-func (s *Server) Metrics() MetricsSnapshot { return s.m.snapshot(s.cache, s.store, s.jobs) }
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.m.snapshot(s.cache, s.store, s.jobs, s.adm)
+}
 
 // Draining reports whether Close has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -361,9 +418,11 @@ func (s *Server) publish(key string, payload []byte) {
 }
 
 // serveCached is every expensive endpoint's spine: two-tier cache lookup,
-// single-flight collapse, bounded computation, deadline-aware waiting.
+// single-flight collapse, class-aware admission, deadline-aware waiting.
+// class decides which admission queue a miss waits in; hits never reach the
+// controller.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
-	build func(ctx context.Context) (any, error)) {
+	class reqClass, build func(ctx context.Context) (any, error)) {
 	key = key + "@" + s.optsDigest
 	if payload, disposition, ok := s.lookup(key); ok {
 		writePayload(w, payload, disposition)
@@ -379,7 +438,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 			s.flights.forget(key, fl)
 			fl.finish(payload, nil)
 		} else if s.startWork() {
-			go s.compute(fl, key, build)
+			go s.compute(fl, key, class, build)
 		} else {
 			// Close began after this request passed the drain gate; refuse
 			// rather than start work the drain would never wait for.
@@ -402,18 +461,19 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	}
 }
 
-// compute runs one collapsed computation in the background, bounded by the
-// worker semaphore, and publishes the rendered payload to the LRU.
-func (s *Server) compute(fl *flight, key string, build func(ctx context.Context) (any, error)) {
+// compute runs one collapsed computation in the background, gated by the
+// per-class admission controller, and publishes the rendered payload to the
+// LRU. An admission refusal (class queue full) resolves the flight with an
+// errShed that every waiter sees as 429.
+func (s *Server) compute(fl *flight, key string, class reqClass,
+	build func(ctx context.Context) (any, error)) {
 	defer s.wg.Done()
-	select {
-	case s.sem <- struct{}{}:
-	case <-fl.ctx.Done():
+	if err := s.adm.acquire(fl.ctx, class); err != nil {
 		s.flights.forget(key, fl)
-		fl.finish(nil, fl.ctx.Err())
+		fl.finish(nil, err)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer s.adm.release()
 	s.m.computes.Add(1)
 	v, err := build(fl.ctx)
 	if err == nil {
@@ -440,9 +500,21 @@ func (s *Server) compute(fl *flight, key string, build func(ctx context.Context)
 // failRequest maps a computation error to a status code.
 func (s *Server) failRequest(w http.ResponseWriter, err error) {
 	var bad badParamError
+	var shed errShed
 	switch {
 	case errors.As(err, &bad):
 		writeJSONError(w, http.StatusBadRequest, bad.Error())
+	case errors.As(err, &shed):
+		// Load shedding: the class queue is full. 429 with a Retry-After
+		// hint (whole seconds, rounded up) and a distinct disposition
+		// header so load generators can tell sheds from errors cheaply.
+		secs := int64((shed.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("X-Nanocache", "shed")
+		writeJSONError(w, http.StatusTooManyRequests, shed.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		if s.draining.Load() {
 			writeJSONError(w, http.StatusServiceUnavailable, "draining")
@@ -465,7 +537,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.render(w, s.cache, s.store, s.jobs)
+	s.m.render(w, s.cache, s.store, s.jobs, s.adm)
 }
 
 func (s *Server) handleOptions(w http.ResponseWriter, _ *http.Request) {
@@ -510,13 +582,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, err)
 		return
 	}
-	s.serveCached(w, r, "figure|"+key, func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, "figure|"+key, spec.class(), func(ctx context.Context) (any, error) {
 		return spec.build(ctx, s.lab, q)
 	})
 }
 
 func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
-	s.serveCached(w, r, "figure|table3", func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, "figure|table3", classCheap, func(ctx context.Context) (any, error) {
 		return experiments.Table3()
 	})
 }
@@ -532,7 +604,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("verify|full=%t", full)
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, key, classCold, func(ctx context.Context) (any, error) {
 		subject, err := verify.Collect(s.lab, verify.CollectConfig{SkipDeterminism: !full})
 		if err != nil {
 			return nil, err
@@ -557,7 +629,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveCached(w, r, "run|"+digest, func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, "run|"+digest, classCold, func(ctx context.Context) (any, error) {
 		return experiments.RunCtx(ctx, cfg)
 	})
 }

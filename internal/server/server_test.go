@@ -533,6 +533,12 @@ func TestMetricsRendering(t *testing.T) {
 		"nanocached_cache_misses_total 1",
 		"nanocached_computes_total 1",
 		"nanocached_inflight",
+		`nanocached_admission_queue_depth{class="cheap"} 0`,
+		`nanocached_admission_queue_depth{class="cold"} 0`,
+		`nanocached_admission_admitted_total{class="cheap"} 1`,
+		`nanocached_admission_shed_total{class="cheap"} 0`,
+		`nanocached_admission_cost_units_total{class="cheap"} 1`,
+		`nanocached_admission_queue_wait_us{class="cold",quantile="0.99"}`,
 		`nanocached_request_latency_us{quantile="0.5"}`,
 		`nanocached_request_latency_us{quantile="0.99"}`,
 		"nanocached_goroutines",
@@ -576,6 +582,9 @@ func TestConfigValidation(t *testing.T) {
 		{Options: tinyOptions(), CacheEntries: -1},
 		{Options: tinyOptions(), MaxInflight: -2},
 		{Options: tinyOptions(), RequestTimeout: -time.Second},
+		{Options: tinyOptions(), CheapQueue: -1},
+		{Options: tinyOptions(), ColdQueue: -3},
+		{Options: tinyOptions(), RetryAfter: -time.Second},
 		{Options: experiments.Options{Instructions: 500}}, // fails lab validation
 	}
 	for i, cfg := range bad {
@@ -590,6 +599,9 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if s.cfg.CacheEntries != 256 || s.cfg.MaxInflight < 1 {
 		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+	if s.cfg.CheapQueue != 256 || s.cfg.ColdQueue != 32 || s.cfg.RetryAfter != time.Second {
+		t.Errorf("admission defaults not applied: %+v", s.cfg)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()

@@ -1,0 +1,426 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+)
+
+// soakP99 is the nearest-rank p99 of unsorted latency samples, in µs.
+func soakP99(us []float64) float64 {
+	if len(us) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), us...)
+	sort.Float64s(s)
+	return s[(len(s)*99)/100]
+}
+
+// waitQuiesced polls until the server has no unresolved flights, no
+// in-flight HTTP requests and no live jobs, failing at the deadline.
+func waitQuiesced(t *testing.T, s *Server, deadline time.Time) {
+	t.Helper()
+	for time.Now().Before(deadline) {
+		m := s.Metrics()
+		live := m.JobStates["queued"] + m.JobStates["running"]
+		if s.flights.inflight() == 0 && m.Inflight == 0 && live == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("server did not quiesce: flights=%d inflight=%d jobs=%v",
+		s.flights.inflight(), s.Metrics().Inflight, s.Metrics().JobStates)
+}
+
+// waitGoroutines polls until the goroutine count returns to the baseline
+// bound, dumping all stacks on timeout.
+func waitGoroutines(t *testing.T, baseline, slack int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSoakMixedWorkload soaks the daemon with the full request mix at once —
+// cached hits, cold simulations, async job submissions with cancellations,
+// and clients that disconnect mid-flight — and then demands three things:
+//
+//  1. Fast-path isolation: the cached-hit p99 stays an order of magnitude
+//     below the cold-run p99 even while cold sweeps hold the worker slot
+//     (the acceptance criterion behind per-class admission control), and
+//     under an absolute SLO.
+//  2. No goroutine leaks: after the storm drains, the goroutine count
+//     returns to its pre-storm bound.
+//  3. No spurious failures: every hit and cold response is a 200; nothing
+//     was shed at this load.
+//
+// The whole test is deadline-capped well under 30s (a few seconds of load
+// plus bounded quiesce polling), and the workload scales down under -race
+// (raceEnabled) where the simulation runs an order of magnitude slower.
+// MaxInflight is pinned to 1 so the contention pattern — cold sweeps
+// monopolizing the compute slot while hits bypass it — is identical on
+// every machine, including single-core CI runners.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping soak in -short mode")
+	}
+	const hitters = 2
+	loadWindow := 6 * time.Second
+	coldInstr := uint64(8_000_000) // ~2s per cold run: dwarfs any scheduler noise in the ratio
+	jobInstr := uint64(250_000)    // ~50ms: long enough that a cancel beats completion on one core
+	jobEvery := 150 * time.Millisecond
+	hitSLO := 200_000.0 // µs; the hit path shares one core with the simulation under load
+	if raceEnabled {
+		loadWindow = 10 * time.Second
+		coldInstr = 2_000_000
+		jobInstr = 80_000
+		jobEvery = 400 * time.Millisecond
+		hitSLO = 500_000.0
+	}
+
+	s, ts := newTestServer(t, Config{Options: tinyOptions(), MaxInflight: 1})
+	client := ts.Client()
+	// The hitters get their own connection pool: sharing the test client's
+	// two idle conns with the cold/job/disconnect roles would measure dial
+	// churn, not the cache fast path.
+	hitClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: hitters}}
+	t.Cleanup(hitClient.CloseIdleConnections)
+
+	// Prime the hit path so the hitters measure cache hits, not the first
+	// compute.
+	if code, _, body := get(t, ts.URL+"/v1/figures/fig2"); code != http.StatusOK {
+		t.Fatalf("priming fig2: %d %s", code, body)
+	}
+
+	// Baseline for the leak bound: taken after the server, its job workers
+	// and the primed cache exist, before the storm.
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	hardDeadline := time.Now().Add(28 * time.Second) // the 30s cap, with slack
+	stop := time.Now().Add(loadWindow)
+
+	runBody := func(seed int64, instr uint64) []byte {
+		b, err := json.Marshal(experiments.RunConfig{
+			Benchmark: "gcc", Seed: seed, Instructions: instr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	fail := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Hitters: hammer the cached figure, recording latency.
+	hitSamples := make([][]float64, hitters)
+	for i := 0; i < hitters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				start := time.Now()
+				resp, err := hitClient.Get(ts.URL + "/v1/figures/fig2")
+				if err != nil {
+					fail("hit GET: %v", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("hit status %d", resp.StatusCode)
+					return
+				}
+				hitSamples[i] = append(hitSamples[i],
+					float64(time.Since(start).Nanoseconds())/1e3)
+			}
+		}()
+	}
+
+	// Cold sweeps: unique seeds, heavy enough that one continuously occupies
+	// the single worker slot while the hitters run.
+	var coldSamples []float64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seed := int64(40_000); time.Now().Before(stop); seed++ {
+			start := time.Now()
+			resp, err := client.Post(ts.URL+"/v1/run", "application/json",
+				bytes.NewReader(runBody(seed, coldInstr)))
+			if err != nil {
+				fail("cold POST: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("cold status %d", resp.StatusCode)
+				return
+			}
+			coldSamples = append(coldSamples,
+				float64(time.Since(start).Nanoseconds())/1e3)
+		}
+	}()
+
+	// Job churn: submit async runs; cancel every other one immediately. A
+	// cancel can race the job finishing first, which the API reports as 409
+	// — tolerated, but at least one cancellation must land.
+	var jobsSubmitted, jobsCancelled int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seed := int64(50_000); time.Now().Before(stop); seed++ {
+			spec, _ := json.Marshal(map[string]any{
+				"run": json.RawMessage(runBody(seed, jobInstr)),
+			})
+			resp, err := client.Post(ts.URL+"/v1/jobs", "application/json",
+				bytes.NewReader(spec))
+			if err != nil {
+				fail("job POST: %v", err)
+				return
+			}
+			var j struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+				resp.Body.Close()
+				fail("job decode: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted || j.ID == "" {
+				fail("job submit status %d id %q", resp.StatusCode, j.ID)
+				return
+			}
+			jobsSubmitted++
+			if seed%2 == 0 {
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+j.ID, nil)
+				dresp, err := client.Do(req)
+				if err != nil {
+					fail("job DELETE: %v", err)
+					return
+				}
+				dresp.Body.Close()
+				switch dresp.StatusCode {
+				case http.StatusOK:
+					jobsCancelled++
+				case http.StatusConflict: // already finished
+				default:
+					fail("job cancel status %d", dresp.StatusCode)
+					return
+				}
+			}
+			time.Sleep(jobEvery)
+		}
+	}()
+
+	// Disconnectors: start cold runs on fresh seeds and abandon them
+	// mid-flight, exercising the flight-abandon and admission-unlink paths
+	// under the same load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seed := int64(60_000); time.Now().Before(stop); seed++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+				ts.URL+"/v1/run", bytes.NewReader(runBody(seed, 100_000)))
+			req.Header.Set("Content-Type", "application/json")
+			if resp, err := client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+			cancel()
+			time.Sleep(100 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	waitQuiesced(t, s, hardDeadline)
+
+	// Latency isolation. The absolute SLO is generous because the race
+	// detector inflates everything; the 10x ratio against the cold class is
+	// the real pin.
+	var hits []float64
+	for _, s := range hitSamples {
+		hits = append(hits, s...)
+	}
+	if len(hits) < 50 || len(coldSamples) < 2 {
+		t.Fatalf("workload too thin: %d hit samples, %d cold samples", len(hits), len(coldSamples))
+	}
+	hitP99, coldP99 := soakP99(hits), soakP99(coldSamples)
+	t.Logf("soak: %d hits (p99 %.0fµs), %d cold (p99 %.0fµs), %d jobs (%d cancelled)",
+		len(hits), hitP99, len(coldSamples), coldP99, jobsSubmitted, jobsCancelled)
+	if hitP99 >= hitSLO {
+		t.Errorf("cached-hit p99 %.0fµs breaches the %.0fµs soak SLO", hitP99, hitSLO)
+	}
+	if hitP99*10 >= coldP99 {
+		t.Errorf("cached-hit p99 %.0fµs is not 10x below cold-run p99 %.0fµs — the fast path is not isolated from cold sweeps",
+			hitP99, coldP99)
+	}
+	if jobsSubmitted == 0 || jobsCancelled == 0 {
+		t.Errorf("job churn did not run: %d submitted, %d cancelled", jobsSubmitted, jobsCancelled)
+	}
+
+	// Nothing should have been shed at this load (one bounded cold client,
+	// big queues), and the queues must be empty again.
+	m := s.Metrics()
+	for class, a := range m.Admission {
+		if a.Shed != 0 {
+			t.Errorf("class %s shed %d requests under nominal load", class, a.Shed)
+		}
+		if a.Depth != 0 {
+			t.Errorf("class %s queue depth %d after quiesce", class, a.Depth)
+		}
+	}
+
+	// Goroutine-leak bound: everything transient (request handlers, flights,
+	// admission waiters, job computations) must be gone. Idle HTTP conns are
+	// closed first; the poll absorbs scheduler lag.
+	client.CloseIdleConnections()
+	waitGoroutines(t, baseline, 8, 10*time.Second)
+}
+
+// TestFlightWaiterCancellation pins the single-flight refcount under client
+// disconnects: two clients join one cold computation, the first disconnects
+// mid-flight, and the survivor must still get the result from a computation
+// that ran exactly once. Afterwards nothing may linger — no unresolved
+// flights, no in-flight requests, no leaked goroutines.
+func TestFlightWaiterCancellation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: tinyOptions()})
+	client := ts.Client()
+
+	// Long enough (~0.5s even without -race) that the disconnect — whose
+	// server-side detection takes ~100ms of net/http background-read latency
+	// — lands while the computation is still running.
+	body, err := json.Marshal(experiments.RunConfig{
+		Benchmark: "gcc", Seed: 777, Instructions: 2_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	computesBefore := s.Metrics().Computes
+
+	runtime.GC()
+	time.Sleep(20 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	// Survivor: creates the flight and waits it out.
+	type result struct {
+		status int
+		disp   string
+		err    error
+	}
+	survivor := make(chan result, 1)
+	go func() {
+		resp, err := client.Post(ts.URL+"/v1/run", "application/json",
+			bytes.NewReader(body))
+		if err != nil {
+			survivor <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		survivor <- result{status: resp.StatusCode, disp: resp.Header.Get("X-Nanocache")}
+	}()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("flight creation", func() bool { return s.flights.inflight() == 1 })
+
+	waiters := func() int {
+		s.flights.mu.Lock()
+		defer s.flights.mu.Unlock()
+		n := 0
+		for _, f := range s.flights.m {
+			n += f.waiters
+		}
+		return n
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/run", bytes.NewReader(body))
+		if err != nil {
+			doomed <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		doomed <- err
+	}()
+	waitFor("second waiter join", func() bool { return waiters() == 2 })
+
+	// Disconnect the second client mid-flight. The flight must survive with
+	// one waiter, not be torn down.
+	cancel()
+	if err := <-doomed; err == nil {
+		t.Error("cancelled client's request unexpectedly succeeded")
+	}
+	waitFor("waiter departure", func() bool { return waiters() <= 1 })
+	if waiters() == 1 && s.flights.inflight() != 1 {
+		t.Fatal("flight torn down with a live waiter")
+	}
+
+	// The survivor gets a real result, computed exactly once.
+	r := <-survivor
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("survivor: status %d err %v", r.status, r.err)
+	}
+	if r.disp != "miss" {
+		t.Errorf("survivor disposition %q, want miss", r.disp)
+	}
+	if got := s.Metrics().Computes - computesBefore; got != 1 {
+		t.Errorf("computes ran %d times, want exactly 1", got)
+	}
+
+	// Nothing lingers.
+	waitFor("quiesce", func() bool {
+		return s.flights.inflight() == 0 && s.Metrics().Inflight == 0
+	})
+	client.CloseIdleConnections()
+	waitGoroutines(t, baseline, 4, 10*time.Second)
+}

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -286,5 +288,45 @@ func TestSortedThresholds(t *testing.T) {
 	}
 	if in[0] != 100 {
 		t.Error("input must not be mutated")
+	}
+}
+
+// TestSummaryMarshalJSON pins the derived-statistics serialization: a
+// Summary must never marshal to "{}" (its fields are unexported, so losing
+// the custom marshaller would silently empty every JSON surface built on
+// it, like the sensitivity figure).
+func TestSummaryMarshalJSON(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{1, 2, 3} {
+		s.Add(v)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Count        uint64
+		Mean, StdDev float64
+		Min, Max     float64
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 3 || got.Mean != 2 || got.Min != 1 || got.Max != 3 {
+		t.Errorf("marshalled summary %s, want count 3 mean 2 min 1 max 3", b)
+	}
+	if want := math.Sqrt(2.0 / 3.0); math.Abs(got.StdDev-want) > 1e-12 {
+		t.Errorf("stddev %v, want %v", got.StdDev, want)
+	}
+	if string(b) == "{}" {
+		t.Fatal("summary marshalled to {}")
+	}
+	// Empty summaries marshal to zeros, not to +/-Inf sentinels.
+	eb, err := json.Marshal(NewSummary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(eb), "Inf") {
+		t.Errorf("empty summary leaked infinities: %s", eb)
 	}
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -70,6 +71,18 @@ func (s *Summary) Max() float64 {
 		return 0
 	}
 	return s.max
+}
+
+// MarshalJSON serializes the derived statistics rather than the raw
+// accumulator: without it a Summary's fields are all unexported and any
+// JSON-serving surface (the sensitivity figure endpoint, goldens) would
+// silently render "{}".
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Count        uint64
+		Mean, StdDev float64
+		Min, Max     float64
+	}{s.Count(), s.Mean(), s.StdDev(), s.Min(), s.Max()})
 }
 
 // String renders a compact summary.

@@ -38,6 +38,8 @@ func goldenFigures(s *Subject) []struct {
 		{"figure9", s.Figure9},
 		{"figure10", s.Figure10},
 		{"predecode", s.Predecode},
+		{"sensitivity", s.Sensitivity},
+		{"machine", s.Machine},
 	}
 }
 

@@ -61,6 +61,11 @@ type Subject struct {
 	Figure10  *experiments.Fig10Result
 	Predecode *experiments.PredecodeResult
 
+	// The sensitivity studies (Sec. 6.4): workload-seed and
+	// machine-configuration robustness of the headline slowdowns.
+	Sensitivity *experiments.SensitivityResult
+	Machine     *experiments.MachineSensitivityResult
+
 	// Sweeps are the full gated threshold sweeps behind Figures 8–10.
 	Sweeps map[SweepID][]experiments.SweepPoint
 
@@ -163,6 +168,16 @@ func Collect(lab *experiments.Lab, cfg CollectConfig) (*Subject, error) {
 		return nil, err
 	}
 	s.Predecode = &pre
+	sens, err := lab.Sensitivity(nil)
+	if err != nil {
+		return nil, err
+	}
+	s.Sensitivity = &sens
+	mach, err := lab.MachineSensitivity()
+	if err != nil {
+		return nil, err
+	}
+	s.Machine = &mach
 
 	// Raw material: baselines and the base-size sweeps (all memoized).
 	benches := opts.Benchmarks
