@@ -17,11 +17,13 @@ test:
 race:
 	go test -race ./...
 
-# The serving layer, job orchestrator, durable store and CLI entry points
-# under the race detector (single-flight collapse, drain, checkpoint resume
-# and two-tier promotion are the interesting schedules).
+# The serving layer, job orchestrator, durable store, cluster tier and CLI
+# entry points under the race detector (single-flight collapse, drain,
+# checkpoint resume, two-tier promotion, hedged peer fetches and the
+# multi-daemon fault-injection scenarios are the interesting schedules).
 race-server:
-	go test -race ./internal/server/ ./internal/jobs/ ./internal/store/ ./cmd/...
+	go test -race ./internal/server/ ./internal/jobs/ ./internal/store/ \
+		./internal/cluster/... ./cmd/...
 
 # Reduced versions of every paper experiment as Go benchmarks.
 bench:
@@ -134,6 +136,7 @@ FUZZ_TARGETS := \
 	FuzzRunInvariants:./internal/verify \
 	FuzzJobStateMachine:./internal/jobs \
 	FuzzStoreEnvelope:./internal/store \
+	FuzzPeerEnvelope:./internal/cluster \
 	FuzzSnapshotRestore:./internal/experiments
 
 fuzz:

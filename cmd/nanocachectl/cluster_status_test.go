@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nanocache/internal/cluster"
+	"nanocache/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestClusterStatusGolden pins the rendered `cluster status` layout against
+// testdata/cluster_status.golden (refresh with -update). The fixture covers
+// every row state — self, healthy, down-with-error — so column alignment and
+// ordering cannot drift silently.
+func TestClusterStatusGolden(t *testing.T) {
+	st := cluster.Status{
+		Self:          "n1",
+		Replicas:      2,
+		VNodes:        128,
+		OptionsDigest: "deadbeefcafe0123456789ab",
+		Replication:   cluster.ReplStatus{Queued: 1, Pushed: 42, Errors: 2, Dropped: 3},
+		AntiEntropy:   cluster.SweepStatus{Sweeps: 7, Pulled: 12, Errors: 1},
+		Peers: []cluster.PeerStatus{
+			{ID: "n1", Addr: "127.0.0.1:8344", Self: true, Healthy: true, Ownership: 0.41234},
+			{ID: "n2", Addr: "127.0.0.1:8345", Healthy: true, Ownership: 0.29876, Hits: 10},
+			{ID: "n3", Addr: "127.0.0.1:8346", Healthy: false, Ownership: 0.2889,
+				Errors: 5, LastError: "dial tcp 127.0.0.1:8346: connect: connection refused"},
+		},
+	}
+	var buf bytes.Buffer
+	renderClusterStatus(&buf, st)
+
+	golden := filepath.Join("testdata", "cluster_status.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("cluster status output drifted from golden (refresh with -update)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestClusterStatusEndToEnd runs the subcommand against a real clustered
+// daemon: the summary must carry the node identity and both members must
+// render, sorted by ID.
+func TestClusterStatusEndToEnd(t *testing.T) {
+	s, err := server.New(server.Config{
+		Options: tinyOptions(),
+		Cluster: &cluster.Config{
+			Self: "n1",
+			Peers: []cluster.Peer{
+				{ID: "n1", Addr: "127.0.0.1:1"},
+				{ID: "n2", Addr: "127.0.0.1:2"},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := serveAndCleanup(t, s)
+	out, err := ctl(t, base, "cluster", "status")
+	if err != nil {
+		t.Fatalf("cluster status: %v\n%s", err, out)
+	}
+	for _, want := range []string{"self=n1", "replicas=2", "n1", "n2", "replication:", "anti-entropy:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster status output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "n1") > strings.Index(out, "n2") {
+		t.Errorf("peer rows not sorted by ID:\n%s", out)
+	}
+}
+
+// TestClusterStatusUnclustered maps the 404 from a single-node daemon onto a
+// readable hint instead of a raw HTTP error.
+func TestClusterStatusUnclustered(t *testing.T) {
+	base := startServer(t)
+	_, err := ctl(t, base, "cluster", "status")
+	if err == nil || !strings.Contains(err.Error(), "not clustered") {
+		t.Errorf("unclustered daemon: got %v, want a 'not clustered' hint", err)
+	}
+	if _, err := ctl(t, base, "cluster"); err == nil {
+		t.Error("bare 'cluster' subcommand succeeded, want usage error")
+	}
+	if _, err := ctl(t, base, "cluster", "frobnicate"); err == nil {
+		t.Error("'cluster frobnicate' succeeded, want usage error")
+	}
+}

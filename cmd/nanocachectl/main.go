@@ -15,11 +15,15 @@
 //	watch ID                                        follow progress via SSE
 //	result ID                                       fetch the result payload
 //	cancel ID                                       cancel a queued/running job
+//	cluster status                                  ring ownership + peer health
 //
 // submit prints the accepted job snapshot (including its id) to stdout;
 // result prints the raw JSON payload, byte-identical to the synchronous
 // endpoint for the same spec. watch exits 0 when the job completes and
-// non-zero when it fails or is cancelled.
+// non-zero when it fails or is cancelled. cluster status renders the
+// daemon's /v1/cluster/status view — one row per member sorted by ID, with
+// exact ring ownership share, health, per-peer traffic, plus replication
+// and anti-entropy progress lines.
 package main
 
 import (
@@ -35,7 +39,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
+
+	"nanocache/internal/cluster"
 )
 
 func main() {
@@ -101,8 +108,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		return c.printBody(ctx, http.MethodDelete, "/v1/jobs/"+id)
+	case "cluster":
+		if len(rest) != 1 || rest[0] != "status" {
+			return errors.New(`cluster supports exactly one subcommand: "cluster status"`)
+		}
+		return c.clusterStatus(ctx)
 	}
-	return fmt.Errorf("unknown subcommand %q (want submit|list|status|watch|result|cancel)", cmd)
+	return fmt.Errorf("unknown subcommand %q (want submit|list|status|watch|result|cancel|cluster)", cmd)
 }
 
 func oneID(args []string) (string, error) {
@@ -234,6 +246,54 @@ func (c *client) submit(ctx context.Context, args []string, stderr io.Writer) er
 		return fmt.Errorf("decoding submitted job: %w", err)
 	}
 	return c.watch(ctx, j.ID)
+}
+
+// clusterStatus fetches /v1/cluster/status and renders the operator view.
+func (c *client) clusterStatus(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/cluster/status", nil)
+	if err != nil {
+		if strings.Contains(err.Error(), "404") {
+			return errors.New("daemon is not clustered (start it with -node-id and -peers)")
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	var st cluster.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding cluster status: %w", err)
+	}
+	renderClusterStatus(c.stdout, st)
+	return nil
+}
+
+// renderClusterStatus writes the human-readable cluster view: three summary
+// lines, then one row per member sorted by ID (the daemon sorts; rendering
+// preserves the order so the output is golden-testable).
+func renderClusterStatus(w io.Writer, st cluster.Status) {
+	digest := st.OptionsDigest
+	if len(digest) > 12 {
+		digest = digest[:12]
+	}
+	fmt.Fprintf(w, "cluster: self=%s replicas=%d vnodes=%d options=%s\n",
+		st.Self, st.Replicas, st.VNodes, digest)
+	fmt.Fprintf(w, "replication: queued=%d pushed=%d errors=%d dropped=%d\n",
+		st.Replication.Queued, st.Replication.Pushed, st.Replication.Errors, st.Replication.Dropped)
+	fmt.Fprintf(w, "anti-entropy: sweeps=%d pulled=%d errors=%d\n",
+		st.AntiEntropy.Sweeps, st.AntiEntropy.Pulled, st.AntiEntropy.Errors)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "PEER\tADDR\tSTATE\tOWNERSHIP\tHITS\tERRORS\tLAST ERROR")
+	for _, p := range st.Peers {
+		state := "healthy"
+		switch {
+		case p.Self:
+			state = "self"
+		case !p.Healthy:
+			state = "down"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f%%\t%d\t%d\t%s\n",
+			p.ID, p.Addr, state, 100*p.Ownership, p.Hits, p.Errors, p.LastError)
+	}
+	tw.Flush()
 }
 
 // jobSnapshot is the subset of the daemon's job JSON that watch renders.

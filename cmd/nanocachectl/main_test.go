@@ -35,6 +35,13 @@ func startServer(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return serveAndCleanup(t, s)
+}
+
+// serveAndCleanup exposes an already-built server over httptest and wires
+// its shutdown into the test cleanup.
+func serveAndCleanup(t *testing.T, s *server.Server) string {
+	t.Helper()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

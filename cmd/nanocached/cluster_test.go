@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("a=127.0.0.1:1, b=127.0.0.1:2 ,c=10.0.0.9:8344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0].ID != "a" || peers[2].Addr != "10.0.0.9:8344" {
+		t.Errorf("parsed %+v", peers)
+	}
+	for _, bad := range []string{"", "nodelimiter", "=addr", "id=", "a=1:1,,=x"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestClusterFlagErrors: half-configured clustering must refuse to boot.
+func TestClusterFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-node-id", "a"},                             // -peers missing
+		{"-peers", "a=127.0.0.1:1"},                   // -node-id missing
+		{"-node-id", "a", "-peers", "garbage"},        // unparseable list
+		{"-node-id", "x", "-peers", "a=1:1,b=1:2"},    // self not a member
+		{"-node-id", "a", "-peers", "a=127.0.0.1:1"},  // single-member cluster
+		{"-node-id", "a", "-peers", "a=1:1,a=1:2"},    // duplicate id
+		{"-node-id", "a", "-peers", "a=1:1,b=1:2", "-anti-entropy", "-1s"},
+	}
+	for _, args := range cases {
+		args = append([]string{"-quick", "-instructions", "1500", "-benchmarks", "gcc"}, args...)
+		if err := run(context.Background(), args, io.Discard, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want config error", args)
+		}
+	}
+}
+
+// freeAddrs reserves n distinct loopback ports and releases them for the
+// daemons to rebind (the peer list must name real ports before boot).
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestDaemonClusterPair boots a real two-member cluster through the flag
+// surface: a result computed on one daemon is served by the other without
+// recomputing, and both expose the cluster status and metrics views.
+func TestDaemonClusterPair(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	peers := fmt.Sprintf("a=%s,b=%s", addrs[0], addrs[1])
+	baseA, _, stopA := startDaemon(t,
+		"-addr", addrs[0], "-node-id", "a", "-peers", peers, "-anti-entropy", "0")
+	defer func() {
+		if err := stopA(); err != nil {
+			t.Errorf("daemon a drain: %v", err)
+		}
+	}()
+	baseB, _, stopB := startDaemon(t,
+		"-addr", addrs[1], "-node-id", "b", "-peers", peers, "-anti-entropy", "0")
+	defer func() {
+		if err := stopB(); err != nil {
+			t.Errorf("daemon b drain: %v", err)
+		}
+	}()
+
+	get := func(base, path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", base, path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s%s: %d\n%s", base, path, resp.StatusCode, b)
+		}
+		return string(b), resp.Header.Get("X-Nanocache")
+	}
+
+	bodyA, dispA := get(baseA, "/v1/figures/fig2")
+	if dispA != "miss" {
+		t.Errorf("first compute on a: disposition %q, want miss", dispA)
+	}
+	bodyB, dispB := get(baseB, "/v1/figures/fig2")
+	// b never computes: it either read-throughs from a ("peer") or already
+	// received the write-behind replica ("hit"/"store").
+	if dispB != "peer" && dispB != "hit" && dispB != "store" {
+		t.Errorf("b served %q, want peer|hit|store", dispB)
+	}
+	if bodyA != bodyB {
+		t.Error("cluster members disagree on fig2 bytes")
+	}
+
+	status, _ := get(baseB, "/v1/cluster/status")
+	for _, want := range []string{`"self": "b"`, `"id": "a"`, `"id": "b"`} {
+		if !strings.Contains(status, want) {
+			t.Errorf("cluster status missing %s:\n%s", want, status)
+		}
+	}
+	metrics, _ := get(baseA, "/metrics")
+	for _, want := range []string{"nanocached_cluster_", "nanocached_runs_executed_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("clustered daemon /metrics missing %s", want)
+		}
+	}
+}

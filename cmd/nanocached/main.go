@@ -12,6 +12,8 @@
 //	           [-cheap-queue N] [-cold-queue N] [-retry-after D]
 //	           [-store-dir DIR] [-store-max-bytes N] [-store-fsync]
 //	           [-jobs N] [-job-retries N] [-pprof HOST:PORT]
+//	           [-node-id ID -peers ID=HOST:PORT,...] [-replicas N]
+//	           [-hedge-after D] [-anti-entropy D]
 //
 // Admission control classifies cache misses as cheap (analytic builders) or
 // cold (architectural simulation); each class waits in its own bounded FIFO
@@ -32,6 +34,16 @@
 // cancelled mid-simulation). With -store-dir, results and job checkpoints
 // persist across restarts: a rebooted daemon serves previously computed
 // payloads from disk and resumes interrupted jobs at their last checkpoint.
+//
+// With -node-id and -peers the daemon joins a consistent-hash cluster
+// (internal/cluster): cache misses read-through from the key's owner peers
+// before recomputing ("X-Nanocache: peer"), fresh results replicate
+// write-behind to -replicas owners, and a pull-based anti-entropy sweep
+// (every -anti-entropy) converges stores after a node rejoins. The peer list
+// is ID=HOST:PORT pairs covering every member, this node included; every
+// member must serve identical lab options (anti-entropy refuses digest
+// mismatches). Adds GET /v1/cluster/status plus the peer endpoints, and
+// nanocached_cluster_* counters to /metrics.
 package main
 
 import (
@@ -49,9 +61,30 @@ import (
 	"syscall"
 	"time"
 
+	"nanocache/internal/cluster"
 	"nanocache/internal/experiments"
 	"nanocache/internal/server"
 )
+
+// parsePeers parses the -peers flag: comma-separated ID=HOST:PORT pairs.
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want ID=HOST:PORT)", pair)
+		}
+		peers = append(peers, cluster.Peer{ID: id, Addr: addr})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers %q names no members", s)
+	}
+	return peers, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -91,6 +124,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jobWorkers    = fs.Int("jobs", 1, "concurrent async jobs")
 		jobRetries    = fs.Int("job-retries", 2, "per-sweep-point transient-failure retries")
 		pprofAddr     = fs.String("pprof", "", "debug listen address serving net/http/pprof under /debug/pprof/ (empty = disabled)")
+
+		nodeID      = fs.String("node-id", "", "this node's cluster identity (requires -peers; empty = single-node daemon)")
+		peerList    = fs.String("peers", "", "full cluster member list as ID=HOST:PORT pairs, comma-separated, this node included")
+		replicas    = fs.Int("replicas", 0, "owners per key: read-through candidates and replication targets (0 = default 2)")
+		hedgeAfter  = fs.Duration("hedge-after", 0, "latency threshold before a second owner fetch is hedged in (0 = default 50ms; negative disables)")
+		antiEntropy = fs.Duration("anti-entropy", time.Minute, "pull-based anti-entropy sweep interval (0 disables the background sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +151,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	opts.Parallelism = *parallel
 	opts.Seed = *seed
 
+	var clusterCfg *cluster.Config
+	switch {
+	case *nodeID == "" && *peerList == "":
+		// Single-node daemon: no peer tier.
+	case *nodeID == "" || *peerList == "":
+		return fmt.Errorf("clustering needs both -node-id and -peers (got -node-id %q, -peers %q)", *nodeID, *peerList)
+	default:
+		peers, err := parsePeers(*peerList)
+		if err != nil {
+			return err
+		}
+		clusterCfg = &cluster.Config{
+			Self:        *nodeID,
+			Peers:       peers,
+			Replicas:    *replicas,
+			HedgeAfter:  *hedgeAfter,
+			AntiEntropy: *antiEntropy,
+		}
+	}
+
 	s, err := server.New(server.Config{
 		Options:        opts,
 		CacheEntries:   *cacheSize,
@@ -125,6 +184,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		StoreFsync:     *storeFsync,
 		Jobs:           *jobWorkers,
 		JobRetries:     *jobRetries,
+		Cluster:        clusterCfg,
 	})
 	if err != nil {
 		return err

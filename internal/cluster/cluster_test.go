@@ -1,0 +1,479 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memBackend is an in-memory Backend for unit tests.
+type memBackend struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemBackend() *memBackend { return &memBackend{m: map[string][]byte{}} }
+
+func (b *memBackend) Has(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.m[key]
+	return ok
+}
+
+func (b *memBackend) Store(key string, payload []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = append([]byte(nil), payload...)
+}
+
+func (b *memBackend) Keys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keys := make([]string, 0, len(b.m))
+	for k := range b.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (b *memBackend) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.m[key]
+	return p, ok
+}
+
+// fakePeer is a minimal peer daemon: the two peer endpoints over a
+// memBackend, with injectable misbehavior.
+type fakePeer struct {
+	id      string
+	be      *memBackend
+	digest  string
+	ts      *httptest.Server
+	delay   time.Duration
+	fail500 bool
+	corrupt bool   // serve a checksum-damaged envelope
+	alias   string // answer object fetches with this key instead
+	puts    sync.Map
+}
+
+func newFakePeer(t *testing.T, id, digest string) *fakePeer {
+	t.Helper()
+	p := &fakePeer{id: id, be: newMemBackend(), digest: digest}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathObject, func(w http.ResponseWriter, r *http.Request) {
+		if p.delay > 0 {
+			time.Sleep(p.delay)
+		}
+		if p.fail500 {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			key := r.URL.Query().Get("key")
+			payload, ok := p.be.Get(key)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			envKey := key
+			if p.alias != "" {
+				envKey = p.alias
+			}
+			env := PeerEnvelope{Node: p.id, Key: envKey, Payload: payload}.Encode()
+			if p.corrupt {
+				env[len(env)/2] ^= 0x40
+			}
+			w.Write(env)
+		case http.MethodPut:
+			b, _ := io.ReadAll(r.Body)
+			env, err := DecodePeerEnvelope(b)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			p.be.Store(env.Key, env.Payload)
+			p.puts.Store(env.Key, env.Node)
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	mux.HandleFunc(PathManifest, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"node":%q,"options_digest":%q,"keys":[`, p.id, p.digest)
+		for i, k := range p.be.Keys() {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%q", k)
+		}
+		io.WriteString(w, "]}")
+	})
+	p.ts = httptest.NewServer(mux)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func (p *fakePeer) addr() string { return strings.TrimPrefix(p.ts.URL, "http://") }
+
+// newTestCluster builds a cluster whose self node is local (backend be) and
+// whose other members are the given fake peers.
+func newTestCluster(t *testing.T, be *memBackend, cfg Config, peers ...*fakePeer) *Cluster {
+	t.Helper()
+	cfg.Self = "self"
+	cfg.Peers = []Peer{{ID: "self", Addr: "127.0.0.1:1"}}
+	for _, p := range peers {
+		cfg.Peers = append(cfg.Peers, Peer{ID: p.id, Addr: p.addr()})
+	}
+	c, err := New(cfg, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// ownedBy finds a key whose first R owners are exactly the wanted IDs, in
+// order — the deterministic way to steer a test key at specific nodes.
+func ownedBy(t *testing.T, r *Ring, n int, want ...string) string {
+	t.Helper()
+	for i := 0; i < 100_000; i++ {
+		key := fmt.Sprintf("probe|%d", i)
+		owners := r.Owners(key, n)
+		if len(owners) != len(want) {
+			continue
+		}
+		match := true
+		for j := range want {
+			if owners[j] != want[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return key
+		}
+	}
+	t.Fatalf("no key found with owners %v", want)
+	return ""
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	be := newMemBackend()
+	two := []Peer{{ID: "a", Addr: "x:1"}, {ID: "b", Addr: "x:2"}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil backend marker", Config{Self: "a", Peers: two}}, // checked below with nil be
+		{"empty self", Config{Peers: two}},
+		{"single member", Config{Self: "a", Peers: two[:1]}},
+		{"self absent", Config{Self: "zz", Peers: two}},
+		{"duplicate ids", Config{Self: "a", Peers: []Peer{{ID: "a", Addr: "x:1"}, {ID: "a", Addr: "x:2"}}}},
+		{"empty peer id", Config{Self: "a", Peers: []Peer{{ID: "a", Addr: "x:1"}, {Addr: "x:2"}}}},
+		{"negative replicas", Config{Self: "a", Peers: two, Replicas: -1}},
+		{"negative fetch timeout", Config{Self: "a", Peers: two, FetchTimeout: -time.Second}},
+		{"negative anti-entropy", Config{Self: "a", Peers: two, AntiEntropy: -time.Second}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			be := be
+			if c.name == "nil backend marker" {
+				if _, err := New(c.cfg, nil); err == nil {
+					t.Fatal("nil backend accepted")
+				}
+				return
+			}
+			if cl, err := New(c.cfg, be); err == nil {
+				cl.Close()
+				t.Fatalf("invalid config accepted: %+v", c.cfg)
+			}
+		})
+	}
+	// Replicas beyond the member count clamps rather than failing.
+	cl, err := New(Config{Self: "a", Peers: two, Replicas: 9}, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Replicas() != 2 {
+		t.Fatalf("replicas clamped to %d, want 2", cl.Replicas())
+	}
+}
+
+func TestFetchReadThrough(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "d1")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be, Config{Replicas: 2, OptionsDigest: "d1"}, p1, p2)
+
+	key := ownedBy(t, c.Ring(), 2, "p1", "p2")
+	p1.be.Store(key, []byte("payload-1"))
+
+	payload, from, ok := c.Fetch(context.Background(), key)
+	if !ok || from != "p1" || string(payload) != "payload-1" {
+		t.Fatalf("Fetch = %q from %q ok=%v, want payload-1 from p1", payload, from, ok)
+	}
+	if m := c.Metrics(); m.PeerHits != 1 || m.PeerErrors != 0 {
+		t.Fatalf("metrics %+v, want 1 hit 0 errors", m)
+	}
+
+	// A key nobody has falls through as a miss, not an error.
+	if _, _, ok := c.Fetch(context.Background(), key+"-absent"); ok {
+		t.Fatal("Fetch of absent key reported ok")
+	}
+	if m := c.Metrics(); m.PeerMisses == 0 {
+		t.Fatalf("metrics %+v, want a recorded miss", m)
+	}
+}
+
+func TestFetchFailsOverToSecondOwner(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "d1")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be, Config{Replicas: 2, OptionsDigest: "d1"}, p1, p2)
+
+	key := ownedBy(t, c.Ring(), 2, "p1", "p2")
+	payload := []byte("replicated")
+	p1.be.Store(key, payload)
+	p2.be.Store(key, payload)
+	p1.fail500 = true
+
+	got, from, ok := c.Fetch(context.Background(), key)
+	if !ok || from != "p2" || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = %q from %q ok=%v, want failover to p2", got, from, ok)
+	}
+	if m := c.Metrics(); m.PeerErrors != 1 || m.PeerHits != 1 {
+		t.Fatalf("metrics %+v, want 1 error (p1) and 1 hit (p2)", m)
+	}
+}
+
+func TestFetchHedgesSlowOwner(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "d1")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be,
+		Config{Replicas: 2, OptionsDigest: "d1", HedgeAfter: 5 * time.Millisecond}, p1, p2)
+
+	key := ownedBy(t, c.Ring(), 2, "p1", "p2")
+	payload := []byte("replicated")
+	p1.be.Store(key, payload)
+	p2.be.Store(key, payload)
+	p1.delay = 300 * time.Millisecond // way past the hedge threshold
+
+	start := time.Now()
+	got, from, ok := c.Fetch(context.Background(), key)
+	if !ok || from != "p2" || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = %q from %q ok=%v, want hedged answer from p2", got, from, ok)
+	}
+	if elapsed := time.Since(start); elapsed >= p1.delay {
+		t.Errorf("hedged fetch took %v, should beat the slow owner's %v", elapsed, p1.delay)
+	}
+	if m := c.Metrics(); m.Hedges != 1 {
+		t.Fatalf("metrics %+v, want exactly 1 hedge", m)
+	}
+}
+
+func TestFetchRejectsCorruptAndAliasedEnvelopes(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "d1")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be, Config{Replicas: 2, OptionsDigest: "d1"}, p1, p2)
+
+	key := ownedBy(t, c.Ring(), 2, "p1", "p2")
+	p1.be.Store(key, []byte("good"))
+	p1.corrupt = true
+
+	// Only p1 has the object and it serves damaged bytes: the fetch must
+	// fail verification and report a miss, never return the corrupt payload.
+	if payload, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatalf("corrupt envelope served as %q", payload)
+	}
+	if m := c.Metrics(); m.PeerErrors == 0 {
+		t.Fatalf("metrics %+v, want the corruption counted as a peer error", m)
+	}
+
+	// An aliased answer (right checksum, wrong key) is equally rejected.
+	p1.corrupt = false
+	p1.alias = "some|other|key"
+	if payload, _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatalf("aliased envelope served as %q", payload)
+	}
+}
+
+func TestReplicatePushesToOwners(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "d1")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be, Config{Replicas: 2, OptionsDigest: "d1"}, p1, p2)
+
+	key := ownedBy(t, c.Ring(), 2, "p1", "p2")
+	payload := []byte(`{"fig":8}`)
+	c.Replicate(key, payload)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.FlushReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*fakePeer{p1, p2} {
+		got, ok := p.be.Get(key)
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("peer %s has %q ok=%v after replication, want %q", p.id, got, ok, payload)
+		}
+		if origin, _ := p.puts.Load(key); origin != "self" {
+			t.Fatalf("peer %s saw push from %v, want self", p.id, origin)
+		}
+	}
+	if m := c.Metrics(); m.ReplPushed != 2 || m.ReplErrors != 0 || m.ReplQueued != 0 {
+		t.Fatalf("metrics %+v, want 2 pushes, 0 errors, empty queue", m)
+	}
+
+	// A key owned by self plus one peer pushes exactly once.
+	selfKey := ownedBy(t, c.Ring(), 2, "self", "p2")
+	c.Replicate(selfKey, payload)
+	if err := c.FlushReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p1.be.Get(selfKey); ok {
+		t.Fatal("non-owner p1 received the push")
+	}
+	if got, ok := p2.be.Get(selfKey); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("owner p2 has %q ok=%v, want the replicated payload", got, ok)
+	}
+}
+
+func TestSweepPullsOwnedKeysOnly(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "d1")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be, Config{Replicas: 2, OptionsDigest: "d1"}, p1, p2)
+
+	owned := ownedBy(t, c.Ring(), 2, "self", "p1")
+	notOwned := ownedBy(t, c.Ring(), 2, "p1", "p2")
+	already := ownedBy(t, c.Ring(), 2, "self", "p2")
+	p1.be.Store(owned, []byte("owned-payload"))
+	p1.be.Store(notOwned, []byte("not-owned"))
+	p2.be.Store(already, []byte("already-have"))
+	be.Store(already, []byte("already-have"))
+
+	pulled, err := c.SweepNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulled != 1 {
+		t.Fatalf("sweep pulled %d objects, want exactly the 1 owned+missing key", pulled)
+	}
+	if got, ok := be.Get(owned); !ok || string(got) != "owned-payload" {
+		t.Fatalf("backend has %q ok=%v after sweep", got, ok)
+	}
+	if be.Has(notOwned) {
+		t.Fatal("sweep pulled a key this node does not own")
+	}
+	if m := c.Metrics(); m.AESweeps != 1 || m.AEPulled != 1 || m.AEErrors != 0 {
+		t.Fatalf("metrics %+v, want 1 sweep, 1 pull, 0 errors", m)
+	}
+}
+
+func TestSweepRefusesDigestMismatch(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "OTHER-DIGEST")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be, Config{Replicas: 2, OptionsDigest: "d1"}, p1, p2)
+
+	key := ownedBy(t, c.Ring(), 2, "self", "p1")
+	p1.be.Store(key, []byte("from-wrong-options"))
+
+	pulled, err := c.SweepNow(context.Background())
+	if err == nil {
+		t.Fatal("sweep over a digest-mismatched peer reported no error")
+	}
+	if pulled != 0 || be.Has(key) {
+		t.Fatalf("sweep pulled %d objects from a mismatched peer", pulled)
+	}
+	if m := c.Metrics(); m.AEErrors == 0 {
+		t.Fatalf("metrics %+v, want the mismatch counted", m)
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	p1 := newFakePeer(t, "p1", "d1")
+	p2 := newFakePeer(t, "p2", "d1")
+	be := newMemBackend()
+	c := newTestCluster(t, be, Config{Replicas: 2, OptionsDigest: "d1"}, p1, p2)
+
+	st := c.Status()
+	if st.Self != "self" || st.Replicas != 2 || st.VNodes != DefaultVNodes || st.OptionsDigest != "d1" {
+		t.Fatalf("status header %+v", st)
+	}
+	if len(st.Peers) != 3 {
+		t.Fatalf("status lists %d members, want 3", len(st.Peers))
+	}
+	if !sort.SliceIsSorted(st.Peers, func(i, j int) bool { return st.Peers[i].ID < st.Peers[j].ID }) {
+		t.Fatal("status peers not sorted by ID")
+	}
+	total := 0.0
+	for _, p := range st.Peers {
+		total += p.Ownership
+		if p.ID == "self" && (!p.Self || !p.Healthy) {
+			t.Fatalf("self row %+v", p)
+		}
+		if p.ID != "self" && p.Self {
+			t.Fatalf("peer row %+v marked self", p)
+		}
+	}
+	if total < 0.999999 || total > 1.000001 {
+		t.Fatalf("ownership shares sum to %v, want 1", total)
+	}
+
+	// Repeated failures flip a peer unhealthy; one success revives it.
+	p1.fail500 = true
+	key := ownedBy(t, c.Ring(), 2, "p1", "p2")
+	p1.be.Store(key, []byte("x"))
+	p2.be.Store(key, []byte("x"))
+	for i := 0; i < 3; i++ {
+		c.Fetch(context.Background(), key)
+	}
+	for _, p := range c.Status().Peers {
+		if p.ID == "p1" && p.Healthy {
+			t.Fatal("p1 still healthy after 3 consecutive failures")
+		}
+		if p.ID == "p1" && p.LastError == "" {
+			t.Fatal("unhealthy p1 has no recorded error")
+		}
+	}
+	// Fetches prefer healthy owners, so the down peer is revived by the next
+	// anti-entropy sweep's successful manifest pull, not by a fetch.
+	p1.fail500 = false
+	if _, err := c.SweepNow(context.Background()); err != nil {
+		t.Fatalf("sweep after recovery: %v", err)
+	}
+	for _, p := range c.Status().Peers {
+		if p.ID == "p1" && !p.Healthy {
+			t.Fatal("p1 not revived by a successful sweep")
+		}
+	}
+}
+
+func TestManifestLocal(t *testing.T) {
+	be := newMemBackend()
+	be.Store("b-key", []byte("2"))
+	be.Store("a-key", []byte("1"))
+	c := newTestCluster(t, be, Config{OptionsDigest: "d1"},
+		newFakePeer(t, "p1", "d1"))
+	man := c.ManifestLocal()
+	if man.Node != "self" || man.OptionsDigest != "d1" {
+		t.Fatalf("manifest header %+v", man)
+	}
+	if len(man.Keys) != 2 || man.Keys[0] != "a-key" || man.Keys[1] != "b-key" {
+		t.Fatalf("manifest keys %v, want sorted [a-key b-key]", man.Keys)
+	}
+}

@@ -1,0 +1,122 @@
+package clustertest
+
+// Deterministic fault injection for the in-process cluster. Every peer
+// request a member makes travels through a faultTransport keyed by the
+// sending node, which consults one shared FaultNet before letting the
+// request touch the real loopback connection. Faults are therefore exact
+// and instantaneous: Partition(a, b) fails the very next a→b request, with
+// no iptables, no timing dependence, and full -race visibility.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"nanocache/internal/cluster"
+)
+
+// FaultNet is the cluster's programmable network. All methods are safe for
+// concurrent use — scenarios flip faults while requests are in flight.
+type FaultNet struct {
+	h     *Harness
+	peers []cluster.Peer
+
+	mu      sync.Mutex
+	blocked map[string]bool          // "from|to" node-ID pairs, one direction
+	delay   map[string]time.Duration // "from|to" added latency
+}
+
+func newFaultNet(h *Harness) *FaultNet {
+	return &FaultNet{
+		h:       h,
+		blocked: make(map[string]bool),
+		delay:   make(map[string]time.Duration),
+	}
+}
+
+func edge(from, to string) string { return from + "|" + to }
+
+// Partition blocks traffic between a and b in both directions.
+func (f *FaultNet) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked[edge(a, b)] = true
+	f.blocked[edge(b, a)] = true
+}
+
+// Isolate partitions node id from every other member.
+func (f *FaultNet) Isolate(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, p := range f.peers {
+		if p.ID != id {
+			f.blocked[edge(id, p.ID)] = true
+			f.blocked[edge(p.ID, id)] = true
+		}
+	}
+}
+
+// Heal removes the partition between a and b.
+func (f *FaultNet) Heal(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.blocked, edge(a, b))
+	delete(f.blocked, edge(b, a))
+}
+
+// HealAll clears every partition and delay.
+func (f *FaultNet) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked = make(map[string]bool)
+	f.delay = make(map[string]time.Duration)
+}
+
+// Delay adds fixed latency to from→to requests (one direction). Hedging
+// tests slow the first owner down and watch the second win.
+func (f *FaultNet) Delay(from, to string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay[edge(from, to)] = d
+}
+
+// nodeByAddr maps a dialed host:port back to the member it belongs to.
+func (f *FaultNet) nodeByAddr(addr string) string {
+	for _, p := range f.peers {
+		if p.Addr == addr {
+			return p.ID
+		}
+	}
+	return ""
+}
+
+// transport builds the RoundTripper node from's cluster engine dials
+// through.
+func (f *FaultNet) transport(from string) http.RoundTripper {
+	return &faultTransport{net: f, from: from}
+}
+
+type faultTransport struct {
+	net  *FaultNet
+	from string
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	to := t.net.nodeByAddr(req.URL.Host)
+	t.net.mu.Lock()
+	blocked := t.net.blocked[edge(t.from, to)]
+	delay := t.net.delay[edge(t.from, to)]
+	t.net.mu.Unlock()
+	if blocked {
+		return nil, fmt.Errorf("clustertest: partition blocks %s -> %s", t.from, to)
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	return t.net.h.base.RoundTrip(req)
+}

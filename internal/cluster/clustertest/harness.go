@@ -1,0 +1,460 @@
+// Package clustertest boots whole nanocached clusters inside one test
+// process: N daemons on loopback ports sharing nothing but the wire, each
+// with its own LRU, durable store and cluster engine, plus deterministic
+// fault injection between them. Scenarios kill a node mid-sweep, partition
+// peers, corrupt replicated objects on disk — and then assert the
+// cluster-level contracts the paper-reproduction serving tier promises:
+// byte-identical results versus a single node, zero recompute when a result
+// already exists anywhere in the cluster, convergence after a rejoin, and
+// no goroutine leaks once everything shuts down.
+//
+// The harness is in-process on purpose. experiments.RunsExecuted is a
+// process-global counter, so "zero recompute across the whole cluster" is
+// one subtraction; goroutine accounting covers every node at once; and the
+// race detector sees all three daemons' internals in a single run.
+package clustertest
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"nanocache/internal/cluster"
+	"nanocache/internal/experiments"
+	"nanocache/internal/server"
+)
+
+// Config shapes a harness cluster.
+type Config struct {
+	// Nodes is the member count (0 = 3).
+	Nodes int
+	// Replicas is the per-key owner count (0 = cluster default 2).
+	Replicas int
+	// Options is the lab configuration every node serves (zero value =
+	// TinyOptions, the smallest real simulation).
+	Options experiments.Options
+	// HedgeAfter is the second-owner fetch threshold (0 = 5ms: tests want
+	// hedges to actually fire against injected delays).
+	HedgeAfter time.Duration
+	// AntiEntropy enables each node's background sweep loop. Leave 0 in
+	// tests that drive SweepNow explicitly — deterministic beats periodic.
+	AntiEntropy time.Duration
+	// CacheEntries bounds each node's LRU (0 = server default).
+	CacheEntries int
+}
+
+// TinyOptions is the smallest lab that still runs real architectural
+// simulations: one benchmark, two thresholds, 1500 instructions per run.
+// Cold misses are observable (RunsExecuted moves) but cost milliseconds.
+func TinyOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Instructions = 1500
+	o.Benchmarks = []string{"gcc"}
+	o.Thresholds = []uint64{8, 32}
+	o.ResizeTolerances = []float64{0.01}
+	o.ResizeInterval = 1000
+	o.Parallelism = 2
+	return o
+}
+
+// Harness is a running in-process cluster.
+type Harness struct {
+	t     *testing.T
+	cfg   Config
+	Net   *FaultNet
+	nodes []*Node
+	hc    *http.Client
+	base  *http.Transport // peer-side transport, drained at shutdown
+}
+
+// Node is one member daemon. Kill and Restart flip it between alive and
+// dead; the store directory survives both, like a real machine's disk.
+type Node struct {
+	ID   string
+	Addr string
+	dir  string
+	h    *Harness
+
+	mu   sync.Mutex
+	srv  *server.Server
+	hs   *http.Server
+	down bool
+}
+
+// New boots a cluster and registers full teardown (including a goroutine
+// leak check) with t.Cleanup.
+func New(t *testing.T, cfg Config) *Harness {
+	t.Helper()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Options.Instructions == 0 {
+		cfg.Options = TinyOptions()
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 5 * time.Millisecond
+	}
+	h := &Harness{
+		t:    t,
+		cfg:  cfg,
+		base: &http.Transport{},
+		hc: &http.Client{
+			// The test's own requests must not hold idle connections to a
+			// node we are about to kill, or linger in the goroutine count.
+			Transport: &http.Transport{DisableKeepAlives: true},
+			Timeout:   60 * time.Second,
+		},
+	}
+	h.Net = newFaultNet(h)
+
+	// The leak check registers first so LIFO cleanup runs it last, after
+	// every node and transport is down.
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() { h.checkGoroutines(baseline) })
+	t.Cleanup(h.Shutdown)
+
+	// Listeners come first: the full peer list (with real ports) must exist
+	// before any member boots.
+	lns := make([]net.Listener, cfg.Nodes)
+	peers := make([]cluster.Peer, cfg.Nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		id := fmt.Sprintf("n%d", i+1)
+		peers[i] = cluster.Peer{ID: id, Addr: ln.Addr().String()}
+		h.nodes = append(h.nodes, &Node{
+			ID:   id,
+			Addr: ln.Addr().String(),
+			dir:  filepath.Join(t.TempDir(), id),
+			h:    h,
+		})
+	}
+	h.Net.peers = peers
+	for i, n := range h.nodes {
+		if err := n.boot(lns[i], peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// serverConfig builds one member's full daemon configuration.
+func (n *Node) serverConfig(peers []cluster.Peer) server.Config {
+	return server.Config{
+		Options:      n.h.cfg.Options,
+		CacheEntries: n.h.cfg.CacheEntries,
+		StoreDir:     n.dir,
+		Cluster: &cluster.Config{
+			Self:        n.ID,
+			Peers:       peers,
+			Replicas:    n.h.cfg.Replicas,
+			HedgeAfter:  n.h.cfg.HedgeAfter,
+			AntiEntropy: n.h.cfg.AntiEntropy,
+			// Short enough that a partitioned peer fails over within a test,
+			// long enough for a loaded -race run to answer.
+			FetchTimeout: 5 * time.Second,
+			Transport:    n.h.Net.transport(n.ID),
+		},
+	}
+}
+
+// boot starts the node's daemon on ln.
+func (n *Node) boot(ln net.Listener, peers []cluster.Peer) error {
+	srv, err := server.New(n.serverConfig(peers))
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	n.mu.Lock()
+	n.srv, n.hs, n.down = srv, hs, false
+	n.mu.Unlock()
+	return nil
+}
+
+// Server exposes the node's live server (nil while killed).
+func (n *Node) Server() *server.Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return nil
+	}
+	return n.srv
+}
+
+// Kill stops the node abruptly: the listener and every open connection
+// close immediately (in-flight peer requests see resets, like a process
+// death), then the daemon's background goroutines are reaped so the leak
+// check stays meaningful. The store directory survives.
+func (n *Node) Kill() {
+	n.h.t.Helper()
+	n.mu.Lock()
+	srv, hs, wasDown := n.srv, n.hs, n.down
+	n.srv, n.hs, n.down = nil, nil, true
+	n.mu.Unlock()
+	if wasDown {
+		return
+	}
+	hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		n.h.t.Logf("clustertest: killing %s: %v", n.ID, err)
+	}
+}
+
+// Restart reboots a killed node on its original address with its surviving
+// store directory — a rejoin, not a fresh member.
+func (n *Node) Restart() {
+	n.h.t.Helper()
+	n.mu.Lock()
+	down := n.down
+	n.mu.Unlock()
+	if !down {
+		n.h.t.Fatalf("clustertest: Restart of running node %s", n.ID)
+	}
+	// The kernel can briefly hold the port after an abrupt close.
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", n.Addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		n.h.t.Fatalf("clustertest: rebinding %s on %s: %v", n.ID, n.Addr, err)
+	}
+	if err := n.boot(ln, n.h.Net.peers); err != nil {
+		n.h.t.Fatalf("clustertest: restarting %s: %v", n.ID, err)
+	}
+}
+
+// WipeStore deletes the node's durable store directory (must be killed
+// first): a rejoin after disk loss, the worst-case anti-entropy scenario.
+func (n *Node) WipeStore() {
+	n.h.t.Helper()
+	n.mu.Lock()
+	down := n.down
+	n.mu.Unlock()
+	if !down {
+		n.h.t.Fatalf("clustertest: WipeStore of running node %s", n.ID)
+	}
+	if err := os.RemoveAll(n.dir); err != nil {
+		n.h.t.Fatal(err)
+	}
+}
+
+// CorruptStored flips one payload byte in the node's on-disk copy of key,
+// reporting whether a copy existed. The node keeps running — the damage
+// surfaces on the next read, exactly like real bit rot.
+func (n *Node) CorruptStored(key string) bool {
+	n.h.t.Helper()
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	path := filepath.Join(n.dir, "objects", name[:2], name+".ncr")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		n.h.t.Fatal(err)
+	}
+	return true
+}
+
+// Node returns member i (zero-based).
+func (h *Harness) Node(i int) *Node { return h.nodes[i] }
+
+// Nodes returns every member.
+func (h *Harness) Nodes() []*Node { return h.nodes }
+
+// Get fetches path from node i and returns the body and the X-Nanocache
+// disposition. Non-200 responses fail the test.
+func (h *Harness) Get(i int, path string) (body []byte, disposition string) {
+	h.t.Helper()
+	resp, err := h.hc.Get("http://" + h.nodes[i].Addr + path)
+	if err != nil {
+		h.t.Fatalf("clustertest: GET %s from %s: %v", path, h.nodes[i].ID, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		h.t.Fatalf("clustertest: GET %s from %s: %s\n%s", path, h.nodes[i].ID, resp.Status, b)
+	}
+	return b, resp.Header.Get("X-Nanocache")
+}
+
+// FlushReplication waits for node i's write-behind replication queue to
+// drain, making "the owners have their copies" a fact rather than a race.
+func (h *Harness) FlushReplication(i int) {
+	h.t.Helper()
+	s := h.nodes[i].Server()
+	if s == nil {
+		h.t.Fatalf("clustertest: FlushReplication on killed node %s", h.nodes[i].ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Cluster().FlushReplication(ctx); err != nil {
+		h.t.Fatalf("clustertest: flushing %s replication: %v", h.nodes[i].ID, err)
+	}
+}
+
+// OwnerSplit partitions the members by ownership of key: owners in ring
+// order, then everyone else. Tests use it to aim faults at exactly the
+// right node ("kill the computing owner", "ask the non-owner").
+func (h *Harness) OwnerSplit(key string) (owners, others []*Node) {
+	h.t.Helper()
+	var ring *cluster.Ring
+	var replicas int
+	for _, n := range h.nodes {
+		if s := n.Server(); s != nil {
+			ring, replicas = s.Cluster().Ring(), s.Cluster().Replicas()
+			break
+		}
+	}
+	if ring == nil {
+		h.t.Fatal("clustertest: OwnerSplit with every node killed")
+	}
+	byID := make(map[string]*Node, len(h.nodes))
+	for _, n := range h.nodes {
+		byID[n.ID] = n
+	}
+	ownerIDs := ring.Owners(key, replicas)
+	owned := make(map[string]bool, len(ownerIDs))
+	for _, id := range ownerIDs {
+		owners = append(owners, byID[id])
+		owned[id] = true
+	}
+	for _, n := range h.nodes {
+		if !owned[n.ID] {
+			others = append(others, n)
+		}
+	}
+	return owners, others
+}
+
+// FigureKey rebuilds the cluster-wide cache key for a parameterless figure
+// endpoint: the serving layer's "figure|<name>@<options digest>".
+func (h *Harness) FigureKey(figure string) string {
+	h.t.Helper()
+	for _, n := range h.nodes {
+		if s := n.Server(); s != nil {
+			return "figure|" + figure + "@" + s.OptionsDigest()
+		}
+	}
+	h.t.Fatal("clustertest: FigureKey with every node killed")
+	return ""
+}
+
+// Shutdown kills every node and drains the shared transports. Idempotent;
+// registered with t.Cleanup by New.
+func (h *Harness) Shutdown() {
+	for _, n := range h.nodes {
+		n.Kill()
+	}
+	h.base.CloseIdleConnections()
+	if t, ok := h.hc.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// checkGoroutines polls until the goroutine count returns to the pre-boot
+// baseline (plus a little slack for the runtime's own background workers).
+// A cluster that leaks even one goroutine per node per request would fail
+// this within a handful of test cases.
+func (h *Harness) checkGoroutines(baseline int) {
+	const slack = 5
+	deadline := time.Now().Add(10 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		h.base.CloseIdleConnections()
+		now = runtime.NumGoroutine()
+		if now <= baseline+slack {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	h.t.Errorf("clustertest: goroutine leak: %d running, baseline %d (+%d slack)\n%s",
+		now, baseline, slack, truncateStack(string(buf)))
+}
+
+// truncateStack keeps leak reports readable.
+func truncateStack(s string) string {
+	const max = 8192
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "\n... (truncated)"
+}
+
+// SingleNodeReference computes the authoritative answer for path on a
+// standalone, cluster-free server with the same options — the bytes every
+// cluster member must agree with.
+func SingleNodeReference(t *testing.T, opts experiments.Options, path string) []byte {
+	t.Helper()
+	if opts.Instructions == 0 {
+		opts = TinyOptions()
+	}
+	s, err := server.New(server.Config{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	resp, err := (&http.Client{Transport: &http.Transport{DisableKeepAlives: true}}).
+		Get("http://" + ln.Addr().String() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clustertest: reference GET %s: %s\n%s", path, resp.Status, b)
+	}
+	return b
+}
+
+// IndexOf locates a node in the harness by pointer (helper for tests that
+// work with OwnerSplit results but call index-based harness methods).
+func (h *Harness) IndexOf(n *Node) int {
+	for i, m := range h.nodes {
+		if m == n {
+			return i
+		}
+	}
+	h.t.Fatalf("clustertest: node %s not in harness", n.ID)
+	return -1
+}

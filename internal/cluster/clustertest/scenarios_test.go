@@ -1,0 +1,324 @@
+package clustertest
+
+// The cluster-level contract, proven under fault injection. Every scenario
+// asserts some combination of the three promises the peer tier makes:
+//
+//  1. Byte identity: any member, under any survivable fault, serves exactly
+//     the bytes a standalone daemon with the same options would serve.
+//  2. Zero recompute: once a result exists anywhere in the cluster, no
+//     member pays for the simulation again (experiments.RunsExecuted is
+//     process-global, so this is a single subtraction across all nodes).
+//  3. Convergence: a node that rejoins — even with a wiped or corrupted
+//     store — returns to serving correct bytes via anti-entropy, without
+//     ever serving stale or damaged objects in between.
+//
+// Run with -race: the harness hosts every daemon in-process specifically so
+// the detector sees all of them at once.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+)
+
+const figPath = "/v1/figures/fig3"
+
+// warmOn computes fig3 on the given node and proves it was a genuine cold
+// miss (a real architectural run happened here and nowhere else yet).
+func warmOn(t *testing.T, h *Harness, n *Node, reference []byte) {
+	t.Helper()
+	before := experiments.RunsExecuted()
+	body, disp := h.Get(h.IndexOf(n), figPath)
+	if disp != "miss" {
+		t.Fatalf("warming %s: disposition %q, want miss", n.ID, disp)
+	}
+	if experiments.RunsExecuted() == before {
+		t.Fatalf("warming %s moved no architectural runs — not a cold figure?", n.ID)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Fatalf("warming %s: result differs from single-node reference", n.ID)
+	}
+}
+
+// TestKillOneNodeByteIdenticalZeroRecompute is the acceptance scenario: warm
+// one figure on the owner that computes it, kill that node, and prove the
+// surviving pair still serves byte-identical results from the peer tier —
+// the non-owner via a read-through ("peer"), the replica owner locally —
+// with zero further architectural runs anywhere in the cluster.
+func TestKillOneNodeByteIdenticalZeroRecompute(t *testing.T) {
+	reference := SingleNodeReference(t, experiments.Options{}, figPath)
+	h := New(t, Config{})
+	owners, others := h.OwnerSplit(h.FigureKey("fig3"))
+	computer, replica, bystander := owners[0], owners[1], others[0]
+
+	warmOn(t, h, computer, reference)
+	h.FlushReplication(h.IndexOf(computer))
+	computer.Kill()
+
+	base := experiments.RunsExecuted()
+	body, disp := h.Get(h.IndexOf(bystander), figPath)
+	if disp != "peer" {
+		t.Errorf("bystander %s served %q, want peer (read-through from %s)",
+			bystander.ID, disp, replica.ID)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Errorf("bystander %s served bytes that differ from the single-node reference", bystander.ID)
+	}
+	body, disp = h.Get(h.IndexOf(replica), figPath)
+	if disp != "hit" && disp != "store" {
+		t.Errorf("replica %s served %q, want hit or store (its replicated copy)", replica.ID, disp)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Errorf("replica %s served bytes that differ from the single-node reference", replica.ID)
+	}
+	if got := experiments.RunsExecuted(); got != base {
+		t.Errorf("cluster recomputed: %d architectural runs during peer-served reads", got-base)
+	}
+	// The read-through result is now resident: the next request is a plain
+	// local hit, still without recompute.
+	if _, disp := h.Get(h.IndexOf(bystander), figPath); disp != "hit" {
+		t.Errorf("bystander %s second read: %q, want hit", bystander.ID, disp)
+	}
+	if got := experiments.RunsExecuted(); got != base {
+		t.Errorf("second read recomputed: %d runs", got-base)
+	}
+}
+
+// TestRejoinConvergesViaAntiEntropy kills a replica owner, computes the
+// result while it is dead (so it never sees the replication push), wipes its
+// disk, and rejoins it. One anti-entropy sweep must pull the owned key back
+// — zero recompute — after which the rejoined node serves reference bytes
+// locally.
+func TestRejoinConvergesViaAntiEntropy(t *testing.T) {
+	reference := SingleNodeReference(t, experiments.Options{}, figPath)
+	h := New(t, Config{})
+	owners, _ := h.OwnerSplit(h.FigureKey("fig3"))
+	computer, replica := owners[0], owners[1]
+
+	replica.Kill()
+	warmOn(t, h, computer, reference)
+	h.FlushReplication(h.IndexOf(computer)) // push to the dead peer fails; that's the point
+	replica.WipeStore()
+	replica.Restart()
+
+	base := experiments.RunsExecuted()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	pulled, err := replica.Server().Cluster().SweepNow(ctx)
+	if err != nil {
+		t.Fatalf("rejoin sweep: %v", err)
+	}
+	if pulled < 1 {
+		t.Fatalf("rejoin sweep pulled %d objects, want >= 1", pulled)
+	}
+	body, disp := h.Get(h.IndexOf(replica), figPath)
+	if disp != "hit" && disp != "store" {
+		t.Errorf("rejoined %s served %q, want hit or store (converged copy)", replica.ID, disp)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Errorf("rejoined %s serves bytes that differ from the reference", replica.ID)
+	}
+	if got := experiments.RunsExecuted(); got != base {
+		t.Errorf("rejoin recomputed: %d architectural runs, want 0", got-base)
+	}
+	if m := replica.Server().Metrics(); m.Cluster.AEPulled < 1 {
+		t.Errorf("rejoined node reports %d anti-entropy pulls, want >= 1", m.Cluster.AEPulled)
+	}
+}
+
+// TestPartitionFailsOverToSecondOwner blocks the requester's path to the
+// first owner and proves the read-through fails over to the second, still
+// byte-identical, still zero recompute.
+func TestPartitionFailsOverToSecondOwner(t *testing.T) {
+	reference := SingleNodeReference(t, experiments.Options{}, figPath)
+	h := New(t, Config{})
+	owners, others := h.OwnerSplit(h.FigureKey("fig3"))
+	bystander := others[0]
+
+	warmOn(t, h, owners[0], reference)
+	h.FlushReplication(h.IndexOf(owners[0]))
+	h.Net.Partition(bystander.ID, owners[0].ID)
+
+	base := experiments.RunsExecuted()
+	body, disp := h.Get(h.IndexOf(bystander), figPath)
+	if disp != "peer" {
+		t.Errorf("partitioned bystander served %q, want peer (via %s)", disp, owners[1].ID)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Error("failover read-through served bytes that differ from the reference")
+	}
+	if got := experiments.RunsExecuted(); got != base {
+		t.Errorf("failover recomputed: %d runs, want 0", got-base)
+	}
+	if m := bystander.Server().Metrics(); m.Cluster.PeerErrors < 1 {
+		t.Errorf("bystander saw %d peer errors, want >= 1 (the blocked first owner)",
+			m.Cluster.PeerErrors)
+	}
+}
+
+// TestHedgedFetchBeatsSlowOwner delays the first owner instead of killing
+// it: the hedge timer must launch the second owner and win long before the
+// first answers.
+func TestHedgedFetchBeatsSlowOwner(t *testing.T) {
+	reference := SingleNodeReference(t, experiments.Options{}, figPath)
+	h := New(t, Config{})
+	owners, others := h.OwnerSplit(h.FigureKey("fig3"))
+	bystander := others[0]
+
+	warmOn(t, h, owners[0], reference)
+	h.FlushReplication(h.IndexOf(owners[0]))
+	const slow = 2 * time.Second
+	h.Net.Delay(bystander.ID, owners[0].ID, slow)
+
+	start := time.Now()
+	body, disp := h.Get(h.IndexOf(bystander), figPath)
+	elapsed := time.Since(start)
+	if disp != "peer" {
+		t.Errorf("hedged fetch served %q, want peer", disp)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Error("hedged fetch served bytes that differ from the reference")
+	}
+	if elapsed >= slow {
+		t.Errorf("hedged fetch took %v — the %v-delayed first owner was waited out", elapsed, slow)
+	}
+	if m := bystander.Server().Metrics(); m.Cluster.Hedges < 1 {
+		t.Errorf("bystander launched %d hedges, want >= 1", m.Cluster.Hedges)
+	}
+}
+
+// TestCorruptReplicaNeverServed rots the replicated object on the only
+// reachable owner's disk. The damaged copy must never cross the wire as a
+// result: the owner's store quarantines it, the requester sees a clean miss,
+// recomputes, and still serves reference bytes. Healing the partition and
+// sweeping then repairs the rotted owner from the healthy one.
+func TestCorruptReplicaNeverServed(t *testing.T) {
+	reference := SingleNodeReference(t, experiments.Options{}, figPath)
+	h := New(t, Config{})
+	key := h.FigureKey("fig3")
+	owners, others := h.OwnerSplit(key)
+	computer, replica, bystander := owners[0], owners[1], others[0]
+
+	warmOn(t, h, computer, reference)
+	h.FlushReplication(h.IndexOf(computer))
+
+	// Restart the replica so its LRU is empty (only the rotted disk copy
+	// remains), then flip a payload byte in that copy.
+	replica.Kill()
+	replica.Restart()
+	if !replica.CorruptStored(key) {
+		t.Fatalf("replica %s has no stored copy of %s to corrupt", replica.ID, key)
+	}
+	// The bystander can only reach the rotted replica.
+	h.Net.Partition(bystander.ID, computer.ID)
+
+	base := experiments.RunsExecuted()
+	body, disp := h.Get(h.IndexOf(bystander), figPath)
+	if disp != "miss" {
+		t.Errorf("bystander served %q, want miss (corrupt copy must read as absent)", disp)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Error("bystander served bytes that differ from the reference — corruption leaked")
+	}
+	if got := experiments.RunsExecuted(); got == base {
+		t.Error("no recompute happened — where did the bytes come from?")
+	}
+	if m := replica.Server().Metrics(); m.StoreQuarantined < 1 {
+		t.Errorf("rotted replica quarantined %d objects, want >= 1", m.StoreQuarantined)
+	}
+
+	// Repair arc: heal the network and let the rotted owner pull a clean
+	// copy from the computing owner via anti-entropy.
+	h.Net.HealAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := replica.Server().Cluster().SweepNow(ctx); err != nil {
+		t.Fatalf("repair sweep: %v", err)
+	}
+	body, disp = h.Get(h.IndexOf(replica), figPath)
+	if disp != "hit" && disp != "store" {
+		t.Errorf("repaired replica served %q, want hit or store", disp)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Error("repaired replica serves bytes that differ from the reference")
+	}
+}
+
+// TestKillNodeMidSweep kills the sweep's source peer while objects are
+// in flight. The sweep must return promptly with an error — no hang, no
+// panic — and a later sweep against the restarted peer converges.
+func TestKillNodeMidSweep(t *testing.T) {
+	reference := SingleNodeReference(t, experiments.Options{}, figPath)
+	h := New(t, Config{})
+	owners, _ := h.OwnerSplit(h.FigureKey("fig3"))
+	computer, replica := owners[0], owners[1]
+
+	replica.Kill()
+	warmOn(t, h, computer, reference)
+	replica.WipeStore()
+	replica.Restart()
+
+	// Slow the replica's pulls so the kill lands mid-sweep, then cut the
+	// source down while the sweep is dialing it.
+	h.Net.Delay(replica.ID, computer.ID, 200*time.Millisecond)
+	sweepDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		_, err := replica.Server().Cluster().SweepNow(ctx)
+		sweepDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	computer.Kill()
+	select {
+	case <-sweepDone:
+		// Error or not both acceptable: the sweep may have finished the
+		// manifest before the kill. What matters is it returned.
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep hung after its source peer was killed mid-flight")
+	}
+
+	// Convergence after the chaos: restart the source, heal, sweep again.
+	computer.Restart()
+	h.Net.HealAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := replica.Server().Cluster().SweepNow(ctx); err != nil {
+		t.Fatalf("post-restart sweep: %v", err)
+	}
+	body, disp := h.Get(h.IndexOf(replica), figPath)
+	if disp == "miss" {
+		// The mid-sweep round may or may not have landed the object before
+		// the kill; either way the post-restart sweep must have.
+		t.Errorf("replica still misses after convergence sweep (disposition %q)", disp)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Error("post-chaos replica serves bytes that differ from the reference")
+	}
+}
+
+// TestAllNodesAgreeWithSingleNode is the plain-weather baseline: every
+// member serves the same bytes as a standalone daemon, and once one member
+// computes, replication plus read-through keep the rest recompute-free for
+// that key's owners.
+func TestAllNodesAgreeWithSingleNode(t *testing.T) {
+	reference := SingleNodeReference(t, experiments.Options{}, figPath)
+	h := New(t, Config{})
+	for i := range h.Nodes() {
+		body, _ := h.Get(i, figPath)
+		if !bytes.Equal(body, reference) {
+			t.Errorf("node %s disagrees with the single-node reference", h.Node(i).ID)
+		}
+	}
+	// Cheap figures ride the same tiers.
+	cheapRef := SingleNodeReference(t, experiments.Options{}, "/v1/figures/fig2")
+	for i := range h.Nodes() {
+		body, _ := h.Get(i, "/v1/figures/fig2")
+		if !bytes.Equal(body, cheapRef) {
+			t.Errorf("node %s disagrees on fig2", h.Node(i).ID)
+		}
+	}
+}

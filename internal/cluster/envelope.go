@@ -1,0 +1,145 @@
+package cluster
+
+// The peer wire codec. Every object that crosses the cluster — a read-through
+// fetch response, a write-behind replication push, an anti-entropy pull —
+// travels as one of these envelopes, so the receiver can prove three things
+// before trusting a byte: the bytes are intact (trailing SHA-256 over the
+// whole record), the payload really is the key it asked for (the key rides
+// inside the checksummed region, so a confused or malicious peer cannot alias
+// one result onto another's key), and who produced it (the origin node ID,
+// for diagnostics). A corrupt on-disk object on a peer is caught twice: once
+// by the peer's own store envelope on read, and — should a damaged payload
+// ever make it onto the wire — again here at the receiver. Verification
+// failure is a miss, never a served result.
+//
+// Layout (integers little-endian), mirroring the store envelope:
+//
+//	offset  size  field
+//	0       4     magic "NCPW" (NanoCache Peer Wire)
+//	4       4     wire format version (currently 1)
+//	8       4     origin node-id length N
+//	12      N     origin node id (UTF-8)
+//	...     4     key length K
+//	...     K     key (UTF-8)
+//	...     8     payload length P
+//	...     P     payload
+//	...     32    SHA-256 over everything above
+//
+// The codec is round-trip exact and any single-byte mutation or truncation
+// fails decoding (FuzzPeerEnvelope pins both properties).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PeerWireVersion is the current wire format generation. Decoding rejects
+// other versions with ErrWireVersion so a future layout change reads as skew,
+// not corruption.
+const PeerWireVersion = 1
+
+// peerMagic marks a peer wire record.
+var peerMagic = [4]byte{'N', 'C', 'P', 'W'}
+
+// Decode failure modes. ErrWireCorrupt covers structural damage and checksum
+// mismatches; ErrWireVersion covers intact records from another generation.
+var (
+	ErrWireCorrupt = errors.New("cluster: corrupt peer envelope")
+	ErrWireVersion = errors.New("cluster: unsupported peer envelope version")
+)
+
+// peerWireOverhead is the fixed byte cost of wrapping a payload.
+const peerWireOverhead = 4 + 4 + 4 + 4 + 8 + sha256.Size
+
+// MaxEnvelopeBytes bounds how much a peer endpoint will read or accept.
+// Rendered figure payloads are tens of KB; 16 MiB leaves two orders of
+// magnitude of headroom while keeping a misbehaving peer from ballooning
+// the receiver. Shared with the serving layer's replication-push handler.
+const MaxEnvelopeBytes = 16 << 20
+
+const maxPeerEnvelope = MaxEnvelopeBytes
+
+// PeerEnvelope is one decoded peer wire record.
+type PeerEnvelope struct {
+	// Node is the origin node's ID (the peer that served or pushed the
+	// object), for per-peer accounting and diagnostics.
+	Node string
+	// Key is the full cache key the payload belongs to. Receivers must check
+	// it against the key they asked for (fetch) or route it by it (push).
+	Key string
+	// Payload is the rendered result, typically canonical JSON.
+	Payload []byte
+}
+
+// Encode renders the envelope in the wire format, checksum included.
+func (e PeerEnvelope) Encode() []byte {
+	buf := make([]byte, 0, peerWireOverhead+len(e.Node)+len(e.Key)+len(e.Payload))
+	buf = append(buf, peerMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, PeerWireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Node)))
+	buf = append(buf, e.Node...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Key)))
+	buf = append(buf, e.Key...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// DecodePeerEnvelope parses and verifies a wire record. The checksum is
+// verified before any field is trusted, and every length is bounded by the
+// buffer before allocation, so hostile input cannot force a huge allocation
+// or a panic.
+func DecodePeerEnvelope(b []byte) (PeerEnvelope, error) {
+	if len(b) < peerWireOverhead {
+		return PeerEnvelope{}, fmt.Errorf("%w: %d bytes is shorter than the fixed header", ErrWireCorrupt, len(b))
+	}
+	if len(b) > maxPeerEnvelope {
+		return PeerEnvelope{}, fmt.Errorf("%w: %d bytes exceeds the %d-byte bound", ErrWireCorrupt, len(b), maxPeerEnvelope)
+	}
+	if !bytes.Equal(b[:4], peerMagic[:]) {
+		return PeerEnvelope{}, fmt.Errorf("%w: bad magic %q", ErrWireCorrupt, b[:4])
+	}
+	body, sum := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
+	if got := sha256.Sum256(body); !bytes.Equal(got[:], sum) {
+		return PeerEnvelope{}, fmt.Errorf("%w: checksum mismatch", ErrWireCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != PeerWireVersion {
+		return PeerEnvelope{}, fmt.Errorf("%w: version %d (supported: %d)", ErrWireVersion, v, PeerWireVersion)
+	}
+	var e PeerEnvelope
+	rest := body[8:]
+	var err error
+	if e.Node, rest, err = takeWireString(rest, "node id"); err != nil {
+		return PeerEnvelope{}, err
+	}
+	if e.Key, rest, err = takeWireString(rest, "key"); err != nil {
+		return PeerEnvelope{}, err
+	}
+	if len(rest) < 8 {
+		return PeerEnvelope{}, fmt.Errorf("%w: truncated payload length", ErrWireCorrupt)
+	}
+	plen := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	if plen != uint64(len(rest)) {
+		return PeerEnvelope{}, fmt.Errorf("%w: payload length %d, %d bytes remain", ErrWireCorrupt, plen, len(rest))
+	}
+	e.Payload = append([]byte(nil), rest...)
+	return e, nil
+}
+
+// takeWireString pops one length-prefixed string off the front of b.
+func takeWireString(b []byte, what string) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("%w: truncated %s length", ErrWireCorrupt, what)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(n) > uint64(len(b)) {
+		return "", nil, fmt.Errorf("%w: %s length %d exceeds %d remaining bytes", ErrWireCorrupt, what, n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}

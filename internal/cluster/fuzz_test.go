@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzPeerEnvelope drives the peer wire codec from both ends, mirroring the
+// store envelope's contract:
+//
+//   - constructive: any (node, key, payload) tuple must round-trip exactly
+//     through Encode→DecodePeerEnvelope;
+//   - destructive: the same tuple's encoding with one fuzzer-chosen byte
+//     flipped (or truncated) must fail cleanly with ErrWireCorrupt /
+//     ErrWireVersion — a replication push or peer fetch response that was
+//     damaged in flight must never decode into different field values;
+//   - raw garbage (the payload reused as input) must never panic, and any
+//     accidental success must re-encode to the same bytes.
+func FuzzPeerEnvelope(f *testing.F) {
+	f.Add("n1", "figure|fig8|side=d@abcdef", []byte(`{"x":1}`), -1, byte(0))
+	f.Add("", "", []byte{}, 0, byte(0xFF))
+	f.Add("node-with-ñ", "k\x00weird", bytes.Repeat([]byte("p"), 300), 40, byte(1))
+	f.Fuzz(func(t *testing.T, node, key string, payload []byte, flip int, xor byte) {
+		env := PeerEnvelope{Node: node, Key: key, Payload: payload}
+		enc := env.Encode()
+
+		// Constructive: exact round trip.
+		dec, err := DecodePeerEnvelope(enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if dec.Node != node || dec.Key != key || !bytes.Equal(dec.Payload, payload) {
+			t.Fatalf("round trip mismatch: %+v != input", dec)
+		}
+
+		// Destructive: any single mutation must fail verification.
+		if flip >= 0 && len(enc) > 0 {
+			mut := append([]byte(nil), enc...)
+			if flip%2 == 0 {
+				mut = mut[:flip%len(mut)] // truncation
+			} else if xor != 0 {
+				mut[flip%len(mut)] ^= xor // corruption
+			}
+			if !bytes.Equal(mut, enc) {
+				if _, err := DecodePeerEnvelope(mut); err == nil {
+					t.Fatalf("mutated envelope decoded successfully")
+				} else if !errors.Is(err, ErrWireCorrupt) && !errors.Is(err, ErrWireVersion) {
+					t.Fatalf("mutated decode failed with unclassified error: %v", err)
+				}
+			}
+		}
+
+		// Raw garbage must never panic; any success must be stable.
+		if dec2, err := DecodePeerEnvelope(payload); err == nil {
+			if !bytes.Equal(dec2.Encode(), payload) {
+				t.Fatalf("garbage decoded but did not re-encode identically")
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package cluster shards nanocached's result keys across peer daemons.
+//
+// The paper's figures are pure functions of their options digest, so the
+// serving stack's cache keys name immutable values — exactly the property a
+// distributed cache tier wants. This package supplies the three mechanisms
+// that turn a set of independent daemons into one warm tier:
+//
+//   - a consistent-hash ring (ring.go) with configurable virtual nodes, so
+//     every peer agrees on which R nodes own a key and membership changes
+//     move only ~1/N of the key space;
+//   - peer read-through (cluster.go): a node that misses both local cache
+//     tiers asks the key's owners before paying for a recompute, hedging a
+//     second owner when the first is slow, and write-behind replicates
+//     freshly computed results to the owners so the next miss lands warm;
+//   - pull-based anti-entropy (cluster.go): each node periodically pulls
+//     peer manifests and fetches the owned keys it lacks, so a node that was
+//     down while results were computed converges without recomputing.
+//
+// Every byte that crosses the wire travels in a checksummed envelope
+// (envelope.go): a corrupt or tampered object fails verification at the
+// receiver and is treated as a miss, never served.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node when the
+// configuration leaves it zero. 128 points per node keeps the maximum
+// ownership share within ~1.6x of fair for small clusters (ring_test.go
+// pins the bound) at a few KB of ring state.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over node IDs. Build one with
+// NewRing; lookups are safe for concurrent use. Minimal-remap on membership
+// change follows from construction: a node contributes only its own vnode
+// points, so adding or removing it moves only the key ranges adjacent to
+// those points (~1/N of the space), never reshuffling the rest.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted unique IDs
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// hash64 maps a string onto the ring's 64-bit hash space. SHA-256 truncated
+// to its first 8 bytes: deterministic across processes and architectures
+// (every peer must independently agree on ownership) and uniform enough
+// that vnode placement needs no further mixing.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given node IDs with vnodes virtual nodes
+// each (0 = DefaultVNodes). IDs must be non-empty and unique.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVNodes
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: vnodes %d < 1", vnodes)
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, id := range sorted {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if i > 0 && sorted[i-1] == id {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  sorted,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for ni, id := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", id, v)),
+				node: int32(ni),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Ties (astronomically unlikely) break by node index so every peer
+		// sorts identically.
+		return a.node < b.node
+	})
+	return r, nil
+}
+
+// Nodes returns the member IDs in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owners returns the n distinct nodes owning key, in preference order: the
+// first point at or clockwise from the key's hash, then the next distinct
+// nodes around the ring. n larger than the member count returns every node.
+func (r *Ring) Owners(key string, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, r.nodes[p.node])
+		}
+	}
+	return owners
+}
+
+// Owns reports whether node is among the first n owners of key.
+func (r *Ring) Owns(key, node string, n int) bool {
+	for _, id := range r.Owners(key, n) {
+		if id == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Shares returns each node's fraction of the hash space it owns as primary
+// (the ownership column in `nanocachectl cluster status`). The fractions sum
+// to 1 and are exact — computed from ring segment lengths, not sampled.
+func (r *Ring) Shares() map[string]float64 {
+	shares := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return shares
+	}
+	const space = float64(1 << 63) * 2 // 2^64 as a float
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		// Keys in (prev, p.hash] map to point p; the first point owns the
+		// wrap-around segment, which the uint64 subtraction handles.
+		shares[r.nodes[p.node]] += float64(p.hash-prev) / space
+		prev = p.hash
+	}
+	return shares
+}

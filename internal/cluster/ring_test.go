@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates nkeys distinct cache-key-shaped strings.
+func testKeys(nkeys int) []string {
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("figure|fig%d|side=d@digest%d", i%11, i)
+	}
+	return keys
+}
+
+func nodeIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i+1)
+	}
+	return ids
+}
+
+// TestRingValidation pins the constructor's error paths.
+func TestRingValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		nodes  []string
+		vnodes int
+	}{
+		{"no nodes", nil, 0},
+		{"empty id", []string{"a", ""}, 8},
+		{"duplicate id", []string{"a", "b", "a"}, 8},
+		{"negative vnodes", []string{"a"}, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewRing(c.nodes, c.vnodes); err == nil {
+				t.Fatalf("NewRing(%v, %d) accepted invalid input", c.nodes, c.vnodes)
+			}
+		})
+	}
+}
+
+// TestRingOwners pins the ownership contract: deterministic, distinct,
+// bounded by the member count, self-consistent with Owns, and stable under
+// member-list permutation (every peer must agree regardless of flag order).
+func TestRingOwners(t *testing.T) {
+	ids := nodeIDs(5)
+	r, err := NewRing(ids, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := NewRing([]string{"n3", "n1", "n5", "n2", "n4"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) = %v, want 2 distinct owners", key, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) repeated %q", key, owners[0])
+		}
+		if got := perm.Owners(key, 2); got[0] != owners[0] || got[1] != owners[1] {
+			t.Fatalf("owner disagreement across member-list order: %v vs %v", owners, got)
+		}
+		if !r.Owns(key, owners[0], 2) || r.Owns(key, "n-absent", 2) {
+			t.Fatalf("Owns inconsistent with Owners for %q", key)
+		}
+	}
+	if got := r.Owners("k", 99); len(got) != len(ids) {
+		t.Fatalf("Owners with n beyond member count returned %d nodes, want %d", len(got), len(ids))
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners with n=0 = %v, want nil", got)
+	}
+}
+
+// TestRingDistribution bounds the placement skew: across 1k keys and
+// {3,5,9}-node rings at the default vnode count, every node's share of
+// primary assignments must stay within a factor of the fair share, and the
+// exact hash-space shares must agree with the empirical counts' ballpark.
+func TestRingDistribution(t *testing.T) {
+	const nkeys = 1000
+	keys := testKeys(nkeys)
+	for _, n := range []int{3, 5, 9} {
+		t.Run(fmt.Sprintf("%dnodes", n), func(t *testing.T) {
+			r, err := NewRing(nodeIDs(n), 0) // default vnodes
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[string]int{}
+			for _, key := range keys {
+				counts[r.Owners(key, 1)[0]]++
+			}
+			fair := float64(nkeys) / float64(n)
+			for _, id := range nodeIDs(n) {
+				got := float64(counts[id])
+				if got < 0.45*fair || got > 1.7*fair {
+					t.Errorf("node %s owns %d of %d keys (fair %.0f): skew beyond [0.45, 1.7]x",
+						id, counts[id], nkeys, fair)
+				}
+			}
+			// The exact hash-space shares must sum to 1 and respect the same
+			// per-node bound (they drive the ownership column in status).
+			total := 0.0
+			for id, share := range r.Shares() {
+				total += share
+				if share < 0.45/float64(n) || share > 1.7/float64(n) {
+					t.Errorf("node %s hash-space share %.4f beyond [0.45, 1.7]x fair %.4f",
+						id, share, 1/float64(n))
+				}
+			}
+			if total < 0.999999 || total > 1.000001 {
+				t.Errorf("shares sum to %v, want 1", total)
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemap pins consistent hashing's defining property: when a
+// node joins or leaves an N-node ring, only ~1/N of keys may change primary
+// owner (we allow 1.5x slack for vnode placement jitter), and every key that
+// does move must move to or from the changed node — bystander keys never
+// reshuffle between surviving nodes.
+func TestRingMinimalRemap(t *testing.T) {
+	const nkeys = 1000
+	keys := testKeys(nkeys)
+	for _, n := range []int{3, 5, 9} {
+		t.Run(fmt.Sprintf("%dnodes", n), func(t *testing.T) {
+			ids := nodeIDs(n)
+			grown := append(append([]string(nil), ids...), "n-new")
+			before, err := NewRing(ids, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := NewRing(grown, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Join: at most ~1/(N+1) of keys move, all of them onto n-new.
+			moved := 0
+			for _, key := range keys {
+				a, b := before.Owners(key, 1)[0], after.Owners(key, 1)[0]
+				if a != b {
+					moved++
+					if b != "n-new" {
+						t.Fatalf("key %q moved %s→%s on join: reshuffle between survivors", key, a, b)
+					}
+				}
+			}
+			bound := int(1.5 * float64(nkeys) / float64(n+1))
+			if moved > bound {
+				t.Errorf("join moved %d of %d keys, bound %d (1.5/(N+1))", moved, nkeys, bound)
+			}
+			// Leave is the mirror image: removing n-new moves exactly the
+			// same keys back, nothing else.
+			movedBack := 0
+			for _, key := range keys {
+				a, b := after.Owners(key, 1)[0], before.Owners(key, 1)[0]
+				if a != b {
+					movedBack++
+					if a != "n-new" {
+						t.Fatalf("key %q moved %s→%s on leave: reshuffle between survivors", key, a, b)
+					}
+				}
+			}
+			if movedBack != moved {
+				t.Errorf("leave moved %d keys, join moved %d: not symmetric", movedBack, moved)
+			}
+		})
+	}
+}

@@ -77,6 +77,26 @@ func (c *lru) Put(key string, val []byte) {
 	}
 }
 
+// Contains reports whether key is cached, without promoting it in the LRU
+// order (a cluster manifest scan must not look like serving traffic).
+func (c *lru) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Keys returns every cached key, most recently used first.
+func (c *lru) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		keys = append(keys, e.Value.(*lruEntry).key)
+	}
+	return keys
+}
+
 // Len returns the number of cached entries.
 func (c *lru) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nanocache/internal/cluster"
+)
+
+// newClusteredTestServer boots a member whose single peer is unreachable:
+// the local serving surface (peer endpoints, status, metrics) is fully
+// exercisable without a second daemon, and peer fetches fail fast.
+func newClusteredTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Options: tinyOptions(),
+		Cluster: &cluster.Config{
+			Self: "n1",
+			Peers: []cluster.Peer{
+				{ID: "n1", Addr: "127.0.0.1:1"},
+				{ID: "n2", Addr: "127.0.0.1:2"},
+			},
+			// Fetch attempts against the dead peer must not stall tests.
+			FetchTimeout: 2 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s, ts
+}
+
+// TestPeerEndpointsAbsentWhenUnclustered: a single-node daemon must not
+// expose the peer protocol at all.
+func TestPeerEndpointsAbsentWhenUnclustered(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: tinyOptions()})
+	for _, path := range []string{cluster.PathObject, cluster.PathManifest, "/v1/cluster/status"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on unclustered daemon: %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if s.Cluster() != nil {
+		t.Error("unclustered server exposes a cluster")
+	}
+	if s.Metrics().ClusterEnabled {
+		t.Error("unclustered metrics claim ClusterEnabled")
+	}
+}
+
+// TestPeerObjectGet serves a resident object as a verified envelope and
+// keeps peer traffic out of the client-facing hit counters.
+func TestPeerObjectGet(t *testing.T) {
+	s, ts := newClusteredTestServer(t)
+
+	// Warm one cheap figure (no peer involved beyond a fast failed fetch).
+	resp, err := http.Get(ts.URL + "/v1/figures/fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	key := "figure|fig2@" + s.OptionsDigest()
+	hitsBefore := s.Metrics().CacheHits
+
+	resp, err = http.Get(ts.URL + cluster.PathObject + "?key=" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer object GET: %d\n%s", resp.StatusCode, raw)
+	}
+	env, err := cluster.DecodePeerEnvelope(raw)
+	if err != nil {
+		t.Fatalf("decoding served envelope: %v", err)
+	}
+	if env.Node != "n1" || env.Key != key {
+		t.Errorf("envelope origin/key = %q/%q, want n1/%q", env.Node, env.Key, key)
+	}
+	if !bytes.Equal(env.Payload, body) {
+		t.Error("envelope payload differs from the client-facing response body")
+	}
+	if got := s.Metrics().CacheHits; got != hitsBefore {
+		t.Errorf("peer GET moved client hit counter %d -> %d", hitsBefore, got)
+	}
+	if m := s.Metrics(); m.PeerServedHits != 1 {
+		t.Errorf("PeerServedHits = %d, want 1", m.PeerServedHits)
+	}
+
+	// Absent key: a clean 404; missing param: 400.
+	resp, _ = http.Get(ts.URL + cluster.PathObject + "?key=nope")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent key: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + cluster.PathObject)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing key param: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPeerObjectPut accepts only verified envelopes and installs them in
+// both tiers.
+func TestPeerObjectPut(t *testing.T) {
+	s, ts := newClusteredTestServer(t)
+	key := "figure|planted@" + s.OptionsDigest()
+	payload := []byte(`{"planted": true}` + "\n")
+	env := cluster.PeerEnvelope{Node: "n2", Key: key, Payload: payload}.Encode()
+
+	put := func(b []byte) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+cluster.PathObject, bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := put(env); code != http.StatusNoContent {
+		t.Fatalf("valid push: %d, want 204", code)
+	}
+	if got, _, ok := s.lookup(key); !ok || !bytes.Equal(got, payload) {
+		t.Error("pushed object not resident after accepted PUT")
+	}
+	if m := s.Metrics(); m.PeerPushesAccepted != 1 {
+		t.Errorf("PeerPushesAccepted = %d, want 1", m.PeerPushesAccepted)
+	}
+
+	// One flipped byte anywhere must be refused.
+	bad := append([]byte(nil), env...)
+	bad[len(bad)/2] ^= 0x01
+	if code := put(bad); code != http.StatusBadRequest {
+		t.Errorf("corrupt push: %d, want 400", code)
+	}
+	// An empty-key envelope is structurally valid but unroutable.
+	if code := put((cluster.PeerEnvelope{Node: "n2", Payload: payload}).Encode()); code != http.StatusBadRequest {
+		t.Errorf("empty-key push: %d, want 400", code)
+	}
+	if m := s.Metrics(); m.PeerPushesAccepted != 1 {
+		t.Errorf("refused pushes were counted: PeerPushesAccepted = %d, want 1", m.PeerPushesAccepted)
+	}
+}
+
+// TestPeerManifestAndStatus covers the two JSON views: the anti-entropy
+// manifest (sorted keys, options digest) and the operator status.
+func TestPeerManifestAndStatus(t *testing.T) {
+	s, ts := newClusteredTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/figures/fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + cluster.PathManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man cluster.Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if man.Node != "n1" || man.OptionsDigest != s.OptionsDigest() {
+		t.Errorf("manifest identity = %q/%q, want n1/%q", man.Node, man.OptionsDigest, s.OptionsDigest())
+	}
+	wantKey := "figure|fig2@" + s.OptionsDigest()
+	found := false
+	for _, k := range man.Keys {
+		if k == wantKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("manifest %v missing computed key %s", man.Keys, wantKey)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st cluster.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Self != "n1" || len(st.Peers) != 2 {
+		t.Errorf("status self=%q peers=%d, want n1/2", st.Self, len(st.Peers))
+	}
+	var total float64
+	for _, p := range st.Peers {
+		total += p.Ownership
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("ownership shares sum to %f, want 1", total)
+	}
+}
+
+// TestClusterMetricsExposition: the /metrics endpoint grows the cluster
+// counter block exactly when clustered, and always reports runs_executed.
+func TestClusterMetricsExposition(t *testing.T) {
+	_, ts := newClusteredTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(b)
+	for _, want := range []string{
+		"nanocached_runs_executed_total",
+		"nanocached_cluster_peer_hits_total",
+		"nanocached_cluster_repl_pushed_total",
+		"nanocached_cluster_ae_sweeps_total",
+		"nanocached_cluster_served_hits_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("clustered /metrics missing %s", want)
+		}
+	}
+
+	_, ts2 := newTestServer(t, Config{Options: tinyOptions()})
+	resp, err = http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text = string(b)
+	if !strings.Contains(text, "nanocached_runs_executed_total") {
+		t.Error("unclustered /metrics missing nanocached_runs_executed_total")
+	}
+	if strings.Contains(text, "nanocached_cluster_") {
+		t.Error("unclustered /metrics exposes cluster counters")
+	}
+}

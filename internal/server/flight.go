@@ -20,6 +20,11 @@ type flight struct {
 	err    error
 	ctx    context.Context
 	cancel context.CancelFunc
+	// via records how the flight was resolved when the answer came from
+	// somewhere other than a local computation — "peer" when a cluster
+	// read-through served it. Written before finish (the done-channel close
+	// publishes it to waiters); empty means a plain local miss.
+	via string
 	// waiters is guarded by the owning group's mutex.
 	waiters int
 }

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nanocache/internal/cluster"
+	"nanocache/internal/experiments"
 	"nanocache/internal/jobs"
 	"nanocache/internal/stats"
 	"nanocache/internal/store"
@@ -32,6 +34,12 @@ type metricSet struct {
 
 	storeHits     atomic.Uint64 // durable-tier hits promoted into the LRU
 	jobsSubmitted atomic.Uint64 // accepted POST /v1/jobs requests
+
+	// Server side of the peer protocol (what this node serves to the
+	// cluster, as opposed to the cluster engine's client-side counters).
+	peerServedHits     atomic.Uint64 // objects served to peers
+	peerServedMisses   atomic.Uint64 // peer asks for objects not resident here
+	peerPushesAccepted atomic.Uint64 // verified replication pushes installed
 
 	latency *stats.Latency
 }
@@ -69,6 +77,21 @@ type MetricsSnapshot struct {
 	JobStates     map[string]int // every state, including zero counts
 	JobQueueWait  stats.LatencySnapshot
 
+	// RunsExecuted is the process-global count of architectural runs started
+	// (experiments.RunsExecuted). The cluster smoke tests grep it to prove
+	// "zero recompute": a peer-served figure must not move this counter.
+	RunsExecuted uint64
+
+	// Cluster counters (meaningful only when ClusterEnabled). Cluster holds
+	// the engine's client-side view (fetches, replication, anti-entropy);
+	// the PeerServed* and PeerPushesAccepted counters are this node's server
+	// side of the same protocol.
+	ClusterEnabled     bool
+	Cluster            cluster.Metrics
+	PeerServedHits     uint64
+	PeerServedMisses   uint64
+	PeerPushesAccepted uint64
+
 	// Admission holds the per-class controller counters keyed by class name
 	// ("cheap", "cold"): queue depth, admitted/shed counts, accounted cost
 	// units and queue-wait quantiles. Cached hits never reach the
@@ -88,10 +111,10 @@ type MetricsSnapshot struct {
 	GCPauseTotal   time.Duration
 }
 
-// snapshot gathers the counters plus the cache, store, job and admission
-// gauges. st, jm and adm may be nil (memory-only server, early
-// construction).
-func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *admission) MetricsSnapshot {
+// snapshot gathers the counters plus the cache, store, job, admission and
+// cluster gauges. st, jm, adm and cl may be nil (memory-only server, early
+// construction, single-node daemon).
+func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *admission, cl *cluster.Cluster) MetricsSnapshot {
 	s := MetricsSnapshot{
 		Requests:       m.requests.Load(),
 		CacheHits:      m.hits.Load(),
@@ -108,6 +131,14 @@ func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *adm
 		StoreHits:      m.storeHits.Load(),
 		JobsSubmitted:  m.jobsSubmitted.Load(),
 		JobStates:      map[string]int{},
+		RunsExecuted:   experiments.RunsExecuted(),
+	}
+	if cl != nil {
+		s.ClusterEnabled = true
+		s.Cluster = cl.Metrics()
+		s.PeerServedHits = m.peerServedHits.Load()
+		s.PeerServedMisses = m.peerServedMisses.Load()
+		s.PeerPushesAccepted = m.peerPushesAccepted.Load()
 	}
 	for _, st := range jobs.States() {
 		s.JobStates[string(st)] = 0
@@ -141,8 +172,8 @@ func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *adm
 }
 
 // render writes the plaintext exposition.
-func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manager, adm *admission) {
-	s := m.snapshot(c, st, jm, adm)
+func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manager, adm *admission, cl *cluster.Cluster) {
+	s := m.snapshot(c, st, jm, adm, cl)
 	line := func(name string, v any) { fmt.Fprintf(w, "%s %v\n", name, v) }
 	line("nanocached_up", 1)
 	line("nanocached_uptime_seconds", int64(time.Since(m.start).Seconds()))
@@ -187,6 +218,23 @@ func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manage
 		fmt.Fprintf(w, "nanocached_admission_queue_wait_us_count{class=%q} %d\n", c, a.QueueWait.Count)
 		fmt.Fprintf(w, "nanocached_admission_queue_wait_us{class=%q,quantile=\"0.5\"} %d\n", c, a.QueueWait.P50)
 		fmt.Fprintf(w, "nanocached_admission_queue_wait_us{class=%q,quantile=\"0.99\"} %d\n", c, a.QueueWait.P99)
+	}
+	line("nanocached_runs_executed_total", s.RunsExecuted)
+	if s.ClusterEnabled {
+		line("nanocached_cluster_peer_hits_total", s.Cluster.PeerHits)
+		line("nanocached_cluster_peer_misses_total", s.Cluster.PeerMisses)
+		line("nanocached_cluster_peer_errors_total", s.Cluster.PeerErrors)
+		line("nanocached_cluster_hedges_total", s.Cluster.Hedges)
+		line("nanocached_cluster_repl_pushed_total", s.Cluster.ReplPushed)
+		line("nanocached_cluster_repl_errors_total", s.Cluster.ReplErrors)
+		line("nanocached_cluster_repl_dropped_total", s.Cluster.ReplDropped)
+		line("nanocached_cluster_repl_queued", s.Cluster.ReplQueued)
+		line("nanocached_cluster_ae_sweeps_total", s.Cluster.AESweeps)
+		line("nanocached_cluster_ae_pulled_total", s.Cluster.AEPulled)
+		line("nanocached_cluster_ae_errors_total", s.Cluster.AEErrors)
+		line("nanocached_cluster_served_hits_total", s.PeerServedHits)
+		line("nanocached_cluster_served_misses_total", s.PeerServedMisses)
+		line("nanocached_cluster_pushes_accepted_total", s.PeerPushesAccepted)
 	}
 	line("nanocached_request_latency_us_count", s.Latency.Count)
 	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.5\"} %d\n", s.Latency.P50)

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nanocache/internal/cluster"
 	"nanocache/internal/experiments"
 	"nanocache/internal/jobs"
 	"nanocache/internal/store"
@@ -86,6 +87,14 @@ type Config struct {
 	// durability at a write-latency cost).
 	StoreFsync bool
 
+	// Cluster, when non-nil, makes this daemon one member of a
+	// consistent-hash cluster (internal/cluster): the miss path read-throughs
+	// from the key's owner peers before recomputing, fresh results replicate
+	// write-behind to the owners, and anti-entropy converges stores after a
+	// rejoin. Cluster.OptionsDigest is filled in from Options — results are
+	// only exchanged between nodes serving identical lab options.
+	Cluster *cluster.Config
+
 	// Jobs bounds concurrently executing async jobs (default 1).
 	Jobs int
 	// JobRetries is the per-sweep-point transient-failure retry budget for
@@ -105,6 +114,8 @@ type Server struct {
 	cache      *lru
 	store      *store.Store // durable second tier; nil without StoreDir
 	jobs       *jobs.Manager
+	cluster    *cluster.Cluster // peer tier; nil on a single-node daemon
+	clusterOff sync.Once
 	flights    *flightGroup
 	adm        *admission
 	m          *metricSet
@@ -252,6 +263,17 @@ func New(cfg Config) (*Server, error) {
 		cancel()
 		return nil, err
 	}
+	if cfg.Cluster != nil {
+		cc := *cfg.Cluster
+		cc.OptionsDigest = digest
+		cl, err := cluster.New(cc, clusterBackend{s})
+		if err != nil {
+			jm.Close(context.Background())
+			cancel()
+			return nil, err
+		}
+		s.cluster = cl
+	}
 	s.routes()
 	return s, nil
 }
@@ -287,9 +309,12 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 // Lab exposes the underlying memoized lab (progress logging, tests).
 func (s *Server) Lab() *experiments.Lab { return s.lab }
 
+// OptionsDigest returns the lab-options fingerprint cache keys embed.
+func (s *Server) OptionsDigest() string { return s.optsDigest }
+
 // Metrics returns a snapshot of the serving counters.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.m.snapshot(s.cache, s.store, s.jobs, s.adm)
+	return s.m.snapshot(s.cache, s.store, s.jobs, s.adm, s.cluster)
 }
 
 // Draining reports whether Close has begun.
@@ -307,6 +332,13 @@ func (s *Server) Close(ctx context.Context) error {
 	s.workMu.Lock()
 	s.closed = true
 	s.workMu.Unlock()
+	// Stop the cluster's background goroutines (replication worker,
+	// anti-entropy loop) last, after the flights drain: a draining compute may
+	// still queue a replication push, which then lands in a buffered channel
+	// nobody reads — harmless, the owners' next sweep repairs the gap.
+	if s.cluster != nil {
+		defer s.clusterOff.Do(s.cluster.Close)
+	}
 	jobsErr := s.jobs.Close(ctx)
 	done := make(chan struct{})
 	go func() {
@@ -343,6 +375,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	if s.cluster != nil {
+		s.mux.HandleFunc("GET "+cluster.PathObject, s.handlePeerObjectGet)
+		s.mux.HandleFunc("PUT "+cluster.PathObject, s.handlePeerObjectPut)
+		s.mux.HandleFunc("GET "+cluster.PathManifest, s.handlePeerManifest)
+		s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
+	}
 }
 
 // instrument wraps the mux with the request counters, the latency recorder,
@@ -452,7 +490,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 			s.failRequest(w, fl.err)
 			return
 		}
-		writePayload(w, fl.val, "miss")
+		disposition := fl.via // "peer" when a cluster read-through answered
+		if disposition == "" {
+			disposition = "miss"
+		}
+		writePayload(w, fl.val, disposition)
 	case <-r.Context().Done():
 		s.flights.leave(key, fl)
 		s.m.timeouts.Add(1)
@@ -468,6 +510,22 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 func (s *Server) compute(fl *flight, key string, class reqClass,
 	build func(ctx context.Context) (any, error)) {
 	defer s.wg.Done()
+	// Peer read-through sits between the cache tiers and the admission-gated
+	// compute: an owner peer that already paid for this result serves verified
+	// bytes for a round-trip, so the fetch skips the admission queue — it
+	// costs no simulation. Only a whole-cluster miss falls through to compute.
+	if s.cluster != nil {
+		if payload, _, ok := s.cluster.Fetch(fl.ctx, key); ok {
+			s.cache.Put(key, payload)
+			s.flights.forget(key, fl)
+			fl.via = "peer"
+			fl.finish(payload, nil)
+			if s.store != nil {
+				s.store.Put(key, payload)
+			}
+			return
+		}
+	}
 	if err := s.adm.acquire(fl.ctx, class); err != nil {
 		s.flights.forget(key, fl)
 		fl.finish(nil, err)
@@ -489,6 +547,11 @@ func (s *Server) compute(fl *flight, key string, class reqClass,
 			// Close cannot complete with this write in flight.
 			if s.store != nil {
 				s.store.Put(key, payload)
+			}
+			// Write-behind replication: the owners get a copy so the rest of
+			// the cluster never recomputes this key. Queued, never blocking.
+			if s.cluster != nil {
+				s.cluster.Replicate(key, payload)
 			}
 			return
 		}
@@ -537,7 +600,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.render(w, s.cache, s.store, s.jobs, s.adm)
+	s.m.render(w, s.cache, s.store, s.jobs, s.adm, s.cluster)
 }
 
 func (s *Server) handleOptions(w http.ResponseWriter, _ *http.Request) {

@@ -309,6 +309,16 @@ func (s *Store) quarantine(path string) {
 	s.quarantined.Add(1)
 }
 
+// Has reports whether key is indexed, without touching the disk or the
+// hit/miss counters. The cluster tier's anti-entropy diff uses it to decide
+// what to pull without promoting anything.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
 // Len returns the number of stored records.
 func (s *Store) Len() int {
 	s.mu.Lock()
