@@ -17,13 +17,14 @@ test:
 race:
 	go test -race ./...
 
-# The serving layer, job orchestrator, durable store, cluster tier and CLI
-# entry points under the race detector (single-flight collapse, drain,
-# checkpoint resume, two-tier promotion, hedged peer fetches and the
-# multi-daemon fault-injection scenarios are the interesting schedules).
+# The serving layer, job orchestrator, durable store, cluster tier,
+# distributed sweep scheduler and CLI entry points under the race detector
+# (single-flight collapse, drain, checkpoint resume, two-tier promotion,
+# hedged peer fetches, hedged point re-dispatch and the multi-daemon
+# fault-injection scenarios are the interesting schedules).
 race-server:
 	go test -race ./internal/server/ ./internal/jobs/ ./internal/store/ \
-		./internal/cluster/... ./cmd/...
+		./internal/cluster/... ./internal/distsweep/ ./cmd/...
 
 # Reduced versions of every paper experiment as Go benchmarks.
 bench:
@@ -37,10 +38,14 @@ bench:
 # speedup vs the recorded pre-overhaul reference, ns/instr, allocs/instr)
 # lands in BENCH_core.json so hot-loop regressions show up as a diff.
 # bench-load rides along so the serving layer's load trajectory
-# (BENCH_load.json) is re-recorded with the rest.
+# (BENCH_load.json) is re-recorded with the rest, and the distributed sweep
+# pair (cold fig8 on a standalone daemon vs a 3-member in-process fleet)
+# lands in BENCH_cluster.json so fan-out overhead is diffable PR to PR.
 bench-save: bench-load
 	go test -json -run '^$$' -bench=. -benchtime=1x ./... > BENCH_parallel.json
 	go test -json -run '^$$' -bench='^BenchmarkServer' -benchtime=10x ./internal/server/ > BENCH_server.json
+	go test -json -run '^$$' -bench='^BenchmarkDistributedSweep' -benchtime=3x \
+		./internal/cluster/clustertest/ > BENCH_cluster.json
 	@{ echo '{"Action":"note","Package":"nanocache/internal/experiments","Output":"prepr_ms_per_sweep=153.8 recorded at commit 16a559b (pre-overhaul engine, go test -benchtime=5x); denominator of the speedup metric below"}'; \
 	go test -json -run '^$$' -bench='^BenchmarkSweepReplay' -benchtime=5x -count=3 ./internal/experiments/; } > BENCH_core.json
 
@@ -137,6 +142,7 @@ FUZZ_TARGETS := \
 	FuzzJobStateMachine:./internal/jobs \
 	FuzzStoreEnvelope:./internal/store \
 	FuzzPeerEnvelope:./internal/cluster \
+	FuzzPointSpecEnvelope:./internal/distsweep \
 	FuzzSnapshotRestore:./internal/experiments
 
 fuzz:

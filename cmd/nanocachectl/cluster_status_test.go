@@ -27,8 +27,8 @@ func TestClusterStatusGolden(t *testing.T) {
 		Replication:   cluster.ReplStatus{Queued: 1, Pushed: 42, Errors: 2, Dropped: 3},
 		AntiEntropy:   cluster.SweepStatus{Sweeps: 7, Pulled: 12, Errors: 1},
 		Peers: []cluster.PeerStatus{
-			{ID: "n1", Addr: "127.0.0.1:8344", Self: true, Healthy: true, Ownership: 0.41234},
-			{ID: "n2", Addr: "127.0.0.1:8345", Healthy: true, Ownership: 0.29876, Hits: 10},
+			{ID: "n1", Addr: "127.0.0.1:8344", Self: true, Healthy: true, Ownership: 0.41234, Points: 6},
+			{ID: "n2", Addr: "127.0.0.1:8345", Healthy: true, Ownership: 0.29876, Hits: 10, Points: 5},
 			{ID: "n3", Addr: "127.0.0.1:8346", Healthy: false, Ownership: 0.2889,
 				Errors: 5, LastError: "dial tcp 127.0.0.1:8346: connect: connection refused"},
 		},

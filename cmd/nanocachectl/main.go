@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -281,7 +282,7 @@ func renderClusterStatus(w io.Writer, st cluster.Status) {
 	fmt.Fprintf(w, "anti-entropy: sweeps=%d pulled=%d errors=%d\n",
 		st.AntiEntropy.Sweeps, st.AntiEntropy.Pulled, st.AntiEntropy.Errors)
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "PEER\tADDR\tSTATE\tOWNERSHIP\tHITS\tERRORS\tLAST ERROR")
+	fmt.Fprintln(tw, "PEER\tADDR\tSTATE\tOWNERSHIP\tHITS\tERRORS\tPOINTS\tLAST ERROR")
 	for _, p := range st.Peers {
 		state := "healthy"
 		switch {
@@ -290,8 +291,8 @@ func renderClusterStatus(w io.Writer, st cluster.Status) {
 		case !p.Healthy:
 			state = "down"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f%%\t%d\t%d\t%s\n",
-			p.ID, p.Addr, state, 100*p.Ownership, p.Hits, p.Errors, p.LastError)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f%%\t%d\t%d\t%d\t%s\n",
+			p.ID, p.Addr, state, 100*p.Ownership, p.Hits, p.Errors, p.Points, p.LastError)
 	}
 	tw.Flush()
 }
@@ -306,6 +307,32 @@ type jobSnapshot struct {
 	DonePoints  int     `json:"done_points"`
 	Progress    float64 `json:"progress"`
 	ETASeconds  float64 `json:"eta_seconds"`
+	// Points maps completed point keys to the node that computed each one
+	// (distributed sweeps; "local" on a single-node daemon).
+	Points map[string]string `json:"points"`
+}
+
+// nodeSummary compresses a snapshot's per-point node map into a stable
+// "node=count" list ("node1=2 node2=1 checkpoint=3"), sorted by node name,
+// so watch output shows where a distributed sweep actually ran.
+func nodeSummary(points map[string]string) string {
+	if len(points) == 0 {
+		return ""
+	}
+	counts := make(map[string]int, len(points))
+	for _, node := range points {
+		counts[node]++
+	}
+	nodes := make([]string, 0, len(counts))
+	for n := range counts {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		parts[i] = fmt.Sprintf("%s=%d", n, counts[n])
+	}
+	return " [" + strings.Join(parts, " ") + "]"
 }
 
 func (j jobSnapshot) terminal() bool {
@@ -344,8 +371,8 @@ func (c *client) watch(ctx context.Context, id string) error {
 		if j.ETASeconds >= 0 {
 			eta = (time.Duration(j.ETASeconds*1000) * time.Millisecond).Truncate(100 * time.Millisecond).String()
 		}
-		fmt.Fprintf(c.stdout, "%s %-9s %d/%d points (%.0f%%) attempt %d eta %s\n",
-			j.ID, j.State, j.DonePoints, j.TotalPoints, 100*j.Progress, j.Attempts, eta)
+		fmt.Fprintf(c.stdout, "%s %-9s %d/%d points (%.0f%%) attempt %d eta %s%s\n",
+			j.ID, j.State, j.DonePoints, j.TotalPoints, 100*j.Progress, j.Attempts, eta, nodeSummary(j.Points))
 		if j.terminal() {
 			break
 		}

@@ -13,7 +13,8 @@
 //	           [-store-dir DIR] [-store-max-bytes N] [-store-fsync]
 //	           [-jobs N] [-job-retries N] [-pprof HOST:PORT]
 //	           [-node-id ID -peers ID=HOST:PORT,...] [-replicas N]
-//	           [-hedge-after D] [-anti-entropy D]
+//	           [-hedge-after D] [-anti-entropy D] [-dist-sweep]
+//	           [-job-queue N]
 //
 // Admission control classifies cache misses as cheap (analytic builders) or
 // cold (architectural simulation); each class waits in its own bounded FIFO
@@ -44,6 +45,15 @@
 // member must serve identical lab options (anti-entropy refuses digest
 // mismatches). Adds GET /v1/cluster/status plus the peer endpoints, and
 // nanocached_cluster_* counters to /metrics.
+//
+// Clustered daemons also distribute async sweep jobs (-dist-sweep, on by
+// default): each fig8 benchmark point is dispatched to the ring owner of its
+// checkpoint key over POST /v1/peer/compute, with retry-then-local fallback
+// for down workers and hedged re-dispatch of stragglers (reusing
+// -hedge-after as the pace floor), so a dead worker slows a sweep but never
+// fails it or changes a byte of the assembled figure. Progress per point is
+// visible in `nanocachectl submit -watch` and the POINTS column of
+// `nanocachectl cluster status`; /metrics gains nanocached_distsweep_*.
 package main
 
 import (
@@ -130,6 +140,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		replicas    = fs.Int("replicas", 0, "owners per key: read-through candidates and replication targets (0 = default 2)")
 		hedgeAfter  = fs.Duration("hedge-after", 0, "latency threshold before a second owner fetch is hedged in (0 = default 50ms; negative disables)")
 		antiEntropy = fs.Duration("anti-entropy", time.Minute, "pull-based anti-entropy sweep interval (0 disables the background sweep)")
+		distSweep   = fs.Bool("dist-sweep", true, "fan async sweep points out to their ring owners (ignored on a single-node daemon)")
+		jobQueue    = fs.Int("job-queue", 0, "async job submission queue bound before shedding with 429 (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -183,8 +195,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		StoreMaxBytes:  *storeMaxBytes,
 		StoreFsync:     *storeFsync,
 		Jobs:           *jobWorkers,
+		JobQueue:       *jobQueue,
 		JobRetries:     *jobRetries,
 		Cluster:        clusterCfg,
+		DistSweepOff:   !*distSweep,
 	})
 	if err != nil {
 		return err

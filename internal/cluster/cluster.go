@@ -138,7 +138,12 @@ type PeerStatus struct {
 	Ownership float64 `json:"ownership"`
 	Hits      uint64  `json:"hits"`
 	Errors    uint64  `json:"errors"`
-	LastError string  `json:"last_error,omitempty"`
+	// Points counts distributed sweep points: for the self row, points this
+	// node computed (its own plus ones served to coordinators); for a peer
+	// row, points that peer computed for this node's sweeps. Filled in by
+	// the serving layer when the distsweep scheduler is enabled.
+	Points    uint64 `json:"points"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // Manifest is the anti-entropy key listing a peer serves on PathManifest.
@@ -297,6 +302,34 @@ func (c *Cluster) Replicas() int { return c.cfg.Replicas }
 func (c *Cluster) Owns(key string) bool {
 	return c.ring.Owns(key, c.self, c.cfg.Replicas)
 }
+
+// PrimaryOwner returns key's first ring owner (possibly self). The
+// distributed sweep scheduler partitions work by it: one deterministic
+// computing node per point, so repeated sweeps reuse the same checkpoints.
+func (c *Cluster) PrimaryOwner(key string) string {
+	return c.ring.Owners(key, 1)[0]
+}
+
+// PeerAddr returns the HTTP address of member id (false for self or an
+// unknown id — callers dial peers, never themselves).
+func (c *Cluster) PeerAddr(id string) (string, bool) {
+	p := c.peers[id]
+	if p == nil {
+		return "", false
+	}
+	return p.addr, true
+}
+
+// PeerDown reports whether id has crossed the consecutive-failure threshold.
+func (c *Cluster) PeerDown(id string) bool { return c.down(id) }
+
+// ReportPeerOK and ReportPeerError feed observations from outside the fetch
+// path (the distsweep scheduler's compute calls) into the same per-peer
+// health state, so a worker that stops answering compute requests is also
+// deprioritized for fetches — and one success anywhere revives it.
+func (c *Cluster) ReportPeerOK(id string) { c.markOK(id) }
+
+func (c *Cluster) ReportPeerError(id string, err error) { c.markFail(id, err) }
 
 // ManifestLocal renders this node's anti-entropy manifest.
 func (c *Cluster) ManifestLocal() Manifest {

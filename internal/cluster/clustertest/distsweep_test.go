@@ -1,0 +1,352 @@
+package clustertest
+
+// Distributed sweep scenarios: a clustered daemon fans a fig8 job's
+// per-benchmark points out to their ring owners, and the contract is the
+// same one the peer tier makes for single objects, extended to compute:
+//
+//  1. Byte identity: the fleet's merged figure is exactly the bytes a
+//     standalone daemon computes, point placement is the deterministic ring
+//     ownership of each checkpoint key, and the cluster pays exactly the
+//     same number of architectural runs as the standalone daemon — fan-out
+//     never duplicates work.
+//  2. A killed worker never fails the job: its points fall back to the
+//     coordinator and the result bytes do not change.
+//  3. A slow worker never stalls the job: once the fleet shows its pace,
+//     the straggler's point is hedged locally and the job finishes at
+//     local speed.
+//
+// Run with -race; the harness leak check covers the scheduler's hedge and
+// dispatch goroutines across every scenario.
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"nanocache/internal/experiments"
+	"nanocache/internal/jobs"
+	"nanocache/internal/server"
+)
+
+const fig8Path = "/v1/figures/fig8"
+
+// sweepOptions widens TinyOptions to five benchmarks so a fig8 job has five
+// points to spread over a three-member ring.
+func sweepOptions() experiments.Options {
+	o := TinyOptions()
+	o.Benchmarks = []string{"art", "gcc", "health", "treeadd", "vpr"}
+	return o
+}
+
+// predictPlacement computes, before any job exists, which member the ring
+// will hand each fig8 point to: the primary owner of the point's checkpoint
+// key. Placement is a pure function of (options digest, benchmark, member
+// IDs), which is what makes the scenarios below deterministic.
+func predictPlacement(t testing.TB, s *server.Server, benches []string) map[string]string {
+	t.Helper()
+	rk, err := s.ResultKeyForFigure("fig8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make(map[string]string, len(benches))
+	for _, b := range benches {
+		pk := "bench=" + b
+		owners[pk] = s.Cluster().PrimaryOwner("jobpt|" + rk + "|" + pk)
+	}
+	return owners
+}
+
+// remoteOwnedPoint picks a point owned by some member other than the
+// coordinator — the dispatch a fault scenario wants to aim at.
+func remoteOwnedPoint(t testing.TB, h *Harness, coordinator *Node,
+	placement map[string]string) (pointKey string, victim *Node) {
+	t.Helper()
+	for pk, owner := range placement {
+		if owner == coordinator.ID {
+			continue
+		}
+		for _, n := range h.Nodes() {
+			if n.ID == owner {
+				return pk, n
+			}
+		}
+	}
+	t.Fatal("clustertest: every fig8 point is coordinator-owned; " +
+		"widen sweepOptions so the ring spreads the sweep")
+	return "", nil
+}
+
+// runFig8Job submits a fig8 job on srv and waits for a terminal state,
+// failing the test on anything but StateDone.
+func runFig8Job(t testing.TB, srv *server.Server) jobs.Job {
+	t.Helper()
+	j, err := srv.Jobs().Submit(jobs.Spec{Kind: "figure", Figure: "fig8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		cur, err := srv.Jobs().Get(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State.Terminal() {
+			if cur.State != jobs.StateDone {
+				t.Fatalf("fig8 job %s: state %s: %s", cur.ID, cur.State, cur.Error)
+			}
+			return cur
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("fig8 job did not reach a terminal state within 120s")
+	return jobs.Job{}
+}
+
+// standalone boots a cluster-free daemon with its own store — the
+// single-node baseline the fleet must agree with byte-for-byte.
+func standalone(t testing.TB, opts experiments.Options) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Options: opts, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s
+}
+
+// TestDistributedSweepByteIdentity is the tentpole acceptance scenario in
+// fair weather: a three-member fleet computes a cold fig8 job, every point
+// lands on exactly the member the ring predicted, at least two members do
+// real work, the merged figure is byte-identical to a standalone daemon —
+// and the whole fleet pays exactly the standalone daemon's run count, so
+// distribution reshuffled the work without ever duplicating it.
+func TestDistributedSweepByteIdentity(t *testing.T) {
+	opts := sweepOptions()
+	before := experiments.RunsExecuted()
+	reference := SingleNodeReference(t, opts, fig8Path)
+	referenceRuns := experiments.RunsExecuted() - before
+
+	// Hedging off: with no straggler re-dispatch possible, "runs match the
+	// reference" is exact, not probabilistic.
+	h := New(t, Config{Options: opts, HedgeAfter: -1})
+	coordinator := h.Node(0)
+	placement := predictPlacement(t, coordinator.Server(), opts.Benchmarks)
+
+	before = experiments.RunsExecuted()
+	job := runFig8Job(t, coordinator.Server())
+	clusterRuns := experiments.RunsExecuted() - before
+
+	if len(job.Points) != len(opts.Benchmarks) {
+		t.Fatalf("job completed %d points, want %d: %v",
+			len(job.Points), len(opts.Benchmarks), job.Points)
+	}
+	workers := map[string]bool{}
+	for pk, want := range placement {
+		if got := job.Points[pk]; got != want {
+			t.Errorf("point %s computed on %q, ring owner is %q", pk, got, want)
+		}
+		workers[job.Points[pk]] = true
+	}
+	if len(workers) < 2 {
+		t.Errorf("sweep used %d members, want ≥2 (placement %v)", len(workers), job.Points)
+	}
+	if clusterRuns != referenceRuns {
+		t.Errorf("fleet executed %d architectural runs, standalone daemon executed %d — "+
+			"distribution must not duplicate or skip work", clusterRuns, referenceRuns)
+	}
+
+	// The merged result the job published is what the figure endpoint now
+	// serves, and it matches the standalone daemon exactly.
+	body, disp := h.Get(h.IndexOf(coordinator), fig8Path)
+	if disp == "miss" {
+		t.Errorf("figure endpoint recomputed after the job published (disposition %q)", disp)
+	}
+	if !bytes.Equal(body, reference) {
+		t.Error("fleet fig8 differs from the single-node reference")
+	}
+
+	// The coordinator's scheduler books confirm the remote legs really ran.
+	dm := coordinator.Server().Metrics().DistSweep
+	if dm.CompletedPeer == 0 {
+		t.Error("scheduler completed no points on peers despite remote placement")
+	}
+	if dm.Failed != 0 || dm.FallbackLocal != 0 {
+		t.Errorf("fair-weather sweep recorded failures: %+v", dm)
+	}
+}
+
+// TestDistributedSweepSurvivesWorkerKill kills a worker while its point
+// dispatch is still in flight: the scheduler must retry, give up on the
+// dead owner, compute the point on the coordinator — and the job must
+// finish with byte-identical results, never failing.
+func TestDistributedSweepSurvivesWorkerKill(t *testing.T) {
+	opts := sweepOptions()
+	reference := SingleNodeReference(t, opts, fig8Path)
+	h := New(t, Config{Options: opts, HedgeAfter: -1})
+	coordinator := h.Node(0)
+	placement := predictPlacement(t, coordinator.Server(), opts.Benchmarks)
+	victimPoint, victim := remoteOwnedPoint(t, h, coordinator, placement)
+
+	// Hold the victim's dispatches in flight long enough that the kill below
+	// is guaranteed to land before its point completes.
+	h.Net.Delay(coordinator.ID, victim.ID, time.Second)
+
+	done := make(chan jobs.Job, 1)
+	go func() {
+		done <- runFig8Job(t, coordinator.Server())
+	}()
+	// The dispatch to the victim cannot have been delivered yet (it is
+	// sitting in the injected delay), so this kill is strictly mid-flight.
+	time.Sleep(100 * time.Millisecond)
+	victim.Kill()
+
+	var job jobs.Job
+	select {
+	case job = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("sweep hung after its worker was killed mid-dispatch")
+	}
+
+	// The victim's points were re-homed to the coordinator; everyone else's
+	// placement is untouched.
+	for pk, owner := range placement {
+		want := owner
+		if owner == victim.ID {
+			want = coordinator.ID
+		}
+		if got := job.Points[pk]; got != want {
+			t.Errorf("point %s computed on %q, want %q (victim %s killed)",
+				pk, got, want, victim.ID)
+		}
+	}
+	if job.Points[victimPoint] != coordinator.ID {
+		t.Errorf("victim point %s not re-homed: computed on %q", victimPoint, job.Points[victimPoint])
+	}
+
+	dm := coordinator.Server().Metrics().DistSweep
+	if dm.FallbackLocal == 0 {
+		t.Error("scheduler recorded no local fallback despite the killed worker")
+	}
+	if dm.Failed != 0 {
+		t.Errorf("scheduler recorded %d failed points; a dead worker must never fail a point", dm.Failed)
+	}
+
+	body, _ := h.Get(h.IndexOf(coordinator), fig8Path)
+	if !bytes.Equal(body, reference) {
+		t.Error("post-kill fig8 differs from the single-node reference")
+	}
+}
+
+// TestDistributedSweepHedgesSlowWorker slows one worker's dispatches far
+// past the fleet's pace: once other points have completed and established a
+// p50, the scheduler must launch a hedged local compute for the straggler
+// and the job must finish without failures — a slow worker costs latency,
+// never correctness.
+func TestDistributedSweepHedgesSlowWorker(t *testing.T) {
+	opts := sweepOptions()
+	reference := SingleNodeReference(t, opts, fig8Path)
+	// Harness default hedge floor (5ms): the effective delay is paced by the
+	// observed p50, so a tiny floor hedges aggressively but never blindly.
+	h := New(t, Config{Options: opts})
+	coordinator := h.Node(0)
+	placement := predictPlacement(t, coordinator.Server(), opts.Benchmarks)
+	_, victim := remoteOwnedPoint(t, h, coordinator, placement)
+
+	// Far beyond any plausible 2×p50 for a TinyOptions point, so the hedge
+	// always fires first; the delayed dispatch is cancelled when the local
+	// compute wins.
+	h.Net.Delay(coordinator.ID, victim.ID, 10*time.Second)
+
+	job := runFig8Job(t, coordinator.Server())
+	if len(job.Points) != len(opts.Benchmarks) {
+		t.Fatalf("job completed %d points, want %d: %v",
+			len(job.Points), len(opts.Benchmarks), job.Points)
+	}
+
+	dm := coordinator.Server().Metrics().DistSweep
+	if dm.Hedged == 0 {
+		t.Error("scheduler hedged no points despite a 10s straggler")
+	}
+	if dm.Failed != 0 {
+		t.Errorf("scheduler recorded %d failed points; a straggler must never fail a point", dm.Failed)
+	}
+	// The straggler's points were computed by the hedge on the coordinator.
+	for pk, owner := range placement {
+		if owner != victim.ID {
+			continue
+		}
+		if got := job.Points[pk]; got != coordinator.ID {
+			t.Errorf("straggler point %s computed on %q, want hedged local %q",
+				pk, got, coordinator.ID)
+		}
+	}
+
+	body, _ := h.Get(h.IndexOf(coordinator), fig8Path)
+	if !bytes.Equal(body, reference) {
+		t.Error("post-hedge fig8 differs from the single-node reference")
+	}
+}
+
+// TestDistributedSweepSpeedup measures the acceptance ratio — a 3-node
+// fleet computes a cold fig8 ≥1.8× faster than a standalone daemon — on
+// machines with enough cores that the fleet's extra point parallelism is
+// real. On smaller machines (CI containers) the in-process members share
+// one core and the ratio is meaningless, so the test only logs it.
+func TestDistributedSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	opts := sweepOptions()
+
+	single := standalone(t, opts)
+	start := time.Now()
+	runFig8Job(t, single)
+	singleCold := time.Since(start)
+
+	h := New(t, Config{Options: opts, HedgeAfter: -1})
+	start = time.Now()
+	runFig8Job(t, h.Node(0).Server())
+	clusterCold := time.Since(start)
+
+	ratio := float64(singleCold) / float64(clusterCold)
+	t.Logf("cold fig8: standalone %v, 3-node fleet %v (%.2fx)", singleCold, clusterCold, ratio)
+	if runtime.NumCPU() < 3 {
+		t.Skipf("speedup gate needs ≥3 CPUs, have %d (in-process members share cores)", runtime.NumCPU())
+	}
+	if ratio < 1.8 {
+		t.Errorf("3-node fleet speedup %.2fx, want ≥1.8x", ratio)
+	}
+}
+
+// BenchmarkDistributedSweep times a cold fig8 job end to end on a
+// standalone daemon versus a 3-member fleet. Each iteration boots fresh
+// stores (outside the timer) so every run is genuinely cold; recorded by
+// `make bench-save` into BENCH_cluster.json.
+func BenchmarkDistributedSweep(b *testing.B) {
+	opts := sweepOptions()
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := standalone(b, opts)
+			b.StartTimer()
+			runFig8Job(b, s)
+		}
+	})
+	b.Run("cluster3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			h := New(b, Config{Options: opts, HedgeAfter: -1})
+			b.StartTimer()
+			runFig8Job(b, h.Node(0).Server())
+			b.StopTimer()
+			h.Shutdown()
+			b.StartTimer()
+		}
+	})
+}

@@ -69,7 +69,7 @@ func TinyOptions() experiments.Options {
 
 // Harness is a running in-process cluster.
 type Harness struct {
-	t     *testing.T
+	t     testing.TB
 	cfg   Config
 	Net   *FaultNet
 	nodes []*Node
@@ -93,7 +93,7 @@ type Node struct {
 
 // New boots a cluster and registers full teardown (including a goroutine
 // leak check) with t.Cleanup.
-func New(t *testing.T, cfg Config) *Harness {
+func New(t testing.TB, cfg Config) *Harness {
 	t.Helper()
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 3
@@ -410,7 +410,7 @@ func truncateStack(s string) string {
 // SingleNodeReference computes the authoritative answer for path on a
 // standalone, cluster-free server with the same options — the bytes every
 // cluster member must agree with.
-func SingleNodeReference(t *testing.T, opts experiments.Options, path string) []byte {
+func SingleNodeReference(t testing.TB, opts experiments.Options, path string) []byte {
 	t.Helper()
 	if opts.Instructions == 0 {
 		opts = TinyOptions()

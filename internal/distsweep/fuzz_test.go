@@ -1,0 +1,72 @@
+package distsweep
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nanocache/internal/cluster"
+)
+
+// FuzzPointSpecEnvelope drives the point-work wire codec from both ends,
+// mirroring the peer envelope fuzzer's contract:
+//
+//   - constructive: any semantically complete spec must round-trip exactly
+//     through EncodeRequest→DecodeRequest;
+//   - destructive: the same request with one fuzzer-chosen byte flipped (or
+//     truncated) must fail cleanly — a point request damaged in flight must
+//     never decode into a different spec, or a worker would compute the
+//     wrong point under the wrong checkpoint key;
+//   - raw garbage (the digest reused as input) must never panic.
+func FuzzPointSpecEnvelope(f *testing.F) {
+	f.Add("n1", "abcdef", "figure|fig8|side=d@abcdef", "bench=gcc", "gcc", "d", -1, byte(0))
+	f.Add("", "x", "r", "p", "b", "", 0, byte(0xFF))
+	f.Add("node-with-ñ", "d\x00weird", "r|pipes|in|key", "bench=vpr", "vpr", "i", 40, byte(1))
+	f.Fuzz(func(t *testing.T, node, digest, resultKey, pointKey, bench, side string, flip int, xor byte) {
+		spec := PointSpec{
+			OptionsDigest: digest,
+			ResultKey:     resultKey,
+			PointKey:      pointKey,
+			Figure:        "fig8",
+			Bench:         bench,
+			Side:          side,
+		}
+		enc, err := EncodeRequest(node, spec)
+		if err != nil {
+			// Incomplete specs are refused at encode time; nothing to mutate.
+			if spec.Validate() == nil {
+				t.Fatalf("valid spec refused: %v", err)
+			}
+			return
+		}
+
+		// Constructive: exact round trip, origin included.
+		gotNode, got, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if gotNode != node || got != spec {
+			t.Fatalf("round trip mismatch: node %q spec %+v != input", gotNode, got)
+		}
+
+		// Destructive: any single mutation must fail verification.
+		if flip >= 0 && len(enc) > 0 {
+			mut := append([]byte(nil), enc...)
+			if flip%2 == 0 {
+				mut = mut[:flip%len(mut)] // truncation
+			} else if xor != 0 {
+				mut[flip%len(mut)] ^= xor // corruption
+			}
+			if !bytes.Equal(mut, enc) {
+				if _, _, err := DecodeRequest(mut); err == nil {
+					t.Fatalf("mutated point request decoded successfully")
+				} else if !errors.Is(err, cluster.ErrWireCorrupt) && !errors.Is(err, cluster.ErrWireVersion) {
+					t.Fatalf("mutated decode failed with unclassified error: %v", err)
+				}
+			}
+		}
+
+		// Raw garbage must never panic.
+		_, _, _ = DecodeRequest([]byte(digest))
+	})
+}

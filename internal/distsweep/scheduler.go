@@ -1,0 +1,374 @@
+package distsweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nanocache/internal/cluster"
+	"nanocache/internal/stats"
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Cluster is the member's cluster engine: it supplies the ring (who owns
+	// a point), peer addresses, and the shared per-peer health state the
+	// scheduler both consults (skip down owners) and feeds (a failed compute
+	// call counts against the peer exactly like a failed fetch). Required.
+	Cluster *cluster.Cluster
+	// Transport overrides the HTTP transport (fault injection in tests;
+	// nil = http.DefaultTransport).
+	Transport http.RoundTripper
+	// PerPeerConcurrency bounds in-flight points per worker (0 = 2): enough
+	// to pipeline dispatch over compute, small enough that one coordinator
+	// cannot flood a worker's cold admission queue.
+	PerPeerConcurrency int
+	// RequestTimeout bounds one remote point computation (0 = 5m — a point
+	// is a full per-benchmark sweep, orders slower than an object fetch).
+	RequestTimeout time.Duration
+	// HedgeAfter is the floor of the straggler re-dispatch delay (0 = 50ms,
+	// matching the cluster fetch knob it is wired from; negative disables
+	// hedging). The effective delay is max(HedgeAfter, 2× the observed
+	// completed-point p50) and never fires before at least one point has
+	// completed — without a pace sample every first-wave point would hedge
+	// immediately and the coordinator would recompute the whole sweep.
+	HedgeAfter time.Duration
+	// Retries is how many times a failed remote dispatch is retried on the
+	// same owner before falling back to local compute (0 = 1; negative
+	// disables retries).
+	Retries int
+}
+
+// Metrics is a snapshot of the scheduler counters, rendered under
+// nanocached_distsweep_* in /metrics.
+type Metrics struct {
+	Dispatched     uint64            // points entering the scheduler
+	CompletedLocal uint64            // points this node computed (self-owned, fallback or hedge winners)
+	CompletedPeer  uint64            // points a worker computed for this coordinator
+	Failed         uint64            // points that failed on both paths
+	Hedged         uint64            // straggler re-dispatches launched
+	FallbackLocal  uint64            // local computes forced by a down peer or remote failure
+	PerPeer        map[string]uint64 // completed points by computing worker
+	Latency        stats.LatencySnapshot
+}
+
+// Scheduler fans sweep points out across the ring. Create with New; safe for
+// concurrent use (the jobs layer calls RunPoint from PointParallelism
+// workers at once).
+type Scheduler struct {
+	cl         *cluster.Cluster
+	hc         *http.Client
+	perPeerCap int
+	reqTimeout time.Duration
+	hedgeAfter time.Duration
+	attempts   int
+
+	dispatched    atomic.Uint64
+	doneLocal     atomic.Uint64
+	donePeer      atomic.Uint64
+	failed        atomic.Uint64
+	hedged        atomic.Uint64
+	fallbackLocal atomic.Uint64
+	lat           *stats.Latency
+
+	mu      sync.Mutex
+	sem     map[string]chan struct{} // per-peer dispatch tokens
+	perPeer map[string]uint64
+}
+
+// New validates the configuration and builds a scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("distsweep: nil cluster")
+	}
+	if cfg.PerPeerConcurrency == 0 {
+		cfg.PerPeerConcurrency = 2
+	}
+	if cfg.PerPeerConcurrency < 0 {
+		return nil, fmt.Errorf("distsweep: per-peer concurrency %d < 1", cfg.PerPeerConcurrency)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Minute
+	}
+	if cfg.RequestTimeout < 0 {
+		return nil, fmt.Errorf("distsweep: negative request timeout %v", cfg.RequestTimeout)
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 50 * time.Millisecond
+	}
+	attempts := 1 + cfg.Retries
+	if cfg.Retries == 0 {
+		attempts = 2
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	s := &Scheduler{
+		cl:         cfg.Cluster,
+		hc:         &http.Client{Transport: cfg.Transport},
+		perPeerCap: cfg.PerPeerConcurrency,
+		reqTimeout: cfg.RequestTimeout,
+		hedgeAfter: cfg.HedgeAfter,
+		attempts:   attempts,
+		lat:        stats.NewLatency(),
+		sem:        make(map[string]chan struct{}),
+		perPeer:    make(map[string]uint64),
+	}
+	return s, nil
+}
+
+// Metrics snapshots the scheduler counters.
+func (s *Scheduler) Metrics() Metrics {
+	m := Metrics{
+		Dispatched:     s.dispatched.Load(),
+		CompletedLocal: s.doneLocal.Load(),
+		CompletedPeer:  s.donePeer.Load(),
+		Failed:         s.failed.Load(),
+		Hedged:         s.hedged.Load(),
+		FallbackLocal:  s.fallbackLocal.Load(),
+		Latency:        s.lat.Snapshot(),
+	}
+	s.mu.Lock()
+	m.PerPeer = make(map[string]uint64, len(s.perPeer))
+	for id, n := range s.perPeer {
+		m.PerPeer[id] = n
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// RunPoint computes one sweep point, preferring the ring owner of its
+// checkpoint key and returning which node actually computed it. local is the
+// coordinator's own compute closure — the scheduler falls back to it for
+// self-owned points, down owners, remote failures and hedged stragglers, so
+// a worker dying mid-sweep slows the job down but never fails it.
+func (s *Scheduler) RunPoint(ctx context.Context, spec PointSpec,
+	local func(ctx context.Context) ([]byte, error)) (payload []byte, node string, err error) {
+	s.dispatched.Add(1)
+	start := time.Now()
+	self := s.cl.Self()
+	owner := s.cl.PrimaryOwner(spec.CheckpointKey())
+	if owner == self {
+		b, err := local(ctx)
+		return s.finish(start, self, b, err)
+	}
+	if s.cl.PeerDown(owner) {
+		// The health state already says this dispatch would waste a timeout.
+		s.fallbackLocal.Add(1)
+		b, err := local(ctx)
+		return s.finish(start, self, b, err)
+	}
+	if err := s.acquire(ctx, owner); err != nil {
+		return nil, "", err
+	}
+
+	// One remote attempt chain and at most one local compute race below;
+	// the first success cancels the loser.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		payload []byte
+		err     error
+		remote  bool
+	}
+	results := make(chan result, 2)
+	go func() {
+		defer s.release(owner)
+		p, err := s.computeRemote(cctx, owner, spec)
+		results <- result{p, err, true}
+	}()
+	outstanding := 1
+	localRunning := false
+	startLocal := func() {
+		localRunning = true
+		outstanding++
+		go func() {
+			p, err := local(cctx)
+			results <- result{p, err, false}
+		}()
+	}
+	hedgeC := s.armHedge(cctx, start)
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if !localRunning {
+				s.hedged.Add(1)
+				startLocal()
+			}
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if r.remote {
+					s.cl.ReportPeerOK(owner)
+					return s.finish(start, owner, r.payload, nil)
+				}
+				return s.finish(start, self, r.payload, nil)
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if r.remote {
+				s.cl.ReportPeerError(owner, r.err)
+				if !localRunning && cctx.Err() == nil {
+					// Retry budget exhausted on the owner: compute it here.
+					s.fallbackLocal.Add(1)
+					startLocal()
+				}
+			}
+		}
+	}
+	s.failed.Add(1)
+	return nil, "", firstErr
+}
+
+// finish books one completed (or failed) point and normalizes the return.
+func (s *Scheduler) finish(start time.Time, node string, payload []byte, err error) ([]byte, string, error) {
+	if err != nil {
+		s.failed.Add(1)
+		return nil, "", err
+	}
+	s.lat.Observe(time.Since(start))
+	if node == s.cl.Self() {
+		s.doneLocal.Add(1)
+	} else {
+		s.donePeer.Add(1)
+		s.mu.Lock()
+		s.perPeer[node]++
+		s.mu.Unlock()
+	}
+	return payload, node, nil
+}
+
+// acquire takes one of owner's dispatch tokens, respecting ctx.
+func (s *Scheduler) acquire(ctx context.Context, owner string) error {
+	s.mu.Lock()
+	sem, ok := s.sem[owner]
+	if !ok {
+		sem = make(chan struct{}, s.perPeerCap)
+		s.sem[owner] = sem
+	}
+	s.mu.Unlock()
+	select {
+	case sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Scheduler) release(owner string) {
+	s.mu.Lock()
+	sem := s.sem[owner]
+	s.mu.Unlock()
+	<-sem
+}
+
+// armHedge returns a channel that fires once a straggler re-dispatch is due:
+// the point has been outstanding for max(HedgeAfter, 2× completed-point p50)
+// AND at least one point has completed somewhere (no pace, no hedge). nil
+// when hedging is disabled. The returned channel closes at most once; the
+// goroutine exits with ctx.
+func (s *Scheduler) armHedge(ctx context.Context, start time.Time) <-chan struct{} {
+	if s.hedgeAfter < 0 {
+		return nil
+	}
+	fire := make(chan struct{})
+	go func() {
+		t := time.NewTimer(s.hedgeAfter)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			snap := s.lat.Snapshot()
+			if snap.Count > 0 {
+				due := time.Duration(snap.P50) * time.Microsecond * 2
+				if due < s.hedgeAfter {
+					due = s.hedgeAfter
+				}
+				if wait := due - time.Since(start); wait > 0 {
+					t.Reset(wait)
+					continue
+				}
+				close(fire)
+				return
+			}
+			// No completed sample yet: poll at the hedge floor until the
+			// fleet shows its pace.
+			t.Reset(s.hedgeAfter)
+		}
+	}()
+	return fire
+}
+
+// computeRemote dispatches one point to its owner, retrying transient
+// failures on the same owner up to the attempt budget.
+func (s *Scheduler) computeRemote(ctx context.Context, owner string, spec PointSpec) ([]byte, error) {
+	addr, ok := s.cl.PeerAddr(owner)
+	if !ok {
+		return nil, fmt.Errorf("distsweep: unknown peer %q", owner)
+	}
+	body, err := EncodeRequest(s.cl.Self(), spec)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < s.attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		payload, err := s.postOnce(ctx, addr, owner, spec, body)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("distsweep: point %s on %s failed after %d attempts: %w",
+		spec.PointKey, owner, s.attempts, lastErr)
+}
+
+// postOnce issues one compute POST and verifies the response envelope.
+func (s *Scheduler) postOnce(ctx context.Context, addr, owner string, spec PointSpec, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+PathCompute, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("distsweep: peer %s compute: %s: %s",
+			owner, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, cluster.MaxEnvelopeBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	env, err := cluster.DecodePeerEnvelope(b)
+	if err != nil {
+		return nil, fmt.Errorf("distsweep: peer %s sent unverifiable point: %w", owner, err)
+	}
+	if want := spec.CheckpointKey(); env.Key != want {
+		return nil, fmt.Errorf("%w: peer %s answered for checkpoint %q, asked %q",
+			cluster.ErrWireCorrupt, owner, env.Key, want)
+	}
+	return env.Payload, nil
+}

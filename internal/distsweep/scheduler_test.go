@@ -1,0 +1,338 @@
+package distsweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nanocache/internal/cluster"
+)
+
+// nullBackend satisfies cluster.Backend for scheduler tests: the scheduler
+// never touches the object tier, only the ring and health state.
+type nullBackend struct{}
+
+func (nullBackend) Has(string) bool      { return false }
+func (nullBackend) Store(string, []byte) {}
+func (nullBackend) Keys() []string       { return nil }
+
+// testWorker is one fake cluster member serving PathCompute: it decodes and
+// verifies the request exactly like the real daemon, then answers with the
+// spec's benchmark name as the "computed" payload.
+type testWorker struct {
+	id    string
+	srv   *httptest.Server
+	calls atomic.Int64
+	// fail forces HTTP 500 responses while set.
+	fail atomic.Bool
+	// stall makes the handler wait for request cancellation while set,
+	// simulating a partitioned-but-connected (slow) worker.
+	stall atomic.Bool
+}
+
+func newTestWorker(t *testing.T, id string) *testWorker {
+	t.Helper()
+	w := &testWorker{id: id}
+	w.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		w.calls.Add(1)
+		// Drain the body first: the server only notices an aborted client
+		// (and cancels r.Context()) once it is free to background-read.
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if w.stall.Load() {
+			<-r.Context().Done()
+			return
+		}
+		if w.fail.Load() {
+			http.Error(rw, "injected worker failure", http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Path != PathCompute {
+			http.Error(rw, "wrong path "+r.URL.Path, http.StatusNotFound)
+			return
+		}
+		_, spec, err := DecodeRequest(body)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		payload, _ := json.Marshal(map[string]string{"bench": spec.Bench, "by": id})
+		env := cluster.PeerEnvelope{Node: id, Key: spec.CheckpointKey(), Payload: payload}
+		rw.Write(env.Encode())
+	}))
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func (w *testWorker) addr() string { return strings.TrimPrefix(w.srv.URL, "http://") }
+
+// testFleet builds a cluster view for "self" plus the given workers and a
+// scheduler over it.
+func testFleet(t *testing.T, cfg Config, workers ...*testWorker) (*cluster.Cluster, *Scheduler) {
+	t.Helper()
+	peers := []cluster.Peer{{ID: "self", Addr: "127.0.0.1:1"}}
+	for _, w := range workers {
+		peers = append(peers, cluster.Peer{ID: w.id, Addr: w.addr()})
+	}
+	cl, err := cluster.New(cluster.Config{Self: "self", Peers: peers}, nullBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	cfg.Cluster = cl
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, s
+}
+
+// specOwnedBy scans point keys until the ring places one on the wanted node,
+// so tests can force both self-owned and remote-owned dispatches without
+// depending on hash details.
+func specOwnedBy(t *testing.T, cl *cluster.Cluster, owner string) PointSpec {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		spec := validSpec()
+		spec.PointKey = fmt.Sprintf("bench=b%d", i)
+		spec.Bench = fmt.Sprintf("b%d", i)
+		if cl.PrimaryOwner(spec.CheckpointKey()) == owner {
+			return spec
+		}
+	}
+	t.Fatalf("no point owned by %s in 10000 candidates", owner)
+	return PointSpec{}
+}
+
+func localPayload(b []byte) func(context.Context) ([]byte, error) {
+	return func(context.Context) ([]byte, error) { return b, nil }
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	w := newTestWorker(t, "w1")
+	cl, _ := testFleet(t, Config{}, w)
+	for _, cfg := range []Config{
+		{Cluster: cl, PerPeerConcurrency: -1},
+		{Cluster: cl, RequestTimeout: -time.Second},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestRunPointSelfOwned(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	cl, s := testFleet(t, Config{}, w)
+	spec := specOwnedBy(t, cl, "self")
+	payload, node, err := s.RunPoint(context.Background(), spec, localPayload([]byte("mine")))
+	if err != nil || node != "self" || string(payload) != "mine" {
+		t.Fatalf("self-owned point = (%q, %q, %v), want (mine, self, nil)", payload, node, err)
+	}
+	m := s.Metrics()
+	if m.CompletedLocal != 1 || m.CompletedPeer != 0 || w.calls.Load() != 0 {
+		t.Errorf("self-owned point dialed the network: %+v, %d worker calls", m, w.calls.Load())
+	}
+}
+
+func TestRunPointRemote(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	cl, s := testFleet(t, Config{HedgeAfter: -1}, w)
+	spec := specOwnedBy(t, cl, "w1")
+	payload, node, err := s.RunPoint(context.Background(), spec,
+		func(context.Context) ([]byte, error) {
+			t.Error("local closure ran for a healthy remote owner")
+			return nil, nil
+		})
+	if err != nil {
+		t.Fatalf("remote point: %v", err)
+	}
+	if node != "w1" {
+		t.Errorf("computed on %q, want w1", node)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(payload, &got); err != nil || got["bench"] != spec.Bench || got["by"] != "w1" {
+		t.Errorf("payload %s, want worker-computed cell for %s", payload, spec.Bench)
+	}
+	m := s.Metrics()
+	if m.CompletedPeer != 1 || m.PerPeer["w1"] != 1 || m.Dispatched != 1 {
+		t.Errorf("metrics after remote completion: %+v", m)
+	}
+	if m.Latency.Count != 1 {
+		t.Errorf("latency samples = %d, want 1", m.Latency.Count)
+	}
+}
+
+// TestRunPointFallbackOnError drives the retry-then-local path: a worker that
+// answers 500 must cost its retry budget, get charged in the shared peer
+// health state, and then the coordinator computes the point itself — the
+// point succeeds anyway.
+func TestRunPointFallbackOnError(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	w.fail.Store(true)
+	cl, s := testFleet(t, Config{HedgeAfter: -1, Retries: 1}, w)
+	spec := specOwnedBy(t, cl, "w1")
+	payload, node, err := s.RunPoint(context.Background(), spec, localPayload([]byte("rescued")))
+	if err != nil || node != "self" || string(payload) != "rescued" {
+		t.Fatalf("fallback = (%q, %q, %v), want (rescued, self, nil)", payload, node, err)
+	}
+	if calls := w.calls.Load(); calls != 2 {
+		t.Errorf("worker dialed %d times, want 2 (attempt + one retry)", calls)
+	}
+	m := s.Metrics()
+	if m.FallbackLocal != 1 || m.CompletedLocal != 1 || m.Failed != 0 {
+		t.Errorf("metrics after fallback: %+v", m)
+	}
+}
+
+// TestRunPointSkipsDownPeer pre-marks the owner down through the shared
+// health state: the scheduler must not even dial it.
+func TestRunPointSkipsDownPeer(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	cl, s := testFleet(t, Config{HedgeAfter: -1}, w)
+	for i := 0; i < 3; i++ {
+		cl.ReportPeerError("w1", errors.New("injected"))
+	}
+	if !cl.PeerDown("w1") {
+		t.Fatal("peer not down after 3 consecutive failures")
+	}
+	spec := specOwnedBy(t, cl, "w1")
+	_, node, err := s.RunPoint(context.Background(), spec, localPayload([]byte("x")))
+	if err != nil || node != "self" {
+		t.Fatalf("down-peer point = (%q, %v), want computed on self", node, err)
+	}
+	if calls := w.calls.Load(); calls != 0 {
+		t.Errorf("down peer dialed %d times, want 0", calls)
+	}
+	if m := s.Metrics(); m.FallbackLocal != 1 {
+		t.Errorf("FallbackLocal = %d, want 1", m.FallbackLocal)
+	}
+}
+
+// TestRunPointBothPathsFail: worker erroring and the local closure erroring
+// must surface an error and count a failed point — but only one.
+func TestRunPointBothPathsFail(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	w.fail.Store(true)
+	cl, s := testFleet(t, Config{HedgeAfter: -1, Retries: -1}, w)
+	spec := specOwnedBy(t, cl, "w1")
+	boom := errors.New("local lab exploded")
+	_, _, err := s.RunPoint(context.Background(), spec,
+		func(context.Context) ([]byte, error) { return nil, boom })
+	if err == nil {
+		t.Fatal("both paths failed yet RunPoint succeeded")
+	}
+	if m := s.Metrics(); m.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", m.Failed)
+	}
+}
+
+// TestRunPointHedgesStraggler: once the fleet has shown its pace, a point
+// stuck on a slow (not down) worker is re-dispatched locally and the local
+// copy wins. The worker holds the connection open rather than erroring, so
+// the retry path can never rescue it — only the hedge can.
+func TestRunPointHedgesStraggler(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	cl, s := testFleet(t, Config{HedgeAfter: 5 * time.Millisecond}, w)
+
+	// Pace sample: one fast self-owned completion.
+	if _, _, err := s.RunPoint(context.Background(), specOwnedBy(t, cl, "self"), localPayload([]byte("p"))); err != nil {
+		t.Fatal(err)
+	}
+
+	w.stall.Store(true)
+	spec := specOwnedBy(t, cl, "w1")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	payload, node, err := s.RunPoint(ctx, spec, localPayload([]byte("hedged in")))
+	if err != nil || node != "self" || string(payload) != "hedged in" {
+		t.Fatalf("straggler point = (%q, %q, %v), want local hedge win", payload, node, err)
+	}
+	m := s.Metrics()
+	if m.Hedged != 1 {
+		t.Errorf("Hedged = %d, want 1", m.Hedged)
+	}
+	if m.Failed != 0 {
+		t.Errorf("Failed = %d, want 0 (the slow worker must not fail the point)", m.Failed)
+	}
+}
+
+// TestRunPointNoHedgeWithoutPace: with no completed sample the hedge must
+// hold its fire — otherwise every first-wave point would recompute locally
+// and distribution would be a no-op.
+func TestRunPointNoHedgeWithoutPace(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	cl, s := testFleet(t, Config{HedgeAfter: time.Millisecond}, w)
+	spec := specOwnedBy(t, cl, "w1")
+	_, node, err := s.RunPoint(context.Background(), spec,
+		func(context.Context) ([]byte, error) { t.Error("hedge fired with no pace sample"); return nil, nil })
+	if err != nil || node != "w1" {
+		t.Fatalf("first-wave point = (%q, %v), want computed on w1", node, err)
+	}
+	if m := s.Metrics(); m.Hedged != 0 {
+		t.Errorf("Hedged = %d, want 0", m.Hedged)
+	}
+}
+
+// TestRunPointContextCancel: a cancelled coordinator context aborts cleanly
+// without booking the point as failed (the job layer owns that accounting).
+func TestRunPointContextCancel(t *testing.T) {
+	w := newTestWorker(t, "w1")
+	w.stall.Store(true)
+	cl, s := testFleet(t, Config{HedgeAfter: -1}, w)
+	spec := specOwnedBy(t, cl, "w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	_, _, err := s.RunPoint(ctx, spec, localPayload([]byte("x")))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled point: %v, want context.Canceled", err)
+	}
+	if m := s.Metrics(); m.Failed != 0 {
+		t.Errorf("Failed = %d after cancellation, want 0", m.Failed)
+	}
+}
+
+// TestRunPointConcurrent hammers the scheduler from many goroutines — the
+// shape the jobs layer drives it in — and checks the books balance.
+func TestRunPointConcurrent(t *testing.T) {
+	w1 := newTestWorker(t, "w1")
+	w2 := newTestWorker(t, "w2")
+	_, s := testFleet(t, Config{HedgeAfter: -1}, w1, w2)
+	const n = 32
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		spec := validSpec()
+		spec.PointKey = fmt.Sprintf("bench=c%d", i)
+		spec.Bench = fmt.Sprintf("c%d", i)
+		go func(spec PointSpec) {
+			_, _, err := s.RunPoint(context.Background(), spec, localPayload([]byte("l")))
+			errc <- err
+		}(spec)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if got := m.CompletedLocal + m.CompletedPeer; got != n {
+		t.Errorf("completed = %d, want %d", got, n)
+	}
+	if m.Dispatched != n || m.Failed != 0 {
+		t.Errorf("books unbalanced: %+v", m)
+	}
+}

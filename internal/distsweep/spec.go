@@ -1,0 +1,130 @@
+// Package distsweep is the cluster's distributed sweep scheduler: it fans a
+// job's planned sweep points out to the ring owner of each point's
+// checkpoint key instead of computing them all on the node that accepted the
+// job. A point travels as a PointSpec inside the same checksummed peer wire
+// envelope the object protocol uses (internal/cluster/envelope.go), the
+// receiving owner computes it through its own lab/store path — admission-
+// classified as cold, checkpoint written behind the response — and the
+// coordinator pulls the content-addressed result back into its own
+// checkpoint store. Ownership partitioning is deterministic (the same
+// consistent-hash ring that places objects places work), so repeated sweeps
+// of the same figure land on the same nodes and reuse their checkpoints.
+//
+// Failure policy is retry-then-local, never fail-the-job: a down owner is
+// skipped up front, a per-point error or timeout retries once and then the
+// coordinator computes the point itself, and a straggling owner is hedged
+// with a local re-dispatch once the fleet's observed pace says the point is
+// overdue. Byte-identity is preserved by construction — the worker runs
+// exactly the code the coordinator would have run (same lab options,
+// enforced by the options digest in the spec; same Figure8Cell → canonical
+// JSON path), and the result lands under exactly the same checkpoint key.
+package distsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"unicode/utf8"
+
+	"nanocache/internal/cluster"
+)
+
+// PathCompute is the point-work endpoint served by clustered daemons:
+// POST a request envelope (PointSpec payload), receive a response envelope
+// holding the computed point under the same checkpoint key.
+const PathCompute = "/v1/peer/compute"
+
+// PointSpec names one sweep point precisely enough for any cluster member to
+// compute it: which figure decomposition, which benchmark cell, under which
+// lab options. It deliberately carries no closures — the wire contract is
+// "recompute from first principles", which is what makes the result
+// byte-identical no matter which node runs it.
+type PointSpec struct {
+	// OptionsDigest pins the lab options the point must be computed under.
+	// A worker serving a different digest refuses the point — mixed-options
+	// fleets would trade byte-identity for garbage, exactly like anti-entropy.
+	OptionsDigest string `json:"options_digest"`
+	// ResultKey is the plan's result key (the serving-cache key the merged
+	// figure publishes under). Together with PointKey it derives the
+	// checkpoint key, so a worker's write-behind lands where the
+	// coordinator's own checkpoint would have.
+	ResultKey string `json:"result_key"`
+	// PointKey is the point's stable key within its plan (e.g. "bench=gcc").
+	PointKey string `json:"point_key"`
+	// Figure names the decomposition ("fig8" is the only decomposable figure
+	// today; unknown values are refused by the worker).
+	Figure string `json:"figure"`
+	// Bench is the benchmark whose cell this point computes.
+	Bench string `json:"bench"`
+	// Side is the cache side parameter in its canonical query form ("d"/"i").
+	Side string `json:"side"`
+}
+
+// CheckpointKey derives the content-addressed blob key the point's result is
+// stored under — the same "jobpt|result|point" shape internal/jobs uses, so
+// a remotely computed point is indistinguishable from a local checkpoint.
+func (p PointSpec) CheckpointKey() string {
+	return "jobpt|" + p.ResultKey + "|" + p.PointKey
+}
+
+// Validate rejects specs that could never compute: the wire accepts any
+// field values (the envelope only proves integrity), so both ends check
+// semantic completeness before doing work. Fields must also be valid UTF-8 —
+// the spec travels as JSON, which silently coerces invalid bytes to U+FFFD,
+// so a non-UTF-8 key could never round-trip to the envelope key it derives.
+func (p PointSpec) Validate() error {
+	switch {
+	case p.OptionsDigest == "":
+		return fmt.Errorf("distsweep: spec without options digest")
+	case p.ResultKey == "":
+		return fmt.Errorf("distsweep: spec without result key")
+	case p.PointKey == "":
+		return fmt.Errorf("distsweep: spec without point key")
+	case p.Figure == "":
+		return fmt.Errorf("distsweep: spec without figure")
+	case p.Bench == "":
+		return fmt.Errorf("distsweep: spec without benchmark")
+	}
+	for _, f := range []string{p.OptionsDigest, p.ResultKey, p.PointKey, p.Figure, p.Bench, p.Side} {
+		if !utf8.ValidString(f) {
+			return fmt.Errorf("distsweep: spec field %q is not valid UTF-8", f)
+		}
+	}
+	return nil
+}
+
+// EncodeRequest wraps a spec in a peer wire envelope keyed by the point's
+// checkpoint key. Keying the envelope by the checkpoint key (rather than a
+// synthetic request id) lets the receiver verify that the spec it decoded
+// derives the key it was addressed with — a corrupted or confused spec can
+// never compute under the wrong checkpoint.
+func EncodeRequest(node string, spec PointSpec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.PeerEnvelope{Node: node, Key: spec.CheckpointKey(), Payload: payload}.Encode(), nil
+}
+
+// DecodeRequest verifies and unwraps a point-work request: envelope checksum
+// first, then the spec's semantic completeness, then key consistency. The
+// origin node ID is returned for accounting.
+func DecodeRequest(b []byte) (node string, spec PointSpec, err error) {
+	env, err := cluster.DecodePeerEnvelope(b)
+	if err != nil {
+		return "", PointSpec{}, err
+	}
+	if err := json.Unmarshal(env.Payload, &spec); err != nil {
+		return "", PointSpec{}, fmt.Errorf("distsweep: undecodable point spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return "", PointSpec{}, err
+	}
+	if got := spec.CheckpointKey(); got != env.Key {
+		return "", PointSpec{}, fmt.Errorf("%w: spec derives checkpoint %q, envelope addressed %q",
+			cluster.ErrWireCorrupt, got, env.Key)
+	}
+	return env.Node, spec, nil
+}

@@ -1,0 +1,114 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"nanocache/internal/cluster"
+)
+
+func validSpec() PointSpec {
+	return PointSpec{
+		OptionsDigest: "abcdef0123456789",
+		ResultKey:     "figure|fig8|side=d@abcdef0123456789",
+		PointKey:      "bench=gcc",
+		Figure:        "fig8",
+		Bench:         "gcc",
+		Side:          "d",
+	}
+}
+
+func TestPointSpecRoundTrip(t *testing.T) {
+	spec := validSpec()
+	b, err := EncodeRequest("n1", spec)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	node, got, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if node != "n1" {
+		t.Errorf("origin node = %q, want n1", node)
+	}
+	if got != spec {
+		t.Errorf("spec round trip mismatch:\ngot  %+v\nwant %+v", got, spec)
+	}
+}
+
+func TestPointSpecCheckpointKey(t *testing.T) {
+	spec := validSpec()
+	want := "jobpt|" + spec.ResultKey + "|" + spec.PointKey
+	if got := spec.CheckpointKey(); got != want {
+		t.Errorf("CheckpointKey = %q, want %q", got, want)
+	}
+}
+
+// TestPointSpecValidate drops each required field in turn: every hole must be
+// refused at both the encode and decode ends — the envelope only proves
+// integrity, not semantic completeness.
+func TestPointSpecValidate(t *testing.T) {
+	breakers := map[string]func(*PointSpec){
+		"options digest": func(p *PointSpec) { p.OptionsDigest = "" },
+		"result key":     func(p *PointSpec) { p.ResultKey = "" },
+		"point key":      func(p *PointSpec) { p.PointKey = "" },
+		"figure":         func(p *PointSpec) { p.Figure = "" },
+		"benchmark":      func(p *PointSpec) { p.Bench = "" },
+	}
+	for name, breakit := range breakers {
+		spec := validSpec()
+		breakit(&spec)
+		if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), name) {
+			t.Errorf("spec without %s: Validate = %v, want error naming the field", name, err)
+		}
+		if _, err := EncodeRequest("n1", spec); err == nil {
+			t.Errorf("spec without %s encoded successfully", name)
+		}
+	}
+	// Side is genuinely optional: "" parses as the data cache, matching the
+	// synchronous endpoint's default.
+	spec := validSpec()
+	spec.Side = ""
+	if err := spec.Validate(); err != nil {
+		t.Errorf("spec with empty side: %v, want valid", err)
+	}
+	// Invalid UTF-8 is refused up front: JSON coerces it to U+FFFD, so such a
+	// spec could never round-trip to the envelope key it derives (found by
+	// FuzzPointSpecEnvelope).
+	spec = validSpec()
+	spec.ResultKey = "figure|\x85@digest"
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "UTF-8") {
+		t.Errorf("spec with invalid UTF-8 result key: Validate = %v, want UTF-8 error", err)
+	}
+}
+
+// TestDecodeRequestKeyMismatch wraps a valid spec in an envelope addressed to
+// a different checkpoint: the decoder must refuse it as wire corruption, or a
+// confused coordinator could store a point under the wrong key.
+func TestDecodeRequestKeyMismatch(t *testing.T) {
+	spec := validSpec()
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := cluster.PeerEnvelope{Node: "n1", Key: "jobpt|other|bench=gcc", Payload: payload}
+	if _, _, err := DecodeRequest(env.Encode()); !errors.Is(err, cluster.ErrWireCorrupt) {
+		t.Errorf("mis-addressed request: %v, want ErrWireCorrupt", err)
+	}
+}
+
+func TestDecodeRequestCorrupt(t *testing.T) {
+	b, err := EncodeRequest("n1", validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if _, _, err := DecodeRequest(b); err == nil {
+		t.Error("corrupted request decoded successfully")
+	}
+	if _, _, err := DecodeRequest(nil); err == nil {
+		t.Error("empty request decoded successfully")
+	}
+}

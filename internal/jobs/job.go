@@ -34,6 +34,11 @@ type Point struct {
 	// Run computes the point's result (typically canonical JSON). The
 	// context aborts it on cancellation or drain.
 	Run func(ctx context.Context) ([]byte, error)
+	// Dist optionally carries a serializable description of the point that a
+	// Config.Runner can ship to another node (the serving layer stores a
+	// *distsweep.PointSpec here). The orchestrator never interprets it; a
+	// nil Dist just means "this point only runs locally".
+	Dist any
 }
 
 // Plan is a planned job: its sweep points, how to merge their results, and
@@ -105,6 +110,12 @@ type Job struct {
 	DonePoints  int `json:"done_points"`
 	// Progress is DonePoints/TotalPoints in [0,1].
 	Progress float64 `json:"progress"`
+	// Points maps each completed point's key to the node that computed it
+	// this attempt ("local" on an unclustered daemon, a node ID under the
+	// distributed sweep scheduler, "checkpoint" for points skipped because
+	// an earlier attempt already checkpointed them). JSON map rendering is
+	// key-sorted, so snapshots stay golden-testable.
+	Points map[string]string `json:"points,omitempty"`
 	// ETASeconds estimates remaining wall time from this attempt's pace;
 	// negative means unknown (nothing completed yet this attempt).
 	ETASeconds float64 `json:"eta_seconds"`

@@ -47,6 +47,17 @@ type Config struct {
 	// The fan-out reuses the experiment pool's scheduler, so first-error
 	// cancellation and bounded width behave exactly like a figure sweep.
 	PointParallelism int
+	// Queue bounds the submission queue (default 4096). Submissions beyond
+	// the bound fail with ErrQueueFull, which the serving layer maps onto
+	// the same 429 + Retry-After shape as admission shedding.
+	Queue int
+	// Runner overrides per-point execution (nil = call Point.Run locally).
+	// The serving layer plugs the distributed sweep dispatcher in here: the
+	// runner may compute the point anywhere, as long as it returns the same
+	// bytes Point.Run would have produced, plus the name of the node that
+	// computed them (recorded in Job.Points). Retries and checkpointing wrap
+	// the runner exactly as they wrap a local run.
+	Runner func(ctx context.Context, plan *Plan, pt Point) (payload []byte, node string, err error)
 	// Planner turns specs into plans. Required.
 	Planner Planner
 	// Blobs is the checkpoint store (nil = in-process map; checkpoints then
@@ -96,6 +107,7 @@ type jobRec struct {
 	attempts    int
 	totalPoints int
 	donePoints  int
+	pointNodes  map[string]string // point key → node that computed it
 	resultKey   string
 	queueWait   time.Duration
 	seq         int64
@@ -109,6 +121,7 @@ var (
 	ErrUnknownJob = fmt.Errorf("jobs: unknown job")
 	ErrTerminal   = fmt.Errorf("jobs: job already terminal")
 	ErrClosed     = fmt.Errorf("jobs: manager closed")
+	ErrQueueFull  = fmt.Errorf("jobs: queue full")
 )
 
 // NewManager validates the configuration and starts the worker pool.
@@ -131,6 +144,12 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 5 * time.Second
 	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 4096
+	}
+	if cfg.Queue < 0 {
+		return nil, fmt.Errorf("jobs: negative queue bound")
+	}
 	blobs := cfg.Blobs
 	if blobs == nil {
 		blobs = newMemBlobs()
@@ -141,7 +160,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 		blobs:     blobs,
-		queue:     make(chan string, 4096),
+		queue:     make(chan string, cfg.Queue),
 		jobs:      make(map[string]*jobRec),
 		byResult:  make(map[string]string),
 		queueWait: stats.NewLatency(),
@@ -198,7 +217,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	case m.queue <- rec.id:
 	default:
 		m.mu.Unlock()
-		return Job{}, fmt.Errorf("jobs: queue full (%d pending)", cap(m.queue))
+		return Job{}, fmt.Errorf("%w (%d pending)", ErrQueueFull, cap(m.queue))
 	}
 	m.jobs[rec.id] = rec
 	m.order = append(m.order, rec.id)
@@ -356,6 +375,7 @@ func (m *Manager) runJob(id string) {
 	rec.attempts++
 	rec.started = now
 	rec.donePoints = 0
+	rec.pointNodes = nil
 	rec.queueWait = now.Sub(rec.enqueued)
 	jctx, stop := context.WithCancel(m.ctx)
 	rec.cancelRun = stop
@@ -416,48 +436,65 @@ func (m *Manager) runPoints(ctx context.Context, id string, plan *Plan) error {
 		func(ctx context.Context, i int) error {
 			pt := plan.Points[i]
 			ckey := checkpointKey(plan.ResultKey, pt.Key)
+			node := "checkpoint" // a skipped point was computed by an earlier attempt
 			if _, ok := m.blobs.Get(ckey); !ok {
-				b, err := m.runPointWithRetry(ctx, pt)
+				b, ranOn, err := m.runPointWithRetry(ctx, plan, pt)
 				if err != nil {
 					return err
 				}
 				if err := m.blobs.Put(ckey, b); err != nil {
 					return fmt.Errorf("checkpointing %s: %w", pt.Key, err)
 				}
+				node = ranOn
 			}
-			m.pointDone(ctx, id)
+			m.pointDone(ctx, id, pt.Key, node)
 			return nil
 		})
 }
 
+// runPoint executes one point through the configured runner (local Run when
+// no runner is plugged in).
+func (m *Manager) runPoint(ctx context.Context, plan *Plan, pt Point) ([]byte, string, error) {
+	if m.cfg.Runner != nil {
+		return m.cfg.Runner(ctx, plan, pt)
+	}
+	b, err := pt.Run(ctx)
+	return b, "local", err
+}
+
 // runPointWithRetry runs one point with the transient-failure retry policy:
 // exponential backoff with jitter, never retrying a cancellation.
-func (m *Manager) runPointWithRetry(ctx context.Context, pt Point) ([]byte, error) {
+func (m *Manager) runPointWithRetry(ctx context.Context, plan *Plan, pt Point) ([]byte, string, error) {
 	var lastErr error
 	for attempt := 0; attempt <= m.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			if err := sleepCtx(ctx, jitteredBackoff(m.cfg.Backoff, m.cfg.MaxBackoff, attempt-1)); err != nil {
-				return nil, err
+				return nil, "", err
 			}
 		}
-		b, err := pt.Run(ctx)
+		b, node, err := m.runPoint(ctx, plan, pt)
 		if err == nil {
-			return b, nil
+			return b, node, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
 			// Cancellation (user or drain), not a transient fault.
-			return nil, err
+			return nil, "", err
 		}
 	}
-	return nil, fmt.Errorf("point %s failed after %d attempts: %w", pt.Key, m.cfg.Retries+1, lastErr)
+	return nil, "", fmt.Errorf("point %s failed after %d attempts: %w", pt.Key, m.cfg.Retries+1, lastErr)
 }
 
-// pointDone records one completed (or checkpoint-skipped) point.
-func (m *Manager) pointDone(ctx context.Context, id string) {
+// pointDone records one completed (or checkpoint-skipped) point and which
+// node computed it.
+func (m *Manager) pointDone(ctx context.Context, id, pointKey, node string) {
 	m.mu.Lock()
 	rec := m.jobs[id]
 	rec.donePoints++
+	if rec.pointNodes == nil {
+		rec.pointNodes = make(map[string]string)
+	}
+	rec.pointNodes[pointKey] = node
 	m.applyLocked(rec, EventProgress, nil)
 	j := m.snapshotLocked(rec)
 	m.mu.Unlock()
@@ -543,6 +580,12 @@ func (m *Manager) snapshotLocked(rec *jobRec) Job {
 		Created:     rec.created,
 		Started:     rec.started,
 		Finished:    rec.finished,
+	}
+	if len(rec.pointNodes) > 0 {
+		j.Points = make(map[string]string, len(rec.pointNodes))
+		for k, n := range rec.pointNodes {
+			j.Points[k] = n
+		}
 	}
 	if rec.totalPoints > 0 {
 		j.Progress = float64(rec.donePoints) / float64(rec.totalPoints)

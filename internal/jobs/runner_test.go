@@ -1,0 +1,123 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestQueueFull: with a single worker occupied and a 1-deep queue, the next
+// submit must be refused with ErrQueueFull — the serving layer maps this
+// onto 429 + Retry-After, so the sentinel and the pending count in the
+// message are contract.
+func TestQueueFull(t *testing.T) {
+	p := &countingPlanner{block: make(chan struct{})}
+	m := newTestManager(t, Config{Planner: p.plan, Workers: 1, Queue: 1})
+	blocker, err := m.Submit(testSpec("blocker", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, StateRunning)
+	if _, err := m.Submit(testSpec("queued", 1)); err != nil {
+		t.Fatalf("submit into empty queue: %v", err)
+	}
+	_, err = m.Submit(testSpec("overflow", 1))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into full queue: %v, want ErrQueueFull", err)
+	}
+	// A refused submission must leave no half-registered job behind.
+	if _, err := m.Submit(testSpec("overflow", 1)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("repeat refused submit: %v, want ErrQueueFull again", err)
+	}
+	close(p.block)
+	waitState(t, m, blocker.ID, StateDone)
+	if n := len(m.List()); n != 2 {
+		t.Errorf("List has %d jobs after a refused submit, want 2", n)
+	}
+}
+
+func TestNegativeQueueRefused(t *testing.T) {
+	p := &countingPlanner{}
+	if _, err := NewManager(Config{Planner: p.plan, Queue: -1}); err == nil {
+		t.Error("negative queue bound accepted")
+	}
+}
+
+// TestRunnerNodeTracking plugs in a runner (the shape the distributed sweep
+// scheduler uses) and checks Job.Points records which node computed each
+// point — and that checkpoint-skipped points are labelled as such on a later
+// job over the same result key.
+func TestRunnerNodeTracking(t *testing.T) {
+	p := &countingPlanner{}
+	m := newTestManager(t, Config{
+		Planner: p.plan,
+		Runner: func(ctx context.Context, _ *Plan, pt Point) ([]byte, string, error) {
+			b, err := pt.Run(ctx)
+			return b, "worker-" + pt.Key, err
+		},
+	})
+	a, err := m.Submit(testSpec("tracked", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, a.ID, StateDone)
+	want := map[string]string{"p0": "worker-p0", "p1": "worker-p1"}
+	if len(done.Points) != len(want) {
+		t.Fatalf("Points = %v, want %v", done.Points, want)
+	}
+	for k, node := range want {
+		if done.Points[k] != node {
+			t.Errorf("Points[%s] = %q, want %q", k, done.Points[k], node)
+		}
+	}
+
+	// Same spec again: the checkpoints survive in the blob store, so the new
+	// job skips every point and records the skip.
+	b, err := m.Submit(testSpec("tracked", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID == a.ID {
+		t.Fatal("submit after completion reused the terminal job")
+	}
+	redone := waitState(t, m, b.ID, StateDone)
+	for k := range want {
+		if redone.Points[k] != "checkpoint" {
+			t.Errorf("rerun Points[%s] = %q, want checkpoint", k, redone.Points[k])
+		}
+	}
+	if runs := p.runs.Load(); runs != 2 {
+		t.Errorf("points ran %d times across both jobs, want 2 (second job all skips)", runs)
+	}
+}
+
+// TestRunnerErrorRetries: a runner error burns the same retry budget a local
+// run would.
+func TestRunnerErrorRetries(t *testing.T) {
+	p := &countingPlanner{}
+	calls := 0
+	m := newTestManager(t, Config{
+		Planner: p.plan,
+		Retries: 1,
+		Backoff: 1,
+		Runner: func(ctx context.Context, _ *Plan, pt Point) ([]byte, string, error) {
+			calls++
+			if calls == 1 {
+				return nil, "", errors.New("transient dispatch fault")
+			}
+			b, err := pt.Run(ctx)
+			return b, "recovered", err
+		},
+	})
+	j, err := m.Submit(testSpec("retrying", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, j.ID, StateDone)
+	if done.Points["p0"] != "recovered" {
+		t.Errorf("Points = %v, want p0 computed on the retry", done.Points)
+	}
+	if calls != 2 {
+		t.Errorf("runner called %d times, want 2", calls)
+	}
+}

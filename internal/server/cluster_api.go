@@ -135,7 +135,26 @@ func (s *Server) handlePeerManifest(w http.ResponseWriter, _ *http.Request) {
 // handleClusterStatus serves the operator view: ring ownership, per-peer
 // health and traffic, replication lag, anti-entropy progress.
 func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
-	b, err := verify.MarshalGolden(s.cluster.Status())
+	st := s.cluster.Status()
+	// Decorate the member rows with distributed-sweep work: the ring knows
+	// ownership and health, but only the serving layer counts points.
+	if s.dist != nil {
+		dm := s.dist.Metrics()
+		for i := range st.Peers {
+			if st.Peers[i].Self {
+				st.Peers[i].Points = dm.CompletedLocal + s.m.distPointsComputed.Load()
+			} else {
+				st.Peers[i].Points = dm.PerPeer[st.Peers[i].ID]
+			}
+		}
+	} else {
+		for i := range st.Peers {
+			if st.Peers[i].Self {
+				st.Peers[i].Points = s.m.distPointsComputed.Load()
+			}
+		}
+	}
+	b, err := verify.MarshalGolden(st)
 	if err != nil {
 		s.m.errors.Add(1)
 		writeJSONError(w, http.StatusInternalServerError, err.Error())

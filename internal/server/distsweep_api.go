@@ -1,0 +1,155 @@
+package server
+
+// The serving layer's distributed-sweep face. Two halves:
+//
+//   - runJobPoint is the job orchestrator's pluggable per-point runner: when
+//     the distsweep scheduler is enabled and the planner attached a wire
+//     spec to the point, execution routes through the scheduler (ring-owner
+//     dispatch, retry-then-local, hedged stragglers); otherwise the point
+//     runs locally exactly as before.
+//   - handlePeerCompute is the worker side of the point protocol — the one
+//     deliberate exception to "peer endpoints are compute-free". A verified
+//     point spec computes through this node's full serving discipline:
+//     single-flight collapse on the checkpoint key, cold-class admission
+//     (a sweep storm from coordinators queues behind local cold misses,
+//     sheds with 429 when the queue fills, and the coordinator's fallback
+//     handles the rest), and write-behind publication of the checkpoint so
+//     repeat requests are cache peeks. The computed bytes are exactly what
+//     the coordinator's local closure would have produced — same lab
+//     options (digest-checked), same Figure8Cell → canonical JSON path — so
+//     distribution never changes a single byte of the assembled figure.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+
+	"nanocache/internal/cluster"
+	"nanocache/internal/distsweep"
+	"nanocache/internal/jobs"
+)
+
+// runJobPoint executes one planned sweep point: through the distsweep
+// scheduler when it is enabled and the point carries a wire spec, locally
+// otherwise. The returned node name lands in Job.Points for the SSE feed.
+func (s *Server) runJobPoint(ctx context.Context, _ *jobs.Plan, pt jobs.Point) ([]byte, string, error) {
+	if s.dist != nil {
+		if spec, ok := pt.Dist.(*distsweep.PointSpec); ok && spec != nil {
+			return s.dist.RunPoint(ctx, *spec, pt.Run)
+		}
+	}
+	b, err := pt.Run(ctx)
+	node := "local"
+	if s.cluster != nil {
+		node = s.cluster.Self()
+	}
+	return b, node, err
+}
+
+// handlePeerCompute serves POST /v1/peer/compute: decode and verify the
+// point-work envelope, refuse foreign lab options, then answer from the
+// local tiers or compute once under cold-class admission.
+func (s *Server) handlePeerCompute(w http.ResponseWriter, r *http.Request) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cluster.MaxEnvelopeBytes))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "reading compute body: "+err.Error())
+		return
+	}
+	_, spec, err := distsweep.DecodeRequest(b)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.OptionsDigest != s.optsDigest {
+		// Same guard as anti-entropy: mixed-options fleets must fail loudly,
+		// not exchange byte-mismatched results.
+		writeJSONError(w, http.StatusConflict,
+			"point pinned to different lab options digest "+spec.OptionsDigest)
+		return
+	}
+	ckey := spec.CheckpointKey()
+	if payload, ok := s.peek(ckey); ok {
+		// An earlier sweep (or a replica) already paid for this point.
+		s.m.distPointsCached.Add(1)
+		s.writePointEnvelope(w, ckey, payload)
+		return
+	}
+	fl, created := s.flights.join(ckey)
+	if created {
+		if s.startWork() {
+			go s.computePoint(fl, ckey, spec)
+		} else {
+			s.flights.forget(ckey, fl)
+			fl.finish(nil, context.Canceled)
+		}
+	}
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			s.failRequest(w, fl.err)
+			return
+		}
+		s.writePointEnvelope(w, ckey, fl.val)
+	case <-r.Context().Done():
+		s.flights.leave(ckey, fl)
+		writeJSONError(w, http.StatusGatewayTimeout,
+			"coordinator gave up waiting for point compute")
+	}
+}
+
+// computePoint runs one collapsed point computation under cold-class
+// admission and publishes the checkpoint write-behind.
+func (s *Server) computePoint(fl *flight, ckey string, spec distsweep.PointSpec) {
+	defer s.wg.Done()
+	if err := s.adm.acquire(fl.ctx, classCold); err != nil {
+		s.flights.forget(ckey, fl)
+		fl.finish(nil, err)
+		return
+	}
+	defer s.adm.release()
+	payload, err := s.buildPoint(fl.ctx, spec)
+	if err != nil {
+		s.flights.forget(ckey, fl)
+		fl.finish(nil, err)
+		return
+	}
+	s.m.distPointsComputed.Add(1)
+	s.cache.Put(ckey, payload)
+	s.flights.forget(ckey, fl)
+	fl.finish(payload, nil)
+	// Write-behind into the durable tier, after the waiter is resolved —
+	// the checkpoint survives a restart, and the store's manifest lets
+	// anti-entropy hand it to replica owners.
+	if s.store != nil {
+		s.store.Put(ckey, payload)
+	}
+}
+
+// buildPoint computes one point spec's result bytes — exactly the bytes the
+// coordinator's local point closure produces for the same point.
+func (s *Server) buildPoint(ctx context.Context, spec distsweep.PointSpec) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Figure != "fig8" {
+		return nil, badParamf("figure %q has no distributable decomposition", spec.Figure)
+	}
+	side, err := parseSide(url.Values{"side": {spec.Side}})
+	if err != nil {
+		return nil, err
+	}
+	cell, err := s.lab.Figure8Cell(spec.Bench, side)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cell)
+}
+
+// writePointEnvelope wraps a computed point in the wire envelope.
+func (s *Server) writePointEnvelope(w http.ResponseWriter, ckey string, payload []byte) {
+	env := cluster.PeerEnvelope{Node: s.cluster.Self(), Key: ckey, Payload: payload}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(env.Encode())
+}

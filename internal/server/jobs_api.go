@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
+	"nanocache/internal/distsweep"
 	"nanocache/internal/experiments"
 	"nanocache/internal/jobs"
 	"nanocache/internal/verify"
@@ -75,6 +77,10 @@ func (s *Server) planFigureJob(spec jobs.Spec) (*jobs.Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		sideStr := "d"
+		if side == experiments.InstructionCache {
+			sideStr = "i"
+		}
 		benches := s.cfg.Options.BenchmarkList()
 		for _, bench := range benches {
 			bench := bench
@@ -89,6 +95,16 @@ func (s *Server) planFigureJob(spec jobs.Spec) (*jobs.Plan, error) {
 						return nil, err
 					}
 					return json.Marshal(cell)
+				},
+				// The wire twin of Run: everything a ring peer needs to compute
+				// these exact bytes through its own lab (digest-pinned options).
+				Dist: &distsweep.PointSpec{
+					OptionsDigest: s.optsDigest,
+					ResultKey:     resultKey,
+					PointKey:      "bench=" + bench,
+					Figure:        "fig8",
+					Bench:         bench,
+					Side:          sideStr,
 				},
 			})
 		}
@@ -121,6 +137,21 @@ func (s *Server) planFigureJob(spec jobs.Spec) (*jobs.Plan, error) {
 	}}
 	plan.Merge = func(_ context.Context, results [][]byte) ([]byte, error) { return results[0], nil }
 	return plan, nil
+}
+
+// ResultKeyForFigure computes the result key a figure job with these
+// parameters publishes under — the handle cluster tests use to predict the
+// ring placement of a sweep's points before submitting it.
+func (s *Server) ResultKeyForFigure(figure string, params map[string]string) (string, error) {
+	fig, ok := figureRegistry[figure]
+	if !ok {
+		return "", badParamf("unknown figure %q", figure)
+	}
+	key, err := canonicalFigureKey(figure, fig, specQuery(jobs.Spec{Params: params}))
+	if err != nil {
+		return "", err
+	}
+	return "figure|" + key + "@" + s.optsDigest, nil
 }
 
 func (s *Server) planRunJob(spec jobs.Spec) (*jobs.Plan, error) {
@@ -312,6 +343,17 @@ func (s *Server) failJobRequest(w http.ResponseWriter, err error) {
 		writeJSONError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, jobs.ErrTerminal):
 		writeJSONError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, jobs.ErrQueueFull):
+		// Same shed contract as admission refusals: 429 with a Retry-After
+		// hint and the shed disposition header, so submitters back off the
+		// way load generators already know how to.
+		secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("X-Nanocache", "shed")
+		writeJSONError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, jobs.ErrClosed):
 		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
 	default:

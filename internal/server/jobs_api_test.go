@@ -529,3 +529,85 @@ func TestJobsRefusedWhileDraining(t *testing.T) {
 		t.Errorf("submit while draining: %d %s, want 503", code, body)
 	}
 }
+
+// TestJobSubmitQueueFullSheds pins the submission-shedding contract: with
+// the single job worker held and a 1-deep queue, the next POST /v1/jobs must
+// answer 429 with the same Retry-After + "X-Nanocache: shed" shape admission
+// shedding uses — submitters back off the way load generators already know.
+func TestJobSubmitQueueFullSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Options:    tinyOptions(),
+		JobQueue:   1,
+		RetryAfter: 2 * time.Second,
+	})
+	release := make(chan struct{})
+	s.Jobs().SetPointHook(func(ctx context.Context, _ jobs.Job) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	})
+
+	// Occupy the worker...
+	code, body := postJSON(t, ts.URL+"/v1/jobs", `{"figure":"fig8","params":{"side":"d"}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", code, body)
+	}
+	var first jobs.Job
+	json.Unmarshal(body, &first)
+	waitJobState(t, ts.URL, first.ID, jobs.StateRunning)
+
+	// ...fill the queue...
+	code, body = postJSON(t, ts.URL+"/v1/jobs", `{"figure":"fig8","params":{"side":"i"}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit: %d %s", code, body)
+	}
+	var second jobs.Job
+	json.Unmarshal(body, &second)
+
+	// ...and overflow it.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"figure":"fig2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overflow, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %s, want 429", resp.StatusCode, overflow)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if got := resp.Header.Get("X-Nanocache"); got != "shed" {
+		t.Errorf("X-Nanocache = %q, want shed", got)
+	}
+	if !strings.Contains(string(overflow), "queue full") {
+		t.Errorf("overflow body %s, want a queue-full message", overflow)
+	}
+
+	// Releasing the worker drains the queue: both accepted jobs complete.
+	close(release)
+	for _, id := range []string{first.ID, second.ID} {
+		if done := waitJobHTTP(t, ts.URL, id); done.State != jobs.StateDone {
+			t.Errorf("job %s finished as %s, want done", id, done.State)
+		}
+	}
+}
+
+// waitJobState polls until the job reaches the wanted (non-terminal) state.
+func waitJobState(t *testing.T, base, id string, want jobs.State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, _, body := get(t, base+"/v1/jobs/"+id)
+		var j jobs.Job
+		if err := json.Unmarshal(body, &j); err == nil && j.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s (last: %s)", id, want, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

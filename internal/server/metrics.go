@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nanocache/internal/cluster"
+	"nanocache/internal/distsweep"
 	"nanocache/internal/experiments"
 	"nanocache/internal/jobs"
 	"nanocache/internal/stats"
@@ -40,6 +41,10 @@ type metricSet struct {
 	peerServedHits     atomic.Uint64 // objects served to peers
 	peerServedMisses   atomic.Uint64 // peer asks for objects not resident here
 	peerPushesAccepted atomic.Uint64 // verified replication pushes installed
+
+	// Worker side of the distributed sweep protocol.
+	distPointsComputed atomic.Uint64 // points computed here for coordinators
+	distPointsCached   atomic.Uint64 // point requests answered from the local tiers
 
 	latency *stats.Latency
 }
@@ -92,6 +97,18 @@ type MetricsSnapshot struct {
 	PeerServedMisses   uint64
 	PeerPushesAccepted uint64
 
+	// Distributed sweep counters. DistSweep is the coordinator-side
+	// scheduler view (zero-valued on a member running with dispatch off);
+	// DistPointsComputed/Cached are this node's worker side of the same
+	// protocol. DistPointsCompleted is the headline "points computed on this
+	// node" — scheduler-local completions plus worker-served computes — the
+	// cluster smoke asserts lands >0 on several members at once.
+	DistSweepEnabled    bool
+	DistSweep           distsweep.Metrics
+	DistPointsComputed  uint64
+	DistPointsCached    uint64
+	DistPointsCompleted uint64
+
 	// Admission holds the per-class controller counters keyed by class name
 	// ("cheap", "cold"): queue depth, admitted/shed counts, accounted cost
 	// units and queue-wait quantiles. Cached hits never reach the
@@ -114,7 +131,7 @@ type MetricsSnapshot struct {
 // snapshot gathers the counters plus the cache, store, job, admission and
 // cluster gauges. st, jm, adm and cl may be nil (memory-only server, early
 // construction, single-node daemon).
-func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *admission, cl *cluster.Cluster) MetricsSnapshot {
+func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *admission, cl *cluster.Cluster, ds *distsweep.Scheduler) MetricsSnapshot {
 	s := MetricsSnapshot{
 		Requests:       m.requests.Load(),
 		CacheHits:      m.hits.Load(),
@@ -139,6 +156,14 @@ func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *adm
 		s.PeerServedHits = m.peerServedHits.Load()
 		s.PeerServedMisses = m.peerServedMisses.Load()
 		s.PeerPushesAccepted = m.peerPushesAccepted.Load()
+		s.DistPointsComputed = m.distPointsComputed.Load()
+		s.DistPointsCached = m.distPointsCached.Load()
+		s.DistPointsCompleted = s.DistPointsComputed
+		if ds != nil {
+			s.DistSweepEnabled = true
+			s.DistSweep = ds.Metrics()
+			s.DistPointsCompleted += s.DistSweep.CompletedLocal
+		}
 	}
 	for _, st := range jobs.States() {
 		s.JobStates[string(st)] = 0
@@ -172,8 +197,8 @@ func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *adm
 }
 
 // render writes the plaintext exposition.
-func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manager, adm *admission, cl *cluster.Cluster) {
-	s := m.snapshot(c, st, jm, adm, cl)
+func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manager, adm *admission, cl *cluster.Cluster, ds *distsweep.Scheduler) {
+	s := m.snapshot(c, st, jm, adm, cl, ds)
 	line := func(name string, v any) { fmt.Fprintf(w, "%s %v\n", name, v) }
 	line("nanocached_up", 1)
 	line("nanocached_uptime_seconds", int64(time.Since(m.start).Seconds()))
@@ -235,6 +260,25 @@ func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manage
 		line("nanocached_cluster_served_hits_total", s.PeerServedHits)
 		line("nanocached_cluster_served_misses_total", s.PeerServedMisses)
 		line("nanocached_cluster_pushes_accepted_total", s.PeerPushesAccepted)
+		line("nanocached_distsweep_points_completed_total", s.DistPointsCompleted)
+		line("nanocached_distsweep_points_served_total", s.DistPointsComputed)
+		line("nanocached_distsweep_points_served_cached_total", s.DistPointsCached)
+		line("nanocached_distsweep_points_dispatched_total", s.DistSweep.Dispatched)
+		line("nanocached_distsweep_points_remote_total", s.DistSweep.CompletedPeer)
+		line("nanocached_distsweep_points_failed_total", s.DistSweep.Failed)
+		line("nanocached_distsweep_points_hedged_total", s.DistSweep.Hedged)
+		line("nanocached_distsweep_points_fallback_local_total", s.DistSweep.FallbackLocal)
+		peers := make([]string, 0, len(s.DistSweep.PerPeer))
+		for id := range s.DistSweep.PerPeer {
+			peers = append(peers, id)
+		}
+		sort.Strings(peers)
+		for _, id := range peers {
+			fmt.Fprintf(w, "nanocached_distsweep_peer_points_total{peer=%q} %d\n", id, s.DistSweep.PerPeer[id])
+		}
+		line("nanocached_distsweep_point_latency_us_count", s.DistSweep.Latency.Count)
+		fmt.Fprintf(w, "nanocached_distsweep_point_latency_us{quantile=\"0.5\"} %d\n", s.DistSweep.Latency.P50)
+		fmt.Fprintf(w, "nanocached_distsweep_point_latency_us{quantile=\"0.99\"} %d\n", s.DistSweep.Latency.P99)
 	}
 	line("nanocached_request_latency_us_count", s.Latency.Count)
 	fmt.Fprintf(w, "nanocached_request_latency_us{quantile=\"0.5\"} %d\n", s.Latency.P50)

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"nanocache/internal/cluster"
+	"nanocache/internal/distsweep"
 	"nanocache/internal/experiments"
 	"nanocache/internal/jobs"
 	"nanocache/internal/store"
@@ -95,8 +96,19 @@ type Config struct {
 	// only exchanged between nodes serving identical lab options.
 	Cluster *cluster.Config
 
+	// DistSweepOff disables distributed sweep execution, which is otherwise
+	// on by default for clustered daemons: a job's planned sweep points fan
+	// out to the ring owner of each point's checkpoint key (POST
+	// /v1/peer/compute) instead of all computing on the accepting node, with
+	// retry-then-local fallback and hedged straggler re-dispatch
+	// (internal/distsweep). Meaningless without Cluster.
+	DistSweepOff bool
+
 	// Jobs bounds concurrently executing async jobs (default 1).
 	Jobs int
+	// JobQueue bounds the async submission queue (default 4096); submissions
+	// beyond it are shed with 429 + Retry-After.
+	JobQueue int
 	// JobRetries is the per-sweep-point transient-failure retry budget for
 	// async jobs (default 2; exponential backoff with jitter).
 	JobRetries int
@@ -114,7 +126,8 @@ type Server struct {
 	cache      *lru
 	store      *store.Store // durable second tier; nil without StoreDir
 	jobs       *jobs.Manager
-	cluster    *cluster.Cluster // peer tier; nil on a single-node daemon
+	cluster    *cluster.Cluster    // peer tier; nil on a single-node daemon
+	dist       *distsweep.Scheduler // sweep fan-out; nil unless clustered with DistSweep on
 	clusterOff sync.Once
 	flights    *flightGroup
 	adm        *admission
@@ -244,35 +257,66 @@ func New(cfg Config) (*Server, error) {
 		blobs = st
 		recordDir = filepath.Join(cfg.StoreDir, "jobs")
 	}
+	// The cluster (and on top of it the distributed sweep scheduler) must
+	// exist before the job orchestrator: Resume can re-queue jobs whose
+	// points start dispatching through the runner immediately.
+	if cfg.Cluster != nil {
+		cc := *cfg.Cluster
+		cc.OptionsDigest = digest
+		cl, err := cluster.New(cc, clusterBackend{s})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.cluster = cl
+		if !cfg.DistSweepOff {
+			ds, err := distsweep.New(distsweep.Config{
+				Cluster:    cl,
+				Transport:  cc.Transport,
+				HedgeAfter: cc.HedgeAfter,
+			})
+			if err != nil {
+				s.clusterOff.Do(cl.Close)
+				cancel()
+				return nil, err
+			}
+			s.dist = ds
+		}
+	}
+	pointParallelism := 0 // manager default: sequential points
+	if s.dist != nil {
+		// Distribution only helps if the coordinator keeps every worker's
+		// per-peer dispatch window full; two in flight per member covers
+		// pipelining without flooding anyone's cold admission queue.
+		pointParallelism = 2 * len(cfg.Cluster.Peers)
+	}
 	jm, err := jobs.NewManager(jobs.Config{
-		Workers:   cfg.Jobs,
-		Retries:   cfg.JobRetries,
-		Backoff:   cfg.JobBackoff,
-		Planner:   s.planJob,
-		Blobs:     blobs,
-		RecordDir: recordDir,
-		Fsync:     cfg.StoreFsync,
+		Workers:          cfg.Jobs,
+		Retries:          cfg.JobRetries,
+		Backoff:          cfg.JobBackoff,
+		PointParallelism: pointParallelism,
+		Queue:            cfg.JobQueue,
+		Runner:           s.runJobPoint,
+		Planner:          s.planJob,
+		Blobs:            blobs,
+		RecordDir:        recordDir,
+		Fsync:            cfg.StoreFsync,
 	})
 	if err != nil {
+		if s.cluster != nil {
+			s.clusterOff.Do(s.cluster.Close)
+		}
 		cancel()
 		return nil, err
 	}
 	s.jobs = jm
 	if _, err := jm.Resume(); err != nil {
 		jm.Close(context.Background())
+		if s.cluster != nil {
+			s.clusterOff.Do(s.cluster.Close)
+		}
 		cancel()
 		return nil, err
-	}
-	if cfg.Cluster != nil {
-		cc := *cfg.Cluster
-		cc.OptionsDigest = digest
-		cl, err := cluster.New(cc, clusterBackend{s})
-		if err != nil {
-			jm.Close(context.Background())
-			cancel()
-			return nil, err
-		}
-		s.cluster = cl
 	}
 	s.routes()
 	return s, nil
@@ -314,7 +358,7 @@ func (s *Server) OptionsDigest() string { return s.optsDigest }
 
 // Metrics returns a snapshot of the serving counters.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.m.snapshot(s.cache, s.store, s.jobs, s.adm, s.cluster)
+	return s.m.snapshot(s.cache, s.store, s.jobs, s.adm, s.cluster, s.dist)
 }
 
 // Draining reports whether Close has begun.
@@ -379,6 +423,10 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("GET "+cluster.PathObject, s.handlePeerObjectGet)
 		s.mux.HandleFunc("PUT "+cluster.PathObject, s.handlePeerObjectPut)
 		s.mux.HandleFunc("GET "+cluster.PathManifest, s.handlePeerManifest)
+		// The worker side of distributed sweeps is served whenever clustered,
+		// independent of this node's own DistSweepOff: disabling dispatch on
+		// one member must not make it refuse work from coordinators.
+		s.mux.HandleFunc("POST "+distsweep.PathCompute, s.handlePeerCompute)
 		s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	}
 }
@@ -600,7 +648,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.render(w, s.cache, s.store, s.jobs, s.adm, s.cluster)
+	s.m.render(w, s.cache, s.store, s.jobs, s.adm, s.cluster, s.dist)
 }
 
 func (s *Server) handleOptions(w http.ResponseWriter, _ *http.Request) {
