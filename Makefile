@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race race-server bench bench-save bench-compare bench-load bench-load-compare profile figures figures-quick serve verify cover cover-gate fuzz clean
+.PHONY: all build test race race-server bench bench-save bench-compare bench-load bench-load-compare bench-cluster-compare profile figures figures-quick serve verify cover cover-gate fuzz clean
 
 all: build test
 
@@ -39,8 +39,9 @@ bench:
 # lands in BENCH_core.json so hot-loop regressions show up as a diff.
 # bench-load rides along so the serving layer's load trajectory
 # (BENCH_load.json) is re-recorded with the rest, and the distributed sweep
-# pair (cold fig8 on a standalone daemon vs a 3-member in-process fleet)
-# lands in BENCH_cluster.json so fan-out overhead is diffable PR to PR.
+# pairs (cold fig8 and cold sensitivity, each on a standalone daemon vs a
+# 3-member in-process fleet) land in BENCH_cluster.json so fan-out overhead
+# is diffable PR to PR (`make bench-cluster-compare` gates the ratios).
 bench-save: bench-load
 	go test -json -run '^$$' -bench=. -benchtime=1x ./... > BENCH_parallel.json
 	go test -json -run '^$$' -bench='^BenchmarkServer' -benchtime=10x ./internal/server/ > BENCH_server.json
@@ -86,6 +87,16 @@ bench-compare:
 	@{ echo '{"Action":"note","Package":"nanocache/internal/experiments","Output":"candidate recording for benchdiff; regenerate the baseline with make bench-save"}'; \
 	go test -json -run '^$$' -bench='^BenchmarkSweepReplay' -benchtime=5x -count=3 ./internal/experiments/; } > BENCH_core.new.json
 	go run ./cmd/benchdiff -old BENCH_core.json -new BENCH_core.new.json -metric ms/sweep -tolerance 0.10
+
+# Distributed-sweep perf gate: re-run the single-vs-cluster3 pairs into a
+# candidate file and diff the *speedup ratios* against the checked-in
+# BENCH_cluster.json — absolute times drift with the runner, but the fleet
+# falling behind its own standalone baseline is a fan-out regression. Soft
+# gate in CI (in-process members share cores on small runners).
+bench-cluster-compare:
+	go test -json -run '^$$' -bench='^BenchmarkDistributedSweep' -benchtime=3x \
+		./internal/cluster/clustertest/ > BENCH_cluster.new.json
+	go run ./cmd/benchdiff -cluster -old BENCH_cluster.json -new BENCH_cluster.new.json -tolerance 0.25
 
 # CPU and heap profiles of the incremental sweep engine benchmark, with a
 # top-10 symbol summary of each printed for a quick look; open the .pprof
@@ -143,6 +154,7 @@ FUZZ_TARGETS := \
 	FuzzStoreEnvelope:./internal/store \
 	FuzzPeerEnvelope:./internal/cluster \
 	FuzzPointSpecEnvelope:./internal/distsweep \
+	FuzzBatchEnvelope:./internal/distsweep \
 	FuzzSnapshotRestore:./internal/experiments
 
 fuzz:

@@ -7,6 +7,17 @@
 //
 //	benchdiff -old BENCH_core.json -new BENCH_core.new.json
 //
+// Cluster mode (`-cluster`) reads the BENCH_cluster.json shape instead:
+// benchmarks recorded as `<prefix>/single` and `<prefix>/cluster3` pairs
+// (a standalone daemon vs a 3-member fleet timing the same cold figure
+// job). For each pair in each file the speedup ratio single/cluster3 of
+// the watched metric (ns/op by default here) is computed, and the gate
+// fails when a pair's *ratio* shrinks beyond the tolerance — absolute
+// times on a shared runner drift together, but the fleet falling behind
+// its own standalone baseline is a real fan-out regression.
+//
+//	benchdiff -cluster -old BENCH_cluster.json -new BENCH_cluster.new.json
+//
 // Metric semantics: for each (benchmark, metric) pair the smallest sample
 // across the file's `-count` repetitions is used — timing noise on a shared
 // runner only ever inflates a measurement, so the minimum is the least
@@ -38,8 +49,11 @@ type event struct {
 
 // benchLine matches a complete benchmark result line once the fragmented
 // Output stream is reassembled: name (with optional -P GOMAXPROCS suffix),
-// iteration count, then the metric list.
-var benchLine = regexp.MustCompile(`(?m)^(Benchmark[^\s-]+(?:/[^\s]+)?)(?:-\d+)?[ \t]+\d+[ \t]+(.+)$`)
+// iteration count, then the metric list. The sub-benchmark group is lazy so
+// a GOMAXPROCS suffix on a nested name (BenchmarkX/sub/case-8) is stripped
+// rather than folded into the name — a greedy group would record the same
+// benchmark under different names on machines with different core counts.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark[^\s-]+(?:/[^\s]+?)?)(?:-\d+)?[ \t]+\d+[ \t]+(.+)$`)
 
 // metrics[bench][metric] = best (smallest) recorded value.
 type metrics map[string]map[string]float64
@@ -94,7 +108,20 @@ func main() {
 	newPath := flag.String("new", "BENCH_core.new.json", "candidate recording (test2json)")
 	metric := flag.String("metric", "ms/sweep", "watched metric; new/old above 1+tolerance fails")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression of the watched metric")
+	cluster := flag.Bool("cluster", false,
+		"compare single/cluster3 speedup ratios (BENCH_cluster.json shape) instead of raw metrics")
 	flag.Parse()
+	if *cluster {
+		metricSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "metric" {
+				metricSet = true
+			}
+		})
+		if !metricSet {
+			*metric = "ns/op"
+		}
+	}
 
 	oldM, err := parse(*oldPath)
 	if err != nil {
@@ -107,12 +134,87 @@ func main() {
 		os.Exit(2)
 	}
 
-	report, failed := compare(oldM, newM, *metric, *tolerance)
+	var report string
+	var failed bool
+	if *cluster {
+		report, failed = compareCluster(oldM, newM, *metric, *tolerance)
+	} else {
+		report, failed = compare(oldM, newM, *metric, *tolerance)
+	}
 	fmt.Print(report)
 	if failed {
-		fmt.Printf("FAIL: %s regressed beyond %.0f%%\n", *metric, *tolerance*100)
+		if *cluster {
+			fmt.Printf("FAIL: single/cluster3 speedup shrank beyond %.0f%%\n", *tolerance*100)
+		} else {
+			fmt.Printf("FAIL: %s regressed beyond %.0f%%\n", *metric, *tolerance*100)
+		}
 		os.Exit(1)
 	}
+}
+
+// speedups pairs each `<prefix>/single` benchmark with its
+// `<prefix>/cluster3` sibling and returns prefix → single/cluster3 ratio of
+// the watched metric. A half-recorded pair (one side missing the metric) is
+// skipped — there is no ratio to gate.
+func speedups(m metrics, metric string) map[string]float64 {
+	out := map[string]float64{}
+	for name, vals := range m {
+		if !strings.HasSuffix(name, "/single") {
+			continue
+		}
+		prefix := strings.TrimSuffix(name, "/single")
+		sv, ok := vals[metric]
+		if !ok {
+			continue
+		}
+		cv, ok := m[prefix+"/cluster3"][metric]
+		if !ok || cv == 0 {
+			continue
+		}
+		out[prefix] = sv / cv
+	}
+	return out
+}
+
+// compareCluster renders the per-pair speedup comparison and reports
+// whether any pair's fleet advantage shrank beyond the tolerance. Dropped
+// and new pairs follow the same non-fatal rules as compare.
+func compareCluster(oldM, newM metrics, metric string, tolerance float64) (string, bool) {
+	oldS, newS := speedups(oldM, metric), speedups(newM, metric)
+	names := make([]string, 0, len(oldS)+len(newS))
+	seen := map[string]bool{}
+	for n := range oldS {
+		names, seen[n] = append(names, n), true
+	}
+	for n := range newS {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	failed := false
+	for _, name := range names {
+		ov, oldHas := oldS[name]
+		nv, newHas := newS[name]
+		switch {
+		case !newHas:
+			fmt.Fprintf(&b, "%-40s dropped (old speedup %.2fx, no new pair)\n", name, ov)
+		case !oldHas:
+			fmt.Fprintf(&b, "%-40s new     speedup %.2fx (no baseline pair)\n", name, nv)
+		default:
+			delta := nv/ov - 1
+			status := "ok"
+			if delta < -tolerance {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(&b, "%-40s speedup %.2fx -> %.2fx (%+.1f%%, tolerance %.0f%%) %s\n",
+				name, ov, nv, delta*100, tolerance*100, status)
+		}
+	}
+	return b.String(), failed
 }
 
 // compare renders the per-benchmark comparison of the watched metric and

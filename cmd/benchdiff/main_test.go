@@ -179,6 +179,94 @@ func TestCompareLoadP99Gate(t *testing.T) {
 	}
 }
 
+// clusterSample is a BENCH_cluster.json recording as `make bench-save`
+// writes it: fig8's flat single/cluster3 pair plus the nested sensitivity
+// pair, with GOMAXPROCS suffixes as a multi-core runner records them — the
+// nested names pin the lazy sub-benchmark group (a greedy one would fold
+// "-4" into the name and break pairing across machines).
+const clusterSample = `{"Action":"start","Package":"nanocache/internal/cluster/clustertest"}
+{"Action":"output","Package":"p","Output":"BenchmarkDistributedSweep/single-4 \t       3\t  22915361 ns/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkDistributedSweep/cluster3-4 \t       3\t  22108877 ns/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkDistributedSweep/sensitivity/single-4 \t       3\t  68746083 ns/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkDistributedSweep/sensitivity/cluster3-4 \t       3\t  30108877 ns/op\n"}
+{"Action":"output","Package":"p","Output":"PASS\n"}
+`
+
+// TestParseClusterRecording pins the BENCH_cluster.json shape: both pairs
+// parse under suffix-free names and speedups() pairs them correctly.
+func TestParseClusterRecording(t *testing.T) {
+	m, err := parse(writeSample(t, "BENCH_cluster.json", clusterSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkDistributedSweep/sensitivity/single"]["ns/op"]; got != 68746083 {
+		t.Fatalf("nested single ns/op = %v, want 68746083 (suffix not stripped?)", got)
+	}
+	s := speedups(m, "ns/op")
+	if len(s) != 2 {
+		t.Fatalf("speedups found %d pairs, want 2: %v", len(s), s)
+	}
+	if got := s["BenchmarkDistributedSweep/sensitivity"]; got < 2.27 || got > 2.29 {
+		t.Fatalf("sensitivity speedup = %v, want ~2.28", got)
+	}
+	if got := s["BenchmarkDistributedSweep"]; got < 1.03 || got > 1.04 {
+		t.Fatalf("fig8 speedup = %v, want ~1.036", got)
+	}
+}
+
+// TestCompareClusterSpeedupGate drives the -cluster gate: a shrinking
+// single/cluster3 ratio fails, a growing one passes even when both absolute
+// times regressed (shared-runner drift must not trip the gate), and
+// half-recorded or missing pairs are tolerated like compare's missing sides.
+func TestCompareClusterSpeedupGate(t *testing.T) {
+	pair := func(single, cluster float64) metrics {
+		return metrics{
+			"BenchmarkDistributedSweep/single":   {"ns/op": single},
+			"BenchmarkDistributedSweep/cluster3": {"ns/op": cluster},
+		}
+	}
+
+	// Both sides 2× slower but the ratio held: no regression.
+	report, failed := compareCluster(pair(30e6, 10e6), pair(60e6, 20e6), "ns/op", 0.10)
+	if failed {
+		t.Fatalf("stable ratio under uniform slowdown flagged:\n%s", report)
+	}
+
+	// Ratio shrank 3.0x -> 2.0x: the fleet lost ground, gate fails.
+	report, failed = compareCluster(pair(30e6, 10e6), pair(30e6, 15e6), "ns/op", 0.10)
+	if !failed || !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("ratio collapse not flagged:\n%s", report)
+	}
+
+	// Ratio grew: never a regression.
+	report, failed = compareCluster(pair(30e6, 10e6), pair(30e6, 5e6), "ns/op", 0.10)
+	if failed {
+		t.Fatalf("improved ratio flagged:\n%s", report)
+	}
+
+	// New pair with no baseline (first recording of a figure) is reported,
+	// not failed; a dropped pair likewise.
+	newOnly := metrics{
+		"BenchmarkDistributedSweep/sensitivity/single":   {"ns/op": 60e6},
+		"BenchmarkDistributedSweep/sensitivity/cluster3": {"ns/op": 25e6},
+	}
+	report, failed = compareCluster(pair(30e6, 10e6), newOnly, "ns/op", 0.10)
+	if failed {
+		t.Fatalf("missing baselines must not fail the cluster gate:\n%s", report)
+	}
+	if !strings.Contains(report, "no baseline pair") || !strings.Contains(report, "dropped") {
+		t.Fatalf("report does not note new/dropped pairs:\n%s", report)
+	}
+
+	// A half-recorded pair (cluster3 side missing the metric) yields no
+	// ratio and stays silent rather than gating on garbage.
+	half := metrics{"BenchmarkDistributedSweep/single": {"ns/op": 30e6}}
+	report, failed = compareCluster(half, half, "ns/op", 0.10)
+	if failed || report != "" {
+		t.Fatalf("half pair should be silent: failed=%v\n%s", failed, report)
+	}
+}
+
 // TestParseSkipsMalformedLines pins the parser's tolerance contract: broken
 // JSON events, output lines that only look like benchmarks, and metric
 // pairs with unparsable values must be skipped, not crash or pollute the

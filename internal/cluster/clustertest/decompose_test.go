@@ -1,0 +1,216 @@
+package clustertest
+
+// Decomposition-registry scenarios: every figure with a registered
+// decomposition (not just fig8) fans its cells over the ring, and each one
+// keeps the same contract the original fig8 fan-out proved — deterministic
+// ring placement, byte identity with a standalone daemon, and fault
+// tolerance per point. These tests also pin the batched dispatch path: with
+// a raised coalescing window, a job's points travel in fewer envelopes than
+// there are points.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nanocache/internal/distsweep"
+	"nanocache/internal/experiments"
+	"nanocache/internal/jobs"
+	"nanocache/internal/server"
+)
+
+// decomposedFigures are the figures beyond fig8 whose jobs must fan out
+// through the registry. Kept in sync with the registrations in
+// internal/experiments/decompose_*.go — TestDecompositionMatchesSynchronous
+// over there proves cell/assemble correctness, these scenarios prove the
+// cluster path.
+var decomposedFigures = []string{"fig9", "fig10", "machine", "sensitivity"}
+
+// decomposeOptions trims the sweep set to three benchmarks: enough spread
+// for a three-member ring, small enough that four multi-cell figures (up to
+// 2 sides × 4 sizes × 3 benches for fig10) stay test-sized.
+func decomposeOptions() experiments.Options {
+	o := TinyOptions()
+	o.Benchmarks = []string{"art", "gcc", "vpr"}
+	return o
+}
+
+// predictCellPlacement plans the figure's cells through the registry —
+// exactly what the coordinator's planner does — and maps each cell key to
+// the ring owner of its checkpoint key.
+func predictCellPlacement(t testing.TB, s *server.Server, opts experiments.Options,
+	figure string) map[string]string {
+	t.Helper()
+	d, ok := experiments.DecompositionFor(figure)
+	if !ok {
+		t.Fatalf("figure %q has no registered decomposition", figure)
+	}
+	lab, err := experiments.NewLab(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := d.Plan(lab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := s.ResultKeyForFigure(figure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make(map[string]string, len(cells))
+	for _, cell := range cells {
+		spec := distsweep.PointSpec{ResultKey: rk, PointKey: cell.Key}
+		owners[cell.Key] = s.Cluster().PrimaryOwner(spec.CheckpointKey())
+	}
+	return owners
+}
+
+// TestDistributedSweepDecomposedFigures drives every registry figure beyond
+// fig8 through one shared three-member fleet: each job must finish with its
+// cells computed on exactly the members the ring predicted, publish bytes
+// identical to a standalone daemon, and record zero failed points. The
+// raised batch linger then lets the scheduler's books prove amortization:
+// strictly fewer envelopes than batched points.
+func TestDistributedSweepDecomposedFigures(t *testing.T) {
+	opts := decomposeOptions()
+	h := New(t, Config{Options: opts, HedgeAfter: -1, SweepBatchLinger: 20 * time.Millisecond})
+	coordinator := h.Node(0)
+
+	for _, figure := range decomposedFigures {
+		figure := figure
+		t.Run(figure, func(t *testing.T) {
+			path := "/v1/figures/" + figure
+			reference := SingleNodeReference(t, opts, path)
+			placement := predictCellPlacement(t, coordinator.Server(), opts, figure)
+			if len(placement) < 2 {
+				t.Fatalf("%s plans %d cells; a decomposable figure must fan out", figure, len(placement))
+			}
+
+			job := runFigureJob(t, coordinator.Server(), figure)
+			if len(job.Points) != len(placement) {
+				t.Fatalf("job completed %d points, planned %d: %v",
+					len(job.Points), len(placement), job.Points)
+			}
+			for ck, want := range placement {
+				if got := job.Points[ck]; got != want {
+					t.Errorf("cell %s computed on %q, ring owner is %q", ck, got, want)
+				}
+			}
+
+			body, disp := h.Get(h.IndexOf(coordinator), path)
+			if disp == "miss" {
+				t.Errorf("figure endpoint recomputed after the job published (disposition %q)", disp)
+			}
+			if !bytes.Equal(body, reference) {
+				t.Errorf("fleet %s differs from the single-node reference", figure)
+			}
+
+			dm := coordinator.Server().Metrics().DistSweep
+			if dm.Failed != 0 {
+				t.Errorf("scheduler recorded %d failed points for %s", dm.Failed, figure)
+			}
+			if dm.PerFigure[figure] == 0 {
+				t.Errorf("per-figure dispatch counter for %s never moved: %v", figure, dm.PerFigure)
+			}
+		})
+	}
+
+	// Amortization proof: across the four sweeps the coordinator shipped
+	// strictly more points inside batches than it sent envelopes — the
+	// batch wire really is cutting envelopes per job below point count.
+	dm := coordinator.Server().Metrics().DistSweep
+	if dm.Batches == 0 {
+		t.Fatal("scheduler cut no batches despite batching on and a 20ms linger")
+	}
+	if dm.BatchPoints <= dm.Batches {
+		t.Errorf("batched %d points in %d envelopes — no amortization; "+
+			"every batch was a singleton", dm.BatchPoints, dm.Batches)
+	}
+	t.Logf("batch amortization: %d points in %d envelopes (%.2f points/envelope)",
+		dm.BatchPoints, dm.Batches, float64(dm.BatchPoints)/float64(dm.Batches))
+
+	// Worker books must agree: some member served batched envelopes.
+	served := uint64(0)
+	for _, n := range h.Nodes() {
+		if s := n.Server(); s != nil {
+			served += s.Metrics().DistBatchesServed
+		}
+	}
+	if served == 0 {
+		t.Error("no member served a batched compute envelope")
+	}
+}
+
+// TestDistributedSweepSurvivesWorkerKillMidBatch kills a worker while a
+// batched dispatch to it is still in flight: every member of the batch must
+// fall back (retry-then-local, per point, exactly like singleton dispatch),
+// the job must finish with zero failed points, and the published bytes must
+// not change. This is the batch wire's half of the "a dead worker never
+// fails the job" contract.
+func TestDistributedSweepSurvivesWorkerKillMidBatch(t *testing.T) {
+	const figure = "sensitivity"
+	opts := decomposeOptions()
+	reference := SingleNodeReference(t, opts, "/v1/figures/"+figure)
+	h := New(t, Config{Options: opts, HedgeAfter: -1, SweepBatchLinger: 20 * time.Millisecond})
+	coordinator := h.Node(0)
+	placement := predictCellPlacement(t, coordinator.Server(), opts, figure)
+
+	var victim *Node
+	for _, owner := range placement {
+		if owner == coordinator.ID {
+			continue
+		}
+		for _, n := range h.Nodes() {
+			if n.ID == owner {
+				victim = n
+			}
+		}
+	}
+	if victim == nil {
+		t.Fatal("every sensitivity cell is coordinator-owned; widen decomposeOptions")
+	}
+
+	// Hold the victim's dispatches in flight long enough that the kill below
+	// lands while its batch is still traveling.
+	h.Net.Delay(coordinator.ID, victim.ID, time.Second)
+
+	done := make(chan jobs.Job, 1)
+	go func() {
+		done <- runFigureJob(t, coordinator.Server(), figure)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	victim.Kill()
+
+	var job jobs.Job
+	select {
+	case job = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("sweep hung after its worker was killed mid-batch")
+	}
+
+	// The victim's cells were re-homed to the coordinator; everyone else's
+	// placement is untouched.
+	for ck, owner := range placement {
+		want := owner
+		if owner == victim.ID {
+			want = coordinator.ID
+		}
+		if got := job.Points[ck]; got != want {
+			t.Errorf("cell %s computed on %q, want %q (victim %s killed)",
+				ck, got, want, victim.ID)
+		}
+	}
+
+	dm := coordinator.Server().Metrics().DistSweep
+	if dm.FallbackLocal == 0 {
+		t.Error("scheduler recorded no local fallback despite the killed worker")
+	}
+	if dm.Failed != 0 {
+		t.Errorf("scheduler recorded %d failed points; a dead worker must never fail a point", dm.Failed)
+	}
+
+	body, _ := h.Get(h.IndexOf(coordinator), "/v1/figures/"+figure)
+	if !bytes.Equal(body, reference) {
+		t.Errorf("post-kill %s differs from the single-node reference", figure)
+	}
+}

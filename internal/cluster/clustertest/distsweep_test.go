@@ -21,6 +21,7 @@ package clustertest
 import (
 	"bytes"
 	"context"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -78,11 +79,11 @@ func remoteOwnedPoint(t testing.TB, h *Harness, coordinator *Node,
 	return "", nil
 }
 
-// runFig8Job submits a fig8 job on srv and waits for a terminal state,
+// runFigureJob submits a figure job on srv and waits for a terminal state,
 // failing the test on anything but StateDone.
-func runFig8Job(t testing.TB, srv *server.Server) jobs.Job {
+func runFigureJob(t testing.TB, srv *server.Server, figure string) jobs.Job {
 	t.Helper()
-	j, err := srv.Jobs().Submit(jobs.Spec{Kind: "figure", Figure: "fig8"})
+	j, err := srv.Jobs().Submit(jobs.Spec{Kind: "figure", Figure: figure})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,14 +95,20 @@ func runFig8Job(t testing.TB, srv *server.Server) jobs.Job {
 		}
 		if cur.State.Terminal() {
 			if cur.State != jobs.StateDone {
-				t.Fatalf("fig8 job %s: state %s: %s", cur.ID, cur.State, cur.Error)
+				t.Fatalf("%s job %s: state %s: %s", figure, cur.ID, cur.State, cur.Error)
 			}
 			return cur
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatal("fig8 job did not reach a terminal state within 120s")
+	t.Fatalf("%s job did not reach a terminal state within 120s", figure)
 	return jobs.Job{}
+}
+
+// runFig8Job is runFigureJob specialized to the original decomposable figure.
+func runFig8Job(t testing.TB, srv *server.Server) jobs.Job {
+	t.Helper()
+	return runFigureJob(t, srv, "fig8")
 }
 
 // standalone boots a cluster-free daemon with its own store — the
@@ -316,37 +323,51 @@ func TestDistributedSweepSpeedup(t *testing.T) {
 
 	ratio := float64(singleCold) / float64(clusterCold)
 	t.Logf("cold fig8: standalone %v, 3-node fleet %v (%.2fx)", singleCold, clusterCold, ratio)
-	if runtime.NumCPU() < 3 {
-		t.Skipf("speedup gate needs ≥3 CPUs, have %d (in-process members share cores)", runtime.NumCPU())
+	// NANOCACHE_FORCE_SPEEDUP=1 forces the gate even on narrow machines —
+	// the escape hatch for runs on hosts where NumCPU under-reports the
+	// actually usable width (cgroup-limited CI containers; DESIGN.md §15).
+	if os.Getenv("NANOCACHE_FORCE_SPEEDUP") != "1" && runtime.NumCPU() < 3 {
+		t.Skipf("speedup gate needs ≥3 CPUs, have %d (in-process members share cores; "+
+			"set NANOCACHE_FORCE_SPEEDUP=1 to force the gate)", runtime.NumCPU())
 	}
 	if ratio < 1.8 {
 		t.Errorf("3-node fleet speedup %.2fx, want ≥1.8x", ratio)
 	}
 }
 
-// BenchmarkDistributedSweep times a cold fig8 job end to end on a
-// standalone daemon versus a 3-member fleet. Each iteration boots fresh
-// stores (outside the timer) so every run is genuinely cold; recorded by
-// `make bench-save` into BENCH_cluster.json.
+// BenchmarkDistributedSweep times cold figure jobs end to end on a
+// standalone daemon versus a 3-member fleet: the original fig8 pair
+// (single/cluster3) plus a sensitivity pair whose 15-cell sweep exercises
+// the batched dispatch path. Each iteration boots fresh stores (outside the
+// timer) so every run is genuinely cold; recorded by `make bench-save` into
+// BENCH_cluster.json.
 func BenchmarkDistributedSweep(b *testing.B) {
 	opts := sweepOptions()
-	b.Run("single", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			s := standalone(b, opts)
-			b.StartTimer()
-			runFig8Job(b, s)
+	single := func(figure string) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := standalone(b, opts)
+				b.StartTimer()
+				runFigureJob(b, s, figure)
+			}
 		}
-	})
-	b.Run("cluster3", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			h := New(b, Config{Options: opts, HedgeAfter: -1})
-			b.StartTimer()
-			runFig8Job(b, h.Node(0).Server())
-			b.StopTimer()
-			h.Shutdown()
-			b.StartTimer()
+	}
+	cluster3 := func(figure string) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := New(b, Config{Options: opts, HedgeAfter: -1})
+				b.StartTimer()
+				runFigureJob(b, h.Node(0).Server(), figure)
+				b.StopTimer()
+				h.Shutdown()
+				b.StartTimer()
+			}
 		}
-	})
+	}
+	b.Run("single", single("fig8"))
+	b.Run("cluster3", cluster3("fig8"))
+	b.Run("sensitivity/single", single("sensitivity"))
+	b.Run("sensitivity/cluster3", cluster3("sensitivity"))
 }

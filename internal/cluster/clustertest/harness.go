@@ -51,6 +51,10 @@ type Config struct {
 	AntiEntropy time.Duration
 	// CacheEntries bounds each node's LRU (0 = server default).
 	CacheEntries int
+	// SweepBatchLinger overrides each node's sweep-batch coalescing window
+	// (server.Config.SweepBatchLinger). Tests that assert on batch formation
+	// raise it so concurrently dispatched points reliably share envelopes.
+	SweepBatchLinger time.Duration
 }
 
 // TinyOptions is the smallest lab that still runs real architectural
@@ -154,9 +158,10 @@ func New(t testing.TB, cfg Config) *Harness {
 // serverConfig builds one member's full daemon configuration.
 func (n *Node) serverConfig(peers []cluster.Peer) server.Config {
 	return server.Config{
-		Options:      n.h.cfg.Options,
-		CacheEntries: n.h.cfg.CacheEntries,
-		StoreDir:     n.dir,
+		Options:          n.h.cfg.Options,
+		CacheEntries:     n.h.cfg.CacheEntries,
+		StoreDir:         n.dir,
+		SweepBatchLinger: n.h.cfg.SweepBatchLinger,
 		Cluster: &cluster.Config{
 			Self:        n.ID,
 			Peers:       peers,

@@ -1,0 +1,169 @@
+package distsweep
+
+// The batched half of the point-work wire: a coordinator coalesces points
+// bound for the same ring owner into one BatchSpec, shipped as one
+// checksummed envelope, answered by one envelope of per-point results. The
+// batch envelope key is derived from the member checkpoint keys, so the
+// receiver can prove the specs it decoded are the specs the envelope was
+// addressed for — the same corruption discipline the singleton wire has,
+// lifted to the batch.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"nanocache/internal/cluster"
+)
+
+// batchKeyPrefix distinguishes batch envelopes from singleton point
+// envelopes ("jobpt|..."), which is what keeps /v1/peer/compute singleton-
+// compatible across rolling upgrades: the worker routes on the envelope key
+// prefix, and an old worker that predates batches refuses the unknown shape
+// with a plain 400 the coordinator already handles per point.
+const batchKeyPrefix = "jobbatch|"
+
+// BatchSpec is one owner-bound group of point specs.
+type BatchSpec struct {
+	Specs []PointSpec `json:"specs"`
+}
+
+// Key derives the batch envelope key: a digest over the member checkpoint
+// keys in order. Order matters — the response is positional-free (keyed per
+// point), but the key must pin exactly which points the envelope carries.
+func (b BatchSpec) Key() string {
+	h := sha256.New()
+	for _, s := range b.Specs {
+		h.Write([]byte(s.CheckpointKey()))
+		h.Write([]byte{'\n'})
+	}
+	return batchKeyPrefix + hex.EncodeToString(h.Sum(nil))
+}
+
+// Validate rejects batches that could never compute: empty, a member spec
+// that fails its own validation, duplicate checkpoint keys (the response is
+// keyed by checkpoint key, so duplicates could never be answered apart), or
+// mixed options digests (a worker checks the digest once per batch).
+func (b BatchSpec) Validate() error {
+	if len(b.Specs) == 0 {
+		return fmt.Errorf("distsweep: empty batch")
+	}
+	seen := make(map[string]bool, len(b.Specs))
+	for i, s := range b.Specs {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("batch member %d: %w", i, err)
+		}
+		ckey := s.CheckpointKey()
+		if seen[ckey] {
+			return fmt.Errorf("distsweep: batch repeats checkpoint %q", ckey)
+		}
+		seen[ckey] = true
+		if s.OptionsDigest != b.Specs[0].OptionsDigest {
+			return fmt.Errorf("distsweep: batch mixes options digests")
+		}
+	}
+	return nil
+}
+
+// BatchResult is one point's answer inside a batch response: the payload on
+// success, the worker's error string otherwise. Payload travels as base64
+// ([]byte JSON encoding) so arbitrary result bytes survive the trip.
+type BatchResult struct {
+	// Key is the member's checkpoint key — the unambiguous join handle back
+	// to the request (PointKey alone could collide across jobs in one batch).
+	Key     string `json:"key"`
+	Payload []byte `json:"payload,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// EncodeBatchRequest wraps a batch in a peer wire envelope keyed by the
+// batch digest.
+func EncodeBatchRequest(node string, b BatchSpec) ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.PeerEnvelope{Node: node, Key: b.Key(), Payload: payload}.Encode(), nil
+}
+
+// EncodeBatchResponse wraps per-point results in an envelope under the
+// request's batch key.
+func EncodeBatchResponse(node, batchKey string, results []BatchResult) ([]byte, error) {
+	payload, err := json.Marshal(results)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.PeerEnvelope{Node: node, Key: batchKey, Payload: payload}.Encode(), nil
+}
+
+// DecodeBatchResponse verifies and unwraps a batch response against the key
+// of the batch it answers.
+func DecodeBatchResponse(b []byte, wantKey string) (node string, results []BatchResult, err error) {
+	env, err := cluster.DecodePeerEnvelope(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if env.Key != wantKey {
+		return "", nil, fmt.Errorf("%w: batch response for %q, asked %q",
+			cluster.ErrWireCorrupt, env.Key, wantKey)
+	}
+	if err := json.Unmarshal(env.Payload, &results); err != nil {
+		return "", nil, fmt.Errorf("distsweep: undecodable batch response: %w", err)
+	}
+	return env.Node, results, nil
+}
+
+// ComputeRequest is a decoded /v1/peer/compute body: either one point
+// (legacy singleton envelope) or a batch. Batch reports whether the request
+// arrived batched — the response must take the matching shape.
+type ComputeRequest struct {
+	// Node is the requesting coordinator.
+	Node string
+	// Specs are the points to compute (length 1 for singletons).
+	Specs []PointSpec
+	// Batch marks a batched request; BatchKey is then the response key.
+	Batch    bool
+	BatchKey string
+}
+
+// DecodeComputeRequest verifies and unwraps either wire shape: envelope
+// checksum first, then per-spec semantic completeness, then key consistency
+// (the spec — or batch — must derive exactly the key the envelope was
+// addressed with).
+func DecodeComputeRequest(b []byte) (ComputeRequest, error) {
+	env, err := cluster.DecodePeerEnvelope(b)
+	if err != nil {
+		return ComputeRequest{}, err
+	}
+	if !strings.HasPrefix(env.Key, batchKeyPrefix) {
+		var spec PointSpec
+		if err := json.Unmarshal(env.Payload, &spec); err != nil {
+			return ComputeRequest{}, fmt.Errorf("distsweep: undecodable point spec: %w", err)
+		}
+		if err := spec.Validate(); err != nil {
+			return ComputeRequest{}, err
+		}
+		if got := spec.CheckpointKey(); got != env.Key {
+			return ComputeRequest{}, fmt.Errorf("%w: spec derives checkpoint %q, envelope addressed %q",
+				cluster.ErrWireCorrupt, got, env.Key)
+		}
+		return ComputeRequest{Node: env.Node, Specs: []PointSpec{spec}}, nil
+	}
+	var batch BatchSpec
+	if err := json.Unmarshal(env.Payload, &batch); err != nil {
+		return ComputeRequest{}, fmt.Errorf("distsweep: undecodable batch spec: %w", err)
+	}
+	if err := batch.Validate(); err != nil {
+		return ComputeRequest{}, err
+	}
+	if got := batch.Key(); got != env.Key {
+		return ComputeRequest{}, fmt.Errorf("%w: batch derives key %q, envelope addressed %q",
+			cluster.ErrWireCorrupt, got, env.Key)
+	}
+	return ComputeRequest{Node: env.Node, Specs: batch.Specs, Batch: true, BatchKey: env.Key}, nil
+}

@@ -1,0 +1,182 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nanocache/internal/cluster"
+)
+
+func validBatch() BatchSpec {
+	a := validSpec()
+	b := validSpec()
+	b.PointKey = "bench=vpr"
+	b.Bench = "vpr"
+	return BatchSpec{Specs: []PointSpec{a, b}}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	batch := validBatch()
+	enc, err := EncodeBatchRequest("n1", batch)
+	if err != nil {
+		t.Fatalf("EncodeBatchRequest: %v", err)
+	}
+	req, err := DecodeComputeRequest(enc)
+	if err != nil {
+		t.Fatalf("DecodeComputeRequest: %v", err)
+	}
+	if req.Node != "n1" || !req.Batch || req.BatchKey != batch.Key() {
+		t.Errorf("decoded request header = %+v", req)
+	}
+	if !reflect.DeepEqual(req.Specs, batch.Specs) {
+		t.Errorf("specs round trip mismatch:\ngot  %+v\nwant %+v", req.Specs, batch.Specs)
+	}
+}
+
+// TestDecodeComputeRequestSingleton: the shared entry point must keep
+// decoding the legacy singleton envelope — that compatibility is what lets a
+// new coordinator talk to an old worker (and vice versa) mid-upgrade.
+func TestDecodeComputeRequestSingleton(t *testing.T) {
+	spec := validSpec()
+	enc, err := EncodeRequest("n1", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeComputeRequest(enc)
+	if err != nil {
+		t.Fatalf("DecodeComputeRequest(singleton): %v", err)
+	}
+	if req.Batch || len(req.Specs) != 1 || !reflect.DeepEqual(req.Specs[0], spec) {
+		t.Errorf("singleton decoded as %+v", req)
+	}
+}
+
+// TestBatchValidate covers every structural refusal: empty batches, a broken
+// member, duplicate checkpoint keys (the keyed response could never answer
+// them apart), and mixed options digests (the worker checks once per batch).
+func TestBatchValidate(t *testing.T) {
+	if err := (BatchSpec{}).Validate(); err == nil {
+		t.Error("empty batch accepted")
+	}
+
+	broken := validBatch()
+	broken.Specs[1].OptionsDigest = ""
+	if err := broken.Validate(); err == nil || !strings.Contains(err.Error(), "member 1") {
+		t.Errorf("batch with broken member: %v, want error naming member 1", err)
+	}
+
+	dup := validBatch()
+	dup.Specs[1] = dup.Specs[0]
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "repeats") {
+		t.Errorf("batch with duplicate checkpoint: %v, want repeats error", err)
+	}
+
+	mixed := validBatch()
+	mixed.Specs[1].OptionsDigest = "feedface"
+	mixed.Specs[1].ResultKey = "figure|fig8|side=d@feedface"
+	if err := mixed.Validate(); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Errorf("batch with mixed digests: %v, want digest error", err)
+	}
+}
+
+// TestDecodeBatchKeyMismatch addresses a valid batch with a different batch's
+// key: the decoder must refuse it as wire corruption.
+func TestDecodeBatchKeyMismatch(t *testing.T) {
+	batch := validBatch()
+	other := BatchSpec{Specs: batch.Specs[:1]}
+	payload, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := cluster.PeerEnvelope{Node: "n1", Key: other.Key(), Payload: payload}
+	if _, err := DecodeComputeRequest(env.Encode()); !errors.Is(err, cluster.ErrWireCorrupt) {
+		t.Errorf("mis-keyed batch request: %v, want ErrWireCorrupt", err)
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	batch := validBatch()
+	results := []BatchResult{
+		{Key: batch.Specs[0].CheckpointKey(), Payload: []byte{0x00, 0xFF, 'j', 's', 'o', 'n'}},
+		{Key: batch.Specs[1].CheckpointKey(), Err: "lab exploded"},
+	}
+	enc, err := EncodeBatchResponse("w1", batch.Key(), results)
+	if err != nil {
+		t.Fatalf("EncodeBatchResponse: %v", err)
+	}
+	node, got, err := DecodeBatchResponse(enc, batch.Key())
+	if err != nil {
+		t.Fatalf("DecodeBatchResponse: %v", err)
+	}
+	if node != "w1" || !reflect.DeepEqual(got, results) {
+		t.Errorf("response round trip = (%q, %+v)", node, got)
+	}
+	if _, _, err := DecodeBatchResponse(enc, "jobbatch|someoneelse"); !errors.Is(err, cluster.ErrWireCorrupt) {
+		t.Errorf("response under wrong batch key: %v, want ErrWireCorrupt", err)
+	}
+}
+
+// TestBatchKeyPinsMembership: reordering or swapping members must change the
+// batch key — the key is the receiver's proof of exactly which points the
+// envelope carries.
+func TestBatchKeyPinsMembership(t *testing.T) {
+	batch := validBatch()
+	reordered := BatchSpec{Specs: []PointSpec{batch.Specs[1], batch.Specs[0]}}
+	if batch.Key() == reordered.Key() {
+		t.Error("reordered batch derives the same key")
+	}
+	if !strings.HasPrefix(batch.Key(), "jobbatch|") {
+		t.Errorf("batch key %q lacks the jobbatch prefix", batch.Key())
+	}
+}
+
+// TestPointSpecParams: a registry-era spec carries its cell coordinates in
+// Params; CellParams must prefer them, and fold legacy Bench/Side into the
+// same shape when Params is absent (the rolling-upgrade receive path).
+func TestPointSpecParams(t *testing.T) {
+	spec := validSpec()
+	spec.Figure = "sensitivity"
+	spec.PointKey = "seed=2,bench=gcc"
+	spec.Params = map[string]string{"seed": "2", "bench": "gcc"}
+	spec.Bench = "gcc"
+	spec.Side = ""
+
+	enc, err := EncodeRequest("n1", spec)
+	if err != nil {
+		t.Fatalf("EncodeRequest with params: %v", err)
+	}
+	_, got, err := DecodeRequest(enc)
+	if err != nil || !reflect.DeepEqual(got, spec) {
+		t.Fatalf("params round trip = (%+v, %v)", got, err)
+	}
+	if !reflect.DeepEqual(got.CellParams(), spec.Params) {
+		t.Errorf("CellParams = %v, want the wire params", got.CellParams())
+	}
+
+	// Legacy fold: no Params, Bench/Side populated.
+	legacy := validSpec()
+	want := map[string]string{"bench": "gcc", "side": "d"}
+	if got := legacy.CellParams(); !reflect.DeepEqual(got, want) {
+		t.Errorf("legacy CellParams = %v, want %v", got, want)
+	}
+	legacy.Side = ""
+	if got := legacy.CellParams(); !reflect.DeepEqual(got, map[string]string{"bench": "gcc"}) {
+		t.Errorf("legacy CellParams without side = %v", got)
+	}
+
+	// Params alone (no legacy Bench) is a complete spec.
+	bare := spec
+	bare.Bench = ""
+	if err := bare.Validate(); err != nil {
+		t.Errorf("params-only spec refused: %v", err)
+	}
+	// Invalid UTF-8 hiding in a param value is refused like any other field.
+	bad := spec
+	bad.Params = map[string]string{"bench": "g\x85c"}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "UTF-8") {
+		t.Errorf("spec with invalid UTF-8 param: %v, want UTF-8 error", err)
+	}
+}

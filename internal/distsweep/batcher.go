@@ -1,0 +1,201 @@
+package distsweep
+
+// Per-owner batching: RunPoint's remote attempts enqueue onto the owner's
+// batcher instead of POSTing individually. The batcher holds the first
+// queued point for BatchLinger so the jobs layer's concurrent point workers
+// coalesce, cuts a batch at the point/byte caps, and ships it as one
+// envelope — amortizing the HTTP round trip, the envelope checksum and the
+// worker's cold-admission wait across the batch. Everything above this layer
+// is untouched: each point still has its own retry budget (a failed batch
+// fails each member once, and each member independently re-enqueues or falls
+// back local), its own hedge timer, and its own per-peer dispatch token (the
+// token bound is what caps how many points can ever sit in one batch).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// pointResult is one point's answer from a batch POST.
+type pointResult struct {
+	payload []byte
+	err     error
+}
+
+// pendingPoint is one enqueued remote attempt.
+type pendingPoint struct {
+	spec PointSpec
+	ctx  context.Context
+	done chan pointResult // buffered(1); exactly one delivery
+	size int              // encoded spec bytes, against MaxBatchBytes
+}
+
+// batcher coalesces one owner's queued points. The dispatch goroutine is
+// lazy: it starts with the first queued point and exits when the queue
+// drains, so an idle scheduler owns no goroutines.
+type batcher struct {
+	s     *Scheduler
+	owner string
+
+	mu      sync.Mutex
+	queue   []*pendingPoint
+	running bool
+}
+
+// batcherFor returns (creating if needed) the owner's batcher.
+func (s *Scheduler) batcherFor(owner string) *batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batchers[owner]
+	if !ok {
+		b = &batcher{s: s, owner: owner}
+		s.batchers[owner] = b
+	}
+	return b
+}
+
+// batchOnce runs one remote attempt through the owner's batcher: enqueue,
+// then wait for the batch carrying this point to answer.
+func (s *Scheduler) batchOnce(ctx context.Context, owner string, spec PointSpec) ([]byte, error) {
+	enc, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	p := &pendingPoint{spec: spec, ctx: ctx, done: make(chan pointResult, 1), size: len(enc)}
+	s.batcherFor(owner).add(p)
+	select {
+	case r := <-p.done:
+		return r.payload, r.err
+	case <-ctx.Done():
+		// The batcher still delivers into the buffered channel; nothing
+		// blocks on an abandoned point.
+		return nil, ctx.Err()
+	}
+}
+
+func (b *batcher) add(p *pendingPoint) {
+	b.mu.Lock()
+	b.queue = append(b.queue, p)
+	if !b.running {
+		b.running = true
+		go b.loop()
+	}
+	b.mu.Unlock()
+}
+
+// loop cuts and posts batches until the queue drains.
+func (b *batcher) loop() {
+	for {
+		if b.s.batchLinger > 0 {
+			time.Sleep(b.s.batchLinger)
+		}
+		b.mu.Lock()
+		batch := b.cut()
+		if len(batch) == 0 && len(b.queue) == 0 {
+			b.running = false
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		b.s.postBatch(b.owner, batch)
+	}
+}
+
+// cut pops the next batch off the queue (caller holds b.mu): up to
+// MaxBatchPoints specs and MaxBatchBytes of encoded spec, skipping points
+// whose context already died while queued (they are answered immediately
+// with their context error and never travel).
+func (b *batcher) cut() []*pendingPoint {
+	var batch []*pendingPoint
+	size := 0
+	for len(b.queue) > 0 {
+		p := b.queue[0]
+		if err := p.ctx.Err(); err != nil {
+			p.done <- pointResult{err: err}
+			b.queue = b.queue[1:]
+			continue
+		}
+		if len(batch) > 0 && size+p.size > b.s.maxBatchBytes {
+			break
+		}
+		batch = append(batch, p)
+		size += p.size
+		b.queue = b.queue[1:]
+		if len(batch) >= b.s.maxBatchPoints {
+			break
+		}
+	}
+	return batch
+}
+
+// postBatch ships one batch and routes per-point results (or the shared
+// failure) back to the waiting attempts.
+func (s *Scheduler) postBatch(owner string, batch []*pendingPoint) {
+	if len(batch) == 0 {
+		return
+	}
+	fail := func(err error) {
+		for _, p := range batch {
+			p.done <- pointResult{err: err}
+		}
+	}
+	specs := make([]PointSpec, len(batch))
+	for i, p := range batch {
+		specs[i] = p.spec
+	}
+	bs := BatchSpec{Specs: specs}
+	body, err := EncodeBatchRequest(s.cl.Self(), bs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	addr, ok := s.cl.PeerAddr(owner)
+	if !ok {
+		fail(fmt.Errorf("distsweep: unknown peer %q", owner))
+		return
+	}
+	// The POST must outlive any single member: a hedge winning one point
+	// cancels that point's context, but the rest of the batch still wants
+	// the worker's answer. Derive from Background and cancel only once every
+	// member has stopped caring (RunPoint always cancels its point context
+	// on return, so the watcher goroutine cannot leak).
+	bctx, bcancel := context.WithCancel(context.Background())
+	go func() {
+		for _, p := range batch {
+			<-p.ctx.Done()
+		}
+		bcancel()
+	}()
+	s.batches.Add(1)
+	s.batchPoints.Add(uint64(len(batch)))
+	resp, err := s.post(bctx, addr, owner, body)
+	if err != nil {
+		fail(err)
+		return
+	}
+	_, results, err := DecodeBatchResponse(resp, bs.Key())
+	if err != nil {
+		fail(fmt.Errorf("distsweep: peer %s sent unverifiable batch: %w", owner, err))
+		return
+	}
+	byKey := make(map[string]BatchResult, len(results))
+	for _, r := range results {
+		byKey[r.Key] = r
+	}
+	for _, p := range batch {
+		r, ok := byKey[p.spec.CheckpointKey()]
+		switch {
+		case !ok:
+			p.done <- pointResult{err: fmt.Errorf("distsweep: peer %s batch response missing point %s",
+				owner, p.spec.PointKey)}
+		case r.Err != "":
+			p.done <- pointResult{err: fmt.Errorf("distsweep: peer %s point %s: %s",
+				owner, p.spec.PointKey, r.Err)}
+		default:
+			p.done <- pointResult{payload: r.Payload}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package distsweep
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 
 	"nanocache/internal/cluster"
@@ -45,7 +46,7 @@ func FuzzPointSpecEnvelope(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decoding our own encoding: %v", err)
 		}
-		if gotNode != node || got != spec {
+		if gotNode != node || !reflect.DeepEqual(got, spec) {
 			t.Fatalf("round trip mismatch: node %q spec %+v != input", gotNode, got)
 		}
 
@@ -68,5 +69,86 @@ func FuzzPointSpecEnvelope(f *testing.F) {
 
 		// Raw garbage must never panic.
 		_, _, _ = DecodeRequest([]byte(digest))
+	})
+}
+
+// FuzzBatchEnvelope drives the batched wire codec the same way: a valid
+// batch must round-trip exactly through EncodeBatchRequest →
+// DecodeComputeRequest, any single-byte mutation must fail cleanly, and the
+// singleton shape must keep decoding through the shared entry point.
+func FuzzBatchEnvelope(f *testing.F) {
+	f.Add("n1", "abcdef", "figure|sensitivity@abcdef", "seed=1,bench=gcc", "seed=2,bench=gcc", -1, byte(0))
+	f.Add("", "x", "r", "p", "p", 0, byte(0xFF))
+	f.Add("node-ñ", "d\x00w", "r|pipes", "bench=vpr", "bench=art", 33, byte(1))
+	f.Fuzz(func(t *testing.T, node, digest, resultKey, key1, key2 string, flip int, xor byte) {
+		batch := BatchSpec{Specs: []PointSpec{
+			{OptionsDigest: digest, ResultKey: resultKey, PointKey: key1,
+				Figure: "sensitivity", Params: map[string]string{"bench": "gcc", "seed": "1"}},
+			{OptionsDigest: digest, ResultKey: resultKey, PointKey: key2,
+				Figure: "sensitivity", Params: map[string]string{"bench": "gcc", "seed": "2"}},
+		}}
+		enc, err := EncodeBatchRequest(node, batch)
+		if err != nil {
+			if batch.Validate() == nil {
+				t.Fatalf("valid batch refused: %v", err)
+			}
+			return
+		}
+
+		req, err := DecodeComputeRequest(enc)
+		if err != nil {
+			t.Fatalf("decoding our own batch encoding: %v", err)
+		}
+		if req.Node != node || !req.Batch || req.BatchKey != batch.Key() ||
+			!reflect.DeepEqual(req.Specs, batch.Specs) {
+			t.Fatalf("batch round trip mismatch: %+v", req)
+		}
+
+		// The singleton shape must decode through the same entry point.
+		single, err := EncodeRequest(node, batch.Specs[0])
+		if err != nil {
+			t.Fatalf("singleton encode: %v", err)
+		}
+		sreq, err := DecodeComputeRequest(single)
+		if err != nil || sreq.Batch || len(sreq.Specs) != 1 ||
+			!reflect.DeepEqual(sreq.Specs[0], batch.Specs[0]) {
+			t.Fatalf("singleton via DecodeComputeRequest = (%+v, %v)", sreq, err)
+		}
+
+		// Destructive: any single mutation must fail verification.
+		if flip >= 0 && len(enc) > 0 {
+			mut := append([]byte(nil), enc...)
+			if flip%2 == 0 {
+				mut = mut[:flip%len(mut)]
+			} else if xor != 0 {
+				mut[flip%len(mut)] ^= xor
+			}
+			if !bytes.Equal(mut, enc) {
+				if _, err := DecodeComputeRequest(mut); err == nil {
+					t.Fatalf("mutated batch request decoded successfully")
+				} else if !errors.Is(err, cluster.ErrWireCorrupt) && !errors.Is(err, cluster.ErrWireVersion) {
+					t.Fatalf("mutated batch decode failed with unclassified error: %v", err)
+				}
+			}
+		}
+
+		// Batch responses: round trip plus mutation refusal.
+		results := []BatchResult{
+			{Key: batch.Specs[0].CheckpointKey(), Payload: []byte(key1)},
+			{Key: batch.Specs[1].CheckpointKey(), Err: "lab exploded"},
+		}
+		rb, err := EncodeBatchResponse(node, batch.Key(), results)
+		if err != nil {
+			t.Fatalf("encoding batch response: %v", err)
+		}
+		_, got, err := DecodeBatchResponse(rb, batch.Key())
+		if err != nil || !reflect.DeepEqual(got, results) {
+			t.Fatalf("batch response round trip = (%+v, %v)", got, err)
+		}
+		if _, _, err := DecodeBatchResponse(rb, batch.Key()+"x"); !errors.Is(err, cluster.ErrWireCorrupt) {
+			t.Fatalf("mis-keyed batch response accepted: %v", err)
+		}
+
+		_, _ = DecodeComputeRequest([]byte(digest))
 	})
 }

@@ -24,10 +24,23 @@ type Config struct {
 	// Transport overrides the HTTP transport (fault injection in tests;
 	// nil = http.DefaultTransport).
 	Transport http.RoundTripper
-	// PerPeerConcurrency bounds in-flight points per worker (0 = 2): enough
-	// to pipeline dispatch over compute, small enough that one coordinator
-	// cannot flood a worker's cold admission queue.
+	// PerPeerConcurrency bounds in-flight points per worker (0 = 8): enough
+	// that batches actually form (a batch can never exceed the number of
+	// points in flight to its owner), small enough that one coordinator
+	// cannot flood a worker — a whole batch costs its admission queue one
+	// slot, not one per point.
 	PerPeerConcurrency int
+	// MaxBatchPoints caps how many points one batch envelope carries (0 = 8).
+	MaxBatchPoints int
+	// MaxBatchBytes caps the encoded point-spec bytes per batch envelope
+	// (0 = 1 MiB) so a pathological plan cannot approach the envelope limit.
+	MaxBatchBytes int
+	// BatchLinger is how long the per-owner batcher holds the first queued
+	// point waiting for concurrent points to coalesce before cutting a batch
+	// (0 = 2ms — cheap against compute measured in tens of ms; negative
+	// disables batching entirely and every point ships as a singleton
+	// envelope, the pre-batching wire behavior).
+	BatchLinger time.Duration
 	// RequestTimeout bounds one remote point computation (0 = 5m — a point
 	// is a full per-benchmark sweep, orders slower than an object fetch).
 	RequestTimeout time.Duration
@@ -53,7 +66,10 @@ type Metrics struct {
 	Failed         uint64            // points that failed on both paths
 	Hedged         uint64            // straggler re-dispatches launched
 	FallbackLocal  uint64            // local computes forced by a down peer or remote failure
+	Batches        uint64            // batch envelopes posted to workers
+	BatchPoints    uint64            // points those envelopes carried (avg batch size = BatchPoints/Batches)
 	PerPeer        map[string]uint64 // completed points by computing worker
+	PerFigure      map[string]uint64 // points entering the scheduler, by figure
 	Latency        stats.LatencySnapshot
 }
 
@@ -61,12 +77,15 @@ type Metrics struct {
 // concurrent use (the jobs layer calls RunPoint from PointParallelism
 // workers at once).
 type Scheduler struct {
-	cl         *cluster.Cluster
-	hc         *http.Client
-	perPeerCap int
-	reqTimeout time.Duration
-	hedgeAfter time.Duration
-	attempts   int
+	cl             *cluster.Cluster
+	hc             *http.Client
+	perPeerCap     int
+	reqTimeout     time.Duration
+	hedgeAfter     time.Duration
+	attempts       int
+	maxBatchPoints int
+	maxBatchBytes  int
+	batchLinger    time.Duration
 
 	dispatched    atomic.Uint64
 	doneLocal     atomic.Uint64
@@ -74,11 +93,15 @@ type Scheduler struct {
 	failed        atomic.Uint64
 	hedged        atomic.Uint64
 	fallbackLocal atomic.Uint64
+	batches       atomic.Uint64
+	batchPoints   atomic.Uint64
 	lat           *stats.Latency
 
-	mu      sync.Mutex
-	sem     map[string]chan struct{} // per-peer dispatch tokens
-	perPeer map[string]uint64
+	mu        sync.Mutex
+	sem       map[string]chan struct{} // per-peer dispatch tokens
+	perPeer   map[string]uint64
+	perFigure map[string]uint64
+	batchers  map[string]*batcher // lazily created per owner
 }
 
 // New validates the configuration and builds a scheduler.
@@ -87,10 +110,25 @@ func New(cfg Config) (*Scheduler, error) {
 		return nil, fmt.Errorf("distsweep: nil cluster")
 	}
 	if cfg.PerPeerConcurrency == 0 {
-		cfg.PerPeerConcurrency = 2
+		cfg.PerPeerConcurrency = 8
 	}
 	if cfg.PerPeerConcurrency < 0 {
 		return nil, fmt.Errorf("distsweep: per-peer concurrency %d < 1", cfg.PerPeerConcurrency)
+	}
+	if cfg.MaxBatchPoints == 0 {
+		cfg.MaxBatchPoints = 8
+	}
+	if cfg.MaxBatchPoints < 0 {
+		return nil, fmt.Errorf("distsweep: max batch points %d < 1", cfg.MaxBatchPoints)
+	}
+	if cfg.MaxBatchBytes == 0 {
+		cfg.MaxBatchBytes = 1 << 20
+	}
+	if cfg.MaxBatchBytes < 0 {
+		return nil, fmt.Errorf("distsweep: max batch bytes %d < 1", cfg.MaxBatchBytes)
+	}
+	if cfg.BatchLinger == 0 {
+		cfg.BatchLinger = 2 * time.Millisecond
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 5 * time.Minute
@@ -109,15 +147,20 @@ func New(cfg Config) (*Scheduler, error) {
 		attempts = 1
 	}
 	s := &Scheduler{
-		cl:         cfg.Cluster,
-		hc:         &http.Client{Transport: cfg.Transport},
-		perPeerCap: cfg.PerPeerConcurrency,
-		reqTimeout: cfg.RequestTimeout,
-		hedgeAfter: cfg.HedgeAfter,
-		attempts:   attempts,
-		lat:        stats.NewLatency(),
-		sem:        make(map[string]chan struct{}),
-		perPeer:    make(map[string]uint64),
+		cl:             cfg.Cluster,
+		hc:             &http.Client{Transport: cfg.Transport},
+		perPeerCap:     cfg.PerPeerConcurrency,
+		reqTimeout:     cfg.RequestTimeout,
+		hedgeAfter:     cfg.HedgeAfter,
+		attempts:       attempts,
+		maxBatchPoints: cfg.MaxBatchPoints,
+		maxBatchBytes:  cfg.MaxBatchBytes,
+		batchLinger:    cfg.BatchLinger,
+		lat:            stats.NewLatency(),
+		sem:            make(map[string]chan struct{}),
+		perPeer:        make(map[string]uint64),
+		perFigure:      make(map[string]uint64),
+		batchers:       make(map[string]*batcher),
 	}
 	return s, nil
 }
@@ -131,12 +174,18 @@ func (s *Scheduler) Metrics() Metrics {
 		Failed:         s.failed.Load(),
 		Hedged:         s.hedged.Load(),
 		FallbackLocal:  s.fallbackLocal.Load(),
+		Batches:        s.batches.Load(),
+		BatchPoints:    s.batchPoints.Load(),
 		Latency:        s.lat.Snapshot(),
 	}
 	s.mu.Lock()
 	m.PerPeer = make(map[string]uint64, len(s.perPeer))
 	for id, n := range s.perPeer {
 		m.PerPeer[id] = n
+	}
+	m.PerFigure = make(map[string]uint64, len(s.perFigure))
+	for fig, n := range s.perFigure {
+		m.PerFigure[fig] = n
 	}
 	s.mu.Unlock()
 	return m
@@ -150,6 +199,9 @@ func (s *Scheduler) Metrics() Metrics {
 func (s *Scheduler) RunPoint(ctx context.Context, spec PointSpec,
 	local func(ctx context.Context) ([]byte, error)) (payload []byte, node string, err error) {
 	s.dispatched.Add(1)
+	s.mu.Lock()
+	s.perFigure[spec.Figure]++
+	s.mu.Unlock()
 	start := time.Now()
 	self := s.cl.Self()
 	owner := s.cl.PrimaryOwner(spec.CheckpointKey())
@@ -313,22 +365,33 @@ func (s *Scheduler) armHedge(ctx context.Context, start time.Time) <-chan struct
 }
 
 // computeRemote dispatches one point to its owner, retrying transient
-// failures on the same owner up to the attempt budget.
+// failures on the same owner up to the attempt budget. With batching enabled
+// (the default) each attempt rides the owner's shared batcher; with
+// BatchLinger < 0 each attempt is its own singleton POST.
 func (s *Scheduler) computeRemote(ctx context.Context, owner string, spec PointSpec) ([]byte, error) {
 	addr, ok := s.cl.PeerAddr(owner)
 	if !ok {
 		return nil, fmt.Errorf("distsweep: unknown peer %q", owner)
 	}
-	body, err := EncodeRequest(s.cl.Self(), spec)
-	if err != nil {
-		return nil, err
+	var body []byte
+	if s.batchLinger < 0 {
+		var err error
+		if body, err = EncodeRequest(s.cl.Self(), spec); err != nil {
+			return nil, err
+		}
 	}
 	var lastErr error
 	for attempt := 0; attempt < s.attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		payload, err := s.postOnce(ctx, addr, owner, spec, body)
+		var payload []byte
+		var err error
+		if s.batchLinger < 0 {
+			payload, err = s.postOnce(ctx, addr, owner, spec, body)
+		} else {
+			payload, err = s.batchOnce(ctx, owner, spec)
+		}
 		if err == nil {
 			return payload, nil
 		}
@@ -338,8 +401,27 @@ func (s *Scheduler) computeRemote(ctx context.Context, owner string, spec PointS
 		spec.PointKey, owner, s.attempts, lastErr)
 }
 
-// postOnce issues one compute POST and verifies the response envelope.
+// postOnce issues one singleton compute POST and verifies the response
+// envelope.
 func (s *Scheduler) postOnce(ctx context.Context, addr, owner string, spec PointSpec, body []byte) ([]byte, error) {
+	b, err := s.post(ctx, addr, owner, body)
+	if err != nil {
+		return nil, err
+	}
+	env, err := cluster.DecodePeerEnvelope(b)
+	if err != nil {
+		return nil, fmt.Errorf("distsweep: peer %s sent unverifiable point: %w", owner, err)
+	}
+	if want := spec.CheckpointKey(); env.Key != want {
+		return nil, fmt.Errorf("%w: peer %s answered for checkpoint %q, asked %q",
+			cluster.ErrWireCorrupt, owner, env.Key, want)
+	}
+	return env.Payload, nil
+}
+
+// post issues one compute POST (singleton or batch body) and returns the raw
+// response bytes, bounded by the envelope limit.
+func (s *Scheduler) post(ctx context.Context, addr, owner string, body []byte) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.reqTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -358,17 +440,5 @@ func (s *Scheduler) postOnce(ctx context.Context, addr, owner string, spec Point
 		return nil, fmt.Errorf("distsweep: peer %s compute: %s: %s",
 			owner, resp.Status, strings.TrimSpace(string(msg)))
 	}
-	b, err := io.ReadAll(io.LimitReader(resp.Body, cluster.MaxEnvelopeBytes+1))
-	if err != nil {
-		return nil, err
-	}
-	env, err := cluster.DecodePeerEnvelope(b)
-	if err != nil {
-		return nil, fmt.Errorf("distsweep: peer %s sent unverifiable point: %w", owner, err)
-	}
-	if want := spec.CheckpointKey(); env.Key != want {
-		return nil, fmt.Errorf("%w: peer %s answered for checkpoint %q, asked %q",
-			cluster.ErrWireCorrupt, owner, env.Key, want)
-	}
-	return env.Payload, nil
+	return io.ReadAll(io.LimitReader(resp.Body, cluster.MaxEnvelopeBytes+1))
 }

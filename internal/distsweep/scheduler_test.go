@@ -62,14 +62,31 @@ func newTestWorker(t *testing.T, id string) *testWorker {
 			http.Error(rw, "wrong path "+r.URL.Path, http.StatusNotFound)
 			return
 		}
-		_, spec, err := DecodeRequest(body)
+		req, err := DecodeComputeRequest(body)
 		if err != nil {
 			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
-		payload, _ := json.Marshal(map[string]string{"bench": spec.Bench, "by": id})
-		env := cluster.PeerEnvelope{Node: id, Key: spec.CheckpointKey(), Payload: payload}
-		rw.Write(env.Encode())
+		cell := func(spec PointSpec) []byte {
+			payload, _ := json.Marshal(map[string]string{"bench": spec.CellParams()["bench"], "by": id})
+			return payload
+		}
+		if !req.Batch {
+			spec := req.Specs[0]
+			env := cluster.PeerEnvelope{Node: id, Key: spec.CheckpointKey(), Payload: cell(spec)}
+			rw.Write(env.Encode())
+			return
+		}
+		results := make([]BatchResult, len(req.Specs))
+		for i, spec := range req.Specs {
+			results[i] = BatchResult{Key: spec.CheckpointKey(), Payload: cell(spec)}
+		}
+		resp, err := EncodeBatchResponse(id, req.BatchKey, results)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rw.Write(resp)
 	}))
 	t.Cleanup(w.srv.Close)
 	return w

@@ -16,8 +16,15 @@
 // with a local re-dispatch once the fleet's observed pace says the point is
 // overdue. Byte-identity is preserved by construction — the worker runs
 // exactly the code the coordinator would have run (same lab options,
-// enforced by the options digest in the spec; same Figure8Cell → canonical
-// JSON path), and the result lands under exactly the same checkpoint key.
+// enforced by the options digest in the spec; same registered figure
+// decomposition → canonical JSON path), and the result lands under exactly
+// the same checkpoint key.
+//
+// Points travel batched by default: the scheduler coalesces points bound for
+// the same owner into a BatchSpec shipped in one envelope (batch.go), paying
+// the HTTP + envelope + admission cost once per batch instead of once per
+// point. Singleton envelopes remain fully supported on both ends for rolling
+// upgrades.
 package distsweep
 
 import (
@@ -50,13 +57,35 @@ type PointSpec struct {
 	ResultKey string `json:"result_key"`
 	// PointKey is the point's stable key within its plan (e.g. "bench=gcc").
 	PointKey string `json:"point_key"`
-	// Figure names the decomposition ("fig8" is the only decomposable figure
-	// today; unknown values are refused by the worker).
+	// Figure names the decomposition in the experiments registry (fig8,
+	// fig9, fig10, sensitivity, machine, ...); a worker refuses figures it
+	// has no registered decomposition for.
 	Figure string `json:"figure"`
-	// Bench is the benchmark whose cell this point computes.
-	Bench string `json:"bench"`
+	// Params are the cell's coordinates in canonical form — everything the
+	// figure's Decomposition needs to recompute the cell (e.g. bench, side,
+	// size, seed, variant). Empty only on specs from pre-registry senders,
+	// whose fig8 cells travel in the legacy Bench/Side fields below.
+	Params map[string]string `json:"params,omitempty"`
+	// Bench is the benchmark whose cell this point computes. Kept alongside
+	// Params (never instead of it) so pre-registry workers, which read only
+	// Bench/Side, can still serve fig8 points during a rolling upgrade.
+	Bench string `json:"bench,omitempty"`
 	// Side is the cache side parameter in its canonical query form ("d"/"i").
-	Side string `json:"side"`
+	Side string `json:"side,omitempty"`
+}
+
+// CellParams resolves the spec's cell coordinates: Params when present,
+// otherwise the legacy Bench/Side pair folded into the same shape — the
+// receiving side of the rolling-upgrade contract Bench/Side exist for.
+func (p PointSpec) CellParams() map[string]string {
+	if len(p.Params) > 0 {
+		return p.Params
+	}
+	m := map[string]string{"bench": p.Bench}
+	if p.Side != "" {
+		m["side"] = p.Side
+	}
+	return m
 }
 
 // CheckpointKey derives the content-addressed blob key the point's result is
@@ -81,10 +110,14 @@ func (p PointSpec) Validate() error {
 		return fmt.Errorf("distsweep: spec without point key")
 	case p.Figure == "":
 		return fmt.Errorf("distsweep: spec without figure")
-	case p.Bench == "":
-		return fmt.Errorf("distsweep: spec without benchmark")
+	case len(p.Params) == 0 && p.Bench == "":
+		return fmt.Errorf("distsweep: spec without cell params or legacy benchmark")
 	}
-	for _, f := range []string{p.OptionsDigest, p.ResultKey, p.PointKey, p.Figure, p.Bench, p.Side} {
+	fields := []string{p.OptionsDigest, p.ResultKey, p.PointKey, p.Figure, p.Bench, p.Side}
+	for k, v := range p.Params {
+		fields = append(fields, k, v)
+	}
+	for _, f := range fields {
 		if !utf8.ValidString(f) {
 			return fmt.Errorf("distsweep: spec field %q is not valid UTF-8", f)
 		}

@@ -3,6 +3,7 @@ package distsweep
 import (
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestPointSpecRoundTrip(t *testing.T) {
 	if node != "n1" {
 		t.Errorf("origin node = %q, want n1", node)
 	}
-	if got != spec {
+	if !reflect.DeepEqual(got, spec) {
 		t.Errorf("spec round trip mismatch:\ngot  %+v\nwant %+v", got, spec)
 	}
 }

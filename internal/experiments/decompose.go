@@ -1,0 +1,125 @@
+package experiments
+
+// The figure-decomposition registry: every figure whose sweep factors into
+// independently computable cells registers a Decomposition here, and every
+// layer above — the synchronous Lab methods, the job planner, the distributed
+// sweep worker — runs through the same three hooks. Plan enumerates the cells
+// deterministically from the canonical figure parameters, ComputeCell turns
+// one cell into canonical JSON bytes (the checkpoint/wire unit), and Assemble
+// folds the cell payloads (in Plan order) back into the figure value. The
+// JSON round-trip is exact — every cell field is a float64, int or string,
+// all of which survive encoding/json bit-for-bit — so an assembled figure is
+// byte-identical to a synchronously computed one, no matter which mix of
+// nodes, checkpoints and fresh runs produced the cells.
+//
+// Adding a decomposable figure is one file in this package (a Decomposition
+// with an init registration, plus routing the synchronous method through the
+// same cell/assemble helpers) and the existing goldens — nothing else: the
+// job planner, the wire protocol and the cluster tests are generic over the
+// registry.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cell is one independently computable unit of a decomposed figure. Key is
+// the cell's stable identity within its figure plan (it becomes the job
+// point key, so it must not change across releases or checkpoints orphan);
+// Params carries everything a remote worker needs to recompute the cell from
+// first principles — cell coordinates plus any figure-level parameters,
+// because the worker sees only one cell, never the whole plan.
+type Cell struct {
+	Key    string
+	Params map[string]string
+}
+
+// Decomposition factors one figure into cells. Implementations must be
+// deterministic and stateless: Plan is re-run on job resume and on every
+// placement prediction, and expects identical cells each time.
+type Decomposition interface {
+	// Plan enumerates the figure's cells for the given canonical figure
+	// parameters, in the exact order Assemble expects their payloads.
+	Plan(l *Lab, params map[string]string) ([]Cell, error)
+	// ComputeCell computes one cell to its canonical JSON payload. The bytes
+	// are the checkpoint and wire unit: every node must produce identical
+	// bytes for the same cell under the same lab options.
+	ComputeCell(ctx context.Context, l *Lab, cell Cell) ([]byte, error)
+	// Assemble merges the cell payloads (in Plan order) into the figure
+	// value the synchronous endpoint returns.
+	Assemble(l *Lab, params map[string]string, payloads [][]byte) (any, error)
+}
+
+var decompositions = map[string]Decomposition{}
+
+// RegisterDecomposition registers a figure's decomposition. Called from init
+// functions; duplicate registration is a programming error.
+func RegisterDecomposition(figure string, d Decomposition) {
+	if _, ok := decompositions[figure]; ok {
+		panic(fmt.Sprintf("experiments: duplicate decomposition for figure %q", figure))
+	}
+	decompositions[figure] = d
+}
+
+// DecompositionFor returns the registered decomposition for a figure.
+func DecompositionFor(figure string) (Decomposition, bool) {
+	d, ok := decompositions[figure]
+	return d, ok
+}
+
+// DecomposableFigures lists the registered figures, sorted.
+func DecomposableFigures() []string {
+	names := make([]string, 0, len(decompositions))
+	for name := range decompositions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// cellKey renders a cell's stable key from ordered coordinates, e.g.
+// "side=d,bench=gcc". The order is fixed per figure so keys stay stable.
+func cellKey(pairs ...string) string {
+	return strings.Join(pairs, ",")
+}
+
+// cellSide decodes a cell's canonical "side" parameter ("d", "i"; empty
+// defaults to the data cache, matching the HTTP parameter default).
+func cellSide(v string) (CacheSide, error) {
+	switch v {
+	case "", "d":
+		return DataCache, nil
+	case "i":
+		return InstructionCache, nil
+	}
+	return 0, fmt.Errorf("experiments: bad cell side %q (want d or i)", v)
+}
+
+// sideParam is the canonical wire form of a side.
+func sideParam(side CacheSide) string {
+	if side == InstructionCache {
+		return "i"
+	}
+	return "d"
+}
+
+// cellSizes decodes a cell plan's canonical "sizes" parameter (comma-joined
+// positive ints; empty means the figure's default).
+func cellSizes(v string) ([]int, error) {
+	if v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("experiments: bad cell sizes element %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

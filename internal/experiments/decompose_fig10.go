@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"nanocache/internal/stats"
+	"nanocache/internal/tech"
+)
+
+// Fig10Cell is one (side, size, benchmark) share of Figure 10: the fraction
+// of precharged subarrays at the budget-feasible optimum threshold.
+type Fig10Cell struct {
+	Pulled float64 `json:"pulled"`
+}
+
+// fig10Sizes resolves the subarray-size ladder (empty = the paper's).
+func fig10Sizes(sizes []int) []int {
+	if len(sizes) == 0 {
+		return []int{4096, 1024, 256, 64}
+	}
+	return sizes
+}
+
+// figure10Cell computes one Figure 10 cell: the gated sweep at one subarray
+// size, reduced to the feasible optimum's precharged fraction.
+func (l *Lab) figure10Cell(bench string, side CacheSide, size int) (Fig10Cell, error) {
+	pts, err := l.GatedSweep(bench, side, size)
+	if err != nil {
+		return Fig10Cell{}, err
+	}
+	best := BestFeasible(pts, side, tech.N70, l.opts.PerfBudget)
+	return Fig10Cell{Pulled: best.side(side).PulledFraction}, nil
+}
+
+// assembleFigure10 merges cells (sides outer, sizes middle, benchmarks
+// inner, all in input order) into the figure, averaging per (side, size).
+func assembleFigure10(l *Lab, sizes []int, benches []string, cells []Fig10Cell) Fig10Result {
+	r := Fig10Result{
+		Sizes:  sizes,
+		Pulled: map[CacheSide]map[int]float64{DataCache: {}, InstructionCache: {}},
+	}
+	perSide := len(sizes) * len(benches)
+	for si, side := range []CacheSide{DataCache, InstructionCache} {
+		for zi, size := range sizes {
+			at := si*perSide + zi*len(benches)
+			vals := make([]float64, 0, len(benches))
+			for _, c := range cells[at : at+len(benches)] {
+				vals = append(vals, c.Pulled)
+			}
+			r.Pulled[side][size] = stats.Mean(vals)
+			l.note("fig10 %s %dB: avg pulled %.3f", side, size, r.Pulled[side][size])
+		}
+	}
+	return r
+}
+
+// fig10Decomposition factors Figure 10 into (side × size × benchmark) cells
+// — the finest grain of any registered figure, which is what makes it the
+// best batching workout: a three-node fleet sees many points per owner.
+type fig10Decomposition struct{}
+
+func init() { RegisterDecomposition("fig10", fig10Decomposition{}) }
+
+func (fig10Decomposition) Plan(l *Lab, params map[string]string) ([]Cell, error) {
+	sizes, err := cellSizes(params["sizes"])
+	if err != nil {
+		return nil, err
+	}
+	sizes = fig10Sizes(sizes)
+	benches := l.opts.benchmarks()
+	cells := make([]Cell, 0, 2*len(sizes)*len(benches))
+	for _, side := range []CacheSide{DataCache, InstructionCache} {
+		for _, size := range sizes {
+			for _, bench := range benches {
+				cells = append(cells, Cell{
+					Key: cellKey("side="+sideParam(side), "size="+strconv.Itoa(size), "bench="+bench),
+					Params: map[string]string{
+						"side": sideParam(side), "size": strconv.Itoa(size), "bench": bench,
+					},
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+func (fig10Decomposition) ComputeCell(ctx context.Context, l *Lab, c Cell) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	side, err := cellSide(c.Params["side"])
+	if err != nil {
+		return nil, err
+	}
+	size, err := strconv.Atoi(c.Params["size"])
+	if err != nil || size <= 0 {
+		return nil, fmt.Errorf("experiments: bad fig10 cell size %q", c.Params["size"])
+	}
+	bench := c.Params["bench"]
+	if bench == "" {
+		return nil, fmt.Errorf("experiments: fig10 cell without bench")
+	}
+	cell, err := l.figure10Cell(bench, side, size)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cell)
+}
+
+func (fig10Decomposition) Assemble(l *Lab, params map[string]string, payloads [][]byte) (any, error) {
+	sizes, err := cellSizes(params["sizes"])
+	if err != nil {
+		return nil, err
+	}
+	sizes = fig10Sizes(sizes)
+	benches := l.opts.benchmarks()
+	if want := 2 * len(sizes) * len(benches); len(payloads) != want {
+		return nil, fmt.Errorf("experiments: fig10 expects %d cells, got %d", want, len(payloads))
+	}
+	cells := make([]Fig10Cell, len(payloads))
+	for i, b := range payloads {
+		if err := json.Unmarshal(b, &cells[i]); err != nil {
+			return nil, fmt.Errorf("experiments: decoding fig10 cell %d: %w", i, err)
+		}
+	}
+	return assembleFigure10(l, sizes, benches, cells), nil
+}

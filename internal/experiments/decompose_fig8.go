@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// fig8Decomposition factors Figure 8 into one cell per benchmark, the
+// granularity Figure8 itself sweeps at. Cell keys keep the legacy
+// "bench=<name>" form the job planner used before the registry existed, so
+// checkpoints written by older daemons still line up and older workers can
+// still serve fig8 points from their Bench/Side wire fields.
+type fig8Decomposition struct{}
+
+func init() { RegisterDecomposition("fig8", fig8Decomposition{}) }
+
+func (fig8Decomposition) Plan(l *Lab, params map[string]string) ([]Cell, error) {
+	side, err := cellSide(params["side"])
+	if err != nil {
+		return nil, err
+	}
+	benches := l.opts.benchmarks()
+	cells := make([]Cell, 0, len(benches))
+	for _, bench := range benches {
+		cells = append(cells, Cell{
+			Key:    "bench=" + bench,
+			Params: map[string]string{"bench": bench, "side": sideParam(side)},
+		})
+	}
+	return cells, nil
+}
+
+func (fig8Decomposition) ComputeCell(ctx context.Context, l *Lab, c Cell) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	side, err := cellSide(c.Params["side"])
+	if err != nil {
+		return nil, err
+	}
+	bench := c.Params["bench"]
+	if bench == "" {
+		return nil, fmt.Errorf("experiments: fig8 cell without bench")
+	}
+	cell, err := l.Figure8Cell(bench, side)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cell)
+}
+
+func (fig8Decomposition) Assemble(l *Lab, params map[string]string, payloads [][]byte) (any, error) {
+	side, err := cellSide(params["side"])
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Fig8Cell, len(payloads))
+	for i, b := range payloads {
+		if err := json.Unmarshal(b, &cells[i]); err != nil {
+			return nil, fmt.Errorf("experiments: decoding fig8 cell %d: %w", i, err)
+		}
+	}
+	constThreshold := l.opts.ConstantThreshold
+	if constThreshold == 0 {
+		constThreshold = DefaultOptions().ConstantThreshold
+	}
+	return AssembleFigure8(side, constThreshold, cells), nil
+}

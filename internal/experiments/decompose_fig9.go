@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"nanocache/internal/stats"
+	"nanocache/internal/tech"
+)
+
+// Fig9Cell is one (side, benchmark) share of Figure 9: the gated and
+// resizable relative discharges per technology node. Maps keyed by tech.Node
+// (an int) round-trip through JSON exactly, so a remotely computed cell
+// assembles into the same bytes a local one does.
+type Fig9Cell struct {
+	Gated     map[tech.Node]float64 `json:"gated"`
+	Resizable map[tech.Node]float64 `json:"resizable"`
+}
+
+// figure9Cell computes one benchmark's Figure 9 cell on one cache side:
+// gated thresholds re-optimized per node, the resizable ladder swept once.
+func (l *Lab) figure9Cell(bench string, side CacheSide) (Fig9Cell, error) {
+	c := Fig9Cell{
+		Gated:     make(map[tech.Node]float64, len(tech.Nodes)),
+		Resizable: make(map[tech.Node]float64, len(tech.Nodes)),
+	}
+	pts, err := l.GatedSweep(bench, side, 0)
+	if err != nil {
+		return Fig9Cell{}, err
+	}
+	for _, node := range tech.Nodes {
+		best := BestFeasible(pts, side, node, l.opts.PerfBudget)
+		c.Gated[node] = best.side(side).Discharge[node].Relative()
+	}
+	rz, err := l.bestResizable(bench, side)
+	if err != nil {
+		return Fig9Cell{}, err
+	}
+	for _, node := range tech.Nodes {
+		c.Resizable[node] = rz.side(side).Discharge[node].Relative()
+	}
+	return c, nil
+}
+
+// assembleFigure9 merges cells (sides outer, benchmarks inner, both in input
+// order) into the figure. Pure per-value: the means accumulate in exactly the
+// order the pre-registry merge used.
+func assembleFigure9(benches []string, cells []Fig9Cell) Fig9Result {
+	r := Fig9Result{
+		Nodes:     append([]tech.Node(nil), tech.Nodes...),
+		Gated:     map[CacheSide]map[tech.Node]float64{DataCache: {}, InstructionCache: {}},
+		Resizable: map[CacheSide]map[tech.Node]float64{DataCache: {}, InstructionCache: {}},
+	}
+	sides := []CacheSide{DataCache, InstructionCache}
+	for si, side := range sides {
+		gatedRel := map[tech.Node][]float64{}
+		resizRel := map[tech.Node][]float64{}
+		for bi := range benches {
+			c := cells[si*len(benches)+bi]
+			for _, node := range r.Nodes {
+				gatedRel[node] = append(gatedRel[node], c.Gated[node])
+				resizRel[node] = append(resizRel[node], c.Resizable[node])
+			}
+		}
+		for _, node := range r.Nodes {
+			r.Gated[side][node] = stats.Mean(gatedRel[node])
+			r.Resizable[side][node] = stats.Mean(resizRel[node])
+		}
+	}
+	return r
+}
+
+// fig9Decomposition factors Figure 9 into (side × benchmark) cells.
+type fig9Decomposition struct{}
+
+func init() { RegisterDecomposition("fig9", fig9Decomposition{}) }
+
+func (fig9Decomposition) Plan(l *Lab, _ map[string]string) ([]Cell, error) {
+	benches := l.opts.benchmarks()
+	cells := make([]Cell, 0, 2*len(benches))
+	for _, side := range []CacheSide{DataCache, InstructionCache} {
+		for _, bench := range benches {
+			cells = append(cells, Cell{
+				Key:    cellKey("side="+sideParam(side), "bench="+bench),
+				Params: map[string]string{"side": sideParam(side), "bench": bench},
+			})
+		}
+	}
+	return cells, nil
+}
+
+func (fig9Decomposition) ComputeCell(ctx context.Context, l *Lab, c Cell) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	side, err := cellSide(c.Params["side"])
+	if err != nil {
+		return nil, err
+	}
+	bench := c.Params["bench"]
+	if bench == "" {
+		return nil, fmt.Errorf("experiments: fig9 cell without bench")
+	}
+	cell, err := l.figure9Cell(bench, side)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cell)
+}
+
+func (fig9Decomposition) Assemble(l *Lab, _ map[string]string, payloads [][]byte) (any, error) {
+	benches := l.opts.benchmarks()
+	if want := 2 * len(benches); len(payloads) != want {
+		return nil, fmt.Errorf("experiments: fig9 expects %d cells, got %d", want, len(payloads))
+	}
+	cells := make([]Fig9Cell, len(payloads))
+	for i, b := range payloads {
+		if err := json.Unmarshal(b, &cells[i]); err != nil {
+			return nil, fmt.Errorf("experiments: decoding fig9 cell %d: %w", i, err)
+		}
+	}
+	return assembleFigure9(benches, cells), nil
+}

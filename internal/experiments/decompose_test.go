@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// tinyDecomposeOptions keeps the registry identity test fast: one benchmark,
+// two thresholds, short runs.
+func tinyDecomposeOptions() Options {
+	o := DefaultOptions()
+	o.Instructions = 1500
+	o.Thresholds = []uint64{8, 32}
+	o.ResizeTolerances = []float64{0.02}
+	o.Benchmarks = []string{"gcc"}
+	o.Parallelism = 2
+	return o
+}
+
+// syncFigure runs the synchronous Lab method matching a registered figure.
+func syncFigure(t *testing.T, l *Lab, figure string) any {
+	t.Helper()
+	var v any
+	var err error
+	switch figure {
+	case "fig8":
+		v, err = l.Figure8(DataCache)
+	case "fig9":
+		v, err = l.Figure9()
+	case "fig10":
+		v, err = l.Figure10(nil)
+	case "sensitivity":
+		v, err = l.Sensitivity(nil)
+	case "machine":
+		v, err = l.MachineSensitivity()
+	default:
+		t.Fatalf("no synchronous twin for figure %q", figure)
+	}
+	if err != nil {
+		t.Fatalf("synchronous %s: %v", figure, err)
+	}
+	return v
+}
+
+// TestDecompositionMatchesSynchronous proves the registry contract for every
+// registered figure: Plan → ComputeCell (JSON round-trip) → Assemble yields
+// exactly the value the synchronous Lab method computes — the in-process
+// half of the cluster byte-identity guarantee.
+func TestDecompositionMatchesSynchronous(t *testing.T) {
+	figures := DecomposableFigures()
+	if len(figures) < 5 {
+		t.Fatalf("expected at least 5 registered decompositions, got %v", figures)
+	}
+	l, err := NewLab(tinyDecomposeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]string{"side": "d"}
+	for _, figure := range figures {
+		d, ok := DecompositionFor(figure)
+		if !ok {
+			t.Fatalf("registered figure %q not resolvable", figure)
+		}
+		cells, err := d.Plan(l, params)
+		if err != nil {
+			t.Fatalf("%s: Plan: %v", figure, err)
+		}
+		if len(cells) == 0 {
+			t.Fatalf("%s: empty plan", figure)
+		}
+		seen := map[string]bool{}
+		payloads := make([][]byte, len(cells))
+		for i, c := range cells {
+			if c.Key == "" || seen[c.Key] {
+				t.Fatalf("%s: cell %d key %q empty or duplicate", figure, i, c.Key)
+			}
+			seen[c.Key] = true
+			// A worker reconstructs the cell from the wire spec alone; strip
+			// everything but key+params to prove Params is self-sufficient.
+			wire := Cell{Key: c.Key, Params: c.Params}
+			payloads[i], err = d.ComputeCell(context.Background(), l, wire)
+			if err != nil {
+				t.Fatalf("%s: ComputeCell %s: %v", figure, c.Key, err)
+			}
+		}
+		got, err := d.Assemble(l, params, payloads)
+		if err != nil {
+			t.Fatalf("%s: Assemble: %v", figure, err)
+		}
+		want := syncFigure(t, l, figure)
+		gb, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gb) != string(wb) {
+			t.Errorf("%s: assembled figure differs from synchronous path\nassembled: %s\nsync:      %s",
+				figure, gb, wb)
+		}
+		// Re-planning must be deterministic: resume and placement prediction
+		// depend on identical cells across calls.
+		again, err := d.Plan(l, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cells, again) {
+			t.Errorf("%s: Plan is not deterministic", figure)
+		}
+	}
+}

@@ -163,58 +163,25 @@ type Fig9Result struct {
 // Figure9 compares gated precharging against resizable caches per node.
 // Gated thresholds are re-optimized per node (the overhead changes the
 // optimum); resizable tolerances are chosen once under the same budget.
+// The (side × benchmark) cells and the merge are shared with the figure's
+// registered Decomposition (decompose_fig9.go), so a job assembled from
+// distributed cells is byte-identical to this synchronous path.
 func (l *Lab) Figure9() (Fig9Result, error) {
-	r := Fig9Result{
-		Nodes:     append([]tech.Node(nil), tech.Nodes...),
-		Gated:     map[CacheSide]map[tech.Node]float64{DataCache: {}, InstructionCache: {}},
-		Resizable: map[CacheSide]map[tech.Node]float64{DataCache: {}, InstructionCache: {}},
-	}
 	sides := []CacheSide{DataCache, InstructionCache}
 	benches := l.opts.benchmarks()
-	type cell struct{ gated, resiz map[tech.Node]float64 }
-	cells := make([]cell, len(sides)*len(benches))
+	cells := make([]Fig9Cell, len(sides)*len(benches))
 	if err := l.forEach(len(cells), func(idx int) error {
 		side, bench := sides[idx/len(benches)], benches[idx%len(benches)]
-		c := cell{
-			gated: make(map[tech.Node]float64, len(r.Nodes)),
-			resiz: make(map[tech.Node]float64, len(r.Nodes)),
-		}
-		pts, err := l.GatedSweep(bench, side, 0)
+		c, err := l.figure9Cell(bench, side)
 		if err != nil {
 			return err
-		}
-		for _, node := range r.Nodes {
-			best := BestFeasible(pts, side, node, l.opts.PerfBudget)
-			c.gated[node] = best.side(side).Discharge[node].Relative()
-		}
-		rz, err := l.bestResizable(bench, side)
-		if err != nil {
-			return err
-		}
-		for _, node := range r.Nodes {
-			c.resiz[node] = rz.side(side).Discharge[node].Relative()
 		}
 		cells[idx] = c
 		return nil
 	}); err != nil {
 		return Fig9Result{}, err
 	}
-	for si, side := range sides {
-		gatedRel := map[tech.Node][]float64{}
-		resizRel := map[tech.Node][]float64{}
-		for bi := range benches {
-			c := cells[si*len(benches)+bi]
-			for _, node := range r.Nodes {
-				gatedRel[node] = append(gatedRel[node], c.gated[node])
-				resizRel[node] = append(resizRel[node], c.resiz[node])
-			}
-		}
-		for _, node := range r.Nodes {
-			r.Gated[side][node] = stats.Mean(gatedRel[node])
-			r.Resizable[side][node] = stats.Mean(resizRel[node])
-		}
-	}
-	return r, nil
+	return assembleFigure9(benches, cells), nil
 }
 
 // bestResizable sweeps the resizable tolerance ladder and returns the most
@@ -297,40 +264,28 @@ var PaperFig10 = map[CacheSide]map[int]float64{
 }
 
 // Figure10 sweeps the subarray size with per-benchmark optimum thresholds.
+// The (side × size × benchmark) cells and the merge are shared with the
+// figure's registered Decomposition (decompose_fig10.go).
 func (l *Lab) Figure10(sizes []int) (Fig10Result, error) {
-	if len(sizes) == 0 {
-		sizes = []int{4096, 1024, 256, 64}
-	}
-	r := Fig10Result{
-		Sizes:  sizes,
-		Pulled: map[CacheSide]map[int]float64{DataCache: {}, InstructionCache: {}},
-	}
+	sizes = fig10Sizes(sizes)
 	sides := []CacheSide{DataCache, InstructionCache}
 	benches := l.opts.benchmarks()
 	perSide := len(sizes) * len(benches)
-	pulled := make([]float64, len(sides)*perSide)
-	if err := l.forEach(len(pulled), func(idx int) error {
+	cells := make([]Fig10Cell, len(sides)*perSide)
+	if err := l.forEach(len(cells), func(idx int) error {
 		side := sides[idx/perSide]
 		size := sizes[(idx%perSide)/len(benches)]
 		bench := benches[idx%len(benches)]
-		pts, err := l.GatedSweep(bench, side, size)
+		c, err := l.figure10Cell(bench, side, size)
 		if err != nil {
 			return err
 		}
-		best := BestFeasible(pts, side, tech.N70, l.opts.PerfBudget)
-		pulled[idx] = best.side(side).PulledFraction
+		cells[idx] = c
 		return nil
 	}); err != nil {
 		return Fig10Result{}, err
 	}
-	for si, side := range sides {
-		for zi, size := range sizes {
-			at := si*perSide + zi*len(benches)
-			r.Pulled[side][size] = stats.Mean(pulled[at : at+len(benches)])
-			l.note("fig10 %s %dB: avg pulled %.3f", side, size, r.Pulled[side][size])
-		}
-	}
-	return r, nil
+	return assembleFigure10(l, sizes, benches, cells), nil
 }
 
 // Render writes the size sweep.

@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"nanocache/internal/cpu"
-	"nanocache/internal/stats"
 )
 
 // MachineSensitivityResult checks how the on-demand conclusion depends on
@@ -53,46 +52,23 @@ func machineVariants() []struct {
 // points on the lab's benchmark subset. The (variant × benchmark) grid fans
 // across the worker pool; the merge walks variants, then benchmarks, in
 // input order.
+// The (variant × benchmark) cells and the merge are shared with the figure's
+// registered Decomposition (decompose_machine.go).
 func (l *Lab) MachineSensitivity() (MachineSensitivityResult, error) {
-	var r MachineSensitivityResult
 	variants := machineVariants()
 	benches := l.opts.benchmarks()
-	type cell struct{ slow, ipc float64 }
-	cells := make([]cell, len(variants)*len(benches))
+	cells := make([]MachineCell, len(variants)*len(benches))
 	if err := l.forEach(len(cells), func(idx int) error {
-		v := variants[idx/len(benches)]
-		bench := benches[idx%len(benches)]
-		baseCfg := l.runConfig(bench, Static(), Static())
-		baseCfg.CPU = &v.cfg
-		base, err := l.run(baseCfg)
+		c, err := l.machineCell(idx/len(benches), benches[idx%len(benches)])
 		if err != nil {
 			return err
 		}
-		odCfg := l.runConfig(bench, OnDemandPolicy(), Static())
-		odCfg.CPU = &v.cfg
-		od, err := l.run(odCfg)
-		if err != nil {
-			return err
-		}
-		cells[idx] = cell{slow: od.Slowdown(base), ipc: base.CPU.IPC}
+		cells[idx] = c
 		return nil
 	}); err != nil {
 		return MachineSensitivityResult{}, err
 	}
-	for vi, v := range variants {
-		var slows, ipcs []float64
-		for bi := range benches {
-			c := cells[vi*len(benches)+bi]
-			slows = append(slows, c.slow)
-			ipcs = append(ipcs, c.ipc)
-		}
-		r.Configs = append(r.Configs, v.name)
-		r.OnDemandD = append(r.OnDemandD, stats.Mean(slows))
-		r.BaseIPC = append(r.BaseIPC, stats.Mean(ipcs))
-		l.note("machine %s: on-demand %.4f IPC %.3f", v.name,
-			r.OnDemandD[len(r.OnDemandD)-1], r.BaseIPC[len(r.BaseIPC)-1])
-	}
-	return r, nil
+	return assembleMachineSensitivity(l, benches, cells), nil
 }
 
 // Render writes the design-point table.

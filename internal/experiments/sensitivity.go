@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"nanocache/internal/stats"
-	"nanocache/internal/tech"
 )
 
 // SensitivityResult quantifies how much the headline numbers move with the
@@ -27,84 +26,23 @@ type SensitivityResult struct {
 // builds its own runs; only the base seed's recorded trace is shared with
 // the lab). The (seed × benchmark) grid fans across the worker pool; the
 // per-seed summaries accumulate in seed order afterwards.
+// The (seed × benchmark) cells and the merge are shared with the figure's
+// registered Decomposition (decompose_sensitivity.go).
 func (l *Lab) Sensitivity(seeds []int64) (SensitivityResult, error) {
-	if len(seeds) == 0 {
-		seeds = []int64{1, 2, 3}
-	}
-	r := SensitivityResult{
-		Seeds:     append([]int64(nil), seeds...),
-		OracleD:   stats.NewSummary(),
-		GatedD:    stats.NewSummary(),
-		OnDemandD: stats.NewSummary(),
-	}
+	seeds = sensitivitySeeds(seeds)
 	benches := l.opts.benchmarks()
-	type cell struct{ oracle, gated, slow float64 }
-	cells := make([]cell, len(seeds)*len(benches))
+	cells := make([]SensitivityCell, len(seeds)*len(benches))
 	if err := l.forEach(len(cells), func(idx int) error {
-		seed := seeds[idx/len(benches)]
-		bench := benches[idx%len(benches)]
-		cfg := l.runConfig(bench, Static(), Static())
-		cfg.Seed = seed
-		// One recorded trace serves all four policy runs of this cell. Only
-		// the lab's base seed is memoized lab-wide; off-base seeds record a
-		// cell-local trace so the sweep across many seeds does not pin one
-		// trace per (seed, benchmark) in memory for the lab's lifetime.
-		if seed == l.opts.Seed {
-			tr, err := l.traceFor(cfg)
-			if err != nil {
-				return err
-			}
-			cfg.Trace = tr
-		} else {
-			tr, err := RecordTrace(cfg)
-			if err != nil {
-				return err
-			}
-			cfg.Trace = tr
-		}
-		base, err := Run(cfg)
+		c, err := l.sensitivityCell(seeds[idx/len(benches)], benches[idx%len(benches)])
 		if err != nil {
 			return err
 		}
-		cfg.DPolicy, cfg.IPolicy = OraclePolicy(), OraclePolicy()
-		orc, err := Run(cfg)
-		if err != nil {
-			return err
-		}
-		cfg.DPolicy, cfg.IPolicy = GatedPolicy(l.opts.ConstantThreshold, true), Static()
-		gat, err := Run(cfg)
-		if err != nil {
-			return err
-		}
-		cfg.DPolicy, cfg.IPolicy = OnDemandPolicy(), Static()
-		od, err := Run(cfg)
-		if err != nil {
-			return err
-		}
-		cells[idx] = cell{
-			oracle: 1 - orc.D.Discharge[tech.N70].Relative(),
-			gated:  1 - gat.D.Discharge[tech.N70].Relative(),
-			slow:   od.Slowdown(base),
-		}
+		cells[idx] = c
 		return nil
 	}); err != nil {
 		return SensitivityResult{}, err
 	}
-	for si, seed := range seeds {
-		var oracleRel, gatedRel, slow []float64
-		for bi := range benches {
-			c := cells[si*len(benches)+bi]
-			oracleRel = append(oracleRel, c.oracle)
-			gatedRel = append(gatedRel, c.gated)
-			slow = append(slow, c.slow)
-		}
-		r.OracleD.Add(stats.Mean(oracleRel))
-		r.GatedD.Add(stats.Mean(gatedRel))
-		r.OnDemandD.Add(stats.Mean(slow))
-		l.note("sensitivity seed %d: oracle %.3f gated %.3f ondemand %.3f",
-			seed, stats.Mean(oracleRel), stats.Mean(gatedRel), stats.Mean(slow))
-	}
-	return r, nil
+	return assembleSensitivity(l, seeds, benches, cells), nil
 }
 
 // Render writes the spread table.

@@ -3,6 +3,8 @@ package jobs
 import (
 	"context"
 	"errors"
+	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -88,6 +90,68 @@ func TestRunnerNodeTracking(t *testing.T) {
 	}
 	if runs := p.runs.Load(); runs != 2 {
 		t.Errorf("points ran %d times across both jobs, want 2 (second job all skips)", runs)
+	}
+}
+
+// TestRunnerFinalRetryFailure: a runner error that persists through the last
+// retry of a queued point must fail the job cleanly — the error names the
+// point and attempt count, Job.Points records no phantom entry for the dead
+// point — and must free the worker and queue slot so the next submission
+// runs to completion. A wedged queue here would deadlock every later job.
+func TestRunnerFinalRetryFailure(t *testing.T) {
+	p := &countingPlanner{block: make(chan struct{})}
+	var calls atomic.Int64
+	m := newTestManager(t, Config{
+		Planner: p.plan,
+		Workers: 1,
+		Queue:   1,
+		Retries: 1,
+		Backoff: 1,
+		Runner: func(ctx context.Context, plan *Plan, pt Point) ([]byte, string, error) {
+			if strings.Contains(plan.ResultKey, "doomed") {
+				calls.Add(1)
+				return nil, "", errors.New("permanent dispatch fault")
+			}
+			b, err := pt.Run(ctx)
+			return b, "runner", err
+		},
+	})
+
+	// Occupy the single worker so the doomed job genuinely waits its turn in
+	// the bounded queue before failing.
+	blocker, err := m.Submit(testSpec("blocker", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, StateRunning)
+	doomed, err := m.Submit(testSpec("doomed", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(p.block)
+	waitState(t, m, blocker.ID, StateDone)
+
+	failed := waitState(t, m, doomed.ID, StateFailed)
+	if !strings.Contains(failed.Error, "p0 failed after 2 attempts") ||
+		!strings.Contains(failed.Error, "permanent dispatch fault") {
+		t.Errorf("failed job error %q does not name the point, attempts and cause", failed.Error)
+	}
+	if len(failed.Points) != 0 {
+		t.Errorf("failed job recorded phantom points: %v", failed.Points)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("runner called %d times for the doomed point, want 2 (initial + final retry)", got)
+	}
+
+	// The failure released the worker and the queue slot: a fresh job must
+	// run end to end, through the same runner.
+	after, err := m.Submit(testSpec("after", 1))
+	if err != nil {
+		t.Fatalf("submit after a failed job: %v", err)
+	}
+	done := waitState(t, m, after.ID, StateDone)
+	if done.Points["p0"] != "runner" {
+		t.Errorf("follow-up job Points = %v, want p0 on %q", done.Points, "runner")
 	}
 }
 

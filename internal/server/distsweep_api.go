@@ -5,8 +5,8 @@ package server
 //   - runJobPoint is the job orchestrator's pluggable per-point runner: when
 //     the distsweep scheduler is enabled and the planner attached a wire
 //     spec to the point, execution routes through the scheduler (ring-owner
-//     dispatch, retry-then-local, hedged stragglers); otherwise the point
-//     runs locally exactly as before.
+//     dispatch, batched envelopes, retry-then-local, hedged stragglers);
+//     otherwise the point runs locally exactly as before.
 //   - handlePeerCompute is the worker side of the point protocol — the one
 //     deliberate exception to "peer endpoints are compute-free". A verified
 //     point spec computes through this node's full serving discipline:
@@ -14,20 +14,23 @@ package server
 //     (a sweep storm from coordinators queues behind local cold misses,
 //     sheds with 429 when the queue fills, and the coordinator's fallback
 //     handles the rest), and write-behind publication of the checkpoint so
-//     repeat requests are cache peeks. The computed bytes are exactly what
-//     the coordinator's local closure would have produced — same lab
-//     options (digest-checked), same Figure8Cell → canonical JSON path — so
-//     distribution never changes a single byte of the assembled figure.
+//     repeat requests are cache peeks. A batched request pays the admission
+//     wait once for the whole batch — that amortization is what the batch
+//     wire exists for — and reports per-point success or failure, so one
+//     broken cell never fails its batchmates. The computed bytes are exactly
+//     what the coordinator's local closure would have produced — same lab
+//     options (digest-checked), same registered figure decomposition →
+//     canonical JSON path — so distribution never changes a single byte of
+//     the assembled figure.
 
 import (
 	"context"
-	"encoding/json"
 	"io"
 	"net/http"
-	"net/url"
 
 	"nanocache/internal/cluster"
 	"nanocache/internal/distsweep"
+	"nanocache/internal/experiments"
 	"nanocache/internal/jobs"
 )
 
@@ -49,26 +52,32 @@ func (s *Server) runJobPoint(ctx context.Context, _ *jobs.Plan, pt jobs.Point) (
 }
 
 // handlePeerCompute serves POST /v1/peer/compute: decode and verify the
-// point-work envelope, refuse foreign lab options, then answer from the
-// local tiers or compute once under cold-class admission.
+// point-work envelope (singleton or batch), refuse foreign lab options, then
+// answer from the local tiers or compute under cold-class admission.
 func (s *Server) handlePeerCompute(w http.ResponseWriter, r *http.Request) {
 	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cluster.MaxEnvelopeBytes))
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, "reading compute body: "+err.Error())
 		return
 	}
-	_, spec, err := distsweep.DecodeRequest(b)
+	req, err := distsweep.DecodeComputeRequest(b)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if spec.OptionsDigest != s.optsDigest {
-		// Same guard as anti-entropy: mixed-options fleets must fail loudly,
-		// not exchange byte-mismatched results.
+	// Batch validation guarantees a uniform digest, so checking the first
+	// spec covers every member. Same guard as anti-entropy: mixed-options
+	// fleets must fail loudly, not exchange byte-mismatched results.
+	if d := req.Specs[0].OptionsDigest; d != s.optsDigest {
 		writeJSONError(w, http.StatusConflict,
-			"point pinned to different lab options digest "+spec.OptionsDigest)
+			"point pinned to different lab options digest "+d)
 		return
 	}
+	if req.Batch {
+		s.servePeerBatch(w, r, req)
+		return
+	}
+	spec := req.Specs[0]
 	ckey := spec.CheckpointKey()
 	if payload, ok := s.peek(ckey); ok {
 		// An earlier sweep (or a replica) already paid for this point.
@@ -97,6 +106,90 @@ func (s *Server) handlePeerCompute(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusGatewayTimeout,
 			"coordinator gave up waiting for point compute")
 	}
+}
+
+// batchParallelism bounds how many of a batch's members compute at once on
+// the worker. The batch holds one admission slot, so this is the worker's
+// intra-slot parallelism — small enough not to starve local cold misses,
+// wide enough that a batch is faster than its points in sequence.
+const batchParallelism = 4
+
+// servePeerBatch answers a batched compute request: one cold-class admission
+// wait covers the whole batch, then members resolve through the same
+// peek → single-flight → lab path singleton points use, a few at a time.
+// Per-point failures travel as per-point errors in the response — never as a
+// batch failure — so the coordinator's retry-then-local policy still applies
+// point by point.
+func (s *Server) servePeerBatch(w http.ResponseWriter, r *http.Request, req distsweep.ComputeRequest) {
+	ctx := r.Context()
+	if err := s.adm.acquire(ctx, classCold); err != nil {
+		s.failRequest(w, err)
+		return
+	}
+	defer s.adm.release()
+	results := make([]distsweep.BatchResult, len(req.Specs))
+	_ = experiments.ForEachCtx(ctx, batchParallelism, len(req.Specs),
+		func(ctx context.Context, i int) error {
+			payload, err := s.batchPoint(ctx, req.Specs[i])
+			res := distsweep.BatchResult{Key: req.Specs[i].CheckpointKey()}
+			if err != nil {
+				res.Err = err.Error()
+			} else {
+				res.Payload = payload
+			}
+			results[i] = res
+			return nil // per-point errors ride in the result, not the fan
+		})
+	if ctx.Err() != nil {
+		writeJSONError(w, http.StatusGatewayTimeout,
+			"coordinator gave up waiting for batch compute")
+		return
+	}
+	s.m.distBatchesServed.Add(1)
+	resp, err := distsweep.EncodeBatchResponse(s.cluster.Self(), req.BatchKey, results)
+	if err != nil {
+		s.failRequest(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(resp)
+}
+
+// batchPoint resolves one batch member: local-tier peek, then single-flight
+// collapse against any concurrent request for the same checkpoint. The batch
+// already holds an admission slot, so a member this call creates the flight
+// for computes inline rather than queueing again.
+func (s *Server) batchPoint(ctx context.Context, spec distsweep.PointSpec) ([]byte, error) {
+	ckey := spec.CheckpointKey()
+	if payload, ok := s.peek(ckey); ok {
+		s.m.distPointsCached.Add(1)
+		return payload, nil
+	}
+	fl, created := s.flights.join(ckey)
+	if !created {
+		select {
+		case <-fl.done:
+			return fl.val, fl.err
+		case <-ctx.Done():
+			s.flights.leave(ckey, fl)
+			return nil, ctx.Err()
+		}
+	}
+	payload, err := s.buildPoint(ctx, spec)
+	if err != nil {
+		s.flights.forget(ckey, fl)
+		fl.finish(nil, err)
+		return nil, err
+	}
+	s.m.distPointsComputed.Add(1)
+	s.cache.Put(ckey, payload)
+	s.flights.forget(ckey, fl)
+	fl.finish(payload, nil)
+	// Write-behind into the durable tier, after any waiters are resolved.
+	if s.store != nil {
+		s.store.Put(ckey, payload)
+	}
+	return payload, nil
 }
 
 // computePoint runs one collapsed point computation under cold-class
@@ -128,23 +221,20 @@ func (s *Server) computePoint(fl *flight, ckey string, spec distsweep.PointSpec)
 }
 
 // buildPoint computes one point spec's result bytes — exactly the bytes the
-// coordinator's local point closure produces for the same point.
+// coordinator's local point closure produces for the same point, via the
+// figure's registered decomposition.
 func (s *Server) buildPoint(ctx context.Context, spec distsweep.PointSpec) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if spec.Figure != "fig8" {
+	d, ok := experiments.DecompositionFor(spec.Figure)
+	if !ok {
 		return nil, badParamf("figure %q has no distributable decomposition", spec.Figure)
 	}
-	side, err := parseSide(url.Values{"side": {spec.Side}})
-	if err != nil {
-		return nil, err
-	}
-	cell, err := s.lab.Figure8Cell(spec.Bench, side)
-	if err != nil {
-		return nil, err
-	}
-	return json.Marshal(cell)
+	return d.ComputeCell(ctx, s.lab, experiments.Cell{
+		Key:    spec.PointKey,
+		Params: spec.CellParams(),
+	})
 }
 
 // writePointEnvelope wraps a computed point in the wire envelope.

@@ -229,21 +229,22 @@ func figureNames() []string {
 	return names
 }
 
-// canonicalFigureKey renders the cache-key fragment for a figure request:
-// name plus its accepted parameters in fixed order with defaults resolved
-// where cheap (unknown parameters are rejected so they can never alias).
-func canonicalFigureKey(name string, spec figureSpec, q url.Values) (string, error) {
+// canonicalFigureParams resolves a figure request's parameters to their
+// canonical values, in the spec's declared order (unknown parameters are
+// rejected so they can never alias). The same pairs feed the cache key and —
+// for decomposable figures — the decomposition registry's Plan/Assemble, so
+// a job's cells are planned from exactly the values the key was derived from.
+func canonicalFigureParams(name string, spec figureSpec, q url.Values) ([][2]string, error) {
 	allowed := map[string]bool{}
 	for _, p := range spec.Params {
 		allowed[strings.SplitN(p, "=", 2)[0]] = true
 	}
 	for k := range q {
 		if !allowed[k] {
-			return "", badParamf("figure %s does not accept parameter %q", name, k)
+			return nil, badParamf("figure %s does not accept parameter %q", name, k)
 		}
 	}
-	var b strings.Builder
-	b.WriteString(name)
+	pairs := make([][2]string, 0, len(spec.Params))
 	for _, p := range spec.Params {
 		k := strings.SplitN(p, "=", 2)[0]
 		v := q.Get(k)
@@ -253,7 +254,7 @@ func canonicalFigureKey(name string, spec figureSpec, q url.Values) (string, err
 		case "side":
 			side, err := parseSide(q)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			if side == experiments.DataCache {
 				v = "d"
@@ -263,7 +264,7 @@ func canonicalFigureKey(name string, spec figureSpec, q url.Values) (string, err
 		case "sizes":
 			sizes, err := parseInts(q, k)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			parts := make([]string, len(sizes))
 			for i, s := range sizes {
@@ -271,10 +272,26 @@ func canonicalFigureKey(name string, spec figureSpec, q url.Values) (string, err
 			}
 			v = strings.Join(parts, ",")
 		}
+		pairs = append(pairs, [2]string{k, v})
+	}
+	return pairs, nil
+}
+
+// canonicalFigureKey renders the cache-key fragment for a figure request:
+// name plus its accepted parameters in fixed order with defaults resolved
+// where cheap.
+func canonicalFigureKey(name string, spec figureSpec, q url.Values) (string, error) {
+	pairs, err := canonicalFigureParams(name, spec, q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, kv := range pairs {
 		b.WriteByte('|')
-		b.WriteString(k)
+		b.WriteString(kv[0])
 		b.WriteByte('=')
-		b.WriteString(v)
+		b.WriteString(kv[1])
 	}
 	return b.String(), nil
 }

@@ -7,11 +7,13 @@ package server
 // a scheduling decision, never a different result.
 //
 // planJob is the bridge between specs and the experiment engine. Figures
-// with a decomposable sweep (fig8) plan into one checkpoint point per
-// benchmark: the orchestrator persists each benchmark's cell as it lands,
-// so a killed daemon resumes the sweep at the first benchmark without a
-// checkpoint. Everything else plans as a single point — still async, still
-// restart-safe at job granularity.
+// with a registered decomposition (experiments.DecompositionFor: fig8, fig9,
+// fig10, sensitivity, machine) plan into one checkpoint point per cell: the
+// orchestrator persists each cell as it lands, so a killed daemon resumes
+// the sweep at the first cell without a checkpoint, and each cell carries a
+// wire spec so clustered daemons fan it to its ring owner. Everything else
+// plans as a single point — still async, still restart-safe at job
+// granularity.
 
 import (
 	"bytes"
@@ -22,6 +24,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"nanocache/internal/distsweep"
@@ -60,66 +63,61 @@ func (s *Server) planFigureJob(spec jobs.Spec) (*jobs.Plan, error) {
 		return nil, badParamf("unknown figure %q", spec.Figure)
 	}
 	q := specQuery(spec)
-	key, err := canonicalFigureKey(spec.Figure, fig, q)
+	pairs, err := canonicalFigureParams(spec.Figure, fig, q)
 	if err != nil {
 		return nil, err
 	}
-	resultKey := "figure|" + key + "@" + s.optsDigest
+	var key strings.Builder
+	key.WriteString(spec.Figure)
+	params := make(map[string]string, len(pairs))
+	for _, kv := range pairs {
+		key.WriteByte('|')
+		key.WriteString(kv[0])
+		key.WriteByte('=')
+		key.WriteString(kv[1])
+		params[kv[0]] = kv[1]
+	}
+	resultKey := "figure|" + key.String() + "@" + s.optsDigest
 	plan := &jobs.Plan{
 		ResultKey: resultKey,
 		Publish:   func(payload []byte) error { s.cache.Put(resultKey, payload); return nil },
 	}
-	if spec.Figure == "fig8" {
-		// Decomposable sweep: one checkpoint point per benchmark. The cells
-		// merge through the same AssembleFigure8 the synchronous path uses,
-		// so the assembled payload is byte-identical to GET /v1/figures/fig8.
-		side, err := parseSide(q)
+	if d, ok := experiments.DecompositionFor(spec.Figure); ok {
+		// Decomposable sweep: one checkpoint point per registry cell. The
+		// cells assemble through exactly the code the synchronous builder
+		// runs, so the published payload is byte-identical to the GET.
+		cells, err := d.Plan(s.lab, params)
 		if err != nil {
 			return nil, err
 		}
-		sideStr := "d"
-		if side == experiments.InstructionCache {
-			sideStr = "i"
-		}
-		benches := s.cfg.Options.BenchmarkList()
-		for _, bench := range benches {
-			bench := bench
+		for _, cell := range cells {
+			cell := cell
 			plan.Points = append(plan.Points, jobs.Point{
-				Key: "bench=" + bench,
+				Key: cell.Key,
 				Run: func(ctx context.Context) ([]byte, error) {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-					cell, err := s.lab.Figure8Cell(bench, side)
-					if err != nil {
-						return nil, err
-					}
-					return json.Marshal(cell)
+					return d.ComputeCell(ctx, s.lab, cell)
 				},
 				// The wire twin of Run: everything a ring peer needs to compute
 				// these exact bytes through its own lab (digest-pinned options).
+				// Bench/Side are populated redundantly so pre-registry workers
+				// keep serving fig8 points during a rolling upgrade.
 				Dist: &distsweep.PointSpec{
 					OptionsDigest: s.optsDigest,
 					ResultKey:     resultKey,
-					PointKey:      "bench=" + bench,
-					Figure:        "fig8",
-					Bench:         bench,
-					Side:          sideStr,
+					PointKey:      cell.Key,
+					Figure:        spec.Figure,
+					Params:        cell.Params,
+					Bench:         cell.Params["bench"],
+					Side:          cell.Params["side"],
 				},
 			})
 		}
-		constThreshold := s.cfg.Options.ConstantThreshold
-		if constThreshold == 0 {
-			constThreshold = experiments.DefaultOptions().ConstantThreshold
-		}
 		plan.Merge = func(_ context.Context, results [][]byte) ([]byte, error) {
-			cells := make([]experiments.Fig8Cell, len(results))
-			for i, b := range results {
-				if err := json.Unmarshal(b, &cells[i]); err != nil {
-					return nil, fmt.Errorf("decoding cell %s: %w", benches[i], err)
-				}
+			v, err := d.Assemble(s.lab, params, results)
+			if err != nil {
+				return nil, err
 			}
-			return verify.MarshalGolden(experiments.AssembleFigure8(side, constThreshold, cells))
+			return verify.MarshalGolden(v)
 		}
 		return plan, nil
 	}

@@ -45,6 +45,7 @@ type metricSet struct {
 	// Worker side of the distributed sweep protocol.
 	distPointsComputed atomic.Uint64 // points computed here for coordinators
 	distPointsCached   atomic.Uint64 // point requests answered from the local tiers
+	distBatchesServed  atomic.Uint64 // batched compute requests answered
 
 	latency *stats.Latency
 }
@@ -103,11 +104,16 @@ type MetricsSnapshot struct {
 	// protocol. DistPointsCompleted is the headline "points computed on this
 	// node" — scheduler-local completions plus worker-served computes — the
 	// cluster smoke asserts lands >0 on several members at once.
+	// DistBatchesServed is the worker-side count of batched compute
+	// envelopes answered; together with the scheduler's Batches/BatchPoints
+	// it pins the amortization ratio (points per envelope) the batch wire
+	// buys.
 	DistSweepEnabled    bool
 	DistSweep           distsweep.Metrics
 	DistPointsComputed  uint64
 	DistPointsCached    uint64
 	DistPointsCompleted uint64
+	DistBatchesServed   uint64
 
 	// Admission holds the per-class controller counters keyed by class name
 	// ("cheap", "cold"): queue depth, admitted/shed counts, accounted cost
@@ -158,6 +164,7 @@ func (m *metricSet) snapshot(c *lru, st *store.Store, jm *jobs.Manager, adm *adm
 		s.PeerPushesAccepted = m.peerPushesAccepted.Load()
 		s.DistPointsComputed = m.distPointsComputed.Load()
 		s.DistPointsCached = m.distPointsCached.Load()
+		s.DistBatchesServed = m.distBatchesServed.Load()
 		s.DistPointsCompleted = s.DistPointsComputed
 		if ds != nil {
 			s.DistSweepEnabled = true
@@ -268,6 +275,17 @@ func (m *metricSet) render(w io.Writer, c *lru, st *store.Store, jm *jobs.Manage
 		line("nanocached_distsweep_points_failed_total", s.DistSweep.Failed)
 		line("nanocached_distsweep_points_hedged_total", s.DistSweep.Hedged)
 		line("nanocached_distsweep_points_fallback_local_total", s.DistSweep.FallbackLocal)
+		line("nanocached_distsweep_batches_total", s.DistSweep.Batches)
+		line("nanocached_distsweep_batch_points_total", s.DistSweep.BatchPoints)
+		line("nanocached_distsweep_batches_served_total", s.DistBatchesServed)
+		figs := make([]string, 0, len(s.DistSweep.PerFigure))
+		for f := range s.DistSweep.PerFigure {
+			figs = append(figs, f)
+		}
+		sort.Strings(figs)
+		for _, f := range figs {
+			fmt.Fprintf(w, "nanocached_distsweep_points_dispatched_figure_total{figure=%q} %d\n", f, s.DistSweep.PerFigure[f])
+		}
 		peers := make([]string, 0, len(s.DistSweep.PerPeer))
 		for id := range s.DistSweep.PerPeer {
 			peers = append(peers, id)

@@ -104,6 +104,13 @@ type Config struct {
 	// (internal/distsweep). Meaningless without Cluster.
 	DistSweepOff bool
 
+	// SweepBatchLinger overrides how long the sweep scheduler holds the
+	// first point bound for a peer before cutting a batched envelope
+	// (distsweep.Config.BatchLinger: 0 = the scheduler's 2ms default,
+	// negative = ship every point as its own envelope). Tests raise it to
+	// make batch formation deterministic.
+	SweepBatchLinger time.Duration
+
 	// Jobs bounds concurrently executing async jobs (default 1).
 	Jobs int
 	// JobQueue bounds the async submission queue (default 4096); submissions
@@ -126,7 +133,7 @@ type Server struct {
 	cache      *lru
 	store      *store.Store // durable second tier; nil without StoreDir
 	jobs       *jobs.Manager
-	cluster    *cluster.Cluster    // peer tier; nil on a single-node daemon
+	cluster    *cluster.Cluster     // peer tier; nil on a single-node daemon
 	dist       *distsweep.Scheduler // sweep fan-out; nil unless clustered with DistSweep on
 	clusterOff sync.Once
 	flights    *flightGroup
@@ -271,9 +278,10 @@ func New(cfg Config) (*Server, error) {
 		s.cluster = cl
 		if !cfg.DistSweepOff {
 			ds, err := distsweep.New(distsweep.Config{
-				Cluster:    cl,
-				Transport:  cc.Transport,
-				HedgeAfter: cc.HedgeAfter,
+				Cluster:     cl,
+				Transport:   cc.Transport,
+				HedgeAfter:  cc.HedgeAfter,
+				BatchLinger: cfg.SweepBatchLinger,
 			})
 			if err != nil {
 				s.clusterOff.Do(cl.Close)
@@ -286,9 +294,11 @@ func New(cfg Config) (*Server, error) {
 	pointParallelism := 0 // manager default: sequential points
 	if s.dist != nil {
 		// Distribution only helps if the coordinator keeps every worker's
-		// per-peer dispatch window full; two in flight per member covers
-		// pipelining without flooding anyone's cold admission queue.
-		pointParallelism = 2 * len(cfg.Cluster.Peers)
+		// per-peer dispatch window full; four in flight per member gives the
+		// batcher enough concurrently queued points to coalesce real batches
+		// without flooding anyone's cold admission queue (each batch still
+		// waits in it exactly once).
+		pointParallelism = 4 * len(cfg.Cluster.Peers)
 	}
 	jm, err := jobs.NewManager(jobs.Config{
 		Workers:          cfg.Jobs,
